@@ -1,0 +1,100 @@
+// Ablation (Section 3): eigensolver choice.
+//
+// The paper selects the power iteration for its minimal storage and rejects
+// Lanczos/Arnoldi (more vectors) and randomised methods (accuracy).  With
+// the shift-and-invert machinery built (the paper's "current work"), this
+// bench quantifies the whole trade-off space on one random-landscape
+// problem family:
+//
+//   Pi            plain power iteration on Fmmp
+//   Pi+shift      with the conservative shift mu = (1-2p)^nu f_min
+//   Lanczos(30)   restarted Lanczos, 30-vector basis
+//   Lanczos(8)    small-memory Lanczos
+//   RQI           Rayleigh quotient iteration (MINRES inner solves)
+//
+// Reported: wall time, W-products, and extra storage in vectors of length N.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/power_iteration.hpp"
+#include "solvers/shift_invert.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace qs;
+  const unsigned max_nu = std::min(18u, bench::env_unsigned("QS_BENCH_MAX_NU", 18));
+  const double p = 0.01;
+
+  std::cout << "# Ablation: eigensolver trade-offs on random landscapes "
+               "(Eq. 13, c = 5, sigma = 1, p = "
+            << p << ")\n\n";
+
+  TextTable table({"nu", "solver", "time [s]", "W-products", "extra vectors",
+                   "lambda_0"});
+  CsvWriter csv(std::cout);
+  csv.header({"nu", "solver", "time_s", "products", "extra_vectors", "lambda"});
+
+  for (unsigned nu = 12; nu <= max_nu; nu += 3) {
+    const auto model = core::MutationModel::uniform(nu, p);
+    const auto landscape = core::Landscape::random(nu, 5.0, 1.0, nu);
+    const core::FmmpOperator op(model, landscape);
+    const auto start = solvers::landscape_start(landscape);
+
+    auto emit = [&](const char* name, double seconds, std::size_t products,
+                    std::size_t vectors, double lambda) {
+      table.add_row({std::to_string(nu), name, format_short(seconds),
+                     std::to_string(products), std::to_string(vectors),
+                     format_short(lambda)});
+      csv.row().cell(std::size_t{nu}).cell(std::string(name)).cell(seconds)
+          .cell(products).cell(vectors).cell(lambda);
+      csv.end_row();
+    };
+
+    {
+      Timer t;
+      const auto r = solvers::power_iteration(op, start);
+      emit("Pi", t.seconds(), r.iterations, 2, r.eigenvalue);
+    }
+    {
+      solvers::PowerOptions opts;
+      opts.shift = core::conservative_shift(model, landscape);
+      Timer t;
+      const auto r = solvers::power_iteration(op, start, opts);
+      emit("Pi+shift", t.seconds(), r.iterations, 2, r.eigenvalue);
+    }
+    {
+      solvers::LanczosOptions opts;
+      opts.basis_size = 30;
+      Timer t;
+      const auto r = solvers::lanczos_dominant_w(model, landscape, {}, opts);
+      emit("Lanczos(30)", t.seconds(), r.matvec_count, 30 + 2, r.eigenvalue);
+    }
+    {
+      solvers::LanczosOptions opts;
+      opts.basis_size = 8;
+      Timer t;
+      const auto r = solvers::lanczos_dominant_w(model, landscape, {}, opts);
+      emit("Lanczos(8)", t.seconds(), r.matvec_count, 8 + 2, r.eigenvalue);
+    }
+    {
+      solvers::ShiftInvertOptions opts;
+      Timer t;
+      const auto r = solvers::rayleigh_quotient_iteration_w(model, landscape, {}, opts);
+      emit("RQI", t.seconds(),
+           r.inner_iterations_total + r.outer_iterations + 20, 5, r.eigenvalue);
+    }
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: all solvers agree on lambda_0; Lanczos needs "
+               "the fewest products at the highest storage; the shift trims "
+               "~10% off Pi; RQI trades outer convergence speed for Krylov "
+               "inner products.  The paper's choice (Pi+shift) is the "
+               "storage-optimal column.\n";
+  return 0;
+}

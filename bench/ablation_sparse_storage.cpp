@@ -1,0 +1,73 @@
+// Ablation: implicit recomputation (Xmvp) vs explicit CSR storage for the
+// truncated product.
+//
+// Both evaluate the identical Hamming-truncated W; the CSR path trades
+// Theta(N * sum_k C(nu, k)) bytes for branch-free row sweeps, the implicit
+// path recomputes XOR patterns at Theta(N) memory.  The memory column is
+// the story: it explodes combinatorially with d and nu — which is exactly
+// why this line of work moved to implicit products and ultimately to the
+// paper's Fmmp.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fmmp.hpp"
+#include "core/xmvp.hpp"
+#include "sparse/sparse_w.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace qs;
+  const unsigned nu = std::min(14u, bench::env_unsigned("QS_BENCH_MAX_NU", 14));
+  const double p = 0.01;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+  const std::size_t n = std::size_t{1} << nu;
+
+  std::cout << "# Implicit (Xmvp) vs explicit CSR for the truncated product, "
+               "nu = "
+            << nu << "\n\n";
+
+  TextTable table({"d_max", "CSR memory [MB]", "CSR assemble [s]", "CSR apply [s]",
+                   "Xmvp apply [s]", "Fmmp apply [s] (exact ref)"});
+  CsvWriter csv(std::cout);
+  csv.header({"d_max", "csr_mb", "assemble_s", "csr_apply_s", "xmvp_apply_s",
+              "fmmp_apply_s"});
+
+  std::vector<double> x(n), y(n);
+  Xoshiro256 rng(1);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+
+  const core::FmmpOperator fmmp(model, landscape);
+  const double t_fmmp = bench::time_best_of(3, [&] { fmmp.apply(x, y); });
+
+  for (unsigned d : {1u, 2u, 3u, 5u}) {
+    Timer assemble;
+    const sparse::SparseWOperator sparse_op(model, landscape, d);
+    const double assemble_s = assemble.seconds();
+    const double csr_mb =
+        static_cast<double>(sparse_op.matrix().memory_bytes()) / (1024.0 * 1024.0);
+    const double t_csr = bench::time_best_of(3, [&] { sparse_op.apply(x, y); });
+
+    const core::XmvpOperator xmvp(model, landscape, d);
+    const double t_xmvp = bench::time_best_of(3, [&] { xmvp.apply(x, y); });
+
+    table.add_row({std::to_string(d), format_short(csr_mb), format_short(assemble_s),
+                   format_short(t_csr), format_short(t_xmvp), format_short(t_fmmp)});
+    csv.row().cell(std::size_t{d}).cell(csr_mb).cell(assemble_s).cell(t_csr)
+        .cell(t_xmvp).cell(t_fmmp);
+    csv.end_row();
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the implicit product wins on BOTH axes — "
+               "its pattern-major sweep streams memory while CSR rows gather "
+               "randomly, and CSR storage grows like sum_k C(nu,k) per row "
+               "(gigabytes already at moderate d) — and the exact Fmmp beats "
+               "both without storing anything: the paper's algorithmic point "
+               "in one table.\n";
+  return 0;
+}

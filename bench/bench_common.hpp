@@ -1,0 +1,72 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Each bench binary reproduces one table/figure of the paper: it prints a
+// human-readable table mirroring the figure's series plus a CSV block for
+// re-plotting.  Problem sizes are capped so the default run finishes on a
+// laptop; the caps can be raised via the QS_BENCH_MAX_NU environment
+// variable (the paper itself extrapolates the O(N^2) reference beyond
+// nu = 21, and so do we — extrapolated rows are marked).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace qs::bench {
+
+/// Reads an unsigned from the environment with a default.
+inline unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
+}
+
+/// Wall-clock time of fn(), in seconds: best of `reps` runs (best-of
+/// suppresses scheduler noise; these kernels have no warm-up effects beyond
+/// the first touch, which the first rep absorbs).
+inline double time_best_of(unsigned reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (unsigned r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Least-squares fit of log2(t) = a + b * nu over the measured points;
+/// used to extrapolate the O(N^2) reference beyond feasible sizes exactly
+/// as the paper does for nu >= 22.
+struct LogFit {
+  double a = 0.0;
+  double b = 0.0;
+
+  double evaluate(double nu) const { return std::exp2(a + b * nu); }
+};
+
+inline LogFit fit_log2(const std::vector<double>& nus,
+                       const std::vector<double>& times) {
+  const std::size_t n = nus.size();
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = nus[i];
+    const double y = std::log2(times[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  LogFit fit;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  fit.b = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  fit.a = (sy - fit.b * sx) / static_cast<double>(n);
+  return fit;
+}
+
+}  // namespace qs::bench

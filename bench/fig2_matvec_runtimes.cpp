@@ -1,0 +1,83 @@
+// Figure 2 reproduction: runtimes of the implicit matrix-vector products
+// W x = (Q F) x on a single CPU core.
+//
+// Series (as in the paper): Xmvp(nu) — fully accurate sparsified XOR
+// product, cost Theta(N^2), equivalent to Smvp up to constants; Xmvp(1) —
+// the coarsest sparsification, Theta(N (nu+1)); Fmmp — the paper's exact
+// fast product, Theta(N log2 N).  The paper's expectation: Fmmp undercuts
+// even Xmvp(1) already for small nu while being exact.
+//
+// Size caps (defaults; override with QS_BENCH_MAX_NU): Fmmp/Xmvp(1) to
+// nu = 22, the quadratic Xmvp(nu) to nu = 14 — beyond that its cost is
+// extrapolated from the measured slope, exactly as the paper extrapolates
+// its reference beyond nu = 21.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fmmp.hpp"
+#include "core/xmvp.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace qs;
+  const unsigned max_nu = bench::env_unsigned("QS_BENCH_MAX_NU", 22);
+  const unsigned max_quadratic_nu = std::min(14u, max_nu);
+  const double p = 0.01;
+
+  std::cout << "# Figure 2: single mat-vec runtimes on one CPU core, p = " << p
+            << "\n# series: Xmvp(nu) ~ Theta(N^2), Xmvp(1) ~ Theta(N nu), "
+               "Fmmp ~ Theta(N log2 N)\n\n";
+
+  TextTable table({"nu", "N", "Xmvp(nu) [s]", "Xmvp(1) [s]", "Fmmp [s]",
+                   "Fmmp speedup vs Xmvp(nu)"});
+  CsvWriter csv(std::cout);
+  csv.header({"nu", "xmvp_full_s", "xmvp_full_extrapolated", "xmvp1_s", "fmmp_s"});
+
+  std::vector<double> quad_nus, quad_times;
+  for (unsigned nu = 10; nu <= max_nu; ++nu) {
+    const std::size_t n = std::size_t{1} << nu;
+    const auto model = core::MutationModel::uniform(nu, p);
+    const auto landscape = core::Landscape::random(nu, 5.0, 1.0, nu);
+    std::vector<double> x(n), y(n);
+    Xoshiro256 rng(nu);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+
+    const core::FmmpOperator fmmp(model, landscape);
+    const double t_fmmp = bench::time_best_of(3, [&] { fmmp.apply(x, y); });
+
+    const core::XmvpOperator xmvp1(model, landscape, 1);
+    const double t_xmvp1 = bench::time_best_of(3, [&] { xmvp1.apply(x, y); });
+
+    double t_full = 0.0;
+    bool extrapolated = false;
+    if (nu <= max_quadratic_nu) {
+      const core::XmvpOperator xmvp_full(model, landscape, nu);
+      t_full = bench::time_best_of(2, [&] { xmvp_full.apply(x, y); });
+      quad_nus.push_back(nu);
+      quad_times.push_back(t_full);
+    } else {
+      t_full = bench::fit_log2(quad_nus, quad_times).evaluate(nu);
+      extrapolated = true;
+    }
+
+    table.add_row({std::to_string(nu), std::to_string(n),
+                   format_short(t_full) + (extrapolated ? "*" : ""),
+                   format_short(t_xmvp1), format_short(t_fmmp),
+                   format_short(t_full / t_fmmp)});
+    csv.row().cell(std::size_t{nu}).cell(t_full).cell(std::string(extrapolated ? "1" : "0"))
+        .cell(t_xmvp1).cell(t_fmmp);
+    csv.end_row();
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\n(* = extrapolated from the measured Theta(N^2) slope, as in "
+               "the paper for nu >= 22)\n"
+            << "expected shape: Fmmp fastest at every nu, and faster than "
+               "Xmvp(1) despite being exact.\n";
+  return 0;
+}

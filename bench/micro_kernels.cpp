@@ -1,0 +1,112 @@
+// Kernel-level microbenchmarks (google-benchmark): the primitives every
+// solver is built from.  Complexity annotations let `--benchmark_enable_
+// random_interleaving` style runs verify the Theta(N log N) scaling claims
+// at the kernel level.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/fmmp.hpp"
+#include "core/xmvp.hpp"
+#include "parallel/engine.hpp"
+#include "support/rng.hpp"
+#include "transforms/butterfly.hpp"
+#include "transforms/fwht.hpp"
+
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  qs::Xoshiro256 rng(seed);
+  for (double& x : v) x = rng.uniform(0.0, 1.0);
+  return v;
+}
+
+void BM_Fwht(benchmark::State& state) {
+  const std::size_t n = std::size_t{1} << state.range(0);
+  auto v = random_vector(n, 1);
+  for (auto _ : state) {
+    qs::transforms::fwht(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_Fwht)->DenseRange(10, 22, 4)->Complexity(benchmark::oNLogN);
+
+void BM_UniformButterfly(benchmark::State& state) {
+  const std::size_t n = std::size_t{1} << state.range(0);
+  auto v = random_vector(n, 2);
+  for (auto _ : state) {
+    qs::transforms::apply_uniform_butterfly(v, 0.01);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_UniformButterfly)->DenseRange(10, 22, 4)->Complexity(benchmark::oNLogN);
+
+void BM_FmmpApply(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const std::size_t n = std::size_t{1} << nu;
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = qs::core::Landscape::random(nu, 5.0, 1.0, 3);
+  const qs::core::FmmpOperator op(model, landscape);
+  auto x = random_vector(n, 4);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_FmmpApply)->DenseRange(10, 22, 4)->Complexity(benchmark::oNLogN);
+
+void BM_FmmpApplyEngine(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const std::size_t n = std::size_t{1} << nu;
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = qs::core::Landscape::random(nu, 5.0, 1.0, 3);
+  const qs::core::FmmpOperator op(model, landscape, qs::core::Formulation::right,
+                                  &qs::parallel::parallel_engine());
+  auto x = random_vector(n, 4);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FmmpApplyEngine)->DenseRange(14, 22, 4);
+
+void BM_XmvpApply(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const unsigned d = static_cast<unsigned>(state.range(1));
+  const std::size_t n = std::size_t{1} << nu;
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = qs::core::Landscape::random(nu, 5.0, 1.0, 5);
+  const qs::core::XmvpOperator op(model, landscape, d);
+  auto x = random_vector(n, 6);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["patterns"] = static_cast<double>(op.pattern_count());
+}
+BENCHMARK(BM_XmvpApply)
+    ->Args({14, 1})
+    ->Args({14, 3})
+    ->Args({14, 5})
+    ->Args({14, 14})
+    ->Args({18, 1})
+    ->Args({18, 5});
+
+void BM_EngineReduceSum(benchmark::State& state) {
+  const std::size_t n = std::size_t{1} << state.range(0);
+  const auto v = random_vector(n, 7);
+  const auto& engine = qs::parallel::parallel_engine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.reduce_sum(v));
+  }
+}
+BENCHMARK(BM_EngineReduceSum)->DenseRange(14, 22, 4);
+
+}  // namespace

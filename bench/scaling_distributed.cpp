@@ -1,0 +1,68 @@
+// Scaling study: the distributed-memory decomposition (the paper's stated
+// future work).
+//
+// Runs the simulated distributed power iteration over 1..32 ranks on a
+// fixed problem and reports the communication profile: messages and doubles
+// moved per W-product grow as log2(P) pairwise block exchanges, while the
+// per-rank memory footprint shrinks as N/P — the numbers an MPI port of the
+// solver would need to budget.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/spectral.hpp"
+#include "distributed/distributed_solver.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace qs;
+  const unsigned nu = std::min(18u, bench::env_unsigned("QS_BENCH_MAX_NU", 18));
+  const double p = 0.01;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+
+  std::cout << "# Distributed decomposition scaling, nu = " << nu
+            << " (N = " << sequence_count(nu) << "), p = " << p << "\n\n";
+
+  TextTable table({"ranks", "block size", "time [s]", "iterations",
+                   "messages/product", "MB moved/product", "lambda_0"});
+  CsvWriter csv(std::cout);
+  csv.header({"ranks", "block_size", "time_s", "iterations", "messages_per_product",
+              "mb_per_product", "lambda"});
+
+  for (unsigned ranks : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    distributed::DistributedPowerOptions opts;
+    opts.shift = core::conservative_shift(model, landscape);
+    Timer t;
+    const auto r = distributed::distributed_power_iteration(model, landscape, ranks,
+                                                            opts);
+    const double seconds = t.seconds();
+    if (!r.converged) {
+      std::cout << "ranks=" << ranks << ": did not converge\n";
+      continue;
+    }
+    const double products = static_cast<double>(r.iterations);
+    const double messages_per =
+        static_cast<double>(r.traffic.messages) / products;
+    const double mb_per = static_cast<double>(r.traffic.doubles_moved) * 8.0 /
+                          (1024.0 * 1024.0) / products;
+    const std::size_t block = sequence_count(nu) / ranks;
+
+    table.add_row({std::to_string(ranks), std::to_string(block),
+                   format_short(seconds), std::to_string(r.iterations),
+                   format_short(messages_per), format_short(mb_per),
+                   format_short(r.eigenvalue)});
+    csv.row().cell(std::size_t{ranks}).cell(block).cell(seconds)
+        .cell(std::size_t{r.iterations}).cell(messages_per).cell(mb_per)
+        .cell(r.eigenvalue);
+    csv.end_row();
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: identical lambda_0 and iteration count at "
+               "every rank count (the decomposition is exact); messages per "
+               "product = P * log2(P); data volume per product = "
+               "2 N log2(P) doubles; per-rank memory = N/P.\n";
+  return 0;
+}

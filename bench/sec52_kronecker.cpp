@@ -1,0 +1,121 @@
+// Section 5.2 reproduction: Kronecker-landscape decoupling.
+//
+// A Kronecker landscape F = (x)_i F_i decouples W = Q F into g independent
+// subproblems of size 2^{nu/g}: the multiplicative cost 2^nu becomes the
+// additive cost g * 2^{nu/g}.  This bench solves one problem with
+// increasing group counts g and compares against the full Pi(Fmmp) solve,
+// then demonstrates the paper's motivating scenario: a chain length far
+// beyond storage (nu = 100 as Kronecker subproblems), including the
+// per-error-class min/max concentrations extracted from the implicit
+// eigenvector.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/kronecker_solver.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+qs::core::KroneckerLandscape make_landscape(unsigned nu, unsigned groups,
+                                            std::uint64_t seed) {
+  // Per-group analogue of the paper's random landscape (Eq. 13): an
+  // isolated master motif per group over random background fitness.  (An
+  // isolated peak keeps the spectral gap healthy; iid fitness values with
+  // no peak cluster the top of the spectrum and no power-type method — the
+  // paper's included — converges in reasonable time.)
+  qs::Xoshiro256 rng(seed);
+  const unsigned bits = nu / groups;
+  std::vector<std::vector<double>> factors;
+  for (unsigned g = 0; g < groups; ++g) {
+    std::vector<double> f(std::size_t{1} << bits);
+    for (double& v : f) v = rng.uniform(0.5, 1.5);
+    f[0] = 3.0;
+    factors.push_back(std::move(f));
+  }
+  return qs::core::KroneckerLandscape(std::move(factors));
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs;
+  const unsigned nu = std::min(20u, bench::env_unsigned("QS_BENCH_MAX_NU", 20));
+  const double p = 0.01;
+
+  std::cout << "# Section 5.2: Kronecker landscape decoupling, nu = " << nu
+            << ", p = " << p << "\n\n";
+
+  TextTable table({"groups g", "subproblem size", "kron solve [s]",
+                   "full Pi(Fmmp) [s]", "speedup", "lambda rel diff",
+                   "max |x diff|"});
+  CsvWriter csv(std::cout);
+  csv.header({"groups", "sub_dim", "kron_s", "full_s", "speedup", "lambda_diff",
+              "vector_diff"});
+
+  const auto model = core::MutationModel::uniform(nu, p);
+  for (unsigned g : {1u, 2u, 4u, 5u}) {
+    if (nu % g != 0) continue;
+    const auto landscape = make_landscape(nu, g, 7);
+
+    Timer t_kron;
+    const auto kron = solvers::solve_kronecker(model, landscape);
+    const double kron_s = t_kron.seconds();
+
+    const auto full_landscape = landscape.expand();
+    const core::FmmpOperator op(model, full_landscape);
+    solvers::PowerOptions opts;
+    opts.shift = core::conservative_shift(model, full_landscape);
+    Timer t_full;
+    const auto full =
+        solvers::power_iteration(op, solvers::landscape_start(full_landscape), opts);
+    const double full_s = t_full.seconds();
+
+    const double lambda_diff =
+        std::abs(kron.eigenvalue() - full.eigenvalue) / full.eigenvalue;
+    const double vec_diff = linalg::max_abs_diff(kron.expand(), full.eigenvector);
+
+    table.add_row({std::to_string(g), "2^" + std::to_string(nu / g),
+                   format_short(kron_s), format_short(full_s),
+                   format_short(full_s / kron_s), format_short(lambda_diff),
+                   format_short(vec_diff)});
+    csv.row().cell(std::size_t{g}).cell(std::size_t{1} << (nu / g)).cell(kron_s)
+        .cell(full_s).cell(full_s / kron_s).cell(lambda_diff).cell(vec_diff);
+    csv.end_row();
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+
+  // The paper's flagship example: nu = 100 via g = 4 subproblems of 2^25
+  // would take minutes; g = 10 of 2^10 is instant and equally implicit.
+  std::cout << "\n# chain length nu = 100 (2^100 states — no full method can "
+               "exist), g = 10 subproblems of 2^10:\n";
+  const unsigned big_nu = 100;
+  const auto big_model = core::MutationModel::uniform(big_nu, 0.005);
+  const auto big_landscape = make_landscape(big_nu, 10, 99);
+  Timer t_big;
+  const auto big = solvers::solve_kronecker(big_model, big_landscape);
+  const double big_s = t_big.seconds();
+  std::cout << "solved in " << big_s << " s, lambda = " << big.eigenvalue() << "\n";
+  const auto classes = big.class_concentrations();
+  const auto min_max = big.class_min_max();
+  TextTable big_table({"class k", "[Gk]", "min x_i in Gk", "max x_i in Gk"});
+  for (unsigned k : {0u, 1u, 2u, 5u, 10u, 25u, 50u}) {
+    big_table.add_row({std::to_string(k), format_short(classes[k]),
+                       format_short(min_max[k].first),
+                       format_short(min_max[k].second)});
+  }
+  big_table.print(std::cout);
+  std::cout << "\nexpected shape: identical answers for every g, solve time "
+               "collapsing with g (additive instead of multiplicative cost); "
+               "the nu = 100 solve finishes in milliseconds with full "
+               "per-class information from the implicit eigenvector.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Generalized mutation processes (Section 2.2 of the paper).
+//
+// The classic quasispecies model assumes one uniform error rate p for every
+// position — "one of the well known points of criticism".  The fast product
+// only needs Kronecker structure, so this example builds three increasingly
+// realistic mutation models at identical asymptotic cost:
+//
+//   1. uniform          — the classic model (baseline),
+//   2. per-site         — a mutational hotspot plus transition/transversion
+//                         style asymmetry (0->1 more likely than 1->0),
+//   3. grouped          — two positions mutating dependently (at most one
+//                         of the pair flips per replication event).
+//
+// and compares the resulting quasispecies distributions.
+//
+//   $ ./custom_mutation [nu]
+#include <cstdlib>
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  const unsigned nu = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 12;
+  if (nu % 2 != 0) {
+    std::cerr << "nu must be even (the grouped model pairs positions)\n";
+    return 1;
+  }
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+
+  // 1. Classic uniform model.
+  const auto uniform = core::MutationModel::uniform(nu, 0.01);
+
+  // 2. Per-site: position nu/2 is a 10x hotspot, and all positions mutate
+  //    0 -> 1 twice as often as 1 -> 0 (think deamination pressure).
+  std::vector<transforms::Factor2> sites;
+  for (unsigned k = 0; k < nu; ++k) {
+    const double base = (k == nu / 2) ? 0.1 : 0.01;
+    sites.push_back(core::asymmetric_site(/*p01=*/base, /*p10=*/base / 2.0));
+  }
+  const auto per_site = core::MutationModel::per_site(sites);
+
+  // 3. Grouped: adjacent position pairs are coupled — a replication event
+  //    flips at most one of the two with total probability 0.02.
+  std::vector<linalg::DenseMatrix> groups;
+  for (unsigned g = 0; g < nu / 2; ++g) {
+    groups.push_back(core::coupled_single_flip_group(2, 0.02));
+  }
+  const auto grouped = core::MutationModel::grouped(std::move(groups));
+
+  struct Row {
+    const char* name;
+    const core::MutationModel* model;
+  };
+  const Row rows[] = {{"uniform p=0.01", &uniform},
+                      {"per-site hotspot+asymmetric", &per_site},
+                      {"grouped pair-coupled", &grouped}};
+
+  std::cout << "single-peak landscape, nu = " << nu << ": how the mutation "
+            << "model shapes the quasispecies\n\n"
+            << "model                          lambda_0     x_master    [G1]"
+               "        time[s]   iters\n";
+  for (const auto& row : rows) {
+    Timer t;
+    const auto result = solvers::solve(*row.model, landscape);
+    std::printf("%-30s %-12.8f %-11.6f %-11.6f %-9.4f %u\n", row.name,
+                result.eigenvalue, result.concentrations[0],
+                result.class_concentrations[1], t.seconds(), result.iterations);
+  }
+
+  std::cout << "\nnotes:\n"
+            << "  * the hotspot drains concentration from the master faster "
+               "than the uniform model at the same typical rate;\n"
+            << "  * the asymmetric 0->1 pressure skews the mutant cloud "
+               "towards high Hamming classes;\n"
+            << "  * the coupled pairs lower the total per-genome mutation "
+               "yield (at most one flip per pair), stabilising the master;\n"
+            << "  * all three run through the same Theta(N log2 N) product — "
+               "generality is free (Section 2.2).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Finite populations: stochastic Wright-Fisher dynamics vs the
+// deterministic quasispecies.
+//
+// The eigenvector describes an infinite population.  Real virus populations
+// are finite, and the reference [11] of the paper (Nowak & Schuster 1989)
+// showed that finiteness effectively *lowers* the error threshold: random
+// drift destroys the ordered phase before the deterministic p_max is
+// reached.  This example simulates Wright-Fisher populations of increasing
+// size at a fixed error rate near the threshold and shows the convergence
+// to the deterministic prediction as N_pop grows.
+//
+//   $ ./finite_population [nu] [p]
+#include <cstdlib>
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  const unsigned nu = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.04;
+
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+
+  // Deterministic reference (infinite population).
+  const auto deterministic = solvers::solve(model, landscape);
+  const double det_master = deterministic.class_concentrations[0];
+  std::cout << "single peak, nu = " << nu << ", p = " << p
+            << " (deterministic threshold p_max ~ " << std::log(2.0) / nu << ")\n"
+            << "deterministic master-class concentration [Gamma_0] = "
+            << det_master << "\n\n";
+
+  std::cout << "Wright-Fisher simulations (time average over the second half "
+               "of 400 generations):\n"
+            << "  N_pop     [Gamma_0]     relative deviation\n";
+  for (std::uint64_t n_pop : {100ull, 1000ull, 10000ull, 100000ull}) {
+    stochastic::WrightFisher wf(model, landscape, 1234 + n_pop);
+    auto population = stochastic::Population::monomorphic(nu, n_pop);
+    const auto average = wf.run(population, 400, 200);
+    const auto classes = analysis::class_concentrations(nu, average);
+    std::cout << "  " << n_pop << "     " << classes[0] << "      "
+              << std::abs(classes[0] - det_master) / det_master << "\n";
+  }
+
+  std::cout << "\nexpected shape: the deviation shrinks roughly like "
+               "1/sqrt(N_pop); small populations lose the master class to "
+               "drift (the finite-population threshold shift of Nowak & "
+               "Schuster).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Chain lengths beyond any explicit method: Kronecker landscapes
+// (Section 5.2 of the paper).
+//
+// A chain of nu = 100 positions has 2^100 ~ 1.3e30 species — no vector of
+// that length will ever be stored.  If the fitness landscape factorises
+// over groups of positions, the problem decouples exactly: the dominant
+// eigenvector is the Kronecker product of per-group eigenvectors, kept
+// implicit, and every quantity of interest (single concentrations, class
+// totals, per-class extremes) is queried from the factors.
+//
+//   $ ./long_chain_kronecker [nu] [groups]
+#include <cstdlib>
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  const unsigned nu = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 100;
+  const unsigned groups = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 10;
+  if (nu % groups != 0) {
+    std::cerr << "groups must divide nu\n";
+    return 1;
+  }
+  const unsigned bits = nu / groups;
+  const double p = 0.002;
+
+  // Each group gets its own fitness factor: a peak within the group plus
+  // random variation — the product structure models independently
+  // contributing genome regions.
+  Xoshiro256 rng(7);
+  std::vector<std::vector<double>> factors;
+  for (unsigned g = 0; g < groups; ++g) {
+    std::vector<double> f(std::size_t{1} << bits);
+    for (double& v : f) v = rng.uniform(0.8, 1.2);
+    f[0] = 1.5;  // group-local master motif
+    factors.push_back(std::move(f));
+  }
+  const core::KroneckerLandscape landscape(std::move(factors));
+  const auto model = core::MutationModel::uniform(nu, p);
+
+  std::cout << "chain length nu = " << nu << "  (2^" << nu
+            << " species — far beyond storage), " << groups
+            << " groups of 2^" << bits << "\n";
+  Timer t;
+  const auto result = solvers::solve_kronecker(model, landscape);
+  std::cout << "solved " << groups << " decoupled subproblems in " << t.seconds()
+            << " s\n"
+            << "dominant eigenvalue lambda_0 = " << result.eigenvalue() << "\n\n";
+
+  std::cout << "implicit eigenvector queries:\n"
+            << "  master sequence concentration x_0 = " << result.concentration(0)
+            << "\n"
+            << "  single mutant (bit 0) x_1        = " << result.concentration(1)
+            << "\n\n";
+
+  const auto classes = result.class_concentrations();
+  const auto extremes = result.class_min_max();
+  std::cout << "error classes of the full " << nu << "-bit problem (exact, via "
+               "the factor DP — no 2^nu work):\n"
+            << "  k     [Gamma_k]      min x in class   max x in class\n";
+  for (unsigned k : {0u, 1u, 2u, 3u, 5u, 10u, nu / 2, nu}) {
+    std::cout << "  " << k << "     " << classes[k] << "     "
+              << extremes[k].first << "     " << extremes[k].second << "\n";
+  }
+
+  double mass = 0.0;
+  for (double c : classes) mass += c;
+  std::cout << "\ntotal probability mass across classes: " << mass
+            << " (must be 1)\n"
+            << "\nThe same population modelled per-class only (Section 5.1 "
+               "reduction) would need the landscape to be a function of the "
+               "Hamming distance; Kronecker landscapes keep "
+            << groups << " * 2^" << bits << " = " << groups * (1u << bits)
+            << " independent fitness degrees of freedom instead of " << nu + 1
+            << ".\n";
+  return 0;
+}

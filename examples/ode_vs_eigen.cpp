@@ -1,0 +1,68 @@
+// The quasispecies as the long-time limit of Eigen's replicator-mutator
+// ODE (Eq. (1) of the paper).
+//
+// The eigenvector formulation and the dynamical formulation must agree:
+// integrating dx/dt = Q F x - Phi x from the pure-master initial condition
+// converges to the dominant eigenvector of W = Q F, and the mean fitness
+// Phi(t) converges to the dominant eigenvalue.  This example runs both and
+// prints the trajectory of the approach to equilibrium.
+//
+//   $ ./ode_vs_eigen [nu] [p]
+#include <cstdlib>
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  const unsigned nu = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.02;
+
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 123);
+
+  // Eigen path: shifted power iteration on Fmmp.
+  Timer t_eigen;
+  const auto eigen_result = solvers::solve(model, landscape);
+  std::cout << "eigen solver:  lambda_0 = " << eigen_result.eigenvalue << "  ("
+            << t_eigen.seconds() << " s, " << eigen_result.iterations
+            << " iterations)\n";
+
+  // ODE path: integrate from x_0 = 1 and watch Phi(t) -> lambda_0.
+  const ode::ReplicatorODE replicator(model, landscape);
+  auto x = replicator.master_start();
+  std::vector<double> dx(x.size());
+
+  std::cout << "\nODE trajectory (adaptive RKF45 from the pure-master state):\n"
+            << "  t        Phi(t)      ||dx/dt||_inf   distance to eigenvector\n";
+  double t_now = 0.0;
+  double dt = 1e-2;
+  ode::AdaptiveOptions step_opts;
+  const double t_marks[] = {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0};
+  std::size_t mark = 0;
+  while (mark < std::size(t_marks)) {
+    t_now += ode::rkf45_step(replicator, x, dt, step_opts);
+    if (t_now >= t_marks[mark]) {
+      const double phi = replicator.derivative(x, dx);
+      std::cout << "  " << t_marks[mark] << "     " << phi << "   "
+                << linalg::norm_inf(dx) << "    "
+                << linalg::max_abs_diff(x, eigen_result.concentrations) << "\n";
+      ++mark;
+    }
+  }
+
+  // Drive fully to stationarity and compare.
+  ode::StationaryOptions stat;
+  stat.derivative_tol = 1e-12;
+  const auto stationary = ode::integrate_to_stationary(replicator, x, stat);
+  std::cout << "\nstationary state reached at t = " << stationary.time << " ("
+            << stationary.steps << " further steps)\n"
+            << "  Phi_infinity = " << stationary.mean_fitness
+            << "  vs eigen lambda_0 = " << eigen_result.eigenvalue << "\n"
+            << "  max |x_ode - x_eigen| = "
+            << linalg::max_abs_diff(x, eigen_result.concentrations) << "\n"
+            << "\nThe agreement validates both machineries against each other: "
+               "the ODE integrator rides on the same fast mutation matrix "
+               "product, so even dynamics cost Theta(N log2 N) per step.\n";
+  return 0;
+}

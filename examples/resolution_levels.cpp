@@ -1,0 +1,86 @@
+// Resolution levels: marginal concentrations and linkage (the paper's
+// concluding future-work item, implemented).
+//
+// "…efficient methods which allow for computing quasispecies concentrations
+// at various resolution levels."  Full per-sequence resolution is one
+// extreme and error classes the other; in between sit *marginals*: the
+// joint concentration of a chosen subset of positions with everything else
+// summed out.  This example shows three levels on one problem —
+// per-sequence, two-site joint (with linkage disequilibrium), and error
+// classes — and then answers the same marginal queries on a chain of
+// nu = 60 through a Kronecker landscape, where the implicit eigenvector
+// makes them exact without ever forming 2^60 concentrations.
+//
+//   $ ./resolution_levels
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+int main() {
+  using namespace qs;
+
+  // --- Explicit vector, nu = 12 ------------------------------------------
+  const unsigned nu = 12;
+  const double p = 0.02;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const auto result = solvers::solve(model, landscape);
+  if (!result.converged) {
+    std::cerr << "solve failed\n";
+    return 1;
+  }
+
+  std::cout << "single peak, nu = " << nu << ", p = " << p << "\n\n"
+            << "level 1 — single sequences: x_0 = " << result.concentrations[0]
+            << ", x_1 = " << result.concentrations[1] << "\n\n";
+
+  std::cout << "level 2 — two-site joint (positions 0 and 1):\n";
+  const auto joint =
+      analysis::marginal_distribution(nu, result.concentrations, 0b11);
+  std::cout << "  P(00) = " << joint[0] << "  P(10) = " << joint[1]
+            << "  P(01) = " << joint[2] << "  P(11) = " << joint[3] << "\n"
+            << "  linkage D = "
+            << analysis::linkage_disequilibrium(nu, result.concentrations, 0, 1)
+            << "  (mutations co-occur: the cloud is centred on the master)\n"
+            << "  site correlation rho = "
+            << analysis::site_correlation(nu, result.concentrations, 0, 1)
+            << "\n\n";
+
+  std::cout << "level 3 — error classes: [G0..G4] = ";
+  for (unsigned k = 0; k <= 4; ++k) std::cout << result.class_concentrations[k] << " ";
+  std::cout << "\n\nlevel 4 — population scalars: consensus = X_"
+            << analysis::consensus_sequence(nu, result.concentrations)
+            << ", cloud radius = "
+            << analysis::mean_hamming_distance(nu, result.concentrations)
+            << ", mutational load = "
+            << analysis::mutational_load(landscape, result.concentrations) << "\n\n";
+
+  // --- Implicit (Kronecker), nu = 60 --------------------------------------
+  const unsigned big_nu = 60;
+  Xoshiro256 rng(5);
+  std::vector<std::vector<double>> factors;
+  for (unsigned g = 0; g < 10; ++g) {
+    std::vector<double> f(64);
+    for (double& v : f) v = rng.uniform(0.8, 1.2);
+    f[0] = 1.6;
+    factors.push_back(std::move(f));
+  }
+  const core::KroneckerLandscape big_landscape(std::move(factors));
+  const auto big_model = core::MutationModel::uniform(big_nu, 0.004);
+  const auto kron = solvers::solve_kronecker(big_model, big_landscape);
+
+  std::cout << "nu = " << big_nu << " (2^60 ~ 1.2e18 species, implicit "
+            << "eigenvector): the same queries, exactly, from the factors\n";
+  const seq_t mask = (seq_t{1} << 0) | (seq_t{1} << 30) | (seq_t{1} << 59);
+  const auto big_marginal = kron.marginal_distribution(mask);
+  std::cout << "  joint of positions {0, 30, 59}:\n";
+  for (std::size_t c = 0; c < big_marginal.size(); ++c) {
+    std::cout << "    config " << c << ": " << big_marginal[c] << "\n";
+  }
+  const auto classes = kron.class_concentrations();
+  std::cout << "  error classes [G0..G3]: " << classes[0] << " " << classes[1]
+            << " " << classes[2] << " " << classes[3] << "\n"
+            << "\nevery number above at nu = 60 came from O(g * 2^g) factor "
+               "work — no 2^nu object was ever formed.\n";
+  return 0;
+}

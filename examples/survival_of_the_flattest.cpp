@@ -1,0 +1,87 @@
+// Survival of the flattest: two competing quasispecies.
+//
+// A classic prediction of quasispecies theory (Schuster & Swetina 1988;
+// Wilke et al. 2001): a *lower* fitness peak surrounded by a neutral
+// plateau can outcompete a *higher* but sharper peak once the error rate is
+// large, because selection acts on the mutant cloud's average replication
+// rate, not on the peak height alone.  This example builds a two-peak
+// landscape — a sharp peak at the master sequence against a flat plateau at
+// the antipodal sequence — sweeps the error rate, and locates the crossover
+// where the flat region takes over.
+//
+//   $ ./survival_of_the_flattest [nu]
+#include <cstdlib>
+#include <iostream>
+
+#include "quasispecies.hpp"
+
+namespace {
+
+/// Total concentration within Hamming distance `radius` of `center`.
+double region_mass(std::span<const double> x, qs::seq_t center,
+                   unsigned radius) {
+  double mass = 0.0;
+  for (qs::seq_t i = 0; i < x.size(); ++i) {
+    if (qs::hamming_distance(i, center) <= radius) mass += x[i];
+  }
+  return mass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  const unsigned nu = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  const seq_t sharp_master = 0;
+  const seq_t flat_master = sequence_count(nu) - 1;  // antipode
+
+  // Sharp peak: fitness 4.0 on one sequence.  Flat peak: fitness 3.0 on the
+  // antipode AND all its one-mutant neighbours (a neutral plateau of nu+1
+  // sequences).  Background 1.0.
+  std::vector<double> values(sequence_count(nu), 1.0);
+  values[sharp_master] = 4.0;
+  values[flat_master] = 3.0;
+  for (unsigned b = 0; b < nu; ++b) values[flat_master ^ (seq_t{1} << b)] = 3.0;
+  const auto landscape = core::Landscape::from_values(nu, std::move(values));
+
+  std::cout << "survival of the flattest, nu = " << nu
+            << ": sharp peak f = 4.0 (1 sequence) vs flat peak f = 3.0 ("
+            << nu + 1 << " sequences)\n\n"
+            << "  p        lambda_0   mass(sharp r<=2)  mass(flat r<=2)  winner\n";
+
+  double crossover_lo = 0.0, crossover_hi = 0.0;
+  bool sharp_was_winning = true;
+  for (double p : {0.002, 0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.1, 0.13}) {
+    const auto model = core::MutationModel::uniform(nu, p);
+    solvers::SolveOptions opts;
+    opts.tolerance = 1e-10;  // the gap closes near the crossover
+    const auto r = solvers::solve(model, landscape, opts);
+    const double sharp_mass = region_mass(r.concentrations, sharp_master, 2);
+    const double flat_mass = region_mass(r.concentrations, flat_master, 2);
+    const bool sharp_wins = sharp_mass > flat_mass;
+    std::printf("  %.3f    %.5f    %.4f            %.4f           %s\n", p,
+                r.eigenvalue, sharp_mass, flat_mass,
+                sharp_wins ? "sharp (higher)" : "FLAT (lower!)");
+    if (sharp_was_winning && !sharp_wins && crossover_hi == 0.0) {
+      crossover_hi = p;
+    }
+    if (sharp_wins) crossover_lo = p;
+    sharp_was_winning = sharp_wins;
+  }
+
+  if (crossover_hi > 0.0) {
+    std::cout << "\ncrossover between p = " << crossover_lo << " and p = "
+              << crossover_hi
+              << ": beyond it the *lower* peak wins on mutational "
+                 "robustness — selection acts on the quasispecies (cloud), "
+                 "not the single fittest sequence.  This is only computable "
+                 "because the landscape is fully general (two peaks + "
+                 "plateau fit no error-class or Kronecker structure): "
+                 "exactly the regime the paper's fast general solver opens "
+                 "up.\n";
+  } else {
+    std::cout << "\nno crossover in the scanned range (increase nu or flatten "
+                 "the plateau).\n";
+  }
+  return 0;
+}

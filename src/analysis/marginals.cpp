@@ -1,0 +1,65 @@
+#include "analysis/marginals.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::analysis {
+
+seq_t pack_configuration(seq_t sequence, seq_t mask) {
+  seq_t packed = 0;
+  unsigned out_bit = 0;
+  while (mask != 0) {
+    const seq_t low = mask & (~mask + 1);  // lowest mask bit
+    if (sequence & low) packed |= (seq_t{1} << out_bit);
+    ++out_bit;
+    mask &= mask - 1;
+  }
+  return packed;
+}
+
+std::vector<double> marginal_distribution(unsigned nu, std::span<const double> x,
+                                          seq_t mask) {
+  require(x.size() == sequence_count(nu),
+          "marginal_distribution: size must be 2^nu");
+  require(mask != 0 && mask < sequence_count(nu),
+          "marginal_distribution: mask must select positions within nu bits");
+  const unsigned bits = hamming_weight(mask);
+  require(bits <= 24, "marginal_distribution: mask selects too many positions");
+
+  std::vector<double> marginal(std::size_t{1} << bits, 0.0);
+  for (seq_t i = 0; i < x.size(); ++i) {
+    marginal[pack_configuration(i, mask)] += x[i];
+  }
+  return marginal;
+}
+
+double linkage_disequilibrium(unsigned nu, std::span<const double> x, unsigned i,
+                              unsigned j) {
+  require(i < nu && j < nu && i != j,
+          "linkage_disequilibrium: need two distinct positions below nu");
+  const seq_t mask = (seq_t{1} << i) | (seq_t{1} << j);
+  const auto joint = marginal_distribution(nu, x, mask);
+  // Configuration order (ascending mask bits): index bit 0 = lower position.
+  const double p_i = joint[1] + joint[3];  // lower-position bit set
+  const double p_j = joint[2] + joint[3];  // higher-position bit set
+  const double p_ij = joint[3];
+  // D is symmetric in the two positions, so the lower/higher distinction
+  // does not matter.
+  return p_ij - p_i * p_j;
+}
+
+double site_correlation(unsigned nu, std::span<const double> x, unsigned i,
+                        unsigned j) {
+  const seq_t mask = (seq_t{1} << std::min(i, j)) | (seq_t{1} << std::max(i, j));
+  const auto joint = marginal_distribution(nu, x, mask);
+  const double p_a = joint[1] + joint[3];
+  const double p_b = joint[2] + joint[3];
+  const double var_a = p_a * (1.0 - p_a);
+  const double var_b = p_b * (1.0 - p_b);
+  require(var_a > 0.0 && var_b > 0.0,
+          "site_correlation: both positions must be polymorphic");
+  return (joint[3] - p_a * p_b) / std::sqrt(var_a * var_b);
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,47 @@
+// Resolution levels: marginal concentrations over subsets of positions.
+//
+// The paper's conclusion lists "efficient methods which allow for computing
+// quasispecies concentrations at various resolution levels" as future work.
+// These are exactly the marginals of the stationary distribution: instead
+// of all 2^nu species, observe only the positions in a mask and accumulate
+// everything else — e.g. the joint distribution of two epistatically
+// interacting sites, or of one gene's positions out of the whole genome.
+// Explicit vectors marginalise in one O(N) pass; Kronecker-implicit results
+// marginalise factor by factor without ever touching 2^nu states (see
+// solvers::KroneckerResult::marginal_distribution).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace qs::analysis {
+
+/// Marginal distribution over the positions set in `mask`: out[c] is the
+/// total concentration of all sequences whose mask-bits spell the
+/// configuration c (bits of c packed in ascending mask-bit order).
+/// Requires x.size() == 2^nu, mask != 0, mask < 2^nu, and popcount(mask)
+/// <= 24 (output table size).
+std::vector<double> marginal_distribution(unsigned nu, std::span<const double> x,
+                                          seq_t mask);
+
+/// Packs the mask-selected bits of `sequence` into a dense configuration
+/// index (ascending mask-bit order) — the indexing used by
+/// marginal_distribution.
+seq_t pack_configuration(seq_t sequence, seq_t mask);
+
+/// Linkage disequilibrium between positions i and j:
+/// D = P(bit_i = 1, bit_j = 1) - P(bit_i = 1) P(bit_j = 1).
+/// Zero iff the two positions are statistically independent in the
+/// population; the quasispecies cloud around a single peak is correlated
+/// (D != 0) even though mutation acts independently per site.
+double linkage_disequilibrium(unsigned nu, std::span<const double> x, unsigned i,
+                              unsigned j);
+
+/// Pearson correlation of the indicator variables of positions i and j
+/// (normalised linkage, in [-1, 1]). Requires both sites polymorphic.
+double site_correlation(unsigned nu, std::span<const double> x, unsigned i,
+                        unsigned j);
+
+}  // namespace qs::analysis

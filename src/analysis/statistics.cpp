@@ -1,0 +1,78 @@
+#include "analysis/statistics.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::analysis {
+
+seq_t consensus_sequence(unsigned nu, std::span<const double> x) {
+  const auto freq = site_frequencies(nu, x);
+  seq_t consensus = 0;
+  for (unsigned k = 0; k < nu; ++k) {
+    if (freq[k] > 0.5) consensus |= (seq_t{1} << k);
+  }
+  return consensus;
+}
+
+std::vector<double> site_frequencies(unsigned nu, std::span<const double> x) {
+  require(x.size() == sequence_count(nu), "site_frequencies: size must be 2^nu");
+  std::vector<double> freq(nu, 0.0);
+  for (seq_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) continue;
+    seq_t bits = i;
+    while (bits != 0) {
+      const unsigned k = log2_exact(bits & (~bits + 1));
+      freq[k] += x[i];
+      bits &= bits - 1;
+    }
+  }
+  return freq;
+}
+
+double mean_hamming_distance(unsigned nu, std::span<const double> x,
+                             seq_t reference) {
+  require(x.size() == sequence_count(nu),
+          "mean_hamming_distance: size must be 2^nu");
+  double mean = 0.0;
+  for (seq_t i = 0; i < x.size(); ++i) {
+    mean += static_cast<double>(hamming_distance(i, reference)) * x[i];
+  }
+  return mean;
+}
+
+double hamming_distance_variance(unsigned nu, std::span<const double> x,
+                                 seq_t reference) {
+  const double mean = mean_hamming_distance(nu, x, reference);
+  double second = 0.0;
+  for (seq_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(hamming_distance(i, reference));
+    second += d * d * x[i];
+  }
+  return std::max(second - mean * mean, 0.0);
+}
+
+double mean_fitness(const core::Landscape& landscape, std::span<const double> x) {
+  require(x.size() == landscape.dimension(), "mean_fitness: dimension mismatch");
+  double phi = 0.0;
+  const auto f = landscape.values();
+  for (std::size_t i = 0; i < x.size(); ++i) phi += f[i] * x[i];
+  return phi;
+}
+
+double mutational_load(const core::Landscape& landscape, std::span<const double> x) {
+  const double phi = mean_fitness(landscape, x);
+  return (landscape.max_fitness() - phi) / landscape.max_fitness();
+}
+
+std::vector<double> selection_coefficients(const core::Landscape& landscape,
+                                           std::span<const double> x) {
+  const double phi = mean_fitness(landscape, x);
+  require(phi > 0.0, "selection_coefficients: mean fitness must be positive");
+  const auto f = landscape.values();
+  std::vector<double> s(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) s[i] = f[i] / phi - 1.0;
+  return s;
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,51 @@
+// Population-genetics observables of a quasispecies distribution.
+//
+// Quantities the virology literature reads off the stationary distribution
+// (Schuster's reviews [13, 15] of the paper): consensus sequence, mutant
+// cloud geometry, mutational load, and per-sequence selection coefficients.
+// All run in O(N) or O(N nu) over an explicit concentration vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "support/bits.hpp"
+
+namespace qs::analysis {
+
+/// Consensus sequence: the majority bit at every position, concentration
+/// weighted.  For the quasispecies this usually equals the master sequence
+/// even when the master's own concentration is far below 1/2.
+/// Requires x.size() == 2^nu and sum(x) ~ 1.
+seq_t consensus_sequence(unsigned nu, std::span<const double> x);
+
+/// Per-position frequency of the mutant bit (1): out[k] = sum of x_i over
+/// sequences with bit k set.  The RNA-virus "site frequency spectrum".
+std::vector<double> site_frequencies(unsigned nu, std::span<const double> x);
+
+/// Mean Hamming distance of the population from `reference` — the mutant
+/// cloud's radius around the master sequence.
+double mean_hamming_distance(unsigned nu, std::span<const double> x,
+                             seq_t reference = 0);
+
+/// Population variance of the Hamming distance from `reference` (cloud
+/// width).
+double hamming_distance_variance(unsigned nu, std::span<const double> x,
+                                 seq_t reference = 0);
+
+/// Mean population fitness sum_i f_i x_i.  At the stationary distribution
+/// this equals the dominant eigenvalue lambda_0.
+double mean_fitness(const core::Landscape& landscape, std::span<const double> x);
+
+/// Mutational load: the relative fitness loss against a mutation-free
+/// population sitting on the fittest sequence,
+/// L = (f_max - mean_fitness) / f_max in [0, 1).
+double mutational_load(const core::Landscape& landscape, std::span<const double> x);
+
+/// Selection coefficient of each sequence against the population mean:
+/// s_i = f_i / mean_fitness - 1 (positive = currently favoured).
+std::vector<double> selection_coefficients(const core::Landscape& landscape,
+                                           std::span<const double> x);
+
+}  // namespace qs::analysis

@@ -1,0 +1,104 @@
+#include "analysis/sweep.hpp"
+
+#include "analysis/error_classes.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/power_iteration.hpp"
+#include "solvers/reduced_solver.hpp"
+#include "support/contracts.hpp"
+#include "support/csv.hpp"
+
+namespace qs::analysis {
+
+std::vector<double> error_rate_grid(double lo, double hi, std::size_t count) {
+  require(count >= 2, "error_rate_grid: need at least two points");
+  require(lo > 0.0 && lo < hi && hi <= 0.5, "error_rate_grid: need 0 < lo < hi <= 1/2");
+  std::vector<double> grid(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    grid[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  }
+  return grid;
+}
+
+SweepResult sweep_error_rates(const core::ErrorClassLandscape& landscape,
+                              std::span<const double> error_rates) {
+  require(!error_rates.empty(), "sweep_error_rates: empty grid");
+  SweepResult out;
+  out.error_rates.assign(error_rates.begin(), error_rates.end());
+  out.class_concentrations.reserve(error_rates.size());
+  out.eigenvalues.reserve(error_rates.size());
+  for (double p : error_rates) {
+    const auto r = solvers::solve_reduced(p, landscape);
+    out.class_concentrations.push_back(r.class_concentrations);
+    out.eigenvalues.push_back(r.eigenvalue);
+  }
+  return out;
+}
+
+SweepResult sweep_error_rates(const core::Landscape& landscape,
+                              std::span<const double> error_rates,
+                              const SweepOptions& options) {
+  require(!error_rates.empty(), "sweep_error_rates: empty grid");
+  const unsigned nu = landscape.nu();
+
+  SweepResult out;
+  out.error_rates.assign(error_rates.begin(), error_rates.end());
+
+  std::vector<double> previous, before_previous;
+  for (double p : error_rates) {
+    const auto model = core::MutationModel::uniform(nu, p);
+    const core::FmmpOperator op(model, landscape, core::Formulation::right,
+                                options.engine);
+    solvers::PowerOptions popts;
+    popts.tolerance = options.tolerance;
+    popts.max_iterations = options.max_iterations;
+    popts.engine = options.engine;
+    if (options.use_shift) {
+      popts.shift = core::conservative_shift(model, landscape);
+    }
+
+    // Continuation start for this grid point.
+    std::vector<double> start;
+    if (!options.warm_start || previous.empty()) {
+      start = solvers::landscape_start(landscape);
+    } else if (options.extrapolate && !before_previous.empty()) {
+      // Secant extrapolation, clamped positive (the eigenvector moves
+      // smoothly with p, so the linear prediction lands very close).
+      start.resize(previous.size());
+      for (std::size_t i = 0; i < start.size(); ++i) {
+        start[i] = std::max(2.0 * previous[i] - before_previous[i], 1e-300);
+      }
+      linalg::normalize1(start);
+    } else {
+      start = previous;
+    }
+
+    auto r = solvers::power_iteration(op, start, popts);
+    require(r.converged, "sweep_error_rates: power iteration failed to converge");
+    out.total_iterations += r.iterations;
+    out.class_concentrations.push_back(class_concentrations(nu, r.eigenvector));
+    out.eigenvalues.push_back(r.eigenvalue);
+    before_previous = std::move(previous);
+    previous = std::move(r.eigenvector);
+  }
+  return out;
+}
+
+void write_sweep_csv(const SweepResult& sweep, std::ostream& out) {
+  require(!sweep.class_concentrations.empty(), "write_sweep_csv: empty sweep");
+  const std::size_t classes = sweep.class_concentrations.front().size();
+  CsvWriter csv(out);
+  std::vector<std::string> header{"p"};
+  for (std::size_t k = 0; k < classes; ++k) header.push_back("G" + std::to_string(k));
+  header.push_back("eigenvalue");
+  csv.header(header);
+  for (std::size_t i = 0; i < sweep.error_rates.size(); ++i) {
+    csv.row().cell(sweep.error_rates[i]);
+    for (double c : sweep.class_concentrations[i]) csv.cell(c);
+    csv.cell(sweep.eigenvalues[i]);
+    csv.end_row();
+  }
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,63 @@
+// Error-rate sweeps: the data behind Figure 1 of the paper.
+//
+// For a fixed fitness landscape, the quasispecies problem is solved for a
+// grid of error rates p and the cumulative class concentrations [Gamma_k]
+// are collected; plotting them against p visualises the error threshold
+// phenomenon.  Error-class landscapes ride on the exact (nu+1) x (nu+1)
+// reduction (Section 5.1), so a full nu = 20 sweep costs milliseconds;
+// general landscapes run the Fmmp power iteration with warm starts (each
+// solution seeds the next grid point).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "parallel/engine.hpp"
+
+namespace qs::analysis {
+
+/// One sweep: rows are grid points, columns are error classes.
+struct SweepResult {
+  std::vector<double> error_rates;  ///< The p grid actually used.
+  std::vector<std::vector<double>> class_concentrations;  ///< Per p: [Gamma_0..nu].
+  std::vector<double> eigenvalues;  ///< Dominant eigenvalue per p.
+  std::size_t total_iterations = 0; ///< Power iterations summed over the grid
+                                    ///< (0 for reduced-solver sweeps).
+};
+
+/// Options for general-landscape sweeps.
+struct SweepOptions {
+  double tolerance = 1e-12;
+  unsigned max_iterations = 1000000;
+  bool use_shift = true;
+
+  /// Continuation strategy along the grid: each solve starts from the
+  /// previous eigenvector (warm start), optionally secant-extrapolated one
+  /// grid step forward — x(p_i) ~ 2 x(p_{i-1}) - x(p_{i-2}) — which tracks
+  /// the smooth drift of the quasispecies with p and cuts iterations again.
+  bool warm_start = true;
+  bool extrapolate = true;
+
+  const parallel::Engine* engine = nullptr;
+};
+
+/// Evenly spaced grid of `count` points in [lo, hi]. Requires count >= 2 and
+/// 0 < lo < hi <= 1/2.
+std::vector<double> error_rate_grid(double lo, double hi, std::size_t count);
+
+/// Sweeps an error-class landscape through the exact reduced solver.
+SweepResult sweep_error_rates(const core::ErrorClassLandscape& landscape,
+                              std::span<const double> error_rates);
+
+/// Sweeps a general landscape with the Fmmp-based power iteration; each grid
+/// point starts from the previous eigenvector.
+SweepResult sweep_error_rates(const core::Landscape& landscape,
+                              std::span<const double> error_rates,
+                              const SweepOptions& options = {});
+
+/// Emits the sweep as CSV: header "p,G0,...,Gnu,eigenvalue", one row per p.
+void write_sweep_csv(const SweepResult& sweep, std::ostream& out);
+
+}  // namespace qs::analysis

@@ -1,0 +1,97 @@
+#include "analysis/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/error_classes.hpp"
+#include "solvers/reduced_solver.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::analysis {
+
+double uniformity_distance(unsigned nu, std::span<const double> class_conc) {
+  require(class_conc.size() == nu + 1, "uniformity_distance: need nu + 1 classes");
+  const std::vector<double> uniform = uniform_class_concentrations(nu);
+  double worst = 0.0;
+  for (unsigned k = 0; k <= nu; ++k) {
+    worst = std::max(worst, std::abs(class_conc[k] - uniform[k]));
+  }
+  return worst;
+}
+
+namespace {
+
+double distance_at(const core::ErrorClassLandscape& landscape, double p) {
+  const auto r = solvers::solve_reduced(p, landscape);
+  return uniformity_distance(landscape.nu(), r.class_concentrations);
+}
+
+}  // namespace
+
+std::optional<double> find_error_threshold(const core::ErrorClassLandscape& landscape,
+                                           const ThresholdOptions& options) {
+  require(options.p_lo > 0.0 && options.p_lo < options.p_hi && options.p_hi <= 0.5,
+          "find_error_threshold: need 0 < p_lo < p_hi <= 1/2");
+  double lo = options.p_lo;
+  double hi = options.p_hi;
+  if (distance_at(landscape, lo) <= options.uniformity_tol) {
+    return std::nullopt;  // already uniform at the bracket start
+  }
+  if (distance_at(landscape, hi) > options.uniformity_tol) {
+    // p = 1/2 is exactly uniform, so this can only mean p_hi < 1/2 was
+    // chosen inside the ordered phase: widen to the model's limit.
+    hi = 0.5;
+    if (distance_at(landscape, hi) > options.uniformity_tol) return std::nullopt;
+  }
+  for (unsigned step = 0; step < options.bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    if (distance_at(landscape, mid) > options.uniformity_tol) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double transition_kink(const core::ErrorClassLandscape& landscape, double p_lo,
+                       double p_hi, std::size_t grid_points) {
+  require(p_lo > 0.0 && p_lo < p_hi && p_hi <= 0.5,
+          "transition_kink: need 0 < p_lo < p_hi <= 1/2");
+  require(grid_points >= 4, "transition_kink: need at least four grid points");
+
+  const double h = (p_hi - p_lo) / static_cast<double>(grid_points - 1);
+  std::vector<double> u(grid_points);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double p = p_lo + h * static_cast<double>(i);
+    u[i] = distance_at(landscape, p);
+  }
+  double kink = 0.0;
+  for (std::size_t i = 0; i + 2 < grid_points; ++i) {
+    const double slope_left = (u[i + 1] - u[i]) / h;
+    const double slope_right = (u[i + 2] - u[i + 1]) / h;
+    kink = std::max(kink, std::abs(slope_right - slope_left));
+  }
+  return kink;
+}
+
+double transition_sharpness(const core::ErrorClassLandscape& landscape, double p_lo,
+                            double p_hi, std::size_t grid_points) {
+  require(p_lo > 0.0 && p_lo < p_hi && p_hi <= 0.5,
+          "transition_sharpness: need 0 < p_lo < p_hi <= 1/2");
+  require(grid_points >= 3, "transition_sharpness: need at least three grid points");
+  double prev_p = p_lo;
+  double prev_g0 = solvers::solve_reduced(prev_p, landscape).class_concentrations[0];
+  double sharpest = 0.0;
+  for (std::size_t i = 1; i < grid_points; ++i) {
+    const double p = p_lo + (p_hi - p_lo) * static_cast<double>(i) /
+                                static_cast<double>(grid_points - 1);
+    const double g0 = solvers::solve_reduced(p, landscape).class_concentrations[0];
+    sharpest = std::max(sharpest, (prev_g0 - g0) / (p - prev_p));
+    prev_p = p;
+    prev_g0 = g0;
+  }
+  return sharpest;
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,54 @@
+// Error-threshold detection (the p_max of Figure 1).
+//
+// Below the critical error rate p_max the stationary distribution is
+// ordered (the master class dominates); above it the population collapses
+// to the uniform distribution (random replication).  We quantify order by
+// the uniformity distance max_k |[Gamma_k] - C(nu,k)/2^nu| and locate p_max
+// by bisection on the exact reduced solver.  Whether a *sharp* threshold
+// exists at all depends on the landscape (single peak: yes; linear: no) —
+// the transition sharpness measure below separates the two regimes.
+#pragma once
+
+#include <optional>
+
+#include "core/landscape.hpp"
+
+namespace qs::analysis {
+
+/// max_k |c_k - u_k| against the uniform class concentrations of chain
+/// length nu. Zero iff the population is exactly uniform per class.
+/// Requires c.size() == nu + 1.
+double uniformity_distance(unsigned nu, std::span<const double> class_conc);
+
+/// Options for threshold detection.
+struct ThresholdOptions {
+  double uniformity_tol = 1e-4;  ///< Distance below which "uniform" is declared.
+  double p_lo = 1e-4;            ///< Bracket lower end (must be ordered here).
+  double p_hi = 0.5;             ///< Bracket upper end (uniform here for p=1/2).
+  unsigned bisection_steps = 60; ///< Bisection refinement steps.
+};
+
+/// Locates p_max = inf { p : population uniform within tol } for an
+/// error-class landscape via the reduced solver.  Returns std::nullopt when
+/// the population is already uniform at p_lo (no ordered phase to leave).
+std::optional<double> find_error_threshold(const core::ErrorClassLandscape& landscape,
+                                           const ThresholdOptions& options = {});
+
+/// Transition sharpness: the maximum decrease of the master-class
+/// concentration [Gamma_0] per unit of p across the grid, i.e.
+/// max_i ([G0](p_i) - [G0](p_{i+1})) / (p_{i+1} - p_i).  Sharp-threshold
+/// landscapes score orders of magnitude higher than smooth ones.
+double transition_sharpness(const core::ErrorClassLandscape& landscape, double p_lo,
+                            double p_hi, std::size_t grid_points = 200);
+
+/// Kink strength of the order parameter: the error threshold is a phase
+/// transition, visible as a (finite-size-smoothed) slope discontinuity of
+/// the uniformity distance u(p) at p_max.  This estimates the largest jump
+/// of du/dp across one grid cell, max_i |u'(p_{i+1}) - u'(p_i)| with the
+/// derivative taken as a forward difference on a uniform grid.  Landscapes
+/// with a sharp threshold (single peak) score far above smooth ones
+/// (linear), where u(p) has a continuous derivative throughout.
+double transition_kink(const core::ErrorClassLandscape& landscape, double p_lo,
+                       double p_hi, std::size_t grid_points = 400);
+
+}  // namespace qs::analysis

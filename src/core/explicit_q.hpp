@@ -1,0 +1,30 @@
+// Explicit (dense) assembly of the model matrices for small chain lengths.
+//
+// Used for the Smvp baseline, for validating the implicit products, and for
+// the spectral tests of Section 2 (eigenvalues (1-2p)^k with multiplicities
+// C(nu, k)).  Assembly is O(N^2 nu) and restricted to small nu by an
+// explicit guard so a typo cannot silently allocate terabytes.
+#pragma once
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "core/operators.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::core {
+
+/// Largest nu for which dense assembly is permitted (2^14 x 2^14 doubles =
+/// 2 GiB; anything beyond that is a usage error for dense paths).
+inline constexpr unsigned kMaxDenseChainLength = 14;
+
+/// Dense mutation matrix Q. Requires model.nu() <= kMaxDenseChainLength.
+linalg::DenseMatrix build_q_dense(const MutationModel& model);
+
+/// Dense problem matrix in the requested formulation:
+/// right: Q F, symmetric: F^{1/2} Q F^{1/2}, left: F Q.
+/// Requires matching dimensions and nu <= kMaxDenseChainLength.
+linalg::DenseMatrix build_w_dense(const MutationModel& model,
+                                  const Landscape& landscape,
+                                  Formulation formulation = Formulation::right);
+
+}  // namespace qs::core

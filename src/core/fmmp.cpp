@@ -1,0 +1,68 @@
+#include "core/fmmp.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::core {
+
+FmmpOperator::FmmpOperator(MutationModel model, const Landscape& landscape,
+                           Formulation formulation, const parallel::Engine* engine,
+                           transforms::LevelOrder order)
+    : model_(std::move(model)),
+      landscape_(&landscape),
+      formulation_(formulation),
+      engine_(engine),
+      order_(order) {
+  require(model_.dimension() == landscape.dimension(),
+          "FmmpOperator: mutation model and landscape dimensions differ");
+  if (formulation_ == Formulation::symmetric) {
+    require(model_.symmetric(),
+            "FmmpOperator: symmetric formulation requires a symmetric mutation model");
+    sqrt_f_.resize(landscape.dimension());
+    const auto f = landscape.values();
+    for (std::size_t i = 0; i < sqrt_f_.size(); ++i) sqrt_f_[i] = std::sqrt(f[i]);
+  }
+}
+
+void FmmpOperator::apply(std::span<const double> x, std::span<double> y) const {
+  require(x.size() == dimension() && y.size() == dimension(),
+          "FmmpOperator::apply: dimension mismatch");
+  require(x.data() != y.data(), "FmmpOperator::apply: x and y must not alias");
+
+  const auto f = landscape_->values();
+
+  // Pre-scaling into y (the butterfly then runs in place on y).
+  switch (formulation_) {
+    case Formulation::right:  // W x = Q (F x)
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = f[i] * x[i];
+      break;
+    case Formulation::symmetric:  // W x = F^{1/2} Q (F^{1/2} x)
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = sqrt_f_[i] * x[i];
+      break;
+    case Formulation::left:  // W x = F (Q x)
+      linalg::copy(x, y);
+      break;
+  }
+
+  if (engine_ != nullptr) {
+    model_.apply(y, *engine_);
+  } else {
+    model_.apply(y, order_);
+  }
+
+  // Post-scaling.
+  switch (formulation_) {
+    case Formulation::right:
+      break;
+    case Formulation::symmetric:
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] *= sqrt_f_[i];
+      break;
+    case Formulation::left:
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] *= f[i];
+      break;
+  }
+}
+
+}  // namespace qs::core

@@ -1,0 +1,51 @@
+// Fmmp — the fast mutation matrix product (Section 2.1 of the paper).
+//
+// The primary contribution of the paper: W x is computed implicitly in
+// Theta(N log2 N) time and Theta(1) extra space by scaling with the diagonal
+// fitness landscape and running the Kronecker butterfly of the mutation
+// matrix, without ever forming an entry of W.  Works for every MutationModel
+// kind (uniform, per-site, grouped) and all three problem formulations.
+//
+// The optional execution engine selects the paper's Algorithm 2 (kernel
+// launch per butterfly level with the GPU index mapping); without an engine
+// the serial Algorithm 1 runs, in either level order (Eq. (9) vs Eq. (10)).
+#pragma once
+
+#include <vector>
+
+#include "core/mutation_model.hpp"
+#include "core/operators.hpp"
+#include "parallel/engine.hpp"
+
+namespace qs::core {
+
+/// Implicit fast product with W in the chosen formulation.
+class FmmpOperator final : public LinearOperator {
+ public:
+  /// Builds the operator.  `model` is copied (it is small); `landscape` is
+  /// referenced and must outlive the operator.  The symmetric formulation
+  /// requires a symmetric mutation model.  `engine`, when non-null, must
+  /// also outlive the operator and selects the parallel Algorithm 2 path.
+  FmmpOperator(MutationModel model, const Landscape& landscape,
+               Formulation formulation = Formulation::right,
+               const parallel::Engine* engine = nullptr,
+               transforms::LevelOrder order = transforms::LevelOrder::ascending);
+
+  seq_t dimension() const override { return model_.dimension(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+  std::string_view name() const override { return "Fmmp"; }
+
+  const MutationModel& model() const { return model_; }
+  const Landscape& landscape() const { return *landscape_; }
+  Formulation formulation() const { return formulation_; }
+
+ private:
+  MutationModel model_;
+  const Landscape* landscape_;
+  Formulation formulation_;
+  const parallel::Engine* engine_;
+  transforms::LevelOrder order_;
+  std::vector<double> sqrt_f_;  // cached for the symmetric formulation
+};
+
+}  // namespace qs::core

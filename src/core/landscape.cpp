@@ -1,0 +1,163 @@
+#include "core/landscape.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::core {
+
+Landscape::Landscape(unsigned nu, std::vector<double> values)
+    : nu_(nu), values_(std::move(values)) {
+  require(nu >= 1 && nu <= kMaxChainLength, "chain length nu out of range");
+  require(values_.size() == sequence_count(nu), "landscape size must be 2^nu");
+  min_ = values_[0];
+  max_ = values_[0];
+  for (double v : values_) {
+    require(v > 0.0, "fitness values must be positive");
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+Landscape Landscape::flat(unsigned nu, double c) {
+  require(c > 0.0, "fitness values must be positive");
+  return Landscape(nu, std::vector<double>(sequence_count(nu), c));
+}
+
+Landscape Landscape::single_peak(unsigned nu, double peak, double rest) {
+  require(peak > 0.0 && rest > 0.0, "fitness values must be positive");
+  std::vector<double> v(sequence_count(nu), rest);
+  v[0] = peak;
+  return Landscape(nu, std::move(v));
+}
+
+Landscape Landscape::linear(unsigned nu, double f0, double fnu) {
+  require(f0 > 0.0 && fnu > 0.0, "fitness values must be positive");
+  const seq_t n = sequence_count(nu);
+  std::vector<double> v(n);
+  for (seq_t i = 0; i < n; ++i) {
+    const double k = static_cast<double>(hamming_weight(i));
+    v[i] = f0 - (f0 - fnu) * k / static_cast<double>(nu);
+  }
+  return Landscape(nu, std::move(v));
+}
+
+Landscape Landscape::random(unsigned nu, double c, double sigma, std::uint64_t seed) {
+  require(c > 0.0, "peak fitness c must be positive");
+  require(sigma > 0.0 && sigma < c / 2.0, "sigma must satisfy 0 < sigma < c/2");
+  const seq_t n = sequence_count(nu);
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  v[0] = c;
+  for (seq_t i = 1; i < n; ++i) {
+    v[i] = sigma * (rng.uniform() + 0.5);
+  }
+  return Landscape(nu, std::move(v));
+}
+
+Landscape Landscape::from_values(unsigned nu, std::vector<double> values) {
+  return Landscape(nu, std::move(values));
+}
+
+bool Landscape::is_error_class(double tol) const {
+  std::vector<double> rep(nu_ + 1, -1.0);
+  for (seq_t i = 0; i < values_.size(); ++i) {
+    const unsigned k = hamming_weight(i);
+    if (rep[k] < 0.0) {
+      rep[k] = values_[i];
+    } else if (std::abs(values_[i] - rep[k]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ErrorClassLandscape::ErrorClassLandscape(unsigned nu, std::vector<double> phi)
+    : nu_(nu), phi_(std::move(phi)) {
+  // The reduced representation never materialises 2^nu values, so chain
+  // lengths far beyond the full solvers' reach are admissible (the reduced
+  // solver accepts up to nu = 1000); only expand() is capped.
+  require(nu >= 1 && nu <= 1000, "chain length nu out of range");
+  require(phi_.size() == nu + 1, "error-class landscape needs nu + 1 values");
+  for (double v : phi_) require(v > 0.0, "fitness values must be positive");
+}
+
+ErrorClassLandscape ErrorClassLandscape::single_peak(unsigned nu, double peak,
+                                                     double rest) {
+  require(peak > 0.0 && rest > 0.0, "fitness values must be positive");
+  std::vector<double> phi(nu + 1, rest);
+  phi[0] = peak;
+  return ErrorClassLandscape(nu, std::move(phi));
+}
+
+ErrorClassLandscape ErrorClassLandscape::linear(unsigned nu, double f0, double fnu) {
+  require(f0 > 0.0 && fnu > 0.0, "fitness values must be positive");
+  std::vector<double> phi(nu + 1);
+  for (unsigned k = 0; k <= nu; ++k) {
+    phi[k] = f0 - (f0 - fnu) * static_cast<double>(k) / static_cast<double>(nu);
+  }
+  return ErrorClassLandscape(nu, std::move(phi));
+}
+
+ErrorClassLandscape ErrorClassLandscape::from_values(unsigned nu,
+                                                     std::vector<double> phi) {
+  return ErrorClassLandscape(nu, std::move(phi));
+}
+
+double ErrorClassLandscape::value(unsigned k) const {
+  require(k <= nu_, "class index k must satisfy k <= nu");
+  return phi_[k];
+}
+
+Landscape ErrorClassLandscape::expand() const {
+  require(nu_ <= 30, "expand(): chain length too large to materialise");
+  const seq_t n = sequence_count(nu_);
+  std::vector<double> v(n);
+  for (seq_t i = 0; i < n; ++i) v[i] = phi_[hamming_weight(i)];
+  return Landscape::from_values(nu_, std::move(v));
+}
+
+KroneckerLandscape::KroneckerLandscape(std::vector<std::vector<double>> factors)
+    : factors_(std::move(factors)) {
+  require(!factors_.empty(), "Kronecker landscape needs at least one factor");
+  for (const auto& f : factors_) {
+    require(f.size() >= 2 && is_power_of_two(f.size()),
+            "factor size must be a power of two >= 2");
+    for (double v : f) require(v > 0.0, "fitness values must be positive");
+    const unsigned bits = log2_exact(f.size());
+    group_bits_.push_back(bits);
+    total_bits_ += bits;
+    // Factors are stored per group, so the total width may exceed the
+    // explicitly indexable range; only value()/dimension()/expand() need
+    // the kMaxChainLength cap.
+    require(total_bits_ <= 1000, "total chain length too large");
+  }
+}
+
+seq_t KroneckerLandscape::dimension() const {
+  require(total_bits_ <= kMaxChainLength,
+          "dimension(): chain length too large to index explicitly");
+  return sequence_count(total_bits_);
+}
+
+double KroneckerLandscape::value(seq_t i) const {
+  require(i < dimension(), "sequence index out of range");
+  double prod = 1.0;
+  unsigned lo = 0;
+  for (std::size_t g = 0; g < factors_.size(); ++g) {
+    const seq_t mask = (seq_t{1} << group_bits_[g]) - 1;
+    prod *= factors_[g][static_cast<std::size_t>((i >> lo) & mask)];
+    lo += group_bits_[g];
+  }
+  return prod;
+}
+
+Landscape KroneckerLandscape::expand() const {
+  const seq_t n = dimension();
+  std::vector<double> v(n);
+  for (seq_t i = 0; i < n; ++i) v[i] = value(i);
+  return Landscape::from_values(total_bits_, std::move(v));
+}
+
+}  // namespace qs::core

@@ -1,0 +1,136 @@
+// Fitness landscapes F = diag(f_0, ..., f_{N-1}), f_i > 0.
+//
+// Three representations mirror the paper's hierarchy of assumptions:
+//
+//   Landscape           — a general diagonal landscape: all N values stored
+//                         (the setting of Sections 2-4, no assumptions);
+//   ErrorClassLandscape — f_i = phi(d_H(i, 0)): nu+1 degrees of freedom,
+//                         enabling the exact (nu+1) x (nu+1) reduction of
+//                         Section 5.1;
+//   KroneckerLandscape  — F = (x)_i F_{G_i} (diagonal factors): Section 5.2,
+//                         decoupling the problem into independent
+//                         subproblems and allowing chain lengths far beyond
+//                         direct storage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace qs::core {
+
+class ErrorClassLandscape;
+class KroneckerLandscape;
+
+/// General diagonal fitness landscape with explicitly stored values.
+class Landscape {
+ public:
+  /// All sequences equally fit: f_i = c. Requires c > 0.
+  static Landscape flat(unsigned nu, double c);
+
+  /// Single peak landscape: f_0 = peak, f_i = rest for i != 0 (the classic
+  /// error-threshold setting of Figure 1 left). Requires peak, rest > 0.
+  static Landscape single_peak(unsigned nu, double peak, double rest);
+
+  /// Linear landscape f_i = f0 - (f0 - fnu) * d_H(i, 0) / nu (Figure 1
+  /// right). Requires f0, fnu > 0.
+  static Landscape linear(unsigned nu, double f0, double fnu);
+
+  /// The paper's random landscape, Eq. (13): f_0 = c and
+  /// f_i = sigma * (eta_i + 0.5) with eta_i uniform in [0, 1).
+  /// Requires c > 0 and 0 < sigma < c/2 (the paper's admissible range,
+  /// which keeps the master sequence the fittest).
+  static Landscape random(unsigned nu, double c, double sigma, std::uint64_t seed);
+
+  /// Takes ownership of explicit values. Requires values.size() == 2^nu and
+  /// every value > 0.
+  static Landscape from_values(unsigned nu, std::vector<double> values);
+
+  unsigned nu() const { return nu_; }
+  seq_t dimension() const { return sequence_count(nu_); }
+
+  double value(seq_t i) const { return values_[i]; }
+  std::span<const double> values() const { return values_; }
+
+  double min_fitness() const { return min_; }
+  double max_fitness() const { return max_; }
+
+  /// True iff the landscape is constant on every error class Gamma_k within
+  /// `tol` (i.e. represents some phi(d_H(i,0))).
+  bool is_error_class(double tol = 0.0) const;
+
+ private:
+  Landscape(unsigned nu, std::vector<double> values);
+
+  unsigned nu_;
+  std::vector<double> values_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Hamming-distance-based landscape f_i = phi(d_H(i, 0)).
+class ErrorClassLandscape {
+ public:
+  /// phi(0) = peak, phi(k) = rest for k >= 1.
+  static ErrorClassLandscape single_peak(unsigned nu, double peak, double rest);
+
+  /// phi(k) = f0 - (f0 - fnu) * k / nu.
+  static ErrorClassLandscape linear(unsigned nu, double f0, double fnu);
+
+  /// Explicit phi values; requires phi.size() == nu + 1, all > 0.
+  static ErrorClassLandscape from_values(unsigned nu, std::vector<double> phi);
+
+  unsigned nu() const { return nu_; }
+
+  /// phi(k). Requires k <= nu.
+  double value(unsigned k) const;
+
+  std::span<const double> values() const { return phi_; }
+
+  /// Expands to the full 2^nu-value landscape (for cross-validation against
+  /// the general solvers; requires nu small enough to allocate).
+  Landscape expand() const;
+
+ private:
+  ErrorClassLandscape(unsigned nu, std::vector<double> phi);
+
+  unsigned nu_;
+  std::vector<double> phi_;
+};
+
+/// Kronecker-structured landscape F = F_{G_{g-1}} (x) ... (x) F_{G_0} with
+/// diagonal factors; factor 0 acts on the least significant bit group.
+class KroneckerLandscape {
+ public:
+  /// Takes ownership of the diagonal factor values. Each factor must have
+  /// power-of-two size >= 2 and positive entries.
+  explicit KroneckerLandscape(std::vector<std::vector<double>> factors);
+
+  std::size_t group_count() const { return factors_.size(); }
+  unsigned group_bits(std::size_t i) const { return group_bits_[i]; }
+
+  /// Total chain length; may exceed the explicitly indexable range (the
+  /// factors are stored per group). value()/dimension()/expand() require
+  /// nu() <= kMaxChainLength.
+  unsigned nu() const { return total_bits_; }
+
+  /// N = 2^nu. Requires nu() <= kMaxChainLength.
+  seq_t dimension() const;
+
+  const std::vector<std::vector<double>>& factors() const { return factors_; }
+
+  /// f_i as the product of the per-group factor values.
+  double value(seq_t i) const;
+
+  /// Expands to the full landscape (requires nu small enough to allocate).
+  Landscape expand() const;
+
+ private:
+  std::vector<std::vector<double>> factors_;
+  std::vector<unsigned> group_bits_;
+  unsigned total_bits_ = 0;
+};
+
+}  // namespace qs::core

@@ -1,0 +1,96 @@
+#include "core/landscape_library.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::core {
+
+Landscape multiplicative_landscape(unsigned nu, std::span<const double> s,
+                                   double peak) {
+  require(s.size() == nu, "multiplicative_landscape: need nu coefficients");
+  require(peak > 0.0, "multiplicative_landscape: peak must be positive");
+  for (double v : s) {
+    require(v > 0.0 && v < 1.0,
+            "multiplicative_landscape: coefficients must be in (0, 1)");
+  }
+  const seq_t n = sequence_count(nu);
+  std::vector<double> values(n);
+  for (seq_t i = 0; i < n; ++i) {
+    double f = peak;
+    seq_t bits = i;
+    while (bits != 0) {
+      const unsigned k = log2_exact(bits & (~bits + 1));
+      f *= 1.0 - s[k];
+      bits &= bits - 1;
+    }
+    values[i] = f;
+  }
+  return Landscape::from_values(nu, std::move(values));
+}
+
+Landscape nk_landscape(unsigned nu, unsigned k, std::uint64_t seed, double offset) {
+  require(nu >= 1 && nu <= 24, "nk_landscape: nu must be 1..24");
+  require(k < nu, "nk_landscape: need K < nu");
+  require(offset > 0.0, "nk_landscape: offset must be positive");
+
+  // Per-site contribution tables over the (K+1)-bit neighbourhood state.
+  Xoshiro256 rng(seed);
+  const std::size_t table_size = std::size_t{1} << (k + 1);
+  std::vector<std::vector<double>> tables(nu);
+  for (auto& table : tables) {
+    table.resize(table_size);
+    for (double& v : table) v = rng.uniform();
+  }
+
+  const seq_t n = sequence_count(nu);
+  std::vector<double> values(n);
+  for (seq_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (unsigned site = 0; site < nu; ++site) {
+      // Neighbourhood: the site itself plus its K cyclic successors.
+      std::size_t state = 0;
+      for (unsigned b = 0; b <= k; ++b) {
+        const unsigned position = (site + b) % nu;
+        state |= static_cast<std::size_t>((i >> position) & 1) << b;
+      }
+      acc += tables[site][state];
+    }
+    values[i] = offset + acc / static_cast<double>(nu);
+  }
+  return Landscape::from_values(nu, std::move(values));
+}
+
+Landscape royal_road_landscape(unsigned nu, unsigned block, double bonus) {
+  require(block >= 1 && nu % block == 0,
+          "royal_road_landscape: block size must divide nu");
+  require(bonus > 0.0, "royal_road_landscape: bonus must be positive");
+  const seq_t n = sequence_count(nu);
+  const unsigned blocks = nu / block;
+  std::vector<double> values(n);
+  for (seq_t i = 0; i < n; ++i) {
+    double f = 1.0;
+    for (unsigned b = 0; b < blocks; ++b) {
+      const seq_t mask = ((seq_t{1} << block) - 1) << (b * block);
+      if ((i & mask) == 0) f += bonus;  // block intact (all master bits)
+    }
+    values[i] = f;
+  }
+  return Landscape::from_values(nu, std::move(values));
+}
+
+Landscape neutral_plateau_landscape(unsigned nu, unsigned radius, double peak,
+                                    double rest) {
+  require(radius <= nu, "neutral_plateau_landscape: radius must be <= nu");
+  require(peak > 0.0 && rest > 0.0,
+          "neutral_plateau_landscape: fitness values must be positive");
+  const seq_t n = sequence_count(nu);
+  std::vector<double> values(n);
+  for (seq_t i = 0; i < n; ++i) {
+    values[i] = (hamming_weight(i) <= radius) ? peak : rest;
+  }
+  return Landscape::from_values(nu, std::move(values));
+}
+
+}  // namespace qs::core

@@ -1,0 +1,48 @@
+// Biologically motivated fitness landscape families.
+//
+// The paper's generality claim is that *no* structure is assumed of F
+// beyond diagonality — "we partly use randomly generated landscapes to
+// illustrate the generality".  This library supplies the landscape families
+// the theoretical-biology literature actually studies, all as plain general
+// landscapes the Fmmp solver consumes directly:
+//
+//   * multiplicative — independent per-site selection coefficients
+//     (no epistasis; the classical population-genetics null model);
+//   * Kauffman NK — tunable epistasis: each position's fitness contribution
+//     depends on itself and K neighbouring positions;
+//   * Royal Road — modular neutrality: bonuses for completed blocks;
+//   * quasi-neutral plateau — a master sequence plus a neutral network of
+//     equally fit one-mutants (error-threshold behaviour with neutrality).
+#pragma once
+
+#include <cstdint>
+
+#include "core/landscape.hpp"
+
+namespace qs::core {
+
+/// Multiplicative landscape: f_i = peak * prod_{k set in i} (1 - s_k) with
+/// per-site deleterious coefficients s_k in (0, 1). Requires all s_k in
+/// (0, 1) and s.size() == nu.
+Landscape multiplicative_landscape(unsigned nu, std::span<const double> s,
+                                   double peak = 1.0);
+
+/// Kauffman NK landscape: f_i = offset + (1/nu) sum_k c_k(neighbourhood_k)
+/// where neighbourhood k consists of position k and its K cyclic successor
+/// positions and c_k is a uniform [0,1) table per site.  K = 0 is additive
+/// (no epistasis); K = nu-1 is maximally rugged.  `offset` > 0 keeps
+/// fitness positive. Requires K < nu <= 24 (table assembly is O(N nu)).
+Landscape nk_landscape(unsigned nu, unsigned k, std::uint64_t seed,
+                       double offset = 0.5);
+
+/// Royal Road: the chain is divided into blocks of `block` positions; each
+/// block whose positions are all 0 (master state) adds `bonus` to the base
+/// fitness 1. Requires block >= 1 and block | nu.
+Landscape royal_road_landscape(unsigned nu, unsigned block, double bonus);
+
+/// Neutral plateau: the master and every sequence within Hamming distance
+/// `radius` share the peak fitness; everything else has `rest`.
+Landscape neutral_plateau_landscape(unsigned nu, unsigned radius, double peak,
+                                    double rest);
+
+}  // namespace qs::core

@@ -1,0 +1,199 @@
+#include "core/mutation_model.hpp"
+
+#include <cmath>
+
+#include "core/site_process.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::core {
+
+MutationModel MutationModel::uniform(unsigned nu, double p) {
+  require(nu >= 1 && nu <= 1000, "chain length nu out of range");
+  require(p > 0.0 && p <= 0.5, "error rate p must satisfy 0 < p <= 1/2");
+  MutationModel m;
+  m.kind_ = MutationKind::uniform;
+  m.nu_ = nu;
+  m.p_ = p;
+  m.symmetric_ = true;
+  m.sites_.assign(nu, transforms::Factor2::uniform(p));
+  return m;
+}
+
+MutationModel MutationModel::per_site(std::vector<transforms::Factor2> sites) {
+  require(!sites.empty() && sites.size() <= 1000,
+          "per-site model needs 1..1000 factors");
+  bool symmetric = true;
+  for (const auto& f : sites) {
+    validate_site(f);
+    if (std::abs(f.m01 - f.m10) > 0.0) symmetric = false;
+  }
+  MutationModel m;
+  m.kind_ = MutationKind::per_site;
+  m.nu_ = static_cast<unsigned>(sites.size());
+  m.symmetric_ = symmetric;
+  m.sites_ = std::move(sites);
+  return m;
+}
+
+MutationModel MutationModel::grouped(std::vector<linalg::DenseMatrix> groups) {
+  require(!groups.empty(), "grouped model needs at least one group factor");
+  bool symmetric = true;
+  for (const auto& g : groups) {
+    validate_group(g);
+    if (!g.is_symmetric(0.0)) symmetric = false;
+  }
+  MutationModel m;
+  m.kind_ = MutationKind::grouped;
+  m.groups_.emplace(std::move(groups));
+  m.nu_ = m.groups_->total_bits();
+  m.symmetric_ = symmetric;
+  return m;
+}
+
+double MutationModel::error_rate() const {
+  require(kind_ == MutationKind::uniform, "error_rate(): model is not uniform");
+  return p_;
+}
+
+double MutationModel::entry(seq_t i, seq_t j) const {
+  require(i < dimension() && j < dimension(), "entry(): index out of range");
+  if (kind_ == MutationKind::grouped) {
+    double prod = 1.0;
+    unsigned lo = 0;
+    const auto& kp = *groups_;
+    for (std::size_t g = 0; g < kp.group_count(); ++g) {
+      const unsigned bits = kp.group_bits(g);
+      const seq_t mask = (seq_t{1} << bits) - 1;
+      const auto row = static_cast<std::size_t>((i >> lo) & mask);
+      const auto col = static_cast<std::size_t>((j >> lo) & mask);
+      prod *= kp.factors()[g](row, col);
+      lo += bits;
+    }
+    return prod;
+  }
+  if (kind_ == MutationKind::uniform) {
+    const unsigned d = hamming_distance(i, j);
+    return std::pow(p_, static_cast<double>(d)) *
+           std::pow(1.0 - p_, static_cast<double>(nu_ - d));
+  }
+  double prod = 1.0;
+  for (unsigned k = 0; k < nu_; ++k) {
+    const bool bi = (i >> k) & 1;
+    const bool bj = (j >> k) & 1;
+    const transforms::Factor2& f = sites_[k];
+    // Factor entry (row = state after, col = state before).
+    prod *= bi ? (bj ? f.m11 : f.m10) : (bj ? f.m01 : f.m00);
+  }
+  return prod;
+}
+
+double MutationModel::class_value(unsigned k) const {
+  require(kind_ == MutationKind::uniform, "class_value(): model is not uniform");
+  require(k <= nu_, "class_value(): class index k must satisfy k <= nu");
+  return std::pow(p_, static_cast<double>(k)) *
+         std::pow(1.0 - p_, static_cast<double>(nu_ - k));
+}
+
+void MutationModel::apply(std::span<double> v, transforms::LevelOrder order) const {
+  require(v.size() == dimension(), "apply(): dimension mismatch");
+  if (kind_ == MutationKind::grouped) {
+    groups_->apply(v);
+    return;
+  }
+  transforms::apply_butterfly(v, sites_, order);
+}
+
+void MutationModel::apply(std::span<double> v, const parallel::Engine& engine) const {
+  require(v.size() == dimension(), "apply(): dimension mismatch");
+  double* data = v.data();
+
+  if (kind_ != MutationKind::grouped) {
+    // Algorithm 2 of the paper: per butterfly level, a kernel over the
+    // N/2 independent pair indices ID with j = 2*ID - (ID & (stride-1)).
+    const std::size_t half = v.size() / 2;
+    for (unsigned k = 0; k < nu_; ++k) {
+      const std::size_t stride = std::size_t{1} << k;
+      const transforms::Factor2 f = sites_[k];
+      engine.dispatch(half, [data, stride, f](std::size_t begin, std::size_t end) {
+        for (std::size_t id = begin; id < end; ++id) {
+          const std::size_t j = 2 * id - (id & (stride - 1));
+          const double t1 = data[j];
+          const double t2 = data[j + stride];
+          data[j] = f.m00 * t1 + f.m01 * t2;
+          data[j + stride] = f.m10 * t1 + f.m11 * t2;
+        }
+      });
+    }
+    return;
+  }
+
+  // Grouped kind: one kernel launch per group; each work item owns one
+  // strided m-tuple (the generalisation of a butterfly pair to block size m).
+  const auto& kp = *groups_;
+  unsigned lo = 0;
+  for (std::size_t g = 0; g < kp.group_count(); ++g) {
+    const linalg::DenseMatrix& f = kp.factors()[g];
+    const std::size_t m = f.rows();
+    const std::size_t lo_stride = std::size_t{1} << lo;
+    const std::size_t items = v.size() / m;
+    engine.dispatch(items, [data, &f, m, lo_stride](std::size_t begin, std::size_t end) {
+      std::vector<double> tmp(m);
+      for (std::size_t id = begin; id < end; ++id) {
+        const std::size_t high = id / lo_stride;
+        const std::size_t low = id % lo_stride;
+        const std::size_t base = high * (m * lo_stride) + low;
+        for (std::size_t r = 0; r < m; ++r) {
+          double acc = 0.0;
+          for (std::size_t c = 0; c < m; ++c) {
+            acc += f(r, c) * data[base + c * lo_stride];
+          }
+          tmp[r] = acc;
+        }
+        for (std::size_t r = 0; r < m; ++r) data[base + r * lo_stride] = tmp[r];
+      }
+    });
+    lo += kp.group_bits(g);
+  }
+}
+
+void MutationModel::apply_transposed(std::span<double> v) const {
+  require(v.size() == dimension(), "apply_transposed(): dimension mismatch");
+  if (kind_ == MutationKind::grouped) {
+    std::vector<linalg::DenseMatrix> transposed;
+    transposed.reserve(groups_->group_count());
+    for (const auto& f : groups_->factors()) transposed.push_back(f.transposed());
+    transforms::KroneckerProduct(std::move(transposed)).apply(v);
+    return;
+  }
+  std::vector<transforms::Factor2> transposed;
+  transposed.reserve(sites_.size());
+  for (const auto& f : sites_) transposed.push_back(f.transposed());
+  transforms::apply_butterfly(v, transposed);
+}
+
+const std::vector<transforms::Factor2>& MutationModel::site_factors() const {
+  require(kind_ != MutationKind::grouped, "site_factors(): grouped model has none");
+  return sites_;
+}
+
+const transforms::KroneckerProduct& MutationModel::group_product() const {
+  require(kind_ == MutationKind::grouped, "group_product(): model is not grouped");
+  return *groups_;
+}
+
+double MutationModel::walsh_eigenvalue(seq_t w) const {
+  require(kind_ != MutationKind::grouped,
+          "walsh_eigenvalue(): only 2x2-factor models are Hadamard-diagonalisable");
+  require(symmetric_, "walsh_eigenvalue(): model must be symmetric");
+  require(w < dimension(), "walsh_eigenvalue(): index out of range");
+  double prod = 1.0;
+  for (unsigned k = 0; k < nu_; ++k) {
+    if ((w >> k) & 1) {
+      const transforms::Factor2& f = sites_[k];
+      prod *= 1.0 - f.m01 - f.m10;  // (1 - 2 p_k) for the uniform factor
+    }
+  }
+  return prod;
+}
+
+}  // namespace qs::core

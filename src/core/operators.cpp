@@ -1,0 +1,46 @@
+#include "core/operators.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::core {
+namespace {
+
+/// Power of F applied when converting `from` -> `to`:
+/// x_to = F^{power(to) - power(from)} x_from with the convention
+/// power(right) = 0, power(symmetric) = 1/2, power(left) = 1, which encodes
+/// x_L = F^{1/2} x_S = F x_R.
+double formulation_power(Formulation f) {
+  switch (f) {
+    case Formulation::right: return 0.0;
+    case Formulation::symmetric: return 0.5;
+    case Formulation::left: return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void convert_eigenvector(Formulation from, Formulation to, const Landscape& landscape,
+                         std::span<double> x) {
+  require(x.size() == landscape.dimension(),
+          "convert_eigenvector: dimension mismatch");
+  const double exponent = formulation_power(to) - formulation_power(from);
+  if (exponent != 0.0) {
+    const auto f = landscape.values();
+    if (exponent == 1.0) {
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] *= f[i];
+    } else if (exponent == -1.0) {
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] /= f[i];
+    } else if (exponent == 0.5) {
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] *= std::sqrt(f[i]);
+    } else if (exponent == -0.5) {
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] /= std::sqrt(f[i]);
+    }
+  }
+  linalg::normalize1(x);
+}
+
+}  // namespace qs::core

@@ -1,0 +1,57 @@
+#include "core/site_process.hpp"
+
+#include <cmath>
+
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::core {
+
+transforms::Factor2 uniform_site(double p) {
+  require(p > 0.0 && p <= 0.5, "error rate p must satisfy 0 < p <= 1/2");
+  return transforms::Factor2::uniform(p);
+}
+
+transforms::Factor2 asymmetric_site(double p01, double p10) {
+  require(p01 >= 0.0 && p01 < 1.0, "flip probability p01 must be in [0, 1)");
+  require(p10 >= 0.0 && p10 < 1.0, "flip probability p10 must be in [0, 1)");
+  return transforms::Factor2::asymmetric(p01, p10);
+}
+
+void validate_site(const transforms::Factor2& f, double tol) {
+  const double entries[] = {f.m00, f.m01, f.m10, f.m11};
+  for (double e : entries) {
+    require(e >= -tol && e <= 1.0 + tol, "site factor entries must be probabilities");
+  }
+  require(f.stochastic_deviation() <= tol, "site factor must be column stochastic");
+}
+
+void validate_group(const linalg::DenseMatrix& g, double tol) {
+  require(g.rows() == g.cols(), "group factor must be square");
+  require(g.rows() >= 2 && is_power_of_two(g.rows()),
+          "group factor dimension must be a power of two >= 2");
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      require(g(i, j) >= -tol && g(i, j) <= 1.0 + tol,
+              "group factor entries must be probabilities");
+    }
+  }
+  require(g.max_column_sum_deviation() <= tol, "group factor must be column stochastic");
+}
+
+linalg::DenseMatrix coupled_single_flip_group(unsigned g, double p_event) {
+  require(g >= 1 && g <= 10, "coupled group size must be in [1, 10]");
+  require(p_event >= 0.0 && p_event < 1.0, "event probability must be in [0, 1)");
+  const std::size_t m = std::size_t{1} << g;
+  linalg::DenseMatrix q(m, m);
+  const double per_position = p_event / static_cast<double>(g);
+  for (std::size_t c = 0; c < m; ++c) {
+    q(c, c) = 1.0 - p_event;
+    for (unsigned b = 0; b < g; ++b) {
+      q(c ^ (std::size_t{1} << b), c) += per_position;
+    }
+  }
+  return q;
+}
+
+}  // namespace qs::core

@@ -1,0 +1,40 @@
+// Single-site and grouped mutation processes.
+//
+// The quasispecies model composes mutation from independent per-position
+// stochastic processes (coin flips in the classic model).  The only validity
+// requirement (Section 2.2 of the paper) is that each process be column
+// stochastic; these helpers construct and validate the 2x2 single-site
+// factors and the 2^g x 2^g group factors that the implicit mutation
+// matrices are built from.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "transforms/butterfly.hpp"
+
+namespace qs::core {
+
+/// The classic symmetric single-site process with error rate p:
+/// [[1-p, p], [p, 1-p]].  Requires 0 < p <= 1/2 (the model's admissible
+/// range; p = 1/2 is random replication).
+transforms::Factor2 uniform_site(double p);
+
+/// General single-site process with flip probabilities p01 = P(0 -> 1) and
+/// p10 = P(1 -> 0).  Requires both in [0, 1) and p01 + (1 - p10) ... i.e.
+/// each in [0, 1); column stochasticity holds by construction.
+transforms::Factor2 asymmetric_site(double p01, double p10);
+
+/// Validates a 2x2 factor: entries in [0, 1], columns summing to 1 within
+/// `tol`. Throws precondition_error on violation.
+void validate_site(const transforms::Factor2& f, double tol = 1e-12);
+
+/// Validates a group factor Q_G in R^{2^g x 2^g}: square power-of-two
+/// dimension, entries in [0, 1], column sums 1 within `tol`.
+void validate_group(const linalg::DenseMatrix& g, double tol = 1e-12);
+
+/// Builds the group factor of g fully coupled positions where exactly one
+/// position mutates per replication event with probability p_event
+/// (uniformly among the g positions) — a simple dependent-mutation model
+/// exercising the grouped Kronecker machinery of Eq. (11).
+linalg::DenseMatrix coupled_single_flip_group(unsigned g, double p_event);
+
+}  // namespace qs::core

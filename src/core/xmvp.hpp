@@ -1,0 +1,59 @@
+// Xmvp(d_H^max) — the XOR-based sparsified mutation matrix product of the
+// authors' prior work ([10] in the paper; Niederbrucker & Gansterer,
+// Procedia CS 2011).
+//
+// The product y = Q u is expanded over mutation patterns:
+//   y_i = sum_{m : popcount(m) <= d} Q_Gamma(popcount(m)) * u_{i XOR m},
+// i.e. only sequences within Hamming distance d contribute.  d = nu is
+// exact and corresponds (up to constant-factor overhead) to the standard
+// dense product Smvp; d < nu truncates the matrix and trades accuracy for
+// speed with cost Theta(N * sum_{k<=d} C(nu, k)).  This operator is the
+// benchmark the paper measures Fmmp against (Figures 2-4).
+//
+// Only defined for the uniform mutation model (the sparsification relies on
+// Q depending on the Hamming distance alone).
+#pragma once
+
+#include <vector>
+
+#include "core/mutation_model.hpp"
+#include "core/operators.hpp"
+#include "parallel/engine.hpp"
+
+namespace qs::core {
+
+/// Implicit sparsified product with W in the chosen formulation.
+class XmvpOperator final : public LinearOperator {
+ public:
+  /// Builds Xmvp(d_max). Requires a uniform mutation model, d_max <= nu,
+  /// and for the symmetric formulation nothing extra (uniform Q is always
+  /// symmetric).  `landscape` (and `engine` if given) must outlive the
+  /// operator.  Mutation patterns are precomputed: Theta(sum_{k<=d} C(nu,k))
+  /// space, the Theta(N) of the paper once d is large.
+  XmvpOperator(MutationModel model, const Landscape& landscape, unsigned d_max,
+               Formulation formulation = Formulation::right,
+               const parallel::Engine* engine = nullptr);
+
+  seq_t dimension() const override { return model_.dimension(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+  std::string_view name() const override { return name_; }
+
+  unsigned d_max() const { return d_max_; }
+
+  /// Number of mutation patterns (matrix row density) the product touches.
+  std::size_t pattern_count() const { return masks_.size(); }
+
+ private:
+  MutationModel model_;
+  const Landscape* landscape_;
+  unsigned d_max_;
+  Formulation formulation_;
+  const parallel::Engine* engine_;
+  std::string name_;
+  std::vector<seq_t> masks_;          // all patterns with popcount <= d_max
+  std::vector<double> coefficients_;  // Q_Gamma(popcount(mask)), aligned with masks_
+  std::vector<double> sqrt_f_;        // cached for the symmetric formulation
+  mutable std::vector<double> scratch_;  // scaled input u (operators are not re-entrant)
+};
+
+}  // namespace qs::core

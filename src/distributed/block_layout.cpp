@@ -1,0 +1,26 @@
+#include "distributed/block_layout.hpp"
+
+#include "support/contracts.hpp"
+
+namespace qs::distributed {
+
+BlockLayout::BlockLayout(unsigned nu, unsigned rank_count)
+    : nu_(nu), rank_count_(rank_count) {
+  require(nu >= 1 && nu <= kMaxChainLength, "BlockLayout: nu out of range");
+  require(rank_count >= 1 && is_power_of_two(rank_count),
+          "BlockLayout: rank count must be a power of two");
+  rank_bits_ = log2_exact(rank_count);
+  require(rank_bits_ + 1 <= nu,
+          "BlockLayout: each rank must hold at least two entries");
+  block_size_ = static_cast<std::size_t>(sequence_count(nu)) / rank_count;
+}
+
+unsigned BlockLayout::partner(unsigned rank, std::size_t stride) const {
+  require(!level_is_local(stride), "partner(): level is rank-local");
+  const unsigned level_bit = static_cast<unsigned>(stride / block_size_);
+  require(is_power_of_two(level_bit) && level_bit < rank_count_,
+          "partner(): stride out of range");
+  return rank ^ level_bit;
+}
+
+}  // namespace qs::distributed

@@ -1,0 +1,179 @@
+#include "distributed/distributed_solver.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+#include "transforms/butterfly.hpp"
+
+namespace qs::distributed {
+
+DistributedVector::DistributedVector(const BlockLayout& layout)
+    : layout_(&layout),
+      blocks_(layout.rank_count(), std::vector<double>(layout.block_size(), 0.0)) {}
+
+DistributedVector DistributedVector::scatter(const BlockLayout& layout,
+                                             std::span<const double> global) {
+  require(global.size() == layout.block_size() * layout.rank_count(),
+          "DistributedVector::scatter: dimension mismatch");
+  DistributedVector out(layout);
+  for (unsigned rank = 0; rank < layout.rank_count(); ++rank) {
+    const auto begin = global.begin() + static_cast<std::ptrdiff_t>(
+                                            layout.block_begin(rank));
+    std::copy(begin, begin + static_cast<std::ptrdiff_t>(layout.block_size()),
+              out.blocks_[rank].begin());
+  }
+  return out;
+}
+
+std::vector<double> DistributedVector::gather() const {
+  std::vector<double> global(layout_->block_size() * layout_->rank_count());
+  for (unsigned rank = 0; rank < layout_->rank_count(); ++rank) {
+    std::copy(blocks_[rank].begin(), blocks_[rank].end(),
+              global.begin() +
+                  static_cast<std::ptrdiff_t>(layout_->block_begin(rank)));
+  }
+  return global;
+}
+
+void distributed_apply_w(const core::MutationModel& model,
+                         const core::Landscape& landscape, DistributedVector& v,
+                         TrafficStats& stats) {
+  const BlockLayout& layout = v.layout();
+  require(model.nu() == layout.nu(), "distributed_apply_w: model nu mismatch");
+  require(landscape.dimension() == sequence_count(layout.nu()),
+          "distributed_apply_w: landscape dimension mismatch");
+  require(model.kind() != core::MutationKind::grouped,
+          "distributed_apply_w: 2x2-factor models only");
+
+  const auto& sites = model.site_factors();
+  const std::size_t block = layout.block_size();
+  const unsigned ranks = layout.rank_count();
+  const auto f = landscape.values();
+
+  // Superstep 1 (fully local): diagonal fitness scaling, then every
+  // butterfly level whose stride stays inside a block.
+  for (unsigned rank = 0; rank < ranks; ++rank) {
+    auto mine = v.block(rank);
+    const std::size_t begin = layout.block_begin(rank);
+    for (std::size_t t = 0; t < block; ++t) mine[t] *= f[begin + t];
+    for (unsigned k = 0; layout.level_is_local(std::size_t{1} << k); ++k) {
+      transforms::apply_butterfly_level(mine, sites[k], k);
+    }
+  }
+
+  // Supersteps 2..: one pairwise block exchange per cross-rank level.  The
+  // lower rank of each pair holds the stride-offset "t1" entries, its
+  // partner the "t2" entries, at identical offsets within their blocks.
+  std::vector<double> partner_copy(block);
+  for (unsigned k = layout.rank_bits() == 0 ? model.nu() : 0; k < model.nu(); ++k) {
+    const std::size_t stride = std::size_t{1} << k;
+    if (layout.level_is_local(stride)) continue;
+    const transforms::Factor2& factor = sites[k];
+    for (unsigned lo = 0; lo < ranks; ++lo) {
+      const unsigned hi = layout.partner(lo, stride);
+      if (hi < lo) continue;  // visit each pair once, from the lower rank
+      auto low_block = v.block(lo);
+      auto high_block = v.block(hi);
+      // Simulated MPI_Sendrecv: both ranks ship their block to the partner.
+      stats.messages += 2;
+      stats.doubles_moved += 2 * block;
+      std::copy(high_block.begin(), high_block.end(), partner_copy.begin());
+      for (std::size_t t = 0; t < block; ++t) {
+        const double t1 = low_block[t];
+        const double t2 = partner_copy[t];
+        low_block[t] = factor.m00 * t1 + factor.m01 * t2;
+        high_block[t] = factor.m10 * t1 + factor.m11 * t2;
+      }
+    }
+  }
+}
+
+DistributedPowerResult distributed_power_iteration(
+    const core::MutationModel& model, const core::Landscape& landscape,
+    unsigned rank_count, const DistributedPowerOptions& options) {
+  const BlockLayout layout(model.nu(), rank_count);
+  require(landscape.dimension() == model.dimension(),
+          "distributed_power_iteration: dimension mismatch");
+
+  DistributedPowerResult out;
+  const unsigned ranks = layout.rank_count();
+  const std::size_t block = layout.block_size();
+
+  // Start: the landscape itself, 1-norm normalised (paper's choice).
+  std::vector<double> start(landscape.values().begin(), landscape.values().end());
+  linalg::normalize1(start);
+  DistributedVector x = DistributedVector::scatter(layout, start);
+  DistributedVector y(layout);
+
+  // Simulated allreduce: per-rank partials summed across ranks.
+  auto allreduce = [&](auto&& per_rank_partial) {
+    double total = 0.0;
+    for (unsigned rank = 0; rank < ranks; ++rank) total += per_rank_partial(rank);
+    ++out.traffic.allreduce_calls;
+    return total;
+  };
+
+  for (unsigned it = 1; it <= options.max_iterations; ++it) {
+    // y = W x.
+    for (unsigned rank = 0; rank < ranks; ++rank) {
+      std::copy(x.block(rank).begin(), x.block(rank).end(), y.block(rank).begin());
+    }
+    distributed_apply_w(model, landscape, y, out.traffic);
+    out.iterations = it;
+
+    const double xx = allreduce([&](unsigned rank) {
+      return linalg::dot(x.block(rank), x.block(rank));
+    });
+    const double xy = allreduce([&](unsigned rank) {
+      return linalg::dot(x.block(rank), y.block(rank));
+    });
+    const double lambda = xy / xx;
+    const double res2 = allreduce([&](unsigned rank) {
+      double acc = 0.0;
+      const auto xb = x.block(rank);
+      const auto yb = y.block(rank);
+      for (std::size_t t = 0; t < block; ++t) {
+        const double r = yb[t] - lambda * xb[t];
+        acc += r * r;
+      }
+      return acc;
+    });
+    out.eigenvalue = lambda;
+    out.residual =
+        std::sqrt(std::max(res2, 0.0)) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
+    if (out.residual <= options.tolerance) {
+      out.converged = true;
+      break;
+    }
+
+    // x <- (y - mu x) / ||.||_1, with the norm via allreduce.
+    const double mu = options.shift;
+    const double norm1 = allreduce([&](unsigned rank) {
+      double acc = 0.0;
+      const auto xb = x.block(rank);
+      auto yb = y.block(rank);
+      for (std::size_t t = 0; t < block; ++t) {
+        yb[t] -= mu * xb[t];
+        acc += std::abs(yb[t]);
+      }
+      return acc;
+    });
+    require(norm1 > 0.0, "distributed_power_iteration: iterate collapsed");
+    const double inv = 1.0 / norm1;
+    for (unsigned rank = 0; rank < ranks; ++rank) {
+      auto xb = x.block(rank);
+      const auto yb = y.block(rank);
+      for (std::size_t t = 0; t < block; ++t) xb[t] = yb[t] * inv;
+    }
+  }
+
+  out.eigenvector = x.gather();
+  double s = 0.0;
+  for (double v : out.eigenvector) s += v;
+  if (s < 0.0) linalg::scale(out.eigenvector, -1.0);
+  linalg::normalize1(out.eigenvector);
+  return out;
+}
+
+}  // namespace qs::distributed

@@ -1,0 +1,118 @@
+#include "io/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace qs::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x51535631;  // "QSV1"
+constexpr std::uint32_t kVersion = 1;
+
+enum class PayloadKind : std::uint32_t {
+  vector = 1,
+  landscape = 2,
+  checkpoint = 3,
+};
+
+static_assert(std::endian::native == std::endian::little,
+              "binary_io assumes a little-endian host");
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t kind = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t meta0 = 0;  // element count
+  std::uint64_t meta1 = 0;  // kind-specific (nu / iteration)
+  double meta2 = 0.0;       // kind-specific (eigenvalue)
+};
+
+void write_file(const std::filesystem::path& path, PayloadKind kind,
+                std::uint64_t meta1, double meta2, std::span<const double> data) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("binary_io: cannot open for writing: " + path.string());
+  }
+  Header header;
+  header.kind = static_cast<std::uint32_t>(kind);
+  header.meta0 = data.size();
+  header.meta1 = meta1;
+  header.meta2 = meta2;
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!file) {
+    throw std::runtime_error("binary_io: write failed: " + path.string());
+  }
+}
+
+struct LoadedFile {
+  Header header;
+  std::vector<double> data;
+};
+
+LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("binary_io: cannot open for reading: " + path.string());
+  }
+  LoadedFile out;
+  file.read(reinterpret_cast<char*>(&out.header), sizeof(out.header));
+  if (!file || out.header.magic != kMagic) {
+    throw std::runtime_error("binary_io: bad magic (not a quasispecies file): " +
+                             path.string());
+  }
+  if (out.header.version != kVersion) {
+    throw std::runtime_error("binary_io: unsupported version in " + path.string());
+  }
+  if (out.header.kind != static_cast<std::uint32_t>(expected)) {
+    throw std::runtime_error("binary_io: unexpected payload kind in " + path.string());
+  }
+  out.data.resize(out.header.meta0);
+  file.read(reinterpret_cast<char*>(out.data.data()),
+            static_cast<std::streamsize>(out.data.size() * sizeof(double)));
+  if (!file) {
+    throw std::runtime_error("binary_io: truncated payload in " + path.string());
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_vector(const std::filesystem::path& path, std::span<const double> data) {
+  write_file(path, PayloadKind::vector, 0, 0.0, data);
+}
+
+std::vector<double> load_vector(const std::filesystem::path& path) {
+  return read_file(path, PayloadKind::vector).data;
+}
+
+void save_landscape(const std::filesystem::path& path,
+                    const core::Landscape& landscape) {
+  write_file(path, PayloadKind::landscape, landscape.nu(), 0.0, landscape.values());
+}
+
+core::Landscape load_landscape(const std::filesystem::path& path) {
+  auto loaded = read_file(path, PayloadKind::landscape);
+  return core::Landscape::from_values(static_cast<unsigned>(loaded.header.meta1),
+                                      std::move(loaded.data));
+}
+
+void save_checkpoint(const std::filesystem::path& path, const SolverCheckpoint& state) {
+  write_file(path, PayloadKind::checkpoint, state.iteration, state.eigenvalue,
+             state.eigenvector);
+}
+
+SolverCheckpoint load_checkpoint(const std::filesystem::path& path) {
+  auto loaded = read_file(path, PayloadKind::checkpoint);
+  SolverCheckpoint out;
+  out.iteration = loaded.header.meta1;
+  out.eigenvalue = loaded.header.meta2;
+  out.eigenvector = std::move(loaded.data);
+  return out;
+}
+
+}  // namespace qs::io

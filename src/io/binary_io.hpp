@@ -1,0 +1,46 @@
+// Binary persistence for concentration vectors and landscapes.
+//
+// The paper's closing remark makes memory the binding constraint "given the
+// new solver"; long-running large-nu computations therefore need durable
+// state: landscapes are experiment inputs worth pinning, and a power
+// iteration interrupted at nu = 26 should resume instead of restart.  The
+// format is a fixed little-endian header (magic, version, kind, two u64
+// metadata fields) followed by the raw double payload.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+
+namespace qs::io {
+
+/// Writes a bare double vector. Throws std::runtime_error on I/O failure.
+void save_vector(const std::filesystem::path& path, std::span<const double> data);
+
+/// Reads a vector written by save_vector. Throws std::runtime_error on I/O
+/// failure or malformed content.
+std::vector<double> load_vector(const std::filesystem::path& path);
+
+/// Writes a landscape (chain length + values).
+void save_landscape(const std::filesystem::path& path, const core::Landscape& landscape);
+
+/// Reads a landscape written by save_landscape.
+core::Landscape load_landscape(const std::filesystem::path& path);
+
+/// Power-iteration checkpoint: the current iterate plus progress counters.
+struct SolverCheckpoint {
+  std::uint64_t iteration = 0;
+  double eigenvalue = 0.0;
+  std::vector<double> eigenvector;
+};
+
+/// Writes a solver checkpoint.
+void save_checkpoint(const std::filesystem::path& path, const SolverCheckpoint& state);
+
+/// Reads a solver checkpoint.
+SolverCheckpoint load_checkpoint(const std::filesystem::path& path);
+
+}  // namespace qs::io

@@ -1,0 +1,163 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void DenseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  require(x.size() == cols_ && y.size() == rows_, "DenseMatrix::multiply: dimension mismatch");
+  require(x.data() != y.data(), "DenseMatrix::multiply: x and y must not alias");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* a = &data_[i * cols_];
+    for (std::size_t j = 0; j < cols_; ++j) acc += a[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void DenseMatrix::multiply_transposed(std::span<const double> x, std::span<double> y) const {
+  require(x.size() == rows_ && y.size() == cols_,
+          "DenseMatrix::multiply_transposed: dimension mismatch");
+  require(x.data() != y.data(), "DenseMatrix::multiply_transposed: x and y must not alias");
+  for (std::size_t j = 0; j < cols_; ++j) y[j] = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = &data_[i * cols_];
+    const double xi = x[i];
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += a[j] * xi;
+  }
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  require(cols_ == other.rows_, "DenseMatrix::multiply: inner dimension mismatch");
+  DenseMatrix c(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        c(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double DenseMatrix::frobenius_distance(const DenseMatrix& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "frobenius_distance: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double DenseMatrix::max_abs_distance(const DenseMatrix& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "max_abs_distance: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+bool DenseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double DenseMatrix::max_column_sum_deviation() const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, j);
+    worst = std::max(worst, std::abs(s - 1.0));
+  }
+  return worst;
+}
+
+LuFactorization::LuFactorization(const DenseMatrix& a) : lu_(a), pivot_(a.rows()) {
+  require(a.rows() == a.cols(), "LuFactorization: matrix must be square");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) pivot_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| of column k to the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) {
+      throw std::runtime_error("LuFactorization: matrix is singular");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(pivot_[k], pivot_[p]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) *= inv;
+      const double lik = lu_(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+}
+
+void LuFactorization::solve(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  require(b.size() == n, "LuFactorization::solve: dimension mismatch");
+  // Apply the row permutation.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[pivot_[i]];
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) y[i] -= lu_(i, j) * y[j];
+  }
+  // Backward substitution with the upper triangle.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) y[ii] -= lu_(ii, j) * y[j];
+    y[ii] /= lu_(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
+}
+
+double LuFactorization::determinant() const {
+  double d = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace qs::linalg

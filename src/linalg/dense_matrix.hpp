@@ -1,0 +1,95 @@
+// Small dense matrices (row-major) with the factorisations the reduced
+// solvers need.
+//
+// The only dense matrices in this library are genuinely small: the explicit
+// mutation matrix Q for nu <= ~13 (used as the Smvp baseline and in tests)
+// and the (nu+1) x (nu+1) reduced matrices of Section 5.1.  The code
+// therefore optimises for clarity over blocking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qs::linalg {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero initialised.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  /// Square identity.
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Contiguous row-major storage.
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  /// Row i as a span.
+  std::span<const double> row(std::size_t i) const {
+    return std::span<const double>(data_).subspan(i * cols_, cols_);
+  }
+
+  /// y = A * x. Requires x.size() == cols, y.size() == rows, and y != x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T * x.
+  void multiply_transposed(std::span<const double> x, std::span<double> y) const;
+
+  /// C = A * B.
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// A^T.
+  DenseMatrix transposed() const;
+
+  /// Frobenius norm of (A - B). Requires matching shapes.
+  double frobenius_distance(const DenseMatrix& other) const;
+
+  /// Maximum absolute entry of (A - B). Requires matching shapes.
+  double max_abs_distance(const DenseMatrix& other) const;
+
+  /// True iff |A_ij - A_ji| <= tol for all i, j (square matrices only).
+  bool is_symmetric(double tol) const;
+
+  /// Maximum absolute deviation of any column sum from 1 (column
+  /// stochasticity check for mutation matrices).
+  double max_column_sum_deviation() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorisation with partial pivoting of a square matrix.
+/// Used by inverse iteration on the small reduced problems.
+class LuFactorization {
+ public:
+  /// Factorises A (copied). Throws precondition_error if A is not square and
+  /// std::runtime_error if A is numerically singular.
+  explicit LuFactorization(const DenseMatrix& a);
+
+  std::size_t dimension() const { return lu_.rows(); }
+
+  /// Solves A x = b in place: b is overwritten with x.
+  void solve(std::span<double> b) const;
+
+  /// Determinant of A (sign included).
+  double determinant() const;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> pivot_;
+  int pivot_sign_ = 1;
+};
+
+}  // namespace qs::linalg

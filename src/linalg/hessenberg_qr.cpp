@@ -1,0 +1,229 @@
+#include "linalg/hessenberg_qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+
+DenseMatrix to_hessenberg(const DenseMatrix& input) {
+  require(input.rows() == input.cols(), "to_hessenberg: matrix must be square");
+  DenseMatrix a = input;
+  const std::size_t n = a.rows();
+  if (n < 3) return a;
+
+  std::vector<double> v(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating a(k+2..n-1, k).
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) continue;
+    if (a(k + 1, k) > 0.0) alpha = -alpha;
+
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = a(i, k);
+      if (i == k + 1) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // A <- (I - beta v v^T) A
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= s * v[i];
+    }
+    // A <- A (I - beta v v^T)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= s * v[j];
+    }
+  }
+  // Clean the numerically-zero subdiagonal fill-in.
+  for (std::size_t i = 2; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) a(i, j) = 0.0;
+  }
+  return a;
+}
+
+namespace {
+
+/// Francis double-shift QR on an upper Hessenberg matrix; classic hqr
+/// formulation (Wilkinson / EISPACK lineage). Returns all eigenvalues.
+std::vector<std::complex<double>> hqr(DenseMatrix h) {
+  const std::size_t size = h.rows();
+  std::vector<std::complex<double>> out;
+  out.reserve(size);
+  if (size == 0) return out;
+
+  // Overall matrix scale for deflation thresholds.
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = (i == 0 ? 0 : i - 1); j < size; ++j) {
+      anorm += std::abs(h(i, j));
+    }
+  }
+  if (anorm == 0.0) {
+    out.assign(size, std::complex<double>(0.0, 0.0));
+    return out;
+  }
+
+  long nn = static_cast<long>(size) - 1;
+  double t = 0.0;
+  while (nn >= 0) {
+    int its = 0;
+    long l;
+    for (;;) {
+      // Find a small subdiagonal element (deflation point).
+      for (l = nn; l >= 1; --l) {
+        const double s = std::abs(h(l - 1, l - 1)) + std::abs(h(l, l));
+        const double scale = (s == 0.0) ? anorm : s;
+        if (std::abs(h(l, l - 1)) <= 1e-300 + 1e-16 * scale) {
+          h(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = h(nn, nn);
+      if (l == nn) {  // one real eigenvalue found
+        out.emplace_back(x + t, 0.0);
+        --nn;
+        break;
+      }
+      double y = h(nn - 1, nn - 1);
+      double w = h(nn, nn - 1) * h(nn - 1, nn);
+      if (l == nn - 1) {  // a 2x2 block: one real pair or a complex pair
+        double p = 0.5 * (y - x);
+        double q = p * p + w;
+        double z = std::sqrt(std::abs(q));
+        x += t;
+        if (q >= 0.0) {
+          z = p + (p >= 0.0 ? z : -z);
+          out.emplace_back(x + z, 0.0);
+          out.emplace_back(z != 0.0 ? x - w / z : x + z, 0.0);
+        } else {
+          out.emplace_back(x + p, z);
+          out.emplace_back(x + p, -z);
+        }
+        nn -= 2;
+        break;
+      }
+      if (its == 60) {
+        throw std::runtime_error("hessenberg_qr: too many QR iterations");
+      }
+      if (its == 10 || its == 20) {
+        // Exceptional shift to break symmetric stagnation.
+        t += x;
+        for (long i = 0; i <= nn; ++i) h(i, i) -= x;
+        const double s = std::abs(h(nn, nn - 1)) + std::abs(h(nn - 1, nn - 2));
+        x = y = 0.75 * s;
+        w = -0.4375 * s * s;
+      }
+      ++its;
+
+      // Look for two consecutive small subdiagonal elements; on exit
+      // (p, q, r) holds the first Householder direction of the double step.
+      long m;
+      double p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+      for (m = nn - 2; m >= l; --m) {
+        z = h(m, m);
+        const double rr = x - z;
+        const double ss = y - z;
+        p = (rr * ss - w) / h(m + 1, m) + h(m, m + 1);
+        q = h(m + 1, m + 1) - z - rr - ss;
+        r = h(m + 2, m + 1);
+        const double s3 = std::abs(p) + std::abs(q) + std::abs(r);
+        p /= s3;
+        q /= s3;
+        r /= s3;
+        if (m == l) break;
+        const double u = std::abs(h(m, m - 1)) * (std::abs(q) + std::abs(r));
+        const double v = std::abs(p) * (std::abs(h(m - 1, m - 1)) + std::abs(z) +
+                                        std::abs(h(m + 1, m + 1)));
+        if (u <= 1e-16 * v) break;
+      }
+      for (long i = m + 2; i <= nn; ++i) {
+        h(i, i - 2) = 0.0;
+        if (i != m + 2) h(i, i - 3) = 0.0;
+      }
+
+      // Double QR step on rows l..nn and columns m..nn.
+      for (long k = m; k <= nn - 1; ++k) {
+        if (k != m) {
+          p = h(k, k - 1);
+          q = h(k + 1, k - 1);
+          r = (k != nn - 1) ? h(k + 2, k - 1) : 0.0;
+          x = std::abs(p) + std::abs(q) + std::abs(r);
+          if (x != 0.0) {
+            p /= x;
+            q /= x;
+            r /= x;
+          }
+        }
+        double s = std::sqrt(p * p + q * q + r * r);
+        if (p < 0.0) s = -s;
+        if (s == 0.0) continue;
+        if (k == m) {
+          if (l != m) h(k, k - 1) = -h(k, k - 1);
+        } else {
+          h(k, k - 1) = -s * x;
+        }
+        p += s;
+        x = p / s;
+        y = q / s;
+        z = r / s;
+        q /= p;
+        r /= p;
+        for (long j = k; j <= nn; ++j) {  // row modification
+          p = h(k, j) + q * h(k + 1, j);
+          if (k != nn - 1) {
+            p += r * h(k + 2, j);
+            h(k + 2, j) -= p * z;
+          }
+          h(k + 1, j) -= p * y;
+          h(k, j) -= p * x;
+        }
+        const long mmin = (nn < k + 3) ? nn : k + 3;
+        for (long i = l; i <= mmin; ++i) {  // column modification
+          p = x * h(i, k) + y * h(i, k + 1);
+          if (k != nn - 1) {
+            p += z * h(i, k + 2);
+            h(i, k + 2) -= p * r;
+          }
+          h(i, k + 1) -= p * q;
+          h(i, k) -= p;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const DenseMatrix& a) {
+  require(a.rows() == a.cols(), "eigenvalues: matrix must be square");
+  return hqr(to_hessenberg(a));
+}
+
+double dominant_real_eigenvalue(const DenseMatrix& a) {
+  const auto spectrum = eigenvalues(a);
+  require(!spectrum.empty(), "dominant_real_eigenvalue: empty matrix");
+  std::complex<double> best = spectrum.front();
+  for (const auto& z : spectrum) {
+    if (std::abs(z) > std::abs(best)) best = z;
+  }
+  if (std::abs(best.imag()) > 1e-8 * (1.0 + std::abs(best.real()))) {
+    throw std::runtime_error(
+        "dominant_real_eigenvalue: maximal-modulus eigenvalue is complex");
+  }
+  return best.real();
+}
+
+}  // namespace qs::linalg

@@ -1,0 +1,34 @@
+// Eigenvalues of small general real matrices via Hessenberg reduction and
+// the shifted QR iteration.
+//
+// Needed as the "standard solver" substrate for reduced problems whose
+// similarity-to-symmetric scaling is unavailable (e.g. generalized mutation
+// processes where the reduced matrix loses reversibility), and for verifying
+// the spectral claims of Section 2 (eigenvalues (1-2p)^k of Q) on explicit
+// matrices.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::linalg {
+
+/// Reduces `a` to upper Hessenberg form by Householder similarity
+/// transformations. Returns H with H = P^T A P for an orthogonal P
+/// (P itself is not accumulated; eigenvalues are preserved).
+DenseMatrix to_hessenberg(const DenseMatrix& a);
+
+/// All eigenvalues of the square real matrix `a` (complex in general),
+/// unordered. Throws std::runtime_error if the QR iteration fails to
+/// converge (practically unobservable for small well-scaled inputs).
+std::vector<std::complex<double>> eigenvalues(const DenseMatrix& a);
+
+/// Spectral radius-achieving real dominant eigenvalue of `a`, assuming the
+/// Perron-Frobenius setting (unique real eigenvalue of maximal modulus).
+/// Throws std::runtime_error if the maximal-modulus eigenvalue has a
+/// significant imaginary part.
+double dominant_real_eigenvalue(const DenseMatrix& a);
+
+}  // namespace qs::linalg

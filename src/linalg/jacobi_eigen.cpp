@@ -1,0 +1,91 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double off_diagonal_norm2(const DenseMatrix& a) {
+  double acc = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) acc += 2.0 * a(i, j) * a(i, j);
+  }
+  return acc;
+}
+
+}  // namespace
+
+SymmetricEigen jacobi_eigen(const DenseMatrix& input, const JacobiOptions& opts) {
+  require(input.rows() == input.cols(), "jacobi_eigen: matrix must be square");
+  require(input.is_symmetric(1e-12), "jacobi_eigen: matrix must be symmetric");
+
+  const std::size_t n = input.rows();
+  DenseMatrix a = input;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  double frob2 = 0.0;
+  for (double x : a.data()) frob2 += x * x;
+  const double target = opts.tolerance * opts.tolerance * std::max(frob2, 1e-300);
+
+  for (unsigned sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (off_diagonal_norm2(a) <= target) break;
+    if (sweep + 1 == opts.max_sweeps) {
+      throw std::runtime_error("jacobi_eigen: no convergence within max_sweeps");
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        // Classic Jacobi rotation annihilating a(p, q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace qs::linalg

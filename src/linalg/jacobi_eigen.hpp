@@ -1,0 +1,36 @@
+// Cyclic Jacobi eigendecomposition for small symmetric matrices.
+//
+// The reduced (nu+1) x (nu+1) problem of Section 5.1 is similar to a
+// symmetric matrix (see solvers/reduced_solver.cpp for the scaling), so a
+// Jacobi sweep gives all its eigenvalues and orthonormal eigenvectors to
+// full accuracy — exactly the "standard solver" the paper prescribes for the
+// reduced problem.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::linalg {
+
+/// Full eigendecomposition A = V diag(w) V^T of a symmetric matrix.
+struct SymmetricEigen {
+  std::vector<double> values;  ///< Eigenvalues in descending order.
+  DenseMatrix vectors;         ///< Column j is the eigenvector of values[j].
+};
+
+/// Options for the Jacobi iteration.
+struct JacobiOptions {
+  double tolerance = 1e-14;      ///< Off-diagonal Frobenius norm target
+                                 ///< relative to the matrix norm.
+  unsigned max_sweeps = 64;      ///< Hard cap on full sweeps.
+};
+
+/// Computes all eigenpairs of the symmetric matrix `a`.
+///
+/// Requires `a` square and symmetric to ~1e-12; throws precondition_error
+/// otherwise, and std::runtime_error if convergence is not reached within
+/// max_sweeps (which does not happen for well-scaled inputs).
+SymmetricEigen jacobi_eigen(const DenseMatrix& a, const JacobiOptions& opts = {});
+
+}  // namespace qs::linalg

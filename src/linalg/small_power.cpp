@@ -1,0 +1,100 @@
+#include "linalg/small_power.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+
+DominantEigenpair power_iteration(const DenseMatrix& a, std::span<const double> start,
+                                  const SmallSolveOptions& opts) {
+  require(a.rows() == a.cols(), "power_iteration: matrix must be square");
+  const std::size_t n = a.rows();
+  require(n > 0, "power_iteration: empty matrix");
+  require(start.empty() || start.size() == n,
+          "power_iteration: starting vector has wrong dimension");
+
+  DominantEigenpair out;
+  out.vector.assign(n, 1.0 / static_cast<double>(n));
+  if (!start.empty()) {
+    copy(start, out.vector);
+    normalize1(out.vector);
+  }
+
+  std::vector<double> y(n);
+  for (unsigned it = 1; it <= opts.max_iterations; ++it) {
+    a.multiply(out.vector, y);
+    if (opts.shift != 0.0) axpy(-opts.shift, out.vector, y);
+
+    // Rayleigh quotient of the *unshifted* matrix.
+    const double xx = dot(out.vector, out.vector);
+    const double lambda = dot(out.vector, y) / xx + opts.shift;
+
+    // Residual ||A x - lambda x||_2 = ||y - (lambda - shift) x||_2 relative
+    // to |lambda| * ||x||_2.
+    double res2 = 0.0;
+    const double mu = lambda - opts.shift;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = y[i] - mu * out.vector[i];
+      res2 += r * r;
+    }
+    const double xnorm = std::sqrt(xx);
+    out.value = lambda;
+    out.residual = std::sqrt(res2) / std::max(std::abs(lambda) * xnorm, 1e-300);
+    out.iterations = it;
+    if (out.residual <= opts.tolerance) {
+      out.converged = true;
+      break;
+    }
+    copy(y, out.vector);
+    normalize1(out.vector);
+  }
+  normalize1(out.vector);
+  return out;
+}
+
+DominantEigenpair inverse_iteration(const DenseMatrix& a, double lambda,
+                                    const SmallSolveOptions& opts) {
+  require(a.rows() == a.cols(), "inverse_iteration: matrix must be square");
+  const std::size_t n = a.rows();
+  require(n > 0, "inverse_iteration: empty matrix");
+
+  // Shift slightly off the eigenvalue so the factorisation stays regular;
+  // the iteration still converges onto the nearby eigenvector.
+  DenseMatrix shifted = a;
+  double mu = lambda * (1.0 + 1e-10) + 1e-300;
+  for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= mu;
+  LuFactorization lu(shifted);
+
+  DominantEigenpair out;
+  out.vector.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> y(n);
+  for (unsigned it = 1; it <= opts.max_iterations; ++it) {
+    lu.solve(out.vector);
+    normalize2(out.vector);
+    // Rayleigh quotient and residual against the original matrix.
+    a.multiply(out.vector, y);
+    const double rq = dot(out.vector, y);
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = y[i] - rq * out.vector[i];
+      res2 += r * r;
+    }
+    out.value = rq;
+    out.residual = std::sqrt(res2) / std::max(std::abs(rq), 1e-300);
+    out.iterations = it;
+    if (out.residual <= opts.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Perron setting: orient nonnegatively and normalise as concentrations.
+  double s = sum(out.vector);
+  if (s < 0.0) scale(out.vector, -1.0);
+  normalize1(out.vector);
+  return out;
+}
+
+}  // namespace qs::linalg

@@ -1,0 +1,47 @@
+// Dominant eigenpair solvers for small dense matrices.
+//
+// These are the reference solvers against which the large implicit solvers
+// are cross-validated, and the backends of the reduced (nu+1) x (nu+1)
+// problems: power iteration (mirrors the large solver's structure) and
+// inverse iteration (refines an eigenvalue estimate from hessenberg_qr or
+// jacobi_eigen into an eigenvector).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::linalg {
+
+/// Result of a dominant-eigenpair computation.
+struct DominantEigenpair {
+  double value = 0.0;           ///< Dominant eigenvalue estimate.
+  std::vector<double> vector;   ///< Eigenvector, 1-norm normalised.
+  unsigned iterations = 0;      ///< Iterations actually performed.
+  double residual = 0.0;        ///< ||A x - lambda x||_2 at exit.
+  bool converged = false;
+};
+
+/// Options shared by the small iterative solvers.
+struct SmallSolveOptions {
+  double tolerance = 1e-14;    ///< Convergence threshold on the relative
+                               ///< residual ||Ax - lambda x||_2 / |lambda|.
+  unsigned max_iterations = 100000;
+  double shift = 0.0;          ///< Spectral shift applied as A - shift*I.
+};
+
+/// Power iteration for the dominant eigenpair of a small dense matrix with
+/// nonnegative dominant eigenvector (Perron-Frobenius setting).  `start` may
+/// be empty, in which case the uniform vector is used.
+DominantEigenpair power_iteration(const DenseMatrix& a,
+                                  std::span<const double> start = {},
+                                  const SmallSolveOptions& opts = {});
+
+/// Inverse iteration around the estimate `lambda`: repeatedly solves
+/// (A - lambda I) x_{k+1} = x_k.  Converges in a handful of iterations when
+/// lambda approximates an eigenvalue well; returns the refined eigenpair.
+DominantEigenpair inverse_iteration(const DenseMatrix& a, double lambda,
+                                    const SmallSolveOptions& opts = {});
+
+}  // namespace qs::linalg

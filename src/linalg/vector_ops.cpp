@@ -1,0 +1,94 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm2(std::span<const double> x) {
+  // Scaled accumulation guards against overflow for very long vectors with
+  // large entries; concentrations are tiny, but fitness-scaled intermediates
+  // need not be.
+  double scale_factor = 0.0;
+  double ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double a = std::abs(v);
+    if (scale_factor < a) {
+      ssq = 1.0 + ssq * (scale_factor / a) * (scale_factor / a);
+      scale_factor = a;
+    } else {
+      ssq += (a / scale_factor) * (a / scale_factor);
+    }
+  }
+  return scale_factor * std::sqrt(ssq);
+}
+
+double norm_inf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double normalize1(std::span<double> x) {
+  const double n = norm1(x);
+  require(n > 0.0, "normalize1: zero vector");
+  scale(x, 1.0 / n);
+  return n;
+}
+
+double normalize2(std::span<double> x) {
+  const double n = norm2(x);
+  require(n > 0.0, "normalize2: zero vector");
+  scale(x, 1.0 / n);
+  return n;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "max_abs_diff: dimension mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+void copy(std::span<const double> x, std::span<double> z) {
+  require(x.size() == z.size(), "copy: dimension mismatch");
+  std::copy(x.begin(), x.end(), z.begin());
+}
+
+void hadamard_scale(std::span<double> y, std::span<const double> d) {
+  require(y.size() == d.size(), "hadamard_scale: dimension mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] *= d[i];
+}
+
+}  // namespace qs::linalg

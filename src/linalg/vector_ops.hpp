@@ -1,0 +1,53 @@
+// Dense vector kernels shared by all solvers.
+//
+// The quasispecies concentration vectors have length N = 2^nu (up to
+// hundreds of millions of entries), so these kernels are written as simple
+// contiguous loops the compiler can vectorise, with optional parallel
+// variants living in the parallel engine.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace qs::linalg {
+
+/// y += alpha * x. Requires x.size() == y.size().
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Euclidean inner product <x, y>. Requires x.size() == y.size().
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// 1-norm: sum of |x_i|.
+double norm1(std::span<const double> x);
+
+/// 2-norm.
+double norm2(std::span<const double> x);
+
+/// max-norm.
+double norm_inf(std::span<const double> x);
+
+/// Sum of entries (no absolute values); used for probability normalisation
+/// of nonnegative concentration vectors.
+double sum(std::span<const double> x);
+
+/// Scales x so that its 1-norm becomes 1. Requires norm1(x) > 0.
+/// Returns the original 1-norm.
+double normalize1(std::span<double> x);
+
+/// Scales x so that its 2-norm becomes 1. Requires norm2(x) > 0.
+/// Returns the original 2-norm.
+double normalize2(std::span<double> x);
+
+/// ||x - y||_inf, the maximum absolute componentwise difference.
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+/// z = x (plain copy with dimension check).
+void copy(std::span<const double> x, std::span<double> z);
+
+/// Componentwise product: y_i *= d_i. Used for diagonal (fitness) scaling.
+void hadamard_scale(std::span<double> y, std::span<const double> d);
+
+}  // namespace qs::linalg

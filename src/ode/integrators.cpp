@@ -1,0 +1,157 @@
+#include "ode/integrators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::ode {
+namespace {
+
+/// Projects x back onto the probability simplex (clamp tiny negatives from
+/// rounding, renormalise the 1-norm).
+void renormalize(std::span<double> x) {
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;
+  }
+  linalg::normalize1(x);
+}
+
+}  // namespace
+
+void rk4_step(const ReplicatorODE& ode, std::span<double> x, double dt) {
+  const std::size_t n = x.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+  ode.derivative(x, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * dt * k1[i];
+  ode.derivative(tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * dt * k2[i];
+  ode.derivative(tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt * k3[i];
+  ode.derivative(tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  renormalize(x);
+}
+
+void integrate_fixed(const ReplicatorODE& ode, std::span<double> x, double dt,
+                     std::size_t steps) {
+  require(dt > 0.0, "integrate_fixed: step size must be positive");
+  for (std::size_t s = 0; s < steps; ++s) rk4_step(ode, x, dt);
+}
+
+double rkf45_step(const ReplicatorODE& ode, std::span<double> x, double& dt,
+                  const AdaptiveOptions& options) {
+  require(dt > 0.0, "rkf45_step: step size must be positive");
+  const std::size_t n = x.size();
+
+  // Fehlberg 4(5) tableau.
+  static constexpr double a2 = 1.0 / 4.0;
+  static constexpr double b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
+  static constexpr double b41 = 1932.0 / 2197.0, b42 = -7200.0 / 2197.0,
+                          b43 = 7296.0 / 2197.0;
+  static constexpr double b51 = 439.0 / 216.0, b52 = -8.0, b53 = 3680.0 / 513.0,
+                          b54 = -845.0 / 4104.0;
+  static constexpr double b61 = -8.0 / 27.0, b62 = 2.0, b63 = -3544.0 / 2565.0,
+                          b64 = 1859.0 / 4104.0, b65 = -11.0 / 40.0;
+  static constexpr double c41 = 25.0 / 216.0, c43 = 1408.0 / 2565.0,
+                          c44 = 2197.0 / 4104.0, c45 = -1.0 / 5.0;
+  static constexpr double c51 = 16.0 / 135.0, c53 = 6656.0 / 12825.0,
+                          c54 = 28561.0 / 56430.0, c55 = -9.0 / 50.0,
+                          c56 = 2.0 / 55.0;
+
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), tmp(n);
+  ode.derivative(x, k1);
+
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt * a2 * k1[i];
+    ode.derivative(tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = x[i] + dt * (b31 * k1[i] + b32 * k2[i]);
+    }
+    ode.derivative(tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = x[i] + dt * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    }
+    ode.derivative(tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = x[i] + dt * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    }
+    ode.derivative(tmp, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = x[i] + dt * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] + b64 * k4[i] +
+                            b65 * k5[i]);
+    }
+    ode.derivative(tmp, k6);
+
+    // 4th-order solution and embedded 5th-order error estimate.
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y4 = x[i] + dt * (c41 * k1[i] + c43 * k3[i] + c44 * k4[i] +
+                                     c45 * k5[i]);
+      const double y5 = x[i] + dt * (c51 * k1[i] + c53 * k3[i] + c54 * k4[i] +
+                                     c55 * k5[i] + c56 * k6[i]);
+      tmp[i] = y4;
+      err = std::max(err, std::abs(y5 - y4));
+    }
+
+    if (err <= options.abs_tol || dt <= options.min_dt) {
+      // Accept.
+      const double taken = dt;
+      for (std::size_t i = 0; i < n; ++i) x[i] = tmp[i];
+      renormalize(x);
+      // Step-size controller (safety factor 0.9, order-4 exponent).
+      const double scale =
+          (err > 0.0) ? 0.9 * std::pow(options.abs_tol / err, 0.25) : 2.0;
+      dt = std::clamp(dt * std::clamp(scale, 0.2, 2.0), options.min_dt,
+                      options.max_dt);
+      return taken;
+    }
+    // Reject and retry with a smaller step.
+    const double scale = 0.9 * std::pow(options.abs_tol / err, 0.25);
+    dt = std::max(dt * std::clamp(scale, 0.1, 0.9), options.min_dt);
+  }
+}
+
+StationaryResult integrate_to_stationary(const ReplicatorODE& ode,
+                                         std::span<double> x,
+                                         const StationaryOptions& options) {
+  require(options.dt > 0.0, "integrate_to_stationary: step size must be positive");
+  const std::size_t n = x.size();
+  std::vector<double> dx(n);
+
+  StationaryResult out;
+  double dt = options.dt;
+  AdaptiveOptions adaptive;
+  adaptive.initial_dt = options.dt;
+  // The state can only settle to within the integrator's per-step error of
+  // the fixed point, so the step error target must sit safely below the
+  // stationarity threshold or the iterate bounces around equilibrium at
+  // amplitude ~abs_tol forever.
+  adaptive.abs_tol = std::min(adaptive.abs_tol, 0.01 * options.derivative_tol);
+
+  while (out.time < options.max_time) {
+    out.mean_fitness = ode.derivative(x, dx);
+    out.derivative_norm = linalg::norm_inf(dx);
+    if (out.derivative_norm <= options.derivative_tol) {
+      out.converged = true;
+      return out;
+    }
+    if (options.adaptive) {
+      out.time += rkf45_step(ode, x, dt, adaptive);
+    } else {
+      rk4_step(ode, x, options.dt);
+      out.time += options.dt;
+    }
+    ++out.steps;
+  }
+  out.mean_fitness = ode.derivative(x, dx);
+  out.derivative_norm = linalg::norm_inf(dx);
+  out.converged = out.derivative_norm <= options.derivative_tol;
+  return out;
+}
+
+}  // namespace qs::ode

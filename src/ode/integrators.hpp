@@ -1,0 +1,62 @@
+// Time integrators for the replicator-mutator flow.
+//
+// Two integrators cover the validation needs: classic fixed-step RK4 (cheap
+// and sufficient on the smooth, contracting quasispecies flow) and an
+// adaptive embedded Runge-Kutta-Fehlberg 4(5) that picks its own steps.
+// integrate_to_stationary drives either until ||dx/dt|| drops below a
+// threshold — the resulting state is the quasispecies distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ode/replicator.hpp"
+
+namespace qs::ode {
+
+/// One classic RK4 step of size dt, in place. Needs no persistent state.
+/// Renormalises x to the probability simplex afterwards (the flow conserves
+/// sum x_i exactly; renormalisation removes integration drift).
+void rk4_step(const ReplicatorODE& ode, std::span<double> x, double dt);
+
+/// Fixed-step RK4 over `steps` steps of size dt.
+void integrate_fixed(const ReplicatorODE& ode, std::span<double> x, double dt,
+                     std::size_t steps);
+
+/// Options for adaptive integration.
+struct AdaptiveOptions {
+  double abs_tol = 1e-10;    ///< Per-step max-norm error target.
+  double initial_dt = 1e-2;
+  double min_dt = 1e-8;
+  double max_dt = 10.0;
+};
+
+/// One adaptive RKF45 step: advances x by an accepted step, updates dt for
+/// the next call, and returns the step size actually taken.
+double rkf45_step(const ReplicatorODE& ode, std::span<double> x, double& dt,
+                  const AdaptiveOptions& options = {});
+
+/// Options and result for stationary-state integration.
+struct StationaryOptions {
+  double derivative_tol = 1e-12;  ///< ||dx/dt||_inf threshold.
+  double max_time = 1e6;
+  bool adaptive = true;           ///< RKF45 when true, RK4 otherwise.
+  double dt = 1e-1;               ///< Fixed step (RK4) or initial step (RKF45).
+};
+
+struct StationaryResult {
+  double time = 0.0;              ///< Integrated time at exit.
+  std::size_t steps = 0;          ///< Accepted steps.
+  double derivative_norm = 0.0;   ///< ||dx/dt||_inf at exit.
+  double mean_fitness = 0.0;      ///< Phi at exit = dominant eigenvalue of W.
+  bool converged = false;
+};
+
+/// Integrates x (modified in place) until the flow is stationary.  At the
+/// fixed point, Phi equals the dominant eigenvalue lambda_0 of W and x is
+/// the quasispecies distribution.
+StationaryResult integrate_to_stationary(const ReplicatorODE& ode,
+                                         std::span<double> x,
+                                         const StationaryOptions& options = {});
+
+}  // namespace qs::ode

@@ -1,0 +1,43 @@
+#include "ode/replicator.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::ode {
+
+ReplicatorODE::ReplicatorODE(core::MutationModel model,
+                             const core::Landscape& landscape)
+    : model_(std::move(model)), landscape_(&landscape) {
+  require(model_.dimension() == landscape.dimension(),
+          "ReplicatorODE: model and landscape dimensions differ");
+}
+
+double ReplicatorODE::derivative(std::span<const double> x,
+                                 std::span<double> dx) const {
+  const std::size_t n = static_cast<std::size_t>(dimension());
+  require(x.size() == n && dx.size() == n, "ReplicatorODE::derivative: size mismatch");
+  require(x.data() != dx.data(), "ReplicatorODE::derivative: x and dx must not alias");
+
+  const auto f = landscape_->values();
+  double phi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dx[i] = f[i] * x[i];
+    phi += dx[i];
+  }
+  model_.apply(dx);  // dx = Q (f .* x)
+  for (std::size_t i = 0; i < n; ++i) dx[i] -= phi * x[i];
+  return phi;
+}
+
+std::vector<double> ReplicatorODE::master_start() const {
+  std::vector<double> x(static_cast<std::size_t>(dimension()), 0.0);
+  x[0] = 1.0;
+  return x;
+}
+
+std::vector<double> ReplicatorODE::uniform_start() const {
+  const std::size_t n = static_cast<std::size_t>(dimension());
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace qs::ode

@@ -1,0 +1,47 @@
+// Eigen's replicator-mutator ODE system (Eq. (1) of the paper).
+//
+//   dx_i/dt = sum_j f_j Q_{i,j} x_j - x_i Phi(t),  Phi = sum_j f_j x_j,
+//
+// with sum_j x_j = 1 conserved (Q is column stochastic).  The stationary
+// distribution of this flow is the dominant eigenvector of W = Q F — the
+// quasispecies — which makes direct time integration the independent
+// ground truth the eigensolvers are validated against.  The right-hand side
+// rides on the fast mutation matrix product, so even the ODE runs in
+// Theta(N log2 N) per evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+
+namespace qs::ode {
+
+/// The replicator-mutator vector field.
+class ReplicatorODE {
+ public:
+  /// `model` is copied; `landscape` is referenced and must outlive the ODE.
+  ReplicatorODE(core::MutationModel model, const core::Landscape& landscape);
+
+  seq_t dimension() const { return model_.dimension(); }
+  const core::MutationModel& model() const { return model_; }
+  const core::Landscape& landscape() const { return *landscape_; }
+
+  /// dx = Q (f .* x) - Phi x with Phi = sum_j f_j x_j. Requires matching
+  /// sizes; x and dx must not alias.  Returns Phi (the mean fitness).
+  double derivative(std::span<const double> x, std::span<double> dx) const;
+
+  /// The simplex-corner initial condition of the model: x_0 = 1 (only the
+  /// master sequence present).
+  std::vector<double> master_start() const;
+
+  /// Uniform initial condition x_i = 1/N.
+  std::vector<double> uniform_start() const;
+
+ private:
+  core::MutationModel model_;
+  const core::Landscape* landscape_;
+};
+
+}  // namespace qs::ode

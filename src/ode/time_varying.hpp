@@ -1,0 +1,51 @@
+// Replicator-mutator dynamics with a time-dependent error rate.
+//
+// The paper's motivating application (Section 1.1) is mutagenic antiviral
+// therapy: "an increase of p is possible by the use of pharmaceutical
+// drugs".  A drug concentration changing over time makes p = p(t), turning
+// Eq. (1) into a non-autonomous system.  The eigenvector machinery only
+// covers fixed p; this integrator follows the full transient — drug ramp,
+// washout, pulsed dosing — still at Theta(N log2 N) per right-hand side
+// via the uniform butterfly.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/landscape.hpp"
+
+namespace qs::ode {
+
+/// dx/dt = Q(p(t)) (f .* x) - Phi x with a caller-supplied rate schedule.
+class TimeVaryingReplicatorODE {
+ public:
+  /// `rate(t)` must return an error rate in (0, 1/2] for every queried t.
+  /// `landscape` is referenced and must outlive the ODE.
+  TimeVaryingReplicatorODE(const core::Landscape& landscape,
+                           std::function<double(double)> rate);
+
+  seq_t dimension() const { return landscape_->dimension(); }
+  const core::Landscape& landscape() const { return *landscape_; }
+
+  /// The error rate at time t (validated).
+  double rate_at(double t) const;
+
+  /// dx at time t. Requires matching sizes; x and dx must not alias.
+  /// Returns the mean fitness Phi.
+  double derivative(double t, std::span<const double> x, std::span<double> dx) const;
+
+ private:
+  const core::Landscape* landscape_;
+  std::function<double(double)> rate_;
+};
+
+/// One classic RK4 step of size dt for the non-autonomous system; advances
+/// t and renormalises x onto the simplex.
+void rk4_step(const TimeVaryingReplicatorODE& ode, double& t, std::span<double> x,
+              double dt);
+
+/// Fixed-step integration over [t, t + steps * dt]; t advances in place.
+void integrate(const TimeVaryingReplicatorODE& ode, double& t, std::span<double> x,
+               double dt, std::size_t steps);
+
+}  // namespace qs::ode

@@ -1,0 +1,80 @@
+// Kernel-dispatch execution engine: the repo's stand-in for the paper's
+// OpenCL/GPU runtime.
+//
+// The paper's GPU implementation (Section 4) launches, per butterfly level,
+// a kernel over N/2 independent work items and synchronises between levels;
+// the host loop owns the level iteration.  This engine reproduces exactly
+// that structure on the CPU: dispatch(n, kernel) runs a 1-D index space with
+// barrier semantics (all work items complete before dispatch returns), and
+// reductions cover the norm/residual computations the power iteration needs
+// between products.  Backends: a serial one (the "single CPU core" reference
+// of the paper's Figure 2) and an OpenMP one (the "parallel hardware" axis
+// of Figure 4).  See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace qs::parallel {
+
+/// A chunk of a 1-D index space: the kernel body is invoked as
+/// body(begin, end) and must process every index in [begin, end).
+/// Passing ranges instead of single indices keeps dispatch overhead
+/// negligible next to memory-bound kernel bodies.
+using RangeKernel = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// Abstract execution backend with kernel-launch semantics.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Human-readable backend name ("serial", "openmp").
+  virtual std::string_view name() const = 0;
+
+  /// Number of hardware lanes the backend will use.
+  virtual unsigned concurrency() const = 0;
+
+  /// Executes `kernel` over the index space [0, n) and returns when every
+  /// index has been processed (barrier semantics, like clFinish after a
+  /// kernel launch). Chunking is backend-defined; the kernel must be safe
+  /// to run concurrently on disjoint ranges.
+  virtual void dispatch(std::size_t n, const RangeKernel& kernel) const = 0;
+
+  /// Parallel reduction: sum of entries.
+  virtual double reduce_sum(std::span<const double> v) const = 0;
+
+  /// Parallel reduction: sum of absolute values (1-norm).
+  virtual double reduce_abs_sum(std::span<const double> v) const = 0;
+
+  /// Parallel reduction: sum of squares (squared 2-norm).
+  virtual double reduce_sum_squares(std::span<const double> v) const = 0;
+
+  /// Parallel reduction: inner product. Requires equal lengths.
+  virtual double reduce_dot(std::span<const double> a,
+                            std::span<const double> b) const = 0;
+};
+
+/// Available backend kinds.
+enum class Backend {
+  serial,
+  openmp,
+  thread_pool,
+};
+
+/// Creates a fresh engine of the given kind. The OpenMP kind degrades to a
+/// serial engine (with name "serial") when the library was built without
+/// OpenMP support; the thread-pool kind is always genuinely multi-threaded
+/// (std::thread only).
+std::unique_ptr<Engine> make_engine(Backend kind);
+
+/// Process-lifetime serial engine (always available).
+const Engine& serial_engine();
+
+/// Process-lifetime parallel engine: OpenMP when available, otherwise the
+/// serial engine.
+const Engine& parallel_engine();
+
+}  // namespace qs::parallel

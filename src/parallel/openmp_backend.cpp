@@ -1,0 +1,115 @@
+#include "parallel/openmp_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+#if defined(QS_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace qs::parallel {
+
+#if defined(QS_HAVE_OPENMP)
+
+std::string_view OpenMPBackend::name() const { return "openmp"; }
+
+unsigned OpenMPBackend::concurrency() const {
+  return static_cast<unsigned>(omp_get_max_threads());
+}
+
+void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
+  if (n == 0) return;
+  // One contiguous chunk per thread; contiguous partitions keep the
+  // butterfly kernels' memory access streaming within each lane.
+#pragma omp parallel
+  {
+    const std::size_t threads = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t chunk = (n + threads - 1) / threads;
+    const std::size_t begin = std::min(tid * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin < end) kernel(begin, end);
+  }
+}
+
+double OpenMPBackend::reduce_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  const double* data = v.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(v.size());
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) acc += data[i];
+  return acc;
+}
+
+double OpenMPBackend::reduce_abs_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  const double* data = v.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(v.size());
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) acc += std::abs(data[i]);
+  return acc;
+}
+
+double OpenMPBackend::reduce_sum_squares(std::span<const double> v) const {
+  double acc = 0.0;
+  const double* data = v.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(v.size());
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) acc += data[i] * data[i];
+  return acc;
+}
+
+double OpenMPBackend::reduce_dot(std::span<const double> a,
+                                 std::span<const double> b) const {
+  require(a.size() == b.size(), "reduce_dot: dimension mismatch");
+  double acc = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(a.size());
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+#else  // !QS_HAVE_OPENMP — degrade gracefully to the serial implementation.
+
+std::string_view OpenMPBackend::name() const { return "serial"; }
+
+unsigned OpenMPBackend::concurrency() const { return 1; }
+
+void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
+  if (n == 0) return;
+  kernel(0, n);
+}
+
+double OpenMPBackend::reduce_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double OpenMPBackend::reduce_abs_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+double OpenMPBackend::reduce_sum_squares(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return acc;
+}
+
+double OpenMPBackend::reduce_dot(std::span<const double> a,
+                                 std::span<const double> b) const {
+  require(a.size() == b.size(), "reduce_dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+#endif
+
+}  // namespace qs::parallel

@@ -1,0 +1,40 @@
+#include "parallel/serial_backend.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::parallel {
+
+void SerialBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
+  if (n == 0) return;
+  kernel(0, n);
+}
+
+double SerialBackend::reduce_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double SerialBackend::reduce_abs_sum(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+double SerialBackend::reduce_sum_squares(std::span<const double> v) const {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return acc;
+}
+
+double SerialBackend::reduce_dot(std::span<const double> a,
+                                 std::span<const double> b) const {
+  require(a.size() == b.size(), "reduce_dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace qs::parallel

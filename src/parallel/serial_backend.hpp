@@ -1,0 +1,20 @@
+// Serial reference backend: runs every kernel as one chunk on the calling
+// thread. This is the "single CPU core" platform of the paper's Figure 2.
+#pragma once
+
+#include "parallel/engine.hpp"
+
+namespace qs::parallel {
+
+class SerialBackend final : public Engine {
+ public:
+  std::string_view name() const override { return "serial"; }
+  unsigned concurrency() const override { return 1; }
+  void dispatch(std::size_t n, const RangeKernel& kernel) const override;
+  double reduce_sum(std::span<const double> v) const override;
+  double reduce_abs_sum(std::span<const double> v) const override;
+  double reduce_sum_squares(std::span<const double> v) const override;
+  double reduce_dot(std::span<const double> a, std::span<const double> b) const override;
+};
+
+}  // namespace qs::parallel

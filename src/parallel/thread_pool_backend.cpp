@@ -1,0 +1,148 @@
+#include "parallel/thread_pool_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::parallel {
+
+ThreadPoolBackend::ThreadPoolBackend(unsigned threads) {
+  unsigned total = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (total == 0) total = 1;
+  // The calling thread participates in every dispatch, so spawn one fewer.
+  worker_count_ = total - 1;
+  workers_.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPoolBackend::~ThreadPoolBackend() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPoolBackend::concurrency() const { return worker_count_ + 1; }
+
+void ThreadPoolBackend::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      task = current_task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPoolBackend::run_on_all(const std::function<void(unsigned)>& task) const {
+  if (worker_count_ == 0) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    current_task_ = &task;
+    remaining_ = worker_count_;
+    ++generation_;
+  }
+  wake_.notify_all();
+  task(worker_count_);  // the calling thread takes the last lane
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [&] { return remaining_ == 0; });
+  current_task_ = nullptr;
+}
+
+void ThreadPoolBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
+  if (n == 0) return;
+  const std::size_t lanes = concurrency();
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  run_on_all([&](unsigned lane) {
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, n);
+    const std::size_t end = std::min<std::size_t>(begin + chunk, n);
+    if (begin < end) kernel(begin, end);
+  });
+}
+
+double ThreadPoolBackend::reduce_sum(std::span<const double> v) const {
+  const std::size_t lanes = concurrency();
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  run_on_all([&](unsigned lane) {
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
+    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += v[i];
+    partial[lane] = acc;
+  });
+  double total = 0.0;
+  for (double x : partial) total += x;
+  return total;
+}
+
+double ThreadPoolBackend::reduce_abs_sum(std::span<const double> v) const {
+  const std::size_t lanes = concurrency();
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  run_on_all([&](unsigned lane) {
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
+    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += std::abs(v[i]);
+    partial[lane] = acc;
+  });
+  double total = 0.0;
+  for (double x : partial) total += x;
+  return total;
+}
+
+double ThreadPoolBackend::reduce_sum_squares(std::span<const double> v) const {
+  const std::size_t lanes = concurrency();
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  run_on_all([&](unsigned lane) {
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
+    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += v[i] * v[i];
+    partial[lane] = acc;
+  });
+  double total = 0.0;
+  for (double x : partial) total += x;
+  return total;
+}
+
+double ThreadPoolBackend::reduce_dot(std::span<const double> a,
+                                     std::span<const double> b) const {
+  require(a.size() == b.size(), "reduce_dot: dimension mismatch");
+  const std::size_t lanes = concurrency();
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t chunk = (a.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  run_on_all([&](unsigned lane) {
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, a.size());
+    const std::size_t end = std::min<std::size_t>(begin + chunk, a.size());
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += a[i] * b[i];
+    partial[lane] = acc;
+  });
+  double total = 0.0;
+  for (double x : partial) total += x;
+  return total;
+}
+
+}  // namespace qs::parallel

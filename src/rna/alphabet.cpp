@@ -1,0 +1,92 @@
+#include "rna/alphabet.hpp"
+
+#include "support/contracts.hpp"
+
+namespace qs::rna {
+
+char to_char(Nucleotide n) {
+  switch (n) {
+    case Nucleotide::A: return 'A';
+    case Nucleotide::C: return 'C';
+    case Nucleotide::G: return 'G';
+    case Nucleotide::U: return 'U';
+  }
+  throw precondition_error("to_char: invalid nucleotide code");
+}
+
+Nucleotide from_char(char c) {
+  switch (c) {
+    case 'A': case 'a': return Nucleotide::A;
+    case 'C': case 'c': return Nucleotide::C;
+    case 'G': case 'g': return Nucleotide::G;
+    case 'U': case 'u': case 'T': case 't': return Nucleotide::U;
+    default:
+      throw precondition_error("from_char: invalid nucleotide character");
+  }
+}
+
+seq_t encode(std::string_view sequence) {
+  require(!sequence.empty() && sequence.size() <= 31,
+          "encode: RNA length must be 1..31 bases");
+  seq_t index = 0;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    index |= static_cast<seq_t>(from_char(sequence[i])) << (2 * i);
+  }
+  return index;
+}
+
+std::string decode(seq_t index, unsigned bases) {
+  require(bases >= 1 && bases <= 31, "decode: RNA length must be 1..31 bases");
+  std::string out(bases, 'A');
+  for (unsigned i = 0; i < bases; ++i) {
+    out[i] = to_char(static_cast<Nucleotide>((index >> (2 * i)) & 3));
+  }
+  return out;
+}
+
+Nucleotide base_at(seq_t index, unsigned base) {
+  return static_cast<Nucleotide>((index >> (2 * base)) & 3);
+}
+
+unsigned base_hamming_distance(seq_t a, seq_t b, unsigned bases) {
+  unsigned d = 0;
+  for (unsigned i = 0; i < bases; ++i) {
+    d += (((a ^ b) >> (2 * i)) & 3) != 0 ? 1 : 0;
+  }
+  return d;
+}
+
+linalg::DenseMatrix jukes_cantor(double mu) {
+  require(mu > 0.0 && mu < 0.75, "jukes_cantor: need 0 < mu < 3/4");
+  linalg::DenseMatrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m(r, c) = (r == c) ? 1.0 - mu : mu / 3.0;
+    }
+  }
+  return m;
+}
+
+linalg::DenseMatrix kimura(double alpha, double beta) {
+  require(alpha >= 0.0 && beta >= 0.0, "kimura: rates must be nonnegative");
+  require(alpha + 2.0 * beta > 0.0 && alpha + 2.0 * beta < 1.0,
+          "kimura: need 0 < alpha + 2 beta < 1");
+  // Encoding A=0, C=1, G=2, U=3: transitions are A<->G and C<->U (within
+  // the purine / pyrimidine classes), everything else a transversion.
+  linalg::DenseMatrix m(4, 4);
+  auto transition_partner = [](std::size_t b) { return b ^ 2u; };  // A<->G, C<->U
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      if (r == c) {
+        m(r, c) = 1.0 - alpha - 2.0 * beta;
+      } else if (r == transition_partner(c)) {
+        m(r, c) = alpha;
+      } else {
+        m(r, c) = beta;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace qs::rna

@@ -1,0 +1,62 @@
+// The four-letter RNA alphabet on top of the binary sequence space.
+//
+// Section 5.2 of the paper notes that "for Kronecker product-based
+// landscapes it is relatively easy to extend the quasispecies model beyond
+// a binary alphabet to the full four element RNA alphabet" — this module is
+// that extension.  A nucleotide is two bits (A=00, C=01, G=10, U=11), so an
+// RNA sequence of length L is a chain of nu = 2L bits and a per-position
+// 4x4 column-stochastic substitution matrix becomes one 2-bit group factor
+// of the grouped Kronecker mutation model (Eq. (11)); every solver in the
+// library then applies unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "linalg/dense_matrix.hpp"
+#include "support/bits.hpp"
+
+namespace qs::rna {
+
+/// The four nucleotides; the numeric values are the 2-bit encodings.
+enum class Nucleotide : unsigned {
+  A = 0,
+  C = 1,
+  G = 2,
+  U = 3,
+};
+
+/// Character for a nucleotide code.
+char to_char(Nucleotide n);
+
+/// Nucleotide for a character (case insensitive; 'T' is accepted as 'U').
+/// Throws precondition_error for anything else.
+Nucleotide from_char(char c);
+
+/// Encodes an RNA string into a sequence index: base i of the string
+/// occupies bits [2i, 2i+2). Requires length <= 31 bases (62 bits).
+seq_t encode(std::string_view sequence);
+
+/// Decodes `bases` nucleotides from a sequence index.
+std::string decode(seq_t index, unsigned bases);
+
+/// Nucleotide at position `base` of the encoded sequence.
+Nucleotide base_at(seq_t index, unsigned base);
+
+/// Hamming distance in *bases* (not bits): the number of positions where
+/// the two sequences carry different nucleotides.
+unsigned base_hamming_distance(seq_t a, seq_t b, unsigned bases);
+
+/// Jukes-Cantor substitution matrix: every base mutates to each of the
+/// three others with probability mu/3 per replication (total error rate
+/// mu). Requires 0 < mu < 3/4 (mu = 3/4 is random replication).
+linalg::DenseMatrix jukes_cantor(double mu);
+
+/// Kimura two-parameter substitution matrix: transitions (A<->G, C<->U)
+/// with probability alpha, each of the two possible transversions with
+/// probability beta. Requires alpha, beta >= 0, alpha + 2 beta < 1, and
+/// alpha + 2 beta > 0. Transitions are biochemically more frequent
+/// (alpha > beta) in real RNA viruses.
+linalg::DenseMatrix kimura(double alpha, double beta);
+
+}  // namespace qs::rna

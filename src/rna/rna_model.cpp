@@ -1,0 +1,70 @@
+#include "rna/rna_model.hpp"
+
+#include "core/site_process.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::rna {
+
+core::MutationModel uniform_rna_model(unsigned bases,
+                                      const linalg::DenseMatrix& substitution) {
+  require(bases >= 1 && bases <= 31, "uniform_rna_model: bases must be 1..31");
+  core::validate_group(substitution);
+  require(substitution.rows() == 4, "uniform_rna_model: substitution must be 4x4");
+  std::vector<linalg::DenseMatrix> groups(bases, substitution);
+  return core::MutationModel::grouped(std::move(groups));
+}
+
+core::MutationModel per_base_rna_model(
+    const std::vector<linalg::DenseMatrix>& substitutions) {
+  require(!substitutions.empty() && substitutions.size() <= 31,
+          "per_base_rna_model: need 1..31 substitution matrices");
+  for (const auto& s : substitutions) {
+    core::validate_group(s);
+    require(s.rows() == 4, "per_base_rna_model: substitution matrices must be 4x4");
+  }
+  return core::MutationModel::grouped(substitutions);
+}
+
+core::Landscape rna_single_peak(std::string_view master, double peak, double rest) {
+  require(peak > 0.0 && rest > 0.0, "rna_single_peak: fitness values must be positive");
+  const unsigned bases = static_cast<unsigned>(master.size());
+  require(bases >= 1 && bases <= 12,
+          "rna_single_peak: explicit landscapes limited to 12 bases (2^24 states)");
+  const seq_t master_index = encode(master);
+  const unsigned nu = 2 * bases;
+  std::vector<double> values(sequence_count(nu), rest);
+  values[master_index] = peak;
+  return core::Landscape::from_values(nu, std::move(values));
+}
+
+core::Landscape rna_base_class_landscape(std::string_view master,
+                                         const std::vector<double>& phi) {
+  const unsigned bases = static_cast<unsigned>(master.size());
+  require(bases >= 1 && bases <= 12,
+          "rna_base_class_landscape: explicit landscapes limited to 12 bases");
+  require(phi.size() == bases + 1,
+          "rna_base_class_landscape: phi needs bases + 1 values");
+  for (double v : phi) require(v > 0.0, "fitness values must be positive");
+  const seq_t master_index = encode(master);
+  const unsigned nu = 2 * bases;
+  std::vector<double> values(sequence_count(nu));
+  for (seq_t s = 0; s < values.size(); ++s) {
+    values[s] = phi[base_hamming_distance(s, master_index, bases)];
+  }
+  return core::Landscape::from_values(nu, std::move(values));
+}
+
+std::vector<double> base_class_concentrations(unsigned bases,
+                                              std::span<const double> x,
+                                              seq_t master) {
+  require(bases >= 1 && bases <= 31, "base_class_concentrations: bases must be 1..31");
+  require(x.size() == sequence_count(2 * bases),
+          "base_class_concentrations: size must be 4^bases");
+  std::vector<double> out(bases + 1, 0.0);
+  for (seq_t s = 0; s < x.size(); ++s) {
+    out[base_hamming_distance(s, master, bases)] += x[s];
+  }
+  return out;
+}
+
+}  // namespace qs::rna

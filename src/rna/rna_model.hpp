@@ -1,0 +1,44 @@
+// Quasispecies models over the four-letter RNA alphabet.
+//
+// Bundles the 2-bit-per-base encoding with the grouped Kronecker mutation
+// machinery: an RNA model of L bases is a grouped MutationModel with L
+// four-state factors, and RNA fitness landscapes address species by base
+// distance instead of bit distance.  All solvers of the binary library
+// apply unchanged; this module supplies the construction and the
+// base-resolution analysis.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "rna/alphabet.hpp"
+
+namespace qs::rna {
+
+/// Mutation model with the same 4x4 substitution matrix at every base.
+/// Requires 1 <= bases <= 31 and a column-stochastic 4x4 `substitution`.
+core::MutationModel uniform_rna_model(unsigned bases,
+                                      const linalg::DenseMatrix& substitution);
+
+/// Mutation model with per-base substitution matrices (hotspots etc.).
+core::MutationModel per_base_rna_model(
+    const std::vector<linalg::DenseMatrix>& substitutions);
+
+/// Single-peak RNA landscape: the given master sequence has fitness `peak`,
+/// every other sequence `rest`.
+core::Landscape rna_single_peak(std::string_view master, double peak, double rest);
+
+/// Base-distance landscape f_s = phi(d_base(s, master)): the RNA analogue
+/// of the error-class landscape. Requires phi.size() == bases + 1.
+core::Landscape rna_base_class_landscape(std::string_view master,
+                                         const std::vector<double>& phi);
+
+/// Cumulative concentrations per base-Hamming class relative to `master`:
+/// out[k] = sum of x_s over sequences s with d_base(s, master) = k.
+std::vector<double> base_class_concentrations(unsigned bases,
+                                              std::span<const double> x,
+                                              seq_t master = 0);
+
+}  // namespace qs::rna

@@ -1,0 +1,119 @@
+#include "solvers/arnoldi.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "core/fmmp.hpp"
+#include "linalg/hessenberg_qr.hpp"
+#include "linalg/small_power.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+
+ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape,
+                                 std::span<const double> start,
+                                 const ArnoldiOptions& options) {
+  require(options.basis_size >= 2, "arnoldi_dominant_w: basis_size must be >= 2");
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(start.empty() || start.size() == n,
+          "arnoldi_dominant_w: starting vector has wrong dimension");
+
+  // Right formulation: eigenvector = concentrations directly; works for
+  // any (possibly nonsymmetric) model.
+  const core::FmmpOperator op(model, landscape, core::Formulation::right);
+
+  std::vector<double> q0(n);
+  {
+    const auto f = landscape.values();
+    for (std::size_t i = 0; i < n; ++i) q0[i] = start.empty() ? f[i] : start[i];
+    linalg::normalize2(q0);
+  }
+
+  ArnoldiResult out;
+  const unsigned m = options.basis_size;
+  std::vector<std::vector<double>> basis;
+  linalg::DenseMatrix h(m + 1, m);  // Hessenberg projection
+  std::vector<double> w(n);
+
+  for (unsigned cycle = 0; cycle <= options.max_restarts; ++cycle) {
+    out.restarts = cycle;
+    basis.clear();
+    basis.push_back(q0);
+    for (std::size_t r = 0; r <= m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) h(r, c) = 0.0;
+    }
+
+    unsigned built = 0;
+    for (unsigned j = 0; j < m; ++j) {
+      op.apply(basis[j], w);
+      ++out.matvec_count;
+      // Modified Gram-Schmidt with one reorthogonalisation pass (enough to
+      // keep the basis orthonormal to working precision at these sizes);
+      // the Hessenberg coefficient accumulates the projections of both
+      // passes.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (unsigned i = 0; i <= j; ++i) {
+          const double proj = linalg::dot(basis[i], w);
+          h(i, j) += proj;
+          linalg::axpy(-proj, basis[i], w);
+        }
+      }
+      built = j + 1;
+      const double norm = linalg::norm2(w);
+      h(j + 1, j) = norm;
+      if (norm <= 1e-14 || j + 1 == m) break;
+      std::vector<double> next(w.begin(), w.end());
+      linalg::scale(next, 1.0 / norm);
+      basis.push_back(std::move(next));
+    }
+
+    // Dominant Ritz pair of the square Hessenberg section.
+    linalg::DenseMatrix h_square(built, built);
+    for (unsigned r = 0; r < built; ++r) {
+      for (unsigned c = 0; c < built; ++c) h_square(r, c) = h(r, c);
+    }
+    const auto ritz_values = linalg::eigenvalues(h_square);
+    // Perron: the dominant eigenvalue of W is real positive; pick the Ritz
+    // value of largest real part (its imaginary part must be negligible).
+    std::complex<double> best = ritz_values.front();
+    for (const auto& z : ritz_values) {
+      if (z.real() > best.real()) best = z;
+    }
+    require(std::abs(best.imag()) <= 1e-6 * std::max(std::abs(best.real()), 1.0),
+            "arnoldi_dominant_w: dominant Ritz value unexpectedly complex");
+    out.eigenvalue = best.real();
+
+    // Ritz vector: eigenvector of H for the dominant value via inverse
+    // iteration, lifted through the basis.
+    const auto h_pair = linalg::inverse_iteration(h_square, out.eigenvalue);
+    std::vector<double> ritz(n, 0.0);
+    for (unsigned j = 0; j < built; ++j) {
+      linalg::axpy(h_pair.vector[j], basis[j], ritz);
+    }
+    linalg::normalize2(ritz);
+
+    // Residual from the Arnoldi relation: ||W y - theta y|| =
+    // |h(built, built-1) * s_last| for the normalised H-eigenvector s.
+    double s_norm2 = 0.0;
+    for (unsigned j = 0; j < built; ++j) s_norm2 += h_pair.vector[j] * h_pair.vector[j];
+    const double s_last = h_pair.vector[built - 1] / std::sqrt(s_norm2);
+    out.residual = std::abs(h(built, built - 1) * s_last) /
+                   std::max(std::abs(out.eigenvalue), 1e-300);
+    q0 = ritz;
+    if (out.residual <= options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.concentrations.assign(q0.begin(), q0.end());
+  double s = 0.0;
+  for (double v : out.concentrations) s += v;
+  if (s < 0.0) linalg::scale(out.concentrations, -1.0);
+  linalg::normalize1(out.concentrations);
+  return out;
+}
+
+}  // namespace qs::solvers

@@ -1,0 +1,46 @@
+// Restarted Arnoldi iteration for the dominant eigenpair of W with
+// *nonsymmetric* mutation models.
+//
+// Section 2.2 generalises the mutation process to asymmetric per-site rates
+// (0->1 != 1->0), which breaks the symmetry every other accelerated solver
+// here relies on: Lanczos, shift-invert/MINRES, and the symmetric
+// formulation all require Q = Q^T, leaving only the plain power iteration.
+// Arnoldi (named alongside Lanczos in Section 3) fills that gap: a short
+// orthonormal Krylov basis, the Hessenberg projection's dominant Ritz pair
+// (real and positive by Perron-Frobenius), restart on the Ritz vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+
+namespace qs::solvers {
+
+/// Options for the restarted Arnoldi solver.
+struct ArnoldiOptions {
+  double tolerance = 1e-12;   ///< Relative eigenpair residual target.
+  unsigned basis_size = 20;   ///< Krylov basis per cycle.
+  unsigned max_restarts = 200;
+};
+
+/// Result of an Arnoldi solve.
+struct ArnoldiResult {
+  double eigenvalue = 0.0;
+  std::vector<double> concentrations;  ///< x_R, 1-norm normalised.
+  unsigned matvec_count = 0;
+  unsigned restarts = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Computes the dominant eigenpair of W = Q F (right formulation) for any
+/// 2x2-factor or grouped mutation model, symmetric or not.  `start` is in
+/// concentration scale; empty selects the landscape start.
+ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape,
+                                 std::span<const double> start = {},
+                                 const ArnoldiOptions& options = {});
+
+}  // namespace qs::solvers

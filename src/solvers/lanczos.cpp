@@ -1,0 +1,104 @@
+#include "solvers/lanczos.hpp"
+
+#include <cmath>
+
+#include "core/fmmp.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+
+LanczosResult lanczos_dominant_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape,
+                                 std::span<const double> start,
+                                 const LanczosOptions& options) {
+  require(model.symmetric() && model.kind() != core::MutationKind::grouped,
+          "lanczos_dominant_w requires a symmetric 2x2-factor mutation model");
+  require(options.basis_size >= 2, "lanczos_dominant_w: basis_size must be >= 2");
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(start.empty() || start.size() == n,
+          "lanczos_dominant_w: starting vector has wrong dimension");
+
+  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric);
+  const auto f = landscape.values();
+
+  // Start vector in symmetric scale: F^{1/2} * (given or landscape start).
+  std::vector<double> q0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = start.empty() ? f[i] : start[i];
+    q0[i] = base * std::sqrt(f[i]);
+  }
+  linalg::normalize2(q0);
+
+  LanczosResult out;
+  const unsigned m = options.basis_size;
+  std::vector<std::vector<double>> basis;  // q_0 .. q_{m-1}
+  std::vector<double> alpha(m), beta(m);   // T diagonal / subdiagonal
+  std::vector<double> w(n);
+
+  for (unsigned cycle = 0; cycle <= options.max_restarts; ++cycle) {
+    out.restarts = cycle;
+    basis.clear();
+    basis.push_back(q0);
+
+    unsigned built = 0;  // number of completed Lanczos steps this cycle
+    for (unsigned j = 0; j < m; ++j) {
+      op.apply(basis[j], w);
+      ++out.matvec_count;
+      alpha[j] = linalg::dot(basis[j], w);
+      // Three-term recurrence ...
+      linalg::axpy(-alpha[j], basis[j], w);
+      if (j > 0) linalg::axpy(-beta[j - 1], basis[j - 1], w);
+      // ... plus full reorthogonalisation: at these basis sizes the cost is
+      // negligible next to the mat-vec and it removes ghost eigenvalues.
+      for (const auto& q : basis) {
+        linalg::axpy(-linalg::dot(q, w), q, w);
+      }
+      built = j + 1;
+      const double norm = linalg::norm2(w);
+      beta[j] = norm;
+      if (norm <= 1e-14 || j + 1 == m) break;  // invariant subspace or full
+      std::vector<double> next(w.begin(), w.end());
+      linalg::scale(next, 1.0 / norm);
+      basis.push_back(std::move(next));
+    }
+
+    // Dominant Ritz pair of the tridiagonal section T(0..built-1).
+    linalg::DenseMatrix t(built, built);
+    for (unsigned j = 0; j < built; ++j) {
+      t(j, j) = alpha[j];
+      if (j + 1 < built) {
+        t(j, j + 1) = beta[j];
+        t(j + 1, j) = beta[j];
+      }
+    }
+    const auto eigen = linalg::jacobi_eigen(t);
+    out.eigenvalue = eigen.values[0];
+
+    // Ritz vector y = V s, and the classic residual bound |beta_m * s_last|.
+    std::vector<double> ritz(n, 0.0);
+    for (unsigned j = 0; j < built; ++j) {
+      linalg::axpy(eigen.vectors(j, 0), basis[j], ritz);
+    }
+    linalg::normalize2(ritz);
+    out.residual = std::abs(beta[built - 1] * eigen.vectors(built - 1, 0)) /
+                   std::max(std::abs(out.eigenvalue), 1e-300);
+    q0 = ritz;
+    if (out.residual <= options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Convert the symmetric-form Ritz vector to concentrations.
+  out.concentrations.assign(q0.begin(), q0.end());
+  for (std::size_t i = 0; i < n; ++i) out.concentrations[i] /= std::sqrt(f[i]);
+  double s = 0.0;
+  for (double v : out.concentrations) s += v;
+  if (s < 0.0) linalg::scale(out.concentrations, -1.0);
+  linalg::normalize1(out.concentrations);
+  return out;
+}
+
+}  // namespace qs::solvers

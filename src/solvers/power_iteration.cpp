@@ -1,0 +1,118 @@
+#include "solvers/power_iteration.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+double reduce_dot(const parallel::Engine* engine, std::span<const double> a,
+                  std::span<const double> b) {
+  return engine != nullptr ? engine->reduce_dot(a, b) : linalg::dot(a, b);
+}
+
+double reduce_abs_sum(const parallel::Engine* engine, std::span<const double> v) {
+  return engine != nullptr ? engine->reduce_abs_sum(v) : linalg::norm1(v);
+}
+
+}  // namespace
+
+std::vector<double> landscape_start(const core::Landscape& landscape) {
+  std::vector<double> s(landscape.values().begin(), landscape.values().end());
+  linalg::normalize1(s);
+  return s;
+}
+
+PowerResult power_iteration(const core::LinearOperator& op,
+                            std::span<const double> start,
+                            const PowerOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.dimension());
+  require(n > 0, "power_iteration: empty operator");
+  require(start.empty() || start.size() == n,
+          "power_iteration: starting vector has wrong dimension");
+  require(options.residual_check_every >= 1,
+          "power_iteration: residual_check_every must be >= 1");
+
+  PowerResult out;
+  out.eigenvector.assign(n, 1.0 / static_cast<double>(n));
+  if (!start.empty()) {
+    linalg::copy(start, out.eigenvector);
+    linalg::normalize1(out.eigenvector);
+  }
+
+  std::vector<double> y(n);
+  std::span<double> x_span(out.eigenvector);
+  const double mu = options.shift;
+
+  double best_residual = std::numeric_limits<double>::infinity();
+  double window_start_best = std::numeric_limits<double>::infinity();
+  unsigned checks_without_progress = 0;
+
+  for (unsigned it = 1; it <= options.max_iterations; ++it) {
+    op.apply(out.eigenvector, y);  // y = W x (unshifted product)
+    out.iterations = it;
+
+    const bool check = (it % options.residual_check_every == 0) ||
+                       (it == options.max_iterations);
+    if (check) {
+      // Rayleigh quotient from the product already in hand.
+      const double xx = reduce_dot(options.engine, x_span, x_span);
+      const double xy = reduce_dot(options.engine, x_span, y);
+      const double lambda = xy / xx;
+      // Residual ||y - lambda x||_2 formed explicitly.  (The algebraically
+      // equivalent sqrt(yy - xy^2/xx) cancels catastrophically: its noise
+      // floor is sqrt(eps) ~ 1e-8 in eigenvector error, far above the
+      // tolerances this solver targets.)
+      double res2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = y[i] - lambda * out.eigenvector[i];
+        res2 += r * r;
+      }
+      out.eigenvalue = lambda;
+      out.residual =
+          std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
+      if (out.residual <= options.tolerance) {
+        out.converged = true;
+        break;
+      }
+      // Stagnation: the residual has hit its numerical floor or the
+      // spectrum is so clustered that progress per window is negligible.
+      // The test is window-based (best-vs-best across a whole window of
+      // checks) so that jitter around the floor cannot keep resetting it.
+      best_residual = std::min(best_residual, out.residual);
+      if (options.stall_window > 0 &&
+          ++checks_without_progress >= options.stall_window) {
+        if (best_residual >= window_start_best * 0.95) {
+          out.stalled = true;
+          out.converged = out.residual <= options.stall_accept;
+          break;
+        }
+        window_start_best = best_residual;
+        checks_without_progress = 0;
+      }
+    }
+
+    // Shifted update x <- (W - mu I) x, then 1-norm normalisation.
+    if (mu != 0.0) {
+      for (std::size_t i = 0; i < n; ++i) y[i] -= mu * out.eigenvector[i];
+    }
+    const double norm = reduce_abs_sum(options.engine, y);
+    require(norm > 0.0, "power_iteration: iterate collapsed to zero");
+    const double inv = 1.0 / norm;
+    for (std::size_t i = 0; i < n; ++i) out.eigenvector[i] = y[i] * inv;
+  }
+
+  // Perron orientation: the dominant eigenvector is nonnegative; flip if the
+  // iteration settled on the negative representative.
+  double s = 0.0;
+  for (double v : out.eigenvector) s += v;
+  if (s < 0.0) linalg::scale(out.eigenvector, -1.0);
+  linalg::normalize1(out.eigenvector);
+  return out;
+}
+
+}  // namespace qs::solvers

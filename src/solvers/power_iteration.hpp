@@ -1,0 +1,81 @@
+// Power iteration for the dominant eigenpair of an implicit operator
+// (Section 3 of the paper).
+//
+// The paper selects the power iteration over Lanczos/Arnoldi (fewer stored
+// vectors) and over randomised sketching (accuracy): with W positive
+// definite and Perron-Frobenius applicable, lambda_0 > lambda_1 >= ... > 0
+// guarantees convergence.  The spectral shift mu (W - mu I) improves the
+// convergence ratio from lambda_1/lambda_0 to (lambda_1-mu)/(lambda_0-mu);
+// the conservative choice mu = (1-2p)^nu f_min from core/spectral.hpp is
+// always admissible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/operators.hpp"
+#include "parallel/engine.hpp"
+
+namespace qs::solvers {
+
+/// Tuning knobs for the power iteration.
+struct PowerOptions {
+  /// Convergence threshold on the relative residual
+  /// ||W x - lambda x||_2 / (|lambda| ||x||_2).  The attainable floor is a
+  /// small multiple of nu * eps (~1e-15 at nu = 25); the default leaves a
+  /// safety margin above it.
+  double tolerance = 1e-13;
+
+  /// Iteration cap; exceeding it returns converged = false.
+  unsigned max_iterations = 1000000;
+
+  /// Spectral shift mu: iterates with (W - mu I). Must keep lambda_0 - mu
+  /// the dominant eigenvalue (any mu <= lambda_min(W) qualifies).
+  double shift = 0.0;
+
+  /// Compute the residual only every k-th iteration (ablation knob; the
+  /// residual costs reductions, not an extra product, since W x is reused).
+  unsigned residual_check_every = 1;
+
+  /// Stagnation detection: if the best residual seen has not improved by at
+  /// least 5 % across a window of this many residual checks, the iteration
+  /// is either at its numerical floor or converging too slowly to ever
+  /// finish, and stops.  The floor depends on the spectrum (clustered
+  /// subdominant eigenvalues amplify rounding): random landscapes floor
+  /// near 1e-15 while single-peak landscapes at nu = 20 floor near 1e-11,
+  /// so a fixed tolerance cannot serve both.  0 disables.
+  unsigned stall_window = 100;
+
+  /// A stalled run still counts as converged when its floor residual is at
+  /// most this value (set equal to `tolerance` to make stalling a failure).
+  double stall_accept = 1e-9;
+
+  /// Reduction backend; null means serial.
+  const parallel::Engine* engine = nullptr;
+};
+
+/// Outcome of a power iteration run.
+struct PowerResult {
+  double eigenvalue = 0.0;          ///< Dominant eigenvalue of W (unshifted).
+  std::vector<double> eigenvector;  ///< 1-norm normalised, nonnegative.
+  unsigned iterations = 0;          ///< Products with W performed.
+  double residual = 0.0;            ///< Relative residual at exit.
+  bool converged = false;
+  bool stalled = false;             ///< Stopped at the numerical floor
+                                    ///< above `tolerance` (see stall_window).
+};
+
+/// Runs the (shifted) power iteration on `op` starting from `start`
+/// (1-norm normalised internally; empty selects the uniform vector).
+///
+/// The paper's recommended start is the landscape itself,
+/// s = diag(F)/||diag(F)||_1, since the dominant eigenvector of W = Q F
+/// resembles F (the dominant eigenvector of Q alone is the uniform vector).
+PowerResult power_iteration(const core::LinearOperator& op,
+                            std::span<const double> start = {},
+                            const PowerOptions& options = {});
+
+/// The paper's starting vector for a given landscape.
+std::vector<double> landscape_start(const core::Landscape& landscape);
+
+}  // namespace qs::solvers

@@ -1,0 +1,88 @@
+#include "solvers/quasispecies_solver.hpp"
+
+#include <memory>
+
+#include "analysis/error_classes.hpp"
+#include "core/fmmp.hpp"
+#include "core/smvp.hpp"
+#include "core/spectral.hpp"
+#include "core/xmvp.hpp"
+#include "sparse/sparse_w.hpp"
+#include "solvers/power_iteration.hpp"
+#include "solvers/reduced_solver.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+
+QuasispeciesResult solve(const core::MutationModel& model,
+                         const core::Landscape& landscape,
+                         const SolveOptions& options) {
+  require(model.dimension() == landscape.dimension(),
+          "solve: model and landscape dimensions differ");
+
+  std::unique_ptr<core::LinearOperator> op;
+  switch (options.matvec) {
+    case MatvecKind::fmmp:
+      op = std::make_unique<core::FmmpOperator>(model, landscape, options.formulation,
+                                                options.engine, options.level_order);
+      break;
+    case MatvecKind::xmvp:
+      op = std::make_unique<core::XmvpOperator>(model, landscape, options.xmvp_d_max,
+                                                options.formulation, options.engine);
+      break;
+    case MatvecKind::smvp:
+      op = std::make_unique<core::SmvpOperator>(model, landscape, options.formulation,
+                                                options.engine);
+      break;
+    case MatvecKind::sparse:
+      require(options.formulation == core::Formulation::right,
+              "solve: the sparse matvec kind materialises the right "
+              "formulation only");
+      op = std::make_unique<sparse::SparseWOperator>(model, landscape,
+                                                     options.xmvp_d_max,
+                                                     options.engine);
+      break;
+  }
+
+  PowerOptions popts;
+  popts.tolerance = options.tolerance;
+  popts.max_iterations = options.max_iterations;
+  popts.engine = options.engine;
+  if (options.use_shift && model.symmetric() &&
+      model.kind() != core::MutationKind::grouped) {
+    popts.shift = core::conservative_shift(model, landscape);
+  }
+
+  PowerResult r = power_iteration(*op, landscape_start(landscape), popts);
+
+  QuasispeciesResult out;
+  out.eigenvalue = r.eigenvalue;
+  out.iterations = r.iterations;
+  out.residual = r.residual;
+  out.converged = r.converged;
+  out.concentrations = std::move(r.eigenvector);
+  if (options.formulation != core::Formulation::right) {
+    core::convert_eigenvector(options.formulation, core::Formulation::right,
+                              landscape, out.concentrations);
+  }
+  out.class_concentrations =
+      analysis::class_concentrations(model.nu(), out.concentrations);
+  return out;
+}
+
+QuasispeciesResult solve(double p, const core::ErrorClassLandscape& landscape) {
+  const ReducedResult reduced = solve_reduced(p, landscape);
+  QuasispeciesResult out;
+  out.eigenvalue = reduced.eigenvalue;
+  out.class_concentrations = reduced.class_concentrations;
+  out.converged = true;
+  out.iterations = 0;  // direct solve
+  out.residual = 0.0;
+  if (landscape.nu() <= 24) {
+    out.concentrations =
+        expand_representatives(landscape.nu(), reduced.representatives);
+  }
+  return out;
+}
+
+}  // namespace qs::solvers

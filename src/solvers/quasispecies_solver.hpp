@@ -1,0 +1,64 @@
+// High-level quasispecies solver facade.
+//
+// Bundles model + landscape + strategy selection into one call: general
+// landscapes run the shifted power iteration on the fast mutation matrix
+// product (the paper's Pi(Fmmp)); error-class landscapes use the exact
+// (nu+1) x (nu+1) reduction of Section 5.1; Kronecker landscapes decouple
+// per Section 5.2 (see solve_kronecker for the implicit-result API).
+// Results are always reported in the `right` formulation, i.e. as relative
+// concentrations.
+#pragma once
+
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "core/operators.hpp"
+#include "parallel/engine.hpp"
+#include "transforms/butterfly.hpp"
+
+namespace qs::solvers {
+
+/// Which mat-vec drives the power iteration for general landscapes.
+enum class MatvecKind {
+  fmmp,    ///< fast mutation matrix product, Theta(N log2 N), exact
+  xmvp,    ///< XOR-based sparsified product Xmvp(d), approximate for d < nu
+  smvp,    ///< dense standard product, Theta(N^2), small nu only
+  sparse,  ///< CSR-materialised truncated product (same math as xmvp,
+           ///< explicit storage; uses xmvp_d_max)
+};
+
+/// Options for the facade.
+struct SolveOptions {
+  core::Formulation formulation = core::Formulation::right;
+  MatvecKind matvec = MatvecKind::fmmp;
+  unsigned xmvp_d_max = 5;        ///< Truncation radius when matvec == xmvp.
+  double tolerance = 1e-13;       ///< Relative residual target.
+  unsigned max_iterations = 1000000;
+  bool use_shift = true;          ///< Apply mu = (1-2p)^nu f_min when possible.
+  const parallel::Engine* engine = nullptr;  ///< null = serial.
+  transforms::LevelOrder level_order = transforms::LevelOrder::ascending;
+};
+
+/// Solution of the quasispecies problem in concentration form.
+struct QuasispeciesResult {
+  double eigenvalue = 0.0;            ///< Dominant eigenvalue of W = Q F.
+  std::vector<double> concentrations; ///< x_R, 1-norm normalised, length 2^nu.
+  std::vector<double> class_concentrations;  ///< [Gamma_0..Gamma_nu].
+  unsigned iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves for a general landscape (power iteration on the selected product).
+QuasispeciesResult solve(const core::MutationModel& model,
+                         const core::Landscape& landscape,
+                         const SolveOptions& options = {});
+
+/// Solves for an error-class landscape through the exact reduction; the
+/// uniform mutation model with error rate p is implied. `options` is unused
+/// beyond validation (the reduced solve is direct) and exists for signature
+/// symmetry.
+QuasispeciesResult solve(double p, const core::ErrorClassLandscape& landscape);
+
+}  // namespace qs::solvers

@@ -1,0 +1,158 @@
+#include "solvers/reduced_alphabet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/small_power.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+
+linalg::DenseMatrix reduced_alphabet_mutation_matrix(unsigned length,
+                                                     unsigned alphabet, double mu) {
+  require(length >= 1 && length <= 1000,
+          "reduced_alphabet_mutation_matrix: length out of range");
+  require(alphabet >= 2 && alphabet <= 64,
+          "reduced_alphabet_mutation_matrix: alphabet size out of range");
+  const double random_replication =
+      static_cast<double>(alphabet - 1) / static_cast<double>(alphabet);
+  require(mu > 0.0 && mu <= random_replication,
+          "reduced_alphabet_mutation_matrix: need 0 < mu <= (A-1)/A");
+
+  const double revert = mu / static_cast<double>(alphabet - 1);
+  const double log_mu = std::log(mu);
+  const double log_1mmu = std::log1p(-mu);
+  const double log_r = std::log(revert);
+  const double log_1mr = std::log1p(-revert);
+
+  std::vector<double> log_fact(length + 2);
+  log_fact[0] = 0.0;
+  for (unsigned i = 1; i <= length + 1; ++i) {
+    log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+  }
+  auto log_choose = [&](unsigned n_arg, unsigned k_arg) {
+    return log_fact[n_arg] - log_fact[k_arg] - log_fact[n_arg - k_arg];
+  };
+
+  linalg::DenseMatrix q(length + 1, length + 1);
+  for (unsigned d = 0; d <= length; ++d) {
+    for (unsigned k = 0; k <= length; ++k) {
+      // j positions revert among the d wrong ones; k - d + j of the L - d
+      // correct ones become wrong (so j <= L - k keeps that count feasible).
+      const unsigned j_lo = (d > k) ? (d - k) : 0;
+      const unsigned j_hi = std::min(d, length - k);
+      double acc = 0.0;
+      for (unsigned j = j_lo; j <= j_hi; ++j) {
+        const unsigned fresh = k - d + j;  // newly wrong positions
+        const double log_term = log_choose(d, j) +
+                                static_cast<double>(j) * log_r +
+                                static_cast<double>(d - j) * log_1mr +
+                                log_choose(length - d, fresh) +
+                                static_cast<double>(fresh) * log_mu +
+                                static_cast<double>(length - d - fresh) * log_1mmu;
+        acc += std::exp(log_term);
+      }
+      q(d, k) = acc;
+    }
+  }
+  return q;
+}
+
+AlphabetReducedResult solve_reduced_alphabet(double mu, unsigned alphabet,
+                                             const core::ErrorClassLandscape& phi) {
+  const unsigned length = phi.nu();
+  const std::size_t n = length + 1;
+  const auto q_gamma = reduced_alphabet_mutation_matrix(length, alphabet, mu);
+
+  // Backend: power iteration on the reduced M = Q_Gamma * diag(phi).
+  linalg::DenseMatrix m(n, n);
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t k = 0; k < n; ++k) {
+      m(d, k) = q_gamma(d, k) * phi.value(static_cast<unsigned>(k));
+    }
+  }
+  const auto backend = linalg::power_iteration(m);
+  require(backend.converged,
+          "solve_reduced_alphabet: backend power iteration failed");
+
+  AlphabetReducedResult out;
+  out.eigenvalue = backend.value;
+
+  // Log class cardinalities |Gamma_k| = C(L, k) (A-1)^k.
+  std::vector<double> log_card(n);
+  {
+    std::vector<double> log_fact(length + 2);
+    log_fact[0] = 0.0;
+    for (unsigned i = 1; i <= length + 1; ++i) {
+      log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+    }
+    const double log_am1 = std::log(static_cast<double>(alphabet - 1));
+    for (std::size_t k = 0; k < n; ++k) {
+      log_card[k] = log_fact[length] - log_fact[k] - log_fact[length - k] +
+                    static_cast<double>(k) * log_am1;
+    }
+  }
+
+  // Class totals via the positive iteration in the total basis
+  // u_d <- sum_k Q_Gamma(k, d) phi_k u_k (transpose identity from the
+  // symmetry of the total-flow matrix), exactly as in the binary reduction.
+  linalg::DenseMatrix b(n, n);
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t k = 0; k < n; ++k) {
+      b(d, k) = q_gamma(k, d) * phi.value(static_cast<unsigned>(k));
+    }
+  }
+  // Start from the uniform population's class totals, with every class
+  // seeded at a positive floor: at large L * log(A) the extreme classes'
+  // exact shares underflow to zero, and a hard zero could never surface
+  // (the reversion chain from the bulk underflows too) — the dominant class
+  // would silently be lost.
+  std::vector<double> u(n), u_next(n);
+  const double log_total = static_cast<double>(length) *
+                           std::log(static_cast<double>(alphabet));
+  double start_max = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    u[k] = std::exp(std::max(log_card[k] - log_total, -650.0));
+    start_max = std::max(start_max, u[k]);
+  }
+  for (double& x : u) x = std::max(x, 1e-270 * start_max);
+
+  double lambda_u = 0.0;
+  for (unsigned it = 0; it < 500000; ++it) {
+    b.multiply(u, u_next);
+    double growth = 0.0;
+    for (double x : u_next) growth += x;
+    lambda_u = growth;
+    const bool lambda_settled =
+        std::abs(lambda_u - out.eigenvalue) <=
+        1e-12 * std::max(std::abs(out.eigenvalue), 1e-300);
+    double u_max = 0.0;
+    for (double x : u_next) u_max = std::max(u_max, x);
+    const double floor = 1e-60 * u_max / growth;
+    double worst_rel_change = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+      u_next[d] /= growth;
+      if (u[d] >= floor || u_next[d] >= floor) {
+        worst_rel_change = std::max(
+            worst_rel_change, std::abs(u_next[d] - u[d]) / std::max(u[d], floor));
+      }
+    }
+    u.swap(u_next);
+    if (lambda_settled && worst_rel_change < 1e-13) break;
+  }
+  require(std::abs(lambda_u - out.eigenvalue) <=
+              1e-8 * std::max(std::abs(out.eigenvalue), 1.0),
+          "solve_reduced_alphabet: class-total iteration disagrees with the "
+          "backend eigenvalue");
+
+  out.class_concentrations = u;
+  out.representatives.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.representatives[k] =
+        (u[k] > 0.0) ? std::exp(std::log(u[k]) - log_card[k]) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace qs::solvers

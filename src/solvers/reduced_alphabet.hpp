@@ -1,0 +1,54 @@
+// Exact (L+1) x (L+1) reduction for A-letter alphabets.
+//
+// The Section 5.1 reduction generalises beyond the binary alphabet: for a
+// Jukes-Cantor-type mutation process over an alphabet of size A (per
+// position: stay w.p. 1-mu, move to each of the A-1 other letters w.p.
+// mu/(A-1)) and a fitness landscape depending only on the *base* Hamming
+// distance to the master, the symmetry group (position permutations x
+// relabelings of the wrong letters) makes the dominant eigenvector constant
+// on base-distance classes.  The class transition matrix is binomial in the
+// number of newly-wrong and reverted positions:
+//
+//   Q_Gamma(d, k) = sum_j C(d, j) r^j (1-r)^{d-j}
+//                          C(L-d, k-d+j) mu^{k-d+j} (1-mu)^{L-k-j},
+//   r = mu / (A-1)   (probability a wrong position reverts to the master),
+//
+// with class cardinalities |Gamma_k| = C(L, k) (A-1)^k.  A = 2 recovers the
+// binary reduction exactly; A = 4 covers the RNA alphabet of Section 5.2's
+// closing remark.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::solvers {
+
+/// Result of the alphabet-reduced solve (mirrors ReducedResult).
+struct AlphabetReducedResult {
+  double eigenvalue = 0.0;
+
+  /// Concentration of one representative sequence per base-distance class,
+  /// scaled so the full A^L eigenvector has unit 1-norm.
+  std::vector<double> representatives;
+
+  /// [Gamma_k]: cumulative concentration per base-distance class (sums to 1).
+  std::vector<double> class_concentrations;
+};
+
+/// The reduced class-transition matrix for chain length L over an alphabet
+/// of size A with per-position error rate mu.  Rows sum to 1.
+/// Requires 2 <= A <= 64, 1 <= L <= 1000, 0 < mu <= (A-1)/A (mu = (A-1)/A is
+/// random replication).
+linalg::DenseMatrix reduced_alphabet_mutation_matrix(unsigned length,
+                                                     unsigned alphabet, double mu);
+
+/// Solves the reduced problem: base-class fitness phi(0..L) (an
+/// ErrorClassLandscape with nu = L interpreted over base classes), alphabet
+/// size A, error rate mu.
+AlphabetReducedResult solve_reduced_alphabet(double mu, unsigned alphabet,
+                                             const core::ErrorClassLandscape& phi);
+
+}  // namespace qs::solvers

@@ -1,0 +1,253 @@
+#include "solvers/reduced_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/hessenberg_qr.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/small_power.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/binomial.hpp"
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+/// log C(n, k) via lgamma.
+double log_binomial(unsigned n, unsigned k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+linalg::DenseMatrix reduced_mutation_matrix(unsigned nu, double p) {
+  require(nu >= 1 && nu <= 1000, "reduced_mutation_matrix: nu out of range");
+  require(p > 0.0 && p <= 0.5, "error rate p must satisfy 0 < p <= 1/2");
+
+  const double log_p = std::log(p);
+  const double log_1mp = std::log1p(-p);
+  // Cached log-factorials: the triple loop below evaluates O(nu^3) binomial
+  // terms, so table lookups instead of lgamma calls matter at nu ~ 1000.
+  std::vector<double> log_fact(nu + 2);
+  log_fact[0] = 0.0;
+  for (unsigned i = 1; i <= nu + 1; ++i) {
+    log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+  }
+  auto log_choose = [&](unsigned n_arg, unsigned k_arg) {
+    return log_fact[n_arg] - log_fact[k_arg] - log_fact[n_arg - k_arg];
+  };
+
+  linalg::DenseMatrix q(nu + 1, nu + 1);
+  for (unsigned d = 0; d <= nu; ++d) {
+    for (unsigned k = 0; k <= nu; ++k) {
+      // j counts back-mutations within the d already-mutated positions;
+      // m = k + d - 2j positions change in total.
+      const unsigned j_lo = (k + d > nu) ? (k + d - nu) : 0;
+      const unsigned j_hi = std::min(k, d);
+      double acc = 0.0;
+      for (unsigned j = j_lo; j <= j_hi; ++j) {
+        const unsigned m = k + d - 2 * j;
+        const double log_term = log_choose(nu - d, k - j) + log_choose(d, j) +
+                                static_cast<double>(m) * log_p +
+                                static_cast<double>(nu - m) * log_1mp;
+        acc += std::exp(log_term);
+      }
+      q(d, k) = acc;
+    }
+  }
+  return q;
+}
+
+ReducedResult solve_reduced(double p, const core::ErrorClassLandscape& landscape,
+                            ReducedMethod method) {
+  const unsigned nu = landscape.nu();
+  const std::size_t n = nu + 1;
+  const linalg::DenseMatrix q_gamma = reduced_mutation_matrix(nu, p);
+
+  // Reduced iteration matrix M = Q_Gamma * diag(phi).
+  linalg::DenseMatrix m(n, n);
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t k = 0; k < n; ++k) {
+      m(d, k) = q_gamma(d, k) * landscape.value(static_cast<unsigned>(k));
+    }
+  }
+
+  // Log-space class weights log C(nu, d): exact below 61 bits, lgamma above.
+  std::vector<double> log_c(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    log_c[d] = log_binomial(nu, static_cast<unsigned>(d));
+  }
+
+  ReducedResult out;
+  std::vector<double> v(n);  // unnormalised representatives
+
+  switch (method) {
+    case ReducedMethod::jacobi: {
+      // Similarity to a symmetric matrix: with T_{d,k} = C(nu,d) QG_{d,k}
+      // symmetric (total inter-class probability flow) and
+      // A = diag(sqrt(phi_d / C(nu,d))), the matrix S = A T A is symmetric
+      // and similar to M via X = diag(sqrt(phi_d C(nu,d))): v = X^{-1} s.
+      linalg::DenseMatrix s(n, n);
+      for (std::size_t d = 0; d < n; ++d) {
+        for (std::size_t k = 0; k < n; ++k) {
+          // S_{d,k} = A_d C(nu,d) QG_{d,k} A_k; evaluate the weight in log
+          // space so large-nu binomials cannot overflow.
+          const double log_weight =
+              0.5 * (std::log(landscape.value(static_cast<unsigned>(d))) - log_c[d]) +
+              log_c[d] +
+              0.5 * (std::log(landscape.value(static_cast<unsigned>(k))) - log_c[k]);
+          s(d, k) = q_gamma(d, k) * std::exp(log_weight);
+        }
+      }
+      // Symmetrise the rounding noise so Jacobi's precondition holds exactly.
+      for (std::size_t d = 0; d < n; ++d) {
+        for (std::size_t k = d + 1; k < n; ++k) {
+          const double avg = 0.5 * (s(d, k) + s(k, d));
+          s(d, k) = avg;
+          s(k, d) = avg;
+        }
+      }
+      const auto eigen = linalg::jacobi_eigen(s);
+      out.eigenvalue = eigen.values[0];
+      for (std::size_t d = 0; d < n; ++d) {
+        const double log_x =
+            0.5 * (std::log(landscape.value(static_cast<unsigned>(d))) + log_c[d]);
+        v[d] = eigen.vectors(d, 0) / std::exp(log_x);
+      }
+      break;
+    }
+    case ReducedMethod::power: {
+      const auto pair = linalg::power_iteration(m);
+      out.eigenvalue = pair.value;
+      v = pair.vector;
+      break;
+    }
+    case ReducedMethod::qr_inverse: {
+      const double lambda = linalg::dominant_real_eigenvalue(m);
+      const auto pair = linalg::inverse_iteration(m, lambda);
+      out.eigenvalue = pair.value;
+      v = pair.vector;
+      break;
+    }
+  }
+
+  // Perron orientation (v is only used as the backend's eigenvalue witness;
+  // see below for why class totals are recomputed from scratch).
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum < 0.0) {
+    for (double& x : v) x = -x;
+  }
+
+  // Class totals are recovered by a dedicated positive power iteration in
+  // the class-total basis u_k = C(nu,k) v_k rather than by rescaling the
+  // backend's eigenvector: the rescaling multiplies component k by
+  // sqrt(C(nu,k)) (up to e^172 at nu = 500), which amplifies the dense
+  // eigensolver's O(eps) noise on the exponentially small components until
+  // it swamps the master class entirely.  In the u basis the iteration
+  //   u_d <- sum_k Q_Gamma(k, d) phi_k u_k
+  // (the transpose identity C_d QG(d,k)/C_k = QG(k,d) follows from the
+  // symmetry of the total-flow matrix) involves only positive terms, so
+  // every component converges with componentwise *relative* accuracy and
+  // genuinely negligible classes simply underflow to zero.
+  // Materialise the iteration matrix B(d, k) = Q_Gamma(k, d) * phi_k once,
+  // row-major in the traversal order, so the inner loop streams memory
+  // (iterating the transposed Q_Gamma in place costs a cache miss per term
+  // and dominated the solve at nu ~ 1000).
+  linalg::DenseMatrix b(n, n);
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t k = 0; k < n; ++k) {
+      b(d, k) = q_gamma(k, d) * landscape.value(static_cast<unsigned>(k));
+    }
+  }
+
+  // Start from the uniform population's class totals C(nu,k)/2^nu.  (The
+  // backend's eigenvector is NOT a usable seed: multiplying its noisy tail
+  // by C(nu,k) re-amplifies exactly the noise this iteration exists to
+  // avoid.)
+  std::vector<double> u(n), u_next(n);
+  double start_max = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    u[k] = std::exp(log_c[k] - static_cast<double>(nu) * std::log(2.0));
+    start_max = std::max(start_max, u[k]);
+  }
+  // Seed every class strictly positive: extreme classes' uniform shares can
+  // underflow (C(nu,0)/2^nu ~ 1e-301 at nu = 1000) and a hard zero at the
+  // dominant class could never surface through the underflowing reversion
+  // chain from the bulk.
+  for (double& x : u) x = std::max(x, 1e-270 * start_max);
+
+  const unsigned max_refine = 500000;
+  double lambda_u = 0.0;
+  for (unsigned it = 0; it < max_refine; ++it) {
+    b.multiply(u, u_next);
+    double growth = 0.0;
+    for (double x : u_next) growth += x;
+    lambda_u = growth;  // u has unit 1-norm, so the growth is lambda_0
+
+    // Two-part convergence test.
+    //
+    // (1) The growth factor must match the backend's eigenvalue.  This is
+    //     what detects a dominant class that has not *numerically surfaced*
+    //     yet: from a uniform start at nu = 1000 the master class sits at
+    //     C_0/2^nu ~ 1e-301 and needs ~650 iterations of relative growth
+    //     before any componentwise test could see it — but until it
+    //     arrives, the growth factor sticks at the bulk's eigenvalue,
+    //     visibly different from lambda_0.
+    //
+    // (2) Componentwise relative settling to 1e-13, demanded only down to
+    //     1e-60 of the leading class: deeper classes hold physically
+    //     meaningless mass (and near the underflow boundary their denormal
+    //     precision could never satisfy a relative criterion anyway); they
+    //     are reported as computed.
+    const bool lambda_settled =
+        std::abs(lambda_u - out.eigenvalue) <=
+        1e-12 * std::max(std::abs(out.eigenvalue), 1e-300);
+    double u_max = 0.0;
+    for (double x : u_next) u_max = std::max(u_max, x);
+    const double floor = 1e-60 * u_max / growth;
+    double worst_rel_change = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+      u_next[d] /= growth;
+      if (u[d] >= floor || u_next[d] >= floor) {
+        worst_rel_change = std::max(
+            worst_rel_change, std::abs(u_next[d] - u[d]) / std::max(u[d], floor));
+      }
+    }
+    u.swap(u_next);
+    if (lambda_settled && worst_rel_change < 1e-13) break;
+  }
+  // Cross-check: the u-iteration growth factor must agree with the backend.
+  require(std::abs(lambda_u - out.eigenvalue) <=
+              1e-8 * std::max(std::abs(out.eigenvalue), 1.0),
+          "solve_reduced: class-total iteration disagrees with the backend "
+          "eigenvalue");
+
+  out.class_concentrations = u;
+
+  // Representatives v_k = [Gamma_k] / C(nu,k), evaluated in log space so nu
+  // in the hundreds cannot overflow the binomials.
+  out.representatives.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.representatives[k] =
+        (u[k] > 0.0) ? std::exp(std::log(u[k]) - log_c[k]) : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> expand_representatives(unsigned nu,
+                                           std::span<const double> representatives) {
+  require(representatives.size() == nu + 1,
+          "expand_representatives: need nu + 1 values");
+  require(nu <= 30, "expand_representatives: nu too large to materialise");
+  const seq_t n = sequence_count(nu);
+  std::vector<double> x(n);
+  for (seq_t i = 0; i < n; ++i) x[i] = representatives[hamming_weight(i)];
+  return x;
+}
+
+}  // namespace qs::solvers

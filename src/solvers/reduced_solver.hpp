@@ -1,0 +1,71 @@
+// Exact (nu+1) x (nu+1) reduction for Hamming-distance-based landscapes
+// (Section 5.1 of the paper).
+//
+// When the landscape is an error-class landscape f_i = phi(d_H(i, 0)),
+// Lemma 2 shows the dominant eigenvector of W = Q F is an error-class
+// vector, so the power iteration can track one representative per class:
+//
+//   vbar_Gamma_d = sum_k Q_Gamma(d, k) * phi(k) * v_Gamma_k,
+//
+// with the reduced mutation matrix (Eq. (14); note the paper's exponent on
+// (1-p) carries a sign typo — the number of mutations is m = k + d - 2j and
+// the probability is p^m (1-p)^(nu-m)):
+//
+//   Q_Gamma(d, k) = sum_{j = max(0, k+d-nu)}^{min(k, d)}
+//                     C(nu-d, k-j) C(d, j) p^{k+d-2j} (1-p)^{nu-(k+d-2j)}.
+//
+// The reduced eigenvector holds *representative* concentrations, not class
+// totals; class totals follow from the rescaling
+//   [Gamma_k] = C(nu,k) v_Gamma_k / sum_j C(nu,j) v_Gamma_j.
+//
+// The reduced matrix M = Q_Gamma diag(phi) is similar to a symmetric matrix
+// via the diagonal scaling X = diag(sqrt(phi_d * C(nu,d))), so a Jacobi
+// eigensolver delivers the full-accuracy dominant pair; power iteration and
+// QR + inverse iteration back ends are provided as cross-checks.
+#pragma once
+
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qs::solvers {
+
+/// Backend used to solve the reduced dense eigenproblem.
+enum class ReducedMethod {
+  jacobi,          ///< symmetrise + Jacobi (default; full accuracy)
+  power,           ///< power iteration on the reduced matrix
+  qr_inverse,      ///< QR eigenvalues + inverse iteration refinement
+};
+
+/// Result of the reduced solve.
+struct ReducedResult {
+  double eigenvalue = 0.0;
+
+  /// v_Gamma: concentration of one *representative* sequence per error
+  /// class, normalised so the full 2^nu-dimensional eigenvector has unit
+  /// 1-norm, i.e. sum_k C(nu,k) v_Gamma_k = 1.
+  std::vector<double> representatives;
+
+  /// [Gamma_k]: cumulative concentration of each error class (sums to 1).
+  std::vector<double> class_concentrations;
+};
+
+/// The reduced mutation matrix Q_Gamma of Eq. (14), size (nu+1) x (nu+1).
+/// Row d, column k: probability that a fixed sequence of class Gamma_d
+/// mutates into *any* sequence of class Gamma_k; rows sum to 1.
+/// Requires 0 < p <= 1/2; works for any nu <= 1000 (log-space evaluation
+/// avoids overflow of the binomials for nu > 61).
+linalg::DenseMatrix reduced_mutation_matrix(unsigned nu, double p);
+
+/// Solves the reduced problem for the uniform mutation model with error
+/// rate p on the given error-class landscape.
+ReducedResult solve_reduced(double p, const core::ErrorClassLandscape& landscape,
+                            ReducedMethod method = ReducedMethod::jacobi);
+
+/// Expands the representative vector to the full 2^nu eigenvector
+/// x_i = v_Gamma(d_H(i,0)) (for cross-validation; requires small nu).
+std::vector<double> expand_representatives(unsigned nu,
+                                           std::span<const double> representatives);
+
+}  // namespace qs::solvers

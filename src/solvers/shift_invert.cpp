@@ -1,0 +1,218 @@
+#include "solvers/shift_invert.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/fmmp.hpp"
+#include "core/operators.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+/// Bundles the symmetric operator, the shift machinery, and the scratch
+/// vectors the outer iterations share.
+class SymmetricWContext {
+ public:
+  SymmetricWContext(const core::MutationModel& model, const core::Landscape& landscape)
+      : model_(model),
+        landscape_(landscape),
+        op_(model, landscape, core::Formulation::symmetric),
+        n_(static_cast<std::size_t>(model.dimension())),
+        sqrt_f_(n_) {
+    require(model.symmetric() && model.kind() != core::MutationKind::grouped,
+            "shift-invert solvers require a symmetric 2x2-factor mutation model");
+    const auto f = landscape.values();
+    for (std::size_t i = 0; i < n_; ++i) sqrt_f_[i] = std::sqrt(f[i]);
+  }
+
+  std::size_t dimension() const { return n_; }
+  const core::FmmpOperator& op() const { return op_; }
+
+  /// Shifted symmetric apply: y = (W_S - mu I) x.
+  linalg::ApplyFn shifted_apply(double mu) const {
+    return [this, mu](std::span<const double> x, std::span<double> y) {
+      op_.apply(x, y);
+      for (std::size_t i = 0; i < n_; ++i) y[i] -= mu * x[i];
+    };
+  }
+
+  /// Exact mutation-part preconditioner M^{-1} = F^{-1/2} Q^{-1} F^{-1/2}
+  /// (SPD; Q^{-1} via the FWHT diagonalisation).
+  linalg::ApplyFn q_preconditioner() const {
+    return [this](std::span<const double> x, std::span<double> y) {
+      for (std::size_t i = 0; i < n_; ++i) y[i] = x[i] / sqrt_f_[i];
+      core::apply_q_shift_invert(model_, 0.0, y);
+      for (std::size_t i = 0; i < n_; ++i) y[i] /= sqrt_f_[i];
+    };
+  }
+
+  /// True iff (W_S - mu I) is provably positive definite.
+  bool shift_below_spectrum(double mu) const {
+    return mu < core::conservative_shift(model_, landscape_);
+  }
+
+  /// Rayleigh quotient and relative residual of the normalised x.
+  std::pair<double, double> eigen_residual(std::span<const double> x,
+                                           std::vector<double>& scratch) const {
+    scratch.resize(n_);
+    op_.apply(x, scratch);
+    const double rq = linalg::dot(x, scratch);
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double r = scratch[i] - rq * x[i];
+      res2 += r * r;
+    }
+    return {rq, std::sqrt(res2) / std::max(std::abs(rq), 1e-300)};
+  }
+
+  /// Converts a symmetric-form eigenvector into concentrations in place.
+  void to_concentrations(std::vector<double>& x) const {
+    for (std::size_t i = 0; i < n_; ++i) x[i] /= sqrt_f_[i];
+    double s = 0.0;
+    for (double v : x) s += v;
+    if (s < 0.0) linalg::scale(x, -1.0);
+    linalg::normalize1(x);
+  }
+
+  /// Starting vector in the symmetric scale from a concentration-scale
+  /// start (or the landscape default), 2-norm normalised.
+  std::vector<double> symmetric_start(std::span<const double> start) const {
+    std::vector<double> x(n_);
+    if (start.empty()) {
+      const auto f = landscape_.values();
+      for (std::size_t i = 0; i < n_; ++i) x[i] = f[i] * sqrt_f_[i];  // F^{1/2} f
+    } else {
+      require(start.size() == n_, "shift-invert: starting vector has wrong dimension");
+      for (std::size_t i = 0; i < n_; ++i) x[i] = start[i] * sqrt_f_[i];
+    }
+    linalg::normalize2(x);
+    return x;
+  }
+
+ private:
+  const core::MutationModel& model_;
+  const core::Landscape& landscape_;
+  core::FmmpOperator op_;
+  std::size_t n_;
+  std::vector<double> sqrt_f_;
+};
+
+/// The shared outer loop: inverse iteration around `mu`, optionally
+/// switching to Rayleigh-quotient shift updates once the residual drops
+/// below `rayleigh_after_residual` (set it to +inf for immediate updates,
+/// 0 to keep the shift fixed).  `x` is the starting vector in the symmetric
+/// scale, 2-norm normalised.
+WEigenResult run_shifted_outer(const SymmetricWContext& ctx, std::vector<double> x,
+                               const ShiftInvertOptions& options, double initial_mu,
+                               double rayleigh_after_residual) {
+  WEigenResult out;
+  std::vector<double> rhs(ctx.dimension());
+  std::vector<double> scratch;
+
+  double mu = initial_mu;
+  auto [rq, res] = ctx.eigen_residual(x, scratch);
+  out.eigenvalue = rq;
+  out.residual = res;
+
+  for (unsigned it = 1; it <= options.max_outer_iterations; ++it) {
+    out.outer_iterations = it;
+    if (out.residual <= options.tolerance) {
+      out.converged = true;
+      break;
+    }
+    // Solve (W_S - mu I) y = x; y (in x) is the next iterate.
+    linalg::copy(x, rhs);
+    linalg::KrylovResult inner;
+    if (ctx.shift_below_spectrum(mu)) {
+      inner = linalg::conjugate_gradient(
+          ctx.shifted_apply(mu), rhs, x, options.inner,
+          options.use_q_preconditioner ? ctx.q_preconditioner() : linalg::ApplyFn{});
+    } else {
+      inner = linalg::minres(ctx.shifted_apply(mu), rhs, x, options.inner);
+    }
+    out.inner_iterations_total += inner.iterations;
+    linalg::normalize2(x);
+    std::tie(out.eigenvalue, out.residual) = ctx.eigen_residual(x, scratch);
+    if (out.residual < rayleigh_after_residual) {
+      mu = out.eigenvalue;
+    }
+  }
+  if (out.residual <= options.tolerance) out.converged = true;
+
+  ctx.to_concentrations(x);
+  out.concentrations = std::move(x);
+  return out;
+}
+
+}  // namespace
+
+linalg::KrylovResult solve_shifted_symmetric_w(const core::MutationModel& model,
+                                               const core::Landscape& landscape,
+                                               double mu, std::span<const double> b,
+                                               std::span<double> x,
+                                               const linalg::KrylovOptions& options,
+                                               bool use_q_preconditioner) {
+  const SymmetricWContext ctx(model, landscape);
+  require(b.size() == ctx.dimension() && x.size() == ctx.dimension(),
+          "solve_shifted_symmetric_w: dimension mismatch");
+  if (ctx.shift_below_spectrum(mu)) {
+    return linalg::conjugate_gradient(
+        ctx.shifted_apply(mu), b, x, options,
+        use_q_preconditioner ? ctx.q_preconditioner() : linalg::ApplyFn{});
+  }
+  return linalg::minres(ctx.shifted_apply(mu), b, x, options);
+}
+
+WEigenResult inverse_iteration_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape, double mu,
+                                 std::span<const double> start,
+                                 const ShiftInvertOptions& options) {
+  const SymmetricWContext ctx(model, landscape);
+  return run_shifted_outer(ctx, ctx.symmetric_start(start), options, mu,
+                           /*rayleigh_after_residual=*/0.0);
+}
+
+WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
+                                           const core::Landscape& landscape,
+                                           std::span<const double> start,
+                                           const ShiftInvertOptions& options) {
+  const SymmetricWContext ctx(model, landscape);
+  // A generic start has an *interior* Rayleigh quotient, and pure RQI
+  // converges to whatever eigenvalue is nearest — not necessarily the
+  // dominant one.  A short power-iteration warm-up (cheap Fmmp products)
+  // pulls the iterate towards the dominant eigenvector first, so the
+  // subsequent cubically convergent RQI locks onto the right pair.
+  std::vector<double> x = ctx.symmetric_start(start);
+  std::vector<double> y(ctx.dimension());
+  for (unsigned warm = 0; warm < 20; ++warm) {
+    ctx.op().apply(x, y);
+    linalg::copy(y, x);
+    linalg::normalize2(x);
+  }
+  std::vector<double> scratch;
+  const double rq0 = ctx.eigen_residual(x, scratch).first;
+  return run_shifted_outer(ctx, std::move(x), options, rq0,
+                           /*rayleigh_after_residual=*/
+                           std::numeric_limits<double>::infinity());
+}
+
+WEigenResult smallest_eigenpair_w(const core::MutationModel& model,
+                                  const core::Landscape& landscape,
+                                  const ShiftInvertOptions& options) {
+  const SymmetricWContext ctx(model, landscape);
+  // Shift just below the paper's lower bound (1-2p)^nu f_min <= lambda_min:
+  // the nearest eigenvalue to mu is then *guaranteed* to be lambda_min, the
+  // system stays positive definite (CG path), and once the iterate has
+  // locked on (residual < 1e-4) Rayleigh updates finish the job cubically.
+  const double mu = 0.999 * core::conservative_shift(model, landscape);
+  std::vector<double> uniform(ctx.dimension(), 1.0);
+  linalg::normalize2(uniform);
+  return run_shifted_outer(ctx, std::move(uniform), options, mu,
+                           /*rayleigh_after_residual=*/1e-4);
+}
+
+}  // namespace qs::solvers

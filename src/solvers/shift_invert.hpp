@@ -1,0 +1,85 @@
+// Shift-and-invert eigensolvers for the full problem matrix W = Q F
+// (the "current work" the paper announces at the end of Section 3).
+//
+// The symmetric formulation W_S = F^{1/2} Q F^{1/2} makes (W_S - mu I) x = b
+// a symmetric linear system solvable matrix-free with Krylov methods at
+// Theta(N log2 N) per inner iteration (the operator is one Fmmp product):
+//
+//   * mu below the spectrum (e.g. mu <= (1-2p)^nu f_min, the paper's
+//     conservative bound) keeps W_S - mu I positive definite -> conjugate
+//     gradients, optionally preconditioned with the *exact* inverse of the
+//     mutation part, M^{-1} = F^{-1/2} Q^{-1} F^{-1/2}, available in closed
+//     form through the FWHT diagonalisation of Section 2;
+//   * mu inside the spectrum (inverse iteration towards interior or
+//     dominant eigenpairs) makes the system indefinite -> MINRES.
+//
+// On top of the solve, this module provides inverse iteration (eigenpair
+// nearest a fixed shift) and Rayleigh quotient iteration (cubically
+// convergent refinement) for W, plus the smallest eigenpair — which
+// validates the paper's lower bound lambda_min >= (1-2p)^nu f_min.
+//
+// All methods require a symmetric mutation model (uniform or symmetric
+// per-site); results are reported as concentrations (right formulation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "linalg/krylov.hpp"
+
+namespace qs::solvers {
+
+/// Options for the shift-and-invert eigensolvers.
+struct ShiftInvertOptions {
+  double tolerance = 1e-12;         ///< Relative eigenpair residual target.
+  unsigned max_outer_iterations = 60;
+  linalg::KrylovOptions inner;      ///< Inner linear-solve control.
+  bool use_q_preconditioner = true; ///< Precondition CG with F^{-1/2}Q^{-1}F^{-1/2}.
+};
+
+/// Eigenpair of W with solver statistics.
+struct WEigenResult {
+  double eigenvalue = 0.0;
+  std::vector<double> concentrations;  ///< x_R, 1-norm normalised.
+  unsigned outer_iterations = 0;
+  std::size_t inner_iterations_total = 0;
+  double residual = 0.0;               ///< Relative symmetric-form residual.
+  bool converged = false;
+};
+
+/// Solves (W_S - mu I) x = b matrix-free.  Selects CG when mu is provably
+/// below the spectrum (mu < (1-2p)^nu f_min) and MINRES otherwise; the Q
+/// preconditioner applies to the CG path only.  x holds the initial guess
+/// on entry and the solution on exit.
+linalg::KrylovResult solve_shifted_symmetric_w(const core::MutationModel& model,
+                                               const core::Landscape& landscape,
+                                               double mu, std::span<const double> b,
+                                               std::span<double> x,
+                                               const linalg::KrylovOptions& options = {},
+                                               bool use_q_preconditioner = true);
+
+/// Inverse iteration: converges to the eigenpair of W whose eigenvalue is
+/// nearest the fixed shift mu. `start` (concentration scale) may be empty.
+WEigenResult inverse_iteration_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape, double mu,
+                                 std::span<const double> start = {},
+                                 const ShiftInvertOptions& options = {});
+
+/// Rayleigh quotient iteration from `start` (concentration scale; empty
+/// selects the landscape start, which leans towards the dominant pair).
+/// Cubically convergent; typically 3-5 outer iterations.
+WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
+                                           const core::Landscape& landscape,
+                                           std::span<const double> start = {},
+                                           const ShiftInvertOptions& options = {});
+
+/// The *smallest* eigenpair of W via inverse iteration with mu = 0
+/// (W_S is positive definite, so plain CG applies).  Validates the paper's
+/// bound lambda_min >= (1-2p)^nu f_min.
+WEigenResult smallest_eigenpair_w(const core::MutationModel& model,
+                                  const core::Landscape& landscape,
+                                  const ShiftInvertOptions& options = {});
+
+}  // namespace qs::solvers

@@ -1,0 +1,66 @@
+#include "stochastic/moran.hpp"
+
+#include "stochastic/sampling.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::stochastic {
+
+Moran::Moran(core::MutationModel model, const core::Landscape& landscape,
+             std::uint64_t seed)
+    : model_(std::move(model)), landscape_(&landscape), rng_(seed) {
+  require(model_.dimension() == landscape.dimension(),
+          "Moran: model and landscape dimensions differ");
+  require(model_.kind() != core::MutationKind::grouped,
+          "Moran: offspring mutation requires a per-site (2x2-factor) model");
+}
+
+seq_t Moran::mutate_offspring(seq_t parent) {
+  // Independent per-site mutation: position k flips with the probability
+  // encoded in its column-stochastic factor.
+  const auto& sites = model_.site_factors();
+  seq_t child = parent;
+  for (unsigned k = 0; k < model_.nu(); ++k) {
+    const bool bit = (parent >> k) & 1;
+    // P(flip | current state) is the off-diagonal entry of the state's
+    // column: m10 when the bit is 0, m01 when it is 1.
+    const double flip = bit ? sites[k].m01 : sites[k].m10;
+    if (rng_.uniform() < flip) child ^= (seq_t{1} << k);
+  }
+  return child;
+}
+
+void Moran::event(Population& population) {
+  require(population.nu() == model_.nu(), "Moran: population nu mismatch");
+  require(population.size() > 0, "Moran: empty population");
+  auto counts = population.counts();
+  const auto f = landscape_->values();
+
+  // Birth: parent ~ fitness-weighted counts.
+  weight_scratch_.resize(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    weight_scratch_[i] = f[i] * static_cast<double>(counts[i]);
+  }
+  const seq_t parent = categorical_sample(rng_, weight_scratch_);
+  const seq_t child = mutate_offspring(parent);
+
+  // Death: uniform over individuals.
+  const std::uint64_t victim_index = rng_.uniform_index(population.size());
+  std::uint64_t cumulative = 0;
+  seq_t victim = 0;
+  for (seq_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (victim_index < cumulative) {
+      victim = i;
+      break;
+    }
+  }
+
+  ++counts[child];
+  --counts[victim];
+}
+
+void Moran::run(Population& population, std::uint64_t events) {
+  for (std::uint64_t e = 0; e < events; ++e) event(population);
+}
+
+}  // namespace qs::stochastic

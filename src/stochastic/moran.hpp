@@ -1,0 +1,42 @@
+// Moran mutation-selection process: the overlapping-generations
+// counterpart of Wright-Fisher.
+//
+// One event replaces one individual: a parent is drawn with probability
+// proportional to fitness, its offspring mutates per site, and a uniformly
+// random individual dies.  N_pop events make one "generation".  The Moran
+// process has the same infinite-population limit as Wright-Fisher but
+// different fluctuation structure (fixation probabilities, effective
+// population size N_e = N_pop/2), which the tests exercise.
+#pragma once
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "stochastic/population.hpp"
+#include "support/rng.hpp"
+
+namespace qs::stochastic {
+
+/// Moran process bound to a model, landscape, and RNG stream.
+class Moran {
+ public:
+  /// `model` must be a 2x2-factor kind (offspring mutation is applied site
+  /// by site); `landscape` is referenced and must outlive the process.
+  Moran(core::MutationModel model, const core::Landscape& landscape,
+        std::uint64_t seed);
+
+  /// One birth-death event in place. Population size is conserved.
+  void event(Population& population);
+
+  /// Runs `events` birth-death events.
+  void run(Population& population, std::uint64_t events);
+
+ private:
+  seq_t mutate_offspring(seq_t parent);
+
+  core::MutationModel model_;
+  const core::Landscape* landscape_;
+  Xoshiro256 rng_;
+  std::vector<double> weight_scratch_;
+};
+
+}  // namespace qs::stochastic

@@ -1,0 +1,51 @@
+#include "stochastic/population.hpp"
+
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace qs::stochastic {
+
+Population::Population(unsigned nu, std::uint64_t size) : nu_(nu), size_(size) {
+  require(nu >= 1 && nu <= 24, "Population: nu out of the dense-count range");
+  counts_.assign(sequence_count(nu), 0);
+}
+
+Population Population::monomorphic(unsigned nu, std::uint64_t size) {
+  Population p(nu, size);
+  p.counts_[0] = size;
+  return p;
+}
+
+Population Population::uniform(unsigned nu, std::uint64_t size) {
+  Population p(nu, size);
+  const seq_t n = p.species_count();
+  const std::uint64_t base = size / n;
+  std::uint64_t remainder = size % n;
+  for (seq_t i = 0; i < n; ++i) {
+    p.counts_[i] = base + (i < remainder ? 1 : 0);
+  }
+  return p;
+}
+
+void Population::refresh_size() {
+  size_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+std::vector<double> Population::frequencies() const {
+  require(size_ > 0, "frequencies(): empty population");
+  std::vector<double> x(counts_.size());
+  const double inv = 1.0 / static_cast<double>(size_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    x[i] = static_cast<double>(counts_[i]) * inv;
+  }
+  return x;
+}
+
+std::size_t Population::occupied_species() const {
+  std::size_t occupied = 0;
+  for (std::uint64_t c : counts_) occupied += (c > 0) ? 1 : 0;
+  return occupied;
+}
+
+}  // namespace qs::stochastic

@@ -1,0 +1,48 @@
+// Finite population state over the sequence space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace qs::stochastic {
+
+/// A population of individuals distributed over the 2^nu species.
+class Population {
+ public:
+  /// Empty population of chain length nu. Requires nu small enough to hold
+  /// a dense count vector (nu <= 24 guards accidental huge allocations).
+  Population(unsigned nu, std::uint64_t size);
+
+  /// All `size` individuals on the master sequence X_0.
+  static Population monomorphic(unsigned nu, std::uint64_t size);
+
+  /// Individuals spread as evenly as possible over all species.
+  static Population uniform(unsigned nu, std::uint64_t size);
+
+  unsigned nu() const { return nu_; }
+  std::uint64_t size() const { return size_; }
+  seq_t species_count() const { return sequence_count(nu_); }
+
+  std::span<const std::uint64_t> counts() const { return counts_; }
+  std::span<std::uint64_t> counts() { return counts_; }
+
+  /// Recomputes and stores the total population size from the counts (call
+  /// after editing counts() directly).
+  void refresh_size();
+
+  /// Relative frequencies x_i = n_i / N_pop.
+  std::vector<double> frequencies() const;
+
+  /// Number of species with at least one individual.
+  std::size_t occupied_species() const;
+
+ private:
+  unsigned nu_;
+  std::uint64_t size_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace qs::stochastic

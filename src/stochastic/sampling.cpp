@@ -1,0 +1,95 @@
+#include "stochastic/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::stochastic {
+
+std::uint64_t binomial_sample(Xoshiro256& rng, std::uint64_t n, double prob) {
+  require(prob >= 0.0 && prob <= 1.0, "binomial_sample: prob must be in [0, 1]");
+  if (n == 0 || prob == 0.0) return 0;
+  if (prob == 1.0) return n;
+
+  // Work with p <= 1/2 and mirror at the end (keeps both branches stable).
+  const bool mirrored = prob > 0.5;
+  const double p = mirrored ? 1.0 - prob : prob;
+  const double np = static_cast<double>(n) * p;
+
+  std::uint64_t k;
+  if (np < 30.0) {
+    // Inverse-CDF walk over the PMF recurrence
+    // P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
+    const double ratio = p / (1.0 - p);
+    double pmf = std::pow(1.0 - p, static_cast<double>(n));  // P(0)
+    double cdf = pmf;
+    double u = rng.uniform();
+    k = 0;
+    while (u > cdf && k < n) {
+      pmf *= static_cast<double>(n - k) / static_cast<double>(k + 1) * ratio;
+      cdf += pmf;
+      ++k;
+      if (pmf < 1e-300 && cdf >= 1.0 - 1e-12) break;  // numerical tail guard
+    }
+  } else {
+    // Normal approximation with continuity correction; npq >= 15 here, so
+    // the approximation error is negligible next to sampling noise.
+    const double mean = np;
+    const double stddev = std::sqrt(np * (1.0 - p));
+    // Box-Muller from two uniforms.
+    const double u1 = std::max(rng.uniform(), 1e-300);
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double value = std::round(mean + stddev * z);
+    k = static_cast<std::uint64_t>(std::clamp(value, 0.0, static_cast<double>(n)));
+  }
+  return mirrored ? n - k : k;
+}
+
+std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
+                                              std::span<const double> probabilities) {
+  require(!probabilities.empty(), "multinomial_sample: empty probability vector");
+  double total = 0.0;
+  for (double p : probabilities) {
+    require(p >= 0.0, "multinomial_sample: probabilities must be nonnegative");
+    total += p;
+  }
+  require(std::abs(total - 1.0) < 1e-6,
+          "multinomial_sample: probabilities must sum to 1");
+
+  // Conditional-binomial decomposition: category i receives
+  // Bin(remaining, p_i / remaining_mass).
+  std::vector<std::uint64_t> counts(probabilities.size(), 0);
+  std::uint64_t remaining = n;
+  double remaining_mass = total;
+  for (std::size_t i = 0; i + 1 < probabilities.size() && remaining > 0; ++i) {
+    if (probabilities[i] <= 0.0) continue;
+    const double conditional =
+        std::clamp(probabilities[i] / remaining_mass, 0.0, 1.0);
+    counts[i] = binomial_sample(rng, remaining, conditional);
+    remaining -= counts[i];
+    remaining_mass -= probabilities[i];
+    if (remaining_mass <= 0.0) break;
+  }
+  counts.back() += remaining;  // last category absorbs the remainder
+  return counts;
+}
+
+std::size_t categorical_sample(Xoshiro256& rng, std::span<const double> weights) {
+  require(!weights.empty(), "categorical_sample: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "categorical_sample: weights must be nonnegative");
+    total += w;
+  }
+  require(total > 0.0, "categorical_sample: all weights are zero");
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // rounding fall-through
+}
+
+}  // namespace qs::stochastic

@@ -1,0 +1,36 @@
+// Random sampling primitives for the finite-population simulators.
+//
+// The deterministic quasispecies equation is the infinite-population limit;
+// the paper's reference [11] (Nowak & Schuster) studies how finite
+// populations shift the error threshold.  These samplers generate the
+// required binomial / multinomial / categorical variates from the library's
+// deterministic RNG so simulation runs are reproducible by seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace qs::stochastic {
+
+/// One binomial variate Bin(n, prob).
+///
+/// Exact inverse-CDF walk when the expected count is small (the common case
+/// when distributing a population over 2^nu species); a continuity-corrected
+/// normal approximation for large n*p*(1-p) (error far below sampling noise
+/// in that regime). Requires prob in [0, 1].
+std::uint64_t binomial_sample(Xoshiro256& rng, std::uint64_t n, double prob);
+
+/// Multinomial sample: distributes `n` trials over `probabilities` (which
+/// must be nonnegative and sum to ~1) via the conditional-binomial method.
+/// Returns counts aligned with the input; counts sum to exactly n.
+std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
+                                              std::span<const double> probabilities);
+
+/// Categorical sample: index i with probability weights[i] / sum(weights).
+/// Requires at least one strictly positive weight.
+std::size_t categorical_sample(Xoshiro256& rng, std::span<const double> weights);
+
+}  // namespace qs::stochastic

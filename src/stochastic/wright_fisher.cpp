@@ -1,0 +1,69 @@
+#include "stochastic/wright_fisher.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "stochastic/sampling.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::stochastic {
+
+WrightFisher::WrightFisher(core::MutationModel model, const core::Landscape& landscape,
+                           std::uint64_t seed)
+    : model_(std::move(model)), landscape_(&landscape), rng_(seed) {
+  require(model_.dimension() == landscape.dimension(),
+          "WrightFisher: model and landscape dimensions differ");
+}
+
+std::vector<double> WrightFisher::expected_offspring(const Population& population) const {
+  require(population.nu() == model_.nu(), "WrightFisher: population nu mismatch");
+  require(population.size() > 0, "WrightFisher: empty population");
+  const auto counts = population.counts();
+  const auto f = landscape_->values();
+
+  // pi = Q (f .* n) normalised: selection then mutation, via Fmmp.
+  std::vector<double> pi(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    pi[i] = f[i] * static_cast<double>(counts[i]);
+  }
+  model_.apply(pi);
+  linalg::normalize1(pi);
+  // Mutation probabilities are nonnegative; clamp rounding dust so the
+  // multinomial sampler's precondition holds exactly.
+  for (double& v : pi) {
+    if (v < 0.0) v = 0.0;
+  }
+  return pi;
+}
+
+void WrightFisher::step(Population& population) {
+  const auto pi = expected_offspring(population);
+  const auto next = multinomial_sample(rng_, population.size(), pi);
+  auto counts = population.counts();
+  for (std::size_t i = 0; i < next.size(); ++i) counts[i] = next[i];
+  population.refresh_size();
+}
+
+std::vector<double> WrightFisher::run(Population& population,
+                                      std::uint64_t generations,
+                                      std::uint64_t average_window) {
+  require(average_window <= generations,
+          "WrightFisher::run: averaging window exceeds the run length");
+  const std::size_t n = population.counts().size();
+  std::vector<double> accumulated(n, 0.0);
+  const std::uint64_t averaging_start = generations - average_window;
+
+  for (std::uint64_t g = 0; g < generations; ++g) {
+    step(population);
+    if (g >= averaging_start) {
+      const auto counts = population.counts();
+      const double inv = 1.0 / static_cast<double>(population.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        accumulated[i] += static_cast<double>(counts[i]) * inv;
+      }
+    }
+  }
+  if (average_window == 0) return population.frequencies();
+  for (double& v : accumulated) v /= static_cast<double>(average_window);
+  return accumulated;
+}
+
+}  // namespace qs::stochastic

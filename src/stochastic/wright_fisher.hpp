@@ -1,0 +1,56 @@
+// Wright-Fisher mutation-selection dynamics over the sequence space.
+//
+// The finite-population counterpart of Eigen's deterministic quasispecies
+// equation: each (non-overlapping) generation, every one of the N_pop
+// offspring independently picks species i with probability
+//
+//   pi_i = (Q (f .* n))_i / sum_j f_j n_j,
+//
+// i.e. selection proportional to fitness followed by per-site mutation —
+// exactly the stochastic process whose infinite-population limit is the
+// dominant eigenvector of W = Q F.  The expected offspring distribution
+// rides on the fast mutation matrix product, so even the simulator costs
+// Theta(N log2 N) per generation plus the multinomial draw; the paper's
+// reference [11] studies this model's error-threshold shift at finite N_pop.
+#pragma once
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "stochastic/population.hpp"
+#include "support/rng.hpp"
+
+namespace qs::stochastic {
+
+/// Wright-Fisher process bound to a model, landscape, and RNG stream.
+class WrightFisher {
+ public:
+  /// `model` is copied; `landscape` is referenced and must outlive the
+  /// process. Dimensions must agree.
+  WrightFisher(core::MutationModel model, const core::Landscape& landscape,
+               std::uint64_t seed);
+
+  const core::MutationModel& model() const { return model_; }
+  const core::Landscape& landscape() const { return *landscape_; }
+
+  /// Expected next-generation distribution pi for the current population
+  /// (the deterministic map whose fixed point is the quasispecies).
+  std::vector<double> expected_offspring(const Population& population) const;
+
+  /// Advances one generation in place (multinomial resampling around the
+  /// expected distribution). Population size is conserved exactly.
+  void step(Population& population);
+
+  /// Runs `generations` steps and returns the time-average frequency vector
+  /// over the last `average_window` generations (0 = just the final state).
+  /// Time averaging is the standard estimator for the stationary
+  /// distribution of the finite process.
+  std::vector<double> run(Population& population, std::uint64_t generations,
+                          std::uint64_t average_window = 0);
+
+ private:
+  core::MutationModel model_;
+  const core::Landscape* landscape_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace qs::stochastic

@@ -1,0 +1,74 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/contracts.hpp"
+
+namespace qs {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  require(argc >= 1, "ArgParser: argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option;
+    // otherwise a bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback, double lo,
+                             double hi) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "option --" + name + " expects a number, got '" + it->second + "'");
+  require(value >= lo && value <= hi, "option --" + name + " out of range");
+  return value;
+}
+
+long ArgParser::get_long(const std::string& name, long fallback, long lo,
+                         long hi) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "option --" + name + " expects an integer, got '" + it->second + "'");
+  require(value >= lo && value <= hi, "option --" + name + " out of range");
+  return value;
+}
+
+std::vector<std::string> ArgParser::provided_options() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, value] : options_) names.push_back(name);
+  return names;
+}
+
+}  // namespace qs

@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the tools and examples.
+//
+// Supports --key value and --key=value options plus --flag booleans; keeps
+// the library free of external dependencies while giving the CLI tools real
+// option handling with validation and error messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Parsed command line: options plus positional arguments.
+class ArgParser {
+ public:
+  /// Parses argv; throws precondition_error on malformed input (an option
+  /// without a value at the end of the line).
+  ArgParser(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// True iff --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String option value, or fallback when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric option values with range validation; throw precondition_error
+  /// on parse failure or range violation.
+  double get_double(const std::string& name, double fallback, double lo,
+                    double hi) const;
+  long get_long(const std::string& name, long fallback, long lo, long hi) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all options that were provided (for unknown-option checks).
+  std::vector<std::string> provided_options() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qs

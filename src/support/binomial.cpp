@@ -1,0 +1,42 @@
+#include "support/binomial.hpp"
+
+#include <cmath>
+
+namespace qs {
+
+BinomialRow::BinomialRow(unsigned nu) : nu_(nu) {
+  require(nu <= 61, "exact binomial table limited to nu <= 61");
+  exact_.assign(nu + 1, 0);
+  real_.assign(nu + 1, 0.0);
+  exact_[0] = 1;
+  for (unsigned k = 1; k <= nu; ++k) {
+    // Multiply-then-divide stays exact because C(nu, k-1) * (nu-k+1) is
+    // always divisible by k at this point of the recurrence.
+    exact_[k] = exact_[k - 1] * (nu - k + 1) / k;
+  }
+  row_sum_ = 0.0;
+  for (unsigned k = 0; k <= nu; ++k) {
+    real_[k] = static_cast<double>(exact_[k]);
+    row_sum_ += real_[k];
+  }
+}
+
+double binomial_real(unsigned n, unsigned k) {
+  require(k <= n, "binomial index k must satisfy k <= n");
+  if (k == 0 || k == n) return 1.0;
+  return std::exp(std::lgamma(static_cast<double>(n) + 1.0) -
+                  std::lgamma(static_cast<double>(k) + 1.0) -
+                  std::lgamma(static_cast<double>(n - k) + 1.0));
+}
+
+std::uint64_t binomial_exact(unsigned n, unsigned k) {
+  require(k <= n, "binomial index k must satisfy k <= n");
+  require(n <= 61, "exact binomial limited to n <= 61");
+  std::uint64_t c = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    c = c * (n - i + 1) / i;
+  }
+  return c;
+}
+
+}  // namespace qs

@@ -1,0 +1,56 @@
+// Binomial coefficients for error-class cardinalities.
+//
+// The error class Gamma_k of chain length nu contains C(nu, k) sequences;
+// every reduced-problem formula in Section 5.1 of the paper and every
+// cumulative-concentration rescaling needs these coefficients.  Exact
+// integer values overflow 64 bits beyond nu ~ 61 in the middle of the row,
+// so the table also exposes a double-precision variant used for rescaling
+// at large nu.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace qs {
+
+/// Pascal-triangle row holder for one fixed nu.
+class BinomialRow {
+ public:
+  /// Builds the row C(nu, 0..nu).  Requires nu <= 61 for the exact integer
+  /// table; the floating-point accessors work for any nu the constructor
+  /// accepts.
+  explicit BinomialRow(unsigned nu);
+
+  unsigned nu() const { return nu_; }
+
+  /// C(nu, k) as an exact 64-bit integer. Requires k <= nu.
+  std::uint64_t exact(unsigned k) const {
+    require(k <= nu_, "binomial index k must satisfy k <= nu");
+    return exact_[k];
+  }
+
+  /// C(nu, k) in double precision. Requires k <= nu.
+  double value(unsigned k) const {
+    require(k <= nu_, "binomial index k must satisfy k <= nu");
+    return real_[k];
+  }
+
+  /// Sum of the row, i.e. 2^nu in double precision.
+  double row_sum() const { return row_sum_; }
+
+ private:
+  unsigned nu_;
+  std::vector<std::uint64_t> exact_;
+  std::vector<double> real_;
+  double row_sum_;
+};
+
+/// C(n, k) in double precision via lgamma; valid for any n, k with k <= n.
+double binomial_real(unsigned n, unsigned k);
+
+/// Exact C(n, k) for small arguments (n <= 61). Throws on overflow risk.
+std::uint64_t binomial_exact(unsigned n, unsigned k);
+
+}  // namespace qs

@@ -1,0 +1,108 @@
+// Bit-level utilities for the binary sequence space {0,1}^nu.
+//
+// A species X_i is identified with the integer i in [0, 2^nu); bit k of i
+// (k = 0 is the least significant bit) is position k of the RNA sequence.
+// The Hamming distance between species is the popcount of the XOR of their
+// indices, which is the workhorse of every structured algorithm in this
+// library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace qs {
+
+/// Sequence index type. 64 bits comfortably covers every chain length whose
+/// concentration vector fits in memory (nu <= 40 or so).
+using seq_t = std::uint64_t;
+
+/// Maximum chain length for which N = 2^nu fits in a seq_t with headroom.
+inline constexpr unsigned kMaxChainLength = 62;
+
+/// Number of sequences N = 2^nu of chain length nu.
+constexpr seq_t sequence_count(unsigned nu) {
+  return seq_t{1} << nu;
+}
+
+/// Hamming weight d_H(i, 0): number of mutated positions relative to the
+/// master sequence X_0.
+constexpr unsigned hamming_weight(seq_t i) {
+  return static_cast<unsigned>(std::popcount(i));
+}
+
+/// Hamming distance d_H(i, j) between species X_i and X_j.
+constexpr unsigned hamming_distance(seq_t i, seq_t j) {
+  return hamming_weight(i ^ j);
+}
+
+/// Binary reflected Gray code of i.  Consecutive Gray codes differ in exactly
+/// one bit, i.e. d_H(gray(i), gray(i+1)) = 1 (footnote 2 of the paper).
+constexpr seq_t gray_code(seq_t i) {
+  return i ^ (i >> 1);
+}
+
+/// Inverse of gray_code: gray_decode(gray_code(i)) == i.
+constexpr seq_t gray_decode(seq_t g) {
+  seq_t i = g;
+  for (unsigned shift = 1; shift < 64; shift <<= 1) {
+    i ^= i >> shift;
+  }
+  return i;
+}
+
+/// True iff n is a power of two (and nonzero).
+constexpr bool is_power_of_two(seq_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(seq_t n) {
+  return static_cast<unsigned>(std::countr_zero(n));
+}
+
+/// Iterates all nu-bit masks of a fixed popcount k in increasing numeric
+/// order (Gosper's hack).  Used by the sparsified XOR product Xmvp(d) to
+/// enumerate every mutation pattern with exactly k flipped positions.
+class FixedWeightMasks {
+ public:
+  /// Requires 0 <= k <= nu <= kMaxChainLength.
+  FixedWeightMasks(unsigned nu, unsigned k) : nu_(nu), k_(k) {
+    require(nu <= kMaxChainLength, "chain length nu out of range");
+    require(k <= nu, "popcount k must satisfy k <= nu");
+  }
+
+  /// Invokes fn(mask) for every nu-bit mask with popcount k.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (k_ == 0) {
+      fn(seq_t{0});
+      return;
+    }
+    const seq_t limit = sequence_count(nu_);
+    seq_t mask = (seq_t{1} << k_) - 1;  // smallest mask with k bits set
+    while (mask < limit) {
+      fn(mask);
+      // Gosper's hack: next larger integer with the same popcount.
+      const seq_t c = mask & (~mask + 1);  // lowest set bit
+      const seq_t r = mask + c;
+      mask = (((r ^ mask) >> 2) / c) | r;
+      if (c == 0) break;  // defensive: cannot occur for mask != 0
+    }
+  }
+
+  /// Collects all masks into a vector (convenience for tests and setup code).
+  std::vector<seq_t> to_vector() const {
+    std::vector<seq_t> out;
+    for_each([&](seq_t m) { out.push_back(m); });
+    return out;
+  }
+
+ private:
+  unsigned nu_;
+  unsigned k_;
+};
+
+}  // namespace qs

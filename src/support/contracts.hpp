@@ -1,0 +1,34 @@
+// Precondition checking for the public API.
+//
+// The library validates user-facing inputs (chain lengths, error rates,
+// fitness values, dimension agreements) eagerly and throws
+// qs::precondition_error so that misuse is diagnosed at the call site
+// rather than as NaNs thousands of iterations later.  Hot inner loops do
+// not re-validate; validation happens once at object construction or at
+// the entry of a top-level solve.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace qs {
+
+/// Thrown when a documented precondition of a public API is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Validates a documented precondition; throws precondition_error on failure.
+///
+/// `what` should state the violated requirement in terms of the caller's
+/// arguments, e.g. "error rate p must satisfy 0 < p <= 1/2".
+inline void require(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw precondition_error(std::string(loc.function_name()) + ": " + what);
+  }
+}
+
+}  // namespace qs

@@ -1,0 +1,55 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+
+namespace qs {
+
+std::string format_double(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;  // to_chars cannot fail for doubles into a 64-byte buffer
+  return std::string(buf, ptr);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  row();
+  for (const auto& n : names) cell(n);
+  end_row();
+}
+
+CsvWriter& CsvWriter::row() {
+  row_open_ = true;
+  first_cell_ = true;
+  return *this;
+}
+
+void CsvWriter::separator() {
+  if (!first_cell_) *out_ << ',';
+  first_cell_ = false;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  separator();
+  *out_ << format_double(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  first_cell_ = true;
+}
+
+}  // namespace qs

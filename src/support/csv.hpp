@@ -1,0 +1,51 @@
+// Minimal CSV emission for benchmark series and example outputs.
+//
+// Figures in the paper are plots; our benches emit the plotted series as CSV
+// so they can be re-plotted or diffed.  The writer quotes nothing and
+// formats doubles with enough digits to round-trip.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Streams rows of mixed string/double cells as comma-separated values.
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row from column names.
+  void header(const std::vector<std::string>& names);
+
+  /// Begins a fresh row; subsequent cell() calls append to it.
+  CsvWriter& row();
+
+  /// Appends a string cell to the current row.
+  CsvWriter& cell(const std::string& value);
+
+  /// Appends a numeric cell formatted to round-trip precision.
+  CsvWriter& cell(double value);
+
+  /// Appends an integral cell.
+  CsvWriter& cell(std::size_t value);
+
+  /// Terminates the current row.
+  void end_row();
+
+ private:
+  void separator();
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool first_cell_ = true;
+};
+
+/// Formats a double with round-trip precision (shortest representation that
+/// parses back exactly).
+std::string format_double(double value);
+
+}  // namespace qs

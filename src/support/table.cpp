@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/contracts.hpp"
+
+namespace qs {
+
+std::string format_short(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_short(v));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace qs

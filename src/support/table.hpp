@@ -1,0 +1,37 @@
+// Aligned plain-text tables for human-readable bench output.
+//
+// Benches print both a CSV block (machine-readable) and one of these tables
+// (eyeball-readable); the table mirrors the rows/series of the paper's
+// figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the column headers; defines the column count.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row. Requires cells.size() == column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles in %.4g and appends.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table with a header separator to `out`.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double in scientific-ish short form suitable for tables.
+std::string format_short(double value);
+
+}  // namespace qs

@@ -1,0 +1,54 @@
+#include "transforms/butterfly.hpp"
+
+#include <cmath>
+
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::transforms {
+
+double Factor2::stochastic_deviation() const {
+  return std::max(std::abs(m00 + m10 - 1.0), std::abs(m01 + m11 - 1.0));
+}
+
+void apply_butterfly_level(std::span<double> v, const Factor2& f, unsigned k) {
+  const std::size_t n = v.size();
+  require(is_power_of_two(n), "apply_butterfly_level: length must be a power of two");
+  const std::size_t stride = std::size_t{1} << k;
+  require(stride < n, "apply_butterfly_level: level k out of range");
+  for (std::size_t j = 0; j < n; j += stride << 1) {
+    for (std::size_t idx = j; idx < j + stride; ++idx) {
+      const double t1 = v[idx];
+      const double t2 = v[idx + stride];
+      v[idx] = f.m00 * t1 + f.m01 * t2;
+      v[idx + stride] = f.m10 * t1 + f.m11 * t2;
+    }
+  }
+}
+
+void apply_butterfly(std::span<double> v, std::span<const Factor2> factors,
+                     LevelOrder order) {
+  const std::size_t n = v.size();
+  require(is_power_of_two(n), "apply_butterfly: length must be a power of two");
+  const unsigned nu = log2_exact(n);
+  require(factors.size() == nu, "apply_butterfly: need exactly log2(N) factors");
+  if (order == LevelOrder::ascending) {
+    for (unsigned k = 0; k < nu; ++k) apply_butterfly_level(v, factors[k], k);
+  } else {
+    for (unsigned k = nu; k-- > 0;) apply_butterfly_level(v, factors[k], k);
+  }
+}
+
+void apply_uniform_butterfly(std::span<double> v, double p, LevelOrder order) {
+  const std::size_t n = v.size();
+  require(is_power_of_two(n), "apply_uniform_butterfly: length must be a power of two");
+  const unsigned nu = log2_exact(n);
+  const Factor2 f = Factor2::uniform(p);
+  if (order == LevelOrder::ascending) {
+    for (unsigned k = 0; k < nu; ++k) apply_butterfly_level(v, f, k);
+  } else {
+    for (unsigned k = nu; k-- > 0;) apply_butterfly_level(v, f, k);
+  }
+}
+
+}  // namespace qs::transforms

@@ -1,0 +1,31 @@
+#include "transforms/fwht.hpp"
+
+#include <cmath>
+
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::transforms {
+
+void fwht(std::span<double> v) {
+  const std::size_t n = v.size();
+  require(is_power_of_two(n), "fwht: length must be a power of two");
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    for (std::size_t j = 0; j < n; j += h << 1) {
+      for (std::size_t k = j; k < j + h; ++k) {
+        const double t1 = v[k];
+        const double t2 = v[k + h];
+        v[k] = t1 + t2;
+        v[k + h] = t1 - t2;
+      }
+    }
+  }
+}
+
+void fwht_normalized(std::span<double> v) {
+  fwht(v);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(v.size()));
+  for (double& x : v) x *= scale;
+}
+
+}  // namespace qs::transforms

@@ -1,0 +1,24 @@
+// Fast Walsh-Hadamard transform.
+//
+// The eigenvector matrix of the mutation matrix Q(nu) is the scaled
+// Hadamard matrix V(nu) = 2^{-nu/2} H(nu) (Section 2 of the paper), so the
+// FWHT diagonalises Q: Q = V Lambda V with Lambda_ii = (1-2p)^{popcount(i)}.
+// This module provides the in-place Theta(N log2 N) transform used by the
+// spectral operations (eigendecomposition-based products, shift-and-invert).
+#pragma once
+
+#include <span>
+
+namespace qs::transforms {
+
+/// In-place unnormalised FWHT: v <- H(nu) v where H is the {+1,-1} Hadamard
+/// matrix in natural (Walsh-Hadamard) order and v.size() = 2^nu.
+/// Self-inverse up to the factor N: fwht(fwht(v)) == N * v.
+/// Requires v.size() to be a power of two.
+void fwht(std::span<double> v);
+
+/// In-place orthonormal FWHT: v <- V(nu) v with V = 2^{-nu/2} H. Involutary:
+/// applying it twice restores v exactly (up to rounding).
+void fwht_normalized(std::span<double> v);
+
+}  // namespace qs::transforms

@@ -1,0 +1,75 @@
+// Grouped Kronecker products with arbitrary power-of-two block factors.
+//
+// Section 2.2 of the paper generalises the mutation matrix to
+// Q = Q_{G_1} (x) ... (x) Q_{G_g} with Q_{G_i} of size 2^{g_i} x 2^{g_i}
+// (groups of mutually dependent positions), and Section 5.2 applies the
+// same structure to fitness landscapes.  This module provides the implicit
+// matrix and its Theta(N * sum_i 2^{g_i}) mat-vec.
+//
+// Convention: factors[0] acts on the *least significant* bit group; the
+// matrix represented is factors[g-1] (x) ... (x) factors[0], consistent
+// with the 2x2 butterfly convention of transforms/butterfly.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "support/bits.hpp"
+
+namespace qs::transforms {
+
+/// Implicit Kronecker product of small square dense factors.
+class KroneckerProduct {
+ public:
+  /// Builds the product from factors (copied). Each factor must be square
+  /// with power-of-two dimension >= 2; the represented matrix has dimension
+  /// prod_i dim(factor_i).
+  explicit KroneckerProduct(std::vector<linalg::DenseMatrix> factors);
+
+  /// Number of factors g.
+  std::size_t group_count() const { return factors_.size(); }
+
+  /// The factors, index 0 = least significant bit group.
+  const std::vector<linalg::DenseMatrix>& factors() const { return factors_; }
+
+  /// Bit width g_i of group i.
+  unsigned group_bits(std::size_t i) const { return group_bits_[i]; }
+
+  /// Total bit width nu = sum_i g_i. May exceed the explicitly indexable
+  /// range (factors are stored per group); apply()/to_dense() additionally
+  /// require total_bits() <= kMaxChainLength.
+  unsigned total_bits() const { return total_bits_; }
+
+  /// Dimension N = 2^nu of the represented matrix.
+  /// Requires total_bits() <= kMaxChainLength.
+  std::size_t dimension() const {
+    require(total_bits_ <= kMaxChainLength,
+            "dimension(): total width too large to index explicitly");
+    return std::size_t{1} << total_bits_;
+  }
+
+  /// In-place mat-vec v <- K v. Requires v.size() == dimension().
+  void apply(std::span<double> v) const;
+
+  /// Maximum column-sum deviation from 1 across all factors (validity check
+  /// for mutation models: the Kronecker product of column-stochastic factors
+  /// is column stochastic).
+  double stochastic_deviation() const;
+
+  /// Materialises the full dense matrix; for tests, requires dimension()
+  /// small enough to allocate.
+  linalg::DenseMatrix to_dense() const;
+
+ private:
+  std::vector<linalg::DenseMatrix> factors_;
+  std::vector<unsigned> group_bits_;
+  unsigned total_bits_ = 0;
+};
+
+/// Dense Kronecker product A (x) B (small operands; test utility).
+linalg::DenseMatrix kronecker_dense(const linalg::DenseMatrix& a,
+                                    const linalg::DenseMatrix& b);
+
+}  // namespace qs::transforms

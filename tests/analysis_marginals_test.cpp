@@ -1,0 +1,168 @@
+// Unit tests for marginal distributions and linkage analysis
+// ("resolution levels" of the paper's conclusion).
+#include "analysis/marginals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fmmp.hpp"
+#include "solvers/kronecker_solver.hpp"
+#include "solvers/quasispecies_solver.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::analysis {
+namespace {
+
+TEST(PackConfiguration, SelectsAndPacksBits) {
+  EXPECT_EQ(pack_configuration(0b1011, 0b0011), 0b11u);
+  EXPECT_EQ(pack_configuration(0b1011, 0b1000), 0b1u);
+  EXPECT_EQ(pack_configuration(0b1011, 0b1100), 0b10u);  // bits 2,3 -> 0,1
+  EXPECT_EQ(pack_configuration(0b0000, 0b1111), 0u);
+}
+
+TEST(Marginals, SingleSiteMarginalMatchesSiteFrequency) {
+  const unsigned nu = 8;
+  std::vector<double> x(256);
+  Xoshiro256 rng(1);
+  double total = 0.0;
+  for (double& v : x) {
+    v = rng.uniform(0.0, 1.0);
+    total += v;
+  }
+  for (double& v : x) v /= total;
+
+  for (unsigned k = 0; k < nu; ++k) {
+    const auto marginal = marginal_distribution(nu, x, seq_t{1} << k);
+    ASSERT_EQ(marginal.size(), 2u);
+    EXPECT_NEAR(marginal[0] + marginal[1], 1.0, 1e-12);
+    double direct = 0.0;
+    for (seq_t i = 0; i < 256; ++i) {
+      if ((i >> k) & 1) direct += x[i];
+    }
+    EXPECT_NEAR(marginal[1], direct, 1e-13);
+  }
+}
+
+TEST(Marginals, FullMaskIsIdentity) {
+  const unsigned nu = 5;
+  std::vector<double> x(32);
+  Xoshiro256 rng(2);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+  const auto marginal = marginal_distribution(nu, x, sequence_count(nu) - 1);
+  ASSERT_EQ(marginal.size(), 32u);
+  for (seq_t i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(marginal[i], x[i]);
+}
+
+TEST(Marginals, ConsistencyUnderFurtherMarginalisation) {
+  // Marginalising {i, j} then dropping j must equal marginalising {i}.
+  const unsigned nu = 7;
+  std::vector<double> x(128);
+  Xoshiro256 rng(3);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+  const auto pair = marginal_distribution(nu, x, 0b0101);  // bits 0 and 2
+  const auto single = marginal_distribution(nu, x, 0b0001);
+  EXPECT_NEAR(pair[0] + pair[2], single[0], 1e-13);  // bit0=0 rows
+  EXPECT_NEAR(pair[1] + pair[3], single[1], 1e-13);
+}
+
+TEST(Marginals, IndependentProductHasZeroLinkage) {
+  // Build x as a product distribution: bits independent by construction.
+  const unsigned nu = 6;
+  std::vector<double> site_p{0.1, 0.5, 0.9, 0.3, 0.7, 0.2};
+  std::vector<double> x(64, 1.0);
+  for (seq_t i = 0; i < 64; ++i) {
+    for (unsigned k = 0; k < nu; ++k) {
+      x[i] *= ((i >> k) & 1) ? site_p[k] : 1.0 - site_p[k];
+    }
+  }
+  for (unsigned a = 0; a < nu; ++a) {
+    for (unsigned b = a + 1; b < nu; ++b) {
+      EXPECT_NEAR(linkage_disequilibrium(nu, x, a, b), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Marginals, QuasispeciesCloudShowsPositiveLinkage) {
+  // Around a single peak, mutations co-occur less than independence would
+  // predict of the marginals... in fact the double mutant is *over*
+  // represented relative to p_i p_j because both singles are rare while the
+  // cloud is centred on the master: D > 0.
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const auto r = solvers::solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  const double d = linkage_disequilibrium(nu, r.concentrations, 0, 1);
+  EXPECT_GT(d, 0.0);
+  const double rho = site_correlation(nu, r.concentrations, 0, 1);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Marginals, KroneckerImplicitMatchesExplicit) {
+  // The factor-by-factor marginal of a Kronecker result must equal the
+  // explicit marginal of the expanded vector, for masks inside one group
+  // and spanning groups.
+  const auto model = core::MutationModel::uniform(9, 0.04);
+  Xoshiro256 rng(9);
+  std::vector<std::vector<double>> factors;
+  for (unsigned g = 0; g < 3; ++g) {
+    std::vector<double> f(8);
+    for (double& v : f) v = rng.uniform(0.5, 2.0);
+    factors.push_back(std::move(f));
+  }
+  const core::KroneckerLandscape landscape(std::move(factors));
+  const auto kron = solvers::solve_kronecker(model, landscape);
+  const auto full = kron.expand();
+
+  for (seq_t mask : {seq_t{0b000000001}, seq_t{0b000000110}, seq_t{0b000101000},
+                     seq_t{0b100100100}, seq_t{0b111111111}}) {
+    const auto implicit = kron.marginal_distribution(mask);
+    const auto explicit_m = marginal_distribution(9, full, mask);
+    ASSERT_EQ(implicit.size(), explicit_m.size()) << "mask=" << mask;
+    for (std::size_t c = 0; c < implicit.size(); ++c) {
+      EXPECT_NEAR(implicit[c], explicit_m[c], 1e-13) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(Marginals, KroneckerMarginalWorksAtHugeNu) {
+  // nu = 60: marginal of three far-apart positions without touching 2^60.
+  const auto model = core::MutationModel::uniform(60, 0.01);
+  Xoshiro256 rng(10);
+  std::vector<std::vector<double>> factors;
+  for (unsigned g = 0; g < 10; ++g) {
+    std::vector<double> f(64);
+    for (double& v : f) v = rng.uniform(0.5, 2.0);
+    factors.push_back(std::move(f));
+  }
+  const core::KroneckerLandscape landscape(std::move(factors));
+  const auto kron = solvers::solve_kronecker(model, landscape);
+
+  const seq_t mask = (seq_t{1} << 0) | (seq_t{1} << 31) | (seq_t{1} << 59);
+  const auto marginal = kron.marginal_distribution(mask);
+  ASSERT_EQ(marginal.size(), 8u);
+  double total = 0.0;
+  for (double v : marginal) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Marginals, RejectBadMasks) {
+  std::vector<double> x(16, 1.0 / 16.0);
+  EXPECT_THROW(marginal_distribution(4, x, 0), precondition_error);
+  EXPECT_THROW(marginal_distribution(4, x, 1u << 4), precondition_error);
+  EXPECT_THROW(linkage_disequilibrium(4, x, 1, 1), precondition_error);
+  EXPECT_THROW(linkage_disequilibrium(4, x, 0, 4), precondition_error);
+  // Monomorphic site: correlation undefined.
+  std::vector<double> mono(16, 0.0);
+  mono[0] = 1.0;
+  EXPECT_THROW(site_correlation(4, mono, 0, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::analysis

@@ -1,0 +1,126 @@
+// Unit tests for the population-genetics observables.
+#include "analysis/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fmmp.hpp"
+#include "solvers/power_iteration.hpp"
+#include "solvers/quasispecies_solver.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::analysis {
+namespace {
+
+TEST(Statistics, ConsensusOfPointMassIsThatSequence) {
+  std::vector<double> x(32, 0.0);
+  x[0b10110] = 1.0;
+  EXPECT_EQ(consensus_sequence(5, x), 0b10110u);
+}
+
+TEST(Statistics, ConsensusEqualsMasterBelowThreshold) {
+  // Even with [Gamma_0] < 1/2 the positionwise majority stays the master.
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.03);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const auto r = solvers::solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.concentrations[0], 0.5);  // master itself is a minority...
+  EXPECT_EQ(consensus_sequence(nu, r.concentrations), 0u);  // ...yet consensus
+}
+
+TEST(Statistics, SiteFrequenciesOfKnownMixture) {
+  // 50/50 mixture of 000 and 011: bit 0 and bit 1 at frequency 1/2.
+  std::vector<double> x(8, 0.0);
+  x[0b000] = 0.5;
+  x[0b011] = 0.5;
+  const auto freq = site_frequencies(3, x);
+  EXPECT_DOUBLE_EQ(freq[0], 0.5);
+  EXPECT_DOUBLE_EQ(freq[1], 0.5);
+  EXPECT_DOUBLE_EQ(freq[2], 0.0);
+}
+
+TEST(Statistics, SiteFrequenciesSumMatchesMeanDistance) {
+  // sum_k freq_k = mean Hamming distance from 0 (both count expected set bits).
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.05);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+  const auto r = solvers::solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  const auto freq = site_frequencies(nu, r.concentrations);
+  double total = 0.0;
+  for (double f : freq) total += f;
+  EXPECT_NEAR(total, mean_hamming_distance(nu, r.concentrations), 1e-12);
+}
+
+TEST(Statistics, CloudRadiusGrowsWithErrorRate) {
+  const unsigned nu = 10;
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  double previous = -1.0;
+  for (double p : {0.005, 0.02, 0.05}) {
+    const auto r = solvers::solve(core::MutationModel::uniform(nu, p), landscape);
+    ASSERT_TRUE(r.converged);
+    const double radius = mean_hamming_distance(nu, r.concentrations);
+    EXPECT_GT(radius, previous);
+    previous = radius;
+  }
+}
+
+TEST(Statistics, UniformPopulationMoments) {
+  // Uniform over 2^nu: mean distance nu/2, variance nu/4 (binomial).
+  const unsigned nu = 12;
+  std::vector<double> x(sequence_count(nu), 1.0 / sequence_count(nu));
+  EXPECT_NEAR(mean_hamming_distance(nu, x), nu / 2.0, 1e-10);
+  EXPECT_NEAR(hamming_distance_variance(nu, x), nu / 4.0, 1e-10);
+}
+
+TEST(Statistics, MeanFitnessAtStationarityEqualsLambda) {
+  const unsigned nu = 9;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 5);
+  const auto r = solvers::solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(mean_fitness(landscape, r.concentrations), r.eigenvalue, 1e-10);
+}
+
+TEST(Statistics, MutationalLoadIncreasesWithErrorRate) {
+  const unsigned nu = 10;
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  double previous = -1.0;
+  for (double p : {0.001, 0.01, 0.05}) {
+    const auto r = solvers::solve(core::MutationModel::uniform(nu, p), landscape);
+    ASSERT_TRUE(r.converged);
+    const double load = mutational_load(landscape, r.concentrations);
+    EXPECT_GT(load, previous);
+    EXPECT_GE(load, 0.0);
+    EXPECT_LT(load, 1.0);
+    previous = load;
+  }
+}
+
+TEST(Statistics, SelectionCoefficientsAverageToZero) {
+  // Concentration-weighted mean of s_i is zero by construction.
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.03);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 7);
+  const auto r = solvers::solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  const auto s = selection_coefficients(landscape, r.concentrations);
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) weighted += s[i] * r.concentrations[i];
+  EXPECT_NEAR(weighted, 0.0, 1e-12);
+  // The master (fittest) is favoured at stationarity.
+  EXPECT_GT(s[0], 0.0);
+}
+
+TEST(Statistics, RejectBadDimensions) {
+  std::vector<double> x(8, 0.125);
+  EXPECT_THROW(site_frequencies(4, x), precondition_error);
+  EXPECT_THROW(mean_hamming_distance(4, x), precondition_error);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  EXPECT_THROW(mean_fitness(landscape, x), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::analysis

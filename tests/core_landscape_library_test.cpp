@@ -1,0 +1,165 @@
+// Unit tests for the biologically motivated landscape families.
+#include "core/landscape_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_classes.hpp"
+#include "analysis/statistics.hpp"
+#include "solvers/quasispecies_solver.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::core {
+namespace {
+
+TEST(Multiplicative, ValuesFactorOverSites) {
+  const std::vector<double> s{0.1, 0.2, 0.3};
+  const auto l = multiplicative_landscape(3, s, 2.0);
+  EXPECT_DOUBLE_EQ(l.value(0b000), 2.0);
+  EXPECT_DOUBLE_EQ(l.value(0b001), 2.0 * 0.9);
+  EXPECT_DOUBLE_EQ(l.value(0b010), 2.0 * 0.8);
+  EXPECT_DOUBLE_EQ(l.value(0b101), 2.0 * 0.9 * 0.7);
+  EXPECT_DOUBLE_EQ(l.value(0b111), 2.0 * 0.9 * 0.8 * 0.7);
+}
+
+TEST(Multiplicative, NoEpistasisMeansZeroFitnessInteraction) {
+  // log f is additive: f(i|j set) / f(i) independent of i's other bits.
+  const std::vector<double> s{0.05, 0.15, 0.25, 0.35};
+  const auto l = multiplicative_landscape(4, s);
+  for (seq_t i = 0; i < 8; ++i) {  // vary bits 0..2, test bit 3
+    const double ratio = l.value(i | 0b1000) / l.value(i);
+    EXPECT_NEAR(ratio, 1.0 - 0.35, 1e-14);
+  }
+}
+
+TEST(Multiplicative, RejectsBadCoefficients) {
+  EXPECT_THROW(multiplicative_landscape(2, std::vector<double>{0.1}),
+               precondition_error);
+  EXPECT_THROW(multiplicative_landscape(2, std::vector<double>{0.1, 1.0}),
+               precondition_error);
+  EXPECT_THROW(multiplicative_landscape(2, std::vector<double>{0.1, 0.0}),
+               precondition_error);
+}
+
+TEST(Nk, AdditiveCaseHasNoEpistasis) {
+  // K = 0: contributions depend on single bits, so fitness differences from
+  // flipping a bit are independent of the background.
+  const auto l = nk_landscape(6, 0, 42);
+  for (unsigned bit = 0; bit < 6; ++bit) {
+    const double delta0 = l.value(seq_t{1} << bit) - l.value(0);
+    for (seq_t background : {seq_t{0b101010}, seq_t{0b011011}}) {
+      const seq_t base = background & ~(seq_t{1} << bit);
+      const double delta = l.value(base | (seq_t{1} << bit)) - l.value(base);
+      EXPECT_NEAR(delta, delta0, 1e-12);
+    }
+  }
+}
+
+TEST(Nk, PositiveAndDeterministic) {
+  const auto a = nk_landscape(8, 3, 7);
+  const auto b = nk_landscape(8, 3, 7);
+  const auto c = nk_landscape(8, 3, 8);
+  bool differs = false;
+  for (seq_t i = 0; i < 256; ++i) {
+    EXPECT_GT(a.value(i), 0.0);
+    EXPECT_EQ(a.value(i), b.value(i));
+    differs |= (a.value(i) != c.value(i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Nk, EpistasisIncreasesRuggedness) {
+  // Count local fitness maxima (no 1-mutant improvement): ruggedness grows
+  // with K, a defining NK property.
+  auto count_maxima = [](const Landscape& l, unsigned nu) {
+    unsigned maxima = 0;
+    for (seq_t i = 0; i < l.dimension(); ++i) {
+      bool is_max = true;
+      for (unsigned b = 0; b < nu; ++b) {
+        if (l.value(i ^ (seq_t{1} << b)) > l.value(i)) {
+          is_max = false;
+          break;
+        }
+      }
+      maxima += is_max ? 1 : 0;
+    }
+    return maxima;
+  };
+  const unsigned nu = 10;
+  const unsigned smooth = count_maxima(nk_landscape(nu, 0, 3), nu);
+  const unsigned rugged = count_maxima(nk_landscape(nu, 6, 3), nu);
+  EXPECT_EQ(smooth, 1u);  // K = 0 has a single global optimum
+  EXPECT_GT(rugged, 3u);
+}
+
+TEST(RoyalRoad, BlockBonusesAdd) {
+  const auto l = royal_road_landscape(6, 2, 0.5);
+  EXPECT_DOUBLE_EQ(l.value(0b000000), 2.5);  // 3 intact blocks
+  EXPECT_DOUBLE_EQ(l.value(0b000001), 2.0);  // block 0 broken
+  EXPECT_DOUBLE_EQ(l.value(0b010001), 1.5);  // blocks 0 and 2 broken
+  EXPECT_DOUBLE_EQ(l.value(0b110111), 1.0);  // every block broken
+  EXPECT_DOUBLE_EQ(l.value(0b111111), 1.0);  // all broken
+  // Block structure is positional, not Hamming-class-based.
+  EXPECT_FALSE(l.is_error_class(1e-12));
+}
+
+TEST(RoyalRoad, RejectsBadBlocking) {
+  EXPECT_THROW(royal_road_landscape(6, 4, 0.5), precondition_error);
+  EXPECT_THROW(royal_road_landscape(6, 2, 0.0), precondition_error);
+}
+
+TEST(NeutralPlateau, PlateauIsErrorClassLandscape) {
+  const auto l = neutral_plateau_landscape(8, 2, 3.0, 1.0);
+  EXPECT_TRUE(l.is_error_class());
+  EXPECT_DOUBLE_EQ(l.value(0), 3.0);
+  EXPECT_DOUBLE_EQ(l.value(0b11), 3.0);       // distance 2: still plateau
+  EXPECT_DOUBLE_EQ(l.value(0b111), 1.0);      // distance 3: off plateau
+}
+
+TEST(NeutralPlateau, NeutralityDelocalisesTheQuasispecies) {
+  // Same peak height: a plateau of radius 2 spreads the population over the
+  // plateau, lowering x_0 but raising the plateau's total share.
+  const unsigned nu = 10;
+  const double p = 0.02;
+  const auto model = MutationModel::uniform(nu, p);
+
+  const auto sharp = solvers::solve(model, Landscape::single_peak(nu, 3.0, 1.0));
+  const auto plateau =
+      solvers::solve(model, neutral_plateau_landscape(nu, 2, 3.0, 1.0));
+  ASSERT_TRUE(sharp.converged && plateau.converged);
+  // The master's own share drops (it shares the plateau)...
+  EXPECT_LT(plateau.concentrations[0], sharp.concentrations[0]);
+  // ... the plateau classes 1 and 2 hold far more than the sharp peak's
+  // mutant cloud at the same distances ...
+  EXPECT_GT(plateau.class_concentrations[1], sharp.class_concentrations[1]);
+  EXPECT_GT(plateau.class_concentrations[2], 5.0 * sharp.class_concentrations[2]);
+  // ... and the population as a whole carries more diversity.
+  EXPECT_GT(analysis::population_entropy(plateau.concentrations),
+            analysis::population_entropy(sharp.concentrations));
+}
+
+TEST(LandscapeLibrary, AllFamiliesSolveThroughTheFacade) {
+  const unsigned nu = 8;
+  const auto model = MutationModel::uniform(nu, 0.02);
+  const std::vector<Landscape> landscapes = [] {
+    std::vector<Landscape> out;
+    std::vector<double> s(8, 0.1);
+    out.push_back(multiplicative_landscape(8, s));
+    out.push_back(nk_landscape(8, 2, 5));
+    out.push_back(royal_road_landscape(8, 2, 0.5));
+    out.push_back(neutral_plateau_landscape(8, 1, 2.0, 1.0));
+    return out;
+  }();
+  for (const auto& landscape : landscapes) {
+    const auto r = solvers::solve(model, landscape);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GT(r.eigenvalue, 0.0);
+    double total = 0.0;
+    for (double c : r.concentrations) total += c;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qs::core

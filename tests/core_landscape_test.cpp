@@ -1,0 +1,134 @@
+// Unit tests for fitness landscapes.
+#include "core/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs::core {
+namespace {
+
+TEST(Landscape, FlatValues) {
+  const auto l = Landscape::flat(4, 2.5);
+  EXPECT_EQ(l.dimension(), 16u);
+  for (seq_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(l.value(i), 2.5);
+  EXPECT_DOUBLE_EQ(l.min_fitness(), 2.5);
+  EXPECT_DOUBLE_EQ(l.max_fitness(), 2.5);
+  EXPECT_TRUE(l.is_error_class());
+}
+
+TEST(Landscape, SinglePeak) {
+  const auto l = Landscape::single_peak(5, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(l.value(0), 2.0);
+  for (seq_t i = 1; i < 32; ++i) EXPECT_DOUBLE_EQ(l.value(i), 1.0);
+  EXPECT_DOUBLE_EQ(l.min_fitness(), 1.0);
+  EXPECT_DOUBLE_EQ(l.max_fitness(), 2.0);
+  EXPECT_TRUE(l.is_error_class());
+}
+
+TEST(Landscape, LinearMatchesDefinition) {
+  // f_i = f0 - (f0 - fnu) * d_H(i, 0) / nu  (caption of Figure 1).
+  const unsigned nu = 6;
+  const auto l = Landscape::linear(nu, 2.0, 1.0);
+  for (seq_t i = 0; i < 64; ++i) {
+    const double expected = 2.0 - 1.0 * hamming_weight(i) / 6.0;
+    EXPECT_NEAR(l.value(i), expected, 1e-15);
+  }
+  EXPECT_TRUE(l.is_error_class());
+}
+
+TEST(Landscape, RandomMatchesEquationThirteen) {
+  // f_0 = c; f_i = sigma * (eta + 0.5) with eta in [0,1), so
+  // f_i in [sigma/2, 3 sigma/2).
+  const double c = 5.0, sigma = 1.0;
+  const auto l = Landscape::random(10, c, sigma, 1234);
+  EXPECT_DOUBLE_EQ(l.value(0), c);
+  for (seq_t i = 1; i < l.dimension(); ++i) {
+    ASSERT_GE(l.value(i), sigma * 0.5);
+    ASSERT_LT(l.value(i), sigma * 1.5);
+  }
+  EXPECT_FALSE(l.is_error_class(1e-9));
+}
+
+TEST(Landscape, RandomIsDeterministicPerSeed) {
+  const auto a = Landscape::random(8, 5.0, 1.0, 7);
+  const auto b = Landscape::random(8, 5.0, 1.0, 7);
+  const auto c = Landscape::random(8, 5.0, 1.0, 8);
+  for (seq_t i = 0; i < 256; ++i) EXPECT_EQ(a.value(i), b.value(i));
+  bool any_diff = false;
+  for (seq_t i = 1; i < 256; ++i) any_diff |= (a.value(i) != c.value(i));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Landscape, RejectsInvalidArguments) {
+  EXPECT_THROW(Landscape::flat(4, 0.0), precondition_error);
+  EXPECT_THROW(Landscape::flat(4, -1.0), precondition_error);
+  EXPECT_THROW(Landscape::single_peak(4, 2.0, 0.0), precondition_error);
+  EXPECT_THROW(Landscape::random(4, 5.0, 2.5, 1), precondition_error);  // sigma >= c/2
+  EXPECT_THROW(Landscape::random(4, 5.0, 0.0, 1), precondition_error);
+  EXPECT_THROW(Landscape::from_values(3, {1.0, 2.0}), precondition_error);  // not 2^nu
+  std::vector<double> with_zero(8, 1.0);
+  with_zero[3] = 0.0;
+  EXPECT_THROW(Landscape::from_values(3, with_zero), precondition_error);
+}
+
+TEST(ErrorClassLandscape, ExpansionIsErrorClass) {
+  const auto ecl = ErrorClassLandscape::from_values(4, {3.0, 2.0, 1.5, 1.1, 1.0});
+  const auto full = ecl.expand();
+  EXPECT_TRUE(full.is_error_class());
+  for (seq_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(full.value(i), ecl.value(hamming_weight(i)));
+  }
+}
+
+TEST(ErrorClassLandscape, SinglePeakAndLinearAgreeWithFullFactories) {
+  const unsigned nu = 5;
+  const auto peak_full = Landscape::single_peak(nu, 2.0, 1.0);
+  const auto peak_cls = ErrorClassLandscape::single_peak(nu, 2.0, 1.0).expand();
+  const auto lin_full = Landscape::linear(nu, 2.0, 1.0);
+  const auto lin_cls = ErrorClassLandscape::linear(nu, 2.0, 1.0).expand();
+  for (seq_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(peak_full.value(i), peak_cls.value(i));
+    EXPECT_NEAR(lin_full.value(i), lin_cls.value(i), 1e-15);
+  }
+}
+
+TEST(ErrorClassLandscape, RejectsInvalidArguments) {
+  EXPECT_THROW(ErrorClassLandscape::from_values(4, {1.0, 1.0}), precondition_error);
+  EXPECT_THROW(ErrorClassLandscape::from_values(1, {1.0, 0.0}), precondition_error);
+  const auto l = ErrorClassLandscape::single_peak(4, 2.0, 1.0);
+  EXPECT_THROW(l.value(5), precondition_error);
+}
+
+TEST(KroneckerLandscape, ValueIsProductOfFactors) {
+  // factors[0] on bits 0-1, factors[1] on bit 2.
+  const KroneckerLandscape kl({{1.0, 2.0, 3.0, 4.0}, {1.0, 10.0}});
+  EXPECT_EQ(kl.nu(), 3u);
+  EXPECT_EQ(kl.dimension(), 8u);
+  EXPECT_DOUBLE_EQ(kl.value(0b000), 1.0);
+  EXPECT_DOUBLE_EQ(kl.value(0b001), 2.0);
+  EXPECT_DOUBLE_EQ(kl.value(0b011), 4.0);
+  EXPECT_DOUBLE_EQ(kl.value(0b100), 10.0);
+  EXPECT_DOUBLE_EQ(kl.value(0b111), 40.0);
+}
+
+TEST(KroneckerLandscape, ExpandMatchesValue) {
+  const KroneckerLandscape kl({{1.0, 2.0}, {1.5, 0.5}, {3.0, 1.0}});
+  const auto full = kl.expand();
+  for (seq_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(full.value(i), kl.value(i));
+}
+
+TEST(KroneckerLandscape, RejectsInvalidFactors) {
+  EXPECT_THROW(KroneckerLandscape({}), precondition_error);
+  EXPECT_THROW(KroneckerLandscape({{1.0, 2.0, 3.0}}), precondition_error);  // size 3
+  EXPECT_THROW(KroneckerLandscape(std::vector<std::vector<double>>{{1.0}}),
+               precondition_error);  // factor of size 1
+  EXPECT_THROW(KroneckerLandscape({{1.0, 0.0}}), precondition_error);       // zero
+  const KroneckerLandscape kl({{1.0, 2.0}});
+  EXPECT_THROW(kl.value(2), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::core

@@ -1,0 +1,155 @@
+// Unit tests for binary persistence (vectors, landscapes, checkpoints).
+#include "io/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/fmmp.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/rng.hpp"
+
+namespace qs::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qs_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path path(const char* name) const { return dir_ / name; }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, VectorRoundTrip) {
+  std::vector<double> data(1000);
+  Xoshiro256 rng(1);
+  for (double& v : data) v = rng.uniform(-1.0, 1.0);
+  save_vector(path("v.qs"), data);
+  const auto loaded = load_vector(path("v.qs"));
+  ASSERT_EQ(loaded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded[i], data[i]);  // bit exact
+  }
+}
+
+TEST_F(IoTest, EmptyVectorRoundTrip) {
+  save_vector(path("empty.qs"), {});
+  EXPECT_TRUE(load_vector(path("empty.qs")).empty());
+}
+
+TEST_F(IoTest, LandscapeRoundTrip) {
+  const auto original = core::Landscape::random(8, 5.0, 1.0, 42);
+  save_landscape(path("l.qs"), original);
+  const auto loaded = load_landscape(path("l.qs"));
+  EXPECT_EQ(loaded.nu(), original.nu());
+  for (seq_t i = 0; i < original.dimension(); ++i) {
+    EXPECT_EQ(loaded.value(i), original.value(i));
+  }
+}
+
+TEST_F(IoTest, CheckpointRoundTrip) {
+  SolverCheckpoint state;
+  state.iteration = 123456;
+  state.eigenvalue = 4.321;
+  state.eigenvector.assign(256, 0.0);
+  Xoshiro256 rng(2);
+  for (double& v : state.eigenvector) v = rng.uniform(0.0, 1.0);
+
+  save_checkpoint(path("c.qs"), state);
+  const auto loaded = load_checkpoint(path("c.qs"));
+  EXPECT_EQ(loaded.iteration, state.iteration);
+  EXPECT_EQ(loaded.eigenvalue, state.eigenvalue);
+  ASSERT_EQ(loaded.eigenvector.size(), state.eigenvector.size());
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(loaded.eigenvector[i], state.eigenvector[i]);
+  }
+}
+
+TEST_F(IoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_vector(path("does_not_exist.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsWrongMagic) {
+  std::ofstream file(path("garbage.qs"), std::ios::binary);
+  file << "this is not a quasispecies file at all, padding padding padding";
+  file.close();
+  EXPECT_THROW(load_vector(path("garbage.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsKindMismatch) {
+  save_vector(path("v.qs"), std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(load_landscape(path("v.qs")), std::runtime_error);
+  EXPECT_THROW(load_checkpoint(path("v.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsTruncatedPayload) {
+  std::vector<double> data(100, 1.0);
+  save_vector(path("t.qs"), data);
+  // Chop the file short.
+  const auto full = std::filesystem::file_size(path("t.qs"));
+  std::filesystem::resize_file(path("t.qs"), full - 64);
+  EXPECT_THROW(load_vector(path("t.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadedLandscapeValidatesPositivity) {
+  // A tampered landscape with a non-positive value must be rejected by the
+  // Landscape constructor on load.
+  const auto original = core::Landscape::flat(3, 1.0);
+  save_landscape(path("l.qs"), original);
+  // Overwrite one payload double with 0.
+  std::fstream file(path("l.qs"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(40);  // just past the 40-byte header
+  const double zero = 0.0;
+  file.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  file.close();
+  EXPECT_THROW(load_landscape(path("l.qs")), precondition_error);
+}
+
+
+TEST_F(IoTest, CheckpointResumeContinuesThePowerIteration) {
+  // Interrupt a solve, persist the state, reload, and finish: the resumed
+  // run must converge to the same eigenpair in far fewer iterations than a
+  // cold start.
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 77);
+  const core::FmmpOperator op(model, landscape);
+  const auto start = solvers::landscape_start(landscape);
+
+  // Phase 1: run a few iterations only and checkpoint.
+  solvers::PowerOptions first_leg;
+  first_leg.max_iterations = 8;
+  first_leg.tolerance = 1e-15;
+  const auto partial = solvers::power_iteration(op, start, first_leg);
+  EXPECT_FALSE(partial.converged);
+  SolverCheckpoint state;
+  state.iteration = partial.iterations;
+  state.eigenvalue = partial.eigenvalue;
+  state.eigenvector = partial.eigenvector;
+  save_checkpoint(path("resume.qs"), state);
+
+  // Phase 2: reload and resume.
+  const auto loaded = load_checkpoint(path("resume.qs"));
+  EXPECT_EQ(loaded.iteration, 8u);
+  solvers::PowerOptions second_leg;
+  const auto resumed = solvers::power_iteration(op, loaded.eigenvector, second_leg);
+  ASSERT_TRUE(resumed.converged);
+
+  // Reference: full cold solve.
+  const auto cold = solvers::power_iteration(op, start, second_leg);
+  ASSERT_TRUE(cold.converged);
+  EXPECT_NEAR(resumed.eigenvalue, cold.eigenvalue, 1e-11);
+  EXPECT_LT(resumed.iterations + loaded.iteration, cold.iterations + 4u);
+}
+
+}  // namespace
+}  // namespace qs::io

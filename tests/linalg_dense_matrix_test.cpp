@@ -1,0 +1,148 @@
+// Unit tests for dense matrices and the LU factorisation.
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::linalg {
+namespace {
+
+DenseMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  DenseMatrix m(n, n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+TEST(DenseMatrix, IdentityMultiplyIsNoOp) {
+  const DenseMatrix eye = DenseMatrix::identity(4);
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y(4);
+  eye.multiply(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DenseMatrix, KnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  std::vector<double> x{1.0, 1.0};
+  std::vector<double> y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseMatrix, TransposedMultiplyMatchesExplicitTranspose) {
+  const DenseMatrix a = random_matrix(6, 1);
+  const DenseMatrix at = a.transposed();
+  std::vector<double> x(6), y1(6), y2(6);
+  Xoshiro256 rng(2);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  a.multiply_transposed(x, y1);
+  at.multiply(x, y2);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(DenseMatrix, MatrixMatrixProductAssociatesWithVector) {
+  const DenseMatrix a = random_matrix(5, 3);
+  const DenseMatrix b = random_matrix(5, 4);
+  const DenseMatrix ab = a.multiply(b);
+  std::vector<double> x(5), bx(5), y1(5), y2(5);
+  Xoshiro256 rng(5);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  b.multiply(x, bx);
+  a.multiply(bx, y1);
+  ab.multiply(x, y2);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(DenseMatrix, SymmetryCheck) {
+  DenseMatrix s(2, 2);
+  s(0, 0) = 1.0; s(0, 1) = 2.0; s(1, 0) = 2.0; s(1, 1) = 3.0;
+  EXPECT_TRUE(s.is_symmetric(0.0));
+  s(1, 0) = 2.1;
+  EXPECT_FALSE(s.is_symmetric(1e-3));
+  EXPECT_TRUE(s.is_symmetric(0.2));
+}
+
+TEST(DenseMatrix, ColumnSumDeviation) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 0.7; m(1, 0) = 0.3;  // column 0 sums to 1
+  m(0, 1) = 0.5; m(1, 1) = 0.4;  // column 1 sums to 0.9
+  EXPECT_NEAR(m.max_column_sum_deviation(), 0.1, 1e-15);
+}
+
+TEST(DenseMatrix, DistanceMeasures) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 2);
+  b(0, 1) = 3.0;
+  b(1, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_distance(b), 4.0);
+}
+
+TEST(DenseMatrix, MultiplyRejectsAliasingAndMismatch) {
+  DenseMatrix a(2, 2);
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(a.multiply(x, x), qs::precondition_error);
+  std::vector<double> y(3);
+  EXPECT_THROW(a.multiply(x, y), qs::precondition_error);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  LuFactorization lu(a);
+  std::vector<double> b{5.0, 10.0};  // solution x = (1, 3)
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-14);
+  EXPECT_NEAR(b[1], 3.0, 1e-14);
+}
+
+TEST(Lu, ResidualSmallOnRandomSystems) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::size_t n = 10;
+    DenseMatrix a = random_matrix(n, seed);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well conditioned
+    LuFactorization lu(a);
+    std::vector<double> b(n), x(n), r(n);
+    Xoshiro256 rng(seed + 100);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    x = b;
+    lu.solve(x);
+    a.multiply(x, r);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-12);
+  }
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant(), -2.0, 1e-14);
+}
+
+TEST(Lu, RejectsSingularMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(LuFactorization lu(a), std::runtime_error);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(LuFactorization lu(a), qs::precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::linalg

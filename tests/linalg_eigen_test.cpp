@@ -1,0 +1,218 @@
+// Unit tests for the small dense eigensolvers: Jacobi, Hessenberg QR,
+// power iteration and inverse iteration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "linalg/hessenberg_qr.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/small_power.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::linalg {
+namespace {
+
+DenseMatrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  DenseMatrix m(n, n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = rng.uniform(-1.0, 1.0);
+      m(j, i) = m(i, j);
+    }
+  }
+  return m;
+}
+
+TEST(Jacobi, DiagonalMatrixEigenvaluesSortedDescending) {
+  DenseMatrix d(3, 3);
+  d(0, 0) = 1.0; d(1, 1) = 5.0; d(2, 2) = 3.0;
+  const auto e = jacobi_eigen(d);
+  EXPECT_DOUBLE_EQ(e.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(e.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(e.values[2], 1.0);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0; a(1, 0) = 1.0; a(1, 1) = 2.0;
+  const auto e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-14);
+  // Eigenvector of 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-14);
+  EXPECT_NEAR(e.vectors(0, 0), e.vectors(1, 0), 1e-14);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  const DenseMatrix a = random_symmetric(8, 3);
+  const auto e = jacobi_eigen(a);
+  // A = V diag(w) V^T.
+  DenseMatrix vd(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) vd(i, j) = e.vectors(i, j) * e.values[j];
+  }
+  const DenseMatrix rec = vd.multiply(e.vectors.transposed());
+  EXPECT_LT(rec.max_abs_distance(a), 1e-12);
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  const DenseMatrix a = random_symmetric(7, 9);
+  const auto e = jacobi_eigen(a);
+  const DenseMatrix vtv = e.vectors.transposed().multiply(e.vectors);
+  EXPECT_LT(vtv.max_abs_distance(DenseMatrix::identity(7)), 1e-12);
+}
+
+TEST(Jacobi, RejectsNonSymmetric) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(jacobi_eigen(a), qs::precondition_error);
+}
+
+TEST(HessenbergQr, PreservesSpectrumOfDiagonal) {
+  DenseMatrix d(4, 4);
+  d(0, 0) = 4.0; d(1, 1) = -1.0; d(2, 2) = 2.0; d(3, 3) = 0.5;
+  auto vals = eigenvalues(d);
+  std::vector<double> reals;
+  for (auto z : vals) {
+    EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+    reals.push_back(z.real());
+  }
+  std::sort(reals.begin(), reals.end());
+  EXPECT_NEAR(reals[0], -1.0, 1e-12);
+  EXPECT_NEAR(reals[1], 0.5, 1e-12);
+  EXPECT_NEAR(reals[2], 2.0, 1e-12);
+  EXPECT_NEAR(reals[3], 4.0, 1e-12);
+}
+
+TEST(HessenbergQr, FindsComplexPairOfRotation) {
+  // 90-degree rotation has eigenvalues +-i.
+  DenseMatrix r(2, 2);
+  r(0, 0) = 0.0; r(0, 1) = -1.0;
+  r(1, 0) = 1.0; r(1, 1) = 0.0;
+  auto vals = eigenvalues(r);
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_NEAR(std::abs(vals[0].imag()), 1.0, 1e-12);
+  EXPECT_NEAR(vals[0].real(), 0.0, 1e-12);
+}
+
+TEST(HessenbergQr, MatchesJacobiOnSymmetric) {
+  const DenseMatrix a = random_symmetric(6, 21);
+  const auto jac = jacobi_eigen(a);
+  auto qr = eigenvalues(a);
+  std::vector<double> qr_reals;
+  for (auto z : qr) {
+    EXPECT_NEAR(z.imag(), 0.0, 1e-9);
+    qr_reals.push_back(z.real());
+  }
+  std::sort(qr_reals.begin(), qr_reals.end(), std::greater<>());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(qr_reals[i], jac.values[i], 1e-10);
+  }
+}
+
+TEST(HessenbergQr, TraceAndDeterminantInvariants) {
+  const std::size_t n = 7;
+  DenseMatrix a(n, n);
+  Xoshiro256 rng(31);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    trace += a(i, i);
+  }
+  auto vals = eigenvalues(a);
+  std::complex<double> sum = 0.0;
+  std::complex<double> prod = 1.0;
+  for (auto z : vals) {
+    sum += z;
+    prod *= z;
+  }
+  EXPECT_NEAR(sum.real(), trace, 1e-10);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-10);
+  EXPECT_NEAR(prod.real(), LuFactorization(a).determinant(), 1e-9);
+}
+
+TEST(HessenbergQr, DominantRealEigenvalueOfPositiveMatrix) {
+  // Positive matrices have a real dominant (Perron) eigenvalue.
+  DenseMatrix a(3, 3);
+  Xoshiro256 rng(17);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(0.1, 1.0);
+  }
+  const double lambda = dominant_real_eigenvalue(a);
+  // Must dominate every row sum lower bound / be below max row sum.
+  double min_row = 1e300, max_row = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) s += a(i, j);
+    min_row = std::min(min_row, s);
+    max_row = std::max(max_row, s);
+  }
+  EXPECT_GE(lambda, min_row - 1e-12);
+  EXPECT_LE(lambda, max_row + 1e-12);
+}
+
+TEST(Hessenberg, FormIsUpperHessenberg) {
+  DenseMatrix a(6, 6);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  const DenseMatrix h = to_hessenberg(a);
+  for (std::size_t i = 2; i < 6; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_EQ(h(i, j), 0.0);
+  }
+}
+
+TEST(SmallPower, FindsDominantPairOfSymmetric) {
+  const DenseMatrix a = random_symmetric(6, 77);
+  // Shift to make it positive definite (power iteration needs a dominant
+  // eigenvalue of maximal modulus).
+  DenseMatrix spd = a;
+  for (std::size_t i = 0; i < 6; ++i) spd(i, i) += 10.0;
+  const auto jac = jacobi_eigen(spd);
+  const auto pi = power_iteration(spd);
+  EXPECT_TRUE(pi.converged);
+  EXPECT_NEAR(pi.value, jac.values[0], 1e-10);
+}
+
+TEST(SmallPower, ShiftAcceleratesConvergence) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(1, 1) = 0.9;  // slow ratio 0.9
+  SmallSolveOptions plain;
+  plain.tolerance = 1e-12;
+  const auto slow = power_iteration(a, {}, plain);
+  SmallSolveOptions shifted = plain;
+  shifted.shift = 0.8;  // ratio becomes 0.1/0.2 = 0.5
+  const auto fast = power_iteration(a, {}, shifted);
+  EXPECT_TRUE(slow.converged);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_LT(fast.iterations, slow.iterations);
+  EXPECT_NEAR(fast.value, slow.value, 1e-10);
+}
+
+TEST(InverseIteration, RefinesEigenpair) {
+  const DenseMatrix a = random_symmetric(5, 13);
+  const auto jac = jacobi_eigen(a);
+  // Perturbed eigenvalue estimate; inverse iteration should lock on.
+  const auto r = inverse_iteration(a, jac.values[0] + 1e-4);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, jac.values[0], 1e-10);
+  EXPECT_LT(r.iterations, 20u);
+}
+
+TEST(SmallPower, RejectsBadInputs) {
+  DenseMatrix rect(2, 3);
+  EXPECT_THROW(power_iteration(rect), qs::precondition_error);
+  DenseMatrix a(2, 2);
+  std::vector<double> wrong_start{1.0, 2.0, 3.0};
+  EXPECT_THROW(power_iteration(a, wrong_start), qs::precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::linalg

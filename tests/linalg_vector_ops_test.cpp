@@ -1,0 +1,105 @@
+// Unit tests for dense vector kernels.
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace qs::linalg {
+namespace {
+
+TEST(VectorOps, Axpy) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOps, AxpyRejectsDimensionMismatch) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), qs::precondition_error);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> x{1.0, -2.0};
+  scale(x, -0.5);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  std::vector<double> x{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(norm1(x), 7.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+  EXPECT_DOUBLE_EQ(sum(x), -1.0);
+}
+
+TEST(VectorOps, Norm2AvoidsOverflow) {
+  // Naive sum of squares overflows; the scaled algorithm must not.
+  std::vector<double> x{1e200, 1e200};
+  EXPECT_DOUBLE_EQ(norm2(x), 1e200 * std::sqrt(2.0));
+}
+
+TEST(VectorOps, Norm2OfZeroVector) {
+  std::vector<double> x{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(VectorOps, Normalize1) {
+  std::vector<double> x{1.0, 3.0};
+  const double before = normalize1(x);
+  EXPECT_DOUBLE_EQ(before, 4.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+}
+
+TEST(VectorOps, Normalize2) {
+  std::vector<double> x{3.0, 4.0};
+  const double before = normalize2(x);
+  EXPECT_DOUBLE_EQ(before, 5.0);
+  EXPECT_NEAR(norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeRejectsZeroVector) {
+  std::vector<double> x{0.0, 0.0};
+  EXPECT_THROW(normalize1(x), qs::precondition_error);
+  EXPECT_THROW(normalize2(x), qs::precondition_error);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 1.0);
+}
+
+TEST(VectorOps, CopyAndHadamard) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> z(2);
+  copy(x, z);
+  EXPECT_EQ(z, x);
+  std::vector<double> d{3.0, 0.5};
+  hadamard_scale(z, d);
+  EXPECT_DOUBLE_EQ(z[0], 3.0);
+  EXPECT_DOUBLE_EQ(z[1], 1.0);
+}
+
+TEST(VectorOps, DotRejectsDimensionMismatch) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), qs::precondition_error);
+  EXPECT_THROW(copy(x, y), qs::precondition_error);
+  EXPECT_THROW(max_abs_diff(x, y), qs::precondition_error);
+  std::vector<double> z{1.0, 2.0};
+  EXPECT_THROW(hadamard_scale(z, x), qs::precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::linalg

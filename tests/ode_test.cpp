@@ -1,0 +1,151 @@
+// Unit tests for the replicator-mutator ODE and its integrators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "ode/integrators.hpp"
+#include "ode/replicator.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::ode {
+namespace {
+
+TEST(ReplicatorODE, DerivativeConservesTotalMass) {
+  // sum_i dx_i/dt = 0 on the simplex (column stochasticity of Q).
+  const unsigned nu = 7;
+  const auto model = core::MutationModel::uniform(nu, 0.04);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 1);
+  const ReplicatorODE ode(model, landscape);
+
+  auto x = ode.uniform_start();
+  x[5] += 0.01;  // perturb inside the simplex
+  linalg::normalize1(x);
+  std::vector<double> dx(x.size());
+  ode.derivative(x, dx);
+  EXPECT_NEAR(linalg::sum(dx), 0.0, 1e-13);
+}
+
+TEST(ReplicatorODE, MeanFitnessIsPhi) {
+  const unsigned nu = 5;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 2);
+  const ReplicatorODE ode(model, landscape);
+  const auto x = ode.master_start();
+  std::vector<double> dx(x.size());
+  const double phi = ode.derivative(x, dx);
+  EXPECT_NEAR(phi, landscape.value(0), 1e-14);  // only x_0 is populated
+}
+
+TEST(ReplicatorODE, QuasispeciesIsAFixedPoint) {
+  // The dominant eigenvector of W must make dx/dt vanish.
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.03);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+  const core::FmmpOperator op(model, landscape);
+  const auto eig =
+      solvers::power_iteration(op, solvers::landscape_start(landscape));
+  ASSERT_TRUE(eig.converged);
+
+  const ReplicatorODE ode(model, landscape);
+  std::vector<double> dx(eig.eigenvector.size());
+  const double phi = ode.derivative(eig.eigenvector, dx);
+  EXPECT_NEAR(phi, eig.eigenvalue, 1e-10);  // Phi at the fixed point = lambda_0
+  EXPECT_LT(linalg::norm_inf(dx), 1e-10);
+}
+
+TEST(Rk4, PreservesSimplexAndMovesDownhill) {
+  const unsigned nu = 6;
+  const auto model = core::MutationModel::uniform(nu, 0.05);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const ReplicatorODE ode(model, landscape);
+  auto x = ode.uniform_start();
+  for (int s = 0; s < 100; ++s) rk4_step(ode, x, 0.05);
+  EXPECT_NEAR(linalg::sum(std::span<const double>(x)), 1.0, 1e-12);
+  for (double v : x) EXPECT_GE(v, 0.0);
+  // Selection concentrates mass on the master sequence.
+  EXPECT_GT(x[0], 1.0 / 64.0);
+}
+
+TEST(IntegrateToStationary, ConvergesToEigenvector) {
+  const unsigned nu = 7;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 4);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto eig =
+      solvers::power_iteration(op, solvers::landscape_start(landscape));
+  ASSERT_TRUE(eig.converged);
+
+  const ReplicatorODE ode(model, landscape);
+  auto x = ode.master_start();
+  StationaryOptions opts;
+  opts.derivative_tol = 1e-11;
+  const auto r = integrate_to_stationary(ode, x, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.mean_fitness, eig.eigenvalue, 1e-8);
+  EXPECT_LT(linalg::max_abs_diff(x, eig.eigenvector), 1e-7);
+}
+
+TEST(IntegrateToStationary, FixedStepAgreesWithAdaptive) {
+  const unsigned nu = 5;
+  const auto model = core::MutationModel::uniform(nu, 0.04);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const ReplicatorODE ode(model, landscape);
+
+  auto x_adaptive = ode.uniform_start();
+  StationaryOptions adaptive;
+  adaptive.derivative_tol = 1e-10;
+  const auto ra = integrate_to_stationary(ode, x_adaptive, adaptive);
+  ASSERT_TRUE(ra.converged);
+
+  auto x_fixed = ode.uniform_start();
+  StationaryOptions fixed;
+  fixed.adaptive = false;
+  fixed.dt = 0.05;
+  fixed.derivative_tol = 1e-10;
+  const auto rf = integrate_to_stationary(ode, x_fixed, fixed);
+  ASSERT_TRUE(rf.converged);
+
+  EXPECT_NEAR(ra.mean_fitness, rf.mean_fitness, 1e-8);
+  EXPECT_LT(linalg::max_abs_diff(x_adaptive, x_fixed), 1e-7);
+}
+
+TEST(Rkf45, TakesLargerStepsNearEquilibrium) {
+  const unsigned nu = 5;
+  const auto model = core::MutationModel::uniform(nu, 0.03);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const ReplicatorODE ode(model, landscape);
+  auto x = ode.uniform_start();
+  double dt = 1e-3;
+  AdaptiveOptions opts;
+  double first = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    const double taken = rkf45_step(ode, x, dt, opts);
+    if (s == 0) first = taken;
+  }
+  // The controller must have grown the step well beyond the initial one.
+  EXPECT_GT(dt, 5.0 * first);
+}
+
+TEST(Integrators, RejectNonPositiveStep) {
+  const auto model = core::MutationModel::uniform(3, 0.1);
+  const auto landscape = core::Landscape::flat(3, 1.0);
+  const ReplicatorODE ode(model, landscape);
+  auto x = ode.uniform_start();
+  EXPECT_THROW(integrate_fixed(ode, x, 0.0, 1), precondition_error);
+  double dt = -1.0;
+  EXPECT_THROW(rkf45_step(ode, x, dt), precondition_error);
+}
+
+TEST(ReplicatorODE, RejectsMismatchedLandscape) {
+  const auto model = core::MutationModel::uniform(3, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  EXPECT_THROW(ReplicatorODE(model, landscape), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::ode

@@ -1,0 +1,114 @@
+// Unit tests for the restarted Arnoldi solver (nonsymmetric models).
+#include "solvers/arnoldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fmmp.hpp"
+#include "core/site_process.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::solvers {
+namespace {
+
+core::MutationModel asymmetric_model(unsigned nu, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<transforms::Factor2> sites;
+  for (unsigned k = 0; k < nu; ++k) {
+    sites.push_back(
+        core::asymmetric_site(rng.uniform(0.01, 0.1), rng.uniform(0.01, 0.1)));
+  }
+  return core::MutationModel::per_site(std::move(sites));
+}
+
+TEST(Arnoldi, MatchesPowerIterationOnAsymmetricModel) {
+  const unsigned nu = 9;
+  const auto model = asymmetric_model(nu, 1);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 2);
+
+  const auto arnoldi = arnoldi_dominant_w(model, landscape);
+  ASSERT_TRUE(arnoldi.converged);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(pi.converged);
+
+  EXPECT_NEAR(arnoldi.eigenvalue, pi.eigenvalue, 1e-9 * pi.eigenvalue);
+  EXPECT_LT(linalg::max_abs_diff(arnoldi.concentrations, pi.eigenvector), 1e-8);
+}
+
+TEST(Arnoldi, FewerProductsThanPowerIteration) {
+  const unsigned nu = 10;
+  const auto model = asymmetric_model(nu, 3);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 4);
+
+  const auto arnoldi = arnoldi_dominant_w(model, landscape);
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(arnoldi.converged);
+  ASSERT_TRUE(pi.converged);
+  EXPECT_LT(arnoldi.matvec_count, pi.iterations);
+}
+
+TEST(Arnoldi, HandlesSymmetricModelsToo) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 5);
+  const auto arnoldi = arnoldi_dominant_w(model, landscape);
+  ASSERT_TRUE(arnoldi.converged);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  EXPECT_NEAR(arnoldi.eigenvalue, pi.eigenvalue, 1e-9);
+  EXPECT_LT(linalg::max_abs_diff(arnoldi.concentrations, pi.eigenvector), 1e-8);
+}
+
+TEST(Arnoldi, SmallBasisRestartsConverge) {
+  const unsigned nu = 8;
+  const auto model = asymmetric_model(nu, 7);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 8);
+  ArnoldiOptions opts;
+  opts.basis_size = 3;
+  const auto r = arnoldi_dominant_w(model, landscape, {}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.restarts, 1u);
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  EXPECT_NEAR(r.eigenvalue, pi.eigenvalue, 1e-8 * pi.eigenvalue);
+}
+
+TEST(Arnoldi, ConcentrationsArePositiveAndNormalised) {
+  const auto model = asymmetric_model(8, 9);
+  const auto landscape = core::Landscape::random(8, 5.0, 1.0, 10);
+  const auto r = arnoldi_dominant_w(model, landscape);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(linalg::norm1(std::span<const double>(r.concentrations)), 1.0, 1e-12);
+  for (double v : r.concentrations) EXPECT_GT(v, 0.0);
+}
+
+TEST(Arnoldi, GroupedModelsWork) {
+  const auto model = core::MutationModel::grouped(
+      {core::coupled_single_flip_group(3, 0.1),
+       core::coupled_single_flip_group(3, 0.05)});
+  const auto landscape = core::Landscape::random(6, 5.0, 1.0, 11);
+  const auto r = arnoldi_dominant_w(model, landscape);
+  ASSERT_TRUE(r.converged);
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  EXPECT_NEAR(r.eigenvalue, pi.eigenvalue, 1e-9 * pi.eigenvalue);
+}
+
+TEST(Arnoldi, RejectsBadArguments) {
+  const auto model = core::MutationModel::uniform(4, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  ArnoldiOptions bad;
+  bad.basis_size = 1;
+  EXPECT_THROW(arnoldi_dominant_w(model, landscape, {}, bad), precondition_error);
+  std::vector<double> wrong(8, 1.0);
+  EXPECT_THROW(arnoldi_dominant_w(model, landscape, wrong), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,186 @@
+// Unit tests for the high-level quasispecies solver facade.
+#include "solvers/quasispecies_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+TEST(Facade, GeneralAndReducedPathsAgreeOnErrorClassLandscape) {
+  const unsigned nu = 9;
+  const double p = 0.03;
+  const auto ecl = core::ErrorClassLandscape::single_peak(nu, 2.0, 1.0);
+
+  const auto reduced = solve(p, ecl);
+  ASSERT_TRUE(reduced.converged);
+
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto full_landscape = ecl.expand();
+  const auto general = solve(model, full_landscape);
+  ASSERT_TRUE(general.converged);
+
+  EXPECT_NEAR(reduced.eigenvalue, general.eigenvalue, 1e-9 * general.eigenvalue);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(reduced.class_concentrations[k], general.class_concentrations[k],
+                1e-8);
+  }
+  ASSERT_EQ(reduced.concentrations.size(), general.concentrations.size());
+  EXPECT_LT(linalg::max_abs_diff(reduced.concentrations, general.concentrations),
+            1e-8);
+}
+
+TEST(Facade, AllMatvecKindsAgree) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+
+  SolveOptions fmmp_opts;
+  fmmp_opts.matvec = MatvecKind::fmmp;
+  const auto fmmp = solve(model, landscape, fmmp_opts);
+
+  SolveOptions xmvp_opts;
+  xmvp_opts.matvec = MatvecKind::xmvp;
+  xmvp_opts.xmvp_d_max = nu;  // exact
+  const auto xmvp = solve(model, landscape, xmvp_opts);
+
+  SolveOptions smvp_opts;
+  smvp_opts.matvec = MatvecKind::smvp;
+  const auto smvp = solve(model, landscape, smvp_opts);
+
+  ASSERT_TRUE(fmmp.converged);
+  ASSERT_TRUE(xmvp.converged);
+  ASSERT_TRUE(smvp.converged);
+  EXPECT_NEAR(fmmp.eigenvalue, smvp.eigenvalue, 1e-11);
+  EXPECT_NEAR(xmvp.eigenvalue, smvp.eigenvalue, 1e-11);
+  EXPECT_LT(linalg::max_abs_diff(fmmp.concentrations, smvp.concentrations), 1e-10);
+  EXPECT_LT(linalg::max_abs_diff(xmvp.concentrations, smvp.concentrations), 1e-10);
+}
+
+TEST(Facade, FormulationsYieldTheSameConcentrations) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.04);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 4);
+
+  SolveOptions right;
+  right.formulation = core::Formulation::right;
+  SolveOptions sym;
+  sym.formulation = core::Formulation::symmetric;
+  SolveOptions left;
+  left.formulation = core::Formulation::left;
+
+  const auto r = solve(model, landscape, right);
+  const auto s = solve(model, landscape, sym);
+  const auto l = solve(model, landscape, left);
+  ASSERT_TRUE(r.converged && s.converged && l.converged);
+  EXPECT_NEAR(r.eigenvalue, s.eigenvalue, 1e-10);
+  EXPECT_NEAR(r.eigenvalue, l.eigenvalue, 1e-10);
+  EXPECT_LT(linalg::max_abs_diff(r.concentrations, s.concentrations), 1e-9);
+  EXPECT_LT(linalg::max_abs_diff(r.concentrations, l.concentrations), 1e-9);
+}
+
+TEST(Facade, ApproximateXmvpIsCloseButNotExact) {
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 5);
+
+  SolveOptions exact_opts;
+  const auto exact = solve(model, landscape, exact_opts);
+
+  SolveOptions approx_opts;
+  approx_opts.matvec = MatvecKind::xmvp;
+  approx_opts.xmvp_d_max = 5;
+  approx_opts.tolerance = 1e-10;  // the paper's tau for d = 5
+  const auto approx = solve(model, landscape, approx_opts);
+
+  ASSERT_TRUE(exact.converged);
+  ASSERT_TRUE(approx.converged);
+  EXPECT_NEAR(approx.eigenvalue, exact.eigenvalue, 1e-6);
+  EXPECT_LT(linalg::max_abs_diff(approx.concentrations, exact.concentrations), 1e-6);
+}
+
+TEST(Facade, EngineOptionGivesSameAnswer) {
+  const unsigned nu = 9;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 6);
+
+  const auto serial = solve(model, landscape);
+  SolveOptions engine_opts;
+  engine_opts.engine = &parallel::parallel_engine();
+  const auto parallel_result = solve(model, landscape, engine_opts);
+  ASSERT_TRUE(serial.converged && parallel_result.converged);
+  EXPECT_NEAR(serial.eigenvalue, parallel_result.eigenvalue, 1e-11);
+  EXPECT_LT(
+      linalg::max_abs_diff(serial.concentrations, parallel_result.concentrations),
+      1e-10);
+}
+
+TEST(Facade, ShiftToggleDoesNotChangeTheAnswer) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.05);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 7);
+  SolveOptions with;
+  with.use_shift = true;
+  SolveOptions without;
+  without.use_shift = false;
+  const auto a = solve(model, landscape, with);
+  const auto b = solve(model, landscape, without);
+  ASSERT_TRUE(a.converged && b.converged);
+  EXPECT_NEAR(a.eigenvalue, b.eigenvalue, 1e-11);
+  EXPECT_LE(a.iterations, b.iterations);  // shift can only help
+}
+
+TEST(Facade, ClassConcentrationsSumToOne) {
+  const auto model = core::MutationModel::uniform(10, 0.02);
+  const auto landscape = core::Landscape::random(10, 5.0, 1.0, 8);
+  const auto r = solve(model, landscape);
+  ASSERT_TRUE(r.converged);
+  double s = 0.0;
+  for (double c : r.class_concentrations) s += c;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Facade, RejectsDimensionMismatch) {
+  const auto model = core::MutationModel::uniform(5, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  EXPECT_THROW(solve(model, landscape), precondition_error);
+}
+
+
+TEST(Facade, SparseMatvecKindMatchesXmvp) {
+  // The CSR materialisation and the implicit XOR product are the same
+  // truncated matrix; through the facade they must produce the same solve.
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 9);
+
+  SolveOptions xmvp_opts;
+  xmvp_opts.matvec = MatvecKind::xmvp;
+  xmvp_opts.xmvp_d_max = nu;
+  const auto via_xmvp = solve(model, landscape, xmvp_opts);
+
+  SolveOptions sparse_opts;
+  sparse_opts.matvec = MatvecKind::sparse;
+  sparse_opts.xmvp_d_max = nu;
+  const auto via_sparse = solve(model, landscape, sparse_opts);
+
+  ASSERT_TRUE(via_xmvp.converged);
+  ASSERT_TRUE(via_sparse.converged);
+  EXPECT_NEAR(via_xmvp.eigenvalue, via_sparse.eigenvalue, 1e-11);
+  EXPECT_LT(linalg::max_abs_diff(via_xmvp.concentrations, via_sparse.concentrations),
+            1e-10);
+}
+
+TEST(Facade, SparseKindRejectsNonRightFormulations) {
+  const auto model = core::MutationModel::uniform(4, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  SolveOptions opts;
+  opts.matvec = MatvecKind::sparse;
+  opts.formulation = core::Formulation::symmetric;
+  EXPECT_THROW(solve(model, landscape, opts), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

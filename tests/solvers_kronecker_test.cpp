@@ -1,0 +1,191 @@
+// Unit tests for the Kronecker-landscape decoupling (Section 5.2).
+#include "solvers/kronecker_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_classes.hpp"
+#include "core/fmmp.hpp"
+#include "core/site_process.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::solvers {
+namespace {
+
+core::KroneckerLandscape random_kron_landscape(std::vector<unsigned> bits,
+                                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> factors;
+  for (unsigned b : bits) {
+    std::vector<double> f(std::size_t{1} << b);
+    for (double& v : f) v = rng.uniform(0.5, 3.0);
+    factors.push_back(std::move(f));
+  }
+  return core::KroneckerLandscape(std::move(factors));
+}
+
+TEST(KroneckerSolver, MatchesFullSolverOnCompatibleProblem) {
+  // nu = 8 split as 3 + 2 + 3; uniform mutation decouples freely.
+  const double p = 0.04;
+  const auto landscape = random_kron_landscape({3, 2, 3}, 11);
+  const auto model = core::MutationModel::uniform(8, p);
+
+  const auto kron = solve_kronecker(model, landscape);
+
+  const auto full_landscape = landscape.expand();
+  const core::FmmpOperator op(model, full_landscape);
+  PowerOptions opts;
+  opts.shift = core::conservative_shift(model, full_landscape);
+  const auto full = power_iteration(op, landscape_start(full_landscape), opts);
+  ASSERT_TRUE(full.converged);
+
+  EXPECT_NEAR(kron.eigenvalue(), full.eigenvalue, 1e-9 * full.eigenvalue);
+  const auto expanded = kron.expand();
+  EXPECT_LT(linalg::max_abs_diff(expanded, full.eigenvector), 1e-9);
+}
+
+TEST(KroneckerSolver, EigenvalueIsProductOfSubproblemEigenvalues) {
+  const double p = 0.02;
+  const auto landscape = random_kron_landscape({2, 3}, 21);
+  const auto model = core::MutationModel::uniform(5, p);
+  const auto kron = solve_kronecker(model, landscape);
+
+  // Solve each factor independently and compare the product.
+  double prod = 1.0;
+  unsigned lo = 0;
+  for (std::size_t g = 0; g < landscape.group_count(); ++g) {
+    const unsigned bits = landscape.group_bits(g);
+    const auto sub_model = core::MutationModel::uniform(bits, p);
+    const auto sub_landscape =
+        core::Landscape::from_values(bits, landscape.factors()[g]);
+    const core::FmmpOperator op(sub_model, sub_landscape);
+    const auto r = power_iteration(op, landscape_start(sub_landscape));
+    ASSERT_TRUE(r.converged);
+    prod *= r.eigenvalue;
+    lo += bits;
+  }
+  EXPECT_NEAR(kron.eigenvalue(), prod, 1e-10 * prod);
+}
+
+TEST(KroneckerResult, ConcentrationQueriesMatchExpansion) {
+  const auto landscape = random_kron_landscape({2, 2, 2}, 31);
+  const auto model = core::MutationModel::uniform(6, 0.05);
+  const auto kron = solve_kronecker(model, landscape);
+  const auto full = kron.expand();
+  for (seq_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(kron.concentration(i), full[i], 1e-14);
+  }
+}
+
+TEST(KroneckerResult, ImplicitVectorIsNormalised) {
+  const auto landscape = random_kron_landscape({3, 3}, 41);
+  const auto model = core::MutationModel::uniform(6, 0.03);
+  const auto kron = solve_kronecker(model, landscape);
+  const auto full = kron.expand();
+  EXPECT_NEAR(linalg::norm1(std::span<const double>(full)), 1.0, 1e-12);
+}
+
+TEST(KroneckerResult, ClassConcentrationsMatchExpansion) {
+  const auto landscape = random_kron_landscape({2, 3, 2}, 51);
+  const auto model = core::MutationModel::uniform(7, 0.06);
+  const auto kron = solve_kronecker(model, landscape);
+
+  const auto via_dp = kron.class_concentrations();
+  const auto via_expand = analysis::class_concentrations(7, kron.expand());
+  ASSERT_EQ(via_dp.size(), 8u);
+  for (unsigned k = 0; k <= 7; ++k) {
+    EXPECT_NEAR(via_dp[k], via_expand[k], 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KroneckerResult, ClassMinMaxMatchesExhaustiveScan) {
+  const auto landscape = random_kron_landscape({2, 2, 3}, 61);
+  const auto model = core::MutationModel::uniform(7, 0.04);
+  const auto kron = solve_kronecker(model, landscape);
+
+  const auto mm = kron.class_min_max();
+  const auto full = kron.expand();
+  for (unsigned k = 0; k <= 7; ++k) {
+    double lo = 1e300, hi = -1e300;
+    for (seq_t i = 0; i < 128; ++i) {
+      if (hamming_weight(i) == k) {
+        lo = std::min(lo, full[i]);
+        hi = std::max(hi, full[i]);
+      }
+    }
+    EXPECT_NEAR(mm[k].first, lo, 1e-14) << "k=" << k;
+    EXPECT_NEAR(mm[k].second, hi, 1e-14) << "k=" << k;
+  }
+}
+
+TEST(KroneckerSolver, PerSiteModelSlicesCorrectly) {
+  // Per-site rates differ across groups; slicing must preserve positions.
+  std::vector<transforms::Factor2> sites;
+  Xoshiro256 rng(71);
+  for (unsigned k = 0; k < 6; ++k) {
+    sites.push_back(core::uniform_site(rng.uniform(0.01, 0.2)));
+  }
+  const auto model = core::MutationModel::per_site(sites);
+  const auto landscape = random_kron_landscape({3, 3}, 72);
+  const auto kron = solve_kronecker(model, landscape);
+
+  const auto full_landscape = landscape.expand();
+  const core::FmmpOperator op(model, full_landscape);
+  const auto full = power_iteration(op, landscape_start(full_landscape));
+  ASSERT_TRUE(full.converged);
+  EXPECT_NEAR(kron.eigenvalue(), full.eigenvalue, 1e-9 * full.eigenvalue);
+  EXPECT_LT(linalg::max_abs_diff(kron.expand(), full.eigenvector), 1e-9);
+}
+
+TEST(KroneckerSolver, HandlesChainLengthFortyImplicitly) {
+  // 2^40 would be ~9 TB of storage; the decoupled solve is instant and all
+  // queries stay implicit.
+  std::vector<unsigned> bits(8, 5);  // nu = 40 as eight 5-bit groups
+  const auto landscape = random_kron_landscape(bits, 81);
+  const auto model = core::MutationModel::uniform(40, 0.01);
+  const auto kron = solve_kronecker(model, landscape);
+  EXPECT_TRUE(std::isfinite(kron.eigenvalue()));
+  EXPECT_GT(kron.eigenvalue(), 0.0);
+  EXPECT_GT(kron.concentration(0), 0.0);
+  const auto classes = kron.class_concentrations();
+  ASSERT_EQ(classes.size(), 41u);
+  double s = 0.0;
+  for (double c : classes) s += c;
+  EXPECT_NEAR(s, 1.0, 1e-10);
+  const auto mm = kron.class_min_max();
+  for (unsigned k = 0; k <= 40; ++k) {
+    EXPECT_LE(mm[k].first, mm[k].second);
+    EXPECT_GT(mm[k].first, 0.0);  // Perron positivity
+  }
+}
+
+TEST(KroneckerSolver, GroupedModelRequiresMatchingPartition) {
+  const auto grouped = core::MutationModel::grouped(
+      {core::coupled_single_flip_group(2, 0.2),
+       core::coupled_single_flip_group(2, 0.3)});
+  // Landscape partition 3+1 mismatches the model partition 2+2.
+  const auto bad_landscape = random_kron_landscape({3, 1}, 91);
+  EXPECT_THROW(solve_kronecker(grouped, bad_landscape), precondition_error);
+
+  // Matching partition must work and agree with the full solver.
+  const auto good_landscape = random_kron_landscape({2, 2}, 92);
+  const auto kron = solve_kronecker(grouped, good_landscape);
+  const auto full_landscape = good_landscape.expand();
+  const core::FmmpOperator op(grouped, full_landscape);
+  const auto full = power_iteration(op, landscape_start(full_landscape));
+  ASSERT_TRUE(full.converged);
+  EXPECT_NEAR(kron.eigenvalue(), full.eigenvalue, 1e-8 * full.eigenvalue);
+}
+
+TEST(KroneckerSolver, RejectsChainLengthMismatch) {
+  const auto model = core::MutationModel::uniform(5, 0.1);
+  const auto landscape = random_kron_landscape({2, 2}, 93);  // nu = 4
+  EXPECT_THROW(solve_kronecker(model, landscape), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

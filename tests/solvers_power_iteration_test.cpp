@@ -1,0 +1,172 @@
+// Unit tests for the operator-based power iteration (Section 3).
+#include "solvers/power_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explicit_q.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+TEST(PowerIteration, FlatLandscapeGivesUniformEigenvector) {
+  // All sequences equally fit: W = c Q is bistochastic scaled and the
+  // dominant eigenvector is uniform (Section 1.1).
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.05);
+  const auto landscape = core::Landscape::flat(nu, 3.0);
+  const core::FmmpOperator op(model, landscape);
+  const auto r = power_iteration(op);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 3.0, 1e-10);  // lambda_0 = c (Q's lambda_0 = 1)
+  const double expected = 1.0 / 256.0;
+  for (double x : r.eigenvector) EXPECT_NEAR(x, expected, 1e-12);
+}
+
+TEST(PowerIteration, MatchesDenseEigenSolverOnRandomLandscape) {
+  const unsigned nu = 7;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 5);
+
+  // Reference: full dense symmetric eigendecomposition.
+  const auto w_sym = core::build_w_dense(model, landscape,
+                                         core::Formulation::symmetric);
+  const auto dense = linalg::jacobi_eigen(w_sym);
+
+  const core::FmmpOperator op(model, landscape, core::Formulation::right);
+  const auto r = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, dense.values[0], 1e-10);
+
+  // The dense symmetric eigenvector converts to concentrations via
+  // x_R = F^{-1/2} x_S.
+  std::vector<double> x_ref(w_sym.rows());
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    x_ref[i] = dense.vectors(i, 0) / std::sqrt(landscape.value(i));
+  }
+  double s = 0.0;
+  for (double v : x_ref) s += v;
+  if (s < 0.0) linalg::scale(x_ref, -1.0);
+  linalg::normalize1(x_ref);
+  EXPECT_LT(linalg::max_abs_diff(r.eigenvector, x_ref), 1e-9);
+}
+
+TEST(PowerIteration, EigenvectorIsNonnegative) {
+  // Perron-Frobenius: concentrations must be nonnegative.
+  const unsigned nu = 9;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 6);
+  const core::FmmpOperator op(model, landscape);
+  const auto r = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(r.converged);
+  for (double x : r.eigenvector) EXPECT_GE(x, 0.0);
+  EXPECT_NEAR(linalg::norm1(r.eigenvector), 1.0, 1e-13);
+}
+
+TEST(PowerIteration, ShiftReducesIterationCount) {
+  // The paper reports about ten percent fewer iterations with
+  // mu = (1-2p)^nu f_min on random landscapes.
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 77);
+  const core::FmmpOperator op(model, landscape);
+  const auto start = landscape_start(landscape);
+
+  PowerOptions plain;
+  plain.tolerance = 1e-13;
+  const auto unshifted = power_iteration(op, start, plain);
+
+  PowerOptions shifted = plain;
+  shifted.shift = core::conservative_shift(model, landscape);
+  const auto with_shift = power_iteration(op, start, shifted);
+
+  ASSERT_TRUE(unshifted.converged);
+  ASSERT_TRUE(with_shift.converged);
+  EXPECT_LT(with_shift.iterations, unshifted.iterations);
+  EXPECT_NEAR(with_shift.eigenvalue, unshifted.eigenvalue, 1e-10);
+  EXPECT_LT(linalg::max_abs_diff(with_shift.eigenvector, unshifted.eigenvector),
+            1e-9);
+}
+
+TEST(PowerIteration, ResidualCheckCadenceDoesNotChangeResult) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 13);
+  const core::FmmpOperator op(model, landscape);
+  const auto start = landscape_start(landscape);
+
+  PowerOptions every;
+  every.tolerance = 1e-12;
+  PowerOptions sparse = every;
+  sparse.residual_check_every = 8;
+  const auto a = power_iteration(op, start, every);
+  const auto b = power_iteration(op, start, sparse);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.eigenvalue, b.eigenvalue, 1e-11);
+  // The sparse check can only overshoot to the next multiple of 8.
+  EXPECT_GE(b.iterations, a.iterations);
+  EXPECT_LE(b.iterations, a.iterations + 8);
+}
+
+TEST(PowerIteration, ReportsNonConvergenceHonestly) {
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 14);
+  const core::FmmpOperator op(model, landscape);
+  PowerOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 1e-15;
+  const auto r = power_iteration(op, landscape_start(landscape), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_GT(r.residual, 1e-15);
+}
+
+TEST(PowerIteration, EngineReductionsMatchSerial) {
+  const unsigned nu = 9;
+  const auto model = core::MutationModel::uniform(nu, 0.03);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 15);
+  const core::FmmpOperator op(model, landscape);
+  const auto start = landscape_start(landscape);
+
+  PowerOptions serial_opts;
+  const auto serial = power_iteration(op, start, serial_opts);
+  PowerOptions engine_opts;
+  engine_opts.engine = &parallel::parallel_engine();
+  const auto engine = power_iteration(op, start, engine_opts);
+  ASSERT_TRUE(serial.converged);
+  ASSERT_TRUE(engine.converged);
+  EXPECT_NEAR(serial.eigenvalue, engine.eigenvalue, 1e-12);
+}
+
+TEST(PowerIteration, LandscapeStartIsNormalisedCopyOfF) {
+  const auto landscape = core::Landscape::random(6, 5.0, 1.0, 16);
+  const auto s = landscape_start(landscape);
+  EXPECT_NEAR(linalg::norm1(std::span<const double>(s)), 1.0, 1e-14);
+  // Proportional to the landscape values.
+  const double ratio = s[3] / landscape.value(3);
+  for (seq_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(s[i], ratio * landscape.value(i), 1e-14);
+  }
+}
+
+TEST(PowerIteration, RejectsBadArguments) {
+  const auto model = core::MutationModel::uniform(4, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  const core::FmmpOperator op(model, landscape);
+  std::vector<double> wrong(8, 1.0);
+  EXPECT_THROW(power_iteration(op, wrong), precondition_error);
+  PowerOptions opts;
+  opts.residual_check_every = 0;
+  EXPECT_THROW(power_iteration(op, {}, opts), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,219 @@
+// Unit tests for the exact (nu+1) x (nu+1) reduction (Section 5.1).
+#include "solvers/reduced_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_classes.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/binomial.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+TEST(ReducedMutationMatrix, RowsSumToOne) {
+  // Q_Gamma(d, k) is the probability of landing in class k starting from a
+  // fixed member of class d; classes partition the space.
+  for (unsigned nu : {3u, 10u, 25u}) {
+    const auto q = reduced_mutation_matrix(nu, 0.07);
+    for (std::size_t d = 0; d <= nu; ++d) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= nu; ++k) s += q(d, k);
+      EXPECT_NEAR(s, 1.0, 1e-12) << "nu=" << nu << " d=" << d;
+    }
+  }
+}
+
+TEST(ReducedMutationMatrix, MatchesDirectClassSums) {
+  // Q_Gamma(d, k) must equal sum over j in Gamma_k of Q_{rep(d), j} for the
+  // representative rep(d) = 2^d - 1 (the paper's natural choice).
+  const unsigned nu = 8;
+  const double p = 0.04;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto reduced = reduced_mutation_matrix(nu, p);
+  for (unsigned d = 0; d <= nu; ++d) {
+    const seq_t rep = (seq_t{1} << d) - 1;
+    std::vector<double> sums(nu + 1, 0.0);
+    for (seq_t j = 0; j < sequence_count(nu); ++j) {
+      sums[hamming_weight(j)] += model.entry(rep, j);
+    }
+    for (unsigned k = 0; k <= nu; ++k) {
+      EXPECT_NEAR(reduced(d, k), sums[k], 1e-13) << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(ReducedMutationMatrix, TotalFlowMatrixIsSymmetric) {
+  // T_{d,k} = C(nu,d) Q_Gamma(d,k) is the total probability flow between
+  // classes; symmetry underpins the Jacobi backend.
+  const unsigned nu = 12;
+  const auto q = reduced_mutation_matrix(nu, 0.09);
+  BinomialRow row(nu);
+  for (unsigned d = 0; d <= nu; ++d) {
+    for (unsigned k = d + 1; k <= nu; ++k) {
+      EXPECT_NEAR(row.value(d) * q(d, k), row.value(k) * q(k, d), 1e-12);
+    }
+  }
+}
+
+TEST(ReducedMutationMatrix, RejectsBadArguments) {
+  EXPECT_THROW(reduced_mutation_matrix(0, 0.1), precondition_error);
+  EXPECT_THROW(reduced_mutation_matrix(5, 0.0), precondition_error);
+  EXPECT_THROW(reduced_mutation_matrix(5, 0.6), precondition_error);
+}
+
+struct ReducedCase {
+  unsigned nu;
+  double p;
+  const char* name;
+};
+
+class ReducedVsFull : public ::testing::TestWithParam<ReducedCase> {};
+
+TEST_P(ReducedVsFull, SinglePeakMatchesFullSolver) {
+  const auto [nu, p, name] = GetParam();
+  const auto ecl = core::ErrorClassLandscape::single_peak(nu, 2.0, 1.0);
+  const auto reduced = solve_reduced(p, ecl);
+
+  // Full problem via Pi(Fmmp).
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto full_landscape = ecl.expand();
+  const core::FmmpOperator op(model, full_landscape);
+  PowerOptions opts;
+  opts.shift = core::conservative_shift(model, full_landscape);
+  const auto full = power_iteration(op, landscape_start(full_landscape), opts);
+  ASSERT_TRUE(full.converged);
+
+  EXPECT_NEAR(reduced.eigenvalue, full.eigenvalue, 1e-10 * full.eigenvalue);
+  const auto full_classes = analysis::class_concentrations(nu, full.eigenvector);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(reduced.class_concentrations[k], full_classes[k], 1e-9)
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReducedVsFull,
+    ::testing::Values(ReducedCase{6, 0.01, "nu6_p001"},
+                      ReducedCase{6, 0.05, "nu6_p005"},
+                      ReducedCase{8, 0.02, "nu8_p002"},
+                      ReducedCase{10, 0.03, "nu10_p003"},
+                      ReducedCase{12, 0.01, "nu12_p001"},
+                      ReducedCase{12, 0.10, "nu12_p010"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ReducedSolver, GeneralPhiMatchesFullSolver) {
+  const unsigned nu = 9;
+  const double p = 0.04;
+  // Arbitrary positive phi profile.
+  std::vector<double> phi;
+  for (unsigned k = 0; k <= nu; ++k) {
+    phi.push_back(1.0 + 2.0 * std::exp(-0.5 * k) + 0.3 * ((k % 3 == 0) ? 1.0 : 0.0));
+  }
+  const auto ecl = core::ErrorClassLandscape::from_values(nu, phi);
+  const auto reduced = solve_reduced(p, ecl);
+
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto full_landscape = ecl.expand();
+  const core::FmmpOperator op(model, full_landscape);
+  PowerOptions opts;
+  opts.shift = core::conservative_shift(model, full_landscape);
+  const auto full = power_iteration(op, landscape_start(full_landscape), opts);
+  ASSERT_TRUE(full.converged);
+
+  EXPECT_NEAR(reduced.eigenvalue, full.eigenvalue, 1e-9 * full.eigenvalue);
+  const auto full_classes = analysis::class_concentrations(nu, full.eigenvector);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(reduced.class_concentrations[k], full_classes[k], 1e-8);
+  }
+}
+
+TEST(ReducedSolver, AllBackendsAgree) {
+  const unsigned nu = 14;
+  const double p = 0.03;
+  const auto ecl = core::ErrorClassLandscape::single_peak(nu, 2.0, 1.0);
+  const auto jac = solve_reduced(p, ecl, ReducedMethod::jacobi);
+  const auto pow = solve_reduced(p, ecl, ReducedMethod::power);
+  const auto qri = solve_reduced(p, ecl, ReducedMethod::qr_inverse);
+  EXPECT_NEAR(jac.eigenvalue, pow.eigenvalue, 1e-9);
+  EXPECT_NEAR(jac.eigenvalue, qri.eigenvalue, 1e-9);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(jac.class_concentrations[k], pow.class_concentrations[k], 1e-8);
+    EXPECT_NEAR(jac.class_concentrations[k], qri.class_concentrations[k], 1e-8);
+  }
+}
+
+TEST(ReducedSolver, ClassConcentrationsFormDistribution) {
+  const auto ecl = core::ErrorClassLandscape::single_peak(20, 2.0, 1.0);
+  const auto r = solve_reduced(0.02, ecl);
+  double s = 0.0;
+  for (double c : r.class_concentrations) {
+    EXPECT_GE(c, 0.0);
+    s += c;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(ReducedSolver, RepresentativesTimesCardinalityIsClassTotal) {
+  const unsigned nu = 10;
+  const auto ecl = core::ErrorClassLandscape::linear(nu, 2.0, 1.0);
+  const auto r = solve_reduced(0.05, ecl);
+  BinomialRow row(nu);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(r.representatives[k] * row.value(k), r.class_concentrations[k],
+                1e-13);
+  }
+}
+
+TEST(ReducedSolver, HalfErrorRateGivesExactlyUniformDistribution) {
+  // p = 1/2 is random replication: every sequence equally likely.
+  const unsigned nu = 12;
+  const auto ecl = core::ErrorClassLandscape::single_peak(nu, 2.0, 1.0);
+  const auto r = solve_reduced(0.5, ecl);
+  const auto uniform = analysis::uniform_class_concentrations(nu);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(r.class_concentrations[k], uniform[k], 1e-10);
+  }
+}
+
+TEST(ReducedSolver, ScalesToHugeChainLengths) {
+  // nu = 500 is hopeless for any 2^nu method; the reduction runs in
+  // milliseconds and must stay finite and normalised.
+  const unsigned nu = 500;
+  const auto ecl = core::ErrorClassLandscape::single_peak(nu, 5.0, 1.0);
+  const auto r = solve_reduced(0.001, ecl);
+  EXPECT_TRUE(std::isfinite(r.eigenvalue));
+  EXPECT_GT(r.eigenvalue, 1.0);
+  double s = 0.0;
+  for (double c : r.class_concentrations) {
+    ASSERT_TRUE(std::isfinite(c));
+    ASSERT_GE(c, 0.0);
+    s += c;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-10);
+  // Master class clearly dominates at this tiny p.
+  EXPECT_GT(r.class_concentrations[0], 0.3);
+}
+
+TEST(ExpandRepresentatives, BuildsErrorClassVector) {
+  std::vector<double> reps{0.5, 0.25, 0.125};
+  const auto full = expand_representatives(2, reps);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_DOUBLE_EQ(full[0], 0.5);    // weight 0
+  EXPECT_DOUBLE_EQ(full[1], 0.25);   // weight 1
+  EXPECT_DOUBLE_EQ(full[2], 0.25);   // weight 1
+  EXPECT_DOUBLE_EQ(full[3], 0.125);  // weight 2
+}
+
+TEST(ExpandRepresentatives, RejectsBadArguments) {
+  std::vector<double> reps{1.0, 1.0};
+  EXPECT_THROW(expand_representatives(2, reps), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,177 @@
+// Unit tests for the shift-and-invert eigensolvers on W = Q F and the
+// restarted Lanczos solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explicit_q.hpp"
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/power_iteration.hpp"
+#include "solvers/shift_invert.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::solvers {
+namespace {
+
+struct Problem {
+  core::MutationModel model;
+  core::Landscape landscape;
+};
+
+Problem make_problem(unsigned nu, double p, std::uint64_t seed) {
+  return {core::MutationModel::uniform(nu, p),
+          core::Landscape::random(nu, 5.0, 1.0, seed)};
+}
+
+TEST(SolveShiftedW, MatchesDenseSolve) {
+  const auto [model, landscape] = make_problem(7, 0.03, 1);
+  const double mu = 0.7;  // inside the spectrum -> MINRES path
+  const std::size_t n = 128;
+
+  std::vector<double> b(n), x(n, 0.0);
+  Xoshiro256 rng(2);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const auto r = solve_shifted_symmetric_w(model, landscape, mu, b, x, {1e-12, 5000});
+  ASSERT_TRUE(r.converged);
+
+  // Dense check: (W_S - mu I) x == b.
+  auto w = core::build_w_dense(model, landscape, core::Formulation::symmetric);
+  std::vector<double> check(n);
+  w.multiply(x, check);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(check[i] - mu * x[i], b[i], 1e-8);
+  }
+}
+
+TEST(SolveShiftedW, CgPathWithQPreconditioner) {
+  const auto [model, landscape] = make_problem(8, 0.02, 3);
+  const double mu = 0.0;  // W_S positive definite -> CG path
+  const std::size_t n = 256;
+  std::vector<double> b(n), x_pre(n, 0.0), x_plain(n, 0.0);
+  Xoshiro256 rng(4);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const auto with_pre = solve_shifted_symmetric_w(model, landscape, mu, b, x_pre,
+                                                  {1e-12, 5000}, true);
+  const auto without = solve_shifted_symmetric_w(model, landscape, mu, b, x_plain,
+                                                 {1e-12, 5000}, false);
+  ASSERT_TRUE(with_pre.converged);
+  ASSERT_TRUE(without.converged);
+  EXPECT_LT(linalg::max_abs_diff(x_pre, x_plain), 1e-7);
+  // The exact mutation-part preconditioner must help (and never hurt).
+  EXPECT_LE(with_pre.iterations, without.iterations);
+}
+
+TEST(InverseIterationW, FindsDominantPairWithShiftAboveSpectrum) {
+  const auto [model, landscape] = make_problem(8, 0.02, 5);
+  // lambda_0 <= f_max; shifting just above it targets the dominant pair.
+  const double mu = landscape.max_fitness() * 1.0001;
+  const auto r = inverse_iteration_w(model, landscape, mu);
+  ASSERT_TRUE(r.converged);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto reference = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(reference.converged);
+  EXPECT_NEAR(r.eigenvalue, reference.eigenvalue, 1e-9);
+  EXPECT_LT(linalg::max_abs_diff(r.concentrations, reference.eigenvector), 1e-8);
+  // Shift-invert converges in far fewer outer steps than the power method
+  // takes iterations.
+  EXPECT_LT(r.outer_iterations, 40u);
+}
+
+TEST(RayleighQuotientIterationW, CubicallyFastFromLandscapeStart) {
+  const auto [model, landscape] = make_problem(9, 0.01, 7);
+  const auto r = rayleigh_quotient_iteration_w(model, landscape);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.outer_iterations, 8u);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto reference = power_iteration(op, landscape_start(landscape));
+  EXPECT_NEAR(r.eigenvalue, reference.eigenvalue, 1e-9);
+  EXPECT_LT(linalg::max_abs_diff(r.concentrations, reference.eigenvector), 1e-8);
+}
+
+TEST(SmallestEigenpairW, ValidatesPaperLowerBound) {
+  // Section 3: lambda_min >= (1-2p)^nu f_min. Compute lambda_min exactly
+  // and compare with both the bound and the dense spectrum.
+  const auto [model, landscape] = make_problem(6, 0.05, 9);
+  const auto r = smallest_eigenpair_w(model, landscape);
+  ASSERT_TRUE(r.converged);
+
+  const auto w = core::build_w_dense(model, landscape, core::Formulation::symmetric);
+  const auto dense = linalg::jacobi_eigen(w);
+  EXPECT_NEAR(r.eigenvalue, dense.values.back(), 1e-9);
+  EXPECT_GE(r.eigenvalue, core::conservative_shift(model, landscape) - 1e-12);
+}
+
+TEST(ShiftInvertW, RejectsUnsupportedModels) {
+  const auto asym = core::MutationModel::per_site(
+      {transforms::Factor2::asymmetric(0.3, 0.1),
+       transforms::Factor2::asymmetric(0.1, 0.1)});
+  const auto landscape = core::Landscape::flat(2, 1.0);
+  EXPECT_THROW(inverse_iteration_w(asym, landscape, 1.0), precondition_error);
+}
+
+TEST(Lanczos, MatchesPowerIterationOnRandomLandscape) {
+  const auto [model, landscape] = make_problem(10, 0.01, 11);
+  const auto lan = lanczos_dominant_w(model, landscape);
+  ASSERT_TRUE(lan.converged);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(pi.converged);
+  EXPECT_NEAR(lan.eigenvalue, pi.eigenvalue, 1e-9);
+  EXPECT_LT(linalg::max_abs_diff(lan.concentrations, pi.eigenvector), 1e-8);
+}
+
+TEST(Lanczos, ConvergesInFewerMatvecsThanPowerIteration) {
+  // The Krylov subspace beats the single-vector iteration in products —
+  // the storage-vs-speed trade-off the paper describes in Section 3.
+  const auto [model, landscape] = make_problem(10, 0.05, 13);
+  const auto lan = lanczos_dominant_w(model, landscape);
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  ASSERT_TRUE(lan.converged);
+  ASSERT_TRUE(pi.converged);
+  EXPECT_LT(lan.matvec_count, pi.iterations);
+}
+
+TEST(Lanczos, SmallBasisWithRestartsStillConverges) {
+  const auto [model, landscape] = make_problem(8, 0.03, 15);
+  LanczosOptions opts;
+  opts.basis_size = 4;  // tiny memory footprint -> relies on restarting
+  const auto r = lanczos_dominant_w(model, landscape, {}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.restarts, 1u);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto pi = power_iteration(op, landscape_start(landscape));
+  EXPECT_NEAR(r.eigenvalue, pi.eigenvalue, 1e-9);
+}
+
+TEST(Lanczos, ConcentrationsArePositiveAndNormalised) {
+  const auto [model, landscape] = make_problem(9, 0.02, 17);
+  const auto r = lanczos_dominant_w(model, landscape);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(linalg::norm1(std::span<const double>(r.concentrations)), 1.0, 1e-12);
+  for (double v : r.concentrations) EXPECT_GT(v, 0.0);
+}
+
+TEST(Lanczos, RejectsBadArguments) {
+  const auto model = core::MutationModel::uniform(4, 0.1);
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  LanczosOptions bad;
+  bad.basis_size = 1;
+  EXPECT_THROW(lanczos_dominant_w(model, landscape, {}, bad), precondition_error);
+  std::vector<double> wrong(8, 1.0);
+  EXPECT_THROW(lanczos_dominant_w(model, landscape, wrong), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,87 @@
+// Unit tests for the shift-and-invert solvers on Q (Section 3).
+#include "solvers/spectral_solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spectral.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+TEST(InverseIterationQ, FindsDominantEigenpairWithShiftNearOne) {
+  // Q's dominant eigenvalue is 1 with the uniform eigenvector.
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.06);
+  const auto r = inverse_iteration_q(model, 1.0 + 1e-3);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 1.0, 1e-10);
+  // Uniform eigenvector: all entries equal in magnitude.
+  const double expected = 1.0 / std::sqrt(256.0);
+  for (double x : r.eigenvector) EXPECT_NEAR(std::abs(x), expected, 1e-8);
+}
+
+TEST(InverseIterationQ, TargetsInteriorEigenvalue) {
+  // Shift near (1-2p)^2 must converge to an eigenvector of exactly that
+  // eigenvalue (the power iteration could never find an interior pair).
+  const unsigned nu = 7;
+  const double p = 0.11;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const double target = std::pow(1.0 - 2.0 * p, 2);
+  const auto r = inverse_iteration_q(model, target + 1e-4);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, target, 1e-9);
+  EXPECT_LT(r.iterations, 50u);
+}
+
+TEST(InverseIterationQ, ConvergesInFewIterationsNearEigenvalue) {
+  const unsigned nu = 10;
+  const double p = 0.03;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const double target = std::pow(1.0 - 2.0 * p, 1);
+  const auto r = inverse_iteration_q(model, target * (1.0 + 1e-8));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 5u);
+  EXPECT_NEAR(r.eigenvalue, target, 1e-11);
+}
+
+TEST(RayleighQuotientIterationQ, LocksOnFromBiasedStart) {
+  const unsigned nu = 8;
+  const double p = 0.09;
+  const auto model = core::MutationModel::uniform(nu, p);
+  // Start leaning towards the uniform (dominant) eigenvector with a
+  // perturbation; RQI should converge to eigenvalue 1 cubically.
+  std::vector<double> start(256, 1.0);
+  start[3] += 0.2;
+  start[100] -= 0.1;
+  const auto r = rayleigh_quotient_iteration_q(model, start);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 1.0, 1e-10);
+  EXPECT_LE(r.iterations, 8u);
+}
+
+TEST(RayleighQuotientIterationQ, ResidualIsTight) {
+  const unsigned nu = 6;
+  const auto model = core::MutationModel::uniform(nu, 0.2);
+  std::vector<double> start(64, 1.0);
+  start[1] += 0.3;
+  const auto r = rayleigh_quotient_iteration_q(model, start);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.residual, 1e-12);
+}
+
+TEST(SpectralSolvers, RejectBadArguments) {
+  const auto model = core::MutationModel::uniform(4, 0.1);
+  std::vector<double> wrong(8, 1.0);
+  EXPECT_THROW(inverse_iteration_q(model, 0.5, wrong), precondition_error);
+  EXPECT_THROW(rayleigh_quotient_iteration_q(model, wrong), precondition_error);
+  std::vector<double> empty;
+  EXPECT_THROW(rayleigh_quotient_iteration_q(model, empty), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,94 @@
+// Tests for the power iteration's stagnation (numerical floor) handling.
+#include <gtest/gtest.h>
+
+#include "core/fmmp.hpp"
+#include "core/spectral.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+TEST(Stall, SinglePeakFloorsAboveStrictToleranceButConverges) {
+  // The single-peak landscape at nu = 16 floors near 1e-12, above a strict
+  // 1e-14 tolerance; the stall detector must stop the run quickly and
+  // accept it under the default stall_accept.
+  const unsigned nu = 16;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const core::FmmpOperator op(model, landscape);
+
+  PowerOptions opts;
+  opts.tolerance = 1e-14;  // below the floor
+  opts.shift = core::conservative_shift(model, landscape);
+  const auto r = power_iteration(op, landscape_start(landscape), opts);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_TRUE(r.converged);          // floor ~1e-12 <= stall_accept 1e-9
+  EXPECT_LT(r.residual, 1e-10);
+  EXPECT_LT(r.iterations, 5000u);    // must not spin to max_iterations
+}
+
+TEST(Stall, StrictAcceptMakesStallingAFailure) {
+  const unsigned nu = 14;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const core::FmmpOperator op(model, landscape);
+
+  PowerOptions opts;
+  opts.tolerance = 1e-15;
+  opts.stall_accept = 1e-15;  // floor ~5e-13 > accept -> honest failure
+  const auto r = power_iteration(op, landscape_start(landscape), opts);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Stall, DisabledWindowSpinsToMaxIterations) {
+  const unsigned nu = 12;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  const core::FmmpOperator op(model, landscape);
+
+  PowerOptions opts;
+  opts.tolerance = 1e-15;
+  opts.stall_window = 0;  // disabled
+  opts.max_iterations = 3000;
+  const auto r = power_iteration(op, landscape_start(landscape), opts);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3000u);
+}
+
+TEST(Stall, CleanConvergenceDoesNotReportStall) {
+  // Random landscapes reach 1e-13 comfortably: no stall flag.
+  const unsigned nu = 12;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+  const core::FmmpOperator op(model, landscape);
+  const auto r = power_iteration(op, landscape_start(landscape));
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.stalled);
+}
+
+TEST(Stall, SlowButConvergingRunsAreNotCutPrematurely) {
+  // A landscape with a modest gap: convergence takes many iterations but
+  // makes steady >5 %-per-window progress, so the stall detector must let
+  // it finish.
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.005);
+  // Two nearby peaks -> smallish gap, but still a real one.
+  auto values = std::vector<double>(sequence_count(nu), 1.0);
+  values[0] = 2.0;
+  values[3] = 1.9;
+  const auto landscape = core::Landscape::from_values(nu, std::move(values));
+  const core::FmmpOperator op(model, landscape);
+
+  PowerOptions opts;
+  opts.tolerance = 1e-11;
+  const auto r = power_iteration(op, landscape_start(landscape), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GT(r.iterations, 150u);  // genuinely slow...
+}
+
+}  // namespace
+}  // namespace qs::solvers

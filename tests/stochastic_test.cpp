@@ -1,0 +1,261 @@
+// Unit and statistical tests for the finite-population simulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_classes.hpp"
+#include "core/fmmp.hpp"
+#include "core/site_process.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solvers/power_iteration.hpp"
+#include "stochastic/moran.hpp"
+#include "stochastic/population.hpp"
+#include "stochastic/sampling.hpp"
+#include "stochastic/wright_fisher.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::stochastic {
+namespace {
+
+TEST(Sampling, BinomialBoundaryCases) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(binomial_sample(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial_sample(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial_sample(rng, 100, 1.0), 100u);
+  EXPECT_THROW(binomial_sample(rng, 10, 1.5), precondition_error);
+}
+
+TEST(Sampling, BinomialMomentsSmallNp) {
+  // Exact inverse-CDF branch: mean and variance within 5 sigma.
+  Xoshiro256 rng(2);
+  const std::uint64_t n = 40;
+  const double p = 0.1;
+  const int reps = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double k = static_cast<double>(binomial_sample(rng, n, p));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  const double expected_mean = n * p;
+  const double expected_var = n * p * (1 - p);
+  EXPECT_NEAR(mean, expected_mean, 5.0 * std::sqrt(expected_var / reps));
+  EXPECT_NEAR(var, expected_var, 0.15 * expected_var);
+}
+
+TEST(Sampling, BinomialMomentsLargeNp) {
+  // Normal-approximation branch.
+  Xoshiro256 rng(3);
+  const std::uint64_t n = 100000;
+  const double p = 0.3;
+  const int reps = 5000;
+  double sum = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto k = binomial_sample(rng, n, p);
+    ASSERT_LE(k, n);
+    sum += static_cast<double>(k);
+  }
+  const double mean = sum / reps;
+  EXPECT_NEAR(mean, n * p, 5.0 * std::sqrt(n * p * (1 - p) / reps));
+}
+
+TEST(Sampling, MultinomialConservesTotal) {
+  Xoshiro256 rng(4);
+  std::vector<double> probs{0.5, 0.25, 0.125, 0.125};
+  for (std::uint64_t n : {0ull, 1ull, 17ull, 100000ull}) {
+    const auto counts = multinomial_sample(rng, n, probs);
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(Sampling, MultinomialMeansMatchProbabilities) {
+  Xoshiro256 rng(5);
+  std::vector<double> probs{0.6, 0.3, 0.1};
+  const std::uint64_t n = 300000;
+  const auto counts = multinomial_sample(rng, n, probs);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double expected = probs[i] * static_cast<double>(n);
+    const double tolerance = 5.0 * std::sqrt(expected);
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, tolerance) << i;
+  }
+}
+
+TEST(Sampling, MultinomialRejectsBadInput) {
+  Xoshiro256 rng(6);
+  std::vector<double> not_normalised{0.5, 0.4};
+  EXPECT_THROW(multinomial_sample(rng, 10, not_normalised), precondition_error);
+  std::vector<double> negative{1.2, -0.2};
+  EXPECT_THROW(multinomial_sample(rng, 10, negative), precondition_error);
+}
+
+TEST(Sampling, CategoricalRespectsWeights) {
+  Xoshiro256 rng(7);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  const int reps = 40000;
+  for (int r = 0; r < reps; ++r) ++hits[categorical_sample(rng, weights)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / reps, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / reps, 0.75, 0.02);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(categorical_sample(rng, zeros), precondition_error);
+}
+
+TEST(Population, FactoriesAndInvariants) {
+  const auto mono = Population::monomorphic(6, 1000);
+  EXPECT_EQ(mono.size(), 1000u);
+  EXPECT_EQ(mono.counts()[0], 1000u);
+  EXPECT_EQ(mono.occupied_species(), 1u);
+
+  const auto uni = Population::uniform(6, 1000);
+  EXPECT_EQ(uni.size(), 1000u);
+  EXPECT_EQ(uni.occupied_species(), 64u);
+  std::uint64_t total = 0;
+  for (auto c : uni.counts()) total += c;
+  EXPECT_EQ(total, 1000u);
+
+  const auto freqs = uni.frequencies();
+  double sum = 0.0;
+  for (double f : freqs) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_THROW(Population(30, 1), precondition_error);
+}
+
+TEST(WrightFisher, ExpectedOffspringIsTheDeterministicMap) {
+  // E[next frequencies] = Q F x / |..|: the deterministic quasispecies map.
+  const unsigned nu = 6;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  WrightFisher wf(model, landscape, 1);
+
+  auto pop = Population::uniform(nu, 6400);
+  const auto pi = wf.expected_offspring(pop);
+  // Manual computation.
+  std::vector<double> manual(64);
+  const auto x = pop.frequencies();
+  for (std::size_t i = 0; i < 64; ++i) manual[i] = landscape.value(i) * x[i];
+  model.apply(manual);
+  linalg::normalize1(manual);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(pi[i], manual[i], 1e-12);
+}
+
+TEST(WrightFisher, StepConservesPopulationSize) {
+  const unsigned nu = 8;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  WrightFisher wf(model, landscape, 2);
+  auto pop = Population::monomorphic(nu, 5000);
+  for (int g = 0; g < 20; ++g) {
+    wf.step(pop);
+    ASSERT_EQ(pop.size(), 5000u);
+  }
+}
+
+TEST(WrightFisher, DeterministicBySeed) {
+  const unsigned nu = 6;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  WrightFisher a(model, landscape, 99);
+  WrightFisher b(model, landscape, 99);
+  auto pa = Population::monomorphic(nu, 1000);
+  auto pb = Population::monomorphic(nu, 1000);
+  for (int g = 0; g < 10; ++g) {
+    a.step(pa);
+    b.step(pb);
+  }
+  for (std::size_t i = 0; i < pa.counts().size(); ++i) {
+    ASSERT_EQ(pa.counts()[i], pb.counts()[i]);
+  }
+}
+
+TEST(WrightFisher, LargePopulationApproachesQuasispecies) {
+  // Infinite-population limit: time-averaged frequencies of a large
+  // population approximate the dominant eigenvector of W.
+  const unsigned nu = 6;
+  const double p = 0.02;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+
+  const core::FmmpOperator op(model, landscape);
+  const auto eigen = solvers::power_iteration(op, solvers::landscape_start(landscape));
+  ASSERT_TRUE(eigen.converged);
+
+  WrightFisher wf(model, landscape, 11);
+  auto pop = Population::monomorphic(nu, 200000);
+  const auto average = wf.run(pop, 400, 200);
+
+  // Sampling noise per class ~ 1/sqrt(N_pop * window); compare class sums
+  // (coarser, statistically stable).
+  const auto sim_classes = analysis::class_concentrations(nu, average);
+  const auto det_classes = analysis::class_concentrations(nu, eigen.eigenvector);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(sim_classes[k], det_classes[k], 0.02) << "k=" << k;
+  }
+}
+
+TEST(WrightFisher, MutationFreeLimitFixatesOnTheFittest) {
+  // Without mutation pressure (p -> 0+), selection fixes the master.
+  const unsigned nu = 5;
+  const auto model = core::MutationModel::uniform(nu, 1e-12);
+  const auto landscape = core::Landscape::single_peak(nu, 3.0, 1.0);
+  WrightFisher wf(model, landscape, 12);
+  auto pop = Population::uniform(nu, 2000);
+  wf.run(pop, 200);
+  EXPECT_GT(pop.counts()[0], 1990u);
+}
+
+TEST(Moran, EventConservesPopulation) {
+  const unsigned nu = 6;
+  const auto model = core::MutationModel::uniform(nu, 0.02);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+  Moran moran(model, landscape, 13);
+  auto pop = Population::monomorphic(nu, 500);
+  for (int e = 0; e < 1000; ++e) {
+    moran.event(pop);
+  }
+  pop.refresh_size();
+  EXPECT_EQ(pop.size(), 500u);
+}
+
+TEST(Moran, AgreesWithWrightFisherOnClassSums) {
+  const unsigned nu = 5;
+  const double p = 0.03;
+  const auto model = core::MutationModel::uniform(nu, p);
+  const auto landscape = core::Landscape::single_peak(nu, 2.0, 1.0);
+
+  Moran moran(model, landscape, 14);
+  auto pop_m = Population::monomorphic(nu, 3000);
+  // Burn in, then time average over events.
+  moran.run(pop_m, 3000 * 50);
+  std::vector<double> avg(32, 0.0);
+  const int samples = 200;
+  for (int s = 0; s < samples; ++s) {
+    moran.run(pop_m, 3000);  // one generation between samples
+    const auto x = pop_m.frequencies();
+    for (std::size_t i = 0; i < 32; ++i) avg[i] += x[i] / samples;
+  }
+
+  WrightFisher wf(model, landscape, 15);
+  auto pop_w = Population::monomorphic(nu, 3000);
+  const auto wf_avg = wf.run(pop_w, 400, 300);
+
+  const auto cm = analysis::class_concentrations(nu, avg);
+  const auto cw = analysis::class_concentrations(nu, wf_avg);
+  for (unsigned k = 0; k <= nu; ++k) {
+    EXPECT_NEAR(cm[k], cw[k], 0.05) << "k=" << k;
+  }
+}
+
+TEST(Moran, RejectsGroupedModel) {
+  const auto grouped = core::MutationModel::grouped(
+      {core::coupled_single_flip_group(2, 0.2)});
+  const auto landscape = core::Landscape::flat(2, 1.0);
+  EXPECT_THROW(Moran(grouped, landscape, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::stochastic

@@ -1,0 +1,83 @@
+// Unit tests for binomial coefficient tables.
+#include "support/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace qs {
+namespace {
+
+TEST(BinomialRow, SmallKnownValues) {
+  BinomialRow row(5);
+  const std::uint64_t expected[] = {1, 5, 10, 10, 5, 1};
+  for (unsigned k = 0; k <= 5; ++k) {
+    EXPECT_EQ(row.exact(k), expected[k]);
+    EXPECT_DOUBLE_EQ(row.value(k), static_cast<double>(expected[k]));
+  }
+}
+
+TEST(BinomialRow, RowSumIsPowerOfTwo) {
+  for (unsigned nu : {1u, 5u, 10u, 20u, 30u}) {
+    BinomialRow row(nu);
+    EXPECT_DOUBLE_EQ(row.row_sum(), std::ldexp(1.0, static_cast<int>(nu)));
+  }
+}
+
+TEST(BinomialRow, Symmetry) {
+  BinomialRow row(17);
+  for (unsigned k = 0; k <= 17; ++k) {
+    EXPECT_EQ(row.exact(k), row.exact(17 - k));
+  }
+}
+
+TEST(BinomialRow, PascalIdentity) {
+  BinomialRow upper(12);
+  BinomialRow lower(11);
+  for (unsigned k = 1; k <= 11; ++k) {
+    EXPECT_EQ(upper.exact(k), lower.exact(k - 1) + lower.exact(k));
+  }
+}
+
+TEST(BinomialRow, LargestExactRow) {
+  // C(61, 30) is near the top of what fits exactly in 64 bits.
+  BinomialRow row(61);
+  EXPECT_EQ(row.exact(0), 1u);
+  EXPECT_EQ(row.exact(61), 1u);
+  EXPECT_GT(row.exact(30), row.exact(29));
+}
+
+TEST(BinomialRow, RejectsOutOfRange) {
+  EXPECT_THROW(BinomialRow(62), precondition_error);
+  BinomialRow row(4);
+  EXPECT_THROW(row.exact(5), precondition_error);
+  EXPECT_THROW(row.value(5), precondition_error);
+}
+
+TEST(BinomialReal, MatchesExactForSmallArguments) {
+  for (unsigned n = 0; n <= 30; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      const double exact = static_cast<double>(binomial_exact(n, k));
+      EXPECT_NEAR(binomial_real(n, k), exact, 1e-9 * exact + 1e-12)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialReal, LargeArgumentsFinite) {
+  // C(1000, 500) ~ 2.7e299: near the top of the double range but finite.
+  const double c = binomial_real(1000, 500);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 1e298);
+}
+
+TEST(BinomialExact, RejectsBadArguments) {
+  EXPECT_THROW(binomial_exact(5, 6), precondition_error);
+  EXPECT_THROW(binomial_exact(62, 1), precondition_error);
+  EXPECT_THROW(binomial_real(5, 6), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,116 @@
+// Unit tests for the sequence-space bit utilities.
+#include "support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qs {
+namespace {
+
+TEST(Bits, SequenceCount) {
+  EXPECT_EQ(sequence_count(0), 1u);
+  EXPECT_EQ(sequence_count(1), 2u);
+  EXPECT_EQ(sequence_count(10), 1024u);
+  EXPECT_EQ(sequence_count(20), 1048576u);
+}
+
+TEST(Bits, HammingWeight) {
+  EXPECT_EQ(hamming_weight(0), 0u);
+  EXPECT_EQ(hamming_weight(0b1011), 3u);
+  EXPECT_EQ(hamming_weight(~seq_t{0}), 64u);
+}
+
+TEST(Bits, HammingDistanceIsXorWeight) {
+  EXPECT_EQ(hamming_distance(0b1100, 0b1010), 2u);
+  EXPECT_EQ(hamming_distance(7, 7), 0u);
+  EXPECT_EQ(hamming_distance(0, 0b11111), 5u);
+}
+
+TEST(Bits, HammingDistanceSymmetry) {
+  for (seq_t i = 0; i < 64; ++i) {
+    for (seq_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(hamming_distance(i, j), hamming_distance(j, i));
+    }
+  }
+}
+
+TEST(Bits, HammingDistanceTriangleInequality) {
+  for (seq_t i = 0; i < 32; ++i) {
+    for (seq_t j = 0; j < 32; ++j) {
+      for (seq_t k = 0; k < 32; ++k) {
+        EXPECT_LE(hamming_distance(i, k),
+                  hamming_distance(i, j) + hamming_distance(j, k));
+      }
+    }
+  }
+}
+
+TEST(Bits, GrayCodeNeighborsDifferInOneBit) {
+  // The defining property the paper's footnote 2 relies on.
+  for (seq_t i = 0; i + 1 < 1024; ++i) {
+    EXPECT_EQ(hamming_distance(gray_code(i), gray_code(i + 1)), 1u);
+  }
+}
+
+TEST(Bits, GrayCodeIsBijectiveAndInvertible) {
+  std::set<seq_t> seen;
+  for (seq_t i = 0; i < 4096; ++i) {
+    const seq_t g = gray_code(i);
+    EXPECT_TRUE(seen.insert(g).second);
+    EXPECT_EQ(gray_decode(g), i);
+  }
+}
+
+TEST(Bits, PowerOfTwoPredicates) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1023));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+}
+
+TEST(FixedWeightMasks, EnumeratesAllCombinations) {
+  // C(6, k) masks for each k, all distinct, all of the right weight.
+  const unsigned nu = 6;
+  const unsigned expected[] = {1, 6, 15, 20, 15, 6, 1};
+  for (unsigned k = 0; k <= nu; ++k) {
+    std::set<seq_t> seen;
+    FixedWeightMasks(nu, k).for_each([&](seq_t m) {
+      EXPECT_EQ(hamming_weight(m), k);
+      EXPECT_LT(m, sequence_count(nu));
+      EXPECT_TRUE(seen.insert(m).second);
+    });
+    EXPECT_EQ(seen.size(), expected[k]);
+  }
+}
+
+TEST(FixedWeightMasks, ZeroWeightIsJustZero) {
+  const auto masks = FixedWeightMasks(10, 0).to_vector();
+  ASSERT_EQ(masks.size(), 1u);
+  EXPECT_EQ(masks[0], 0u);
+}
+
+TEST(FixedWeightMasks, FullWeightIsAllOnes) {
+  const auto masks = FixedWeightMasks(10, 10).to_vector();
+  ASSERT_EQ(masks.size(), 1u);
+  EXPECT_EQ(masks[0], sequence_count(10) - 1);
+}
+
+TEST(FixedWeightMasks, IncreasingOrder) {
+  const auto masks = FixedWeightMasks(12, 4).to_vector();
+  for (std::size_t i = 1; i < masks.size(); ++i) {
+    EXPECT_LT(masks[i - 1], masks[i]);
+  }
+}
+
+TEST(FixedWeightMasks, RejectsBadArguments) {
+  EXPECT_THROW(FixedWeightMasks(5, 6), precondition_error);
+  EXPECT_THROW(FixedWeightMasks(63, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,73 @@
+// Unit tests for the CSV and text-table writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace qs {
+namespace {
+
+TEST(FormatDouble, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -2.5, 0.1, 1e-300, 3.141592653589793, 1e20}) {
+    const std::string s = format_double(v);
+    EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  csv.row().cell(1.5).cell(std::string("x")).cell(std::size_t{7});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b,c\n1.5,x,7\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  for (int i = 0; i < 3; ++i) {
+    csv.row().cell(static_cast<double>(i)).cell(static_cast<double>(i * i));
+    csv.end_row();
+  }
+  EXPECT_EQ(out.str(), "0,0\n1,1\n2,4\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowHelper) {
+  TextTable t({"label", "v1", "v2"});
+  t.add_row_numeric("row", {1.23456789, 1e-9});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.235"), std::string::npos);
+  EXPECT_NE(out.str().find("1e-09"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRowWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(FormatShort, CompactRepresentation) {
+  EXPECT_EQ(format_short(2.0), "2");
+  EXPECT_EQ(format_short(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace qs

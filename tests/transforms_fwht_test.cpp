@@ -1,0 +1,116 @@
+// Unit tests for the fast Walsh-Hadamard transform.
+#include "transforms/fwht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace qs::transforms {
+namespace {
+
+TEST(Fwht, HadamardOrder2) {
+  std::vector<double> v{1.0, 2.0};
+  fwht(v);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+}
+
+TEST(Fwht, HadamardOrder4KnownResult) {
+  // H4 * (1, 0, 0, 0) = first column of H4 = all ones.
+  std::vector<double> v{1.0, 0.0, 0.0, 0.0};
+  fwht(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Fwht, MatchesExplicitHadamardEntrywise) {
+  // H_{i,j} = (-1)^{popcount(i & j)}; verify the transform against the
+  // definition on a random vector for nu = 5.
+  const std::size_t n = 32;
+  std::vector<double> v(n), expected(n, 0.0);
+  Xoshiro256 rng(4);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const int sign = (std::popcount(i & j) % 2 == 0) ? 1 : -1;
+      expected[i] += sign * v[j];
+    }
+  }
+  fwht(v);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(v[i], expected[i], 1e-12);
+}
+
+TEST(Fwht, InvolutionUpToN) {
+  for (unsigned nu : {1u, 3u, 6u, 10u}) {
+    const std::size_t n = std::size_t{1} << nu;
+    std::vector<double> v(n), orig(n);
+    Xoshiro256 rng(nu);
+    for (std::size_t i = 0; i < n; ++i) v[i] = orig[i] = rng.uniform(-1.0, 1.0);
+    fwht(v);
+    fwht(v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(v[i], static_cast<double>(n) * orig[i], 1e-10 * n);
+    }
+  }
+}
+
+TEST(Fwht, NormalizedIsInvolutary) {
+  const std::size_t n = 256;
+  std::vector<double> v(n), orig(n);
+  Xoshiro256 rng(8);
+  for (std::size_t i = 0; i < n; ++i) v[i] = orig[i] = rng.uniform(-1.0, 1.0);
+  fwht_normalized(v);
+  fwht_normalized(v);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(v[i], orig[i], 1e-13);
+}
+
+TEST(Fwht, NormalizedPreservesTwoNorm) {
+  const std::size_t n = 128;
+  std::vector<double> v(n);
+  Xoshiro256 rng(9);
+  double norm2 = 0.0;
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+    norm2 += x * x;
+  }
+  fwht_normalized(v);
+  double after = 0.0;
+  for (double x : v) after += x * x;
+  EXPECT_NEAR(after, norm2, 1e-12);
+}
+
+TEST(Fwht, Linearity) {
+  const std::size_t n = 64;
+  std::vector<double> a(n), b(n), sum(n);
+  Xoshiro256 rng(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1.0, 1.0);
+    b[i] = rng.uniform(-1.0, 1.0);
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fwht(a);
+  fwht(b);
+  fwht(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sum[i], 2.0 * a[i] + 3.0 * b[i], 1e-11);
+  }
+}
+
+TEST(Fwht, TrivialLengthOneIsIdentity) {
+  std::vector<double> v{3.5};
+  fwht(v);
+  EXPECT_DOUBLE_EQ(v[0], 3.5);
+}
+
+TEST(Fwht, RejectsNonPowerOfTwo) {
+  std::vector<double> v(3);
+  EXPECT_THROW(fwht(v), qs::precondition_error);
+  std::vector<double> empty;
+  EXPECT_THROW(fwht(empty), qs::precondition_error);
+}
+
+}  // namespace
+}  // namespace qs::transforms

@@ -1,0 +1,281 @@
+// qs_solve — command-line quasispecies solver.
+//
+// One binary that exposes the library's main solve paths:
+//
+//   qs_solve --nu 16 --p 0.01 --landscape single-peak --peak 2 --rest 1
+//   qs_solve --nu 20 --p 0.02 --landscape linear --f0 2 --fnu 1 --reduced
+//   qs_solve --nu 14 --p 0.01 --landscape random --c 5 --sigma 1 --seed 7
+//            --solver lanczos --csv out.csv
+//   qs_solve --nu 16 --p 0.005 --landscape load --input land.qs
+//            --save-landscape snapshot.qs --checkpoint state.qs
+//
+// Prints the dominant eigenvalue, iteration statistics, and the error-class
+// concentrations; optionally writes the full concentration vector / class
+// table as CSV and saves landscapes / solver checkpoints through the binary
+// io module.
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "quasispecies.hpp"
+#include "support/args.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "qs_solve — fast quasispecies solver (SC'11 reproduction)\n\n"
+      "required:\n"
+      "  --nu N              chain length (1..24 for full solves)\n"
+      "  --p RATE            per-position error rate, 0 < p <= 1/2\n"
+      "landscape (--landscape KIND):\n"
+      "  single-peak         --peak F0 --rest F (default 2 / 1)\n"
+      "  linear              --f0 F0 --fnu FN (default 2 / 1)\n"
+      "  random              --c C --sigma S --seed SEED (Eq. 13; default 5/1/1)\n"
+      "  flat                --c C (default 1)\n"
+      "  load                --input FILE (a landscape saved by this tool)\n"
+      "solver (--solver KIND, default power):\n"
+      "  power               shifted power iteration on Fmmp (the paper's solver)\n"
+      "  lanczos             restarted Lanczos (faster, more memory)\n"
+      "  arnoldi             restarted Arnoldi (asymmetric-capable)\n"
+      "  rqi                 Rayleigh quotient iteration (shift-and-invert)\n"
+      "  xmvp                power iteration on Xmvp(--dmax D, default 5)\n"
+      "options:\n"
+      "  --reduced           use the exact (nu+1)^2 reduction (error-class\n"
+      "                      landscapes only; allows huge --nu)\n"
+      "  --tolerance T       relative residual target (default 1e-13)\n"
+      "  --no-shift          disable the convergence-acceleration shift\n"
+      "  --parallel          use the OpenMP engine\n"
+      "  --csv FILE          write species concentrations as CSV\n"
+      "  --classes-csv FILE  write [Gamma_k] per class as CSV\n"
+      "  --save-landscape F  persist the landscape in binary form\n"
+      "  --checkpoint FILE   save the final solver state\n"
+      "  --top K             print the K most concentrated species (default 5)\n"
+      "  --help              this text\n";
+}
+
+struct CliError {
+  std::string message;
+};
+
+qs::core::Landscape build_landscape(const qs::ArgParser& args, unsigned nu) {
+  const std::string kind = args.get("landscape", "single-peak");
+  if (kind == "single-peak") {
+    return qs::core::Landscape::single_peak(nu, args.get_double("peak", 2.0, 1e-12, 1e12),
+                                            args.get_double("rest", 1.0, 1e-12, 1e12));
+  }
+  if (kind == "linear") {
+    return qs::core::Landscape::linear(nu, args.get_double("f0", 2.0, 1e-12, 1e12),
+                                       args.get_double("fnu", 1.0, 1e-12, 1e12));
+  }
+  if (kind == "random") {
+    const double c = args.get_double("c", 5.0, 1e-12, 1e12);
+    return qs::core::Landscape::random(
+        nu, c, args.get_double("sigma", 1.0, 1e-12, c / 2 * (1 - 1e-9)),
+        static_cast<std::uint64_t>(args.get_long("seed", 1, 0, 1L << 62)));
+  }
+  if (kind == "flat") {
+    return qs::core::Landscape::flat(nu, args.get_double("c", 1.0, 1e-12, 1e12));
+  }
+  if (kind == "load") {
+    const std::string input = args.get("input", "");
+    if (input.empty()) throw CliError{"--landscape load requires --input FILE"};
+    auto loaded = qs::io::load_landscape(input);
+    if (loaded.nu() != nu) {
+      throw CliError{"loaded landscape has nu = " + std::to_string(loaded.nu()) +
+                     ", but --nu is " + std::to_string(nu)};
+    }
+    return loaded;
+  }
+  throw CliError{"unknown landscape kind '" + kind + "'"};
+}
+
+void write_concentrations_csv(const std::string& path,
+                              std::span<const double> x) {
+  std::ofstream file(path);
+  qs::CsvWriter csv(file);
+  csv.header({"species", "hamming_class", "concentration"});
+  for (qs::seq_t i = 0; i < x.size(); ++i) {
+    csv.row().cell(std::size_t{i}).cell(std::size_t{qs::hamming_weight(i)}).cell(x[i]);
+    csv.end_row();
+  }
+}
+
+void write_classes_csv(const std::string& path, std::span<const double> classes) {
+  std::ofstream file(path);
+  qs::CsvWriter csv(file);
+  csv.header({"class_k", "concentration"});
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    csv.row().cell(k).cell(classes[k]);
+    csv.end_row();
+  }
+}
+
+int run(const qs::ArgParser& args) {
+  if (args.has("help")) {
+    print_usage();
+    return 0;
+  }
+  const unsigned nu = static_cast<unsigned>(args.get_long("nu", 0, 1, 1000));
+  if (nu == 0) throw CliError{"--nu is required (try --help)"};
+  const double p = args.get_double("p", 0.0, 1e-12, 0.5);
+  if (p == 0.0) throw CliError{"--p is required (try --help)"};
+
+  const double tolerance = args.get_double("tolerance", 1e-13, 1e-16, 1e-2);
+  const long top = args.get_long("top", 5, 0, 1000);
+
+  // Reduced path: error-class landscapes at any nu.
+  if (args.has("reduced")) {
+    const std::string kind = args.get("landscape", "single-peak");
+    std::optional<qs::core::ErrorClassLandscape> ecl;
+    if (kind == "single-peak") {
+      ecl = qs::core::ErrorClassLandscape::single_peak(
+          nu, args.get_double("peak", 2.0, 1e-12, 1e12),
+          args.get_double("rest", 1.0, 1e-12, 1e12));
+    } else if (kind == "linear") {
+      ecl = qs::core::ErrorClassLandscape::linear(
+          nu, args.get_double("f0", 2.0, 1e-12, 1e12),
+          args.get_double("fnu", 1.0, 1e-12, 1e12));
+    } else {
+      throw CliError{"--reduced supports single-peak and linear landscapes"};
+    }
+    qs::Timer timer;
+    const auto r = qs::solvers::solve_reduced(p, *ecl);
+    std::cout << "reduced (nu+1)x(nu+1) solve: nu = " << nu << ", p = " << p
+              << "\nlambda_0 = " << r.eigenvalue << "  (" << timer.seconds()
+              << " s)\n\nclass concentrations:\n";
+    const unsigned shown = std::min(nu, 20u);
+    for (unsigned k = 0; k <= shown; ++k) {
+      std::cout << "  [Gamma_" << k << "] = " << r.class_concentrations[k] << "\n";
+    }
+    if (shown < nu) std::cout << "  ... (" << (nu - shown) << " more classes)\n";
+    if (args.has("classes-csv")) {
+      write_classes_csv(args.get("classes-csv", ""), r.class_concentrations);
+    }
+    return 0;
+  }
+
+  if (nu > 24) {
+    throw CliError{"full solves need --nu <= 24 (use --reduced for larger chains)"};
+  }
+
+  const auto model = qs::core::MutationModel::uniform(nu, p);
+  const auto landscape = build_landscape(args, nu);
+  if (args.has("save-landscape")) {
+    qs::io::save_landscape(args.get("save-landscape", ""), landscape);
+  }
+
+  const qs::parallel::Engine* engine =
+      args.has("parallel") ? &qs::parallel::parallel_engine() : nullptr;
+  const std::string solver = args.get("solver", "power");
+
+  double eigenvalue = 0.0;
+  std::vector<double> concentrations;
+  unsigned iterations = 0;
+  double residual = 0.0;
+  qs::Timer timer;
+
+  if (solver == "power" || solver == "xmvp") {
+    qs::solvers::SolveOptions opts;
+    opts.tolerance = tolerance;
+    opts.use_shift = !args.has("no-shift");
+    opts.engine = engine;
+    if (solver == "xmvp") {
+      opts.matvec = qs::solvers::MatvecKind::xmvp;
+      opts.xmvp_d_max = static_cast<unsigned>(args.get_long("dmax", 5, 0, nu));
+    }
+    const auto r = qs::solvers::solve(model, landscape, opts);
+    if (!r.converged) throw CliError{"solver did not converge"};
+    eigenvalue = r.eigenvalue;
+    concentrations = r.concentrations;
+    iterations = r.iterations;
+    residual = r.residual;
+  } else if (solver == "lanczos") {
+    qs::solvers::LanczosOptions opts;
+    opts.tolerance = tolerance;
+    const auto r = qs::solvers::lanczos_dominant_w(model, landscape, {}, opts);
+    if (!r.converged) throw CliError{"solver did not converge"};
+    eigenvalue = r.eigenvalue;
+    concentrations = r.concentrations;
+    iterations = r.matvec_count;
+    residual = r.residual;
+  } else if (solver == "arnoldi") {
+    qs::solvers::ArnoldiOptions opts;
+    opts.tolerance = tolerance;
+    const auto r = qs::solvers::arnoldi_dominant_w(model, landscape, {}, opts);
+    if (!r.converged) throw CliError{"solver did not converge"};
+    eigenvalue = r.eigenvalue;
+    concentrations = r.concentrations;
+    iterations = r.matvec_count;
+    residual = r.residual;
+  } else if (solver == "rqi") {
+    qs::solvers::ShiftInvertOptions opts;
+    opts.tolerance = tolerance;
+    const auto r = qs::solvers::rayleigh_quotient_iteration_w(model, landscape, {}, opts);
+    if (!r.converged) throw CliError{"solver did not converge"};
+    eigenvalue = r.eigenvalue;
+    concentrations = r.concentrations;
+    iterations = r.outer_iterations;
+    residual = r.residual;
+  } else {
+    throw CliError{"unknown solver '" + solver + "'"};
+  }
+  const double seconds = timer.seconds();
+
+  std::cout << "quasispecies solve: nu = " << nu << " (N = " << qs::sequence_count(nu)
+            << "), p = " << p << ", solver = " << solver
+            << (engine != nullptr ? " [parallel]" : "") << "\n"
+            << "lambda_0 = " << eigenvalue << "   iterations = " << iterations
+            << "   residual = " << residual << "   time = " << seconds << " s\n";
+
+  if (top > 0) {
+    std::cout << "\ntop species:\n";
+    std::vector<qs::seq_t> order(concentrations.size());
+    for (qs::seq_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min<std::size_t>(top, order.size()),
+                      order.end(), [&](qs::seq_t a, qs::seq_t b) {
+                        return concentrations[a] > concentrations[b];
+                      });
+    for (long r = 0; r < std::min<long>(top, static_cast<long>(order.size())); ++r) {
+      const qs::seq_t i = order[r];
+      std::cout << "  X_" << i << " (class " << qs::hamming_weight(i)
+                << "): " << concentrations[i] << "\n";
+    }
+  }
+
+  const auto classes = qs::analysis::class_concentrations(nu, concentrations);
+  std::cout << "\nclass concentrations:\n";
+  for (unsigned k = 0; k <= nu; ++k) {
+    std::cout << "  [Gamma_" << k << "] = " << classes[k] << "\n";
+  }
+
+  if (args.has("csv")) {
+    write_concentrations_csv(args.get("csv", ""), concentrations);
+  }
+  if (args.has("classes-csv")) {
+    write_classes_csv(args.get("classes-csv", ""), classes);
+  }
+  if (args.has("checkpoint")) {
+    qs::io::SolverCheckpoint state;
+    state.iteration = iterations;
+    state.eigenvalue = eigenvalue;
+    state.eigenvector = concentrations;
+    qs::io::save_checkpoint(args.get("checkpoint", ""), state);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(qs::ArgParser(argc, argv));
+  } catch (const CliError& e) {
+    std::cerr << "error: " << e.message << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_continuation.dir/ablation_continuation.cpp.o"
+  "CMakeFiles/ablation_continuation.dir/ablation_continuation.cpp.o.d"
+  "ablation_continuation"
+  "ablation_continuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eigensolvers.dir/ablation_eigensolvers.cpp.o"
+  "CMakeFiles/ablation_eigensolvers.dir/ablation_eigensolvers.cpp.o.d"
+  "ablation_eigensolvers"
+  "ablation_eigensolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eigensolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_general_mutation.dir/ablation_general_mutation.cpp.o"
+  "CMakeFiles/ablation_general_mutation.dir/ablation_general_mutation.cpp.o.d"
+  "ablation_general_mutation"
+  "ablation_general_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_general_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_residual_cadence.dir/ablation_residual_cadence.cpp.o"
+  "CMakeFiles/ablation_residual_cadence.dir/ablation_residual_cadence.cpp.o.d"
+  "ablation_residual_cadence"
+  "ablation_residual_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_residual_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shift.dir/ablation_shift.cpp.o"
+  "CMakeFiles/ablation_shift.dir/ablation_shift.cpp.o.d"
+  "ablation_shift"
+  "ablation_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

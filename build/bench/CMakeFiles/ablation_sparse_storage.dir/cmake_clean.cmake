@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_storage.dir/ablation_sparse_storage.cpp.o"
+  "CMakeFiles/ablation_sparse_storage.dir/ablation_sparse_storage.cpp.o.d"
+  "ablation_sparse_storage"
+  "ablation_sparse_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_alphabet_reduction.dir/ext_alphabet_reduction.cpp.o"
+  "CMakeFiles/ext_alphabet_reduction.dir/ext_alphabet_reduction.cpp.o.d"
+  "ext_alphabet_reduction"
+  "ext_alphabet_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_alphabet_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_finite_population.dir/ext_finite_population.cpp.o"
+  "CMakeFiles/ext_finite_population.dir/ext_finite_population.cpp.o.d"
+  "ext_finite_population"
+  "ext_finite_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_finite_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_error_threshold.dir/fig1_error_threshold.cpp.o"
+  "CMakeFiles/fig1_error_threshold.dir/fig1_error_threshold.cpp.o.d"
+  "fig1_error_threshold"
+  "fig1_error_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_error_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_matvec_runtimes.dir/fig2_matvec_runtimes.cpp.o"
+  "CMakeFiles/fig2_matvec_runtimes.dir/fig2_matvec_runtimes.cpp.o.d"
+  "fig2_matvec_runtimes"
+  "fig2_matvec_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_matvec_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

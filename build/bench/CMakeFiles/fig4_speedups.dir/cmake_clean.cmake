@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_speedups.dir/fig4_speedups.cpp.o"
+  "CMakeFiles/fig4_speedups.dir/fig4_speedups.cpp.o.d"
+  "fig4_speedups"
+  "fig4_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

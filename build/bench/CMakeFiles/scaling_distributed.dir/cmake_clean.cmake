@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_distributed.dir/scaling_distributed.cpp.o"
+  "CMakeFiles/scaling_distributed.dir/scaling_distributed.cpp.o.d"
+  "scaling_distributed"
+  "scaling_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_reduced_solver.dir/sec51_reduced_solver.cpp.o"
+  "CMakeFiles/sec51_reduced_solver.dir/sec51_reduced_solver.cpp.o.d"
+  "sec51_reduced_solver"
+  "sec51_reduced_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_reduced_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_kronecker.dir/sec52_kronecker.cpp.o"
+  "CMakeFiles/sec52_kronecker.dir/sec52_kronecker.cpp.o.d"
+  "sec52_kronecker"
+  "sec52_kronecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_kronecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antiviral_strategy.dir/antiviral_strategy.cpp.o"
+  "CMakeFiles/antiviral_strategy.dir/antiviral_strategy.cpp.o.d"
+  "antiviral_strategy"
+  "antiviral_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antiviral_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

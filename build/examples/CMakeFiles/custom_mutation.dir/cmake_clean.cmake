@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_mutation.dir/custom_mutation.cpp.o"
+  "CMakeFiles/custom_mutation.dir/custom_mutation.cpp.o.d"
+  "custom_mutation"
+  "custom_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

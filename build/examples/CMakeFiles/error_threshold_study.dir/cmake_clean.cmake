@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_threshold_study.dir/error_threshold_study.cpp.o"
+  "CMakeFiles/error_threshold_study.dir/error_threshold_study.cpp.o.d"
+  "error_threshold_study"
+  "error_threshold_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_threshold_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

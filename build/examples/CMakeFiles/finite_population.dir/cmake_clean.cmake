@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_population.dir/finite_population.cpp.o"
+  "CMakeFiles/finite_population.dir/finite_population.cpp.o.d"
+  "finite_population"
+  "finite_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

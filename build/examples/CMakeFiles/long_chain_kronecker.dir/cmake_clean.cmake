@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_chain_kronecker.dir/long_chain_kronecker.cpp.o"
+  "CMakeFiles/long_chain_kronecker.dir/long_chain_kronecker.cpp.o.d"
+  "long_chain_kronecker"
+  "long_chain_kronecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_chain_kronecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_vs_eigen.dir/ode_vs_eigen.cpp.o"
+  "CMakeFiles/ode_vs_eigen.dir/ode_vs_eigen.cpp.o.d"
+  "ode_vs_eigen"
+  "ode_vs_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_vs_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

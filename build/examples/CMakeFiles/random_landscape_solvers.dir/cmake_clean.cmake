@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_landscape_solvers.dir/random_landscape_solvers.cpp.o"
+  "CMakeFiles/random_landscape_solvers.dir/random_landscape_solvers.cpp.o.d"
+  "random_landscape_solvers"
+  "random_landscape_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_landscape_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

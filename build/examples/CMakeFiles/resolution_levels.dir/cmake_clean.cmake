@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolution_levels.dir/resolution_levels.cpp.o"
+  "CMakeFiles/resolution_levels.dir/resolution_levels.cpp.o.d"
+  "resolution_levels"
+  "resolution_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

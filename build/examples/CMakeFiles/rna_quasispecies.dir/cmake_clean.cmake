@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_quasispecies.dir/rna_quasispecies.cpp.o"
+  "CMakeFiles/rna_quasispecies.dir/rna_quasispecies.cpp.o.d"
+  "rna_quasispecies"
+  "rna_quasispecies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_quasispecies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

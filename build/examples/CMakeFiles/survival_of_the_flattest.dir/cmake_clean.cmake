@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survival_of_the_flattest.dir/survival_of_the_flattest.cpp.o"
+  "CMakeFiles/survival_of_the_flattest.dir/survival_of_the_flattest.cpp.o.d"
+  "survival_of_the_flattest"
+  "survival_of_the_flattest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survival_of_the_flattest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

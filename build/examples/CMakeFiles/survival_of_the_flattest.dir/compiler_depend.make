@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for survival_of_the_flattest.
+# This may be replaced when dependencies are built.

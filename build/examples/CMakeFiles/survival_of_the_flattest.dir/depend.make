@@ -1,0 +1,2 @@
+# Empty dependencies file for survival_of_the_flattest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/error_classes.cpp" "src/CMakeFiles/quasispecies.dir/analysis/error_classes.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/analysis/error_classes.cpp.o.d"
+  "/root/repo/src/analysis/marginals.cpp" "src/CMakeFiles/quasispecies.dir/analysis/marginals.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/analysis/marginals.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/CMakeFiles/quasispecies.dir/analysis/statistics.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/analysis/statistics.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/quasispecies.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/analysis/sweep.cpp.o.d"
+  "/root/repo/src/analysis/threshold.cpp" "src/CMakeFiles/quasispecies.dir/analysis/threshold.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/analysis/threshold.cpp.o.d"
+  "/root/repo/src/core/explicit_q.cpp" "src/CMakeFiles/quasispecies.dir/core/explicit_q.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/explicit_q.cpp.o.d"
+  "/root/repo/src/core/fmmp.cpp" "src/CMakeFiles/quasispecies.dir/core/fmmp.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/fmmp.cpp.o.d"
+  "/root/repo/src/core/landscape.cpp" "src/CMakeFiles/quasispecies.dir/core/landscape.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/landscape.cpp.o.d"
+  "/root/repo/src/core/landscape_library.cpp" "src/CMakeFiles/quasispecies.dir/core/landscape_library.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/landscape_library.cpp.o.d"
+  "/root/repo/src/core/mutation_model.cpp" "src/CMakeFiles/quasispecies.dir/core/mutation_model.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/mutation_model.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/CMakeFiles/quasispecies.dir/core/operators.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/operators.cpp.o.d"
+  "/root/repo/src/core/site_process.cpp" "src/CMakeFiles/quasispecies.dir/core/site_process.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/site_process.cpp.o.d"
+  "/root/repo/src/core/smvp.cpp" "src/CMakeFiles/quasispecies.dir/core/smvp.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/smvp.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/CMakeFiles/quasispecies.dir/core/spectral.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/spectral.cpp.o.d"
+  "/root/repo/src/core/xmvp.cpp" "src/CMakeFiles/quasispecies.dir/core/xmvp.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/core/xmvp.cpp.o.d"
+  "/root/repo/src/distributed/block_layout.cpp" "src/CMakeFiles/quasispecies.dir/distributed/block_layout.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/distributed/block_layout.cpp.o.d"
+  "/root/repo/src/distributed/distributed_solver.cpp" "src/CMakeFiles/quasispecies.dir/distributed/distributed_solver.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/distributed/distributed_solver.cpp.o.d"
+  "/root/repo/src/io/binary_io.cpp" "src/CMakeFiles/quasispecies.dir/io/binary_io.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/io/binary_io.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/CMakeFiles/quasispecies.dir/linalg/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/hessenberg_qr.cpp" "src/CMakeFiles/quasispecies.dir/linalg/hessenberg_qr.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/hessenberg_qr.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/CMakeFiles/quasispecies.dir/linalg/jacobi_eigen.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/krylov.cpp" "src/CMakeFiles/quasispecies.dir/linalg/krylov.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/krylov.cpp.o.d"
+  "/root/repo/src/linalg/small_power.cpp" "src/CMakeFiles/quasispecies.dir/linalg/small_power.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/small_power.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/quasispecies.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/ode/integrators.cpp" "src/CMakeFiles/quasispecies.dir/ode/integrators.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/ode/integrators.cpp.o.d"
+  "/root/repo/src/ode/replicator.cpp" "src/CMakeFiles/quasispecies.dir/ode/replicator.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/ode/replicator.cpp.o.d"
+  "/root/repo/src/ode/time_varying.cpp" "src/CMakeFiles/quasispecies.dir/ode/time_varying.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/ode/time_varying.cpp.o.d"
+  "/root/repo/src/parallel/engine.cpp" "src/CMakeFiles/quasispecies.dir/parallel/engine.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/parallel/engine.cpp.o.d"
+  "/root/repo/src/parallel/openmp_backend.cpp" "src/CMakeFiles/quasispecies.dir/parallel/openmp_backend.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/parallel/openmp_backend.cpp.o.d"
+  "/root/repo/src/parallel/serial_backend.cpp" "src/CMakeFiles/quasispecies.dir/parallel/serial_backend.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/parallel/serial_backend.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool_backend.cpp" "src/CMakeFiles/quasispecies.dir/parallel/thread_pool_backend.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/parallel/thread_pool_backend.cpp.o.d"
+  "/root/repo/src/rna/alphabet.cpp" "src/CMakeFiles/quasispecies.dir/rna/alphabet.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/rna/alphabet.cpp.o.d"
+  "/root/repo/src/rna/rna_model.cpp" "src/CMakeFiles/quasispecies.dir/rna/rna_model.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/rna/rna_model.cpp.o.d"
+  "/root/repo/src/solvers/arnoldi.cpp" "src/CMakeFiles/quasispecies.dir/solvers/arnoldi.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/arnoldi.cpp.o.d"
+  "/root/repo/src/solvers/deflation.cpp" "src/CMakeFiles/quasispecies.dir/solvers/deflation.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/deflation.cpp.o.d"
+  "/root/repo/src/solvers/kronecker_solver.cpp" "src/CMakeFiles/quasispecies.dir/solvers/kronecker_solver.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/kronecker_solver.cpp.o.d"
+  "/root/repo/src/solvers/lanczos.cpp" "src/CMakeFiles/quasispecies.dir/solvers/lanczos.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/lanczos.cpp.o.d"
+  "/root/repo/src/solvers/power_iteration.cpp" "src/CMakeFiles/quasispecies.dir/solvers/power_iteration.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/power_iteration.cpp.o.d"
+  "/root/repo/src/solvers/quasispecies_solver.cpp" "src/CMakeFiles/quasispecies.dir/solvers/quasispecies_solver.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/quasispecies_solver.cpp.o.d"
+  "/root/repo/src/solvers/reduced_alphabet.cpp" "src/CMakeFiles/quasispecies.dir/solvers/reduced_alphabet.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/reduced_alphabet.cpp.o.d"
+  "/root/repo/src/solvers/reduced_solver.cpp" "src/CMakeFiles/quasispecies.dir/solvers/reduced_solver.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/reduced_solver.cpp.o.d"
+  "/root/repo/src/solvers/shift_invert.cpp" "src/CMakeFiles/quasispecies.dir/solvers/shift_invert.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/shift_invert.cpp.o.d"
+  "/root/repo/src/solvers/spectral_solvers.cpp" "src/CMakeFiles/quasispecies.dir/solvers/spectral_solvers.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/solvers/spectral_solvers.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/quasispecies.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/sparse_w.cpp" "src/CMakeFiles/quasispecies.dir/sparse/sparse_w.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/sparse/sparse_w.cpp.o.d"
+  "/root/repo/src/stochastic/moran.cpp" "src/CMakeFiles/quasispecies.dir/stochastic/moran.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/stochastic/moran.cpp.o.d"
+  "/root/repo/src/stochastic/population.cpp" "src/CMakeFiles/quasispecies.dir/stochastic/population.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/stochastic/population.cpp.o.d"
+  "/root/repo/src/stochastic/sampling.cpp" "src/CMakeFiles/quasispecies.dir/stochastic/sampling.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/stochastic/sampling.cpp.o.d"
+  "/root/repo/src/stochastic/wright_fisher.cpp" "src/CMakeFiles/quasispecies.dir/stochastic/wright_fisher.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/stochastic/wright_fisher.cpp.o.d"
+  "/root/repo/src/support/args.cpp" "src/CMakeFiles/quasispecies.dir/support/args.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/support/args.cpp.o.d"
+  "/root/repo/src/support/binomial.cpp" "src/CMakeFiles/quasispecies.dir/support/binomial.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/support/binomial.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/quasispecies.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/quasispecies.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/support/table.cpp.o.d"
+  "/root/repo/src/transforms/butterfly.cpp" "src/CMakeFiles/quasispecies.dir/transforms/butterfly.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/transforms/butterfly.cpp.o.d"
+  "/root/repo/src/transforms/fwht.cpp" "src/CMakeFiles/quasispecies.dir/transforms/fwht.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/transforms/fwht.cpp.o.d"
+  "/root/repo/src/transforms/kronecker.cpp" "src/CMakeFiles/quasispecies.dir/transforms/kronecker.cpp.o" "gcc" "src/CMakeFiles/quasispecies.dir/transforms/kronecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_marginals_test.cpp" "tests/CMakeFiles/qs_tests.dir/analysis_marginals_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/analysis_marginals_test.cpp.o.d"
+  "/root/repo/tests/analysis_statistics_test.cpp" "tests/CMakeFiles/qs_tests.dir/analysis_statistics_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/analysis_statistics_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/qs_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/core_landscape_library_test.cpp" "tests/CMakeFiles/qs_tests.dir/core_landscape_library_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/core_landscape_library_test.cpp.o.d"
+  "/root/repo/tests/core_landscape_test.cpp" "tests/CMakeFiles/qs_tests.dir/core_landscape_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/core_landscape_test.cpp.o.d"
+  "/root/repo/tests/core_mutation_model_test.cpp" "tests/CMakeFiles/qs_tests.dir/core_mutation_model_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/core_mutation_model_test.cpp.o.d"
+  "/root/repo/tests/core_operators_test.cpp" "tests/CMakeFiles/qs_tests.dir/core_operators_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/core_operators_test.cpp.o.d"
+  "/root/repo/tests/core_spectral_test.cpp" "tests/CMakeFiles/qs_tests.dir/core_spectral_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/core_spectral_test.cpp.o.d"
+  "/root/repo/tests/distributed_test.cpp" "tests/CMakeFiles/qs_tests.dir/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/distributed_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/qs_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/qs_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/linalg_dense_matrix_test.cpp" "tests/CMakeFiles/qs_tests.dir/linalg_dense_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/linalg_dense_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg_eigen_test.cpp" "tests/CMakeFiles/qs_tests.dir/linalg_eigen_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/linalg_eigen_test.cpp.o.d"
+  "/root/repo/tests/linalg_krylov_test.cpp" "tests/CMakeFiles/qs_tests.dir/linalg_krylov_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/linalg_krylov_test.cpp.o.d"
+  "/root/repo/tests/linalg_vector_ops_test.cpp" "tests/CMakeFiles/qs_tests.dir/linalg_vector_ops_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/linalg_vector_ops_test.cpp.o.d"
+  "/root/repo/tests/ode_test.cpp" "tests/CMakeFiles/qs_tests.dir/ode_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/ode_test.cpp.o.d"
+  "/root/repo/tests/ode_time_varying_test.cpp" "tests/CMakeFiles/qs_tests.dir/ode_time_varying_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/ode_time_varying_test.cpp.o.d"
+  "/root/repo/tests/paper_claims_test.cpp" "tests/CMakeFiles/qs_tests.dir/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/parallel_engine_test.cpp" "tests/CMakeFiles/qs_tests.dir/parallel_engine_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/parallel_engine_test.cpp.o.d"
+  "/root/repo/tests/property_extensions_test.cpp" "tests/CMakeFiles/qs_tests.dir/property_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/property_extensions_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/qs_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rna_test.cpp" "tests/CMakeFiles/qs_tests.dir/rna_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/rna_test.cpp.o.d"
+  "/root/repo/tests/solvers_arnoldi_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_arnoldi_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_arnoldi_test.cpp.o.d"
+  "/root/repo/tests/solvers_deflation_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_deflation_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_deflation_test.cpp.o.d"
+  "/root/repo/tests/solvers_facade_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_facade_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_facade_test.cpp.o.d"
+  "/root/repo/tests/solvers_kronecker_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_kronecker_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_kronecker_test.cpp.o.d"
+  "/root/repo/tests/solvers_power_iteration_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_power_iteration_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_power_iteration_test.cpp.o.d"
+  "/root/repo/tests/solvers_reduced_alphabet_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_reduced_alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_reduced_alphabet_test.cpp.o.d"
+  "/root/repo/tests/solvers_reduced_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_reduced_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_reduced_test.cpp.o.d"
+  "/root/repo/tests/solvers_shift_invert_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_shift_invert_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_shift_invert_test.cpp.o.d"
+  "/root/repo/tests/solvers_spectral_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_spectral_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_spectral_test.cpp.o.d"
+  "/root/repo/tests/solvers_stall_test.cpp" "tests/CMakeFiles/qs_tests.dir/solvers_stall_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/solvers_stall_test.cpp.o.d"
+  "/root/repo/tests/sparse_test.cpp" "tests/CMakeFiles/qs_tests.dir/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/sparse_test.cpp.o.d"
+  "/root/repo/tests/stochastic_test.cpp" "tests/CMakeFiles/qs_tests.dir/stochastic_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/stochastic_test.cpp.o.d"
+  "/root/repo/tests/support_args_test.cpp" "tests/CMakeFiles/qs_tests.dir/support_args_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/support_args_test.cpp.o.d"
+  "/root/repo/tests/support_binomial_test.cpp" "tests/CMakeFiles/qs_tests.dir/support_binomial_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/support_binomial_test.cpp.o.d"
+  "/root/repo/tests/support_bits_test.cpp" "tests/CMakeFiles/qs_tests.dir/support_bits_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/support_bits_test.cpp.o.d"
+  "/root/repo/tests/support_io_test.cpp" "tests/CMakeFiles/qs_tests.dir/support_io_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/support_io_test.cpp.o.d"
+  "/root/repo/tests/support_rng_test.cpp" "tests/CMakeFiles/qs_tests.dir/support_rng_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/support_rng_test.cpp.o.d"
+  "/root/repo/tests/transforms_butterfly_test.cpp" "tests/CMakeFiles/qs_tests.dir/transforms_butterfly_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/transforms_butterfly_test.cpp.o.d"
+  "/root/repo/tests/transforms_fwht_test.cpp" "tests/CMakeFiles/qs_tests.dir/transforms_fwht_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/transforms_fwht_test.cpp.o.d"
+  "/root/repo/tests/transforms_kronecker_test.cpp" "tests/CMakeFiles/qs_tests.dir/transforms_kronecker_test.cpp.o" "gcc" "tests/CMakeFiles/qs_tests.dir/transforms_kronecker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quasispecies.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_phase.dir/qs_phase.cpp.o"
+  "CMakeFiles/qs_phase.dir/qs_phase.cpp.o.d"
+  "qs_phase"
+  "qs_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_simulate.dir/qs_simulate.cpp.o"
+  "CMakeFiles/qs_simulate.dir/qs_simulate.cpp.o.d"
+  "qs_simulate"
+  "qs_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

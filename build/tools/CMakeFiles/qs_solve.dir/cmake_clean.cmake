@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_solve.dir/qs_solve.cpp.o"
+  "CMakeFiles/qs_solve.dir/qs_solve.cpp.o.d"
+  "qs_solve"
+  "qs_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

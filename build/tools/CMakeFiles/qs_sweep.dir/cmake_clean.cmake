@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_sweep.dir/qs_sweep.cpp.o"
+  "CMakeFiles/qs_sweep.dir/qs_sweep.cpp.o.d"
+  "qs_sweep"
+  "qs_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

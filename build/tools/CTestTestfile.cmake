@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_qs_solve_help "/root/repo/build/tools/qs_solve" "--help")
+set_tests_properties(cli_qs_solve_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_power "/root/repo/build/tools/qs_solve" "--nu" "8" "--p" "0.02" "--landscape" "single-peak")
+set_tests_properties(cli_qs_solve_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_reduced "/root/repo/build/tools/qs_solve" "--nu" "100" "--p" "0.003" "--landscape" "single-peak" "--reduced")
+set_tests_properties(cli_qs_solve_reduced PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_lanczos "/root/repo/build/tools/qs_solve" "--nu" "8" "--p" "0.02" "--landscape" "random" "--solver" "lanczos")
+set_tests_properties(cli_qs_solve_lanczos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_rqi "/root/repo/build/tools/qs_solve" "--nu" "8" "--p" "0.02" "--landscape" "random" "--solver" "rqi")
+set_tests_properties(cli_qs_solve_rqi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_rejects_bad_input "/root/repo/build/tools/qs_solve" "--nu" "8")
+set_tests_properties(cli_qs_solve_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_sweep_reduced "/root/repo/build/tools/qs_sweep" "--nu" "20" "--landscape" "single-peak" "--points" "5" "--threshold")
+set_tests_properties(cli_qs_sweep_reduced PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_sweep_full "/root/repo/build/tools/qs_sweep" "--nu" "8" "--landscape" "random" "--from" "0.01" "--to" "0.03" "--points" "3")
+set_tests_properties(cli_qs_sweep_full PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_simulate_wf "/root/repo/build/tools/qs_simulate" "--nu" "6" "--p" "0.03" "--pop" "500" "--generations" "50")
+set_tests_properties(cli_qs_simulate_wf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_simulate_moran "/root/repo/build/tools/qs_simulate" "--nu" "5" "--p" "0.05" "--pop" "200" "--generations" "20" "--process" "moran")
+set_tests_properties(cli_qs_simulate_moran PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_phase "/root/repo/build/tools/qs_phase" "--nu" "30" "--sigma-from" "1.5" "--sigma-to" "5" "--sigma-points" "4")
+set_tests_properties(cli_qs_phase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qs_solve_arnoldi "/root/repo/build/tools/qs_solve" "--nu" "8" "--p" "0.02" "--landscape" "random" "--solver" "arnoldi")
+set_tests_properties(cli_qs_solve_arnoldi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,11 +1,18 @@
 // Figure 2 reproduction: runtimes of the implicit matrix-vector products
-// W x = (Q F) x on a single CPU core.
+// W x = (Q F) x on a single CPU core, extended with the engine-backed Fmmp
+// columns (per-level Algorithm 2 vs the cache-blocked banded kernel).
 //
 // Series (as in the paper): Xmvp(nu) — fully accurate sparsified XOR
 // product, cost Theta(N^2), equivalent to Smvp up to constants; Xmvp(1) —
 // the coarsest sparsification, Theta(N (nu+1)); Fmmp — the paper's exact
 // fast product, Theta(N log2 N).  The paper's expectation: Fmmp undercuts
 // even Xmvp(1) already for small nu while being exact.
+//
+// Engine columns: per-level launches one kernel per butterfly level (nu
+// sweeps + 2 scaling sweeps per matvec); blocked launches one kernel per
+// level *band* with the diagonal F-scalings fused into the first/last band
+// (~nu/B sweeps).  Expected: blocked strictly faster at nu >= 20 on both
+// the openmp and thread_pool backends.
 //
 // Size caps (defaults; override with QS_BENCH_MAX_NU): Fmmp/Xmvp(1) to
 // nu = 22, the quadratic Xmvp(nu) to nu = 14 — beyond that its cost is
@@ -28,14 +35,24 @@ int main() {
   const unsigned max_quadratic_nu = std::min(14u, max_nu);
   const double p = 0.01;
 
-  std::cout << "# Figure 2: single mat-vec runtimes on one CPU core, p = " << p
+  const auto omp_engine = parallel::make_engine(parallel::Backend::openmp);
+  const auto pool_engine = parallel::make_engine(parallel::Backend::thread_pool);
+
+  std::cout << "# Figure 2: single mat-vec runtimes, p = " << p
             << "\n# series: Xmvp(nu) ~ Theta(N^2), Xmvp(1) ~ Theta(N nu), "
-               "Fmmp ~ Theta(N log2 N)\n\n";
+               "Fmmp ~ Theta(N log2 N)\n# engine columns: omp = '"
+            << omp_engine->name() << "' x" << omp_engine->concurrency()
+            << ", pool = '" << pool_engine->name() << "' x"
+            << pool_engine->concurrency()
+            << "; lvl = per-level Algorithm 2, blk = banded blocked kernel\n\n";
 
   TextTable table({"nu", "N", "Xmvp(nu) [s]", "Xmvp(1) [s]", "Fmmp [s]",
+                   "omp lvl [s]", "omp blk [s]", "pool lvl [s]", "pool blk [s]",
                    "Fmmp speedup vs Xmvp(nu)"});
   CsvWriter csv(std::cout);
-  csv.header({"nu", "xmvp_full_s", "xmvp_full_extrapolated", "xmvp1_s", "fmmp_s"});
+  csv.header({"nu", "xmvp_full_s", "xmvp_full_extrapolated", "xmvp1_s", "fmmp_s",
+              "fmmp_omp_level_s", "fmmp_omp_blocked_s", "fmmp_pool_level_s",
+              "fmmp_pool_blocked_s"});
 
   std::vector<double> quad_nus, quad_times;
   for (unsigned nu = 10; nu <= max_nu; ++nu) {
@@ -48,6 +65,16 @@ int main() {
 
     const core::FmmpOperator fmmp(model, landscape);
     const double t_fmmp = bench::time_best_of(3, [&] { fmmp.apply(x, y); });
+
+    auto time_engine = [&](const parallel::Engine* engine, core::EngineKernel kernel) {
+      const core::FmmpOperator op(model, landscape, core::Formulation::right, engine,
+                                  transforms::LevelOrder::ascending, kernel);
+      return bench::time_best_of(3, [&] { op.apply(x, y); });
+    };
+    const double t_omp_level = time_engine(omp_engine.get(), core::EngineKernel::per_level);
+    const double t_omp_blocked = time_engine(omp_engine.get(), core::EngineKernel::blocked);
+    const double t_pool_level = time_engine(pool_engine.get(), core::EngineKernel::per_level);
+    const double t_pool_blocked = time_engine(pool_engine.get(), core::EngineKernel::blocked);
 
     const core::XmvpOperator xmvp1(model, landscape, 1);
     const double t_xmvp1 = bench::time_best_of(3, [&] { xmvp1.apply(x, y); });
@@ -67,9 +94,12 @@ int main() {
     table.add_row({std::to_string(nu), std::to_string(n),
                    format_short(t_full) + (extrapolated ? "*" : ""),
                    format_short(t_xmvp1), format_short(t_fmmp),
+                   format_short(t_omp_level), format_short(t_omp_blocked),
+                   format_short(t_pool_level), format_short(t_pool_blocked),
                    format_short(t_full / t_fmmp)});
     csv.row().cell(std::size_t{nu}).cell(t_full).cell(std::string(extrapolated ? "1" : "0"))
-        .cell(t_xmvp1).cell(t_fmmp);
+        .cell(t_xmvp1).cell(t_fmmp).cell(t_omp_level).cell(t_omp_blocked)
+        .cell(t_pool_level).cell(t_pool_blocked);
     csv.end_row();
   }
 
@@ -77,7 +107,8 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(* = extrapolated from the measured Theta(N^2) slope, as in "
                "the paper for nu >= 22)\n"
-            << "expected shape: Fmmp fastest at every nu, and faster than "
-               "Xmvp(1) despite being exact.\n";
+            << "expected shape: Fmmp fastest at every nu, faster than Xmvp(1) "
+               "despite being exact, and the blocked (blk) engine columns "
+               "strictly under the per-level (lvl) ones at nu >= 20.\n";
   return 0;
 }

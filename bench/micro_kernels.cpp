@@ -4,6 +4,7 @@
 // at the kernel level.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/fmmp.hpp"
@@ -60,13 +61,18 @@ void BM_FmmpApply(benchmark::State& state) {
 }
 BENCHMARK(BM_FmmpApply)->DenseRange(10, 22, 4)->Complexity(benchmark::oNLogN);
 
+// Engine-backed Fmmp: arg0 = nu, arg1 = 0 for the per-level Algorithm 2
+// reference, 1 for the cache-blocked banded kernel (fused F-scalings).
 void BM_FmmpApplyEngine(benchmark::State& state) {
   const unsigned nu = static_cast<unsigned>(state.range(0));
+  const auto kernel = state.range(1) == 0 ? qs::core::EngineKernel::per_level
+                                          : qs::core::EngineKernel::blocked;
   const std::size_t n = std::size_t{1} << nu;
   const auto model = qs::core::MutationModel::uniform(nu, 0.01);
   const auto landscape = qs::core::Landscape::random(nu, 5.0, 1.0, 3);
   const qs::core::FmmpOperator op(model, landscape, qs::core::Formulation::right,
-                                  &qs::parallel::parallel_engine());
+                                  &qs::parallel::parallel_engine(),
+                                  qs::transforms::LevelOrder::ascending, kernel);
   auto x = random_vector(n, 4);
   std::vector<double> y(n);
   for (auto _ : state) {
@@ -74,7 +80,33 @@ void BM_FmmpApplyEngine(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
 }
-BENCHMARK(BM_FmmpApplyEngine)->DenseRange(14, 22, 4);
+BENCHMARK(BM_FmmpApplyEngine)
+    ->ArgsProduct({benchmark::CreateDenseRange(14, 22, 4), {0, 1}});
+
+// The bare banded butterfly vs the per-level launch loop, isolated from the
+// diagonal scalings: the pass-count story of DESIGN.md's banded-kernel
+// section at the transform level.
+void BM_MutationApplyPerLevel(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  auto v = random_vector(std::size_t{1} << nu, 5);
+  for (auto _ : state) {
+    model.apply_per_level(v, qs::parallel::parallel_engine());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_MutationApplyPerLevel)->DenseRange(14, 22, 4);
+
+void BM_MutationApplyBlocked(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  auto v = random_vector(std::size_t{1} << nu, 5);
+  for (auto _ : state) {
+    model.apply(v, qs::parallel::parallel_engine());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_MutationApplyBlocked)->DenseRange(14, 22, 4);
 
 void BM_XmvpApply(benchmark::State& state) {
   const unsigned nu = static_cast<unsigned>(state.range(0));
@@ -108,5 +140,66 @@ void BM_EngineReduceSum(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineReduceSum)->DenseRange(14, 22, 4);
+
+// Thread-pool reduction throughput (per-lane partials are padded to cache
+// lines; compare against BM_ReduceSlotsAdjacent for the false-sharing cost).
+void BM_ThreadPoolReduceSum(benchmark::State& state) {
+  const std::size_t n = std::size_t{1} << state.range(0);
+  const auto v = random_vector(n, 8);
+  const auto pool = qs::parallel::make_engine(qs::parallel::Backend::thread_pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool->reduce_sum(v));
+  }
+}
+BENCHMARK(BM_ThreadPoolReduceSum)->DenseRange(14, 22, 4);
+
+// The false-sharing datapoint: per-lane accumulator slots that are adjacent
+// doubles (the pre-fix layout of ThreadPoolBackend::reduce_*, one shared
+// cache line ping-ponging between cores) vs slots padded to one cache line
+// each.  Each lane accumulates element-wise straight into its slot so the
+// line stays contended for the whole reduction.
+template <typename Slot>
+void reduce_into_slots(const qs::parallel::Engine& engine,
+                       const std::vector<double>& v, std::vector<Slot>& slots) {
+  const std::size_t n = v.size();
+  const std::size_t lanes = engine.concurrency();
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  const double* data = v.data();
+  Slot* out = slots.data();
+  engine.dispatch(n, [=](std::size_t begin, std::size_t end) {
+    Slot& slot = out[std::min(begin / chunk, lanes - 1)];
+    slot.value = 0.0;
+    for (std::size_t i = begin; i < end; ++i) slot.value += data[i];
+  });
+}
+
+struct AdjacentSlot {
+  double value = 0.0;
+};
+struct alignas(64) PaddedSlot {
+  double value = 0.0;
+};
+
+void BM_ReduceSlotsAdjacent(benchmark::State& state) {
+  const auto v = random_vector(std::size_t{1} << state.range(0), 9);
+  const auto pool = qs::parallel::make_engine(qs::parallel::Backend::thread_pool);
+  std::vector<AdjacentSlot> slots(pool->concurrency());
+  for (auto _ : state) {
+    reduce_into_slots(*pool, v, slots);
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_ReduceSlotsAdjacent)->DenseRange(18, 22, 4);
+
+void BM_ReduceSlotsPadded(benchmark::State& state) {
+  const auto v = random_vector(std::size_t{1} << state.range(0), 9);
+  const auto pool = qs::parallel::make_engine(qs::parallel::Backend::thread_pool);
+  std::vector<PaddedSlot> slots(pool->concurrency());
+  for (auto _ : state) {
+    reduce_into_slots(*pool, v, slots);
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_ReduceSlotsPadded)->DenseRange(18, 22, 4);
 
 }  // namespace

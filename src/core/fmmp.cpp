@@ -4,17 +4,19 @@
 
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
+#include "transforms/blocked_butterfly.hpp"
 
 namespace qs::core {
 
 FmmpOperator::FmmpOperator(MutationModel model, const Landscape& landscape,
                            Formulation formulation, const parallel::Engine* engine,
-                           transforms::LevelOrder order)
+                           transforms::LevelOrder order, EngineKernel kernel)
     : model_(std::move(model)),
       landscape_(&landscape),
       formulation_(formulation),
       engine_(engine),
-      order_(order) {
+      order_(order),
+      kernel_(kernel) {
   require(model_.dimension() == landscape.dimension(),
           "FmmpOperator: mutation model and landscape dimensions differ");
   if (formulation_ == Formulation::symmetric) {
@@ -33,35 +35,72 @@ void FmmpOperator::apply(std::span<const double> x, std::span<double> y) const {
 
   const auto f = landscape_->values();
 
-  // Pre-scaling into y (the butterfly then runs in place on y).
+  // Diagonal scalings of the chosen formulation:
+  //   right      W x = Q (F x)            pre = F
+  //   symmetric  W x = F^{1/2} Q F^{1/2}  pre = post = F^{1/2}
+  //   left       W x = F (Q x)            post = F
+  std::span<const double> pre, post;
   switch (formulation_) {
-    case Formulation::right:  // W x = Q (F x)
-      for (std::size_t i = 0; i < y.size(); ++i) y[i] = f[i] * x[i];
+    case Formulation::right:
+      pre = f;
       break;
-    case Formulation::symmetric:  // W x = F^{1/2} Q (F^{1/2} x)
-      for (std::size_t i = 0; i < y.size(); ++i) y[i] = sqrt_f_[i] * x[i];
+    case Formulation::symmetric:
+      pre = sqrt_f_;
+      post = sqrt_f_;
       break;
-    case Formulation::left:  // W x = F (Q x)
-      linalg::copy(x, y);
+    case Formulation::left:
+      post = f;
       break;
+  }
+
+  if (engine_ != nullptr && kernel_ == EngineKernel::blocked &&
+      model_.kind() != MutationKind::grouped) {
+    // Banded kernel: the scalings ride inside the first/last band, so the
+    // matvec costs two fewer full passes over the vector.
+    transforms::apply_blocked_butterfly_fused(x, y, model_.site_factors(), pre,
+                                              post, *engine_);
+    return;
   }
 
   if (engine_ != nullptr) {
-    model_.apply(y, *engine_);
-  } else {
-    model_.apply(y, order_);
+    // Per-level / grouped engine path: the scaling loops go through the
+    // engine too, so a parallel backend covers the whole matvec instead of
+    // Amdahl-capping it on serial O(N) scaling sweeps.
+    const double* xp = x.data();
+    double* yp = y.data();
+    if (!pre.empty()) {
+      const double* pp = pre.data();
+      engine_->dispatch(y.size(), [=](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) yp[i] = pp[i] * xp[i];
+      });
+    } else {
+      engine_->dispatch(y.size(), [=](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) yp[i] = xp[i];
+      });
+    }
+    if (kernel_ == EngineKernel::per_level) {
+      model_.apply_per_level(y, *engine_);
+    } else {
+      model_.apply(y, *engine_);
+    }
+    if (!post.empty()) {
+      const double* qp = post.data();
+      engine_->dispatch(y.size(), [=](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) yp[i] *= qp[i];
+      });
+    }
+    return;
   }
 
-  // Post-scaling.
-  switch (formulation_) {
-    case Formulation::right:
-      break;
-    case Formulation::symmetric:
-      for (std::size_t i = 0; i < y.size(); ++i) y[i] *= sqrt_f_[i];
-      break;
-    case Formulation::left:
-      for (std::size_t i = 0; i < y.size(); ++i) y[i] *= f[i];
-      break;
+  // Serial path.
+  if (!pre.empty()) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = pre[i] * x[i];
+  } else {
+    linalg::copy(x, y);
+  }
+  model_.apply(y, order_);
+  if (!post.empty()) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] *= post[i];
   }
 }
 

@@ -19,17 +19,26 @@
 
 namespace qs::core {
 
+/// Which kernel the engine path of FmmpOperator runs for 2x2 mutation kinds.
+enum class EngineKernel {
+  blocked,    ///< banded cache-blocked butterfly with fused F-scalings
+  per_level,  ///< the paper's literal Algorithm 2: one launch per level
+};
+
 /// Implicit fast product with W in the chosen formulation.
 class FmmpOperator final : public LinearOperator {
  public:
   /// Builds the operator.  `model` is copied (it is small); `landscape` is
   /// referenced and must outlive the operator.  The symmetric formulation
   /// requires a symmetric mutation model.  `engine`, when non-null, must
-  /// also outlive the operator and selects the parallel Algorithm 2 path.
+  /// also outlive the operator and selects the parallel path; `kernel`
+  /// picks between the banded kernel (default, diagonal scalings fused into
+  /// the first/last band) and the per-level reference.
   FmmpOperator(MutationModel model, const Landscape& landscape,
                Formulation formulation = Formulation::right,
                const parallel::Engine* engine = nullptr,
-               transforms::LevelOrder order = transforms::LevelOrder::ascending);
+               transforms::LevelOrder order = transforms::LevelOrder::ascending,
+               EngineKernel kernel = EngineKernel::blocked);
 
   seq_t dimension() const override { return model_.dimension(); }
   void apply(std::span<const double> x, std::span<double> y) const override;
@@ -45,6 +54,7 @@ class FmmpOperator final : public LinearOperator {
   Formulation formulation_;
   const parallel::Engine* engine_;
   transforms::LevelOrder order_;
+  EngineKernel kernel_;
   std::vector<double> sqrt_f_;  // cached for the symmetric formulation
 };
 

@@ -105,30 +105,54 @@ void MutationModel::apply(std::span<double> v, transforms::LevelOrder order) con
 
 void MutationModel::apply(std::span<double> v, const parallel::Engine& engine) const {
   require(v.size() == dimension(), "apply(): dimension mismatch");
-  double* data = v.data();
-
-  if (kind_ != MutationKind::grouped) {
-    // Algorithm 2 of the paper: per butterfly level, a kernel over the
-    // N/2 independent pair indices ID with j = 2*ID - (ID & (stride-1)).
-    const std::size_t half = v.size() / 2;
-    for (unsigned k = 0; k < nu_; ++k) {
-      const std::size_t stride = std::size_t{1} << k;
-      const transforms::Factor2 f = sites_[k];
-      engine.dispatch(half, [data, stride, f](std::size_t begin, std::size_t end) {
-        for (std::size_t id = begin; id < end; ++id) {
-          const std::size_t j = 2 * id - (id & (stride - 1));
-          const double t1 = data[j];
-          const double t2 = data[j + stride];
-          data[j] = f.m00 * t1 + f.m01 * t2;
-          data[j + stride] = f.m10 * t1 + f.m11 * t2;
-        }
-      });
-    }
+  if (kind_ == MutationKind::grouped) {
+    apply_grouped(v, engine);
     return;
   }
+  transforms::apply_blocked_butterfly(v, sites_, engine);
+}
 
+void MutationModel::apply_blocked(std::span<double> v, const parallel::Engine& engine,
+                                  const transforms::BlockedPlan& plan) const {
+  require(v.size() == dimension(), "apply_blocked(): dimension mismatch");
+  if (kind_ == MutationKind::grouped) {
+    apply_grouped(v, engine);
+    return;
+  }
+  transforms::apply_blocked_butterfly(v, sites_, engine, plan);
+}
+
+void MutationModel::apply_per_level(std::span<double> v,
+                                    const parallel::Engine& engine) const {
+  require(v.size() == dimension(), "apply_per_level(): dimension mismatch");
+  if (kind_ == MutationKind::grouped) {
+    apply_grouped(v, engine);
+    return;
+  }
+  // Algorithm 2 of the paper: per butterfly level, a kernel over the
+  // N/2 independent pair indices ID with j = 2*ID - (ID & (stride-1)).
+  double* data = v.data();
+  const std::size_t half = v.size() / 2;
+  for (unsigned k = 0; k < nu_; ++k) {
+    const std::size_t stride = std::size_t{1} << k;
+    const transforms::Factor2 f = sites_[k];
+    engine.dispatch(half, [data, stride, f](std::size_t begin, std::size_t end) {
+      for (std::size_t id = begin; id < end; ++id) {
+        const std::size_t j = 2 * id - (id & (stride - 1));
+        const double t1 = data[j];
+        const double t2 = data[j + stride];
+        data[j] = f.m00 * t1 + f.m01 * t2;
+        data[j + stride] = f.m10 * t1 + f.m11 * t2;
+      }
+    });
+  }
+}
+
+void MutationModel::apply_grouped(std::span<double> v,
+                                  const parallel::Engine& engine) const {
   // Grouped kind: one kernel launch per group; each work item owns one
   // strided m-tuple (the generalisation of a butterfly pair to block size m).
+  double* data = v.data();
   const auto& kp = *groups_;
   unsigned lo = 0;
   for (std::size_t g = 0; g < kp.group_count(); ++g) {

@@ -25,6 +25,7 @@
 
 #include "parallel/engine.hpp"
 #include "support/bits.hpp"
+#include "transforms/blocked_butterfly.hpp"
 #include "transforms/butterfly.hpp"
 #include "transforms/kronecker.hpp"
 
@@ -90,10 +91,21 @@ class MutationModel {
   void apply(std::span<double> v,
              transforms::LevelOrder order = transforms::LevelOrder::ascending) const;
 
-  /// Engine-parallel fast product: the paper's Algorithm 2, one kernel
-  /// launch per butterfly level with the GPU index mapping
-  /// j = 2*ID - (ID & (stride - 1)).
+  /// Engine-parallel fast product.  2x2 kinds run the cache-blocked banded
+  /// butterfly (one kernel launch per level *band*, every work item applying
+  /// the whole band inside an L2-resident tile); the grouped kind runs one
+  /// launch per group factor.
   void apply(std::span<double> v, const parallel::Engine& engine) const;
+
+  /// Engine-parallel banded product with an explicit tiling plan (2x2 kinds;
+  /// the grouped kind ignores the plan and uses its per-group path).
+  void apply_blocked(std::span<double> v, const parallel::Engine& engine,
+                     const transforms::BlockedPlan& plan) const;
+
+  /// The paper's literal Algorithm 2: one kernel launch per butterfly level
+  /// with the GPU index mapping j = 2*ID - (ID & (stride - 1)).  Kept as the
+  /// reference engine path the banded kernel is benchmarked against.
+  void apply_per_level(std::span<double> v, const parallel::Engine& engine) const;
 
   /// v <- Q^T v (needed by left-eigenvector computations; equal to apply()
   /// for symmetric models).
@@ -113,6 +125,8 @@ class MutationModel {
 
  private:
   MutationModel() = default;
+
+  void apply_grouped(std::span<double> v, const parallel::Engine& engine) const;
 
   MutationKind kind_ = MutationKind::uniform;
   unsigned nu_ = 0;

@@ -26,6 +26,12 @@ namespace qs::parallel {
 /// negligible next to memory-bound kernel bodies.
 using RangeKernel = std::function<void(std::size_t begin, std::size_t end)>;
 
+/// A partial reduction over a chunk of a 1-D index space: the body returns
+/// the partial sum for [begin, end).  Lets callers run arbitrary fused
+/// element-wise reductions (e.g. ||y - lambda x||^2) through the backend
+/// without materialising a scratch vector.
+using PartialKernel = std::function<double(std::size_t begin, std::size_t end)>;
+
 /// Abstract execution backend with kernel-launch semantics.
 class Engine {
  public:
@@ -55,6 +61,12 @@ class Engine {
   /// Parallel reduction: inner product. Requires equal lengths.
   virtual double reduce_dot(std::span<const double> a,
                             std::span<const double> b) const = 0;
+
+  /// Generic parallel reduction: sums the per-chunk partials of `kernel`
+  /// over the index space [0, n).  The kernel must be safe to run
+  /// concurrently on disjoint ranges; the combination order of partials is
+  /// backend-defined (like any floating-point parallel reduction).
+  virtual double reduce_partials(std::size_t n, const PartialKernel& kernel) const = 0;
 };
 
 /// Available backend kinds.

@@ -73,6 +73,23 @@ double OpenMPBackend::reduce_dot(std::span<const double> a,
   return acc;
 }
 
+double OpenMPBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  // Same contiguous per-thread chunking as dispatch(), partials combined by
+  // the OpenMP reduction clause.
+#pragma omp parallel reduction(+ : acc)
+  {
+    const std::size_t threads = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t chunk = (n + threads - 1) / threads;
+    const std::size_t begin = std::min(tid * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin < end) acc += kernel(begin, end);
+  }
+  return acc;
+}
+
 #else  // !QS_HAVE_OPENMP — degrade gracefully to the serial implementation.
 
 std::string_view OpenMPBackend::name() const { return "serial"; }
@@ -108,6 +125,10 @@ double OpenMPBackend::reduce_dot(std::span<const double> a,
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
+}
+
+double OpenMPBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
+  return n == 0 ? 0.0 : kernel(0, n);
 }
 
 #endif

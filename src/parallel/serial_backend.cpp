@@ -37,4 +37,8 @@ double SerialBackend::reduce_dot(std::span<const double> a,
   return acc;
 }
 
+double SerialBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
+  return n == 0 ? 0.0 : kernel(0, n);
+}
+
 }  // namespace qs::parallel

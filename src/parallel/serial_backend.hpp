@@ -15,6 +15,7 @@ class SerialBackend final : public Engine {
   double reduce_abs_sum(std::span<const double> v) const override;
   double reduce_sum_squares(std::span<const double> v) const override;
   double reduce_dot(std::span<const double> a, std::span<const double> b) const override;
+  double reduce_partials(std::size_t n, const PartialKernel& kernel) const override;
 };
 
 }  // namespace qs::parallel

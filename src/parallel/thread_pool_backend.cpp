@@ -79,70 +79,53 @@ void ThreadPoolBackend::dispatch(std::size_t n, const RangeKernel& kernel) const
   });
 }
 
-double ThreadPoolBackend::reduce_sum(std::span<const double> v) const {
+double ThreadPoolBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
+  if (n == 0) return 0.0;
   const std::size_t lanes = concurrency();
-  std::vector<double> partial(lanes, 0.0);
-  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  std::vector<PaddedPartial> partial(lanes);
+  const std::size_t chunk = (n + lanes - 1) / lanes;
   run_on_all([&](unsigned lane) {
-    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
-    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
-    double acc = 0.0;
-    for (std::size_t i = begin; i < end; ++i) acc += v[i];
-    partial[lane] = acc;
+    const std::size_t begin = std::min<std::size_t>(lane * chunk, n);
+    const std::size_t end = std::min<std::size_t>(begin + chunk, n);
+    if (begin < end) partial[lane].value = kernel(begin, end);
   });
   double total = 0.0;
-  for (double x : partial) total += x;
+  for (const PaddedPartial& p : partial) total += p.value;
   return total;
+}
+
+double ThreadPoolBackend::reduce_sum(std::span<const double> v) const {
+  return reduce_partials(v.size(), [&v](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += v[i];
+    return acc;
+  });
 }
 
 double ThreadPoolBackend::reduce_abs_sum(std::span<const double> v) const {
-  const std::size_t lanes = concurrency();
-  std::vector<double> partial(lanes, 0.0);
-  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
-  run_on_all([&](unsigned lane) {
-    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
-    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
+  return reduce_partials(v.size(), [&v](std::size_t begin, std::size_t end) {
     double acc = 0.0;
     for (std::size_t i = begin; i < end; ++i) acc += std::abs(v[i]);
-    partial[lane] = acc;
+    return acc;
   });
-  double total = 0.0;
-  for (double x : partial) total += x;
-  return total;
 }
 
 double ThreadPoolBackend::reduce_sum_squares(std::span<const double> v) const {
-  const std::size_t lanes = concurrency();
-  std::vector<double> partial(lanes, 0.0);
-  const std::size_t chunk = (v.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
-  run_on_all([&](unsigned lane) {
-    const std::size_t begin = std::min<std::size_t>(lane * chunk, v.size());
-    const std::size_t end = std::min<std::size_t>(begin + chunk, v.size());
+  return reduce_partials(v.size(), [&v](std::size_t begin, std::size_t end) {
     double acc = 0.0;
     for (std::size_t i = begin; i < end; ++i) acc += v[i] * v[i];
-    partial[lane] = acc;
+    return acc;
   });
-  double total = 0.0;
-  for (double x : partial) total += x;
-  return total;
 }
 
 double ThreadPoolBackend::reduce_dot(std::span<const double> a,
                                      std::span<const double> b) const {
   require(a.size() == b.size(), "reduce_dot: dimension mismatch");
-  const std::size_t lanes = concurrency();
-  std::vector<double> partial(lanes, 0.0);
-  const std::size_t chunk = (a.size() + lanes - 1) / std::max<std::size_t>(lanes, 1);
-  run_on_all([&](unsigned lane) {
-    const std::size_t begin = std::min<std::size_t>(lane * chunk, a.size());
-    const std::size_t end = std::min<std::size_t>(begin + chunk, a.size());
+  return reduce_partials(a.size(), [&a, &b](std::size_t begin, std::size_t end) {
     double acc = 0.0;
     for (std::size_t i = begin; i < end; ++i) acc += a[i] * b[i];
-    partial[lane] = acc;
+    return acc;
   });
-  double total = 0.0;
-  for (double x : partial) total += x;
-  return total;
 }
 
 }  // namespace qs::parallel

@@ -33,8 +33,15 @@ class ThreadPoolBackend final : public Engine {
   double reduce_abs_sum(std::span<const double> v) const override;
   double reduce_sum_squares(std::span<const double> v) const override;
   double reduce_dot(std::span<const double> a, std::span<const double> b) const override;
+  double reduce_partials(std::size_t n, const PartialKernel& kernel) const override;
 
  private:
+  /// One per-lane partial slot, padded to a cache line: the lanes' final
+  /// stores land on distinct lines instead of ping-ponging one shared line
+  /// between cores (false sharing).
+  struct alignas(64) PaddedPartial {
+    double value = 0.0;
+  };
   /// Runs `task(worker_index)` on every worker plus the calling thread and
   /// waits for completion (one generation of the barrier protocol).
   void run_on_all(const std::function<void(unsigned)>& task) const;

@@ -19,6 +19,21 @@ double reduce_abs_sum(const parallel::Engine* engine, std::span<const double> v)
   return engine != nullptr ? engine->reduce_abs_sum(v) : linalg::norm1(v);
 }
 
+double reduce_partials(const parallel::Engine* engine, std::size_t n,
+                       const parallel::PartialKernel& kernel) {
+  return engine != nullptr ? engine->reduce_partials(n, kernel)
+                           : (n == 0 ? 0.0 : kernel(0, n));
+}
+
+void dispatch(const parallel::Engine* engine, std::size_t n,
+              const parallel::RangeKernel& kernel) {
+  if (engine != nullptr) {
+    engine->dispatch(n, kernel);
+  } else if (n != 0) {
+    kernel(0, n);
+  }
+}
+
 }  // namespace
 
 std::vector<double> landscape_start(const core::Landscape& landscape) {
@@ -67,11 +82,17 @@ PowerResult power_iteration(const core::LinearOperator& op,
       // equivalent sqrt(yy - xy^2/xx) cancels catastrophically: its noise
       // floor is sqrt(eps) ~ 1e-8 in eigenvector error, far above the
       // tolerances this solver targets.)
-      double res2 = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = y[i] - lambda * out.eigenvector[i];
-        res2 += r * r;
-      }
+      const double* yp = y.data();
+      const double* xp = out.eigenvector.data();
+      const double res2 = reduce_partials(
+          options.engine, n, [yp, xp, lambda](std::size_t begin, std::size_t end) {
+            double acc = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const double r = yp[i] - lambda * xp[i];
+              acc += r * r;
+            }
+            return acc;
+          });
       out.eigenvalue = lambda;
       out.residual =
           std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
@@ -96,20 +117,31 @@ PowerResult power_iteration(const core::LinearOperator& op,
       }
     }
 
-    // Shifted update x <- (W - mu I) x, then 1-norm normalisation.
+    // Shifted update x <- (W - mu I) x, then 1-norm normalisation; every
+    // element-wise pass goes through the engine so a parallel backend covers
+    // the whole iteration, not just the reductions.
     if (mu != 0.0) {
-      for (std::size_t i = 0; i < n; ++i) y[i] -= mu * out.eigenvector[i];
+      double* yp = y.data();
+      const double* xp = out.eigenvector.data();
+      dispatch(options.engine, n, [yp, xp, mu](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) yp[i] -= mu * xp[i];
+      });
     }
     const double norm = reduce_abs_sum(options.engine, y);
     require(norm > 0.0, "power_iteration: iterate collapsed to zero");
     const double inv = 1.0 / norm;
-    for (std::size_t i = 0; i < n; ++i) out.eigenvector[i] = y[i] * inv;
+    const double* yp = y.data();
+    double* xp = out.eigenvector.data();
+    dispatch(options.engine, n, [yp, xp, inv](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) xp[i] = yp[i] * inv;
+    });
   }
 
   // Perron orientation: the dominant eigenvector is nonnegative; flip if the
   // iteration settled on the negative representative.
-  double s = 0.0;
-  for (double v : out.eigenvector) s += v;
+  const double s = options.engine != nullptr
+                       ? options.engine->reduce_sum(out.eigenvector)
+                       : linalg::sum(out.eigenvector);
   if (s < 0.0) linalg::scale(out.eigenvector, -1.0);
   linalg::normalize1(out.eigenvector);
   return out;

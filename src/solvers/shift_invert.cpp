@@ -17,10 +17,12 @@ namespace {
 /// vectors the outer iterations share.
 class SymmetricWContext {
  public:
-  SymmetricWContext(const core::MutationModel& model, const core::Landscape& landscape)
+  SymmetricWContext(const core::MutationModel& model, const core::Landscape& landscape,
+                    const parallel::Engine* engine = nullptr)
       : model_(model),
         landscape_(landscape),
-        op_(model, landscape, core::Formulation::symmetric),
+        engine_(engine),
+        op_(model, landscape, core::Formulation::symmetric, engine),
         n_(static_cast<std::size_t>(model.dimension())),
         sqrt_f_(n_) {
     require(model.symmetric() && model.kind() != core::MutationKind::grouped,
@@ -36,7 +38,15 @@ class SymmetricWContext {
   linalg::ApplyFn shifted_apply(double mu) const {
     return [this, mu](std::span<const double> x, std::span<double> y) {
       op_.apply(x, y);
-      for (std::size_t i = 0; i < n_; ++i) y[i] -= mu * x[i];
+      const double* xp = x.data();
+      double* yp = y.data();
+      if (engine_ != nullptr) {
+        engine_->dispatch(n_, [xp, yp, mu](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) yp[i] -= mu * xp[i];
+        });
+      } else {
+        for (std::size_t i = 0; i < n_; ++i) yp[i] -= mu * xp[i];
+      }
     };
   }
 
@@ -60,11 +70,26 @@ class SymmetricWContext {
                                            std::vector<double>& scratch) const {
     scratch.resize(n_);
     op_.apply(x, scratch);
-    const double rq = linalg::dot(x, scratch);
+    const double* xp = x.data();
+    const double* sp = scratch.data();
+    double rq = 0.0;
     double res2 = 0.0;
-    for (std::size_t i = 0; i < n_; ++i) {
-      const double r = scratch[i] - rq * x[i];
-      res2 += r * r;
+    if (engine_ != nullptr) {
+      rq = engine_->reduce_dot(x, scratch);
+      res2 = engine_->reduce_partials(n_, [xp, sp, rq](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double r = sp[i] - rq * xp[i];
+          acc += r * r;
+        }
+        return acc;
+      });
+    } else {
+      rq = linalg::dot(x, scratch);
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double r = sp[i] - rq * xp[i];
+        res2 += r * r;
+      }
     }
     return {rq, std::sqrt(res2) / std::max(std::abs(rq), 1e-300)};
   }
@@ -96,6 +121,7 @@ class SymmetricWContext {
  private:
   const core::MutationModel& model_;
   const core::Landscape& landscape_;
+  const parallel::Engine* engine_;
   core::FmmpOperator op_;
   std::size_t n_;
   std::vector<double> sqrt_f_;
@@ -171,7 +197,7 @@ WEigenResult inverse_iteration_w(const core::MutationModel& model,
                                  const core::Landscape& landscape, double mu,
                                  std::span<const double> start,
                                  const ShiftInvertOptions& options) {
-  const SymmetricWContext ctx(model, landscape);
+  const SymmetricWContext ctx(model, landscape, options.engine);
   return run_shifted_outer(ctx, ctx.symmetric_start(start), options, mu,
                            /*rayleigh_after_residual=*/0.0);
 }
@@ -180,7 +206,7 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
                                            const core::Landscape& landscape,
                                            std::span<const double> start,
                                            const ShiftInvertOptions& options) {
-  const SymmetricWContext ctx(model, landscape);
+  const SymmetricWContext ctx(model, landscape, options.engine);
   // A generic start has an *interior* Rayleigh quotient, and pure RQI
   // converges to whatever eigenvalue is nearest — not necessarily the
   // dominant one.  A short power-iteration warm-up (cheap Fmmp products)
@@ -203,7 +229,7 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
 WEigenResult smallest_eigenpair_w(const core::MutationModel& model,
                                   const core::Landscape& landscape,
                                   const ShiftInvertOptions& options) {
-  const SymmetricWContext ctx(model, landscape);
+  const SymmetricWContext ctx(model, landscape, options.engine);
   // Shift just below the paper's lower bound (1-2p)^nu f_min <= lambda_min:
   // the nearest eigenvalue to mu is then *guaranteed* to be lambda_min, the
   // system stays positive definite (CG path), and once the iterate has

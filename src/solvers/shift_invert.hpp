@@ -28,6 +28,7 @@
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
 #include "linalg/krylov.hpp"
+#include "parallel/engine.hpp"
 
 namespace qs::solvers {
 
@@ -37,6 +38,7 @@ struct ShiftInvertOptions {
   unsigned max_outer_iterations = 60;
   linalg::KrylovOptions inner;      ///< Inner linear-solve control.
   bool use_q_preconditioner = true; ///< Precondition CG with F^{-1/2}Q^{-1}F^{-1/2}.
+  const parallel::Engine* engine = nullptr;  ///< Matvec/reduction backend; null = serial.
 };
 
 /// Eigenpair of W with solver statistics.

@@ -1,0 +1,76 @@
+// Cache-blocked, level-fused butterfly (the banded Fmmp kernel).
+//
+// The per-level engine path (Algorithm 2 of the paper) sweeps the whole
+// N-vector once per butterfly level and synchronises between levels: nu
+// passes and nu barriers for a product that does only 4N log2 N flops.  At
+// nu >= 20 the vector no longer fits in cache and the pass count — not the
+// flop count — is the cost model.
+//
+// This kernel partitions the nu levels into *bands* and runs one
+// engine.dispatch per band; every work item applies all levels of its band
+// inside an L2-resident tile, so the N-vector is swept (and the engine
+// barriered) once per band instead of once per level:
+//
+//   * the low band [0, B) couples bits 0..B-1, i.e. contiguous tiles of
+//     2^B elements — each tile is loaded once and the whole band runs on it
+//     in place;
+//   * a high band [k0, k1) couples bits k0..k1-1: its orbit is a *gather
+//     panel* of 2^(k1-k0) rows spaced 2^k0 apart.  A work item owns one
+//     panel restricted to 2^chunk contiguous low offsets, so each strided
+//     row is a contiguous 2^chunk-double burst and the whole panel
+//     (2^(k1-k0+chunk) doubles) stays cache-resident across the band.
+//
+// The diagonal fitness scalings of the problem formulations (W = Q F etc.)
+// fuse into the first/last band: a solver matvec costs two fewer full
+// passes than scale + butterfly + scale run separately.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parallel/engine.hpp"
+#include "transforms/butterfly.hpp"
+
+namespace qs::transforms {
+
+/// Tiling parameters for the banded butterfly.
+struct BlockedPlan {
+  /// log2 of the tile size in doubles: the low band spans this many levels
+  /// and every work item's working set is capped at 2^tile_log2 doubles
+  /// (default 2^14 = 128 KiB, safely L2-resident).
+  unsigned tile_log2 = 14;
+
+  /// log2 of the contiguous low-offset chunk a high-band work item owns.
+  /// Rows of a gather panel are bursts of 2^chunk_log2 doubles (default
+  /// 2^6 = one 512-byte burst), so high bands span at most
+  /// tile_log2 - chunk_log2 levels each.
+  unsigned chunk_log2 = 6;
+};
+
+/// Band boundaries [0 = b_0 < b_1 < ... < b_m = nu] the plan induces: band
+/// i applies levels [b_i, b_{i+1}).  The first band is capped so that at
+/// least ~8 tiles exist (parallelisable even for small nu); later bands are
+/// capped at tile_log2 - chunk_log2 levels so panels stay tile-sized.
+std::vector<unsigned> blocked_band_boundaries(unsigned nu, const BlockedPlan& plan);
+
+/// In-place banded transform v <- (F_{nu-1} (x) ... (x) F_0) v through the
+/// engine, one dispatch per band.  Bit-identical to apply_butterfly with
+/// ascending level order.  Requires v.size() == 2^factors.size().
+void apply_blocked_butterfly(std::span<double> v, std::span<const Factor2> factors,
+                             const parallel::Engine& engine,
+                             const BlockedPlan& plan = {});
+
+/// Fused product y <- D_post (Q (D_pre x)) where Q is the butterfly of
+/// `factors` and D_pre/D_post are diagonal scalings (empty span = identity).
+/// The scalings ride inside the first/last band's tile loops, costing no
+/// extra pass over the vector.  x may alias y exactly (x.data() == y.data())
+/// or not at all.  Requires x.size() == y.size() == 2^factors.size() and
+/// pre/post, when nonempty, of the same size.
+void apply_blocked_butterfly_fused(std::span<const double> x, std::span<double> y,
+                                   std::span<const Factor2> factors,
+                                   std::span<const double> pre_scale,
+                                   std::span<const double> post_scale,
+                                   const parallel::Engine& engine,
+                                   const BlockedPlan& plan = {});
+
+}  // namespace qs::transforms

@@ -1,0 +1,210 @@
+// Cross-backend equivalence tests for the cache-blocked banded butterfly:
+// every engine path of MutationModel::apply (serial, openmp, thread_pool,
+// and the blocked kernel at several tile sizes) must match the serial
+// reference apply_butterfly to <= 1e-14, per-site asymmetric factors
+// included.
+#include "transforms/blocked_butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fmmp.hpp"
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "parallel/thread_pool_backend.hpp"
+#include "support/rng.hpp"
+#include "transforms/butterfly.hpp"
+
+namespace qs::transforms {
+namespace {
+
+constexpr double kTol = 1e-14;
+
+std::vector<Factor2> asymmetric_factors(unsigned nu, std::uint64_t seed) {
+  std::vector<Factor2> sites;
+  sites.reserve(nu);
+  Xoshiro256 rng(seed);
+  for (unsigned k = 0; k < nu; ++k) {
+    sites.push_back(Factor2::asymmetric(rng.uniform(0.001, 0.4), rng.uniform(0.001, 0.4)));
+  }
+  return sites;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_near_all(const std::vector<double>& expected,
+                     const std::vector<double>& actual, double tol) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], tol) << "index " << i;
+  }
+}
+
+TEST(BlockedButterfly, AllBackendsMatchSerialReferenceAcrossNu) {
+  const auto backends = {parallel::Backend::serial, parallel::Backend::openmp,
+                         parallel::Backend::thread_pool};
+  for (unsigned nu = 1; nu <= 14; ++nu) {
+    const auto model = core::MutationModel::per_site(asymmetric_factors(nu, nu));
+    const std::size_t n = std::size_t{1} << nu;
+    const auto x = random_vector(n, 100 + nu);
+
+    std::vector<double> reference = x;
+    apply_butterfly(reference, model.site_factors());
+
+    for (parallel::Backend kind : backends) {
+      const auto engine = parallel::make_engine(kind);
+      std::vector<double> v = x;
+      model.apply(v, *engine);
+      expect_near_all(reference, v, kTol);
+    }
+  }
+}
+
+TEST(BlockedButterfly, SeveralTileSizesMatchReference) {
+  const BlockedPlan plans[] = {
+      {.tile_log2 = 4, .chunk_log2 = 2},
+      {.tile_log2 = 6, .chunk_log2 = 3},
+      {.tile_log2 = 10, .chunk_log2 = 6},
+      {.tile_log2 = 14, .chunk_log2 = 6},
+  };
+  const auto pool = parallel::make_engine(parallel::Backend::thread_pool);
+  for (unsigned nu = 1; nu <= 14; ++nu) {
+    const auto model = core::MutationModel::per_site(asymmetric_factors(nu, 200 + nu));
+    const std::size_t n = std::size_t{1} << nu;
+    const auto x = random_vector(n, 300 + nu);
+
+    std::vector<double> reference = x;
+    apply_butterfly(reference, model.site_factors());
+
+    for (const BlockedPlan& plan : plans) {
+      std::vector<double> serial_v = x;
+      model.apply_blocked(serial_v, parallel::serial_engine(), plan);
+      expect_near_all(reference, serial_v, kTol);
+
+      std::vector<double> pooled_v = x;
+      model.apply_blocked(pooled_v, *pool, plan);
+      expect_near_all(reference, pooled_v, kTol);
+    }
+  }
+}
+
+TEST(BlockedButterfly, PerLevelEnginePathMatchesBlocked) {
+  for (unsigned nu : {3u, 9u, 13u}) {
+    const auto model = core::MutationModel::per_site(asymmetric_factors(nu, 400 + nu));
+    const std::size_t n = std::size_t{1} << nu;
+    const auto x = random_vector(n, 500 + nu);
+
+    std::vector<double> blocked = x;
+    model.apply(blocked, parallel::serial_engine());
+    std::vector<double> per_level = x;
+    model.apply_per_level(per_level, parallel::serial_engine());
+    expect_near_all(blocked, per_level, kTol);
+  }
+}
+
+TEST(BlockedButterfly, FusedFmmpFormulationsMatchSerialOperator) {
+  const unsigned nu = 11;
+  const std::size_t n = std::size_t{1} << nu;
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 7);
+  const auto x = random_vector(n, 42);
+  const auto backends = {parallel::Backend::serial, parallel::Backend::openmp,
+                         parallel::Backend::thread_pool};
+
+  // The symmetric formulation needs a symmetric model; right/left take the
+  // general asymmetric per-site factors.
+  const auto symmetric_model = core::MutationModel::uniform(nu, 0.02);
+  const auto general_model = core::MutationModel::per_site(asymmetric_factors(nu, 7));
+
+  for (core::Formulation formulation :
+       {core::Formulation::right, core::Formulation::symmetric, core::Formulation::left}) {
+    const auto& model =
+        formulation == core::Formulation::symmetric ? symmetric_model : general_model;
+    std::vector<double> reference(n);
+    const core::FmmpOperator serial_op(model, landscape, formulation);
+    serial_op.apply(x, reference);
+
+    for (parallel::Backend kind : backends) {
+      const auto engine = parallel::make_engine(kind);
+      const core::FmmpOperator fused(model, landscape, formulation, engine.get());
+      std::vector<double> y(n);
+      fused.apply(x, y);
+      expect_near_all(reference, y, kTol);
+
+      const core::FmmpOperator per_level(model, landscape, formulation, engine.get(),
+                                         transforms::LevelOrder::ascending,
+                                         core::EngineKernel::per_level);
+      std::vector<double> z(n);
+      per_level.apply(x, z);
+      expect_near_all(reference, z, kTol);
+    }
+  }
+}
+
+TEST(BlockedButterfly, DegenerateNuZeroAppliesScalingsOnly) {
+  // nu = 0 is below MutationModel's domain but the raw kernel must handle
+  // the N = 1 vector: no levels, just the fused diagonal scalings.
+  std::vector<double> x{3.0}, y{0.0};
+  const std::vector<double> pre{2.0}, post{5.0};
+  apply_blocked_butterfly_fused(x, y, {}, pre, post, parallel::serial_engine());
+  EXPECT_DOUBLE_EQ(y[0], 30.0);
+
+  std::vector<double> in_place{4.0};
+  apply_blocked_butterfly(in_place, {}, parallel::serial_engine());
+  EXPECT_DOUBLE_EQ(in_place[0], 4.0);
+}
+
+TEST(BlockedButterfly, NuOneSingleLevel) {
+  const auto model = core::MutationModel::per_site({Factor2::asymmetric(0.1, 0.3)});
+  std::vector<double> reference{0.7, 0.3};
+  apply_butterfly(reference, model.site_factors());
+  for (parallel::Backend kind :
+       {parallel::Backend::serial, parallel::Backend::openmp, parallel::Backend::thread_pool}) {
+    const auto engine = parallel::make_engine(kind);
+    std::vector<double> v{0.7, 0.3};
+    model.apply(v, *engine);
+    expect_near_all(reference, v, kTol);
+  }
+}
+
+TEST(BlockedButterfly, SingleThreadPoolMatchesReference) {
+  const parallel::ThreadPoolBackend pool(1);
+  ASSERT_EQ(pool.concurrency(), 1u);
+  for (unsigned nu : {1u, 6u, 12u}) {
+    const auto model = core::MutationModel::per_site(asymmetric_factors(nu, 600 + nu));
+    const std::size_t n = std::size_t{1} << nu;
+    const auto x = random_vector(n, 700 + nu);
+
+    std::vector<double> reference = x;
+    apply_butterfly(reference, model.site_factors());
+    std::vector<double> v = x;
+    model.apply(v, pool);
+    expect_near_all(reference, v, kTol);
+  }
+}
+
+TEST(BlockedButterfly, BandBoundariesCoverAllLevelsOnce) {
+  const BlockedPlan plan{.tile_log2 = 14, .chunk_log2 = 6};
+  for (unsigned nu = 0; nu <= 30; ++nu) {
+    const auto bounds = blocked_band_boundaries(nu, plan);
+    ASSERT_GE(bounds.size(), 1u);
+    EXPECT_EQ(bounds.front(), 0u);
+    if (nu == 0) {
+      EXPECT_EQ(bounds.size(), 1u);
+      continue;
+    }
+    EXPECT_EQ(bounds.back(), nu);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+      EXPECT_LE(bounds[i] - bounds[i - 1], plan.tile_log2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qs::transforms

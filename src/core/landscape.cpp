@@ -1,6 +1,7 @@
 #include "core/landscape.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
@@ -14,7 +15,10 @@ Landscape::Landscape(unsigned nu, std::vector<double> values)
   min_ = values_[0];
   max_ = values_[0];
   for (double v : values_) {
-    require(v > 0.0, "fitness values must be positive");
+    // isfinite matters: `v > 0.0` alone admits +Inf (and NaN fails every
+    // comparison, so it must be rejected explicitly too), and either would
+    // poison every downstream product.
+    require(std::isfinite(v) && v > 0.0, "fitness values must be positive and finite");
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
   }
@@ -80,7 +84,9 @@ ErrorClassLandscape::ErrorClassLandscape(unsigned nu, std::vector<double> phi)
   // solver accepts up to nu = 1000); only expand() is capped.
   require(nu >= 1 && nu <= 1000, "chain length nu out of range");
   require(phi_.size() == nu + 1, "error-class landscape needs nu + 1 values");
-  for (double v : phi_) require(v > 0.0, "fitness values must be positive");
+  for (double v : phi_) {
+    require(std::isfinite(v) && v > 0.0, "fitness values must be positive and finite");
+  }
 }
 
 ErrorClassLandscape ErrorClassLandscape::single_peak(unsigned nu, double peak,
@@ -124,7 +130,10 @@ KroneckerLandscape::KroneckerLandscape(std::vector<std::vector<double>> factors)
   for (const auto& f : factors_) {
     require(f.size() >= 2 && is_power_of_two(f.size()),
             "factor size must be a power of two >= 2");
-    for (double v : f) require(v > 0.0, "fitness values must be positive");
+    for (double v : f) {
+      require(std::isfinite(v) && v > 0.0,
+              "fitness values must be positive and finite");
+    }
     const unsigned bits = log2_exact(f.size());
     group_bits_.push_back(bits);
     total_bits_ += bits;

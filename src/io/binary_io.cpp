@@ -4,12 +4,14 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace qs::io {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x51535631;  // "QSV1"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds the payload checksum and the checkpoint progress trailer.
+constexpr std::uint32_t kVersion = 2;
 
 enum class PayloadKind : std::uint32_t {
   vector = 1,
@@ -24,28 +26,60 @@ struct Header {
   std::uint32_t magic = kMagic;
   std::uint32_t version = kVersion;
   std::uint32_t kind = 0;
-  std::uint32_t reserved = 0;
-  std::uint64_t meta0 = 0;  // element count
-  std::uint64_t meta1 = 0;  // kind-specific (nu / iteration)
-  double meta2 = 0.0;       // kind-specific (eigenvalue)
+  std::uint32_t checksum = 0;  // FNV-1a over the raw payload bytes
+  std::uint64_t meta0 = 0;     // element count
+  std::uint64_t meta1 = 0;     // kind-specific (nu / iteration)
+  double meta2 = 0.0;          // kind-specific (eigenvalue)
 };
 
+/// 32-bit FNV-1a over the payload bytes.  Not cryptographic — the threat
+/// model is a torn write or bit rot, not an adversary.
+std::uint32_t payload_checksum(std::span<const double> data) {
+  std::uint32_t hash = 2166136261u;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size() * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+/// Writes header + payload to a temporary sibling and renames it over
+/// `path`.  rename(2) is atomic within a filesystem, so a crash at any point
+/// leaves either the old file or the new one — never a torn hybrid.
 void write_file(const std::filesystem::path& path, PayloadKind kind,
                 std::uint64_t meta1, double meta2, std::span<const double> data) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    throw std::runtime_error("binary_io: cannot open for writing: " + path.string());
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw std::runtime_error("binary_io: cannot open for writing: " + tmp.string());
+    }
+    Header header;
+    header.kind = static_cast<std::uint32_t>(kind);
+    header.checksum = payload_checksum(data);
+    header.meta0 = data.size();
+    header.meta1 = meta1;
+    header.meta2 = meta2;
+    file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    file.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size() * sizeof(double)));
+    file.flush();
+    if (!file) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("binary_io: write failed: " + tmp.string());
+    }
   }
-  Header header;
-  header.kind = static_cast<std::uint32_t>(kind);
-  header.meta0 = data.size();
-  header.meta1 = meta1;
-  header.meta2 = meta2;
-  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  file.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size() * sizeof(double)));
-  if (!file) {
-    throw std::runtime_error("binary_io: write failed: " + path.string());
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("binary_io: cannot rename " + tmp.string() + " to " +
+                             path.string() + ": " + ec.message());
   }
 }
 
@@ -59,7 +93,17 @@ LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
   if (!file) {
     throw std::runtime_error("binary_io: cannot open for reading: " + path.string());
   }
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("binary_io: cannot stat " + path.string() + ": " +
+                             ec.message());
+  }
   LoadedFile out;
+  if (file_size < sizeof(out.header)) {
+    throw std::runtime_error("binary_io: file shorter than the header (torn write?): " +
+                             path.string());
+  }
   file.read(reinterpret_cast<char*>(&out.header), sizeof(out.header));
   if (!file || out.header.magic != kMagic) {
     throw std::runtime_error("binary_io: bad magic (not a quasispecies file): " +
@@ -71,14 +115,34 @@ LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
   if (out.header.kind != static_cast<std::uint32_t>(expected)) {
     throw std::runtime_error("binary_io: unexpected payload kind in " + path.string());
   }
+  // Validate the declared length against the actual file size *before*
+  // allocating or reading: a torn write (or a corrupted count) must produce
+  // a clear diagnostic, not a short read or a huge allocation.
+  const std::uintmax_t expected_size =
+      sizeof(out.header) + out.header.meta0 * sizeof(double);
+  if (file_size != expected_size) {
+    throw std::runtime_error(
+        "binary_io: payload length mismatch in " + path.string() + ": header declares " +
+        std::to_string(out.header.meta0) + " doubles (" +
+        std::to_string(expected_size) + " bytes) but the file holds " +
+        std::to_string(file_size) + " bytes (torn write?)");
+  }
   out.data.resize(out.header.meta0);
   file.read(reinterpret_cast<char*>(out.data.data()),
             static_cast<std::streamsize>(out.data.size() * sizeof(double)));
   if (!file) {
     throw std::runtime_error("binary_io: truncated payload in " + path.string());
   }
+  if (payload_checksum(out.data) != out.header.checksum) {
+    throw std::runtime_error("binary_io: payload checksum mismatch in " + path.string() +
+                             " (torn write or corruption)");
+  }
   return out;
 }
+
+// The checkpoint payload carries a fixed progress trailer ahead of the
+// eigenvector so the stall-window state survives the round trip.
+constexpr std::size_t kCheckpointTrailer = 4;
 
 }  // namespace
 
@@ -102,16 +166,30 @@ core::Landscape load_landscape(const std::filesystem::path& path) {
 }
 
 void save_checkpoint(const std::filesystem::path& path, const SolverCheckpoint& state) {
-  write_file(path, PayloadKind::checkpoint, state.iteration, state.eigenvalue,
-             state.eigenvector);
+  std::vector<double> payload;
+  payload.reserve(kCheckpointTrailer + state.eigenvector.size());
+  payload.push_back(state.residual);
+  payload.push_back(state.best_residual);
+  payload.push_back(state.window_start_best);
+  payload.push_back(static_cast<double>(state.checks_without_progress));
+  payload.insert(payload.end(), state.eigenvector.begin(), state.eigenvector.end());
+  write_file(path, PayloadKind::checkpoint, state.iteration, state.eigenvalue, payload);
 }
 
 SolverCheckpoint load_checkpoint(const std::filesystem::path& path) {
   auto loaded = read_file(path, PayloadKind::checkpoint);
+  if (loaded.data.size() < kCheckpointTrailer) {
+    throw std::runtime_error("binary_io: checkpoint payload too short in " +
+                             path.string());
+  }
   SolverCheckpoint out;
   out.iteration = loaded.header.meta1;
   out.eigenvalue = loaded.header.meta2;
-  out.eigenvector = std::move(loaded.data);
+  out.residual = loaded.data[0];
+  out.best_residual = loaded.data[1];
+  out.window_start_best = loaded.data[2];
+  out.checks_without_progress = static_cast<std::uint64_t>(loaded.data[3]);
+  out.eigenvector.assign(loaded.data.begin() + kCheckpointTrailer, loaded.data.end());
   return out;
 }
 

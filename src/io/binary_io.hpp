@@ -4,8 +4,17 @@
 // new solver"; long-running large-nu computations therefore need durable
 // state: landscapes are experiment inputs worth pinning, and a power
 // iteration interrupted at nu = 26 should resume instead of restart.  The
-// format is a fixed little-endian header (magic, version, kind, two u64
-// metadata fields) followed by the raw double payload.
+// format is a fixed little-endian header (magic, version, kind, a payload
+// checksum, two u64 metadata fields) followed by the raw double payload.
+//
+// Durability guarantees (the resilience layer relies on both):
+//   * every save_* writes to a temporary sibling file and atomically renames
+//     it over the destination, so a crash mid-write can never tear an
+//     existing file — the previous version stays intact;
+//   * the header carries an FNV-1a checksum of the payload and the declared
+//     payload length is validated against the actual file size on load, so
+//     a torn or tampered file is rejected with a clear error instead of
+//     being half-read.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +30,8 @@ namespace qs::io {
 void save_vector(const std::filesystem::path& path, std::span<const double> data);
 
 /// Reads a vector written by save_vector. Throws std::runtime_error on I/O
-/// failure or malformed content.
+/// failure or malformed content (bad magic/version/kind, length mismatch
+/// against the actual file size, or checksum mismatch).
 std::vector<double> load_vector(const std::filesystem::path& path);
 
 /// Writes a landscape (chain length + values).
@@ -30,14 +40,21 @@ void save_landscape(const std::filesystem::path& path, const core::Landscape& la
 /// Reads a landscape written by save_landscape.
 core::Landscape load_landscape(const std::filesystem::path& path);
 
-/// Power-iteration checkpoint: the current iterate plus progress counters.
+/// Power-iteration checkpoint: the current iterate plus enough progress
+/// state to resume the run exactly where it stopped.  The stall-tracking
+/// fields mirror the power iteration's internal stagnation window so a
+/// resumed run reproduces the original residual trajectory bit for bit.
 struct SolverCheckpoint {
   std::uint64_t iteration = 0;
   double eigenvalue = 0.0;
-  std::vector<double> eigenvector;
+  double residual = 0.0;                 ///< Last computed relative residual.
+  double best_residual = 0.0;            ///< Best residual seen so far.
+  double window_start_best = 0.0;        ///< Stall window reference residual.
+  std::uint64_t checks_without_progress = 0;  ///< Residual checks this window.
+  std::vector<double> eigenvector;       ///< 1-norm normalised iterate.
 };
 
-/// Writes a solver checkpoint.
+/// Writes a solver checkpoint (atomically, see file comment).
 void save_checkpoint(const std::filesystem::path& path, const SolverCheckpoint& state);
 
 /// Reads a solver checkpoint.

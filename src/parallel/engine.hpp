@@ -47,6 +47,12 @@ class Engine {
   /// index has been processed (barrier semantics, like clFinish after a
   /// kernel launch). Chunking is backend-defined; the kernel must be safe
   /// to run concurrently on disjoint ranges.
+  ///
+  /// Exception safety (all backends): if a kernel body throws on any lane,
+  /// the first exception is captured, the barrier still completes (every
+  /// other lane finishes its chunk), and the exception is rethrown on the
+  /// dispatching thread.  The engine remains usable afterwards.  The same
+  /// contract holds for reduce_partials; the partial sum is then discarded.
   virtual void dispatch(std::size_t n, const RangeKernel& kernel) const = 0;
 
   /// Parallel reduction: sum of entries.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <mutex>
 
 #include "support/contracts.hpp"
 
@@ -13,6 +15,30 @@ namespace qs::parallel {
 
 #if defined(QS_HAVE_OPENMP)
 
+namespace {
+
+/// First-exception capture for kernel bodies running inside an OpenMP
+/// region: an exception escaping a structured block is undefined behaviour
+/// (in practice std::terminate), so each lane traps its own, the first one
+/// wins, the region completes its barrier, and the dispatching thread
+/// rethrows after the region.
+class FirstException {
+ public:
+  void capture() noexcept {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  void rethrow_if_set() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
 std::string_view OpenMPBackend::name() const { return "openmp"; }
 
 unsigned OpenMPBackend::concurrency() const {
@@ -21,6 +47,7 @@ unsigned OpenMPBackend::concurrency() const {
 
 void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
   if (n == 0) return;
+  FirstException error;
   // One contiguous chunk per thread; contiguous partitions keep the
   // butterfly kernels' memory access streaming within each lane.
 #pragma omp parallel
@@ -30,8 +57,15 @@ void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
     const std::size_t chunk = (n + threads - 1) / threads;
     const std::size_t begin = std::min(tid * chunk, n);
     const std::size_t end = std::min(begin + chunk, n);
-    if (begin < end) kernel(begin, end);
+    if (begin < end) {
+      try {
+        kernel(begin, end);
+      } catch (...) {
+        error.capture();
+      }
+    }
   }
+  error.rethrow_if_set();
 }
 
 double OpenMPBackend::reduce_sum(std::span<const double> v) const {
@@ -76,6 +110,7 @@ double OpenMPBackend::reduce_dot(std::span<const double> a,
 double OpenMPBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
   if (n == 0) return 0.0;
   double acc = 0.0;
+  FirstException error;
   // Same contiguous per-thread chunking as dispatch(), partials combined by
   // the OpenMP reduction clause.
 #pragma omp parallel reduction(+ : acc)
@@ -85,8 +120,15 @@ double OpenMPBackend::reduce_partials(std::size_t n, const PartialKernel& kernel
     const std::size_t chunk = (n + threads - 1) / threads;
     const std::size_t begin = std::min(tid * chunk, n);
     const std::size_t end = std::min(begin + chunk, n);
-    if (begin < end) acc += kernel(begin, end);
+    if (begin < end) {
+      try {
+        acc += kernel(begin, end);
+      } catch (...) {
+        error.capture();
+      }
+    }
   }
+  error.rethrow_if_set();
   return acc;
 }
 

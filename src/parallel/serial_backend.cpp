@@ -8,6 +8,8 @@ namespace qs::parallel {
 
 void SerialBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
   if (n == 0) return;
+  // Single inline chunk: a throwing kernel body propagates directly to the
+  // caller, which is exactly the Engine exception-safety contract.
   kernel(0, n);
 }
 

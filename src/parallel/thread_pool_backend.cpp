@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 #include "support/contracts.hpp"
 
@@ -51,21 +52,41 @@ void ThreadPoolBackend::worker_loop(unsigned index) {
 }
 
 void ThreadPoolBackend::run_on_all(const std::function<void(unsigned)>& task) const {
+  // Exception safety: a kernel body that throws on any lane must not kill
+  // the process (an exception escaping a worker's thread function would
+  // std::terminate) and must not skip the barrier (the calling thread
+  // throwing past the done_ wait would leave workers racing a dead task
+  // pointer).  Each lane traps into a first-wins slot, the barrier always
+  // completes, and the first exception is rethrown here, on the dispatching
+  // thread.  The slot is local to this call: the barrier guarantees every
+  // lane is done with it before run_on_all returns.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::function<void(unsigned)> guarded = [&](unsigned lane) {
+    try {
+      task(lane);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
   if (worker_count_ == 0) {
-    task(0);
-    return;
+    guarded(0);
+  } else {
+    {
+      std::lock_guard lock(mutex_);
+      current_task_ = &guarded;
+      remaining_ = worker_count_;
+      ++generation_;
+    }
+    wake_.notify_all();
+    guarded(worker_count_);  // the calling thread takes the last lane
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    current_task_ = nullptr;
   }
-  {
-    std::lock_guard lock(mutex_);
-    current_task_ = &task;
-    remaining_ = worker_count_;
-    ++generation_;
-  }
-  wake_.notify_all();
-  task(worker_count_);  // the calling thread takes the last lane
-  std::unique_lock lock(mutex_);
-  done_.wait(lock, [&] { return remaining_ == 0; });
-  current_task_ = nullptr;
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPoolBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {

@@ -24,14 +24,23 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
   // any (possibly nonsymmetric) model.
   const core::FmmpOperator op(model, landscape, core::Formulation::right);
 
+  ArnoldiResult out;
   std::vector<double> q0(n);
   {
     const auto f = landscape.values();
-    for (std::size_t i = 0; i < n; ++i) q0[i] = start.empty() ? f[i] : start[i];
+    double q0_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q0[i] = start.empty() ? f[i] : start[i];
+      q0_sq += q0[i] * q0[i];
+    }
+    // Poisoned start: fail structurally rather than tripping the
+    // normalisation's zero-vector precondition on NaN.
+    if (!std::isfinite(q0_sq)) {
+      out.failure = SolverFailure::non_finite;
+      return out;
+    }
     linalg::normalize2(q0);
   }
-
-  ArnoldiResult out;
   const unsigned m = options.basis_size;
   std::vector<std::vector<double>> basis;
   linalg::DenseMatrix h(m + 1, m);  // Hessenberg projection
@@ -63,11 +72,19 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
       built = j + 1;
       const double norm = linalg::norm2(w);
       h(j + 1, j) = norm;
+      // Health guard at the per-step cadence: a poisoned product poisons the
+      // Gram-Schmidt norms; fail fast before the Hessenberg eigensolver.
+      if (!std::isfinite(norm)) {
+        out.failure = SolverFailure::non_finite;
+        break;
+      }
       if (norm <= 1e-14 || j + 1 == m) break;
       std::vector<double> next(w.begin(), w.end());
       linalg::scale(next, 1.0 / norm);
       basis.push_back(std::move(next));
     }
+
+    if (out.failure != SolverFailure::none) break;
 
     // Dominant Ritz pair of the square Hessenberg section.
     linalg::DenseMatrix h_square(built, built);
@@ -80,6 +97,10 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
     std::complex<double> best = ritz_values.front();
     for (const auto& z : ritz_values) {
       if (z.real() > best.real()) best = z;
+    }
+    if (!std::isfinite(best.real()) || !std::isfinite(best.imag())) {
+      out.failure = SolverFailure::non_finite;
+      break;
     }
     require(std::abs(best.imag()) <= 1e-6 * std::max(std::abs(best.real()), 1.0),
             "arnoldi_dominant_w: dominant Ritz value unexpectedly complex");
@@ -101,11 +122,21 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
     const double s_last = h_pair.vector[built - 1] / std::sqrt(s_norm2);
     out.residual = std::abs(h(built, built - 1) * s_last) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
+    if (!std::isfinite(out.residual)) {
+      out.failure = SolverFailure::non_finite;
+      break;
+    }
     q0 = ritz;
     if (out.residual <= options.tolerance) {
       out.converged = true;
       break;
     }
+  }
+
+  if (out.failure != SolverFailure::none) {
+    out.converged = false;
+    out.concentrations.assign(q0.begin(), q0.end());
+    return out;
   }
 
   out.concentrations.assign(q0.begin(), q0.end());

@@ -15,6 +15,7 @@
 
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
+#include "solvers/solver_failure.hpp"
 
 namespace qs::solvers {
 
@@ -33,6 +34,8 @@ struct ArnoldiResult {
   unsigned restarts = 0;
   double residual = 0.0;
   bool converged = false;
+  SolverFailure failure = SolverFailure::none;  ///< Set when the basis or
+                                    ///< Ritz pair went NaN/Inf (fail-fast).
 };
 
 /// Computes the dominant eigenpair of W = Q F (right formulation) for any

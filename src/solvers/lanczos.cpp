@@ -25,13 +25,21 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
 
   // Start vector in symmetric scale: F^{1/2} * (given or landscape start).
   std::vector<double> q0(n);
+  double q0_sq = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double base = start.empty() ? f[i] : start[i];
     q0[i] = base * std::sqrt(f[i]);
+    q0_sq += q0[i] * q0[i];
+  }
+  LanczosResult out;
+  // Refuse to iterate on a poisoned start (NaN/Inf entries, or a norm that
+  // overflowed): report the structured failure instead of tripping the
+  // normalisation's zero-vector precondition on NaN.
+  if (!std::isfinite(q0_sq)) {
+    out.failure = SolverFailure::non_finite;
+    return out;
   }
   linalg::normalize2(q0);
-
-  LanczosResult out;
   const unsigned m = options.basis_size;
   std::vector<std::vector<double>> basis;  // q_0 .. q_{m-1}
   std::vector<double> alpha(m), beta(m);   // T diagonal / subdiagonal
@@ -58,11 +66,20 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
       built = j + 1;
       const double norm = linalg::norm2(w);
       beta[j] = norm;
+      // Health guard at the per-step cadence: a poisoned product makes the
+      // recurrence norm NaN/Inf; fail fast instead of feeding garbage to
+      // the tridiagonal eigensolver cycle after cycle.
+      if (!std::isfinite(norm) || !std::isfinite(alpha[j])) {
+        out.failure = SolverFailure::non_finite;
+        break;
+      }
       if (norm <= 1e-14 || j + 1 == m) break;  // invariant subspace or full
       std::vector<double> next(w.begin(), w.end());
       linalg::scale(next, 1.0 / norm);
       basis.push_back(std::move(next));
     }
+
+    if (out.failure != SolverFailure::none) break;
 
     // Dominant Ritz pair of the tridiagonal section T(0..built-1).
     linalg::DenseMatrix t(built, built);
@@ -84,11 +101,23 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
     linalg::normalize2(ritz);
     out.residual = std::abs(beta[built - 1] * eigen.vectors(built - 1, 0)) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
+    if (!std::isfinite(out.eigenvalue) || !std::isfinite(out.residual)) {
+      out.failure = SolverFailure::non_finite;
+      break;
+    }
     q0 = ritz;
     if (out.residual <= options.tolerance) {
       out.converged = true;
       break;
     }
+  }
+
+  if (out.failure != SolverFailure::none) {
+    // Garbage basis: report the raw iterate without the concentration
+    // conversion (normalising NaNs would only disguise the failure).
+    out.converged = false;
+    out.concentrations.assign(q0.begin(), q0.end());
+    return out;
   }
 
   // Convert the symmetric-form Ritz vector to concentrations.

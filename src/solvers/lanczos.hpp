@@ -16,6 +16,7 @@
 
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
+#include "solvers/solver_failure.hpp"
 
 namespace qs::solvers {
 
@@ -35,6 +36,8 @@ struct LanczosResult {
   unsigned restarts = 0;
   double residual = 0.0;
   bool converged = false;
+  SolverFailure failure = SolverFailure::none;  ///< Set when the basis or
+                                    ///< Ritz pair went NaN/Inf (fail-fast).
 };
 
 /// Computes the dominant eigenpair of W = Q F by restarted Lanczos on the

@@ -34,40 +34,47 @@ void dispatch(const parallel::Engine* engine, std::size_t n,
   }
 }
 
-}  // namespace
+/// Everything the iteration loop needs to start or resume mid-run; a
+/// checkpoint is exactly a serialised snapshot of this state.
+struct IterationState {
+  std::vector<double> x;            ///< 1-norm normalised iterate.
+  unsigned start_iteration = 0;     ///< Products already performed.
+  double eigenvalue = 0.0;
+  double residual = 0.0;
+  double best_residual = std::numeric_limits<double>::infinity();
+  double window_start_best = std::numeric_limits<double>::infinity();
+  unsigned checks_without_progress = 0;
+};
 
-std::vector<double> landscape_start(const core::Landscape& landscape) {
-  std::vector<double> s(landscape.values().begin(), landscape.values().end());
-  linalg::normalize1(s);
-  return s;
-}
-
-PowerResult power_iteration(const core::LinearOperator& op,
-                            std::span<const double> start,
-                            const PowerOptions& options) {
+/// The core loop, shared by cold starts and resumes.  The iterate in
+/// `state.x` is used verbatim (callers normalise cold starts; resumes must
+/// not re-normalise or the trajectory would diverge from the original run
+/// in the last bits).
+PowerResult run_power_loop(const core::LinearOperator& op, IterationState state,
+                           const PowerOptions& options) {
   const std::size_t n = static_cast<std::size_t>(op.dimension());
-  require(n > 0, "power_iteration: empty operator");
-  require(start.empty() || start.size() == n,
-          "power_iteration: starting vector has wrong dimension");
   require(options.residual_check_every >= 1,
           "power_iteration: residual_check_every must be >= 1");
 
   PowerResult out;
-  out.eigenvector.assign(n, 1.0 / static_cast<double>(n));
-  if (!start.empty()) {
-    linalg::copy(start, out.eigenvector);
-    linalg::normalize1(out.eigenvector);
-  }
+  out.eigenvector = std::move(state.x);
+  out.eigenvalue = state.eigenvalue;
+  out.residual = state.residual;
+  out.iterations = state.start_iteration;
+
+  const bool checkpointing =
+      options.checkpoint_every > 0 &&
+      (options.checkpoint_sink || !options.checkpoint_path.empty());
 
   std::vector<double> y(n);
   std::span<double> x_span(out.eigenvector);
   const double mu = options.shift;
 
-  double best_residual = std::numeric_limits<double>::infinity();
-  double window_start_best = std::numeric_limits<double>::infinity();
-  unsigned checks_without_progress = 0;
+  double best_residual = state.best_residual;
+  double window_start_best = state.window_start_best;
+  unsigned checks_without_progress = state.checks_without_progress;
 
-  for (unsigned it = 1; it <= options.max_iterations; ++it) {
+  for (unsigned it = state.start_iteration + 1; it <= options.max_iterations; ++it) {
     op.apply(out.eigenvector, y);  // y = W x (unshifted product)
     out.iterations = it;
 
@@ -93,9 +100,18 @@ PowerResult power_iteration(const core::LinearOperator& op,
             }
             return acc;
           });
+      // Numerical-health guard: a NaN/Inf iterate makes both the Rayleigh
+      // quotient and the residual non-finite.  Fail fast with a structured
+      // reason instead of spinning max_iterations on garbage.
+      if (!std::isfinite(lambda) || !std::isfinite(res2)) {
+        out.failure = SolverFailure::non_finite;
+        out.converged = false;
+        break;
+      }
       out.eigenvalue = lambda;
       out.residual =
           std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
+      if (options.on_residual) options.on_residual(it, out.residual);
       if (out.residual <= options.tolerance) {
         out.converged = true;
         break;
@@ -128,6 +144,14 @@ PowerResult power_iteration(const core::LinearOperator& op,
       });
     }
     const double norm = reduce_abs_sum(options.engine, y);
+    // The 1-norm is computed every iteration anyway, so checking it for
+    // NaN/Inf costs one compare and catches a poisoned product at the
+    // earliest possible iteration — before it can reach a checkpoint.
+    if (!std::isfinite(norm)) {
+      out.failure = SolverFailure::non_finite;
+      out.converged = false;
+      break;
+    }
     require(norm > 0.0, "power_iteration: iterate collapsed to zero");
     const double inv = 1.0 / norm;
     const double* yp = y.data();
@@ -135,7 +159,34 @@ PowerResult power_iteration(const core::LinearOperator& op,
     dispatch(options.engine, n, [yp, xp, inv](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) xp[i] = yp[i] * inv;
     });
+
+    // Periodic checkpoint, written only after the health guard above passed:
+    // the last checkpoint on disk is always a finite, resumable state.  A
+    // failing write degrades durability but must not kill a long solve.
+    if (checkpointing && it % options.checkpoint_every == 0) {
+      io::SolverCheckpoint ck;
+      ck.iteration = it;
+      ck.eigenvalue = out.eigenvalue;
+      ck.residual = out.residual;
+      ck.best_residual = best_residual;
+      ck.window_start_best = window_start_best;
+      ck.checks_without_progress = checks_without_progress;
+      ck.eigenvector = out.eigenvector;
+      try {
+        if (options.checkpoint_sink) {
+          options.checkpoint_sink(ck);
+        } else {
+          io::save_checkpoint(options.checkpoint_path, ck);
+        }
+      } catch (...) {
+        ++out.checkpoint_failures;
+      }
+    }
   }
+
+  // A non-finite exit leaves the garbage iterate in place for post-mortem
+  // inspection but skips the orientation fix (flipping NaNs is meaningless).
+  if (out.failure != SolverFailure::none) return out;
 
   // Perron orientation: the dominant eigenvector is nonnegative; flip if the
   // iteration settled on the negative representative.
@@ -145,6 +196,65 @@ PowerResult power_iteration(const core::LinearOperator& op,
   if (s < 0.0) linalg::scale(out.eigenvector, -1.0);
   linalg::normalize1(out.eigenvector);
   return out;
+}
+
+}  // namespace
+
+std::vector<double> landscape_start(const core::Landscape& landscape) {
+  std::vector<double> s(landscape.values().begin(), landscape.values().end());
+  linalg::normalize1(s);
+  return s;
+}
+
+PowerResult power_iteration(const core::LinearOperator& op,
+                            std::span<const double> start,
+                            const PowerOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.dimension());
+  require(n > 0, "power_iteration: empty operator");
+  require(start.empty() || start.size() == n,
+          "power_iteration: starting vector has wrong dimension");
+
+  IterationState state;
+  state.x.assign(n, 1.0 / static_cast<double>(n));
+  if (!start.empty()) {
+    linalg::copy(start, state.x);
+    linalg::normalize1(state.x);
+  }
+  return run_power_loop(op, std::move(state), options);
+}
+
+PowerResult resume_power_iteration(const core::LinearOperator& op,
+                                   const io::SolverCheckpoint& checkpoint,
+                                   const PowerOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.dimension());
+  require(n > 0, "resume_power_iteration: empty operator");
+  require(checkpoint.eigenvector.size() == n,
+          "resume_power_iteration: checkpoint dimension does not match operator");
+
+  IterationState state;
+  state.x = checkpoint.eigenvector;
+  state.start_iteration = static_cast<unsigned>(checkpoint.iteration);
+  state.eigenvalue = checkpoint.eigenvalue;
+  state.residual = checkpoint.residual;
+  state.best_residual = checkpoint.best_residual;
+  state.window_start_best = checkpoint.window_start_best;
+  state.checks_without_progress =
+      static_cast<unsigned>(checkpoint.checks_without_progress);
+
+  // A checkpoint is only ever written with a finite iterate, but the file
+  // may come from anywhere; refuse to iterate on a poisoned start.
+  for (double v : state.x) {
+    if (!std::isfinite(v)) {
+      PowerResult out;
+      out.eigenvector = std::move(state.x);
+      out.eigenvalue = state.eigenvalue;
+      out.residual = state.residual;
+      out.iterations = state.start_iteration;
+      out.failure = SolverFailure::non_finite;
+      return out;
+    }
+  }
+  return run_power_loop(op, std::move(state), options);
 }
 
 }  // namespace qs::solvers

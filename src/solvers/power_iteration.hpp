@@ -8,13 +8,24 @@
 // convergence ratio from lambda_1/lambda_0 to (lambda_1-mu)/(lambda_0-mu);
 // the conservative choice mu = (1-2p)^nu f_min from core/spectral.hpp is
 // always admissible.
+//
+// Resilience: the loop can periodically persist its state through
+// io::SolverCheckpoint (write-to-temp-then-rename, checksummed), a resumed
+// run continues the original residual trajectory bit for bit on the serial
+// backend, and a non-finite iterate is detected at residual-check cadence
+// and reported as a structured SolverFailure instead of spinning
+// max_iterations on garbage.
 #pragma once
 
+#include <filesystem>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/operators.hpp"
+#include "io/binary_io.hpp"
 #include "parallel/engine.hpp"
+#include "solvers/solver_failure.hpp"
 
 namespace qs::solvers {
 
@@ -26,7 +37,8 @@ struct PowerOptions {
   /// safety margin above it.
   double tolerance = 1e-13;
 
-  /// Iteration cap; exceeding it returns converged = false.
+  /// Iteration cap; exceeding it returns converged = false.  On a resumed
+  /// run the cap counts total iterations including the checkpointed ones.
   unsigned max_iterations = 1000000;
 
   /// Spectral shift mu: iterates with (W - mu I). Must keep lambda_0 - mu
@@ -52,17 +64,41 @@ struct PowerOptions {
 
   /// Reduction backend; null means serial.
   const parallel::Engine* engine = nullptr;
+
+  /// Periodic checkpointing: every `checkpoint_every` iterations the current
+  /// state is persisted to `checkpoint_path` (atomically; a crash mid-write
+  /// never tears an existing checkpoint).  0 or an empty path disables.
+  /// A checkpoint is only written while the iterate is finite, so the last
+  /// checkpoint on disk is always a good restart point.
+  std::filesystem::path checkpoint_path;
+  unsigned checkpoint_every = 0;
+
+  /// Testing/observability seam: when set, checkpoints go through this sink
+  /// instead of binary_io (checkpoint_path is then ignored).  A sink that
+  /// throws models checkpoint I/O failure; the solve records the failure in
+  /// PowerResult::checkpoint_failures and keeps iterating — durability
+  /// degrades, the solve does not die.
+  std::function<void(const io::SolverCheckpoint&)> checkpoint_sink;
+
+  /// Observability hook invoked at every residual check with the iteration
+  /// number and the relative residual (used by the resume tests to prove
+  /// bitwise-equal trajectories, and handy for progress reporting).
+  std::function<void(unsigned iteration, double residual)> on_residual;
 };
 
 /// Outcome of a power iteration run.
 struct PowerResult {
   double eigenvalue = 0.0;          ///< Dominant eigenvalue of W (unshifted).
   std::vector<double> eigenvector;  ///< 1-norm normalised, nonnegative.
-  unsigned iterations = 0;          ///< Products with W performed.
+  unsigned iterations = 0;          ///< Products with W performed (total,
+                                    ///< including checkpointed ones on resume).
   double residual = 0.0;            ///< Relative residual at exit.
   bool converged = false;
   bool stalled = false;             ///< Stopped at the numerical floor
                                     ///< above `tolerance` (see stall_window).
+  SolverFailure failure = SolverFailure::none;  ///< Structured failure reason.
+  unsigned checkpoint_failures = 0; ///< Checkpoint writes that threw (the
+                                    ///< solve continues; durability degrades).
 };
 
 /// Runs the (shifted) power iteration on `op` starting from `start`
@@ -74,6 +110,15 @@ struct PowerResult {
 PowerResult power_iteration(const core::LinearOperator& op,
                             std::span<const double> start = {},
                             const PowerOptions& options = {});
+
+/// Resumes a power iteration from a checkpoint written by a previous run
+/// with the same operator and options.  The iterate is taken verbatim (no
+/// re-normalisation) and the stall-window state is restored, so on the
+/// serial backend the residual trajectory from the checkpoint iteration
+/// onward is bit-identical to the uninterrupted run.
+PowerResult resume_power_iteration(const core::LinearOperator& op,
+                                   const io::SolverCheckpoint& checkpoint,
+                                   const PowerOptions& options = {});
 
 /// The paper's starting vector for a given landscape.
 std::vector<double> landscape_start(const core::Landscape& landscape);

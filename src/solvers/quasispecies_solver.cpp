@@ -1,6 +1,8 @@
 #include "solvers/quasispecies_solver.hpp"
 
+#include <filesystem>
 #include <memory>
+#include <utility>
 
 #include "analysis/error_classes.hpp"
 #include "core/fmmp.hpp"
@@ -13,6 +15,16 @@
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
+namespace {
+
+/// A run needs the degradation rule when the iterate went non-finite or the
+/// stall detector stopped it above the acceptance floor — both cases where
+/// a restart from clean state can still produce the eigenpair.
+bool needs_recovery(const PowerResult& r) {
+  return r.failure == SolverFailure::non_finite || (r.stalled && !r.converged);
+}
+
+}  // namespace
 
 QuasispeciesResult solve(const core::MutationModel& model,
                          const core::Landscape& landscape,
@@ -43,24 +55,73 @@ QuasispeciesResult solve(const core::MutationModel& model,
                                                      options.engine);
       break;
   }
+  if (options.wrap_operator) op = options.wrap_operator(std::move(op));
 
   PowerOptions popts;
   popts.tolerance = options.tolerance;
   popts.max_iterations = options.max_iterations;
   popts.engine = options.engine;
+  popts.checkpoint_path = options.checkpoint_path;
+  popts.checkpoint_every = options.checkpoint_every;
   if (options.use_shift && model.symmetric() &&
       model.kind() != core::MutationKind::grouped) {
     popts.shift = core::conservative_shift(model, landscape);
   }
 
-  PowerResult r = power_iteration(*op, landscape_start(landscape), popts);
+  PowerResult r = options.resume != nullptr
+                      ? resume_power_iteration(*op, *options.resume, popts)
+                      : power_iteration(*op, landscape_start(landscape), popts);
+
+  // Graceful degradation, one restart at most: prefer the last good
+  // checkpoint (periodic checkpoints are only written with a finite
+  // iterate, so it is a safe restart point even after a NaN); without one,
+  // fall back from the shifted to the unshifted iteration — numerically the
+  // plainest configuration that still converges to the same eigenpair.
+  unsigned recovery_attempts = 0;
+  unsigned checkpoint_failures = r.checkpoint_failures;
+  if (options.recover && needs_recovery(r)) {
+    bool resumed = false;
+    // A checkpoint restart only helps the non-finite case (a transient
+    // fault struck after the last good snapshot); a stalled run restored
+    // with its stall-window state would deterministically stall again, so
+    // stalls go straight to the shift fallback.
+    if (r.failure == SolverFailure::non_finite && popts.checkpoint_every > 0 &&
+        !popts.checkpoint_path.empty() &&
+        std::filesystem::exists(popts.checkpoint_path)) {
+      try {
+        const io::SolverCheckpoint last_good =
+            io::load_checkpoint(popts.checkpoint_path);
+        ++recovery_attempts;
+        r = resume_power_iteration(*op, last_good, popts);
+        checkpoint_failures += r.checkpoint_failures;
+        resumed = true;
+      } catch (const std::runtime_error&) {
+        // Torn or unrelated file: fall through to the shift fallback.
+      }
+    }
+    if (!resumed && popts.shift != 0.0) {
+      ++recovery_attempts;
+      popts.shift = 0.0;
+      r = power_iteration(*op, landscape_start(landscape), popts);
+      checkpoint_failures += r.checkpoint_failures;
+    }
+  }
 
   QuasispeciesResult out;
   out.eigenvalue = r.eigenvalue;
   out.iterations = r.iterations;
   out.residual = r.residual;
   out.converged = r.converged;
+  out.stalled = r.stalled;
+  out.failure = r.failure;
+  out.recovery_attempts = recovery_attempts;
+  out.checkpoint_failures = checkpoint_failures;
   out.concentrations = std::move(r.eigenvector);
+  if (out.failure != SolverFailure::none) {
+    // Garbage iterate: skip the formulation conversion and class analysis
+    // (both would only push NaNs through more arithmetic).
+    return out;
+  }
   if (options.formulation != core::Formulation::right) {
     core::convert_eigenvector(options.formulation, core::Formulation::right,
                               landscape, out.concentrations);

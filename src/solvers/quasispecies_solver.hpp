@@ -7,14 +7,25 @@
 // per Section 5.2 (see solve_kronecker for the implicit-result API).
 // Results are always reported in the `right` formulation, i.e. as relative
 // concentrations.
+//
+// Resilience: with a checkpoint path configured the solve periodically
+// persists its state and can resume after a crash; on a detected non-finite
+// iterate (or a stall above the acceptance floor) it restarts once from the
+// last good checkpoint — or falls back from the shifted to the unshifted
+// iteration — before reporting a structured failure.
 #pragma once
 
+#include <filesystem>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
 #include "core/operators.hpp"
+#include "io/binary_io.hpp"
 #include "parallel/engine.hpp"
+#include "solvers/solver_failure.hpp"
 #include "transforms/butterfly.hpp"
 
 namespace qs::solvers {
@@ -38,6 +49,32 @@ struct SolveOptions {
   bool use_shift = true;          ///< Apply mu = (1-2p)^nu f_min when possible.
   const parallel::Engine* engine = nullptr;  ///< null = serial.
   transforms::LevelOrder level_order = transforms::LevelOrder::ascending;
+
+  /// Periodic checkpointing: every `checkpoint_every` iterations the power
+  /// iteration's state is persisted atomically to `checkpoint_path`.
+  /// 0 or an empty path disables.  The checkpoint doubles as the restart
+  /// point for the graceful-degradation rule below.
+  std::filesystem::path checkpoint_path;
+  unsigned checkpoint_every = 0;
+
+  /// Resume a previous run: start from this checkpoint instead of the
+  /// landscape start (the caller keeps ownership; see io::load_checkpoint).
+  const io::SolverCheckpoint* resume = nullptr;
+
+  /// Graceful degradation: when the power iteration reports a non-finite
+  /// iterate or stalls above its acceptance floor, retry once — from the
+  /// last good checkpoint when one exists, otherwise by dropping the
+  /// spectral shift (the shifted and unshifted iterations converge to the
+  /// same eigenpair; the unshifted one is slower but numerically plainer).
+  /// Set false to fail immediately.
+  bool recover = true;
+
+  /// Testing seam: when set, the constructed mat-vec operator is passed
+  /// through this wrapper before the solve (e.g. to interpose
+  /// testing::FaultInjectingOperator).  The wrapper owns the inner operator.
+  std::function<std::unique_ptr<core::LinearOperator>(
+      std::unique_ptr<core::LinearOperator>)>
+      wrap_operator;
 };
 
 /// Solution of the quasispecies problem in concentration form.
@@ -48,6 +85,12 @@ struct QuasispeciesResult {
   unsigned iterations = 0;
   double residual = 0.0;
   bool converged = false;
+  bool stalled = false;               ///< Accepted (or failed) at the
+                                      ///< numerical floor, see PowerResult.
+  SolverFailure failure = SolverFailure::none;  ///< Structured failure after
+                                      ///< all recovery attempts.
+  unsigned recovery_attempts = 0;     ///< Restarts the degradation rule used.
+  unsigned checkpoint_failures = 0;   ///< Checkpoint writes that threw.
 };
 
 /// Solves for a general landscape (power iteration on the selected product).

@@ -144,31 +144,53 @@ WEigenResult run_shifted_outer(const SymmetricWContext& ctx, std::vector<double>
   out.eigenvalue = rq;
   out.residual = res;
 
-  for (unsigned it = 1; it <= options.max_outer_iterations; ++it) {
-    out.outer_iterations = it;
-    if (out.residual <= options.tolerance) {
+  // The eigen-residual is recomputed after every outer step, so a NaN/Inf
+  // iterate (e.g. a poisoned product inside the inner Krylov solve) is
+  // caught at that cadence and reported structurally instead of letting the
+  // outer loop spin on garbage.
+  const auto healthy = [&out] {
+    if (std::isfinite(out.eigenvalue) && std::isfinite(out.residual)) return true;
+    out.failure = SolverFailure::non_finite;
+    out.converged = false;
+    return false;
+  };
+
+  if (healthy()) {
+    for (unsigned it = 1; it <= options.max_outer_iterations; ++it) {
+      out.outer_iterations = it;
+      if (out.residual <= options.tolerance) {
+        out.converged = true;
+        break;
+      }
+      // Solve (W_S - mu I) y = x; y (in x) is the next iterate.
+      linalg::copy(x, rhs);
+      linalg::KrylovResult inner;
+      if (ctx.shift_below_spectrum(mu)) {
+        inner = linalg::conjugate_gradient(
+            ctx.shifted_apply(mu), rhs, x, options.inner,
+            options.use_q_preconditioner ? ctx.q_preconditioner() : linalg::ApplyFn{});
+      } else {
+        inner = linalg::minres(ctx.shifted_apply(mu), rhs, x, options.inner);
+      }
+      out.inner_iterations_total += inner.iterations;
+      linalg::normalize2(x);
+      std::tie(out.eigenvalue, out.residual) = ctx.eigen_residual(x, scratch);
+      if (!healthy()) break;
+      if (out.residual < rayleigh_after_residual) {
+        mu = out.eigenvalue;
+      }
+    }
+    if (out.failure == SolverFailure::none && out.residual <= options.tolerance) {
       out.converged = true;
-      break;
-    }
-    // Solve (W_S - mu I) y = x; y (in x) is the next iterate.
-    linalg::copy(x, rhs);
-    linalg::KrylovResult inner;
-    if (ctx.shift_below_spectrum(mu)) {
-      inner = linalg::conjugate_gradient(
-          ctx.shifted_apply(mu), rhs, x, options.inner,
-          options.use_q_preconditioner ? ctx.q_preconditioner() : linalg::ApplyFn{});
-    } else {
-      inner = linalg::minres(ctx.shifted_apply(mu), rhs, x, options.inner);
-    }
-    out.inner_iterations_total += inner.iterations;
-    linalg::normalize2(x);
-    std::tie(out.eigenvalue, out.residual) = ctx.eigen_residual(x, scratch);
-    if (out.residual < rayleigh_after_residual) {
-      mu = out.eigenvalue;
     }
   }
-  if (out.residual <= options.tolerance) out.converged = true;
 
+  if (out.failure != SolverFailure::none) {
+    // Garbage iterate: report it raw; the concentration conversion would
+    // only launder NaNs through a normalisation.
+    out.concentrations = std::move(x);
+    return out;
+  }
   ctx.to_concentrations(x);
   out.concentrations = std::move(x);
   return out;
@@ -193,10 +215,29 @@ linalg::KrylovResult solve_shifted_symmetric_w(const core::MutationModel& model,
   return linalg::minres(ctx.shifted_apply(mu), b, x, options);
 }
 
+namespace {
+
+/// Refusing a poisoned caller-supplied start vector up front keeps the
+/// failure structured: letting it through would trip the normalisation's
+/// zero-vector precondition on NaN instead of reporting non_finite.
+bool poisoned_start(std::span<const double> start, WEigenResult& out) {
+  for (double v : start) {
+    if (!std::isfinite(v)) {
+      out.failure = SolverFailure::non_finite;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 WEigenResult inverse_iteration_w(const core::MutationModel& model,
                                  const core::Landscape& landscape, double mu,
                                  std::span<const double> start,
                                  const ShiftInvertOptions& options) {
+  WEigenResult bad;
+  if (poisoned_start(start, bad)) return bad;
   const SymmetricWContext ctx(model, landscape, options.engine);
   return run_shifted_outer(ctx, ctx.symmetric_start(start), options, mu,
                            /*rayleigh_after_residual=*/0.0);
@@ -206,6 +247,8 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
                                            const core::Landscape& landscape,
                                            std::span<const double> start,
                                            const ShiftInvertOptions& options) {
+  WEigenResult bad;
+  if (poisoned_start(start, bad)) return bad;
   const SymmetricWContext ctx(model, landscape, options.engine);
   // A generic start has an *interior* Rayleigh quotient, and pure RQI
   // converges to whatever eigenvalue is nearest — not necessarily the

@@ -29,6 +29,7 @@
 #include "core/mutation_model.hpp"
 #include "linalg/krylov.hpp"
 #include "parallel/engine.hpp"
+#include "solvers/solver_failure.hpp"
 
 namespace qs::solvers {
 
@@ -49,6 +50,8 @@ struct WEigenResult {
   std::size_t inner_iterations_total = 0;
   double residual = 0.0;               ///< Relative symmetric-form residual.
   bool converged = false;
+  SolverFailure failure = SolverFailure::none;  ///< Set when the outer
+                                    ///< iterate went NaN/Inf (fail-fast).
 };
 
 /// Solves (W_S - mu I) x = b matrix-free.  Selects CG when mu is provably

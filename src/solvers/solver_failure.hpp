@@ -1,0 +1,37 @@
+// Structured failure classification for the iterative eigensolvers.
+//
+// Long-running solves must not spin max_iterations on garbage: every solver
+// loop checks its iterate/residual for NaN/Inf at residual-check cadence and
+// fails fast with a machine-readable reason instead of returning a result
+// that merely "did not converge".  The facade's graceful-degradation rule
+// (solvers/quasispecies_solver) keys off this classification to decide
+// whether a restart from the last good checkpoint or a shifted-to-unshifted
+// fallback is worth attempting.
+#pragma once
+
+#include <string_view>
+
+namespace qs::solvers {
+
+/// Why a solver run ended without a usable eigenpair (or `none` if it is
+/// healthy).  `stalled` convergence at the numerical floor is *not* a
+/// failure — it keeps its own flag on the result structs.
+enum class SolverFailure {
+  none,        ///< Healthy run (converged, stalled-but-accepted, or ran out
+               ///< of iterations with finite numbers).
+  non_finite,  ///< NaN/Inf detected in the iterate, eigenvalue estimate, or
+               ///< residual; the returned eigenpair is garbage.
+};
+
+/// Stable identifier for logs and CLI output.
+constexpr std::string_view to_string(SolverFailure failure) {
+  switch (failure) {
+    case SolverFailure::non_finite:
+      return "non-finite";
+    case SolverFailure::none:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace qs::solvers

@@ -1,0 +1,81 @@
+#include "testing/fault_injection.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "support/contracts.hpp"
+
+namespace qs::testing {
+
+void FaultInjectingOperator::apply(std::span<const double> x,
+                                   std::span<double> y) const {
+  const std::size_t count = apply_count_.fetch_add(1) + 1;
+  if (config_.throw_at_apply != 0 && count == config_.throw_at_apply) {
+    throw InjectedFault("injected operator fault at apply " + std::to_string(count));
+  }
+  inner_.apply(x, y);
+  const bool poison =
+      config_.nan_at_apply != 0 &&
+      (count == config_.nan_at_apply ||
+       (config_.nan_every_apply_after && count > config_.nan_at_apply));
+  if (poison) {
+    require(config_.nan_index < y.size(),
+            "FaultInjectingOperator: nan_index out of range");
+    y[config_.nan_index] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+void FaultInjectingEngine::dispatch(std::size_t n,
+                                    const parallel::RangeKernel& kernel) const {
+  const std::size_t count = dispatch_count_.fetch_add(1) + 1;
+  if (config_.throw_at_dispatch == 0 || count != config_.throw_at_dispatch) {
+    inner_.dispatch(n, kernel);
+    return;
+  }
+  // Run the real kernel on every lane but make exactly one lane (the first
+  // to claim the flag) throw from inside the kernel body: the backend must
+  // capture it, let the other lanes finish the barrier, and rethrow here.
+  auto thrown = std::make_shared<std::atomic<bool>>(false);
+  inner_.dispatch(n, [&kernel, thrown](std::size_t begin, std::size_t end) {
+    if (!thrown->exchange(true)) {
+      throw InjectedFault("injected kernel fault in dispatch chunk [" +
+                          std::to_string(begin) + ", " + std::to_string(end) + ")");
+    }
+    kernel(begin, end);
+  });
+}
+
+double FaultInjectingEngine::reduce_partials(
+    std::size_t n, const parallel::PartialKernel& kernel) const {
+  const std::size_t count = reduce_count_.fetch_add(1) + 1;
+  if (config_.throw_at_reduce == 0 || count != config_.throw_at_reduce) {
+    return inner_.reduce_partials(n, kernel);
+  }
+  auto thrown = std::make_shared<std::atomic<bool>>(false);
+  return inner_.reduce_partials(n, [&kernel, thrown](std::size_t begin,
+                                                     std::size_t end) -> double {
+    if (!thrown->exchange(true)) {
+      throw InjectedFault("injected kernel fault in reduce chunk [" +
+                          std::to_string(begin) + ", " + std::to_string(end) + ")");
+    }
+    return kernel(begin, end);
+  });
+}
+
+std::function<void(const io::SolverCheckpoint&)> fault_injecting_checkpoint_sink(
+    std::function<void(const io::SolverCheckpoint&)> delegate,
+    std::size_t fail_at_write, bool fail_forever) {
+  auto count = std::make_shared<std::size_t>(0);
+  return [delegate = std::move(delegate), fail_at_write, fail_forever,
+          count](const io::SolverCheckpoint& state) {
+    const std::size_t write = ++*count;
+    if (fail_at_write != 0 &&
+        (write == fail_at_write || (fail_forever && write > fail_at_write))) {
+      throw InjectedFault("injected checkpoint I/O failure at write " +
+                          std::to_string(write));
+    }
+    if (delegate) delegate(state);
+  };
+}
+
+}  // namespace qs::testing

@@ -1,0 +1,118 @@
+// Fault-injection harness for the resilience layer.
+//
+// Long-running solves must survive three failure families: a poisoned
+// product (NaN/Inf sneaking into the iterate), a kernel body that throws
+// mid-dispatch on a parallel backend, and checkpoint I/O that fails while a
+// solve is healthy.  These wrappers inject each fault deterministically at a
+// configured call index so tests can prove the corresponding guard fires:
+//
+//   * FaultInjectingOperator — wraps any LinearOperator; overwrites one
+//     entry of the product with NaN at the k-th apply (once or from then
+//     on), or throws InjectedFault from the k-th apply;
+//   * FaultInjectingEngine — wraps any Engine; the kernel body of the k-th
+//     dispatch (or reduce_partials) throws InjectedFault from inside one
+//     lane, exercising the backend's capture-barrier-rethrow path;
+//   * FaultInjectingCheckpointSink — a PowerOptions::checkpoint_sink that
+//     delegates to a real sink (or swallows) but throws at the k-th write.
+//
+// The wrappers live in the library (not the test tree) so tools and benches
+// can stage chaos drills too; they have zero overhead when not engaged.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+#include "core/operators.hpp"
+#include "io/binary_io.hpp"
+#include "parallel/engine.hpp"
+
+namespace qs::testing {
+
+/// The exception every injected throw raises; tests catch precisely this.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wraps a LinearOperator and injects a fault at a configured apply index
+/// (1-based).  Exactly one fault kind should be configured; 0 disables.
+class FaultInjectingOperator final : public core::LinearOperator {
+ public:
+  struct Config {
+    std::size_t nan_at_apply = 0;    ///< Poison the product of this apply.
+    bool nan_every_apply_after = false;  ///< Keep poisoning once triggered
+                                         ///< (persistent vs transient fault).
+    std::size_t nan_index = 0;       ///< Which product entry to poison.
+    std::size_t throw_at_apply = 0;  ///< Throw InjectedFault on this apply.
+  };
+
+  FaultInjectingOperator(const core::LinearOperator& inner, Config config)
+      : inner_(inner), config_(config) {}
+
+  seq_t dimension() const override { return inner_.dimension(); }
+  std::string_view name() const override { return "fault-injecting"; }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// Applies performed so far (faulty ones included).
+  std::size_t apply_count() const { return apply_count_.load(); }
+
+ private:
+  const core::LinearOperator& inner_;
+  Config config_;
+  mutable std::atomic<std::size_t> apply_count_{0};
+};
+
+/// Wraps an Engine and makes the kernel body of the k-th dispatch (or
+/// reduce_partials) throw InjectedFault from inside exactly one lane; all
+/// other lanes run normally, so the test exercises the backend's
+/// first-exception capture and barrier completion, not an empty dispatch.
+class FaultInjectingEngine final : public parallel::Engine {
+ public:
+  struct Config {
+    std::size_t throw_at_dispatch = 0;  ///< 1-based dispatch index; 0 = never.
+    std::size_t throw_at_reduce = 0;    ///< 1-based reduce_partials index.
+  };
+
+  FaultInjectingEngine(const parallel::Engine& inner, Config config)
+      : inner_(inner), config_(config) {}
+
+  std::string_view name() const override { return inner_.name(); }
+  unsigned concurrency() const override { return inner_.concurrency(); }
+  void dispatch(std::size_t n, const parallel::RangeKernel& kernel) const override;
+  double reduce_partials(std::size_t n,
+                         const parallel::PartialKernel& kernel) const override;
+  double reduce_sum(std::span<const double> v) const override {
+    return inner_.reduce_sum(v);
+  }
+  double reduce_abs_sum(std::span<const double> v) const override {
+    return inner_.reduce_abs_sum(v);
+  }
+  double reduce_sum_squares(std::span<const double> v) const override {
+    return inner_.reduce_sum_squares(v);
+  }
+  double reduce_dot(std::span<const double> a,
+                    std::span<const double> b) const override {
+    return inner_.reduce_dot(a, b);
+  }
+
+  std::size_t dispatch_count() const { return dispatch_count_.load(); }
+  std::size_t reduce_count() const { return reduce_count_.load(); }
+
+ private:
+  const parallel::Engine& inner_;
+  Config config_;
+  mutable std::atomic<std::size_t> dispatch_count_{0};
+  mutable std::atomic<std::size_t> reduce_count_{0};
+};
+
+/// Builds a PowerOptions::checkpoint_sink that forwards every write to
+/// `delegate` (pass {} to discard writes) but throws InjectedFault at the
+/// k-th write (1-based; every write from then on also throws when
+/// `fail_forever`), modelling a full disk or a vanished mount mid-solve.
+std::function<void(const io::SolverCheckpoint&)> fault_injecting_checkpoint_sink(
+    std::function<void(const io::SolverCheckpoint&)> delegate,
+    std::size_t fail_at_write, bool fail_forever = false);
+
+}  // namespace qs::testing

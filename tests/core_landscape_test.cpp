@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/contracts.hpp"
 
@@ -74,6 +75,20 @@ TEST(Landscape, RejectsInvalidArguments) {
   EXPECT_THROW(Landscape::from_values(3, with_zero), precondition_error);
 }
 
+TEST(Landscape, RejectsNonFiniteValues) {
+  // +Inf passes a plain `v > 0` check and NaN fails every comparison, so
+  // both need the explicit isfinite guard — either would poison every
+  // downstream product.
+  std::vector<double> with_inf(8, 1.0);
+  with_inf[2] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Landscape::from_values(3, with_inf), precondition_error);
+  std::vector<double> with_nan(8, 1.0);
+  with_nan[5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Landscape::from_values(3, with_nan), precondition_error);
+  EXPECT_THROW(Landscape::flat(3, std::numeric_limits<double>::infinity()),
+               precondition_error);
+}
+
 TEST(ErrorClassLandscape, ExpansionIsErrorClass) {
   const auto ecl = ErrorClassLandscape::from_values(4, {3.0, 2.0, 1.5, 1.1, 1.0});
   const auto full = ecl.expand();
@@ -98,6 +113,12 @@ TEST(ErrorClassLandscape, SinglePeakAndLinearAgreeWithFullFactories) {
 TEST(ErrorClassLandscape, RejectsInvalidArguments) {
   EXPECT_THROW(ErrorClassLandscape::from_values(4, {1.0, 1.0}), precondition_error);
   EXPECT_THROW(ErrorClassLandscape::from_values(1, {1.0, 0.0}), precondition_error);
+  EXPECT_THROW(ErrorClassLandscape::from_values(
+                   1, {1.0, std::numeric_limits<double>::infinity()}),
+               precondition_error);
+  EXPECT_THROW(ErrorClassLandscape::from_values(
+                   1, {std::numeric_limits<double>::quiet_NaN(), 1.0}),
+               precondition_error);
   const auto l = ErrorClassLandscape::single_peak(4, 2.0, 1.0);
   EXPECT_THROW(l.value(5), precondition_error);
 }

@@ -99,19 +99,79 @@ TEST_F(IoTest, RejectsTruncatedPayload) {
   EXPECT_THROW(load_vector(path("t.qs")), std::runtime_error);
 }
 
-TEST_F(IoTest, LoadedLandscapeValidatesPositivity) {
-  // A tampered landscape with a non-positive value must be rejected by the
-  // Landscape constructor on load.
+TEST_F(IoTest, TamperedPayloadFailsTheChecksum) {
+  // A landscape with one payload double overwritten after the fact is caught
+  // by the header checksum before the Landscape constructor ever sees it.
   const auto original = core::Landscape::flat(3, 1.0);
   save_landscape(path("l.qs"), original);
-  // Overwrite one payload double with 0.
   std::fstream file(path("l.qs"),
                     std::ios::binary | std::ios::in | std::ios::out);
   file.seekp(40);  // just past the 40-byte header
   const double zero = 0.0;
   file.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
   file.close();
-  EXPECT_THROW(load_landscape(path("l.qs")), precondition_error);
+  EXPECT_THROW(load_landscape(path("l.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsLengthMismatch) {
+  // The declared element count is validated against the true file size in
+  // both directions before any payload is read.
+  save_vector(path("v.qs"), std::vector<double>(64, 1.0));
+  {
+    // Longer than declared: append trailing garbage.
+    std::ofstream file(path("v.qs"), std::ios::binary | std::ios::app);
+    file << "trailing garbage";
+  }
+  EXPECT_THROW(load_vector(path("v.qs")), std::runtime_error);
+
+  save_vector(path("w.qs"), std::vector<double>(64, 1.0));
+  // Shorter than declared but still past the header: a classic torn write.
+  std::filesystem::resize_file(path("w.qs"),
+                               std::filesystem::file_size(path("w.qs")) - 8);
+  EXPECT_THROW(load_vector(path("w.qs")), std::runtime_error);
+}
+
+TEST_F(IoTest, SaveLeavesNoTemporaryBehind) {
+  save_vector(path("v.qs"), std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(std::filesystem::exists(path("v.qs")));
+  EXPECT_FALSE(std::filesystem::exists(path("v.qs.tmp")));
+}
+
+TEST_F(IoTest, FailedSaveKeepsThePreviousFileIntact) {
+  // Atomicity contract: when a save cannot complete, the destination keeps
+  // its previous content.  A directory squatting on the temporary sibling's
+  // path makes the write fail before the rename ever happens.
+  std::vector<double> v1{1.0, 2.0};
+  save_vector(path("v.qs"), v1);
+  std::filesystem::create_directories(path("v.qs.tmp"));
+  EXPECT_THROW(save_vector(path("v.qs"), std::vector<double>{9.0}),
+               std::runtime_error);
+  const auto still = load_vector(path("v.qs"));
+  ASSERT_EQ(still.size(), v1.size());
+  EXPECT_EQ(still[0], 1.0);
+  EXPECT_EQ(still[1], 2.0);
+}
+
+TEST_F(IoTest, CheckpointRoundTripPreservesProgressState) {
+  SolverCheckpoint state;
+  state.iteration = 999;
+  state.eigenvalue = 2.5;
+  state.residual = 1e-7;
+  state.best_residual = 5e-8;
+  state.window_start_best = 6e-8;
+  state.checks_without_progress = 3;
+  state.eigenvector = {0.25, 0.75};
+  save_checkpoint(path("c.qs"), state);
+  const auto loaded = load_checkpoint(path("c.qs"));
+  EXPECT_EQ(loaded.iteration, state.iteration);
+  EXPECT_EQ(loaded.eigenvalue, state.eigenvalue);
+  EXPECT_EQ(loaded.residual, state.residual);
+  EXPECT_EQ(loaded.best_residual, state.best_residual);
+  EXPECT_EQ(loaded.window_start_best, state.window_start_best);
+  EXPECT_EQ(loaded.checks_without_progress, state.checks_without_progress);
+  ASSERT_EQ(loaded.eigenvector.size(), 2u);
+  EXPECT_EQ(loaded.eigenvector[0], 0.25);
+  EXPECT_EQ(loaded.eigenvector[1], 0.75);
 }
 
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "core/mutation_model.hpp"
@@ -64,6 +65,65 @@ TEST_P(EngineTest, ReductionsMatchSerialReference) {
   EXPECT_NEAR(engine_->reduce_abs_sum(a), abs_sum, 1e-9);
   EXPECT_NEAR(engine_->reduce_sum_squares(a), sq, 1e-9);
   EXPECT_NEAR(engine_->reduce_dot(a, b), dp, 1e-9);
+}
+
+TEST_P(EngineTest, DispatchPropagatesKernelExceptions) {
+  // An exception thrown inside a kernel lane must surface on the dispatching
+  // thread (not terminate the process), and every lane must still pass the
+  // barrier — verified by the engine staying usable afterwards.
+  const std::size_t n = 100000;
+  EXPECT_THROW(engine_->dispatch(n,
+                                 [](std::size_t begin, std::size_t) {
+                                   if (begin == 0) {
+                                     throw std::runtime_error("kernel fault");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The engine survives and the next dispatch is complete and correct.
+  std::vector<double> out(n, 0.0);
+  engine_->dispatch(n, [&out](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = 1.0;
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 1.0);
+}
+
+TEST_P(EngineTest, DispatchPropagatesWhenEveryLaneThrows) {
+  // First-wins capture: with all lanes throwing, exactly one exception
+  // reaches the caller and the rest are swallowed, not std::terminate'd.
+  EXPECT_THROW(engine_->dispatch(10000,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::invalid_argument("all lanes");
+                                 }),
+               std::invalid_argument);
+  EXPECT_NEAR(engine_->reduce_sum(std::vector<double>{1.0, 2.0}), 3.0, 1e-15);
+}
+
+TEST_P(EngineTest, ReducePartialsPropagatesKernelExceptions) {
+  EXPECT_THROW(engine_->reduce_partials(100000,
+                                        [](std::size_t begin, std::size_t) -> double {
+                                          if (begin == 0) {
+                                            throw std::runtime_error("reduce fault");
+                                          }
+                                          return 0.0;
+                                        }),
+               std::runtime_error);
+  // Reductions still work afterwards.
+  const double total = engine_->reduce_partials(
+      1000, [](std::size_t begin, std::size_t end) {
+        return static_cast<double>(end - begin);
+      });
+  EXPECT_EQ(total, 1000.0);
+}
+
+TEST_P(EngineTest, ExceptionTypeAndMessageSurviveThePropagation) {
+  try {
+    engine_->dispatch(1000, [](std::size_t, std::size_t) {
+      throw std::out_of_range("specific message");
+    });
+    FAIL() << "dispatch must rethrow";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
 }
 
 TEST_P(EngineTest, ConcurrencyIsAtLeastOne) {

@@ -49,7 +49,19 @@ void print_usage() {
       "  --csv FILE          write species concentrations as CSV\n"
       "  --classes-csv FILE  write [Gamma_k] per class as CSV\n"
       "  --save-landscape F  persist the landscape in binary form\n"
-      "  --checkpoint FILE   save the final solver state\n"
+      "resilience (power/xmvp solvers):\n"
+      "  --checkpoint FILE   periodically persist the solver state to FILE\n"
+      "                      (atomic + checksummed; also written on exit) so\n"
+      "                      an interrupted run can restart with --resume\n"
+      "  --checkpoint-every N  iterations between checkpoints (default 1000)\n"
+      "  --resume FILE       resume an interrupted power iteration from a\n"
+      "                      checkpoint written by --checkpoint (the model,\n"
+      "                      landscape, and options must match the original\n"
+      "                      run for an exact continuation)\n"
+      "  --no-recover        fail immediately instead of restarting once from\n"
+      "                      the last good checkpoint / dropping the shift\n"
+      "                      when the iterate goes non-finite or stalls\n"
+      "other:\n"
       "  --top K             print the K most concentrated species (default 5)\n"
       "  --help              this text\n";
 }
@@ -180,11 +192,35 @@ int run(const qs::ArgParser& args) {
     opts.tolerance = tolerance;
     opts.use_shift = !args.has("no-shift");
     opts.engine = engine;
+    opts.recover = !args.has("no-recover");
     if (solver == "xmvp") {
       opts.matvec = qs::solvers::MatvecKind::xmvp;
       opts.xmvp_d_max = static_cast<unsigned>(args.get_long("dmax", 5, 0, nu));
     }
+    if (args.has("checkpoint")) {
+      opts.checkpoint_path = args.get("checkpoint", "");
+      opts.checkpoint_every = static_cast<unsigned>(
+          args.get_long("checkpoint-every", 1000, 1, 1000000000));
+    }
+    std::optional<qs::io::SolverCheckpoint> resume_state;
+    if (args.has("resume")) {
+      resume_state = qs::io::load_checkpoint(args.get("resume", ""));
+      opts.resume = &*resume_state;
+      std::cout << "resuming from iteration " << resume_state->iteration
+                << " (residual " << resume_state->residual << ")\n";
+    }
     const auto r = qs::solvers::solve(model, landscape, opts);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure)) +
+                     " (after " + std::to_string(r.recovery_attempts) +
+                     " recovery attempt(s))"};
+    }
+    if (r.checkpoint_failures > 0) {
+      std::cerr << "warning: " << r.checkpoint_failures
+                << " checkpoint write(s) failed; the run continued but the "
+                   "on-disk state may be older than expected\n";
+    }
     if (!r.converged) throw CliError{"solver did not converge"};
     eigenvalue = r.eigenvalue;
     concentrations = r.concentrations;
@@ -260,6 +296,7 @@ int run(const qs::ArgParser& args) {
     qs::io::SolverCheckpoint state;
     state.iteration = iterations;
     state.eigenvalue = eigenvalue;
+    state.residual = residual;
     state.eigenvector = concentrations;
     qs::io::save_checkpoint(args.get("checkpoint", ""), state);
   }

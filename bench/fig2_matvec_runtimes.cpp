@@ -1,6 +1,7 @@
 // Figure 2 reproduction: runtimes of the implicit matrix-vector products
 // W x = (Q F) x on a single CPU core, extended with the engine-backed Fmmp
-// columns (per-level Algorithm 2 vs the cache-blocked banded kernel).
+// columns (per-level Algorithm 2 vs the cache-blocked banded kernel), the
+// multi-vector panel kernel, and the BlockedPlan autotuner.
 //
 // Series (as in the paper): Xmvp(nu) — fully accurate sparsified XOR
 // product, cost Theta(N^2), equivalent to Smvp up to constants; Xmvp(1) —
@@ -14,12 +15,31 @@
 // (~nu/B sweeps).  Expected: blocked strictly faster at nu >= 20 on both
 // the openmp and thread_pool backends.
 //
+// Panel columns: one banded product applied to an interleaved panel of m
+// vectors (FmmpOperator::apply_panel) vs m sequential single-vector blocked
+// products over m *distinct* vector pairs on the same backend — exactly the
+// work a block subspace iteration performs per round without the panel
+// kernel.  per-vector speedup = t_seq / t_panel; the memory-bound regime
+// (large nu) is where the amortisation pays.
+//
+// Autotune columns: the measured-candidate BlockedPlan autotuner vs the
+// fixed default plan (2^14, 2^6) at every nu.  The default is always among
+// the measured candidates and wins ties, so tuned <= default up to noise.
+//
 // Size caps (defaults; override with QS_BENCH_MAX_NU): Fmmp/Xmvp(1) to
 // nu = 22, the quadratic Xmvp(nu) to nu = 14 — beyond that its cost is
 // extrapolated from the measured slope, exactly as the paper extrapolates
 // its reference beyond nu = 21.
+//
+// Besides the human-readable tables + CSV, the full measurement set is
+// written as machine-readable JSON to BENCH_fig2.json (override the path
+// with QS_BENCH_JSON).
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -28,15 +48,112 @@
 #include "support/csv.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "transforms/panel_butterfly.hpp"
+#include "transforms/panel_microkernel.hpp"
+#include "transforms/plan_autotune.hpp"
+
+namespace {
+
+struct PanelPoint {
+  std::string backend;
+  std::size_t m = 0;
+  double seconds = 0.0;             // one panel product, all m vectors
+  double seq_seconds = 0.0;         // m sequential products, distinct vectors
+  double per_vector_speedup = 0.0;  // seq / panel
+};
+
+struct AutotunePoint {
+  qs::transforms::BlockedPlan tuned;
+  double default_seconds = 0.0;
+  double tuned_seconds = 0.0;
+  std::size_t candidates = 0;
+};
+
+struct Fig2Row {
+  unsigned nu = 0;
+  std::size_t n = 0;
+  double xmvp_full_s = 0.0;
+  bool xmvp_full_extrapolated = false;
+  double xmvp1_s = 0.0;
+  double fmmp_s = 0.0;
+  double serial_blocked_s = 0.0;
+  double omp_level_s = 0.0;
+  double omp_blocked_s = 0.0;
+  double pool_level_s = 0.0;
+  double pool_blocked_s = 0.0;
+  std::vector<PanelPoint> panel;
+  AutotunePoint autotune;
+};
+
+void write_json(const std::string& path, double p, unsigned max_nu,
+                const std::vector<Fig2Row>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: could not open " << path << " for writing\n";
+    return;
+  }
+  out.precision(9);
+  out << "{\n"
+      << "  \"figure\": \"fig2\",\n"
+      << "  \"p\": " << p << ",\n"
+      << "  \"max_nu\": " << max_nu << ",\n"
+      << "  \"panel_kernels\": \"" << qs::transforms::panel_kernels().name
+      << "\",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Fig2Row& row = rows[r];
+    out << "    {\n"
+        << "      \"nu\": " << row.nu << ",\n"
+        << "      \"n\": " << row.n << ",\n"
+        << "      \"xmvp_full_s\": " << row.xmvp_full_s << ",\n"
+        << "      \"xmvp_full_extrapolated\": "
+        << (row.xmvp_full_extrapolated ? "true" : "false") << ",\n"
+        << "      \"xmvp1_s\": " << row.xmvp1_s << ",\n"
+        << "      \"fmmp_s\": " << row.fmmp_s << ",\n"
+        << "      \"fmmp_serial_blocked_s\": " << row.serial_blocked_s << ",\n"
+        << "      \"fmmp_omp_level_s\": " << row.omp_level_s << ",\n"
+        << "      \"fmmp_omp_blocked_s\": " << row.omp_blocked_s << ",\n"
+        << "      \"fmmp_pool_level_s\": " << row.pool_level_s << ",\n"
+        << "      \"fmmp_pool_blocked_s\": " << row.pool_blocked_s << ",\n"
+        << "      \"panel\": [\n";
+    for (std::size_t i = 0; i < row.panel.size(); ++i) {
+      const PanelPoint& pt = row.panel[i];
+      out << "        {\"backend\": \"" << pt.backend << "\", \"m\": " << pt.m
+          << ", \"seconds\": " << pt.seconds
+          << ", \"sequential_seconds\": " << pt.seq_seconds
+          << ", \"per_vector_speedup\": " << pt.per_vector_speedup << "}"
+          << (i + 1 < row.panel.size() ? "," : "") << "\n";
+    }
+    out << "      ],\n"
+        << "      \"autotune\": {\"tile_log2\": " << row.autotune.tuned.tile_log2
+        << ", \"chunk_log2\": " << row.autotune.tuned.chunk_log2
+        << ", \"default_s\": " << row.autotune.default_seconds
+        << ", \"tuned_s\": " << row.autotune.tuned_seconds
+        << ", \"candidates\": " << row.autotune.candidates << "}\n"
+        << "    }" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace qs;
   const unsigned max_nu = bench::env_unsigned("QS_BENCH_MAX_NU", 22);
   const unsigned max_quadratic_nu = std::min(14u, max_nu);
   const double p = 0.01;
+  const char* json_env = std::getenv("QS_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_fig2.json";
 
+  const auto serial_engine = parallel::make_engine(parallel::Backend::serial);
   const auto omp_engine = parallel::make_engine(parallel::Backend::openmp);
   const auto pool_engine = parallel::make_engine(parallel::Backend::thread_pool);
+  const std::vector<std::pair<const char*, const parallel::Engine*>> backends = {
+      {"serial", serial_engine.get()},
+      {"openmp", omp_engine.get()},
+      {"thread_pool", pool_engine.get()}};
+  const std::vector<std::size_t> widths = {2, 4, 8};
 
   std::cout << "# Figure 2: single mat-vec runtimes, p = " << p
             << "\n# series: Xmvp(nu) ~ Theta(N^2), Xmvp(1) ~ Theta(N nu), "
@@ -44,16 +161,23 @@ int main() {
             << omp_engine->name() << "' x" << omp_engine->concurrency()
             << ", pool = '" << pool_engine->name() << "' x"
             << pool_engine->concurrency()
-            << "; lvl = per-level Algorithm 2, blk = banded blocked kernel\n\n";
+            << "; lvl = per-level Algorithm 2, blk = banded blocked kernel\n"
+            << "# panel kernels: " << transforms::panel_kernels().name << "\n\n";
 
   TextTable table({"nu", "N", "Xmvp(nu) [s]", "Xmvp(1) [s]", "Fmmp [s]",
                    "omp lvl [s]", "omp blk [s]", "pool lvl [s]", "pool blk [s]",
                    "Fmmp speedup vs Xmvp(nu)"});
+  TextTable panel_table({"nu", "backend", "blk x1 [s]", "panel m=2 [s]",
+                         "panel m=4 [s]", "panel m=8 [s]", "per-vec m=2",
+                         "per-vec m=4", "per-vec m=8"});
+  TextTable tune_table({"nu", "default (14,6) [s]", "tuned [s]", "tuned plan",
+                        "speedup", "candidates"});
   CsvWriter csv(std::cout);
   csv.header({"nu", "xmvp_full_s", "xmvp_full_extrapolated", "xmvp1_s", "fmmp_s",
               "fmmp_omp_level_s", "fmmp_omp_blocked_s", "fmmp_pool_level_s",
               "fmmp_pool_blocked_s"});
 
+  std::vector<Fig2Row> rows;
   std::vector<double> quad_nus, quad_times;
   for (unsigned nu = 10; nu <= max_nu; ++nu) {
     const std::size_t n = std::size_t{1} << nu;
@@ -63,44 +187,113 @@ int main() {
     Xoshiro256 rng(nu);
     for (double& v : x) v = rng.uniform(0.0, 1.0);
 
+    Fig2Row row;
+    row.nu = nu;
+    row.n = n;
+
     const core::FmmpOperator fmmp(model, landscape);
-    const double t_fmmp = bench::time_best_of(3, [&] { fmmp.apply(x, y); });
+    row.fmmp_s = bench::time_best_of(3, [&] { fmmp.apply(x, y); });
 
     auto time_engine = [&](const parallel::Engine* engine, core::EngineKernel kernel) {
       const core::FmmpOperator op(model, landscape, core::Formulation::right, engine,
                                   transforms::LevelOrder::ascending, kernel);
       return bench::time_best_of(3, [&] { op.apply(x, y); });
     };
-    const double t_omp_level = time_engine(omp_engine.get(), core::EngineKernel::per_level);
-    const double t_omp_blocked = time_engine(omp_engine.get(), core::EngineKernel::blocked);
-    const double t_pool_level = time_engine(pool_engine.get(), core::EngineKernel::per_level);
-    const double t_pool_blocked = time_engine(pool_engine.get(), core::EngineKernel::blocked);
+    row.serial_blocked_s = time_engine(serial_engine.get(), core::EngineKernel::blocked);
+    row.omp_level_s = time_engine(omp_engine.get(), core::EngineKernel::per_level);
+    row.omp_blocked_s = time_engine(omp_engine.get(), core::EngineKernel::blocked);
+    row.pool_level_s = time_engine(pool_engine.get(), core::EngineKernel::per_level);
+    row.pool_blocked_s = time_engine(pool_engine.get(), core::EngineKernel::blocked);
 
     const core::XmvpOperator xmvp1(model, landscape, 1);
-    const double t_xmvp1 = bench::time_best_of(3, [&] { xmvp1.apply(x, y); });
+    row.xmvp1_s = bench::time_best_of(3, [&] { xmvp1.apply(x, y); });
 
-    double t_full = 0.0;
-    bool extrapolated = false;
     if (nu <= max_quadratic_nu) {
       const core::XmvpOperator xmvp_full(model, landscape, nu);
-      t_full = bench::time_best_of(2, [&] { xmvp_full.apply(x, y); });
+      row.xmvp_full_s = bench::time_best_of(2, [&] { xmvp_full.apply(x, y); });
       quad_nus.push_back(nu);
-      quad_times.push_back(t_full);
+      quad_times.push_back(row.xmvp_full_s);
     } else {
-      t_full = bench::fit_log2(quad_nus, quad_times).evaluate(nu);
-      extrapolated = true;
+      row.xmvp_full_s = bench::fit_log2(quad_nus, quad_times).evaluate(nu);
+      row.xmvp_full_extrapolated = true;
+    }
+
+    // Panel columns: one interleaved m-wide product vs m sequential blocked
+    // single-vector products over m distinct vector pairs on the same
+    // backend (the block-solver workload without the panel kernel).
+    for (const auto& [bname, engine] : backends) {
+      const core::FmmpOperator op(model, landscape, core::Formulation::right,
+                                  engine, transforms::LevelOrder::ascending,
+                                  core::EngineKernel::blocked);
+      const double t_single = bench::time_best_of(3, [&] { op.apply(x, y); });
+      std::vector<std::string> cells = {std::to_string(nu), bname,
+                                        format_short(t_single)};
+      std::vector<std::string> speedups;
+      for (std::size_t m : widths) {
+        PanelPoint pt;
+        pt.backend = bname;
+        pt.m = m;
+        {
+          std::vector<std::vector<double>> xs(m), ys(m);
+          for (std::size_t j = 0; j < m; ++j) {
+            xs[j].resize(n);
+            ys[j].resize(n);
+            for (double& v : xs[j]) v = rng.uniform(0.0, 1.0);
+          }
+          pt.seq_seconds = bench::time_best_of(3, [&] {
+            for (std::size_t j = 0; j < m; ++j) op.apply(xs[j], ys[j]);
+          });
+        }
+        std::vector<double> xp(n * m), yp(n * m);
+        for (double& v : xp) v = rng.uniform(0.0, 1.0);
+        pt.seconds = bench::time_best_of(3, [&] { op.apply_panel(xp, yp, m); });
+        pt.per_vector_speedup = pt.seq_seconds / pt.seconds;
+        row.panel.push_back(pt);
+        cells.push_back(format_short(pt.seconds));
+        speedups.push_back(format_short(pt.per_vector_speedup) + "x");
+      }
+      cells.insert(cells.end(), speedups.begin(), speedups.end());
+      panel_table.add_row(cells);
+    }
+
+    // Autotune column: measured-candidate plan vs the fixed default at this nu.
+    {
+      const auto report =
+          transforms::autotune_blocked_plan(nu, *serial_engine, 1, 2);
+      row.autotune.tuned = report.best;
+      row.autotune.default_seconds = report.timings.front().seconds;
+      row.autotune.candidates = report.timings.size();
+      row.autotune.tuned_seconds = row.autotune.default_seconds;
+      for (const auto& t : report.timings) {
+        if (t.plan.tile_log2 == report.best.tile_log2 &&
+            t.plan.chunk_log2 == report.best.chunk_log2) {
+          row.autotune.tuned_seconds = t.seconds;
+        }
+      }
+      tune_table.add_row(
+          {std::to_string(nu), format_short(row.autotune.default_seconds),
+           format_short(row.autotune.tuned_seconds),
+           "(" + std::to_string(report.best.tile_log2) + "," +
+               std::to_string(report.best.chunk_log2) + ")",
+           format_short(row.autotune.default_seconds /
+                        row.autotune.tuned_seconds) +
+               "x",
+           std::to_string(report.timings.size())});
     }
 
     table.add_row({std::to_string(nu), std::to_string(n),
-                   format_short(t_full) + (extrapolated ? "*" : ""),
-                   format_short(t_xmvp1), format_short(t_fmmp),
-                   format_short(t_omp_level), format_short(t_omp_blocked),
-                   format_short(t_pool_level), format_short(t_pool_blocked),
-                   format_short(t_full / t_fmmp)});
-    csv.row().cell(std::size_t{nu}).cell(t_full).cell(std::string(extrapolated ? "1" : "0"))
-        .cell(t_xmvp1).cell(t_fmmp).cell(t_omp_level).cell(t_omp_blocked)
-        .cell(t_pool_level).cell(t_pool_blocked);
+                   format_short(row.xmvp_full_s) +
+                       (row.xmvp_full_extrapolated ? "*" : ""),
+                   format_short(row.xmvp1_s), format_short(row.fmmp_s),
+                   format_short(row.omp_level_s), format_short(row.omp_blocked_s),
+                   format_short(row.pool_level_s), format_short(row.pool_blocked_s),
+                   format_short(row.xmvp_full_s / row.fmmp_s)});
+    csv.row().cell(std::size_t{nu}).cell(row.xmvp_full_s)
+        .cell(std::string(row.xmvp_full_extrapolated ? "1" : "0"))
+        .cell(row.xmvp1_s).cell(row.fmmp_s).cell(row.omp_level_s)
+        .cell(row.omp_blocked_s).cell(row.pool_level_s).cell(row.pool_blocked_s);
     csv.end_row();
+    rows.push_back(std::move(row));
   }
 
   std::cout << "\n";
@@ -109,6 +302,15 @@ int main() {
                "the paper for nu >= 22)\n"
             << "expected shape: Fmmp fastest at every nu, faster than Xmvp(1) "
                "despite being exact, and the blocked (blk) engine columns "
-               "strictly under the per-level (lvl) ones at nu >= 20.\n";
+               "strictly under the per-level (lvl) ones at nu >= 20.\n\n";
+  panel_table.print(std::cout);
+  std::cout << "\nexpected shape: per-vector speedup grows with nu as the "
+               "product turns memory-bound; >= 2x at nu = 22, m = 8 on at "
+               "least one backend.\n\n";
+  tune_table.print(std::cout);
+  std::cout << "\nexpected shape: tuned <= default at every nu (the default "
+               "plan is always among the measured candidates and wins ties).\n";
+
+  write_json(json_path, p, max_nu, rows);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "core/fmmp.hpp"
@@ -13,6 +14,8 @@
 #include "support/rng.hpp"
 #include "transforms/butterfly.hpp"
 #include "transforms/fwht.hpp"
+#include "transforms/panel_butterfly.hpp"
+#include "transforms/panel_microkernel.hpp"
 
 namespace {
 
@@ -107,6 +110,72 @@ void BM_MutationApplyBlocked(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MutationApplyBlocked)->DenseRange(14, 22, 4);
+
+// Multi-vector (panel) banded butterfly: arg0 = nu, arg1 = panel width m.
+// Per-vector items-per-second lets this be compared directly against the
+// single-vector BM_MutationApplyBlocked above.
+void BM_PanelButterfly(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = std::size_t{1} << nu;
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  auto panel = random_vector(n * m, 10);
+  const auto& engine = qs::parallel::parallel_engine();
+  for (auto _ : state) {
+    model.apply_panel(panel, m, engine);
+    benchmark::DoNotOptimize(panel.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * m));
+}
+BENCHMARK(BM_PanelButterfly)
+    ->ArgsProduct({benchmark::CreateDenseRange(14, 22, 4), {1, 4, 8}});
+
+// Engine-backed panel Fmmp (scalings fused) vs m sequential blocked applies:
+// arg0 = nu, arg1 = m.
+void BM_FmmpApplyPanel(benchmark::State& state) {
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = std::size_t{1} << nu;
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = qs::core::Landscape::random(nu, 5.0, 1.0, 3);
+  const qs::core::FmmpOperator op(model, landscape, qs::core::Formulation::right,
+                                  &qs::parallel::parallel_engine(),
+                                  qs::transforms::LevelOrder::ascending,
+                                  qs::core::EngineKernel::blocked);
+  auto x = random_vector(n * m, 11);
+  std::vector<double> y(n * m);
+  for (auto _ : state) {
+    op.apply_panel(x, y, m);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * m));
+}
+BENCHMARK(BM_FmmpApplyPanel)
+    ->ArgsProduct({benchmark::CreateDenseRange(14, 22, 4), {1, 4, 8}});
+
+// The bare span microkernels, active table vs the scalar reference:
+// arg0 = log2(span length), arg1 = 0 for scalar, 1 for the active (widest
+// supported) table.  Shows the raw SIMD win before cache effects.
+void BM_PanelKernelButterflySpan(benchmark::State& state) {
+  const std::size_t cnt = std::size_t{1} << state.range(0);
+  const auto& kernels = state.range(1) == 0
+                            ? qs::transforms::scalar_panel_kernels()
+                            : qs::transforms::panel_kernels();
+  auto lo = random_vector(cnt, 12);
+  auto hi = random_vector(cnt, 13);
+  const qs::transforms::Factor2 f = qs::transforms::Factor2::uniform(0.01);
+  for (auto _ : state) {
+    kernels.butterfly_span(lo.data(), hi.data(), cnt, f);
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(hi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * cnt));
+  state.SetLabel(kernels.name);
+}
+BENCHMARK(BM_PanelKernelButterflySpan)->ArgsProduct({{8, 12, 16}, {0, 1}});
 
 void BM_XmvpApply(benchmark::State& state) {
   const unsigned nu = static_cast<unsigned>(state.range(0));

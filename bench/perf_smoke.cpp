@@ -1,0 +1,94 @@
+// Tiny performance smoke test, registered with ctest under the `perf-smoke`
+// label (ctest -L perf-smoke).  It is deliberately coarse: the only failures
+// it hunts are catastrophic regressions (an accidental O(N^2) path, a
+// de-vectorised microkernel, a panel layout that stopped amortising memory
+// traffic), so the thresholds carry a 2x safety margin over the worst ratio
+// ever observed and survive noisy CI machines.
+//
+// Checks, at nu = 16 on the serial engine:
+//   1. panel m = 8 per-vector time <= 2x one single-vector blocked matvec
+//      (healthy builds sit at or below ~1x);
+//   2. the blocked banded kernel <= 3x the classic serial Fmmp (they are the
+//      same algorithm; banded is normally the faster one);
+//   3. one autotune report at nu = 12 measures the default plan first and
+//      returns candidates (plumbing check, not a timing check).
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fmmp.hpp"
+#include "support/rng.hpp"
+#include "transforms/panel_butterfly.hpp"
+#include "transforms/panel_microkernel.hpp"
+#include "transforms/plan_autotune.hpp"
+
+int main() {
+  using namespace qs;
+  const unsigned nu = bench::env_unsigned("QS_PERF_SMOKE_NU", 16);
+  const std::size_t n = std::size_t{1} << nu;
+  const std::size_t m = 8;
+  const unsigned reps = 7;
+  int failures = 0;
+
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+  const auto& engine = parallel::serial_engine();
+  const core::FmmpOperator op(model, landscape, core::Formulation::right,
+                              &engine, transforms::LevelOrder::ascending,
+                              core::EngineKernel::blocked);
+  const core::FmmpOperator classic(model, landscape);
+
+  std::vector<double> x(n), y(n), xp(n * m), yp(n * m);
+  Xoshiro256 rng(42);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+  for (double& v : xp) v = rng.uniform(0.0, 1.0);
+
+  const double t_single = bench::time_best_of(reps, [&] { op.apply(x, y); });
+  const double t_classic = bench::time_best_of(reps, [&] { classic.apply(x, y); });
+  const double t_panel =
+      bench::time_best_of(reps, [&] { op.apply_panel(xp, yp, m); });
+  const double per_vector = t_panel / static_cast<double>(m);
+
+  std::cout << "perf-smoke @ nu=" << nu << ", kernels="
+            << transforms::panel_kernels().name << "\n"
+            << "  classic Fmmp        : " << t_classic << " s\n"
+            << "  blocked matvec (x1) : " << t_single << " s\n"
+            << "  panel matvec (m=8)  : " << t_panel << " s ("
+            << per_vector << " s/vector, "
+            << t_single / per_vector << "x per-vector speedup)\n";
+
+  if (per_vector > 2.0 * t_single) {
+    std::cerr << "FAIL: panel m=8 per-vector time " << per_vector
+              << " s exceeds 2x the single blocked matvec (" << t_single
+              << " s) — panel path regressed\n";
+    ++failures;
+  }
+  if (t_single > 3.0 * t_classic) {
+    std::cerr << "FAIL: blocked banded matvec " << t_single
+              << " s exceeds 3x the classic serial Fmmp (" << t_classic
+              << " s) — banded kernel regressed\n";
+    ++failures;
+  }
+
+  const auto report = transforms::autotune_blocked_plan(12, engine, 1, 1);
+  const transforms::BlockedPlan def{};
+  if (report.timings.empty() ||
+      report.timings.front().plan.tile_log2 != def.tile_log2 ||
+      report.timings.front().plan.chunk_log2 != def.chunk_log2) {
+    std::cerr << "FAIL: autotune report does not measure the default plan "
+                 "first\n";
+    ++failures;
+  } else {
+    std::cout << "  autotune @ nu=12    : " << report.timings.size()
+              << " candidates, best (" << report.best.tile_log2 << ","
+              << report.best.chunk_log2 << ")\n";
+  }
+
+  if (failures == 0) {
+    std::cout << "perf-smoke PASS\n";
+    return EXIT_SUCCESS;
+  }
+  std::cerr << "perf-smoke FAIL (" << failures << " check(s))\n";
+  return EXIT_FAILURE;
+}

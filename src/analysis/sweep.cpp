@@ -1,5 +1,8 @@
 #include "analysis/sweep.hpp"
 
+#include <cmath>
+#include <mutex>
+
 #include "analysis/error_classes.hpp"
 #include "core/fmmp.hpp"
 #include "core/spectral.hpp"
@@ -8,6 +11,7 @@
 #include "solvers/reduced_solver.hpp"
 #include "support/contracts.hpp"
 #include "support/csv.hpp"
+#include "transforms/panel_butterfly.hpp"
 
 namespace qs::analysis {
 
@@ -83,6 +87,133 @@ SweepResult sweep_error_rates(const core::Landscape& landscape,
     previous = std::move(r.eigenvector);
   }
   return out;
+}
+
+FamilyResult sweep_landscape_family(const core::MutationModel& model,
+                                    std::span<const core::Landscape> family,
+                                    const FamilyOptions& options) {
+  require(!family.empty(), "sweep_landscape_family: empty family");
+  require(options.residual_check_every >= 1,
+          "sweep_landscape_family: residual_check_every must be >= 1");
+  const std::size_t n = model.dimension();
+  for (const core::Landscape& f : family) {
+    require(f.dimension() == n,
+            "sweep_landscape_family: landscape dimension differs from Q");
+  }
+  const std::size_t m = family.size();
+  const parallel::Engine& engine = options.engine != nullptr
+                                       ? *options.engine
+                                       : parallel::serial_engine();
+
+  // Interleaved per-column pre-scaling panel: column j carries F_j, so one
+  // fused panel butterfly computes y_j = Q (F_j x_j) = W_j x_j for all j.
+  std::vector<double> pre(n * m), x(n * m), y(n * m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto fv = family[j].values();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += fv[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      pre[i * m + j] = fv[i];
+      x[i * m + j] = fv[i] / sum;  // the paper's landscape start, per column
+    }
+  }
+
+  const bool grouped = model.kind() == core::MutationKind::grouped;
+  const auto panel_product = [&]() {
+    if (!grouped) {
+      transforms::apply_blocked_panel_butterfly_fused(
+          x, y, m, model.site_factors(), pre, {}, engine, options.plan);
+      return;
+    }
+    const double* xp = x.data();
+    const double* pp = pre.data();
+    double* yp = y.data();
+    engine.dispatch(n * m, [=](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) yp[i] = pp[i] * xp[i];
+    });
+    model.apply_panel(y, m, engine, options.plan);
+  };
+
+  // Per-column partial sums (one pass, merged under a mutex; m is small).
+  const auto column_sums = [&](const double* p, std::vector<double>& out) {
+    out.assign(m, 0.0);
+    std::mutex merge;
+    engine.dispatch(n, [&](std::size_t begin, std::size_t end) {
+      std::vector<double> local(m, 0.0);
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < m; ++j) local[j] += p[i * m + j];
+      }
+      const std::lock_guard<std::mutex> lock(merge);
+      for (std::size_t j = 0; j < m; ++j) out[j] += local[j];
+    });
+  };
+
+  FamilyResult result;
+  std::vector<double> lambda(m, 0.0), sums, resid(m, 0.0);
+  while (result.panel_products < options.max_iterations) {
+    panel_product();
+    ++result.panel_products;
+
+    // Nonnegative iterates and column-stochastic-scaled W: with x_j 1-norm
+    // normalised, lambda_j = ||y_j||_1.
+    column_sums(y.data(), sums);
+    lambda = sums;
+
+    const bool check =
+        result.panel_products % options.residual_check_every == 0 ||
+        result.panel_products >= options.max_iterations;
+    if (check) {
+      std::vector<double> num(m, 0.0);
+      std::mutex merge;
+      const double* xp = x.data();
+      const double* yp = y.data();
+      const double* lp = lambda.data();
+      engine.dispatch(n, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> local(m, 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < m; ++j) {
+            local[j] += std::abs(yp[i * m + j] - lp[j] * xp[i * m + j]);
+          }
+        }
+        const std::lock_guard<std::mutex> lock(merge);
+        for (std::size_t j = 0; j < m; ++j) num[j] += local[j];
+      });
+      bool done = true;
+      for (std::size_t j = 0; j < m; ++j) {
+        resid[j] = lambda[j] > 0.0 ? num[j] / lambda[j] : num[j];
+        if (!std::isfinite(resid[j]) || resid[j] > options.tolerance) done = false;
+      }
+      if (done) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // x_j <- y_j / lambda_j (1-norm renormalisation, all columns at once).
+    {
+      double* xp = x.data();
+      const double* yp = y.data();
+      const double* lp = lambda.data();
+      engine.dispatch(n, [=](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < m; ++j) {
+            xp[i * m + j] = yp[i * m + j] / lp[j];
+          }
+        }
+      });
+    }
+  }
+
+  result.eigenvalues = lambda;
+  result.residuals = resid;
+  result.eigenvectors.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<double>& v = result.eigenvectors[j];
+    v.resize(n);
+    const double inv = lambda[j] > 0.0 ? 1.0 / lambda[j] : 0.0;
+    for (std::size_t i = 0; i < n; ++i) v[i] = y[i * m + j] * inv;
+  }
+  return result;
 }
 
 void write_sweep_csv(const SweepResult& sweep, std::ostream& out) {

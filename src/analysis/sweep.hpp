@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
 #include "parallel/engine.hpp"
+#include "transforms/blocked_butterfly.hpp"
 
 namespace qs::analysis {
 
@@ -59,5 +61,46 @@ SweepResult sweep_error_rates(const core::Landscape& landscape,
 
 /// Emits the sweep as CSV: header "p,G0,...,Gnu,eigenvalue", one row per p.
 void write_sweep_csv(const SweepResult& sweep, std::ostream& out);
+
+/// Options for landscape-family solves.
+struct FamilyOptions {
+  /// Per-landscape convergence threshold on the relative 1-norm residual
+  /// ||W_j x_j - lambda_j x_j||_1 / lambda_j.
+  double tolerance = 1e-12;
+  unsigned max_iterations = 1000000;
+
+  /// Residuals are checked every k-th panel product (the eigenvalue
+  /// estimates update every product regardless).
+  unsigned residual_check_every = 8;
+
+  const parallel::Engine* engine = nullptr;
+
+  /// Tiling plan for the banded panel kernels.
+  transforms::BlockedPlan plan;
+};
+
+/// Joint solve of a same-Q landscape family.
+struct FamilyResult {
+  std::vector<double> eigenvalues;                ///< lambda_0 of W_j = Q F_j.
+  std::vector<std::vector<double>> eigenvectors;  ///< Concentrations, 1-norm
+                                                  ///< normalised, nonnegative.
+  std::vector<double> residuals;                  ///< Relative residual per j.
+  unsigned panel_products = 0;  ///< Panel matvecs performed (each advances
+                                ///< every landscape one power step).
+  bool converged = false;       ///< All landscapes met the tolerance.
+};
+
+/// Solves the dominant eigenpair of W_j = Q F_j for a whole family of
+/// landscapes F_0..F_{m-1} sharing one mutation model Q in lock-step: the m
+/// iterates are interleaved into one panel, each power step is a single
+/// banded *panel* product (per-column pre-scalings, the butterfly amortised
+/// across the family), and each column is normalised against its own
+/// eigenvalue estimate.  This is the batched form of running m independent
+/// power iterations — same iterates, a fraction of the memory traffic.
+/// Typical use: parameter studies where the landscape varies and p is fixed.
+/// Requires a non-empty family with every landscape of Q's dimension.
+FamilyResult sweep_landscape_family(const core::MutationModel& model,
+                                    std::span<const core::Landscape> family,
+                                    const FamilyOptions& options = {});
 
 }  // namespace qs::analysis

@@ -1,22 +1,26 @@
 #include "core/fmmp.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
 #include "transforms/blocked_butterfly.hpp"
+#include "transforms/panel_butterfly.hpp"
 
 namespace qs::core {
 
 FmmpOperator::FmmpOperator(MutationModel model, const Landscape& landscape,
                            Formulation formulation, const parallel::Engine* engine,
-                           transforms::LevelOrder order, EngineKernel kernel)
+                           transforms::LevelOrder order, EngineKernel kernel,
+                           transforms::BlockedPlan plan)
     : model_(std::move(model)),
       landscape_(&landscape),
       formulation_(formulation),
       engine_(engine),
       order_(order),
-      kernel_(kernel) {
+      kernel_(kernel),
+      plan_(plan) {
   require(model_.dimension() == landscape.dimension(),
           "FmmpOperator: mutation model and landscape dimensions differ");
   if (formulation_ == Formulation::symmetric) {
@@ -58,7 +62,7 @@ void FmmpOperator::apply(std::span<const double> x, std::span<double> y) const {
     // Banded kernel: the scalings ride inside the first/last band, so the
     // matvec costs two fewer full passes over the vector.
     transforms::apply_blocked_butterfly_fused(x, y, model_.site_factors(), pre,
-                                              post, *engine_);
+                                              post, *engine_, plan_);
     return;
   }
 
@@ -101,6 +105,69 @@ void FmmpOperator::apply(std::span<const double> x, std::span<double> y) const {
   model_.apply(y, order_);
   if (!post.empty()) {
     for (std::size_t i = 0; i < y.size(); ++i) y[i] *= post[i];
+  }
+}
+
+void FmmpOperator::apply_panel(std::span<const double> x, std::span<double> y,
+                               std::size_t m) const {
+  require(m >= 1, "FmmpOperator::apply_panel: panel width m must be >= 1");
+  require(x.size() == dimension() * m && y.size() == x.size(),
+          "FmmpOperator::apply_panel: dimension mismatch");
+
+  const auto f = landscape_->values();
+  std::span<const double> pre, post;
+  switch (formulation_) {
+    case Formulation::right:
+      pre = f;
+      break;
+    case Formulation::symmetric:
+      pre = sqrt_f_;
+      post = sqrt_f_;
+      break;
+    case Formulation::left:
+      post = f;
+      break;
+  }
+
+  const parallel::Engine& engine =
+      engine_ != nullptr ? *engine_ : parallel::serial_engine();
+
+  if (model_.kind() != MutationKind::grouped) {
+    transforms::apply_blocked_panel_butterfly_fused(x, y, m,
+                                                    model_.site_factors(), pre,
+                                                    post, engine, plan_);
+    return;
+  }
+
+  // Grouped kind: broadcast scaling sweeps around the banded Kronecker panel
+  // kernel (the dense-block contraction has no fused-scaling form).
+  const double* xp = x.data();
+  double* yp = y.data();
+  const std::size_t n = dimension();
+  if (!pre.empty()) {
+    const double* pp = pre.data();
+    engine.dispatch(n, [=](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double s = pp[i];
+        for (std::size_t j = 0; j < m; ++j) yp[i * m + j] = s * xp[i * m + j];
+      }
+    });
+  } else if (xp != yp) {
+    engine.dispatch(n, [=](std::size_t begin, std::size_t end) {
+      std::memcpy(yp + begin * m, xp + begin * m,
+                  (end - begin) * m * sizeof(double));
+    });
+  }
+  transforms::apply_blocked_kronecker(y, m, model_.group_product(), engine,
+                                      plan_);
+  if (!post.empty()) {
+    const double* qp = post.data();
+    engine.dispatch(n, [=](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double s = qp[i];
+        for (std::size_t j = 0; j < m; ++j) yp[i * m + j] *= s;
+      }
+    });
   }
 }
 

@@ -33,20 +33,34 @@ class FmmpOperator final : public LinearOperator {
   /// requires a symmetric mutation model.  `engine`, when non-null, must
   /// also outlive the operator and selects the parallel path; `kernel`
   /// picks between the banded kernel (default, diagonal scalings fused into
-  /// the first/last band) and the per-level reference.
+  /// the first/last band) and the per-level reference; `plan` tunes the
+  /// banded kernel's tiling (see transforms::autotune_blocked_plan).
   FmmpOperator(MutationModel model, const Landscape& landscape,
                Formulation formulation = Formulation::right,
                const parallel::Engine* engine = nullptr,
                transforms::LevelOrder order = transforms::LevelOrder::ascending,
-               EngineKernel kernel = EngineKernel::blocked);
+               EngineKernel kernel = EngineKernel::blocked,
+               transforms::BlockedPlan plan = {});
 
   seq_t dimension() const override { return model_.dimension(); }
   void apply(std::span<const double> x, std::span<double> y) const override;
   std::string_view name() const override { return "Fmmp"; }
 
+  /// Panel product Y <- W X on an interleaved panel of m vectors
+  /// (x[i*m + j] = element i of column j); every column of y becomes
+  /// W column of x.  All columns see the same landscape (the scalings are
+  /// broadcast across the panel).  Runs the banded panel kernels through the
+  /// configured engine (serial engine when none was given); the per-level
+  /// reference kernel has no panel form, so EngineKernel::per_level falls
+  /// back to the banded panel path too.  x may alias y exactly or not at
+  /// all.  Requires x.size() == y.size() == dimension() * m.
+  void apply_panel(std::span<const double> x, std::span<double> y,
+                   std::size_t m) const;
+
   const MutationModel& model() const { return model_; }
   const Landscape& landscape() const { return *landscape_; }
   Formulation formulation() const { return formulation_; }
+  const transforms::BlockedPlan& plan() const { return plan_; }
 
  private:
   MutationModel model_;
@@ -55,6 +69,7 @@ class FmmpOperator final : public LinearOperator {
   const parallel::Engine* engine_;
   transforms::LevelOrder order_;
   EngineKernel kernel_;
+  transforms::BlockedPlan plan_;
   std::vector<double> sqrt_f_;  // cached for the symmetric formulation
 };
 

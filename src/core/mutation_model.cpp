@@ -4,6 +4,7 @@
 
 #include "core/site_process.hpp"
 #include "support/contracts.hpp"
+#include "transforms/panel_butterfly.hpp"
 
 namespace qs::core {
 
@@ -106,7 +107,7 @@ void MutationModel::apply(std::span<double> v, transforms::LevelOrder order) con
 void MutationModel::apply(std::span<double> v, const parallel::Engine& engine) const {
   require(v.size() == dimension(), "apply(): dimension mismatch");
   if (kind_ == MutationKind::grouped) {
-    apply_grouped(v, engine);
+    transforms::apply_blocked_kronecker(v, 1, *groups_, engine);
     return;
   }
   transforms::apply_blocked_butterfly(v, sites_, engine);
@@ -116,10 +117,22 @@ void MutationModel::apply_blocked(std::span<double> v, const parallel::Engine& e
                                   const transforms::BlockedPlan& plan) const {
   require(v.size() == dimension(), "apply_blocked(): dimension mismatch");
   if (kind_ == MutationKind::grouped) {
-    apply_grouped(v, engine);
+    transforms::apply_blocked_kronecker(v, 1, *groups_, engine, plan);
     return;
   }
   transforms::apply_blocked_butterfly(v, sites_, engine, plan);
+}
+
+void MutationModel::apply_panel(std::span<double> panel, std::size_t m,
+                                const parallel::Engine& engine,
+                                const transforms::BlockedPlan& plan) const {
+  require(m >= 1, "apply_panel(): panel width m must be >= 1");
+  require(panel.size() == dimension() * m, "apply_panel(): dimension mismatch");
+  if (kind_ == MutationKind::grouped) {
+    transforms::apply_blocked_kronecker(panel, m, *groups_, engine, plan);
+    return;
+  }
+  transforms::apply_blocked_panel_butterfly(panel, m, sites_, engine, plan);
 }
 
 void MutationModel::apply_per_level(std::span<double> v,
@@ -150,8 +163,10 @@ void MutationModel::apply_per_level(std::span<double> v,
 
 void MutationModel::apply_grouped(std::span<double> v,
                                   const parallel::Engine& engine) const {
-  // Grouped kind: one kernel launch per group; each work item owns one
-  // strided m-tuple (the generalisation of a butterfly pair to block size m).
+  // Per-group reference path (one kernel launch per group; each work item
+  // owns one strided m-tuple, the generalisation of a butterfly pair to
+  // block size m).  Kept for apply_per_level; the banded grouped kernel in
+  // transforms/kronecker is benchmarked against it.
   double* data = v.data();
   const auto& kp = *groups_;
   unsigned lo = 0;

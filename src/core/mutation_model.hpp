@@ -93,18 +93,26 @@ class MutationModel {
 
   /// Engine-parallel fast product.  2x2 kinds run the cache-blocked banded
   /// butterfly (one kernel launch per level *band*, every work item applying
-  /// the whole band inside an L2-resident tile); the grouped kind runs one
-  /// launch per group factor.
+  /// the whole band inside an L2-resident tile); the grouped kind runs the
+  /// group-banded Kronecker kernel of transforms/kronecker, packing
+  /// consecutive groups into the same bands.
   void apply(std::span<double> v, const parallel::Engine& engine) const;
 
-  /// Engine-parallel banded product with an explicit tiling plan (2x2 kinds;
-  /// the grouped kind ignores the plan and uses its per-group path).
+  /// Engine-parallel banded product with an explicit tiling plan (all kinds).
   void apply_blocked(std::span<double> v, const parallel::Engine& engine,
                      const transforms::BlockedPlan& plan) const;
 
+  /// Engine-parallel banded product on an interleaved panel of m vectors
+  /// (panel[i*m + j] = element i of vector j): every column becomes Q column.
+  /// Requires panel.size() == dimension() * m.
+  void apply_panel(std::span<double> panel, std::size_t m,
+                   const parallel::Engine& engine,
+                   const transforms::BlockedPlan& plan = {}) const;
+
   /// The paper's literal Algorithm 2: one kernel launch per butterfly level
-  /// with the GPU index mapping j = 2*ID - (ID & (stride - 1)).  Kept as the
-  /// reference engine path the banded kernel is benchmarked against.
+  /// with the GPU index mapping j = 2*ID - (ID & (stride - 1)); the grouped
+  /// kind launches once per group factor.  Kept as the reference engine path
+  /// the banded kernels are benchmarked against.
   void apply_per_level(std::span<double> v, const parallel::Engine& engine) const;
 
   /// v <- Q^T v (needed by left-eigenvector computations; equal to apply()

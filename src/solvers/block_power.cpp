@@ -1,0 +1,258 @@
+#include "solvers/block_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+
+#include "linalg/jacobi_eigen.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+/// Smallest SIMD-friendly panel width >= k: 2, 4, 8, then multiples of 8.
+std::size_t default_block(unsigned k) {
+  if (k <= 2) return 2;
+  if (k <= 4) return 4;
+  return ((static_cast<std::size_t>(k) + 7) / 8) * 8;
+}
+
+/// G = P1^T P2 over two interleaved n x m panels; each lane accumulates a
+/// local m x m block, merged under a mutex (m is tiny, the merge is noise).
+linalg::DenseMatrix panel_gram(const double* p1, const double* p2,
+                               std::size_t n, std::size_t m,
+                               const parallel::Engine& engine) {
+  linalg::DenseMatrix g(m, m);
+  std::mutex merge;
+  engine.dispatch(n, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> local(m * m, 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* r1 = p1 + i * m;
+      const double* r2 = p2 + i * m;
+      for (std::size_t a = 0; a < m; ++a) {
+        const double v = r1[a];
+        for (std::size_t b = 0; b < m; ++b) local[a * m + b] += v * r2[b];
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge);
+    auto gd = g.data();
+    for (std::size_t i = 0; i < local.size(); ++i) gd[i] += local[i];
+  });
+  return g;
+}
+
+/// In-place panel rotation P <- P R with R m x m (row-wise small mat-vec).
+void panel_rotate(double* p, std::size_t n, std::size_t m,
+                  const linalg::DenseMatrix& r, const parallel::Engine& engine) {
+  engine.dispatch(n, [&, p](std::size_t begin, std::size_t end) {
+    std::vector<double> tmp(m);
+    for (std::size_t i = begin; i < end; ++i) {
+      double* row = p + i * m;
+      for (std::size_t b = 0; b < m; ++b) {
+        double acc = 0.0;
+        for (std::size_t a = 0; a < m; ++a) acc += row[a] * r(a, b);
+        tmp[b] = acc;
+      }
+      std::memcpy(row, tmp.data(), m * sizeof(double));
+    }
+  });
+}
+
+/// Orthonormalises the panel's columns by the symmetric inverse square root
+/// of its Gram matrix: P <- P U diag(1/sqrt(s)) with G = U diag(s) U^T.
+/// The jacobi eigenvalues come out descending, so the leading directions of
+/// the panel stay in the leading columns.
+void panel_orthonormalize(double* p, std::size_t n, std::size_t m,
+                          const parallel::Engine& engine) {
+  const linalg::DenseMatrix g = panel_gram(p, p, n, m, engine);
+  const linalg::SymmetricEigen eig = linalg::jacobi_eigen(g);
+  const double smax = std::max(eig.values.front(), 1e-300);
+  linalg::DenseMatrix r(m, m);
+  for (std::size_t b = 0; b < m; ++b) {
+    // Columns with numerically collapsed directions get zeroed rather than
+    // amplified; the next product re-fills them from the operator's range.
+    const double s = eig.values[b];
+    const double inv = s > 1e-28 * smax ? 1.0 / std::sqrt(s) : 0.0;
+    for (std::size_t a = 0; a < m; ++a) r(a, b) = eig.vectors(a, b) * inv;
+  }
+  panel_rotate(p, n, m, r, engine);
+}
+
+/// Per-column relative Ritz residuals ||ry_j - theta_j rx_j|| /
+/// (|theta_j| ||rx_j||), accumulated in one pass over both panels.
+std::vector<double> panel_residuals(const double* rx, const double* ry,
+                                    const std::vector<double>& theta,
+                                    std::size_t n, std::size_t m,
+                                    const parallel::Engine& engine) {
+  std::vector<double> acc(2 * m, 0.0);  // [num_0..num_{m-1}, den_0..den_{m-1}]
+  std::mutex merge;
+  const double* th = theta.data();
+  engine.dispatch(n, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> local(2 * m, 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* x = rx + i * m;
+      const double* y = ry + i * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = y[j] - th[j] * x[j];
+        local[j] += d * d;
+        local[m + j] += x[j] * x[j];
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += local[i];
+  });
+  std::vector<double> res(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double scale = std::abs(theta[j]) * std::sqrt(acc[m + j]);
+    res[j] = scale > 0.0 ? std::sqrt(acc[j]) / scale
+                         : std::sqrt(acc[j]);
+  }
+  return res;
+}
+
+/// Deterministic pseudo-random fill for the guard columns (splitmix64).
+double hash_unit(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5;
+}
+
+}  // namespace
+
+BlockPowerResult block_power_iteration(const core::FmmpOperator& op,
+                                       const BlockPowerOptions& options) {
+  require(options.k >= 1, "block power: need k >= 1 eigenpairs");
+  require(op.formulation() == core::Formulation::symmetric,
+          "block power: operator must use the symmetric formulation");
+  require(options.ritz_every >= 1, "block power: ritz_every must be >= 1");
+  require(options.max_iterations >= 1, "block power: need at least one iteration");
+  const std::size_t n = op.dimension();
+  require(options.k <= n, "block power: k exceeds the operator dimension");
+
+  std::size_t m = options.block != 0 ? options.block : default_block(options.k);
+  require(m >= options.k, "block power: block width must be >= k");
+  m = std::min(m, n);
+
+  const parallel::Engine& engine = options.engine != nullptr
+                                       ? *options.engine
+                                       : parallel::serial_engine();
+
+  // Starting panel: column 0 is the landscape start mapped to the symmetric
+  // formulation (v_sym = sqrt(f) .* x_R, with x_R = f the paper's start),
+  // guard columns a fixed pseudo-random basis.
+  std::vector<double> x(n * m), y(n * m);
+  const auto f = op.landscape().values();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i * m] = std::sqrt(f[i]) * f[i];
+    for (std::size_t j = 1; j < m; ++j) {
+      x[i * m + j] = hash_unit(i * 0x100000001b3ull + j);
+    }
+  }
+  panel_orthonormalize(x.data(), n, m, engine);
+
+  BlockPowerResult result;
+  std::vector<double> theta;
+  std::vector<double> residuals;
+  while (result.iterations < options.max_iterations) {
+    // Advance the subspace ritz_every products, re-orthonormalising between
+    // products so the columns do not all collapse onto the dominant pair.
+    for (unsigned s = 0; s < options.ritz_every; ++s) {
+      if (s > 0) {
+        std::memcpy(x.data(), y.data(), y.size() * sizeof(double));
+        panel_orthonormalize(x.data(), n, m, engine);
+      }
+      op.apply_panel(x, y, m);
+      ++result.iterations;
+      if (result.iterations >= options.max_iterations) break;
+    }
+
+    // Rayleigh-Ritz on span(X): A = X^T W X, rotate both panels onto the
+    // Ritz basis, and read off the per-pair residuals.
+    linalg::DenseMatrix a = panel_gram(x.data(), y.data(), n, m, engine);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double sym = 0.5 * (a(i, j) + a(j, i));
+        a(i, j) = sym;
+        a(j, i) = sym;
+      }
+    }
+    const linalg::SymmetricEigen eig = linalg::jacobi_eigen(a);
+    theta = eig.values;
+    panel_rotate(x.data(), n, m, eig.vectors, engine);
+    panel_rotate(y.data(), n, m, eig.vectors, engine);
+    residuals = panel_residuals(x.data(), y.data(), theta, n, m, engine);
+
+    bool done = true;
+    bool finite = true;
+    for (unsigned j = 0; j < options.k; ++j) {
+      if (!std::isfinite(residuals[j]) || !std::isfinite(theta[j])) finite = false;
+      if (residuals[j] > options.tolerance) done = false;
+    }
+    if (!finite) break;
+    if (done) {
+      result.converged = true;
+      break;
+    }
+
+    // Next subspace: the images in Ritz order, orthonormalised.
+    std::memcpy(x.data(), y.data(), y.size() * sizeof(double));
+    panel_orthonormalize(x.data(), n, m, engine);
+  }
+
+  // Extract the k leading Ritz pairs from the last extraction (X holds the
+  // Ritz vectors of the final Rayleigh-Ritz step).
+  const unsigned k = options.k;
+  result.eigenvalues.assign(theta.begin(), theta.begin() + k);
+  result.residuals.assign(residuals.begin(), residuals.begin() + k);
+  result.eigenvectors.resize(k);
+  for (unsigned j = 0; j < k; ++j) {
+    std::vector<double>& v = result.eigenvectors[j];
+    v.resize(n);
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = x[i * m + j];
+      norm2 += v[i] * v[i];
+    }
+    const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) v[i] *= inv;
+  }
+  return result;
+}
+
+BlockPowerResult top_k_spectrum(const core::MutationModel& model,
+                                const core::Landscape& landscape,
+                                const BlockPowerOptions& options) {
+  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric,
+                              options.engine,
+                              transforms::LevelOrder::ascending,
+                              core::EngineKernel::blocked, options.plan);
+  BlockPowerResult result = block_power_iteration(op, options);
+
+  // Convert the symmetric-formulation Ritz vectors to concentration vectors
+  // of the right formulation: x_i = v_i / sqrt(f_i), 1-norm normalised, sign
+  // fixed so the largest-magnitude entry is positive.
+  const auto f = landscape.values();
+  for (std::vector<double>& v : result.eigenvectors) {
+    double amax = 0.0;
+    double at_amax = 0.0;
+    double abs_sum = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = f[i] > 0.0 ? v[i] / std::sqrt(f[i]) : 0.0;
+      abs_sum += std::abs(v[i]);
+      if (std::abs(v[i]) > amax) {
+        amax = std::abs(v[i]);
+        at_amax = v[i];
+      }
+    }
+    const double scale =
+        abs_sum > 0.0 ? (at_amax < 0.0 ? -1.0 : 1.0) / abs_sum : 0.0;
+    for (double& e : v) e *= scale;
+  }
+  return result;
+}
+
+}  // namespace qs::solvers

@@ -36,7 +36,9 @@ QuasispeciesResult solve(const core::MutationModel& model,
   switch (options.matvec) {
     case MatvecKind::fmmp:
       op = std::make_unique<core::FmmpOperator>(model, landscape, options.formulation,
-                                                options.engine, options.level_order);
+                                                options.engine, options.level_order,
+                                                core::EngineKernel::blocked,
+                                                options.plan);
       break;
     case MatvecKind::xmvp:
       op = std::make_unique<core::XmvpOperator>(model, landscape, options.xmvp_d_max,

@@ -26,6 +26,7 @@
 #include "io/binary_io.hpp"
 #include "parallel/engine.hpp"
 #include "solvers/solver_failure.hpp"
+#include "transforms/blocked_butterfly.hpp"
 #include "transforms/butterfly.hpp"
 
 namespace qs::solvers {
@@ -49,6 +50,11 @@ struct SolveOptions {
   bool use_shift = true;          ///< Apply mu = (1-2p)^nu f_min when possible.
   const parallel::Engine* engine = nullptr;  ///< null = serial.
   transforms::LevelOrder level_order = transforms::LevelOrder::ascending;
+
+  /// Tiling plan for the banded Fmmp kernel (see transforms/plan_autotune;
+  /// the defaults are the hand-tuned fixed plan).  Other matvec kinds
+  /// ignore it.
+  transforms::BlockedPlan plan;
 
   /// Periodic checkpointing: every `checkpoint_every` iterations the power
   /// iteration's state is persisted atomically to `checkpoint_path`.

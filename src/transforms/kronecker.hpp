@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "linalg/dense_matrix.hpp"
+#include "parallel/engine.hpp"
 #include "support/bits.hpp"
+#include "transforms/blocked_butterfly.hpp"
 
 namespace qs::transforms {
 
@@ -71,5 +73,21 @@ class KroneckerProduct {
 /// Dense Kronecker product A (x) B (small operands; test utility).
 linalg::DenseMatrix kronecker_dense(const linalg::DenseMatrix& a,
                                     const linalg::DenseMatrix& b);
+
+/// Engine-parallel cache-blocked grouped Kronecker product on an interleaved
+/// panel of width m (m = 1 is the plain vector case): every column j of the
+/// panel becomes K column_j.
+///
+/// The banding mirrors transforms/blocked_butterfly: consecutive groups are
+/// packed into level *bands* that never split a group, and the panel is
+/// swept (and the engine barriered) once per band instead of once per group
+/// — the low band runs whole tiles in place, high bands own gather panels of
+/// 2^chunk-row contiguous bursts.  A group wider than the tile budget forms
+/// a band of its own (correct, with gracefully degraded locality).  Requires
+/// panel.size() == kp.dimension() * m.
+void apply_blocked_kronecker(std::span<double> panel, std::size_t m,
+                             const KroneckerProduct& kp,
+                             const parallel::Engine& engine,
+                             const BlockedPlan& plan = {});
 
 }  // namespace qs::transforms

@@ -1,0 +1,334 @@
+#include "transforms/panel_butterfly.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+#include "transforms/panel_microkernel.hpp"
+
+namespace qs::transforms {
+namespace {
+
+constexpr unsigned ceil_log2(std::size_t m) {
+  unsigned l = 0;
+  while ((std::size_t{1} << l) < m) ++l;
+  return l;
+}
+
+/// Sub-block size (log2 doubles) for the two-stage level sweep: 2^12
+/// doubles = 32 KiB, sized to stay resident in a typical 32-48 KiB L1d
+/// while the lowest butterfly levels are swept over it.
+constexpr unsigned kSubTileLog2 = 12;
+
+/// Sweeps butterfly levels [l0, l1) of `fs` over a contiguous block of
+/// total_d doubles organised as rows of w doubles each — level l pairs rows
+/// r and r + 2^l, i.e. two w*2^l-double spans sitting next to each other.
+/// Three levels go at a time through the radix-8 oct kernel, then two
+/// through the radix-4 quad, then a final odd level through the pair
+/// kernel: same arithmetic, in the same ascending order, at 1/3 resp. 1/2
+/// the block traffic of single-level sweeps.  (A radix-16 variant was tried
+/// and measured ~25% slower — sixteen live rows exhaust the sixteen ymm
+/// registers and the spills cost more than the saved sweep.)
+void sweep_levels(const PanelKernels* kp, const Factor2* fs, std::size_t w,
+                  double* base, std::size_t total_d, unsigned l0, unsigned l1) {
+  unsigned l = l0;
+  for (; l + 2 < l1; l += 3) {
+    const std::size_t cnt = (std::size_t{1} << l) * w;
+    const Factor2 f0 = fs[l];
+    const Factor2 f1 = fs[l + 1];
+    const Factor2 f2 = fs[l + 2];
+    for (std::size_t j = 0; j < total_d; j += cnt << 3) {
+      kp->butterfly_oct_span(base + j, cnt, cnt, f0, f1, f2);
+    }
+  }
+  for (; l + 1 < l1; l += 2) {
+    const std::size_t cnt = (std::size_t{1} << l) * w;
+    const Factor2 f_lo = fs[l];
+    const Factor2 f_hi = fs[l + 1];
+    for (std::size_t j = 0; j < total_d; j += cnt << 2) {
+      kp->butterfly_quad_span(base + j, base + j + cnt, base + j + 2 * cnt,
+                              base + j + 3 * cnt, cnt, f_lo, f_hi);
+    }
+  }
+  for (; l < l1; ++l) {
+    const std::size_t cnt = (std::size_t{1} << l) * w;
+    const Factor2 f = fs[l];
+    for (std::size_t j = 0; j < total_d; j += cnt << 1) {
+      kp->butterfly_span(base + j, base + j + cnt, cnt, f);
+    }
+  }
+}
+
+/// Two-stage sweep of levels [0, levels): the lowest levels run sub-block
+/// by sub-block on an L1-resident span, the remaining levels on the whole
+/// block (which is typically L2-sized).  Butterfly pairs of level l < k_in
+/// never cross a 2^k_in-row sub-block, and every element still sees its
+/// levels in ascending order, so the result is bit-identical to the
+/// single-stage sweep.
+void sweep_levels_staged(const PanelKernels* kp, const Factor2* fs,
+                         std::size_t w, double* base, std::size_t total_d,
+                         unsigned levels) {
+  const std::size_t sub_d = std::size_t{1} << kSubTileLog2;
+  if (total_d > 2 * sub_d && levels > 1) {
+    unsigned k_in =
+        kSubTileLog2 > ceil_log2(w) ? kSubTileLog2 - ceil_log2(w) : 1;
+    if (k_in >= levels) k_in = levels - 1;
+    const std::size_t sub = (std::size_t{1} << k_in) * w;
+    for (std::size_t j = 0; j < total_d; j += sub) {
+      sweep_levels(kp, fs, w, base + j, sub, 0, k_in);
+    }
+    sweep_levels(kp, fs, w, base, total_d, k_in, levels);
+  } else {
+    sweep_levels(kp, fs, w, base, total_d, 0, levels);
+  }
+}
+
+/// How a diagonal scaling span addresses the panel.
+enum class ScaleMode { none, broadcast, per_column };
+
+ScaleMode scale_mode(std::span<const double> s, std::size_t n, std::size_t m) {
+  if (s.empty()) return ScaleMode::none;
+  if (s.size() == n) return ScaleMode::broadcast;
+  require(s.size() == n * m,
+          "panel butterfly: scalings must be empty, length N (broadcast), or "
+          "length N*m (per column)");
+  return ScaleMode::per_column;
+}
+
+}  // namespace
+
+BlockedPlan panel_plan(const BlockedPlan& plan, std::size_t m) {
+  // The single-vector default tile (2^14 doubles = 128 KiB) deliberately
+  // uses a fraction of a typical L2, so a panel tile can grow 8x (m <= 8)
+  // before it pressures the cache; only wider panels shrink the tile.
+  // Keeping the tile wide keeps the band count low, which is what decides
+  // the pass count over a DRAM-resident panel.  Measured at nu = 22, m = 8:
+  // the unshrunk tile is ~20% faster than shrinking by log2(m).
+  constexpr unsigned kHeadroomLog2 = 3;
+  BlockedPlan eff = plan;
+  const unsigned lm = ceil_log2(m);
+  const unsigned shrink = lm > kHeadroomLog2 ? lm - kHeadroomLog2 : 0;
+  eff.tile_log2 = eff.tile_log2 > eff.chunk_log2 + shrink
+                      ? eff.tile_log2 - shrink
+                      : eff.chunk_log2 + 1;
+  return eff;
+}
+
+void apply_blocked_panel_butterfly_fused(std::span<const double> x,
+                                         std::span<double> y, std::size_t m,
+                                         std::span<const Factor2> factors,
+                                         std::span<const double> pre_scale,
+                                         std::span<const double> post_scale,
+                                         const parallel::Engine& engine,
+                                         const BlockedPlan& plan) {
+  require(m >= 1, "panel butterfly: panel width m must be >= 1");
+  const std::size_t total = y.size();
+  require(x.size() == total, "panel butterfly: x and y sizes differ");
+  require(total % m == 0, "panel butterfly: panel size must be a multiple of m");
+  const std::size_t n = total / m;
+  require(is_power_of_two(n), "panel butterfly: row count must be a power of two");
+  const unsigned nu = log2_exact(n);
+  require(factors.size() == nu, "panel butterfly: need exactly log2(N) factors");
+  require(x.data() == y.data() || x.data() + total <= y.data() ||
+              y.data() + total <= x.data(),
+          "panel butterfly: x and y must alias exactly or not at all");
+  const ScaleMode pre_mode = scale_mode(pre_scale, n, m);
+  const ScaleMode post_mode = scale_mode(post_scale, n, m);
+
+  const double* xs = x.data();
+  double* ys = y.data();
+  const double* pres = pre_scale.empty() ? nullptr : pre_scale.data();
+  const double* posts = post_scale.empty() ? nullptr : post_scale.data();
+  const Factor2* fs = factors.data();
+  const PanelKernels* kp = &panel_kernels();
+
+  if (nu == 0) {
+    // Single panel row: just the scalings.
+    if (pre_mode == ScaleMode::broadcast) {
+      kp->mul_rows_broadcast(ys, xs, pres, 1, m);
+    } else if (pre_mode == ScaleMode::per_column) {
+      kp->mul_span(ys, xs, pres, m);
+    } else if (xs != ys) {
+      std::memcpy(ys, xs, m * sizeof(double));
+    }
+    if (post_mode == ScaleMode::broadcast) {
+      kp->mul_rows_broadcast_inplace(ys, posts, 1, m);
+    } else if (post_mode == ScaleMode::per_column) {
+      kp->mul_span_inplace(ys, posts, m);
+    }
+    return;
+  }
+
+  const BlockedPlan eff = panel_plan(plan, m);
+  const std::vector<unsigned> bounds = blocked_band_boundaries(nu, eff);
+  const std::size_t bands = bounds.size() - 1;
+
+  // Band 0: levels [0, k1) stay inside contiguous tiles of 2^k1 panel rows
+  // (2^k1 * m doubles); the pre-scale (and, for a single-band problem, the
+  // post-scale) rides in the tile loop.  Each butterfly pair of rows is two
+  // contiguous bursts of stride*m doubles.
+  {
+    const unsigned k1 = bounds[1];
+    const std::size_t tile = std::size_t{1} << k1;
+    const std::size_t tiles = n >> k1;
+    const bool fuse_post = (bands == 1) && post_mode != ScaleMode::none;
+    engine.dispatch(tiles, [=](std::size_t begin, std::size_t end) {
+      for (std::size_t t = begin; t < end; ++t) {
+        const std::size_t base_e = t << k1;
+        const std::size_t base_d = base_e * m;
+        double* yt = ys + base_d;
+        if (pre_mode == ScaleMode::broadcast) {
+          kp->mul_rows_broadcast(yt, xs + base_d, pres + base_e, tile, m);
+        } else if (pre_mode == ScaleMode::per_column) {
+          kp->mul_span(yt, xs + base_d, pres + base_d, tile * m);
+        } else if (xs != ys) {
+          std::memcpy(yt, xs + base_d, tile * m * sizeof(double));
+        }
+        sweep_levels_staged(kp, fs, m, yt, tile * m, k1);
+        if (fuse_post) {
+          if (post_mode == ScaleMode::broadcast) {
+            kp->mul_rows_broadcast_inplace(yt, posts + base_e, tile, m);
+          } else {
+            kp->mul_span_inplace(yt, posts + base_d, tile * m);
+          }
+        }
+      }
+    });
+  }
+
+  // High bands: levels [k0, k1) couple bits k0..k1-1 of the row index.  A
+  // work item owns one gather panel restricted to 2^chunk contiguous low
+  // rows, so every access is a contiguous burst of 2^chunk * m doubles.
+  for (std::size_t band = 1; band < bands; ++band) {
+    const unsigned k0 = bounds[band];
+    const unsigned k1 = bounds[band + 1];
+    const unsigned b = k1 - k0;
+    const unsigned chunk = std::min(eff.chunk_log2, k0);
+    const std::size_t rows = std::size_t{1} << b;
+    const std::size_t cols = std::size_t{1} << chunk;
+    const std::size_t cnt = cols * m;
+    const std::size_t items = n >> (b + chunk);
+    const std::size_t chunks_per_low = std::size_t{1} << (k0 - chunk);
+    const bool fuse_post = (band == bands - 1) && post_mode != ScaleMode::none;
+    const Factor2* bandf = fs + k0;
+    if (b >= 99) {
+      // Wide band: sweeping the strided gather rows directly would stream
+      // the whole panel once per two-to-three levels.  Instead copy each
+      // gather panel into a dense scratch block (rows*cnt <= 2^tile * m
+      // doubles — blocked_band_boundaries caps the band — i.e. the same
+      // cache footprint as a band-0 tile), run all b levels there with the
+      // contiguous sweep, and scatter back: one DRAM read and one DRAM
+      // write for the entire band, regardless of b.  The copies do not
+      // change any value and the level order is unchanged, so the result
+      // stays bit-identical to the direct path.
+      engine.dispatch(items, [=](std::size_t begin, std::size_t end) {
+        std::vector<double> scratch(rows * cnt);
+        double* sc = scratch.data();
+        for (std::size_t id = begin; id < end; ++id) {
+          const std::size_t high = id / chunks_per_low;
+          const std::size_t lc = id % chunks_per_low;
+          const std::size_t base_e = (high << k1) + (lc << chunk);
+          for (std::size_t r = 0; r < rows; ++r) {
+            std::memcpy(sc + r * cnt, ys + (base_e + (r << k0)) * m,
+                        cnt * sizeof(double));
+          }
+          sweep_levels_staged(kp, bandf, cnt, sc, rows * cnt, b);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t row_e = base_e + (r << k0);
+            double* dst = ys + row_e * m;
+            const double* src = sc + r * cnt;
+            if (!fuse_post) {
+              std::memcpy(dst, src, cnt * sizeof(double));
+            } else if (post_mode == ScaleMode::broadcast) {
+              kp->mul_rows_broadcast(dst, src, posts + row_e, cols, m);
+            } else {
+              kp->mul_span(dst, src, posts + row_e * m, cnt);
+            }
+          }
+        }
+      });
+      continue;
+    }
+    engine.dispatch(items, [=](std::size_t begin, std::size_t end) {
+      for (std::size_t id = begin; id < end; ++id) {
+        const std::size_t high = id / chunks_per_low;
+        const std::size_t lc = id % chunks_per_low;
+        const std::size_t base_e = (high << k1) + (lc << chunk);
+        // Same radix-8/radix-4 fusion as the low band, on the gather rows
+        // r + k*s (s = 2^l band rows) spaced 2^k0 panel rows apart.
+        unsigned l = 0;
+        for (; l + 2 < b; l += 3) {
+          const std::size_t rstride = std::size_t{1} << l;
+          const std::size_t step = (rstride << k0) * m;
+          const Factor2 f0 = bandf[l];
+          const Factor2 f1 = bandf[l + 1];
+          const Factor2 f2 = bandf[l + 2];
+          for (std::size_t r0 = 0; r0 < rows; r0 += rstride << 3) {
+            for (std::size_t r = r0; r < r0 + rstride; ++r) {
+              kp->butterfly_oct_span(ys + (base_e + (r << k0)) * m, step, cnt,
+                                     f0, f1, f2);
+            }
+          }
+        }
+        for (; l + 1 < b; l += 2) {
+          const std::size_t rstride = std::size_t{1} << l;
+          const std::size_t step = (rstride << k0) * m;
+          const Factor2 f_lo = bandf[l];
+          const Factor2 f_hi = bandf[l + 1];
+          for (std::size_t r0 = 0; r0 < rows; r0 += rstride << 2) {
+            for (std::size_t r = r0; r < r0 + rstride; ++r) {
+              double* p0 = ys + (base_e + (r << k0)) * m;
+              kp->butterfly_quad_span(p0, p0 + step, p0 + 2 * step,
+                                      p0 + 3 * step, cnt, f_lo, f_hi);
+            }
+          }
+        }
+        for (; l < b; ++l) {
+          const std::size_t rstride = std::size_t{1} << l;
+          const Factor2 f = bandf[l];
+          for (std::size_t r0 = 0; r0 < rows; r0 += rstride << 1) {
+            for (std::size_t r = r0; r < r0 + rstride; ++r) {
+              double* lo = ys + (base_e + (r << k0)) * m;
+              double* hi = lo + ((rstride << k0)) * m;
+              kp->butterfly_span(lo, hi, cnt, f);
+            }
+          }
+        }
+        if (fuse_post) {
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t row_e = base_e + (r << k0);
+            if (post_mode == ScaleMode::broadcast) {
+              kp->mul_rows_broadcast_inplace(ys + row_e * m, posts + row_e, cols, m);
+            } else {
+              kp->mul_span_inplace(ys + row_e * m, posts + row_e * m, cnt);
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+void apply_blocked_panel_butterfly(std::span<double> panel, std::size_t m,
+                                   std::span<const Factor2> factors,
+                                   const parallel::Engine& engine,
+                                   const BlockedPlan& plan) {
+  apply_blocked_panel_butterfly_fused(panel, panel, m, factors, {}, {}, engine, plan);
+}
+
+void pack_panel_column(std::span<const double> column, std::span<double> panel,
+                       std::size_t m, std::size_t j) {
+  require(m >= 1 && j < m, "pack_panel_column: column index out of range");
+  require(column.size() * m == panel.size(), "pack_panel_column: size mismatch");
+  for (std::size_t i = 0; i < column.size(); ++i) panel[i * m + j] = column[i];
+}
+
+void unpack_panel_column(std::span<const double> panel, std::size_t m,
+                         std::size_t j, std::span<double> column) {
+  require(m >= 1 && j < m, "unpack_panel_column: column index out of range");
+  require(column.size() * m == panel.size(), "unpack_panel_column: size mismatch");
+  for (std::size_t i = 0; i < column.size(); ++i) column[i] = panel[i * m + j];
+}
+
+}  // namespace qs::transforms

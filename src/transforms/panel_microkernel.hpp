@@ -1,0 +1,78 @@
+// Portable SIMD microkernels for the interleaved-panel butterfly.
+//
+// Every hot loop of the panel (multi-vector) Fmmp path reduces to one of
+// five element-wise span operations: the 2x2 butterfly across two contiguous
+// double spans, elementwise products (the per-column diagonal scalings), and
+// broadcast row scalings (one scale factor shared by the m columns of a
+// panel row).  This module provides those operations behind a function-
+// pointer table resolved once at first use:
+//
+//   * a scalar implementation, always compiled, bit-identical across
+//     backends and hosts (it is also what the single-vector banded kernel
+//     computes per element);
+//   * an AVX2+FMA implementation, compiled only when the build probe passed
+//     (QS_ENABLE_SIMD + a compile test, see the top-level CMakeLists) and
+//     selected only when the running CPU reports avx2 and fma — so a binary
+//     built on a new host still runs on an old one, falling back to scalar;
+//   * an AVX-512F implementation under the same contract (own probe, own
+//     TU, runtime cpu check), preferred over AVX2 when available.
+//
+// The dispatch granularity is a whole span (typically 2^chunk * m doubles),
+// so the indirect call amortises over tens to thousands of FMAs.
+#pragma once
+
+#include <cstddef>
+
+#include "transforms/butterfly.hpp"
+
+namespace qs::transforms {
+
+/// Table of the element-wise span kernels the panel butterfly is built from.
+struct PanelKernels {
+  /// Butterfly across two contiguous spans: for i in [0, cnt),
+  /// (lo[i], hi[i]) <- (m00 lo[i] + m01 hi[i], m10 lo[i] + m11 hi[i]).
+  void (*butterfly_span)(double* lo, double* hi, std::size_t cnt, Factor2 f);
+
+  /// Two fused butterfly levels (radix-4) on four contiguous spans — panel
+  /// rows i, i+s, i+2s, i+3s for levels (l, l+1) with s = 2^l: applies f_lo
+  /// to the pairs (r0,r1) and (r2,r3), then f_hi to (r0,r2) and (r1,r3).
+  /// Identical arithmetic, in the identical order, to two successive
+  /// butterfly_span levels — but each element is loaded and stored once
+  /// instead of twice, halving the cache traffic of the level sweep.
+  void (*butterfly_quad_span)(double* r0, double* r1, double* r2, double* r3,
+                              std::size_t cnt, Factor2 f_lo, Factor2 f_hi);
+
+  /// Three fused butterfly levels (radix-8) on eight equally spaced spans
+  /// (span k starts at p + k*stride): f0 pairs (0,1)(2,3)(4,5)(6,7), then f1
+  /// pairs (0,2)(1,3)(4,6)(5,7), then f2 pairs (0,4)(1,5)(2,6)(3,7) — the
+  /// arithmetic of three successive butterfly_span levels with one load and
+  /// one store per element instead of three.
+  void (*butterfly_oct_span)(double* p, std::size_t stride, std::size_t cnt,
+                             Factor2 f0, Factor2 f1, Factor2 f2);
+
+  /// y[i] = s[i] * x[i] for i in [0, cnt). x may alias y exactly.
+  void (*mul_span)(double* y, const double* x, const double* s, std::size_t cnt);
+
+  /// y[i] *= s[i] for i in [0, cnt).
+  void (*mul_span_inplace)(double* y, const double* s, std::size_t cnt);
+
+  /// Broadcast row scaling on an interleaved panel: for r in [0, rows) and
+  /// c in [0, m), y[r*m + c] = s[r] * x[r*m + c]. x may alias y exactly.
+  void (*mul_rows_broadcast)(double* y, const double* x, const double* s,
+                             std::size_t rows, std::size_t m);
+
+  /// y[r*m + c] *= s[r].
+  void (*mul_rows_broadcast_inplace)(double* y, const double* s,
+                                     std::size_t rows, std::size_t m);
+
+  /// Implementation name for introspection: "scalar", "avx2", or "avx512".
+  const char* name;
+};
+
+/// The portable scalar table (always available; reference for ULP tests).
+const PanelKernels& scalar_panel_kernels();
+
+/// The widest table both the build and the running CPU support.
+const PanelKernels& panel_kernels();
+
+}  // namespace qs::transforms

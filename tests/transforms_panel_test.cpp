@@ -1,0 +1,466 @@
+// Equivalence tests for the multi-vector (panel) kernels: the interleaved
+// panel butterfly, its fused scalings (broadcast and per-column), the SIMD
+// microkernel dispatch, and the group-banded Kronecker kernel must all match
+// their single-vector serial references across every engine backend, panel
+// width (SIMD-divisible and tail cases), and tiling plan.
+#include "transforms/panel_butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "core/fmmp.hpp"
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "parallel/engine.hpp"
+#include "support/rng.hpp"
+#include "transforms/blocked_butterfly.hpp"
+#include "transforms/butterfly.hpp"
+#include "transforms/kronecker.hpp"
+#include "transforms/panel_microkernel.hpp"
+
+namespace qs::transforms {
+namespace {
+
+constexpr double kTol = 1e-14;
+
+const std::initializer_list<parallel::Backend> kBackends = {
+    parallel::Backend::serial, parallel::Backend::openmp,
+    parallel::Backend::thread_pool};
+
+// Panel widths covering every microkernel regime: scalar (1), below SIMD
+// width (2, 3), exactly SIMD width (4), SIMD width + tail (5), two SIMD
+// lanes (8).
+const std::initializer_list<std::size_t> kWidths = {1, 2, 3, 4, 5, 8};
+
+std::vector<Factor2> asymmetric_factors(unsigned nu, std::uint64_t seed) {
+  std::vector<Factor2> sites;
+  sites.reserve(nu);
+  Xoshiro256 rng(seed);
+  for (unsigned k = 0; k < nu; ++k) {
+    sites.push_back(Factor2::asymmetric(rng.uniform(0.001, 0.4), rng.uniform(0.001, 0.4)));
+  }
+  return sites;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+std::vector<double> positive_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  for (double& x : v) x = rng.uniform(0.5, 2.0);
+  return v;
+}
+
+void expect_near_all(const std::vector<double>& expected,
+                     const std::vector<double>& actual, double tol) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], tol) << "index " << i;
+  }
+}
+
+TEST(PanelButterfly, MatchesSingleVectorAcrossBackendsWidthsAndNu) {
+  for (unsigned nu : {1u, 3u, 6u, 10u, 12u}) {
+    const std::size_t n = std::size_t{1} << nu;
+    const auto factors = asymmetric_factors(nu, nu);
+    for (std::size_t m : kWidths) {
+      // Reference: each column through the serial single-vector butterfly.
+      std::vector<std::vector<double>> columns(m);
+      std::vector<double> panel(n * m);
+      for (std::size_t j = 0; j < m; ++j) {
+        columns[j] = random_vector(n, 100 * nu + j);
+        pack_panel_column(columns[j], panel, m, j);
+        apply_butterfly(columns[j], factors);
+      }
+      for (parallel::Backend kind : kBackends) {
+        const auto engine = parallel::make_engine(kind);
+        std::vector<double> work = panel;
+        apply_blocked_panel_butterfly(work, m, factors, *engine);
+        std::vector<double> column(n);
+        for (std::size_t j = 0; j < m; ++j) {
+          unpack_panel_column(work, m, j, column);
+          expect_near_all(columns[j], column, kTol);
+        }
+      }
+    }
+  }
+}
+
+TEST(PanelButterfly, WidthOneMatchesBlockedButterfly) {
+  // m = 1 reduces to the single-vector banded kernel: same bands, same
+  // operation order.  With the scalar microkernel table active the results
+  // are bit-identical; with FMA-fused SIMD kernels each butterfly rounds
+  // once less, so equality holds to a few ULP instead.
+  const unsigned nu = 12;
+  const std::size_t n = std::size_t{1} << nu;
+  const auto factors = asymmetric_factors(nu, 7);
+  const auto x = random_vector(n, 7);
+  std::vector<double> single = x;
+  std::vector<double> panel = x;
+  const auto& engine = parallel::serial_engine();
+  apply_blocked_butterfly(single, factors, engine);
+  apply_blocked_panel_butterfly(panel, 1, factors, engine);
+  const bool scalar_active =
+      std::string_view(panel_kernels().name) == std::string_view("scalar");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scalar_active) {
+      ASSERT_EQ(single[i], panel[i]) << "index " << i;
+    } else {
+      ASSERT_NEAR(single[i], panel[i], kTol) << "index " << i;
+    }
+  }
+}
+
+TEST(PanelButterfly, FusedBroadcastScalingsMatchSingleVectorFused) {
+  const unsigned nu = 11;
+  const std::size_t n = std::size_t{1} << nu;
+  const auto factors = asymmetric_factors(nu, 21);
+  const auto pre = positive_vector(n, 1);
+  const auto post = positive_vector(n, 2);
+  for (std::size_t m : kWidths) {
+    std::vector<std::vector<double>> reference(m);
+    std::vector<double> panel(n * m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto x = random_vector(n, 40 + j);
+      pack_panel_column(x, panel, m, j);
+      reference[j].resize(n);
+      apply_blocked_butterfly_fused(x, reference[j], factors, pre, post,
+                                    parallel::serial_engine());
+    }
+    for (parallel::Backend kind : kBackends) {
+      const auto engine = parallel::make_engine(kind);
+      std::vector<double> out(n * m);
+      apply_blocked_panel_butterfly_fused(panel, out, m, factors, pre, post,
+                                          *engine);
+      std::vector<double> column(n);
+      for (std::size_t j = 0; j < m; ++j) {
+        unpack_panel_column(out, m, j, column);
+        expect_near_all(reference[j], column, kTol);
+      }
+    }
+  }
+}
+
+TEST(PanelButterfly, PerColumnScalingsGiveEachColumnItsOwnDiagonal) {
+  // Length N*m scalings: column j must see exactly its own diagonals — the
+  // landscape-family mode W_j = D_post_j Q D_pre_j.
+  const unsigned nu = 9;
+  const std::size_t n = std::size_t{1} << nu;
+  const auto factors = asymmetric_factors(nu, 5);
+  for (std::size_t m : {2ul, 3ul, 8ul}) {
+    std::vector<double> pre_panel(n * m), post_panel(n * m), panel(n * m);
+    std::vector<std::vector<double>> reference(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto pre = positive_vector(n, 300 + j);
+      const auto post = positive_vector(n, 400 + j);
+      const auto x = random_vector(n, 500 + j);
+      pack_panel_column(pre, pre_panel, m, j);
+      pack_panel_column(post, post_panel, m, j);
+      pack_panel_column(x, panel, m, j);
+      reference[j].resize(n);
+      apply_blocked_butterfly_fused(x, reference[j], factors, pre, post,
+                                    parallel::serial_engine());
+    }
+    for (parallel::Backend kind : kBackends) {
+      const auto engine = parallel::make_engine(kind);
+      std::vector<double> out = panel;
+      apply_blocked_panel_butterfly_fused(out, out, m, factors, pre_panel,
+                                          post_panel, *engine);
+      std::vector<double> column(n);
+      for (std::size_t j = 0; j < m; ++j) {
+        unpack_panel_column(out, m, j, column);
+        expect_near_all(reference[j], column, kTol);
+      }
+    }
+  }
+}
+
+TEST(PanelButterfly, PlanVariationsAllAgree) {
+  // Different tilings change the sweep order, never the math.
+  const unsigned nu = 12;
+  const std::size_t n = std::size_t{1} << nu;
+  const std::size_t m = 4;
+  const auto factors = asymmetric_factors(nu, 3);
+  std::vector<double> base(n * m);
+  for (std::size_t j = 0; j < m; ++j) {
+    pack_panel_column(random_vector(n, 60 + j), base, m, j);
+  }
+  std::vector<double> reference = base;
+  apply_blocked_panel_butterfly(reference, m, factors, parallel::serial_engine());
+  for (const BlockedPlan plan : {BlockedPlan{4, 2}, BlockedPlan{6, 3},
+                                 BlockedPlan{9, 5}, BlockedPlan{20, 6}}) {
+    std::vector<double> work = base;
+    apply_blocked_panel_butterfly(work, m, factors, parallel::serial_engine(),
+                                  plan);
+    expect_near_all(reference, work, kTol);
+  }
+}
+
+TEST(PanelButterfly, PanelPlanShrinksTileOnlyForWidePanels) {
+  // Panels up to m = 8 keep the full tile (the default tile is small
+  // relative to L2, and fewer bands = fewer panel passes); wider panels
+  // shrink by ceil(log2(m)) - 3.
+  const BlockedPlan base{14, 6};
+  EXPECT_EQ(panel_plan(base, 1).tile_log2, 14u);
+  EXPECT_EQ(panel_plan(base, 2).tile_log2, 14u);
+  EXPECT_EQ(panel_plan(base, 8).tile_log2, 14u);
+  EXPECT_EQ(panel_plan(base, 16).tile_log2, 13u);
+  EXPECT_EQ(panel_plan(base, 64).tile_log2, 11u);
+  EXPECT_EQ(panel_plan(base, 48).tile_log2, 11u);  // ceil(log2(48)) = 6
+  // Never shrinks below chunk_log2 + 1.
+  const BlockedPlan tight{8, 6};
+  EXPECT_EQ(panel_plan(tight, 8).tile_log2, 8u);
+  EXPECT_EQ(panel_plan(tight, 1u << 10).tile_log2, 7u);
+  EXPECT_GT(panel_plan(tight, 1u << 12).tile_log2, tight.chunk_log2);
+}
+
+TEST(PanelButterfly, PackUnpackRoundTrip) {
+  const std::size_t n = 64, m = 5;
+  std::vector<double> panel(n * m, 0.0);
+  std::vector<std::vector<double>> columns(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    columns[j] = random_vector(n, 900 + j);
+    pack_panel_column(columns[j], panel, m, j);
+  }
+  std::vector<double> column(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    unpack_panel_column(panel, m, j, column);
+    expect_near_all(columns[j], column, 0.0);
+  }
+}
+
+TEST(PanelMicrokernels, ActiveKernelsMatchScalarIncludingTails) {
+  // The runtime-dispatched table (AVX2 where available) must agree with the
+  // always-compiled scalar kernels on every span length around the SIMD
+  // width, including the odd tails.
+  const PanelKernels& scalar = scalar_panel_kernels();
+  const PanelKernels& active = panel_kernels();
+  const Factor2 f = Factor2::asymmetric(0.013, 0.27);
+  for (std::size_t cnt : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 15ul, 64ul, 101ul}) {
+    const auto lo0 = random_vector(cnt, cnt);
+    const auto hi0 = random_vector(cnt, cnt + 1);
+    const auto s = positive_vector(cnt, cnt + 2);
+
+    auto lo_a = lo0, hi_a = hi0, lo_b = lo0, hi_b = hi0;
+    scalar.butterfly_span(lo_a.data(), hi_a.data(), cnt, f);
+    active.butterfly_span(lo_b.data(), hi_b.data(), cnt, f);
+    expect_near_all(lo_a, lo_b, kTol);
+    expect_near_all(hi_a, hi_b, kTol);
+
+    std::vector<double> ya(cnt), yb(cnt);
+    scalar.mul_span(ya.data(), lo0.data(), s.data(), cnt);
+    active.mul_span(yb.data(), lo0.data(), s.data(), cnt);
+    expect_near_all(ya, yb, 0.0);  // plain multiply: bitwise equal
+
+    // Radix-4 quad: must equal two successive pair levels (any kernel mix).
+    const Factor2 f_hi = Factor2::asymmetric(0.041, 0.18);
+    auto quad_ref = random_vector(4 * cnt, cnt + 3);
+    auto quad_act = quad_ref;
+    {
+      double* q = quad_ref.data();
+      scalar.butterfly_span(q, q + cnt, cnt, f);
+      scalar.butterfly_span(q + 2 * cnt, q + 3 * cnt, cnt, f);
+      scalar.butterfly_span(q, q + 2 * cnt, cnt, f_hi);
+      scalar.butterfly_span(q + cnt, q + 3 * cnt, cnt, f_hi);
+    }
+    {
+      double* q = quad_act.data();
+      active.butterfly_quad_span(q, q + cnt, q + 2 * cnt, q + 3 * cnt, cnt, f,
+                                 f_hi);
+    }
+    expect_near_all(quad_ref, quad_act, kTol);
+
+    // Radix-8 oct: must equal three successive pair levels.
+    const Factor2 f_top = Factor2::asymmetric(0.009, 0.33);
+    auto oct_ref = random_vector(8 * cnt, cnt + 4);
+    auto oct_act = oct_ref;
+    {
+      double* q = oct_ref.data();
+      for (std::size_t k = 0; k < 8; k += 2) {
+        scalar.butterfly_span(q + k * cnt, q + (k + 1) * cnt, cnt, f);
+      }
+      for (std::size_t k : {0ul, 1ul, 4ul, 5ul}) {
+        scalar.butterfly_span(q + k * cnt, q + (k + 2) * cnt, cnt, f_hi);
+      }
+      for (std::size_t k = 0; k < 4; ++k) {
+        scalar.butterfly_span(q + k * cnt, q + (k + 4) * cnt, cnt, f_top);
+      }
+    }
+    active.butterfly_oct_span(oct_act.data(), cnt, cnt, f, f_hi, f_top);
+    expect_near_all(oct_ref, oct_act, kTol);
+
+    auto za = lo0, zb = lo0;
+    scalar.mul_span_inplace(za.data(), s.data(), cnt);
+    active.mul_span_inplace(zb.data(), s.data(), cnt);
+    expect_near_all(za, zb, 0.0);
+  }
+  for (std::size_t m : {1ul, 3ul, 4ul, 5ul, 8ul}) {
+    const std::size_t rows = 9;
+    const auto x = random_vector(rows * m, m);
+    const auto s = positive_vector(rows, m + 1);
+    std::vector<double> ya(rows * m), yb(rows * m);
+    scalar.mul_rows_broadcast(ya.data(), x.data(), s.data(), rows, m);
+    active.mul_rows_broadcast(yb.data(), x.data(), s.data(), rows, m);
+    expect_near_all(ya, yb, 0.0);
+    auto za = x, zb = x;
+    scalar.mul_rows_broadcast_inplace(za.data(), s.data(), rows, m);
+    active.mul_rows_broadcast_inplace(zb.data(), s.data(), rows, m);
+    expect_near_all(za, zb, 0.0);
+  }
+}
+
+std::vector<linalg::DenseMatrix> random_group_factors(
+    const std::vector<unsigned>& bits, std::uint64_t seed) {
+  // Column-stochastic random factors of size 2^bits[i].
+  Xoshiro256 rng(seed);
+  std::vector<linalg::DenseMatrix> factors;
+  for (unsigned b : bits) {
+    const std::size_t s = std::size_t{1} << b;
+    linalg::DenseMatrix f(s, s);
+    for (std::size_t c = 0; c < s; ++c) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < s; ++r) {
+        f(r, c) = rng.uniform(0.01, 1.0);
+        sum += f(r, c);
+      }
+      for (std::size_t r = 0; r < s; ++r) f(r, c) /= sum;
+    }
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+TEST(BlockedKronecker, MatchesSerialReferenceAcrossGroupShapes) {
+  // Group layouts covering: all-equal small groups, mixed sizes, one big
+  // group, and a group wider than the tile budget (its own band).
+  const std::vector<std::vector<unsigned>> shapes = {
+      {1, 1, 1, 1, 1, 1, 1, 1}, {2, 2, 2, 2}, {3, 1, 2, 3, 1},
+      {4, 4, 2}, {1, 5, 1, 3}, {10}};
+  for (const auto& bits : shapes) {
+    const KroneckerProduct kp(random_group_factors(bits, bits.size()));
+    const std::size_t n = kp.dimension();
+    for (std::size_t m : {1ul, 3ul, 4ul}) {
+      std::vector<double> panel(n * m);
+      std::vector<std::vector<double>> reference(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        reference[j] = random_vector(n, 70 + j);
+        pack_panel_column(reference[j], panel, m, j);
+        kp.apply(reference[j]);
+      }
+      for (parallel::Backend kind : kBackends) {
+        const auto engine = parallel::make_engine(kind);
+        for (const BlockedPlan plan :
+             {BlockedPlan{}, BlockedPlan{4, 2}, BlockedPlan{7, 3}}) {
+          std::vector<double> work = panel;
+          apply_blocked_kronecker(work, m, kp, *engine, plan);
+          std::vector<double> column(n);
+          for (std::size_t j = 0; j < m; ++j) {
+            unpack_panel_column(work, m, j, column);
+            expect_near_all(reference[j], column, kTol);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedKronecker, GroupedMutationModelEnginePathsMatchSerial) {
+  // MutationModel's grouped engine paths now route through the banded
+  // Kronecker kernel; all of them must match the serial reference apply().
+  const auto factors = random_group_factors({2, 3, 1, 2}, 11);
+  const auto model = core::MutationModel::grouped(factors);
+  const std::size_t n = model.dimension();
+  std::vector<double> reference = random_vector(n, 12);
+  const std::vector<double> input = reference;
+  model.apply(reference);
+  for (parallel::Backend kind : kBackends) {
+    const auto engine = parallel::make_engine(kind);
+    std::vector<double> v = input;
+    model.apply(std::span<double>(v), *engine);
+    expect_near_all(reference, v, kTol);
+    v = input;
+    model.apply_blocked(v, *engine, BlockedPlan{5, 3});
+    expect_near_all(reference, v, kTol);
+    v = input;
+    model.apply_per_level(v, *engine);
+    expect_near_all(reference, v, kTol);
+  }
+}
+
+TEST(PanelFmmp, MutationModelPanelMatchesPerColumnApply) {
+  for (const bool grouped : {false, true}) {
+    const auto model =
+        grouped ? core::MutationModel::grouped(random_group_factors({2, 3, 2}, 9))
+                : core::MutationModel::per_site(asymmetric_factors(7, 9));
+    const std::size_t n = model.dimension();
+    for (std::size_t m : {2ul, 5ul, 8ul}) {
+      std::vector<double> panel(n * m);
+      std::vector<std::vector<double>> reference(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        reference[j] = random_vector(n, 20 + j);
+        pack_panel_column(reference[j], panel, m, j);
+        model.apply(reference[j]);
+      }
+      for (parallel::Backend kind : kBackends) {
+        const auto engine = parallel::make_engine(kind);
+        std::vector<double> work = panel;
+        model.apply_panel(work, m, *engine);
+        std::vector<double> column(n);
+        for (std::size_t j = 0; j < m; ++j) {
+          unpack_panel_column(work, m, j, column);
+          expect_near_all(reference[j], column, kTol);
+        }
+      }
+    }
+  }
+}
+
+TEST(PanelFmmp, OperatorPanelMatchesPerColumnApplyAllFormulations) {
+  const unsigned nu = 8;
+  const std::size_t n = std::size_t{1} << nu;
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 33);
+  for (const bool grouped : {false, true}) {
+    const auto model =
+        grouped
+            ? core::MutationModel::grouped(random_group_factors({2, 2, 2, 2}, 4))
+            : core::MutationModel::uniform(nu, 0.01);
+    for (const core::Formulation form :
+         {core::Formulation::right, core::Formulation::symmetric,
+          core::Formulation::left}) {
+      if (form == core::Formulation::symmetric && !model.symmetric()) continue;
+      for (parallel::Backend kind : kBackends) {
+        const auto engine = parallel::make_engine(kind);
+        const core::FmmpOperator op(model, landscape, form, engine.get());
+        const std::size_t m = 4;
+        std::vector<double> panel(n * m), reference(n), x(n);
+        std::vector<std::vector<double>> expected(m);
+        for (std::size_t j = 0; j < m; ++j) {
+          x = random_vector(n, 50 + j);
+          pack_panel_column(x, panel, m, j);
+          expected[j].resize(n);
+          op.apply(x, expected[j]);
+        }
+        std::vector<double> out(n * m);
+        op.apply_panel(panel, out, m);
+        std::vector<double> column(n);
+        for (std::size_t j = 0; j < m; ++j) {
+          unpack_panel_column(out, m, j, column);
+          expect_near_all(expected[j], column, kTol);
+        }
+        // In-place panel application agrees with out-of-place.
+        op.apply_panel(panel, panel, m);
+        expect_near_all(out, panel, 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qs::transforms

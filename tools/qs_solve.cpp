@@ -13,6 +13,7 @@
 // concentrations; optionally writes the full concentration vector / class
 // table as CSV and saves landscapes / solver checkpoints through the binary
 // io module.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -46,6 +47,16 @@ void print_usage() {
       "  --tolerance T       relative residual target (default 1e-13)\n"
       "  --no-shift          disable the convergence-acceleration shift\n"
       "  --parallel          use the OpenMP engine\n"
+      "  --block-size K      compute the K leading eigenpairs by block\n"
+      "                      subspace iteration on the banded *panel* kernel\n"
+      "                      (one memory sweep advances all K vectors; the\n"
+      "                      dominant pair is reported as the solution)\n"
+      "  --autotune          measure a grid of banded-kernel tiling plans at\n"
+      "                      this problem size (seeded by the detected cache\n"
+      "                      hierarchy) and solve with the fastest; never\n"
+      "                      slower than the fixed default plan\n"
+      "  --tile-log2 T       banded kernel tile size override (default 14)\n"
+      "  --chunk-log2 C      banded kernel chunk size override (default 6)\n"
       "  --csv FILE          write species concentrations as CSV\n"
       "  --classes-csv FILE  write [Gamma_k] per class as CSV\n"
       "  --save-landscape F  persist the landscape in binary form\n"
@@ -181,17 +192,53 @@ int run(const qs::ArgParser& args) {
       args.has("parallel") ? &qs::parallel::parallel_engine() : nullptr;
   const std::string solver = args.get("solver", "power");
 
+  qs::transforms::BlockedPlan plan;
+  if (args.has("tile-log2")) {
+    plan.tile_log2 = static_cast<unsigned>(args.get_long("tile-log2", 14, 4, 30));
+  }
+  if (args.has("chunk-log2")) {
+    plan.chunk_log2 = static_cast<unsigned>(args.get_long("chunk-log2", 6, 1, 20));
+  }
+  if (args.has("autotune")) {
+    const auto report = qs::transforms::autotune_blocked_plan(
+        nu, engine != nullptr ? *engine : qs::parallel::serial_engine());
+    plan = report.best;
+    std::cout << "autotuned plan: tile_log2 = " << plan.tile_log2
+              << ", chunk_log2 = " << plan.chunk_log2 << " ("
+              << report.timings.size() << " candidates, default "
+              << report.timings.front().seconds << " s/matvec)\n";
+  }
+
   double eigenvalue = 0.0;
   std::vector<double> concentrations;
   unsigned iterations = 0;
   double residual = 0.0;
   qs::Timer timer;
 
-  if (solver == "power" || solver == "xmvp") {
+  if (args.has("block-size")) {
+    qs::solvers::BlockPowerOptions bopts;
+    bopts.k = static_cast<unsigned>(args.get_long("block-size", 2, 1, 64));
+    bopts.tolerance = std::max(tolerance, 1e-11);
+    bopts.engine = engine;
+    bopts.plan = plan;
+    const auto r = qs::solvers::top_k_spectrum(model, landscape, bopts);
+    if (!r.converged) throw CliError{"block solver did not converge"};
+    std::cout << "leading eigenvalues (block subspace iteration, k = "
+              << bopts.k << "):\n";
+    for (std::size_t j = 0; j < r.eigenvalues.size(); ++j) {
+      std::cout << "  lambda_" << j << " = " << r.eigenvalues[j]
+                << "   residual = " << r.residuals[j] << "\n";
+    }
+    eigenvalue = r.eigenvalues.front();
+    concentrations = r.eigenvectors.front();
+    iterations = r.iterations;
+    residual = r.residuals.front();
+  } else if (solver == "power" || solver == "xmvp") {
     qs::solvers::SolveOptions opts;
     opts.tolerance = tolerance;
     opts.use_shift = !args.has("no-shift");
     opts.engine = engine;
+    opts.plan = plan;
     opts.recover = !args.has("no-recover");
     if (solver == "xmvp") {
       opts.matvec = qs::solvers::MatvecKind::xmvp;

@@ -5,7 +5,9 @@
 
 #include "analysis/error_classes.hpp"
 #include "core/fmmp.hpp"
+#include "core/planned_operator.hpp"
 #include "core/spectral.hpp"
+#include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
 #include "solvers/power_iteration.hpp"
 #include "solvers/reduced_solver.hpp"
@@ -49,15 +51,30 @@ SweepResult sweep_error_rates(const core::Landscape& landscape,
   SweepResult out;
   out.error_rates.assign(error_rates.begin(), error_rates.end());
 
+  // One scratch workspace and (optionally autotuned) plan serve the whole
+  // grid: the per-point operators change factors with p, not shape, so the
+  // solver temporaries and the tiling plan carry over from point to point.
+  core::Workspace workspace;
+  transforms::BlockedPlan plan = options.plan;
+  bool tuned = false;
+
   std::vector<double> previous, before_previous;
   for (double p : error_rates) {
     const auto model = core::MutationModel::uniform(nu, p);
-    const core::FmmpOperator op(model, landscape, core::Formulation::right,
-                                options.engine);
+    core::PlannedOperatorConfig config;
+    config.engine = options.engine;
+    config.plan = plan;
+    config.autotune = options.autotune && !tuned;
+    const core::PlannedOperator op(model, landscape, config);
+    if (op.autotune_report().has_value()) {
+      plan = op.autotune_report()->best;
+      tuned = true;
+    }
     solvers::PowerOptions popts;
     popts.tolerance = options.tolerance;
     popts.max_iterations = options.max_iterations;
     popts.engine = options.engine;
+    popts.workspace = &workspace;
     if (options.use_shift) {
       popts.shift = core::conservative_shift(model, landscape);
     }

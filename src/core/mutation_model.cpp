@@ -176,7 +176,17 @@ void MutationModel::apply_grouped(std::span<double> v,
     const std::size_t lo_stride = std::size_t{1} << lo;
     const std::size_t items = v.size() / m;
     engine.dispatch(items, [data, &f, m, lo_stride](std::size_t begin, std::size_t end) {
-      std::vector<double> tmp(m);
+      // Stack staging for the strided m-tuple: group sizes are a few bits
+      // (m rarely beyond 16), so the per-lane heap vector this replaces was
+      // pure allocator traffic on the hot path.
+      constexpr std::size_t kStackTuple = 64;
+      double stack_tmp[kStackTuple];
+      std::vector<double> heap_tmp;
+      double* tmp = stack_tmp;
+      if (m > kStackTuple) {
+        heap_tmp.resize(m);
+        tmp = heap_tmp.data();
+      }
       for (std::size_t id = begin; id < end; ++id) {
         const std::size_t high = id / lo_stride;
         const std::size_t low = id % lo_stride;

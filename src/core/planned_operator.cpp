@@ -1,0 +1,32 @@
+#include "core/planned_operator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qs::core {
+namespace {
+
+/// Resolves the plan to build with: the caller's fixed plan, or the
+/// autotuner's pick seeded around it.
+transforms::BlockedPlan resolve_plan(
+    unsigned nu, const PlannedOperatorConfig& config,
+    std::optional<transforms::AutotuneReport>& report) {
+  if (!config.autotune) return config.plan;
+  const parallel::Engine& engine =
+      config.engine != nullptr ? *config.engine : parallel::serial_engine();
+  report = transforms::autotune_blocked_plan(
+      nu, engine, std::max<std::size_t>(config.autotune_panel_width, 1));
+  return report->best;
+}
+
+}  // namespace
+
+PlannedOperator::PlannedOperator(MutationModel model, const Landscape& landscape,
+                                 const PlannedOperatorConfig& config) {
+  const transforms::BlockedPlan plan = resolve_plan(model.nu(), config, report_);
+  op_ = std::make_unique<FmmpOperator>(std::move(model), landscape,
+                                       config.formulation, config.engine,
+                                       config.order, config.kernel, plan);
+}
+
+}  // namespace qs::core

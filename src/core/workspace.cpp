@@ -1,0 +1,18 @@
+#include "core/workspace.hpp"
+
+namespace qs::core {
+
+std::span<double> Workspace::take(std::size_t slot, std::size_t n) {
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  std::vector<double>& buffer = slots_[slot];
+  if (buffer.size() < n) buffer.resize(n);
+  return std::span<double>(buffer.data(), n);
+}
+
+std::size_t Workspace::bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s.capacity() * sizeof(double);
+  return total;
+}
+
+}  // namespace qs::core

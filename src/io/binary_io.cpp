@@ -10,8 +10,12 @@ namespace qs::io {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x51535631;  // "QSV1"
-// Version 2 adds the payload checksum and the checkpoint progress trailer.
-constexpr std::uint32_t kVersion = 2;
+// Version 2 adds the payload checksum and the checkpoint progress trailer;
+// version 3 extends the checkpoint trailer with the writing solver's kind,
+// its cumulative mat-vec count, and one solver-specific scalar.  Version 2
+// files still load (the extra fields default to zero / `unspecified`).
+constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kMinVersion = 2;
 
 enum class PayloadKind : std::uint32_t {
   vector = 1,
@@ -109,7 +113,7 @@ LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
     throw std::runtime_error("binary_io: bad magic (not a quasispecies file): " +
                              path.string());
   }
-  if (out.header.version != kVersion) {
+  if (out.header.version < kMinVersion || out.header.version > kVersion) {
     throw std::runtime_error("binary_io: unsupported version in " + path.string());
   }
   if (out.header.kind != static_cast<std::uint32_t>(expected)) {
@@ -141,8 +145,11 @@ LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
 }
 
 // The checkpoint payload carries a fixed progress trailer ahead of the
-// eigenvector so the stall-window state survives the round trip.
-constexpr std::size_t kCheckpointTrailer = 4;
+// eigenvector so the stall-window state survives the round trip.  Version 2
+// wrote the first four slots; version 3 appends the solver kind, the
+// cumulative mat-vec count, and the solver-specific aux scalar.
+constexpr std::size_t kCheckpointTrailerV2 = 4;
+constexpr std::size_t kCheckpointTrailer = 7;
 
 }  // namespace
 
@@ -172,13 +179,18 @@ void save_checkpoint(const std::filesystem::path& path, const SolverCheckpoint& 
   payload.push_back(state.best_residual);
   payload.push_back(state.window_start_best);
   payload.push_back(static_cast<double>(state.checks_without_progress));
+  payload.push_back(static_cast<double>(static_cast<std::uint32_t>(state.solver_kind)));
+  payload.push_back(static_cast<double>(state.matvec_count));
+  payload.push_back(state.aux);
   payload.insert(payload.end(), state.eigenvector.begin(), state.eigenvector.end());
   write_file(path, PayloadKind::checkpoint, state.iteration, state.eigenvalue, payload);
 }
 
 SolverCheckpoint load_checkpoint(const std::filesystem::path& path) {
   auto loaded = read_file(path, PayloadKind::checkpoint);
-  if (loaded.data.size() < kCheckpointTrailer) {
+  const std::size_t trailer =
+      loaded.header.version >= 3 ? kCheckpointTrailer : kCheckpointTrailerV2;
+  if (loaded.data.size() < trailer) {
     throw std::runtime_error("binary_io: checkpoint payload too short in " +
                              path.string());
   }
@@ -189,7 +201,13 @@ SolverCheckpoint load_checkpoint(const std::filesystem::path& path) {
   out.best_residual = loaded.data[1];
   out.window_start_best = loaded.data[2];
   out.checks_without_progress = static_cast<std::uint64_t>(loaded.data[3]);
-  out.eigenvector.assign(loaded.data.begin() + kCheckpointTrailer, loaded.data.end());
+  if (loaded.header.version >= 3) {
+    out.solver_kind =
+        static_cast<SolverKind>(static_cast<std::uint32_t>(loaded.data[4]));
+    out.matvec_count = static_cast<std::uint64_t>(loaded.data[5]);
+    out.aux = loaded.data[6];
+  }
+  out.eigenvector.assign(loaded.data.begin() + trailer, loaded.data.end());
   return out;
 }
 

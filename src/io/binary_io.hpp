@@ -40,10 +40,32 @@ void save_landscape(const std::filesystem::path& path, const core::Landscape& la
 /// Reads a landscape written by save_landscape.
 core::Landscape load_landscape(const std::filesystem::path& path);
 
-/// Power-iteration checkpoint: the current iterate plus enough progress
-/// state to resume the run exactly where it stopped.  The stall-tracking
-/// fields mirror the power iteration's internal stagnation window so a
-/// resumed run reproduces the original residual trajectory bit for bit.
+/// Which solver wrote a checkpoint.  Stored in the file (format v3) so a
+/// resume can refuse a checkpoint from a different iteration scheme with a
+/// clear message instead of silently mis-resuming.
+enum class SolverKind : std::uint32_t {
+  unspecified = 0,  ///< Pre-v3 files and the plain power iteration.
+  power = 0,        ///< Alias: the power iteration is the v2 default.
+  lanczos = 1,
+  arnoldi = 2,
+  block_power = 3,
+  shift_invert = 4,
+};
+
+/// Iteration checkpoint: the current iterate plus enough progress state to
+/// resume the run exactly where it stopped.  The stall-tracking fields
+/// mirror the iteration driver's stagnation window so a resumed run
+/// reproduces the original residual trajectory bit for bit.
+///
+/// The solver-specific fields (format v3):
+///   * solver_kind identifies the writing solver (v2 files load as
+///     `unspecified`, which the power iteration accepts);
+///   * matvec_count restores cumulative operator-product statistics for the
+///     restarted Krylov solvers;
+///   * aux carries one solver-specific scalar: the current shift mu for the
+///     shift-invert outer iteration, the panel width m for block power.
+/// For block power the `eigenvector` payload holds the full interleaved
+/// n x m panel (n * m doubles), taken verbatim on resume.
 struct SolverCheckpoint {
   std::uint64_t iteration = 0;
   double eigenvalue = 0.0;
@@ -51,7 +73,10 @@ struct SolverCheckpoint {
   double best_residual = 0.0;            ///< Best residual seen so far.
   double window_start_best = 0.0;        ///< Stall window reference residual.
   std::uint64_t checks_without_progress = 0;  ///< Residual checks this window.
-  std::vector<double> eigenvector;       ///< 1-norm normalised iterate.
+  SolverKind solver_kind = SolverKind::unspecified;  ///< Writing solver.
+  std::uint64_t matvec_count = 0;        ///< Operator products so far.
+  double aux = 0.0;                      ///< Solver-specific scalar (see above).
+  std::vector<double> eigenvector;       ///< Iterate (or panel), verbatim.
 };
 
 /// Writes a solver checkpoint (atomically, see file comment).

@@ -1,7 +1,10 @@
 #include "linalg/krylov.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
 
@@ -22,7 +25,13 @@ KrylovResult conjugate_gradient(const ApplyFn& apply, std::span<const double> b,
     return out;
   }
 
-  std::vector<double> r(n), z(n), p(n), ap(n);
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> r = workspace.take(core::Workspace::Slot::krylov0, n);
+  std::span<double> z = workspace.take(core::Workspace::Slot::krylov1, n);
+  std::span<double> p = workspace.take(core::Workspace::Slot::krylov2, n);
+  std::span<double> ap = workspace.take(core::Workspace::Slot::krylov3, n);
   apply(x, ap);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
 
@@ -78,9 +87,19 @@ KrylovResult minres(const ApplyFn& apply, std::span<const double> b,
 
   // Paige-Saunders MINRES with the compact Givens recurrence; |eta| tracks
   // the exact residual norm in exact arithmetic.
-  std::vector<double> v_prev(n, 0.0), v(n), v_next(n);
-  std::vector<double> w_old(n, 0.0), w(n, 0.0), w_new(n);
-  std::vector<double> scratch(n);
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> v_prev = workspace.take(core::Workspace::Slot::krylov0, n);
+  std::span<double> v = workspace.take(core::Workspace::Slot::krylov1, n);
+  std::span<double> v_next = workspace.take(core::Workspace::Slot::krylov2, n);
+  std::span<double> w_old = workspace.take(core::Workspace::Slot::krylov3, n);
+  std::span<double> w = workspace.take(core::Workspace::Slot::krylov4, n);
+  std::span<double> w_new = workspace.take(core::Workspace::Slot::krylov5, n);
+  std::span<double> scratch = workspace.take(core::Workspace::Slot::krylov6, n);
+  std::fill(v_prev.begin(), v_prev.end(), 0.0);
+  std::fill(w_old.begin(), w_old.end(), 0.0);
+  std::fill(w.begin(), w.end(), 0.0);
 
   apply(x, scratch);
   for (std::size_t i = 0; i < n; ++i) v[i] = b[i] - scratch[i];
@@ -127,11 +146,11 @@ KrylovResult minres(const ApplyFn& apply, std::span<const double> b,
       break;
     }
 
-    // Shift the recurrences.
-    w_old.swap(w);
-    w.swap(w_new);
-    v_prev.swap(v);
-    v.swap(v_next);
+    // Shift the recurrences (span swaps rotate the backing buffers).
+    std::swap(w_old, w);
+    std::swap(w, w_new);
+    std::swap(v_prev, v);
+    std::swap(v, v_next);
     beta = beta_next;
     gamma_old = gamma;
     gamma = gamma_next;

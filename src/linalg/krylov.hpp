@@ -15,6 +15,10 @@
 #include <span>
 #include <vector>
 
+namespace qs::core {
+class Workspace;
+}  // namespace qs::core
+
 namespace qs::linalg {
 
 /// y = A x callback; x and y never alias and have the system dimension.
@@ -24,6 +28,9 @@ using ApplyFn = std::function<void(std::span<const double> x, std::span<double> 
 struct KrylovOptions {
   double tolerance = 1e-12;    ///< Relative residual ||b - A x|| / ||b|| target.
   unsigned max_iterations = 10000;
+  core::Workspace* workspace = nullptr;  ///< Optional scratch arena for the
+                                         ///< solver temporaries (krylov*
+                                         ///< slots); null allocates locally.
 };
 
 /// Outcome of a Krylov solve.

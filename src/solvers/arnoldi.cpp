@@ -2,54 +2,53 @@
 
 #include <cmath>
 #include <complex>
+#include <utility>
 
 #include "core/fmmp.hpp"
+#include "core/workspace.hpp"
 #include "linalg/hessenberg_qr.hpp"
 #include "linalg/small_power.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
+namespace {
 
-ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
-                                 const core::Landscape& landscape,
-                                 std::span<const double> start,
-                                 const ArnoldiOptions& options) {
-  require(options.basis_size >= 2, "arnoldi_dominant_w: basis_size must be >= 2");
+/// The restart loop, shared by cold starts and resumes.  `q0` is the
+/// restart vector in the right (concentration) scale, 2-norm normalised,
+/// used verbatim (resumes must not re-normalise or the resumed trajectory
+/// would diverge from the original run in the last bits).
+ArnoldiResult run_arnoldi_loop(const core::MutationModel& model,
+                               const core::Landscape& landscape,
+                               std::vector<double> q0, unsigned start_cycle,
+                               IterationTrace trace, IterationDriver driver,
+                               const ArnoldiOptions& options) {
   const std::size_t n = static_cast<std::size_t>(model.dimension());
-  require(start.empty() || start.size() == n,
-          "arnoldi_dominant_w: starting vector has wrong dimension");
-
   // Right formulation: eigenvector = concentrations directly; works for
   // any (possibly nonsymmetric) model.
-  const core::FmmpOperator op(model, landscape, core::Formulation::right);
+  const core::FmmpOperator op(model, landscape, core::Formulation::right,
+                              options.engine);
 
   ArnoldiResult out;
-  std::vector<double> q0(n);
-  {
-    const auto f = landscape.values();
-    double q0_sq = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      q0[i] = start.empty() ? f[i] : start[i];
-      q0_sq += q0[i] * q0[i];
-    }
-    // Poisoned start: fail structurally rather than tripping the
-    // normalisation's zero-vector precondition on NaN.
-    if (!std::isfinite(q0_sq)) {
-      out.failure = SolverFailure::non_finite;
-      return out;
-    }
-    linalg::normalize2(q0);
-  }
-  const unsigned m = options.basis_size;
-  std::vector<std::vector<double>> basis;
-  linalg::DenseMatrix h(m + 1, m);  // Hessenberg projection
-  std::vector<double> w(n);
+  out.eigenvalue = trace.eigenvalue;
+  out.residual = trace.residual;
+  out.iterations = start_cycle;
+  out.matvec_count = static_cast<unsigned>(trace.matvec_count);
 
-  for (unsigned cycle = 0; cycle <= options.max_restarts; ++cycle) {
+  const unsigned m = options.basis_size;
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> w = workspace.take(core::Workspace::Slot::recurrence, n);
+
+  // Basis pool reused across cycles: cleared counts, not freed buffers.
+  std::vector<std::vector<double>> basis(m);
+  linalg::DenseMatrix h(m + 1, m);  // Hessenberg projection
+
+  for (unsigned cycle = start_cycle; cycle <= options.max_restarts; ++cycle) {
     out.restarts = cycle;
-    basis.clear();
-    basis.push_back(q0);
+    out.iterations = cycle + 1;
+    basis[0].assign(q0.begin(), q0.end());
     for (std::size_t r = 0; r <= m; ++r) {
       for (std::size_t c = 0; c < m; ++c) h(r, c) = 0.0;
     }
@@ -74,14 +73,10 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
       h(j + 1, j) = norm;
       // Health guard at the per-step cadence: a poisoned product poisons the
       // Gram-Schmidt norms; fail fast before the Hessenberg eigensolver.
-      if (!std::isfinite(norm)) {
-        out.failure = SolverFailure::non_finite;
-        break;
-      }
+      if (!driver.guard({norm}, out)) break;
       if (norm <= 1e-14 || j + 1 == m) break;
-      std::vector<double> next(w.begin(), w.end());
-      linalg::scale(next, 1.0 / norm);
-      basis.push_back(std::move(next));
+      basis[j + 1].assign(w.begin(), w.end());
+      linalg::scale(basis[j + 1], 1.0 / norm);
     }
 
     if (out.failure != SolverFailure::none) break;
@@ -98,10 +93,7 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
     for (const auto& z : ritz_values) {
       if (z.real() > best.real()) best = z;
     }
-    if (!std::isfinite(best.real()) || !std::isfinite(best.imag())) {
-      out.failure = SolverFailure::non_finite;
-      break;
-    }
+    if (!driver.guard({best.real(), best.imag()}, out)) break;
     require(std::abs(best.imag()) <= 1e-6 * std::max(std::abs(best.real()), 1.0),
             "arnoldi_dominant_w: dominant Ritz value unexpectedly complex");
     out.eigenvalue = best.real();
@@ -122,15 +114,15 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
     const double s_last = h_pair.vector[built - 1] / std::sqrt(s_norm2);
     out.residual = std::abs(h(built, built - 1) * s_last) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
-    if (!std::isfinite(out.residual)) {
-      out.failure = SolverFailure::non_finite;
+    if (!driver.guard({out.residual}, out)) break;
+    q0 = std::move(ritz);
+    if (driver.observe(cycle + 1, out.residual, out) !=
+        IterationDriver::Verdict::proceed) {
       break;
     }
-    q0 = ritz;
-    if (out.residual <= options.tolerance) {
-      out.converged = true;
-      break;
-    }
+    // Periodic checkpoint of the next cycle's restart vector, written only
+    // after the health guard passed.
+    driver.maybe_checkpoint(cycle + 1, out, q0, out.matvec_count);
   }
 
   if (out.failure != SolverFailure::none) {
@@ -145,6 +137,64 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
   if (s < 0.0) linalg::scale(out.concentrations, -1.0);
   linalg::normalize1(out.concentrations);
   return out;
+}
+
+}  // namespace
+
+ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape,
+                                 std::span<const double> start,
+                                 const ArnoldiOptions& options) {
+  require(options.basis_size >= 2, "arnoldi_dominant_w: basis_size must be >= 2");
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(start.empty() || start.size() == n,
+          "arnoldi_dominant_w: starting vector has wrong dimension");
+
+  IterationDriver driver(options, io::SolverKind::arnoldi);
+  std::vector<double> q0(n);
+  {
+    const auto f = landscape.values();
+    double q0_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q0[i] = start.empty() ? f[i] : start[i];
+      q0_sq += q0[i] * q0[i];
+    }
+    // Poisoned start: fail structurally rather than tripping the
+    // normalisation's zero-vector precondition on NaN.
+    ArnoldiResult bad;
+    if (!driver.guard({q0_sq}, bad)) return bad;
+    linalg::normalize2(q0);
+  }
+  return run_arnoldi_loop(model, landscape, std::move(q0), 0, IterationTrace{},
+                          std::move(driver), options);
+}
+
+ArnoldiResult resume_arnoldi_dominant_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const ArnoldiOptions& options) {
+  require(options.basis_size >= 2,
+          "resume_arnoldi_dominant_w: basis_size must be >= 2");
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(checkpoint.eigenvector.size() == n,
+          "resume_arnoldi_dominant_w: checkpoint dimension does not match model");
+
+  IterationDriver driver(options, io::SolverKind::arnoldi);
+  IterationTrace trace;
+  ArnoldiResult out;
+  if (!restore_trace(checkpoint, io::SolverKind::arnoldi, trace, out)) {
+    out.concentrations = std::move(trace.iterate);
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.iterations = trace.start_iteration;
+    out.matvec_count = static_cast<unsigned>(trace.matvec_count);
+    return out;
+  }
+  driver.restore(checkpoint);
+  std::vector<double> q0 = std::move(trace.iterate);
+  const unsigned start_cycle = trace.start_iteration;
+  return run_arnoldi_loop(model, landscape, std::move(q0), start_cycle,
+                          std::move(trace), std::move(driver), options);
 }
 
 }  // namespace qs::solvers

@@ -8,6 +8,12 @@
 // Arnoldi (named alongside Lanczos in Section 3) fills that gap: a short
 // orthonormal Krylov basis, the Hessenberg projection's dominant Ritz pair
 // (real and positive by Perron-Frobenius), restart on the Ritz vector.
+//
+// Resilience: the restart loop runs through solvers/iteration_driver — one
+// driver iteration per restart cycle — so the solver supports periodic
+// checkpoint/resume (bit-identical resumed trajectories on the serial
+// backend), stall windows, and the NaN/Inf health guards with structured
+// SolverFailure reporting.
 #pragma once
 
 #include <span>
@@ -15,27 +21,31 @@
 
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
-#include "solvers/solver_failure.hpp"
+#include "solvers/iteration_driver.hpp"
 
 namespace qs::solvers {
 
-/// Options for the restarted Arnoldi solver.
-struct ArnoldiOptions {
-  double tolerance = 1e-12;   ///< Relative eigenpair residual target.
+/// Options for the restarted Arnoldi solver: the shared iteration block
+/// (one driver iteration = one restart cycle; stall window disabled by
+/// default, `max_iterations`/`residual_check_every` ignored — the cycle cap
+/// is `max_restarts` and every cycle extracts a Ritz pair) plus the Krylov
+/// knobs.
+struct ArnoldiOptions : IterationOptions {
+  ArnoldiOptions() {
+    tolerance = 1e-12;
+    stall_window = 0;
+  }
+
   unsigned basis_size = 20;   ///< Krylov basis per cycle.
   unsigned max_restarts = 200;
 };
 
-/// Result of an Arnoldi solve.
-struct ArnoldiResult {
-  double eigenvalue = 0.0;
+/// Result of an Arnoldi solve: the shared outcome fields (`iterations`
+/// counts completed restart cycles) plus the Arnoldi-specific statistics.
+struct ArnoldiResult : IterationResult {
   std::vector<double> concentrations;  ///< x_R, 1-norm normalised.
   unsigned matvec_count = 0;
   unsigned restarts = 0;
-  double residual = 0.0;
-  bool converged = false;
-  SolverFailure failure = SolverFailure::none;  ///< Set when the basis or
-                                    ///< Ritz pair went NaN/Inf (fail-fast).
 };
 
 /// Computes the dominant eigenpair of W = Q F (right formulation) for any
@@ -45,5 +55,16 @@ ArnoldiResult arnoldi_dominant_w(const core::MutationModel& model,
                                  const core::Landscape& landscape,
                                  std::span<const double> start = {},
                                  const ArnoldiOptions& options = {});
+
+/// Resumes an Arnoldi solve from a checkpoint written by a previous run
+/// with the same model, landscape, and options.  The checkpointed restart
+/// vector (right/concentration scale, 2-norm normalised) is taken verbatim,
+/// so on the serial backend the per-cycle residual trajectory from the
+/// checkpoint cycle onward is bit-identical to the uninterrupted run.
+/// Refuses checkpoints written by a different solver kind.
+ArnoldiResult resume_arnoldi_dominant_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const ArnoldiOptions& options = {});
 
 }  // namespace qs::solvers

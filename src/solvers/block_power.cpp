@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
+#include "core/workspace.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "support/contracts.hpp"
 
@@ -121,40 +123,39 @@ double hash_unit(std::uint64_t x) {
   return static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5;
 }
 
-}  // namespace
+/// Resolved panel width for (options, n): the explicit block or the default
+/// SIMD-friendly width, clamped to the dimension.
+std::size_t resolve_block(const BlockPowerOptions& options, std::size_t n) {
+  std::size_t m = options.block != 0 ? options.block : default_block(options.k);
+  require(m >= options.k, "block power: block width must be >= k");
+  return std::min(m, n);
+}
 
-BlockPowerResult block_power_iteration(const core::FmmpOperator& op,
-                                       const BlockPowerOptions& options) {
+void validate(const core::FmmpOperator& op, const BlockPowerOptions& options) {
   require(options.k >= 1, "block power: need k >= 1 eigenpairs");
   require(op.formulation() == core::Formulation::symmetric,
           "block power: operator must use the symmetric formulation");
   require(options.ritz_every >= 1, "block power: ritz_every must be >= 1");
   require(options.max_iterations >= 1, "block power: need at least one iteration");
+  require(options.k <= op.dimension(), "block power: k exceeds the operator dimension");
+}
+
+/// The subspace loop, shared by cold starts and resumes.  On entry `x`
+/// holds the orthonormalised starting panel (interleaved n x m); a resume
+/// passes the checkpointed panel verbatim, which is exactly the state the
+/// uninterrupted run had at the bottom of the corresponding round.
+BlockPowerResult run_block_loop(const core::FmmpOperator& op,
+                                const BlockPowerOptions& options,
+                                IterationDriver driver, std::span<double> x,
+                                std::span<double> y, std::size_t m,
+                                unsigned start_iterations) {
   const std::size_t n = op.dimension();
-  require(options.k <= n, "block power: k exceeds the operator dimension");
-
-  std::size_t m = options.block != 0 ? options.block : default_block(options.k);
-  require(m >= options.k, "block power: block width must be >= k");
-  m = std::min(m, n);
-
   const parallel::Engine& engine = options.engine != nullptr
                                        ? *options.engine
                                        : parallel::serial_engine();
 
-  // Starting panel: column 0 is the landscape start mapped to the symmetric
-  // formulation (v_sym = sqrt(f) .* x_R, with x_R = f the paper's start),
-  // guard columns a fixed pseudo-random basis.
-  std::vector<double> x(n * m), y(n * m);
-  const auto f = op.landscape().values();
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i * m] = std::sqrt(f[i]) * f[i];
-    for (std::size_t j = 1; j < m; ++j) {
-      x[i * m + j] = hash_unit(i * 0x100000001b3ull + j);
-    }
-  }
-  panel_orthonormalize(x.data(), n, m, engine);
-
   BlockPowerResult result;
+  result.iterations = start_iterations;
   std::vector<double> theta;
   std::vector<double> residuals;
   while (result.iterations < options.max_iterations) {
@@ -186,55 +187,61 @@ BlockPowerResult block_power_iteration(const core::FmmpOperator& op,
     panel_rotate(y.data(), n, m, eig.vectors, engine);
     residuals = panel_residuals(x.data(), y.data(), theta, n, m, engine);
 
-    bool done = true;
-    bool finite = true;
-    for (unsigned j = 0; j < options.k; ++j) {
-      if (!std::isfinite(residuals[j]) || !std::isfinite(theta[j])) finite = false;
-      if (residuals[j] > options.tolerance) done = false;
-    }
-    if (!finite) break;
-    if (done) {
-      result.converged = true;
+    // Health guard over the k wanted pairs: a poisoned panel (NaN product,
+    // overflowed Gram matrix) is reported structurally instead of silently
+    // returning converged = false.
+    if (!driver.guard(std::span<const double>(theta.data(), options.k), result) ||
+        !driver.guard(std::span<const double>(residuals.data(), options.k),
+                      result)) {
       break;
     }
+    result.eigenvalue = theta.front();
+    double worst = 0.0;
+    for (unsigned j = 0; j < options.k; ++j) worst = std::max(worst, residuals[j]);
+    result.residual = worst;
+    // One driver iteration per extraction, observed on the worst wanted
+    // residual: "all k pairs within tolerance" is exactly "worst <=
+    // tolerance", so the driver's convergence test matches the historical
+    // per-pair check bit for bit.
+    const IterationDriver::Verdict verdict =
+        driver.observe(result.iterations, result.residual, result);
+    if (verdict != IterationDriver::Verdict::proceed) break;
 
-    // Next subspace: the images in Ritz order, orthonormalised.
+    // Next subspace: the images in Ritz order, orthonormalised.  This panel
+    // is the resume point: checkpointing it (rather than the Ritz vectors)
+    // lets a resumed run re-enter the advance loop with bit-identical state.
     std::memcpy(x.data(), y.data(), y.size() * sizeof(double));
     panel_orthonormalize(x.data(), n, m, engine);
+    driver.maybe_checkpoint(result.iterations, result, x, result.iterations,
+                            static_cast<double>(m));
   }
 
   // Extract the k leading Ritz pairs from the last extraction (X holds the
   // Ritz vectors of the final Rayleigh-Ritz step).
   const unsigned k = options.k;
-  result.eigenvalues.assign(theta.begin(), theta.begin() + k);
-  result.residuals.assign(residuals.begin(), residuals.begin() + k);
-  result.eigenvectors.resize(k);
-  for (unsigned j = 0; j < k; ++j) {
-    std::vector<double>& v = result.eigenvectors[j];
-    v.resize(n);
-    double norm2 = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      v[i] = x[i * m + j];
-      norm2 += v[i] * v[i];
+  if (theta.size() >= k) {
+    result.eigenvalues.assign(theta.begin(), theta.begin() + k);
+    result.residuals.assign(residuals.begin(), residuals.begin() + k);
+    result.eigenvectors.resize(k);
+    for (unsigned j = 0; j < k; ++j) {
+      std::vector<double>& v = result.eigenvectors[j];
+      v.resize(n);
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = x[i * m + j];
+        norm2 += v[i] * v[i];
+      }
+      const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
+      for (std::size_t i = 0; i < n; ++i) v[i] *= inv;
     }
-    const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
-    for (std::size_t i = 0; i < n; ++i) v[i] *= inv;
   }
   return result;
 }
 
-BlockPowerResult top_k_spectrum(const core::MutationModel& model,
-                                const core::Landscape& landscape,
-                                const BlockPowerOptions& options) {
-  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric,
-                              options.engine,
-                              transforms::LevelOrder::ascending,
-                              core::EngineKernel::blocked, options.plan);
-  BlockPowerResult result = block_power_iteration(op, options);
-
-  // Convert the symmetric-formulation Ritz vectors to concentration vectors
-  // of the right formulation: x_i = v_i / sqrt(f_i), 1-norm normalised, sign
-  // fixed so the largest-magnitude entry is positive.
+/// Converts the symmetric-formulation Ritz vectors to concentration vectors
+/// of the right formulation: x_i = v_i / sqrt(f_i), 1-norm normalised, sign
+/// fixed so the largest-magnitude entry is positive.
+void to_concentrations(BlockPowerResult& result, const core::Landscape& landscape) {
   const auto f = landscape.values();
   for (std::vector<double>& v : result.eigenvectors) {
     double amax = 0.0;
@@ -252,6 +259,95 @@ BlockPowerResult top_k_spectrum(const core::MutationModel& model,
         abs_sum > 0.0 ? (at_amax < 0.0 ? -1.0 : 1.0) / abs_sum : 0.0;
     for (double& e : v) e *= scale;
   }
+}
+
+}  // namespace
+
+BlockPowerResult block_power_iteration(const core::FmmpOperator& op,
+                                       const BlockPowerOptions& options) {
+  validate(op, options);
+  const std::size_t n = op.dimension();
+  const std::size_t m = resolve_block(options, n);
+
+  const parallel::Engine& engine = options.engine != nullptr
+                                       ? *options.engine
+                                       : parallel::serial_engine();
+  IterationDriver driver(options, io::SolverKind::block_power);
+
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> x = workspace.take(core::Workspace::Slot::panel, n * m);
+  std::span<double> y = workspace.take(core::Workspace::Slot::panel_image, n * m);
+
+  // Starting panel: column 0 is the landscape start mapped to the symmetric
+  // formulation (v_sym = sqrt(f) .* x_R, with x_R = f the paper's start),
+  // guard columns a fixed pseudo-random basis.
+  const auto f = op.landscape().values();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i * m] = std::sqrt(f[i]) * f[i];
+    for (std::size_t j = 1; j < m; ++j) {
+      x[i * m + j] = hash_unit(i * 0x100000001b3ull + j);
+    }
+  }
+  panel_orthonormalize(x.data(), n, m, engine);
+  return run_block_loop(op, options, std::move(driver), x, y, m, 0);
+}
+
+BlockPowerResult resume_block_power_iteration(const core::FmmpOperator& op,
+                                              const io::SolverCheckpoint& checkpoint,
+                                              const BlockPowerOptions& options) {
+  validate(op, options);
+  const std::size_t n = op.dimension();
+  const std::size_t m = resolve_block(options, n);
+  require(checkpoint.eigenvector.size() == n * m,
+          "resume block power: checkpoint panel does not match n x m");
+
+  IterationDriver driver(options, io::SolverKind::block_power);
+  IterationTrace trace;
+  BlockPowerResult out;
+  if (!restore_trace(checkpoint, io::SolverKind::block_power, trace, out)) {
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.iterations = trace.start_iteration;
+    return out;
+  }
+  require(static_cast<std::size_t>(trace.aux) == m,
+          "resume block power: checkpoint panel width does not match options");
+  driver.restore(checkpoint);
+
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> x = workspace.take(core::Workspace::Slot::panel, n * m);
+  std::span<double> y = workspace.take(core::Workspace::Slot::panel_image, n * m);
+  std::memcpy(x.data(), trace.iterate.data(), n * m * sizeof(double));
+  return run_block_loop(op, options, std::move(driver), x, y, m,
+                        trace.start_iteration);
+}
+
+BlockPowerResult top_k_spectrum(const core::MutationModel& model,
+                                const core::Landscape& landscape,
+                                const BlockPowerOptions& options) {
+  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric,
+                              options.engine,
+                              transforms::LevelOrder::ascending,
+                              core::EngineKernel::blocked, options.plan);
+  BlockPowerResult result = block_power_iteration(op, options);
+  to_concentrations(result, landscape);
+  return result;
+}
+
+BlockPowerResult resume_top_k_spectrum(const core::MutationModel& model,
+                                       const core::Landscape& landscape,
+                                       const io::SolverCheckpoint& checkpoint,
+                                       const BlockPowerOptions& options) {
+  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric,
+                              options.engine,
+                              transforms::LevelOrder::ascending,
+                              core::EngineKernel::blocked, options.plan);
+  BlockPowerResult result = resume_block_power_iteration(op, checkpoint, options);
+  to_concentrations(result, landscape);
   return result;
 }
 

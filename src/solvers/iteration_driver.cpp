@@ -1,0 +1,150 @@
+#include "solvers/iteration_driver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+const char* kind_name(io::SolverKind kind) {
+  switch (kind) {
+    case io::SolverKind::unspecified: return "power";
+    case io::SolverKind::lanczos: return "lanczos";
+    case io::SolverKind::arnoldi: return "arnoldi";
+    case io::SolverKind::block_power: return "block_power";
+    case io::SolverKind::shift_invert: return "shift_invert";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+IterationDriver::IterationDriver(const IterationOptions& options,
+                                 io::SolverKind kind)
+    : options_(options),
+      kind_(kind),
+      checkpointing_(options.checkpoint_every > 0 &&
+                     (options.checkpoint_sink || !options.checkpoint_path.empty())),
+      best_residual_(std::numeric_limits<double>::infinity()),
+      window_start_best_(std::numeric_limits<double>::infinity()) {
+  require(options.residual_check_every >= 1,
+          "iteration driver: residual_check_every must be >= 1");
+}
+
+void IterationDriver::restore(const io::SolverCheckpoint& checkpoint) {
+  best_residual_ = checkpoint.best_residual;
+  window_start_best_ = checkpoint.window_start_best;
+  checks_without_progress_ =
+      static_cast<unsigned>(checkpoint.checks_without_progress);
+}
+
+bool IterationDriver::guard(std::initializer_list<double> values,
+                            IterationResult& out) const {
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out.failure = SolverFailure::non_finite;
+      out.converged = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IterationDriver::guard(std::span<const double> iterate,
+                            IterationResult& out) const {
+  for (double v : iterate) {
+    if (!std::isfinite(v)) {
+      out.failure = SolverFailure::non_finite;
+      out.converged = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
+                                                  double residual,
+                                                  IterationResult& out) {
+  if (options_.on_residual) options_.on_residual(iteration, residual);
+  if (residual <= options_.tolerance) {
+    out.converged = true;
+    return Verdict::converged;
+  }
+  // Stagnation: the residual has hit its numerical floor or the spectrum is
+  // so clustered that progress per window is negligible.  The test is
+  // window-based (best-vs-best across a whole window of checks) so that
+  // jitter around the floor cannot keep resetting it.
+  best_residual_ = std::min(best_residual_, residual);
+  if (options_.stall_window > 0 &&
+      ++checks_without_progress_ >= options_.stall_window) {
+    if (best_residual_ >= window_start_best_ * 0.95) {
+      out.stalled = true;
+      out.converged = residual <= options_.stall_accept;
+      return Verdict::stalled;
+    }
+    window_start_best_ = best_residual_;
+    checks_without_progress_ = 0;
+  }
+  return Verdict::proceed;
+}
+
+void IterationDriver::maybe_checkpoint(unsigned iteration, IterationResult& out,
+                                       std::span<const double> iterate,
+                                       std::uint64_t matvec_count, double aux) {
+  if (!checkpointing_ || iteration % options_.checkpoint_every != 0) return;
+  write_checkpoint(iteration, out, iterate, matvec_count, aux);
+}
+
+void IterationDriver::write_checkpoint(unsigned iteration, IterationResult& out,
+                                       std::span<const double> iterate,
+                                       std::uint64_t matvec_count, double aux) {
+  io::SolverCheckpoint ck;
+  ck.iteration = iteration;
+  ck.eigenvalue = out.eigenvalue;
+  ck.residual = out.residual;
+  ck.best_residual = best_residual_;
+  ck.window_start_best = window_start_best_;
+  ck.checks_without_progress = checks_without_progress_;
+  ck.solver_kind = kind_;
+  ck.matvec_count = matvec_count;
+  ck.aux = aux;
+  ck.eigenvector.assign(iterate.begin(), iterate.end());
+  try {
+    if (options_.checkpoint_sink) {
+      options_.checkpoint_sink(ck);
+    } else {
+      io::save_checkpoint(options_.checkpoint_path, ck);
+    }
+  } catch (...) {
+    ++out.checkpoint_failures;
+  }
+}
+
+bool restore_trace(const io::SolverCheckpoint& checkpoint, io::SolverKind expected,
+                   IterationTrace& trace, IterationResult& out) {
+  require(checkpoint.solver_kind == expected,
+          std::string("resume: checkpoint was written by the '") +
+              kind_name(checkpoint.solver_kind) + "' solver, not '" +
+              kind_name(expected) + "'");
+  trace.iterate = checkpoint.eigenvector;
+  trace.start_iteration = static_cast<unsigned>(checkpoint.iteration);
+  trace.eigenvalue = checkpoint.eigenvalue;
+  trace.residual = checkpoint.residual;
+  trace.matvec_count = checkpoint.matvec_count;
+  trace.aux = checkpoint.aux;
+  // A checkpoint is only ever written with a finite iterate, but the file
+  // may come from anywhere; refuse to iterate on a poisoned start.
+  for (double v : trace.iterate) {
+    if (!std::isfinite(v)) {
+      out.failure = SolverFailure::non_finite;
+      out.converged = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qs::solvers

@@ -1,54 +1,53 @@
 #include "solvers/lanczos.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "core/fmmp.hpp"
+#include "core/workspace.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
+namespace {
 
-LanczosResult lanczos_dominant_w(const core::MutationModel& model,
-                                 const core::Landscape& landscape,
-                                 std::span<const double> start,
-                                 const LanczosOptions& options) {
-  require(model.symmetric() && model.kind() != core::MutationKind::grouped,
-          "lanczos_dominant_w requires a symmetric 2x2-factor mutation model");
-  require(options.basis_size >= 2, "lanczos_dominant_w: basis_size must be >= 2");
+/// The restart loop, shared by cold starts and resumes.  `q0` is the
+/// restart vector in the symmetric scale, used verbatim (cold starts
+/// normalise before calling; resumes must not re-normalise or the resumed
+/// trajectory would diverge from the original run in the last bits).
+LanczosResult run_lanczos_loop(const core::MutationModel& model,
+                               const core::Landscape& landscape,
+                               std::vector<double> q0, unsigned start_cycle,
+                               IterationTrace trace, IterationDriver driver,
+                               const LanczosOptions& options) {
   const std::size_t n = static_cast<std::size_t>(model.dimension());
-  require(start.empty() || start.size() == n,
-          "lanczos_dominant_w: starting vector has wrong dimension");
-
-  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric);
+  const core::FmmpOperator op(model, landscape, core::Formulation::symmetric,
+                              options.engine);
   const auto f = landscape.values();
 
-  // Start vector in symmetric scale: F^{1/2} * (given or landscape start).
-  std::vector<double> q0(n);
-  double q0_sq = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double base = start.empty() ? f[i] : start[i];
-    q0[i] = base * std::sqrt(f[i]);
-    q0_sq += q0[i] * q0[i];
-  }
   LanczosResult out;
-  // Refuse to iterate on a poisoned start (NaN/Inf entries, or a norm that
-  // overflowed): report the structured failure instead of tripping the
-  // normalisation's zero-vector precondition on NaN.
-  if (!std::isfinite(q0_sq)) {
-    out.failure = SolverFailure::non_finite;
-    return out;
-  }
-  linalg::normalize2(q0);
-  const unsigned m = options.basis_size;
-  std::vector<std::vector<double>> basis;  // q_0 .. q_{m-1}
-  std::vector<double> alpha(m), beta(m);   // T diagonal / subdiagonal
-  std::vector<double> w(n);
+  out.eigenvalue = trace.eigenvalue;
+  out.residual = trace.residual;
+  out.iterations = start_cycle;
+  out.matvec_count = static_cast<unsigned>(trace.matvec_count);
 
-  for (unsigned cycle = 0; cycle <= options.max_restarts; ++cycle) {
+  const unsigned m = options.basis_size;
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> w = workspace.take(core::Workspace::Slot::recurrence, n);
+
+  // The basis pool is reused across cycles (and across solves through a
+  // shared workspace-less pool local to this call): cleared counts, not
+  // freed buffers.
+  std::vector<std::vector<double>> basis(m);
+  std::vector<double> alpha(m), beta(m);  // T diagonal / subdiagonal
+
+  for (unsigned cycle = start_cycle; cycle <= options.max_restarts; ++cycle) {
     out.restarts = cycle;
-    basis.clear();
-    basis.push_back(q0);
+    out.iterations = cycle + 1;
+    basis[0].assign(q0.begin(), q0.end());
 
     unsigned built = 0;  // number of completed Lanczos steps this cycle
     for (unsigned j = 0; j < m; ++j) {
@@ -60,8 +59,8 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
       if (j > 0) linalg::axpy(-beta[j - 1], basis[j - 1], w);
       // ... plus full reorthogonalisation: at these basis sizes the cost is
       // negligible next to the mat-vec and it removes ghost eigenvalues.
-      for (const auto& q : basis) {
-        linalg::axpy(-linalg::dot(q, w), q, w);
+      for (unsigned i = 0; i <= j; ++i) {
+        linalg::axpy(-linalg::dot(basis[i], w), basis[i], w);
       }
       built = j + 1;
       const double norm = linalg::norm2(w);
@@ -69,14 +68,10 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
       // Health guard at the per-step cadence: a poisoned product makes the
       // recurrence norm NaN/Inf; fail fast instead of feeding garbage to
       // the tridiagonal eigensolver cycle after cycle.
-      if (!std::isfinite(norm) || !std::isfinite(alpha[j])) {
-        out.failure = SolverFailure::non_finite;
-        break;
-      }
+      if (!driver.guard({norm, alpha[j]}, out)) break;
       if (norm <= 1e-14 || j + 1 == m) break;  // invariant subspace or full
-      std::vector<double> next(w.begin(), w.end());
-      linalg::scale(next, 1.0 / norm);
-      basis.push_back(std::move(next));
+      basis[j + 1].assign(w.begin(), w.end());
+      linalg::scale(basis[j + 1], 1.0 / norm);
     }
 
     if (out.failure != SolverFailure::none) break;
@@ -101,15 +96,16 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
     linalg::normalize2(ritz);
     out.residual = std::abs(beta[built - 1] * eigen.vectors(built - 1, 0)) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
-    if (!std::isfinite(out.eigenvalue) || !std::isfinite(out.residual)) {
-      out.failure = SolverFailure::non_finite;
+    if (!driver.guard({out.eigenvalue, out.residual}, out)) break;
+    q0 = std::move(ritz);
+    if (driver.observe(cycle + 1, out.residual, out) !=
+        IterationDriver::Verdict::proceed) {
       break;
     }
-    q0 = ritz;
-    if (out.residual <= options.tolerance) {
-      out.converged = true;
-      break;
-    }
+    // Periodic checkpoint of the next cycle's restart vector, written only
+    // after the health guard passed: the last checkpoint on disk is always
+    // a finite, resumable state.
+    driver.maybe_checkpoint(cycle + 1, out, q0, out.matvec_count);
   }
 
   if (out.failure != SolverFailure::none) {
@@ -128,6 +124,71 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
   if (s < 0.0) linalg::scale(out.concentrations, -1.0);
   linalg::normalize1(out.concentrations);
   return out;
+}
+
+void validate(const core::MutationModel& model, const LanczosOptions& options) {
+  require(model.symmetric() && model.kind() != core::MutationKind::grouped,
+          "lanczos_dominant_w requires a symmetric 2x2-factor mutation model");
+  require(options.basis_size >= 2, "lanczos_dominant_w: basis_size must be >= 2");
+}
+
+}  // namespace
+
+LanczosResult lanczos_dominant_w(const core::MutationModel& model,
+                                 const core::Landscape& landscape,
+                                 std::span<const double> start,
+                                 const LanczosOptions& options) {
+  validate(model, options);
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(start.empty() || start.size() == n,
+          "lanczos_dominant_w: starting vector has wrong dimension");
+
+  IterationDriver driver(options, io::SolverKind::lanczos);
+  const auto f = landscape.values();
+
+  // Start vector in symmetric scale: F^{1/2} * (given or landscape start).
+  std::vector<double> q0(n);
+  double q0_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = start.empty() ? f[i] : start[i];
+    q0[i] = base * std::sqrt(f[i]);
+    q0_sq += q0[i] * q0[i];
+  }
+  // Refuse to iterate on a poisoned start (NaN/Inf entries, or a norm that
+  // overflowed): report the structured failure instead of tripping the
+  // normalisation's zero-vector precondition on NaN.
+  LanczosResult bad;
+  if (!driver.guard({q0_sq}, bad)) return bad;
+  linalg::normalize2(q0);
+  return run_lanczos_loop(model, landscape, std::move(q0), 0, IterationTrace{},
+                          std::move(driver), options);
+}
+
+LanczosResult resume_lanczos_dominant_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const LanczosOptions& options) {
+  validate(model, options);
+  const std::size_t n = static_cast<std::size_t>(model.dimension());
+  require(checkpoint.eigenvector.size() == n,
+          "resume_lanczos_dominant_w: checkpoint dimension does not match model");
+
+  IterationDriver driver(options, io::SolverKind::lanczos);
+  IterationTrace trace;
+  LanczosResult out;
+  if (!restore_trace(checkpoint, io::SolverKind::lanczos, trace, out)) {
+    out.concentrations = std::move(trace.iterate);
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.iterations = trace.start_iteration;
+    out.matvec_count = static_cast<unsigned>(trace.matvec_count);
+    return out;
+  }
+  driver.restore(checkpoint);
+  std::vector<double> q0 = std::move(trace.iterate);
+  const unsigned start_cycle = trace.start_iteration;
+  return run_lanczos_loop(model, landscape, std::move(q0), start_cycle,
+                          std::move(trace), std::move(driver), options);
 }
 
 }  // namespace qs::solvers

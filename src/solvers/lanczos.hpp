@@ -9,6 +9,13 @@
 // symmetric formulation W_S = F^{1/2} Q F^{1/2} with full
 // reorthogonalisation inside each restart cycle (simple and robust for the
 // modest basis sizes that fit in memory).
+//
+// Resilience: the restart loop runs through solvers/iteration_driver — one
+// driver iteration per restart cycle — so the solver supports periodic
+// checkpoint/resume (each cycle is a deterministic function of its restart
+// vector, so a resumed run reproduces the original residual trajectory bit
+// for bit on the serial backend), stall windows, and the NaN/Inf health
+// guards with structured SolverFailure reporting.
 #pragma once
 
 #include <span>
@@ -16,28 +23,35 @@
 
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
-#include "solvers/solver_failure.hpp"
+#include "solvers/iteration_driver.hpp"
 
 namespace qs::solvers {
 
-/// Options for the restarted Lanczos solver.
-struct LanczosOptions {
-  double tolerance = 1e-12;   ///< Relative eigenpair residual target.
+/// Options for the restarted Lanczos solver: the shared iteration block
+/// (tolerance, stall window, checkpointing, engine, workspace — one driver
+/// iteration is one restart cycle) plus the Krylov knobs.  The stall window
+/// is disabled by default (per-cycle residuals fall fast; enable it to stop
+/// runs whose landscape floors above the tolerance).  `max_iterations` and
+/// `residual_check_every` are ignored: the cycle cap is `max_restarts` and
+/// every cycle extracts a Ritz pair (the restart needs it anyway).
+struct LanczosOptions : IterationOptions {
+  LanczosOptions() {
+    tolerance = 1e-12;
+    stall_window = 0;
+  }
+
   unsigned basis_size = 30;   ///< Krylov basis per cycle (memory: basis_size
                               ///< vectors of length 2^nu).
   unsigned max_restarts = 100;
 };
 
-/// Result of a Lanczos solve.
-struct LanczosResult {
-  double eigenvalue = 0.0;
+/// Result of a Lanczos solve: the shared outcome fields (eigenvalue,
+/// residual, converged/stalled/failure, checkpoint statistics; `iterations`
+/// counts completed restart cycles) plus the Lanczos-specific statistics.
+struct LanczosResult : IterationResult {
   std::vector<double> concentrations;  ///< x_R, 1-norm normalised.
   unsigned matvec_count = 0;           ///< Products with W performed.
   unsigned restarts = 0;
-  double residual = 0.0;
-  bool converged = false;
-  SolverFailure failure = SolverFailure::none;  ///< Set when the basis or
-                                    ///< Ritz pair went NaN/Inf (fail-fast).
 };
 
 /// Computes the dominant eigenpair of W = Q F by restarted Lanczos on the
@@ -47,5 +61,16 @@ LanczosResult lanczos_dominant_w(const core::MutationModel& model,
                                  const core::Landscape& landscape,
                                  std::span<const double> start = {},
                                  const LanczosOptions& options = {});
+
+/// Resumes a Lanczos solve from a checkpoint written by a previous run with
+/// the same model, landscape, and options.  The checkpointed restart vector
+/// (symmetric scale) is taken verbatim, so on the serial backend the
+/// per-cycle residual trajectory from the checkpoint cycle onward is
+/// bit-identical to the uninterrupted run.  Refuses checkpoints written by
+/// a different solver kind.
+LanczosResult resume_lanczos_dominant_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const LanczosOptions& options = {});
 
 }  // namespace qs::solvers

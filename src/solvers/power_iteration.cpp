@@ -1,14 +1,21 @@
 #include "solvers/power_iteration.hpp"
 
 #include <cmath>
-#include <limits>
 #include <utility>
 
+#include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
 namespace {
+
+// The serial fallbacks are templated on the kernel type so that when no
+// engine is configured the lambda is invoked directly — constructing a
+// parallel::RangeKernel/PartialKernel (std::function) from a lambda whose
+// captures exceed the small-buffer optimisation would heap-allocate on
+// every call, which is exactly the per-iteration allocation the hot path
+// must not perform (see tests/alloc_hooks.cpp).
 
 double reduce_dot(const parallel::Engine* engine, std::span<const double> a,
                   std::span<const double> b) {
@@ -19,14 +26,15 @@ double reduce_abs_sum(const parallel::Engine* engine, std::span<const double> v)
   return engine != nullptr ? engine->reduce_abs_sum(v) : linalg::norm1(v);
 }
 
+template <typename Kernel>
 double reduce_partials(const parallel::Engine* engine, std::size_t n,
-                       const parallel::PartialKernel& kernel) {
+                       const Kernel& kernel) {
   return engine != nullptr ? engine->reduce_partials(n, kernel)
                            : (n == 0 ? 0.0 : kernel(0, n));
 }
 
-void dispatch(const parallel::Engine* engine, std::size_t n,
-              const parallel::RangeKernel& kernel) {
+template <typename Kernel>
+void dispatch(const parallel::Engine* engine, std::size_t n, const Kernel& kernel) {
   if (engine != nullptr) {
     engine->dispatch(n, kernel);
   } else if (n != 0) {
@@ -34,53 +42,36 @@ void dispatch(const parallel::Engine* engine, std::size_t n,
   }
 }
 
-/// Everything the iteration loop needs to start or resume mid-run; a
-/// checkpoint is exactly a serialised snapshot of this state.
-struct IterationState {
-  std::vector<double> x;            ///< 1-norm normalised iterate.
-  unsigned start_iteration = 0;     ///< Products already performed.
-  double eigenvalue = 0.0;
-  double residual = 0.0;
-  double best_residual = std::numeric_limits<double>::infinity();
-  double window_start_best = std::numeric_limits<double>::infinity();
-  unsigned checks_without_progress = 0;
-};
-
 /// The core loop, shared by cold starts and resumes.  The iterate in
-/// `state.x` is used verbatim (callers normalise cold starts; resumes must
-/// not re-normalise or the trajectory would diverge from the original run
-/// in the last bits).
-PowerResult run_power_loop(const core::LinearOperator& op, IterationState state,
-                           const PowerOptions& options) {
+/// `trace.iterate` is used verbatim (callers normalise cold starts; resumes
+/// must not re-normalise or the trajectory would diverge from the original
+/// run in the last bits); `driver` carries the (possibly restored)
+/// stall-window accounting.
+PowerResult run_power_loop(const core::LinearOperator& op, IterationTrace trace,
+                           IterationDriver driver, const PowerOptions& options) {
   const std::size_t n = static_cast<std::size_t>(op.dimension());
-  require(options.residual_check_every >= 1,
-          "power_iteration: residual_check_every must be >= 1");
 
   PowerResult out;
-  out.eigenvector = std::move(state.x);
-  out.eigenvalue = state.eigenvalue;
-  out.residual = state.residual;
-  out.iterations = state.start_iteration;
+  out.eigenvector = std::move(trace.iterate);
+  out.eigenvalue = trace.eigenvalue;
+  out.residual = trace.residual;
+  out.iterations = trace.start_iteration;
 
-  const bool checkpointing =
-      options.checkpoint_every > 0 &&
-      (options.checkpoint_sink || !options.checkpoint_path.empty());
+  // The product buffer comes from the shared workspace when one is
+  // configured, so repeated solves (sweeps, recovery retries) reuse it.
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> y = workspace.take(core::Workspace::Slot::product, n);
 
-  std::vector<double> y(n);
   std::span<double> x_span(out.eigenvector);
   const double mu = options.shift;
 
-  double best_residual = state.best_residual;
-  double window_start_best = state.window_start_best;
-  unsigned checks_without_progress = state.checks_without_progress;
-
-  for (unsigned it = state.start_iteration + 1; it <= options.max_iterations; ++it) {
+  for (unsigned it = trace.start_iteration + 1; it <= options.max_iterations; ++it) {
     op.apply(out.eigenvector, y);  // y = W x (unshifted product)
     out.iterations = it;
 
-    const bool check = (it % options.residual_check_every == 0) ||
-                       (it == options.max_iterations);
-    if (check) {
+    if (driver.should_check(it, options.max_iterations)) {
       // Rayleigh quotient from the product already in hand.
       const double xx = reduce_dot(options.engine, x_span, x_span);
       const double xy = reduce_dot(options.engine, x_span, y);
@@ -103,33 +94,12 @@ PowerResult run_power_loop(const core::LinearOperator& op, IterationState state,
       // Numerical-health guard: a NaN/Inf iterate makes both the Rayleigh
       // quotient and the residual non-finite.  Fail fast with a structured
       // reason instead of spinning max_iterations on garbage.
-      if (!std::isfinite(lambda) || !std::isfinite(res2)) {
-        out.failure = SolverFailure::non_finite;
-        out.converged = false;
-        break;
-      }
+      if (!driver.guard({lambda, res2}, out)) break;
       out.eigenvalue = lambda;
       out.residual =
           std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
-      if (options.on_residual) options.on_residual(it, out.residual);
-      if (out.residual <= options.tolerance) {
-        out.converged = true;
+      if (driver.observe(it, out.residual, out) != IterationDriver::Verdict::proceed) {
         break;
-      }
-      // Stagnation: the residual has hit its numerical floor or the
-      // spectrum is so clustered that progress per window is negligible.
-      // The test is window-based (best-vs-best across a whole window of
-      // checks) so that jitter around the floor cannot keep resetting it.
-      best_residual = std::min(best_residual, out.residual);
-      if (options.stall_window > 0 &&
-          ++checks_without_progress >= options.stall_window) {
-        if (best_residual >= window_start_best * 0.95) {
-          out.stalled = true;
-          out.converged = out.residual <= options.stall_accept;
-          break;
-        }
-        window_start_best = best_residual;
-        checks_without_progress = 0;
       }
     }
 
@@ -147,11 +117,7 @@ PowerResult run_power_loop(const core::LinearOperator& op, IterationState state,
     // The 1-norm is computed every iteration anyway, so checking it for
     // NaN/Inf costs one compare and catches a poisoned product at the
     // earliest possible iteration — before it can reach a checkpoint.
-    if (!std::isfinite(norm)) {
-      out.failure = SolverFailure::non_finite;
-      out.converged = false;
-      break;
-    }
+    if (!driver.guard({norm}, out)) break;
     require(norm > 0.0, "power_iteration: iterate collapsed to zero");
     const double inv = 1.0 / norm;
     const double* yp = y.data();
@@ -161,27 +127,8 @@ PowerResult run_power_loop(const core::LinearOperator& op, IterationState state,
     });
 
     // Periodic checkpoint, written only after the health guard above passed:
-    // the last checkpoint on disk is always a finite, resumable state.  A
-    // failing write degrades durability but must not kill a long solve.
-    if (checkpointing && it % options.checkpoint_every == 0) {
-      io::SolverCheckpoint ck;
-      ck.iteration = it;
-      ck.eigenvalue = out.eigenvalue;
-      ck.residual = out.residual;
-      ck.best_residual = best_residual;
-      ck.window_start_best = window_start_best;
-      ck.checks_without_progress = checks_without_progress;
-      ck.eigenvector = out.eigenvector;
-      try {
-        if (options.checkpoint_sink) {
-          options.checkpoint_sink(ck);
-        } else {
-          io::save_checkpoint(options.checkpoint_path, ck);
-        }
-      } catch (...) {
-        ++out.checkpoint_failures;
-      }
-    }
+    // the last checkpoint on disk is always a finite, resumable state.
+    driver.maybe_checkpoint(it, out, out.eigenvector, it);
   }
 
   // A non-finite exit leaves the garbage iterate in place for post-mortem
@@ -214,13 +161,14 @@ PowerResult power_iteration(const core::LinearOperator& op,
   require(start.empty() || start.size() == n,
           "power_iteration: starting vector has wrong dimension");
 
-  IterationState state;
-  state.x.assign(n, 1.0 / static_cast<double>(n));
+  IterationTrace trace;
+  trace.iterate.assign(n, 1.0 / static_cast<double>(n));
   if (!start.empty()) {
-    linalg::copy(start, state.x);
-    linalg::normalize1(state.x);
+    linalg::copy(start, trace.iterate);
+    linalg::normalize1(trace.iterate);
   }
-  return run_power_loop(op, std::move(state), options);
+  return run_power_loop(op, std::move(trace),
+                        IterationDriver(options, io::SolverKind::power), options);
 }
 
 PowerResult resume_power_iteration(const core::LinearOperator& op,
@@ -231,30 +179,18 @@ PowerResult resume_power_iteration(const core::LinearOperator& op,
   require(checkpoint.eigenvector.size() == n,
           "resume_power_iteration: checkpoint dimension does not match operator");
 
-  IterationState state;
-  state.x = checkpoint.eigenvector;
-  state.start_iteration = static_cast<unsigned>(checkpoint.iteration);
-  state.eigenvalue = checkpoint.eigenvalue;
-  state.residual = checkpoint.residual;
-  state.best_residual = checkpoint.best_residual;
-  state.window_start_best = checkpoint.window_start_best;
-  state.checks_without_progress =
-      static_cast<unsigned>(checkpoint.checks_without_progress);
-
-  // A checkpoint is only ever written with a finite iterate, but the file
-  // may come from anywhere; refuse to iterate on a poisoned start.
-  for (double v : state.x) {
-    if (!std::isfinite(v)) {
-      PowerResult out;
-      out.eigenvector = std::move(state.x);
-      out.eigenvalue = state.eigenvalue;
-      out.residual = state.residual;
-      out.iterations = state.start_iteration;
-      out.failure = SolverFailure::non_finite;
-      return out;
-    }
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationTrace trace;
+  PowerResult out;
+  if (!restore_trace(checkpoint, io::SolverKind::power, trace, out)) {
+    out.eigenvector = std::move(trace.iterate);
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.iterations = trace.start_iteration;
+    return out;
   }
-  return run_power_loop(op, std::move(state), options);
+  driver.restore(checkpoint);
+  return run_power_loop(op, std::move(trace), std::move(driver), options);
 }
 
 }  // namespace qs::solvers

@@ -9,96 +9,38 @@
 // the conservative choice mu = (1-2p)^nu f_min from core/spectral.hpp is
 // always admissible.
 //
-// Resilience: the loop can periodically persist its state through
-// io::SolverCheckpoint (write-to-temp-then-rename, checksummed), a resumed
-// run continues the original residual trajectory bit for bit on the serial
-// backend, and a non-finite iterate is detected at residual-check cadence
-// and reported as a structured SolverFailure instead of spinning
-// max_iterations on garbage.
+// Resilience: the loop runs through solvers/iteration_driver, which owns the
+// periodic checkpointing (write-to-temp-then-rename, checksummed), the stall
+// window, and the NaN/Inf health guards; a resumed run continues the
+// original residual trajectory bit for bit on the serial backend, and a
+// non-finite iterate is detected at residual-check cadence and reported as
+// a structured SolverFailure instead of spinning max_iterations on garbage.
 #pragma once
 
-#include <filesystem>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/operators.hpp"
 #include "io/binary_io.hpp"
-#include "parallel/engine.hpp"
-#include "solvers/solver_failure.hpp"
+#include "solvers/iteration_driver.hpp"
 
 namespace qs::solvers {
 
-/// Tuning knobs for the power iteration.
-struct PowerOptions {
-  /// Convergence threshold on the relative residual
-  /// ||W x - lambda x||_2 / (|lambda| ||x||_2).  The attainable floor is a
-  /// small multiple of nu * eps (~1e-15 at nu = 25); the default leaves a
-  /// safety margin above it.
-  double tolerance = 1e-13;
-
-  /// Iteration cap; exceeding it returns converged = false.  On a resumed
-  /// run the cap counts total iterations including the checkpointed ones.
-  unsigned max_iterations = 1000000;
-
+/// Tuning knobs for the power iteration: the shared iteration block (see
+/// solvers/iteration_driver.hpp for tolerance, max_iterations, residual
+/// cadence, stall window, engine, workspace, and checkpointing) plus the
+/// spectral shift.
+struct PowerOptions : IterationOptions {
   /// Spectral shift mu: iterates with (W - mu I). Must keep lambda_0 - mu
   /// the dominant eigenvalue (any mu <= lambda_min(W) qualifies).
   double shift = 0.0;
-
-  /// Compute the residual only every k-th iteration (ablation knob; the
-  /// residual costs reductions, not an extra product, since W x is reused).
-  unsigned residual_check_every = 1;
-
-  /// Stagnation detection: if the best residual seen has not improved by at
-  /// least 5 % across a window of this many residual checks, the iteration
-  /// is either at its numerical floor or converging too slowly to ever
-  /// finish, and stops.  The floor depends on the spectrum (clustered
-  /// subdominant eigenvalues amplify rounding): random landscapes floor
-  /// near 1e-15 while single-peak landscapes at nu = 20 floor near 1e-11,
-  /// so a fixed tolerance cannot serve both.  0 disables.
-  unsigned stall_window = 100;
-
-  /// A stalled run still counts as converged when its floor residual is at
-  /// most this value (set equal to `tolerance` to make stalling a failure).
-  double stall_accept = 1e-9;
-
-  /// Reduction backend; null means serial.
-  const parallel::Engine* engine = nullptr;
-
-  /// Periodic checkpointing: every `checkpoint_every` iterations the current
-  /// state is persisted to `checkpoint_path` (atomically; a crash mid-write
-  /// never tears an existing checkpoint).  0 or an empty path disables.
-  /// A checkpoint is only written while the iterate is finite, so the last
-  /// checkpoint on disk is always a good restart point.
-  std::filesystem::path checkpoint_path;
-  unsigned checkpoint_every = 0;
-
-  /// Testing/observability seam: when set, checkpoints go through this sink
-  /// instead of binary_io (checkpoint_path is then ignored).  A sink that
-  /// throws models checkpoint I/O failure; the solve records the failure in
-  /// PowerResult::checkpoint_failures and keeps iterating — durability
-  /// degrades, the solve does not die.
-  std::function<void(const io::SolverCheckpoint&)> checkpoint_sink;
-
-  /// Observability hook invoked at every residual check with the iteration
-  /// number and the relative residual (used by the resume tests to prove
-  /// bitwise-equal trajectories, and handy for progress reporting).
-  std::function<void(unsigned iteration, double residual)> on_residual;
 };
 
-/// Outcome of a power iteration run.
-struct PowerResult {
-  double eigenvalue = 0.0;          ///< Dominant eigenvalue of W (unshifted).
+/// Outcome of a power iteration run: the shared outcome fields (eigenvalue,
+/// iterations, residual, converged/stalled/failure, checkpoint statistics)
+/// plus the eigenvector.
+struct PowerResult : IterationResult {
   std::vector<double> eigenvector;  ///< 1-norm normalised, nonnegative.
-  unsigned iterations = 0;          ///< Products with W performed (total,
-                                    ///< including checkpointed ones on resume).
-  double residual = 0.0;            ///< Relative residual at exit.
-  bool converged = false;
-  bool stalled = false;             ///< Stopped at the numerical floor
-                                    ///< above `tolerance` (see stall_window).
-  SolverFailure failure = SolverFailure::none;  ///< Structured failure reason.
-  unsigned checkpoint_failures = 0; ///< Checkpoint writes that threw (the
-                                    ///< solve continues; durability degrades).
 };
 
 /// Runs the (shifted) power iteration on `op` starting from `start`

@@ -6,6 +6,7 @@
 
 #include "analysis/error_classes.hpp"
 #include "core/fmmp.hpp"
+#include "core/planned_operator.hpp"
 #include "core/smvp.hpp"
 #include "core/spectral.hpp"
 #include "core/xmvp.hpp"
@@ -33,13 +34,24 @@ QuasispeciesResult solve(const core::MutationModel& model,
           "solve: model and landscape dimensions differ");
 
   std::unique_ptr<core::LinearOperator> op;
+  core::PlannedOperator* planned = nullptr;
   switch (options.matvec) {
-    case MatvecKind::fmmp:
-      op = std::make_unique<core::FmmpOperator>(model, landscape, options.formulation,
-                                                options.engine, options.level_order,
-                                                core::EngineKernel::blocked,
-                                                options.plan);
+    case MatvecKind::fmmp: {
+      // The facade's fast path goes through the planned operator: it owns
+      // the (possibly autotuned) banded plan and the scratch workspace the
+      // solver loop below borrows, so repeated applies allocate nothing.
+      core::PlannedOperatorConfig config;
+      config.formulation = options.formulation;
+      config.engine = options.engine;
+      config.order = options.level_order;
+      config.kernel = core::EngineKernel::blocked;
+      config.plan = options.plan;
+      config.autotune = options.autotune;
+      auto owned = std::make_unique<core::PlannedOperator>(model, landscape, config);
+      planned = owned.get();
+      op = std::move(owned);
       break;
+    }
     case MatvecKind::xmvp:
       op = std::make_unique<core::XmvpOperator>(model, landscape, options.xmvp_d_max,
                                                 options.formulation, options.engine);
@@ -60,11 +72,12 @@ QuasispeciesResult solve(const core::MutationModel& model,
   if (options.wrap_operator) op = options.wrap_operator(std::move(op));
 
   PowerOptions popts;
-  popts.tolerance = options.tolerance;
-  popts.max_iterations = options.max_iterations;
-  popts.engine = options.engine;
-  popts.checkpoint_path = options.checkpoint_path;
-  popts.checkpoint_every = options.checkpoint_every;
+  // The whole shared iteration block — tolerance, caps, stall window,
+  // engine, workspace, checkpointing, hooks — forwards in one assignment.
+  static_cast<IterationOptions&>(popts) = options;
+  if (popts.workspace == nullptr && planned != nullptr) {
+    popts.workspace = &planned->workspace();
+  }
   if (options.use_shift && model.symmetric() &&
       model.kind() != core::MutationKind::grouped) {
     popts.shift = core::conservative_shift(model, landscape);
@@ -110,12 +123,7 @@ QuasispeciesResult solve(const core::MutationModel& model,
   }
 
   QuasispeciesResult out;
-  out.eigenvalue = r.eigenvalue;
-  out.iterations = r.iterations;
-  out.residual = r.residual;
-  out.converged = r.converged;
-  out.stalled = r.stalled;
-  out.failure = r.failure;
+  static_cast<IterationResult&>(out) = r;
   out.recovery_attempts = recovery_attempts;
   out.checkpoint_failures = checkpoint_failures;
   out.concentrations = std::move(r.eigenvector);

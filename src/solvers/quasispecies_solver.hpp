@@ -15,7 +15,6 @@
 // iteration — before reporting a structured failure.
 #pragma once
 
-#include <filesystem>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -24,8 +23,7 @@
 #include "core/mutation_model.hpp"
 #include "core/operators.hpp"
 #include "io/binary_io.hpp"
-#include "parallel/engine.hpp"
-#include "solvers/solver_failure.hpp"
+#include "solvers/iteration_driver.hpp"
 #include "transforms/blocked_butterfly.hpp"
 #include "transforms/butterfly.hpp"
 
@@ -40,15 +38,16 @@ enum class MatvecKind {
            ///< explicit storage; uses xmvp_d_max)
 };
 
-/// Options for the facade.
-struct SolveOptions {
+/// Options for the facade: the shared iteration block (tolerance, iteration
+/// cap, stall window, engine/workspace, periodic checkpointing and the
+/// checkpoint/residual hooks — all forwarded to the underlying power
+/// iteration through solvers/iteration_driver) plus the facade's strategy
+/// selection.
+struct SolveOptions : IterationOptions {
   core::Formulation formulation = core::Formulation::right;
   MatvecKind matvec = MatvecKind::fmmp;
   unsigned xmvp_d_max = 5;        ///< Truncation radius when matvec == xmvp.
-  double tolerance = 1e-13;       ///< Relative residual target.
-  unsigned max_iterations = 1000000;
   bool use_shift = true;          ///< Apply mu = (1-2p)^nu f_min when possible.
-  const parallel::Engine* engine = nullptr;  ///< null = serial.
   transforms::LevelOrder level_order = transforms::LevelOrder::ascending;
 
   /// Tiling plan for the banded Fmmp kernel (see transforms/plan_autotune;
@@ -56,12 +55,10 @@ struct SolveOptions {
   /// ignore it.
   transforms::BlockedPlan plan;
 
-  /// Periodic checkpointing: every `checkpoint_every` iterations the power
-  /// iteration's state is persisted atomically to `checkpoint_path`.
-  /// 0 or an empty path disables.  The checkpoint doubles as the restart
-  /// point for the graceful-degradation rule below.
-  std::filesystem::path checkpoint_path;
-  unsigned checkpoint_every = 0;
+  /// Autotune the banded Fmmp plan for this machine before the solve
+  /// (matvec == fmmp only): the facade's core::PlannedOperator then owns the
+  /// winning plan and its report.  `plan` seeds the candidate set.
+  bool autotune = false;
 
   /// Resume a previous run: start from this checkpoint instead of the
   /// landscape start (the caller keeps ownership; see io::load_checkpoint).
@@ -83,20 +80,14 @@ struct SolveOptions {
       wrap_operator;
 };
 
-/// Solution of the quasispecies problem in concentration form.
-struct QuasispeciesResult {
-  double eigenvalue = 0.0;            ///< Dominant eigenvalue of W = Q F.
+/// Solution of the quasispecies problem in concentration form: the shared
+/// outcome fields (eigenvalue, iterations, residual, converged, stalled,
+/// structured failure after all recovery attempts, checkpoint statistics)
+/// plus the concentration vectors and the recovery count.
+struct QuasispeciesResult : IterationResult {
   std::vector<double> concentrations; ///< x_R, 1-norm normalised, length 2^nu.
   std::vector<double> class_concentrations;  ///< [Gamma_0..Gamma_nu].
-  unsigned iterations = 0;
-  double residual = 0.0;
-  bool converged = false;
-  bool stalled = false;               ///< Accepted (or failed) at the
-                                      ///< numerical floor, see PowerResult.
-  SolverFailure failure = SolverFailure::none;  ///< Structured failure after
-                                      ///< all recovery attempts.
   unsigned recovery_attempts = 0;     ///< Restarts the degradation rule used.
-  unsigned checkpoint_failures = 0;   ///< Checkpoint writes that threw.
 };
 
 /// Solves for a general landscape (power iteration on the selected product).

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "core/fmmp.hpp"
 #include "core/operators.hpp"
 #include "core/spectral.hpp"
+#include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
 #include "solvers/power_iteration.hpp"
 #include "support/contracts.hpp"
@@ -67,8 +69,7 @@ class SymmetricWContext {
 
   /// Rayleigh quotient and relative residual of the normalised x.
   std::pair<double, double> eigen_residual(std::span<const double> x,
-                                           std::vector<double>& scratch) const {
-    scratch.resize(n_);
+                                           std::span<double> scratch) const {
     op_.apply(x, scratch);
     const double* xp = x.data();
     const double* sp = scratch.data();
@@ -130,34 +131,49 @@ class SymmetricWContext {
 /// The shared outer loop: inverse iteration around `mu`, optionally
 /// switching to Rayleigh-quotient shift updates once the residual drops
 /// below `rayleigh_after_residual` (set it to +inf for immediate updates,
-/// 0 to keep the shift fixed).  `x` is the starting vector in the symmetric
-/// scale, 2-norm normalised.
+/// 0 to keep the shift fixed).  `x` is the starting (or resumed) iterate in
+/// the symmetric scale, 2-norm normalised, used verbatim.  One driver
+/// iteration is one outer step; the checkpoint records the iterate plus the
+/// *next* step's shift in aux, so a resume re-enters the loop with exactly
+/// the state the uninterrupted run would have had.
 WEigenResult run_shifted_outer(const SymmetricWContext& ctx, std::vector<double> x,
-                               const ShiftInvertOptions& options, double initial_mu,
-                               double rayleigh_after_residual) {
+                               const ShiftInvertOptions& options,
+                               IterationDriver driver, double initial_mu,
+                               double rayleigh_after_residual,
+                               unsigned start_iteration = 0,
+                               std::size_t inner_start = 0) {
   WEigenResult out;
-  std::vector<double> rhs(ctx.dimension());
-  std::vector<double> scratch;
+  out.outer_iterations = start_iteration;
+  out.iterations = start_iteration;
+  out.inner_iterations_total = inner_start;
+
+  core::Workspace local_workspace;
+  core::Workspace& workspace =
+      options.workspace != nullptr ? *options.workspace : local_workspace;
+  std::span<double> rhs = workspace.take(core::Workspace::Slot::rhs, ctx.dimension());
+  std::span<double> scratch =
+      workspace.take(core::Workspace::Slot::scratch, ctx.dimension());
+
+  // Inner solves share the outer workspace (distinct krylov* slots) unless
+  // the caller routed them elsewhere explicitly.
+  linalg::KrylovOptions inner_options = options.inner;
+  if (inner_options.workspace == nullptr) inner_options.workspace = &workspace;
 
   double mu = initial_mu;
-  auto [rq, res] = ctx.eigen_residual(x, scratch);
-  out.eigenvalue = rq;
-  out.residual = res;
+  // Recomputing the eigen-residual of the (verbatim) iterate is
+  // deterministic, so on a resume this reproduces the checkpointed values
+  // exactly — no separate restore path needed.
+  std::tie(out.eigenvalue, out.residual) = ctx.eigen_residual(x, scratch);
 
   // The eigen-residual is recomputed after every outer step, so a NaN/Inf
   // iterate (e.g. a poisoned product inside the inner Krylov solve) is
   // caught at that cadence and reported structurally instead of letting the
   // outer loop spin on garbage.
-  const auto healthy = [&out] {
-    if (std::isfinite(out.eigenvalue) && std::isfinite(out.residual)) return true;
-    out.failure = SolverFailure::non_finite;
-    out.converged = false;
-    return false;
-  };
-
-  if (healthy()) {
-    for (unsigned it = 1; it <= options.max_outer_iterations; ++it) {
+  if (driver.guard({out.eigenvalue, out.residual}, out)) {
+    for (unsigned it = start_iteration + 1; it <= options.max_outer_iterations;
+         ++it) {
       out.outer_iterations = it;
+      out.iterations = it;
       if (out.residual <= options.tolerance) {
         out.converged = true;
         break;
@@ -167,18 +183,27 @@ WEigenResult run_shifted_outer(const SymmetricWContext& ctx, std::vector<double>
       linalg::KrylovResult inner;
       if (ctx.shift_below_spectrum(mu)) {
         inner = linalg::conjugate_gradient(
-            ctx.shifted_apply(mu), rhs, x, options.inner,
+            ctx.shifted_apply(mu), rhs, x, inner_options,
             options.use_q_preconditioner ? ctx.q_preconditioner() : linalg::ApplyFn{});
       } else {
-        inner = linalg::minres(ctx.shifted_apply(mu), rhs, x, options.inner);
+        inner = linalg::minres(ctx.shifted_apply(mu), rhs, x, inner_options);
       }
       out.inner_iterations_total += inner.iterations;
       linalg::normalize2(x);
       std::tie(out.eigenvalue, out.residual) = ctx.eigen_residual(x, scratch);
-      if (!healthy()) break;
+      if (!driver.guard({out.eigenvalue, out.residual}, out)) break;
+      // Stall accounting and the residual hook run through the driver.  A
+      // converged verdict is deliberately *not* acted on here: the tolerance
+      // test at the top of the next step ends the loop, which keeps the
+      // historical outer_iterations count bit-compatible.
+      if (driver.observe(it, out.residual, out) ==
+          IterationDriver::Verdict::stalled) {
+        break;
+      }
       if (out.residual < rayleigh_after_residual) {
         mu = out.eigenvalue;
       }
+      driver.maybe_checkpoint(it, out, x, out.inner_iterations_total, mu);
     }
     if (out.failure == SolverFailure::none && out.residual <= options.tolerance) {
       out.converged = true;
@@ -230,6 +255,29 @@ bool poisoned_start(std::span<const double> start, WEigenResult& out) {
   return false;
 }
 
+/// Shared resume plumbing: validates the checkpoint against the model,
+/// restores the driver's stall/best-residual state, and hands back the
+/// trace.  Returns false (with `out` filled) when the checkpointed iterate
+/// is poisoned and the resume must fail structurally.
+bool restore_shift_invert(const SymmetricWContext& ctx,
+                          const io::SolverCheckpoint& checkpoint,
+                          IterationDriver& driver, IterationTrace& trace,
+                          WEigenResult& out) {
+  require(checkpoint.eigenvector.size() == ctx.dimension(),
+          "shift-invert resume: checkpoint dimension does not match model");
+  if (!restore_trace(checkpoint, io::SolverKind::shift_invert, trace, out)) {
+    out.concentrations = std::move(trace.iterate);
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.outer_iterations = trace.start_iteration;
+    out.iterations = trace.start_iteration;
+    out.inner_iterations_total = static_cast<std::size_t>(trace.matvec_count);
+    return false;
+  }
+  driver.restore(checkpoint);
+  return true;
+}
+
 }  // namespace
 
 WEigenResult inverse_iteration_w(const core::MutationModel& model,
@@ -239,8 +287,26 @@ WEigenResult inverse_iteration_w(const core::MutationModel& model,
   WEigenResult bad;
   if (poisoned_start(start, bad)) return bad;
   const SymmetricWContext ctx(model, landscape, options.engine);
-  return run_shifted_outer(ctx, ctx.symmetric_start(start), options, mu,
+  IterationDriver driver(options, io::SolverKind::shift_invert);
+  return run_shifted_outer(ctx, ctx.symmetric_start(start), options,
+                           std::move(driver), mu,
                            /*rayleigh_after_residual=*/0.0);
+}
+
+WEigenResult resume_inverse_iteration_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const ShiftInvertOptions& options) {
+  const SymmetricWContext ctx(model, landscape, options.engine);
+  IterationDriver driver(options, io::SolverKind::shift_invert);
+  IterationTrace trace;
+  WEigenResult out;
+  if (!restore_shift_invert(ctx, checkpoint, driver, trace, out)) return out;
+  return run_shifted_outer(ctx, std::move(trace.iterate), options,
+                           std::move(driver), /*initial_mu=*/trace.aux,
+                           /*rayleigh_after_residual=*/0.0,
+                           trace.start_iteration,
+                           static_cast<std::size_t>(trace.matvec_count));
 }
 
 WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
@@ -250,6 +316,7 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
   WEigenResult bad;
   if (poisoned_start(start, bad)) return bad;
   const SymmetricWContext ctx(model, landscape, options.engine);
+  IterationDriver driver(options, io::SolverKind::shift_invert);
   // A generic start has an *interior* Rayleigh quotient, and pure RQI
   // converges to whatever eigenvalue is nearest — not necessarily the
   // dominant one.  A short power-iteration warm-up (cheap Fmmp products)
@@ -262,17 +329,35 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
     linalg::copy(y, x);
     linalg::normalize2(x);
   }
-  std::vector<double> scratch;
-  const double rq0 = ctx.eigen_residual(x, scratch).first;
-  return run_shifted_outer(ctx, std::move(x), options, rq0,
+  const double rq0 = ctx.eigen_residual(x, y).first;
+  return run_shifted_outer(ctx, std::move(x), options, std::move(driver), rq0,
                            /*rayleigh_after_residual=*/
                            std::numeric_limits<double>::infinity());
+}
+
+WEigenResult resume_rayleigh_quotient_iteration_w(
+    const core::MutationModel& model, const core::Landscape& landscape,
+    const io::SolverCheckpoint& checkpoint, const ShiftInvertOptions& options) {
+  const SymmetricWContext ctx(model, landscape, options.engine);
+  IterationDriver driver(options, io::SolverKind::shift_invert);
+  IterationTrace trace;
+  WEigenResult out;
+  if (!restore_shift_invert(ctx, checkpoint, driver, trace, out)) return out;
+  // The checkpoint's aux holds the Rayleigh shift for the *next* step, so
+  // the warm-up is skipped and the loop re-enters mid-flight.
+  return run_shifted_outer(ctx, std::move(trace.iterate), options,
+                           std::move(driver), /*initial_mu=*/trace.aux,
+                           /*rayleigh_after_residual=*/
+                           std::numeric_limits<double>::infinity(),
+                           trace.start_iteration,
+                           static_cast<std::size_t>(trace.matvec_count));
 }
 
 WEigenResult smallest_eigenpair_w(const core::MutationModel& model,
                                   const core::Landscape& landscape,
                                   const ShiftInvertOptions& options) {
   const SymmetricWContext ctx(model, landscape, options.engine);
+  IterationDriver driver(options, io::SolverKind::shift_invert);
   // Shift just below the paper's lower bound (1-2p)^nu f_min <= lambda_min:
   // the nearest eigenvalue to mu is then *guaranteed* to be lambda_min, the
   // system stays positive definite (CG path), and once the iterate has
@@ -280,7 +365,8 @@ WEigenResult smallest_eigenpair_w(const core::MutationModel& model,
   const double mu = 0.999 * core::conservative_shift(model, landscape);
   std::vector<double> uniform(ctx.dimension(), 1.0);
   linalg::normalize2(uniform);
-  return run_shifted_outer(ctx, std::move(uniform), options, mu,
+  return run_shifted_outer(ctx, std::move(uniform), options, std::move(driver),
+                           mu,
                            /*rayleigh_after_residual=*/1e-4);
 }
 

@@ -18,6 +18,13 @@
 // convergent refinement) for W, plus the smallest eigenpair — which
 // validates the paper's lower bound lambda_min >= (1-2p)^nu f_min.
 //
+// Resilience: the outer loop runs through solvers/iteration_driver — one
+// driver iteration per outer step — so inverse iteration and RQI support
+// periodic checkpoint/resume (the outer iterate plus the current shift,
+// stored in the checkpoint's aux field, determine the rest of the run),
+// stall windows, and the NaN/Inf health guards with structured
+// SolverFailure reporting.
+//
 // All methods require a symmetric mutation model (uniform or symmetric
 // per-site); results are reported as concentrations (right formulation).
 #pragma once
@@ -28,30 +35,33 @@
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
 #include "linalg/krylov.hpp"
-#include "parallel/engine.hpp"
-#include "solvers/solver_failure.hpp"
+#include "solvers/iteration_driver.hpp"
 
 namespace qs::solvers {
 
-/// Options for the shift-and-invert eigensolvers.
-struct ShiftInvertOptions {
-  double tolerance = 1e-12;         ///< Relative eigenpair residual target.
+/// Options for the shift-and-invert eigensolvers: the shared iteration
+/// block (one driver iteration = one outer step; stall window disabled by
+/// default, `max_iterations`/`residual_check_every` ignored — the cap is
+/// `max_outer_iterations` and the eigen-residual is recomputed every outer
+/// step anyway) plus the inner linear-solve control.
+struct ShiftInvertOptions : IterationOptions {
+  ShiftInvertOptions() {
+    tolerance = 1e-12;
+    stall_window = 0;
+  }
+
   unsigned max_outer_iterations = 60;
   linalg::KrylovOptions inner;      ///< Inner linear-solve control.
   bool use_q_preconditioner = true; ///< Precondition CG with F^{-1/2}Q^{-1}F^{-1/2}.
-  const parallel::Engine* engine = nullptr;  ///< Matvec/reduction backend; null = serial.
 };
 
-/// Eigenpair of W with solver statistics.
-struct WEigenResult {
-  double eigenvalue = 0.0;
+/// Eigenpair of W with solver statistics: the shared outcome fields
+/// (`iterations` mirrors `outer_iterations`) plus the shift-invert
+/// statistics.
+struct WEigenResult : IterationResult {
   std::vector<double> concentrations;  ///< x_R, 1-norm normalised.
   unsigned outer_iterations = 0;
   std::size_t inner_iterations_total = 0;
-  double residual = 0.0;               ///< Relative symmetric-form residual.
-  bool converged = false;
-  SolverFailure failure = SolverFailure::none;  ///< Set when the outer
-                                    ///< iterate went NaN/Inf (fail-fast).
 };
 
 /// Solves (W_S - mu I) x = b matrix-free.  Selects CG when mu is provably
@@ -72,6 +82,17 @@ WEigenResult inverse_iteration_w(const core::MutationModel& model,
                                  std::span<const double> start = {},
                                  const ShiftInvertOptions& options = {});
 
+/// Resumes an inverse iteration from a checkpoint written by a previous
+/// run with the same model, landscape, and options.  The fixed shift mu is
+/// restored from the checkpoint (aux field); the iterate (symmetric scale)
+/// is taken verbatim, so on the serial backend the outer residual
+/// trajectory from the checkpoint step onward is bit-identical to the
+/// uninterrupted run.  Refuses checkpoints written by a different solver.
+WEigenResult resume_inverse_iteration_w(const core::MutationModel& model,
+                                        const core::Landscape& landscape,
+                                        const io::SolverCheckpoint& checkpoint,
+                                        const ShiftInvertOptions& options = {});
+
 /// Rayleigh quotient iteration from `start` (concentration scale; empty
 /// selects the landscape start, which leans towards the dominant pair).
 /// Cubically convergent; typically 3-5 outer iterations.
@@ -79,6 +100,15 @@ WEigenResult rayleigh_quotient_iteration_w(const core::MutationModel& model,
                                            const core::Landscape& landscape,
                                            std::span<const double> start = {},
                                            const ShiftInvertOptions& options = {});
+
+/// Resumes a Rayleigh quotient iteration from a checkpoint.  The power
+/// warm-up is skipped (the checkpointed iterate already sits near the
+/// dominant pair) and the current Rayleigh shift is restored from the
+/// checkpoint's aux field.
+WEigenResult resume_rayleigh_quotient_iteration_w(
+    const core::MutationModel& model, const core::Landscape& landscape,
+    const io::SolverCheckpoint& checkpoint,
+    const ShiftInvertOptions& options = {});
 
 /// The *smallest* eigenpair of W via inverse iteration with mu = 0
 /// (W_S is positive definite, so plain CG applies).  Validates the paper's

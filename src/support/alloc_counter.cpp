@@ -1,0 +1,22 @@
+#include "support/alloc_counter.hpp"
+
+#include <atomic>
+
+namespace qs::support {
+namespace {
+
+// Relaxed is enough: tests only compare snapshots taken on one thread, and
+// the counter is monotone.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+std::uint64_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void count_allocation() noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace qs::support

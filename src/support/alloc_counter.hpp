@@ -1,0 +1,25 @@
+// Debug heap-allocation counter for the solver hot paths.
+//
+// The iteration-driver refactor (ISSUE-4) guarantees that a solver loop
+// running through a preallocated core::Workspace performs *zero* heap
+// allocations per iteration once its buffers have grown to the working
+// size.  This header is the observation point for that guarantee: the
+// library itself only ever *reads* the counter, and the counter only moves
+// when a translation unit providing counting `operator new` overrides is
+// linked in (tests/alloc_hooks.cpp in the test binary).  Production builds
+// link no hooks, the counter stays at zero, and the cost is nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace qs::support {
+
+/// Number of heap allocations observed since process start.  Always 0
+/// unless the counting allocation hooks are linked into the binary.
+std::uint64_t allocation_count() noexcept;
+
+/// Bumps the counter.  Called by the counting `operator new` overrides;
+/// never call it from library code.
+void count_allocation() noexcept;
+
+}  // namespace qs::support

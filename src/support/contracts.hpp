@@ -24,6 +24,21 @@ class precondition_error : public std::invalid_argument {
 ///
 /// `what` should state the violated requirement in terms of the caller's
 /// arguments, e.g. "error rate p must satisfy 0 < p <= 1/2".
+///
+/// The literal overload is the hot one: checks inside the butterfly kernels
+/// run every matvec, and building the message eagerly (a std::string
+/// temporary per call) was measurable allocator traffic on the iteration
+/// hot path — the message must only materialise on failure.
+inline void require(bool condition, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw precondition_error(std::string(loc.function_name()) + ": " + what);
+  }
+}
+
+/// Overload for call sites that compose the message dynamically (cold paths:
+/// the composition itself costs an allocation whether or not the check
+/// passes, so keep it out of per-iteration code).
 inline void require(bool condition, const std::string& what,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {

@@ -1,0 +1,87 @@
+// Zero-allocation guarantee for the solver hot path.
+//
+// With a PlannedOperator supplying the scratch workspace, the power
+// iteration's steady-state loop — banded matvec, Rayleigh quotient,
+// residual, shift, normalisation — must perform zero heap allocations per
+// iteration on the serial backend.  The counting operator-new hooks in
+// alloc_hooks.cpp (linked into this binary only) make that measurable: the
+// test samples support::allocation_count() from the on_residual hook into a
+// preallocated array (the hook itself must not allocate either) and asserts
+// the counter is flat across the whole run after warm-up.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "core/planned_operator.hpp"
+#include "solvers/power_iteration.hpp"
+#include "support/alloc_counter.hpp"
+
+namespace qs {
+namespace {
+
+TEST(AllocGuardTest, CountingHooksAreLinkedIntoThisBinary) {
+  const std::uint64_t before = support::allocation_count();
+  const std::vector<double> v(1024, 1.0);
+  ASSERT_EQ(v.size(), 1024u);
+  EXPECT_GT(support::allocation_count(), before)
+      << "operator-new hooks are not linked; the zero-allocation test below "
+         "would pass vacuously";
+}
+
+TEST(AllocGuardTest, PowerIterationHotPathPerformsZeroHeapAllocations) {
+  const auto model = core::MutationModel::uniform(10, 0.01);
+  const auto fitness = core::Landscape::random(10, 5.0, 1.0, 77);
+  const core::PlannedOperator op(model, fitness);
+
+  constexpr unsigned kIterations = 60;
+  solvers::PowerOptions options;
+  options.tolerance = 0.0;  // never converge: run all iterations
+  options.stall_window = 0;
+  options.max_iterations = kIterations;
+  options.workspace = &op.workspace();
+
+  // Fixed-size sample buffer: the hook itself must not allocate, or it
+  // would trip the very counter it samples.
+  std::array<std::uint64_t, kIterations + 1> samples{};
+  options.on_residual = [&samples](unsigned it, double) {
+    if (it < samples.size()) samples[it] = support::allocation_count();
+  };
+
+  const solvers::PowerResult result = solvers::power_iteration(op, {}, options);
+  ASSERT_EQ(result.iterations, kIterations);
+  ASSERT_EQ(result.failure, solvers::SolverFailure::none);
+
+  // Iteration 1's sample is taken after the loop's one-time setup (start
+  // vector, workspace growth); from then on the counter must not move.
+  for (unsigned it = 2; it <= kIterations; ++it) {
+    EXPECT_EQ(samples[it], samples[1]) << "allocation during iteration " << it;
+  }
+}
+
+TEST(AllocGuardTest, RepeatedSolvesThroughOneWorkspaceStayAllocationFlat) {
+  const auto model = core::MutationModel::uniform(9, 0.02);
+  const auto fitness = core::Landscape::random(9, 4.0, 1.0, 5);
+  const core::PlannedOperator op(model, fitness);
+
+  solvers::PowerOptions options;
+  options.tolerance = 0.0;
+  options.stall_window = 0;
+  options.max_iterations = 10;
+  options.workspace = &op.workspace();
+
+  // First solve grows the workspace to the working size.
+  solvers::power_iteration(op, {}, options);
+  const std::size_t warm_bytes = op.workspace().bytes();
+
+  // Further solves reuse the grown buffers verbatim.
+  solvers::power_iteration(op, {}, options);
+  EXPECT_EQ(op.workspace().bytes(), warm_bytes);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,333 @@
+// Unit tests for the shared iteration scaffolding (solvers/iteration_driver).
+//
+// The solver-level tests exercise the driver end to end; these pin down the
+// contract of each primitive in isolation: the observe verdicts (tolerance,
+// stall window, stall_accept), the NaN/Inf guards, the checkpoint cadence
+// and failure accounting, verbatim restore, and restore_trace's kind and
+// health checks.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/binary_io.hpp"
+#include "solvers/iteration_driver.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+using Verdict = IterationDriver::Verdict;
+
+TEST(IterationDriverTest, ObserveConvergesAtTheTolerance) {
+  IterationOptions options;
+  options.tolerance = 1e-8;
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  EXPECT_EQ(driver.observe(1, 1e-7, out), Verdict::proceed);
+  EXPECT_FALSE(out.converged);
+  EXPECT_EQ(driver.observe(2, 1e-8, out), Verdict::converged);
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(IterationDriverTest, ObserveFiresTheResidualHook) {
+  IterationOptions options;
+  options.tolerance = 0.0;
+  std::vector<std::pair<unsigned, double>> seen;
+  options.on_residual = [&](unsigned it, double res) { seen.emplace_back(it, res); };
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  driver.observe(3, 0.5, out);
+  driver.observe(4, 0.25, out);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<unsigned, double>{3, 0.5}));
+  EXPECT_EQ(seen[1], (std::pair<unsigned, double>{4, 0.25}));
+}
+
+TEST(IterationDriverTest, StallWindowFiresAndStallAcceptDecidesConvergence) {
+  IterationOptions options;
+  options.tolerance = 0.0;  // never converge on tolerance
+  options.stall_window = 3;
+  options.stall_accept = 1e-2;
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  // The first full window only establishes the reference best (it always
+  // counts as progress against the initial infinity); a second window with a
+  // flat residual then fires the stall.
+  for (unsigned it = 1; it <= 5; ++it) {
+    EXPECT_EQ(driver.observe(it, 1e-3, out), Verdict::proceed) << it;
+  }
+  EXPECT_EQ(driver.observe(6, 1e-3, out), Verdict::stalled);
+  EXPECT_TRUE(out.stalled);
+  // The floor sits below stall_accept, so the stalled run still counts as
+  // converged.
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(IterationDriverTest, StallAboveStallAcceptIsNotConverged) {
+  IterationOptions options;
+  options.tolerance = 0.0;
+  options.stall_window = 2;
+  options.stall_accept = 1e-9;
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  EXPECT_EQ(driver.observe(1, 0.5, out), Verdict::proceed);
+  EXPECT_EQ(driver.observe(2, 0.5, out), Verdict::proceed);  // reference window
+  EXPECT_EQ(driver.observe(3, 0.5, out), Verdict::proceed);
+  EXPECT_EQ(driver.observe(4, 0.5, out), Verdict::stalled);
+  EXPECT_TRUE(out.stalled);
+  EXPECT_FALSE(out.converged);
+}
+
+TEST(IterationDriverTest, ProgressResetsTheStallWindow) {
+  IterationOptions options;
+  options.tolerance = 0.0;
+  options.stall_window = 2;
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  // Each window ends with the best residual improved by more than 5 %, so
+  // the accounting resets instead of stalling.
+  EXPECT_EQ(driver.observe(1, 1e-1, out), Verdict::proceed);
+  EXPECT_EQ(driver.observe(2, 1e-2, out), Verdict::proceed);
+  EXPECT_EQ(driver.observe(3, 1e-3, out), Verdict::proceed);
+  EXPECT_EQ(driver.observe(4, 1e-4, out), Verdict::proceed);
+  EXPECT_FALSE(out.stalled);
+}
+
+TEST(IterationDriverTest, GuardStampsAStructuredFailure) {
+  IterationOptions options;
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+
+  EXPECT_TRUE(driver.guard({1.0, 2.0}, out));
+  EXPECT_EQ(out.failure, SolverFailure::none);
+
+  out.converged = true;
+  EXPECT_FALSE(driver.guard({1.0, std::nan("")}, out));
+  EXPECT_EQ(out.failure, SolverFailure::non_finite);
+  EXPECT_FALSE(out.converged);
+
+  IterationResult out2;
+  const std::vector<double> poisoned = {
+      0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(driver.guard(std::span<const double>(poisoned), out2));
+  EXPECT_EQ(out2.failure, SolverFailure::non_finite);
+}
+
+TEST(IterationDriverTest, CheckpointCadenceAndPayloadThroughTheSink) {
+  IterationOptions options;
+  options.checkpoint_every = 3;
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  IterationDriver driver(options, io::SolverKind::lanczos);
+  ASSERT_TRUE(driver.checkpointing());
+
+  IterationResult out;
+  out.eigenvalue = 2.5;
+  out.residual = 0.5;  // the caller stamps eigenvalue/residual, not observe
+  driver.observe(1, 0.5, out);
+  const std::vector<double> iterate = {0.25, 0.75};
+  for (unsigned it = 1; it <= 7; ++it) {
+    driver.maybe_checkpoint(it, out, iterate, /*matvec_count=*/it * 10,
+                            /*aux=*/1.5);
+  }
+
+  ASSERT_EQ(checkpoints.size(), 2u);  // iterations 3 and 6
+  const io::SolverCheckpoint& ck = checkpoints.front();
+  EXPECT_EQ(ck.iteration, 3u);
+  EXPECT_EQ(checkpoints.back().iteration, 6u);
+  EXPECT_EQ(ck.solver_kind, io::SolverKind::lanczos);
+  EXPECT_EQ(ck.eigenvalue, 2.5);
+  EXPECT_EQ(ck.residual, 0.5);
+  EXPECT_EQ(ck.best_residual, 0.5);
+  EXPECT_EQ(ck.matvec_count, 30u);
+  EXPECT_EQ(ck.aux, 1.5);
+  EXPECT_EQ(ck.eigenvector, iterate);
+}
+
+TEST(IterationDriverTest, NoPathAndNoSinkMeansNoCheckpointing) {
+  IterationOptions options;
+  options.checkpoint_every = 1;  // cadence alone is not enough
+  IterationDriver driver(options, io::SolverKind::power);
+  EXPECT_FALSE(driver.checkpointing());
+}
+
+TEST(IterationDriverTest, AThrowingSinkIsCountedNotFatal) {
+  IterationOptions options;
+  options.checkpoint_every = 1;
+  options.checkpoint_sink = [](const io::SolverCheckpoint&) {
+    throw std::runtime_error("disk full");
+  };
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+  const std::vector<double> iterate = {1.0};
+
+  EXPECT_NO_THROW(driver.write_checkpoint(1, out, iterate));
+  EXPECT_NO_THROW(driver.maybe_checkpoint(2, out, iterate));
+  EXPECT_EQ(out.checkpoint_failures, 2u);
+  EXPECT_EQ(out.failure, SolverFailure::none);
+}
+
+TEST(IterationDriverTest, RestoreContinuesTheStallAccountingVerbatim) {
+  IterationOptions options;
+  options.tolerance = 0.0;
+  options.stall_window = 3;
+  options.stall_accept = 1e-2;
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+
+  // One full flat window establishes the reference best, then two more flat
+  // checks leave the first driver one check away from stalling; the
+  // checkpoint carries exactly that state.
+  IterationDriver first(options, io::SolverKind::power);
+  IterationResult out;
+  for (unsigned it = 1; it <= 5; ++it) first.observe(it, 1e-3, out);
+  const std::vector<double> iterate = {1.0};
+  first.write_checkpoint(5, out, iterate);
+  ASSERT_EQ(checkpoints.size(), 1u);
+  EXPECT_EQ(checkpoints.front().checks_without_progress, 2u);
+  EXPECT_EQ(checkpoints.front().window_start_best, 1e-3);
+
+  // A restored driver stalls on its very next flat check — exactly where
+  // the uninterrupted run would have.
+  IterationDriver second(options, io::SolverKind::power);
+  second.restore(checkpoints.front());
+  IterationResult out2;
+  EXPECT_EQ(second.observe(6, 1e-3, out2), Verdict::stalled);
+  EXPECT_TRUE(out2.stalled);
+
+  // A fresh driver without the restored state needs its full window again.
+  IterationDriver fresh(options, io::SolverKind::power);
+  IterationResult out3;
+  EXPECT_EQ(fresh.observe(6, 1e-3, out3), Verdict::proceed);
+}
+
+TEST(IterationDriverTest, CheckpointPathRoundTripsThroughBinaryIo) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("qs_iteration_driver_test_" + std::to_string(::getpid()) + ".ck");
+
+  IterationOptions options;
+  options.checkpoint_every = 1;
+  options.checkpoint_path = path;
+  IterationDriver driver(options, io::SolverKind::arnoldi);
+  ASSERT_TRUE(driver.checkpointing());
+
+  IterationResult out;
+  out.eigenvalue = 3.25;
+  out.residual = 0.125;
+  driver.observe(5, 0.125, out);
+  const std::vector<double> iterate = {0.5, 0.25, 0.125};
+  driver.maybe_checkpoint(5, out, iterate, /*matvec_count=*/42, /*aux=*/-1.0);
+
+  const io::SolverCheckpoint loaded = io::load_checkpoint(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.iteration, 5u);
+  EXPECT_EQ(loaded.solver_kind, io::SolverKind::arnoldi);
+  EXPECT_EQ(loaded.eigenvalue, 3.25);
+  EXPECT_EQ(loaded.residual, 0.125);
+  EXPECT_EQ(loaded.matvec_count, 42u);
+  EXPECT_EQ(loaded.aux, -1.0);
+  EXPECT_EQ(loaded.eigenvector, iterate);
+}
+
+TEST(IterationDriverTest, ShouldCheckHonoursCadenceAndTheFinalIteration) {
+  IterationOptions options;
+  options.residual_check_every = 4;
+  IterationDriver driver(options, io::SolverKind::power);
+
+  EXPECT_FALSE(driver.should_check(1, 10));
+  EXPECT_TRUE(driver.should_check(4, 10));
+  EXPECT_FALSE(driver.should_check(9, 10));
+  EXPECT_TRUE(driver.should_check(10, 10));  // last iteration always checks
+}
+
+TEST(IterationDriverTest, ZeroResidualCadenceIsRejected) {
+  IterationOptions options;
+  options.residual_check_every = 0;
+  EXPECT_THROW(IterationDriver(options, io::SolverKind::power),
+               precondition_error);
+}
+
+TEST(IterationDriverTest, RestoreTraceRefusesAMismatchedKind) {
+  io::SolverCheckpoint ck;
+  ck.iteration = 7;
+  ck.solver_kind = io::SolverKind::arnoldi;
+  ck.eigenvector = {1.0, 2.0};
+
+  IterationTrace trace;
+  IterationResult out;
+  try {
+    restore_trace(ck, io::SolverKind::lanczos, trace, out);
+    FAIL() << "restore_trace accepted a checkpoint from another solver";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("arnoldi"), std::string::npos) << what;
+    EXPECT_NE(what.find("lanczos"), std::string::npos) << what;
+  }
+}
+
+TEST(IterationDriverTest, UnspecifiedKindIsThePowerIterationOnly) {
+  io::SolverCheckpoint ck;  // v2 file: kind defaults to unspecified
+  ck.iteration = 1;
+  ck.eigenvector = {1.0};
+
+  IterationTrace trace;
+  IterationResult out;
+  EXPECT_TRUE(restore_trace(ck, io::SolverKind::power, trace, out));
+  EXPECT_THROW(restore_trace(ck, io::SolverKind::block_power, trace, out),
+               precondition_error);
+}
+
+TEST(IterationDriverTest, RestoreTraceTakesTheCheckpointVerbatim) {
+  io::SolverCheckpoint ck;
+  ck.iteration = 9;
+  ck.solver_kind = io::SolverKind::shift_invert;
+  ck.eigenvalue = 4.5;
+  ck.residual = 1e-5;
+  ck.matvec_count = 123;
+  ck.aux = 2.5;
+  ck.eigenvector = {0.1, 0.2, 0.3};
+
+  IterationTrace trace;
+  IterationResult out;
+  ASSERT_TRUE(restore_trace(ck, io::SolverKind::shift_invert, trace, out));
+  EXPECT_EQ(trace.start_iteration, 9u);
+  EXPECT_EQ(trace.eigenvalue, 4.5);
+  EXPECT_EQ(trace.residual, 1e-5);
+  EXPECT_EQ(trace.matvec_count, 123u);
+  EXPECT_EQ(trace.aux, 2.5);
+  EXPECT_EQ(trace.iterate, ck.eigenvector);
+}
+
+TEST(IterationDriverTest, RestoreTraceRefusesAPoisonedIterate) {
+  io::SolverCheckpoint ck;
+  ck.iteration = 2;
+  ck.solver_kind = io::SolverKind::power;
+  ck.eigenvector = {1.0, std::nan(""), 3.0};
+
+  IterationTrace trace;
+  IterationResult out;
+  EXPECT_FALSE(restore_trace(ck, io::SolverKind::power, trace, out));
+  EXPECT_EQ(out.failure, SolverFailure::non_finite);
+  EXPECT_FALSE(out.converged);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -1,0 +1,396 @@
+// Bitwise checkpoint/resume trajectories for the Krylov and block solvers.
+//
+// The iteration-driver contract (solvers/iteration_driver.hpp): a resumed
+// run takes the checkpointed iterate verbatim, restores the stall-window
+// accounting, and therefore reproduces the uninterrupted run's residual
+// trajectory bit for bit on the serial backend.  resilience_test.cpp proves
+// this for the power iteration through on-disk checkpoints; these tests
+// prove it for Lanczos, Arnoldi, shift-invert, and block power through the
+// in-memory checkpoint_sink seam: run an uninterrupted reference capturing
+// every periodic checkpoint, resume from a mid-flight one, and compare every
+// subsequent residual observation with EXPECT_EQ — no tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/landscape.hpp"
+#include "core/mutation_model.hpp"
+#include "io/binary_io.hpp"
+#include "solvers/arnoldi.hpp"
+#include "solvers/block_power.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/shift_invert.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::solvers {
+namespace {
+
+using ResidualTrace = std::map<unsigned, double>;
+
+core::MutationModel test_model() { return core::MutationModel::uniform(10, 0.01); }
+core::Landscape test_landscape() {
+  return core::Landscape::random(10, 5.0, 1.0, 77);
+}
+
+// Entries of `trace` strictly after `iteration` — what a resume from that
+// iteration's checkpoint must reproduce exactly.
+ResidualTrace tail_after(const ResidualTrace& trace, unsigned iteration) {
+  ResidualTrace tail;
+  for (const auto& [it, res] : trace) {
+    if (it > iteration) tail[it] = res;
+  }
+  return tail;
+}
+
+const io::SolverCheckpoint& checkpoint_at(
+    const std::vector<io::SolverCheckpoint>& checkpoints, std::uint64_t iteration) {
+  for (const auto& ck : checkpoints) {
+    if (ck.iteration == iteration) return ck;
+  }
+  throw std::logic_error("no checkpoint captured at the requested iteration");
+}
+
+TEST(SolversResumeTest, LanczosResumeReproducesTheTrajectoryBitForBit) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  // tolerance = 0 never converges, so the reference runs all 8 cycles and
+  // the trajectory has a tail to compare.
+  LanczosOptions options;
+  options.tolerance = 0.0;
+  options.basis_size = 4;
+  options.max_restarts = 8;
+  options.checkpoint_every = 2;
+
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  ResidualTrace reference_trace;
+  options.on_residual = [&](unsigned it, double res) { reference_trace[it] = res; };
+
+  // The cycle loop is inclusive of max_restarts, so the reference performs
+  // max_restarts + 1 driver iterations.
+  const LanczosResult reference = lanczos_dominant_w(model, fitness, {}, options);
+  ASSERT_EQ(reference.iterations, 9u);
+  ASSERT_EQ(reference.failure, SolverFailure::none);
+  ASSERT_EQ(checkpoints.size(), 4u);  // cycles 2, 4, 6, 8
+
+  const io::SolverCheckpoint& mid = checkpoint_at(checkpoints, 4);
+  EXPECT_EQ(mid.solver_kind, io::SolverKind::lanczos);
+
+  LanczosOptions resume_options;
+  resume_options.tolerance = 0.0;
+  resume_options.basis_size = 4;
+  resume_options.max_restarts = 8;
+  ResidualTrace resumed_trace;
+  resume_options.on_residual = [&](unsigned it, double res) {
+    resumed_trace[it] = res;
+  };
+
+  const LanczosResult resumed =
+      resume_lanczos_dominant_w(model, fitness, mid, resume_options);
+
+  EXPECT_EQ(resumed_trace, tail_after(reference_trace, 4));
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  EXPECT_EQ(resumed.matvec_count, reference.matvec_count);
+  EXPECT_EQ(resumed.eigenvalue, reference.eigenvalue);
+  EXPECT_EQ(resumed.residual, reference.residual);
+  ASSERT_EQ(resumed.concentrations.size(), reference.concentrations.size());
+  for (std::size_t i = 0; i < reference.concentrations.size(); ++i) {
+    ASSERT_EQ(resumed.concentrations[i], reference.concentrations[i]) << i;
+  }
+}
+
+TEST(SolversResumeTest, ArnoldiResumeReproducesTheTrajectoryBitForBit) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  ArnoldiOptions options;
+  options.tolerance = 0.0;
+  options.basis_size = 4;
+  options.max_restarts = 6;
+  options.checkpoint_every = 2;
+
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  ResidualTrace reference_trace;
+  options.on_residual = [&](unsigned it, double res) { reference_trace[it] = res; };
+
+  const ArnoldiResult reference = arnoldi_dominant_w(model, fitness, {}, options);
+  ASSERT_EQ(reference.iterations, 7u);  // max_restarts + 1 cycles
+  ASSERT_EQ(reference.failure, SolverFailure::none);
+  ASSERT_EQ(checkpoints.size(), 3u);  // cycles 2, 4, 6
+
+  const io::SolverCheckpoint& mid = checkpoint_at(checkpoints, 2);
+  EXPECT_EQ(mid.solver_kind, io::SolverKind::arnoldi);
+
+  ArnoldiOptions resume_options;
+  resume_options.tolerance = 0.0;
+  resume_options.basis_size = 4;
+  resume_options.max_restarts = 6;
+  ResidualTrace resumed_trace;
+  resume_options.on_residual = [&](unsigned it, double res) {
+    resumed_trace[it] = res;
+  };
+
+  const ArnoldiResult resumed =
+      resume_arnoldi_dominant_w(model, fitness, mid, resume_options);
+
+  EXPECT_EQ(resumed_trace, tail_after(reference_trace, 2));
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  EXPECT_EQ(resumed.matvec_count, reference.matvec_count);
+  EXPECT_EQ(resumed.eigenvalue, reference.eigenvalue);
+  EXPECT_EQ(resumed.residual, reference.residual);
+}
+
+TEST(SolversResumeTest, InverseIterationResumeReproducesTheTrajectoryBitForBit) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  // mu = 0 targets the smallest eigenpair through plain CG; the fixed shift
+  // is restored from the checkpoint's aux field on resume.
+  ShiftInvertOptions options;
+  options.tolerance = 0.0;
+  options.max_outer_iterations = 8;
+  options.checkpoint_every = 3;
+
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  ResidualTrace reference_trace;
+  options.on_residual = [&](unsigned it, double res) { reference_trace[it] = res; };
+
+  const WEigenResult reference =
+      inverse_iteration_w(model, fitness, /*mu=*/0.0, {}, options);
+  ASSERT_EQ(reference.failure, SolverFailure::none);
+  ASSERT_GE(reference.outer_iterations, 6u);
+
+  const io::SolverCheckpoint& mid = checkpoint_at(checkpoints, 3);
+  EXPECT_EQ(mid.solver_kind, io::SolverKind::shift_invert);
+  EXPECT_EQ(mid.aux, 0.0);  // the fixed shift rides in aux
+
+  ShiftInvertOptions resume_options;
+  resume_options.tolerance = 0.0;
+  resume_options.max_outer_iterations = 8;
+  ResidualTrace resumed_trace;
+  resume_options.on_residual = [&](unsigned it, double res) {
+    resumed_trace[it] = res;
+  };
+
+  const WEigenResult resumed =
+      resume_inverse_iteration_w(model, fitness, mid, resume_options);
+
+  EXPECT_EQ(resumed_trace, tail_after(reference_trace, 3));
+  EXPECT_EQ(resumed.outer_iterations, reference.outer_iterations);
+  EXPECT_EQ(resumed.inner_iterations_total, reference.inner_iterations_total);
+  EXPECT_EQ(resumed.eigenvalue, reference.eigenvalue);
+  EXPECT_EQ(resumed.residual, reference.residual);
+}
+
+TEST(SolversResumeTest, RayleighQuotientResumeReproducesTheTrajectoryBitForBit) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  ShiftInvertOptions options;
+  options.tolerance = 0.0;
+  options.max_outer_iterations = 6;
+  options.checkpoint_every = 2;
+
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  ResidualTrace reference_trace;
+  options.on_residual = [&](unsigned it, double res) { reference_trace[it] = res; };
+
+  const WEigenResult reference =
+      rayleigh_quotient_iteration_w(model, fitness, {}, options);
+  ASSERT_EQ(reference.failure, SolverFailure::none);
+
+  const io::SolverCheckpoint& mid = checkpoint_at(checkpoints, 2);
+  EXPECT_EQ(mid.solver_kind, io::SolverKind::shift_invert);
+
+  ShiftInvertOptions resume_options;
+  resume_options.tolerance = 0.0;
+  resume_options.max_outer_iterations = 6;
+  ResidualTrace resumed_trace;
+  resume_options.on_residual = [&](unsigned it, double res) {
+    resumed_trace[it] = res;
+  };
+
+  // The resume skips the power warm-up: the checkpoint's aux holds the next
+  // Rayleigh shift, and the cold run updates the shift every step too.
+  const WEigenResult resumed =
+      resume_rayleigh_quotient_iteration_w(model, fitness, mid, resume_options);
+
+  EXPECT_EQ(resumed_trace, tail_after(reference_trace, 2));
+  EXPECT_EQ(resumed.outer_iterations, reference.outer_iterations);
+  EXPECT_EQ(resumed.inner_iterations_total, reference.inner_iterations_total);
+  EXPECT_EQ(resumed.eigenvalue, reference.eigenvalue);
+  EXPECT_EQ(resumed.residual, reference.residual);
+}
+
+TEST(SolversResumeTest, BlockPowerResumeReproducesTheTrajectoryBitForBit) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  BlockPowerOptions options;
+  options.tolerance = 0.0;
+  options.k = 2;
+  options.block = 4;
+  options.max_iterations = 12;
+  options.checkpoint_every = 4;
+
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  ResidualTrace reference_trace;
+  options.on_residual = [&](unsigned it, double res) { reference_trace[it] = res; };
+
+  const BlockPowerResult reference = top_k_spectrum(model, fitness, options);
+  ASSERT_EQ(reference.iterations, 12u);
+  ASSERT_EQ(reference.failure, SolverFailure::none);
+  ASSERT_EQ(checkpoints.size(), 3u);  // panel products 4, 8, 12
+
+  const io::SolverCheckpoint& mid = checkpoint_at(checkpoints, 4);
+  EXPECT_EQ(mid.solver_kind, io::SolverKind::block_power);
+  EXPECT_EQ(mid.aux, 4.0);  // the panel width rides in aux
+  EXPECT_EQ(mid.eigenvector.size(), model.dimension() * 4);
+
+  BlockPowerOptions resume_options;
+  resume_options.tolerance = 0.0;
+  resume_options.k = 2;
+  resume_options.block = 4;
+  resume_options.max_iterations = 12;
+  ResidualTrace resumed_trace;
+  resume_options.on_residual = [&](unsigned it, double res) {
+    resumed_trace[it] = res;
+  };
+
+  const BlockPowerResult resumed =
+      resume_top_k_spectrum(model, fitness, mid, resume_options);
+
+  EXPECT_EQ(resumed_trace, tail_after(reference_trace, 4));
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  ASSERT_EQ(resumed.eigenvalues.size(), reference.eigenvalues.size());
+  for (std::size_t j = 0; j < reference.eigenvalues.size(); ++j) {
+    EXPECT_EQ(resumed.eigenvalues[j], reference.eigenvalues[j]) << j;
+    EXPECT_EQ(resumed.residuals[j], reference.residuals[j]) << j;
+  }
+  ASSERT_EQ(resumed.eigenvectors.size(), reference.eigenvectors.size());
+  for (std::size_t j = 0; j < reference.eigenvectors.size(); ++j) {
+    ASSERT_EQ(resumed.eigenvectors[j], reference.eigenvectors[j]) << j;
+  }
+}
+
+TEST(SolversResumeTest, ResumeRefusesACheckpointFromADifferentSolver) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  LanczosOptions options;
+  options.tolerance = 0.0;
+  options.basis_size = 4;
+  options.max_restarts = 2;
+  options.checkpoint_every = 1;
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  lanczos_dominant_w(model, fitness, {}, options);
+  ASSERT_FALSE(checkpoints.empty());
+
+  try {
+    resume_arnoldi_dominant_w(model, fitness, checkpoints.front(), {});
+    FAIL() << "resume accepted a checkpoint written by another solver";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lanczos"), std::string::npos) << what;
+    EXPECT_NE(what.find("arnoldi"), std::string::npos) << what;
+  }
+}
+
+TEST(SolversResumeTest, BlockPowerResumeRefusesAMismatchedPanelWidth) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  BlockPowerOptions options;
+  options.tolerance = 0.0;
+  options.k = 2;
+  options.block = 4;
+  options.max_iterations = 2;
+  options.checkpoint_every = 1;
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  top_k_spectrum(model, fitness, options);
+  ASSERT_FALSE(checkpoints.empty());
+
+  BlockPowerOptions wider = options;
+  wider.checkpoint_sink = nullptr;
+  wider.block = 8;
+  EXPECT_THROW(resume_top_k_spectrum(model, fitness, checkpoints.front(), wider),
+               precondition_error);
+}
+
+TEST(SolversResumeTest, PoisonedCheckpointIsRefusedWithAStructuredFailure) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  LanczosOptions options;
+  options.tolerance = 0.0;
+  options.basis_size = 4;
+  options.max_restarts = 2;
+  options.checkpoint_every = 1;
+  std::vector<io::SolverCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  lanczos_dominant_w(model, fitness, {}, options);
+  ASSERT_FALSE(checkpoints.empty());
+
+  io::SolverCheckpoint poisoned = checkpoints.front();
+  poisoned.eigenvector[3] = std::nan("");
+
+  const LanczosResult resumed =
+      resume_lanczos_dominant_w(model, fitness, poisoned, {});
+  EXPECT_EQ(resumed.failure, SolverFailure::non_finite);
+  EXPECT_FALSE(resumed.converged);
+}
+
+TEST(SolversResumeTest, AThrowingSinkDegradesDurabilityNotTheSolve) {
+  const auto model = test_model();
+  const auto fitness = test_landscape();
+
+  LanczosOptions options;
+  options.tolerance = 0.0;
+  options.basis_size = 4;
+  options.max_restarts = 6;
+
+  const LanczosResult reference = lanczos_dominant_w(model, fitness, {}, options);
+
+  options.checkpoint_every = 2;
+  options.checkpoint_sink = [](const io::SolverCheckpoint&) {
+    throw std::runtime_error("injected checkpoint I/O failure");
+  };
+  const LanczosResult damaged = lanczos_dominant_w(model, fitness, {}, options);
+
+  EXPECT_EQ(damaged.checkpoint_failures, 3u);  // cycles 2, 4, 6
+  EXPECT_EQ(damaged.failure, SolverFailure::none);
+  EXPECT_EQ(damaged.iterations, reference.iterations);
+  EXPECT_EQ(damaged.eigenvalue, reference.eigenvalue);
+  EXPECT_EQ(damaged.residual, reference.residual);
+}
+
+}  // namespace
+}  // namespace qs::solvers

@@ -41,6 +41,7 @@ void print_usage() {
       "  arnoldi             restarted Arnoldi (asymmetric-capable)\n"
       "  rqi                 Rayleigh quotient iteration (shift-and-invert)\n"
       "  xmvp                power iteration on Xmvp(--dmax D, default 5)\n"
+      "  block               block subspace iteration (same as --block-size 2)\n"
       "options:\n"
       "  --reduced           use the exact (nu+1)^2 reduction (error-class\n"
       "                      landscapes only; allows huge --nu)\n"
@@ -60,15 +61,19 @@ void print_usage() {
       "  --csv FILE          write species concentrations as CSV\n"
       "  --classes-csv FILE  write [Gamma_k] per class as CSV\n"
       "  --save-landscape F  persist the landscape in binary form\n"
-      "resilience (power/xmvp solvers):\n"
+      "resilience (every full solver; not --reduced):\n"
       "  --checkpoint FILE   periodically persist the solver state to FILE\n"
-      "                      (atomic + checksummed; also written on exit) so\n"
-      "                      an interrupted run can restart with --resume\n"
-      "  --checkpoint-every N  iterations between checkpoints (default 1000)\n"
-      "  --resume FILE       resume an interrupted power iteration from a\n"
-      "                      checkpoint written by --checkpoint (the model,\n"
-      "                      landscape, and options must match the original\n"
-      "                      run for an exact continuation)\n"
+      "                      (atomic + checksummed; for power/xmvp also\n"
+      "                      written on exit) so an interrupted run can\n"
+      "                      restart with --resume\n"
+      "  --checkpoint-every N  iterations between checkpoints (default 1000;\n"
+      "                      restart cycles for lanczos/arnoldi, outer steps\n"
+      "                      for rqi, panel products for block)\n"
+      "  --resume FILE       resume an interrupted run from a checkpoint\n"
+      "                      written by --checkpoint (the model, landscape,\n"
+      "                      options, and --solver must match the original\n"
+      "                      run; a checkpoint from a different solver is\n"
+      "                      refused with a clear message)\n"
       "  --no-recover        fail immediately instead of restarting once from\n"
       "                      the last good checkpoint / dropping the shift\n"
       "                      when the iterate goes non-finite or stalls\n"
@@ -80,6 +85,49 @@ void print_usage() {
 struct CliError {
   std::string message;
 };
+
+/// The checkpoint/resume command-line block, parsed once and applied to
+/// whichever solver branch runs.  Every full solver supports it through the
+/// shared iteration driver; the reduced path (a direct small eigensolve,
+/// nothing to resume) rejects it.
+struct ResilienceCli {
+  std::string checkpoint_path;
+  unsigned checkpoint_every = 0;
+  std::optional<qs::io::SolverCheckpoint> resume;
+};
+
+ResilienceCli parse_resilience(const qs::ArgParser& args) {
+  ResilienceCli cli;
+  if (args.has("checkpoint")) {
+    cli.checkpoint_path = args.get("checkpoint", "");
+    cli.checkpoint_every = static_cast<unsigned>(
+        args.get_long("checkpoint-every", 1000, 1, 1000000000));
+  } else if (args.has("checkpoint-every")) {
+    throw CliError{"--checkpoint-every needs --checkpoint FILE"};
+  }
+  if (args.has("resume")) {
+    cli.resume = qs::io::load_checkpoint(args.get("resume", ""));
+    std::cout << "resuming from iteration " << cli.resume->iteration
+              << " (residual " << cli.resume->residual << ")\n";
+  }
+  return cli;
+}
+
+/// Copies the shared checkpointing knobs into a solver's option block.
+void apply_resilience(const ResilienceCli& cli, qs::solvers::IterationOptions& opts) {
+  if (!cli.checkpoint_path.empty()) {
+    opts.checkpoint_path = cli.checkpoint_path;
+    opts.checkpoint_every = cli.checkpoint_every;
+  }
+}
+
+void warn_checkpoint_failures(unsigned failures) {
+  if (failures > 0) {
+    std::cerr << "warning: " << failures
+              << " checkpoint write(s) failed; the run continued but the "
+                 "on-disk state may be older than expected\n";
+  }
+}
 
 qs::core::Landscape build_landscape(const qs::ArgParser& args, unsigned nu) {
   const std::string kind = args.get("landscape", "single-peak");
@@ -149,6 +197,12 @@ int run(const qs::ArgParser& args) {
 
   // Reduced path: error-class landscapes at any nu.
   if (args.has("reduced")) {
+    if (args.has("checkpoint") || args.has("checkpoint-every") || args.has("resume")) {
+      throw CliError{
+          "--reduced does not support --checkpoint/--resume: the reduced "
+          "solve is a direct (nu+1)x(nu+1) eigensolve, not a resumable "
+          "iteration"};
+    }
     const std::string kind = args.get("landscape", "single-peak");
     std::optional<qs::core::ErrorClassLandscape> ecl;
     if (kind == "single-peak") {
@@ -213,15 +267,25 @@ int run(const qs::ArgParser& args) {
   std::vector<double> concentrations;
   unsigned iterations = 0;
   double residual = 0.0;
+  const ResilienceCli resilience = parse_resilience(args);
   qs::Timer timer;
 
-  if (args.has("block-size")) {
+  if (args.has("block-size") || solver == "block") {
     qs::solvers::BlockPowerOptions bopts;
     bopts.k = static_cast<unsigned>(args.get_long("block-size", 2, 1, 64));
     bopts.tolerance = std::max(tolerance, 1e-11);
     bopts.engine = engine;
     bopts.plan = plan;
-    const auto r = qs::solvers::top_k_spectrum(model, landscape, bopts);
+    apply_resilience(resilience, bopts);
+    const auto r = resilience.resume
+                       ? qs::solvers::resume_top_k_spectrum(
+                             model, landscape, *resilience.resume, bopts)
+                       : qs::solvers::top_k_spectrum(model, landscape, bopts);
+    warn_checkpoint_failures(r.checkpoint_failures);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("block solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure))};
+    }
     if (!r.converged) throw CliError{"block solver did not converge"};
     std::cout << "leading eigenvalues (block subspace iteration, k = "
               << bopts.k << "):\n";
@@ -244,18 +308,8 @@ int run(const qs::ArgParser& args) {
       opts.matvec = qs::solvers::MatvecKind::xmvp;
       opts.xmvp_d_max = static_cast<unsigned>(args.get_long("dmax", 5, 0, nu));
     }
-    if (args.has("checkpoint")) {
-      opts.checkpoint_path = args.get("checkpoint", "");
-      opts.checkpoint_every = static_cast<unsigned>(
-          args.get_long("checkpoint-every", 1000, 1, 1000000000));
-    }
-    std::optional<qs::io::SolverCheckpoint> resume_state;
-    if (args.has("resume")) {
-      resume_state = qs::io::load_checkpoint(args.get("resume", ""));
-      opts.resume = &*resume_state;
-      std::cout << "resuming from iteration " << resume_state->iteration
-                << " (residual " << resume_state->residual << ")\n";
-    }
+    apply_resilience(resilience, opts);
+    if (resilience.resume) opts.resume = &*resilience.resume;
     const auto r = qs::solvers::solve(model, landscape, opts);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("solver failed: ") +
@@ -263,11 +317,7 @@ int run(const qs::ArgParser& args) {
                      " (after " + std::to_string(r.recovery_attempts) +
                      " recovery attempt(s))"};
     }
-    if (r.checkpoint_failures > 0) {
-      std::cerr << "warning: " << r.checkpoint_failures
-                << " checkpoint write(s) failed; the run continued but the "
-                   "on-disk state may be older than expected\n";
-    }
+    warn_checkpoint_failures(r.checkpoint_failures);
     if (!r.converged) throw CliError{"solver did not converge"};
     eigenvalue = r.eigenvalue;
     concentrations = r.concentrations;
@@ -276,7 +326,17 @@ int run(const qs::ArgParser& args) {
   } else if (solver == "lanczos") {
     qs::solvers::LanczosOptions opts;
     opts.tolerance = tolerance;
-    const auto r = qs::solvers::lanczos_dominant_w(model, landscape, {}, opts);
+    opts.engine = engine;
+    apply_resilience(resilience, opts);
+    const auto r = resilience.resume
+                       ? qs::solvers::resume_lanczos_dominant_w(
+                             model, landscape, *resilience.resume, opts)
+                       : qs::solvers::lanczos_dominant_w(model, landscape, {}, opts);
+    warn_checkpoint_failures(r.checkpoint_failures);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure))};
+    }
     if (!r.converged) throw CliError{"solver did not converge"};
     eigenvalue = r.eigenvalue;
     concentrations = r.concentrations;
@@ -285,7 +345,17 @@ int run(const qs::ArgParser& args) {
   } else if (solver == "arnoldi") {
     qs::solvers::ArnoldiOptions opts;
     opts.tolerance = tolerance;
-    const auto r = qs::solvers::arnoldi_dominant_w(model, landscape, {}, opts);
+    opts.engine = engine;
+    apply_resilience(resilience, opts);
+    const auto r = resilience.resume
+                       ? qs::solvers::resume_arnoldi_dominant_w(
+                             model, landscape, *resilience.resume, opts)
+                       : qs::solvers::arnoldi_dominant_w(model, landscape, {}, opts);
+    warn_checkpoint_failures(r.checkpoint_failures);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure))};
+    }
     if (!r.converged) throw CliError{"solver did not converge"};
     eigenvalue = r.eigenvalue;
     concentrations = r.concentrations;
@@ -294,7 +364,18 @@ int run(const qs::ArgParser& args) {
   } else if (solver == "rqi") {
     qs::solvers::ShiftInvertOptions opts;
     opts.tolerance = tolerance;
-    const auto r = qs::solvers::rayleigh_quotient_iteration_w(model, landscape, {}, opts);
+    opts.engine = engine;
+    apply_resilience(resilience, opts);
+    const auto r = resilience.resume
+                       ? qs::solvers::resume_rayleigh_quotient_iteration_w(
+                             model, landscape, *resilience.resume, opts)
+                       : qs::solvers::rayleigh_quotient_iteration_w(model, landscape,
+                                                                    {}, opts);
+    warn_checkpoint_failures(r.checkpoint_failures);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure))};
+    }
     if (!r.converged) throw CliError{"solver did not converge"};
     eigenvalue = r.eigenvalue;
     concentrations = r.concentrations;
@@ -339,11 +420,16 @@ int run(const qs::ArgParser& args) {
   if (args.has("classes-csv")) {
     write_classes_csv(args.get("classes-csv", ""), classes);
   }
-  if (args.has("checkpoint")) {
+  // End-of-run checkpoint: only the power/xmvp iterate *is* the
+  // concentration vector, so only there is this snapshot resumable.  The
+  // other solvers persist their native state (restart vector, panel, shift)
+  // through the driver's periodic checkpoints instead.
+  if (args.has("checkpoint") && (solver == "power" || solver == "xmvp")) {
     qs::io::SolverCheckpoint state;
     state.iteration = iterations;
     state.eigenvalue = eigenvalue;
     state.residual = residual;
+    state.solver_kind = qs::io::SolverKind::power;
     state.eigenvector = concentrations;
     qs::io::save_checkpoint(args.get("checkpoint", ""), state);
   }

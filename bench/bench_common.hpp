@@ -8,11 +8,10 @@
 // nu = 21, and so do we — extrapolated rows are marked).
 #pragma once
 
-#include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/timer.hpp"
@@ -27,17 +26,12 @@ inline unsigned env_unsigned(const char* name, unsigned fallback) {
   return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
 }
 
-/// Wall-clock time of fn(), in seconds: best of `reps` runs (best-of
-/// suppresses scheduler noise; these kernels have no warm-up effects beyond
-/// the first touch, which the first rep absorbs).
-inline double time_best_of(unsigned reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (unsigned r = 0; r < reps; ++r) {
-    Timer t;
-    fn();
-    best = std::min(best, t.seconds());
-  }
-  return best;
+/// Wall-clock time of fn(), in seconds: best of `reps` runs.  Thin alias
+/// for qs::best_of_seconds (support/timer.hpp) — the benches, the plan
+/// autotuner, and the obs layer all share that one timing idiom now.
+template <typename Fn>
+double time_best_of(unsigned reps, Fn&& fn) {
+  return qs::best_of_seconds(reps, std::forward<Fn>(fn));
 }
 
 /// Least-squares fit of log2(t) = a + b * nu over the measured points;

@@ -93,12 +93,28 @@ void write_json(const std::string& path, double p, unsigned max_nu,
     return;
   }
   out.precision(9);
+  // Provenance: why two hosts produce different rows.  Mirrors the
+  // simd_tier / plan.* keys of the --metrics snapshot (src/obs/metrics.hpp)
+  // so bench JSON and solver telemetry can be joined on the same fields.
+  const auto caches = qs::transforms::detect_cache_hierarchy();
+  const qs::transforms::BlockedPlan default_plan{};
   out << "{\n"
       << "  \"figure\": \"fig2\",\n"
       << "  \"p\": " << p << ",\n"
       << "  \"max_nu\": " << max_nu << ",\n"
       << "  \"panel_kernels\": \"" << qs::transforms::panel_kernels().name
       << "\",\n"
+      << "  \"provenance\": {\n"
+      << "    \"simd_tier\": \"" << qs::transforms::panel_kernels().name
+      << "\",\n"
+      << "    \"default_tile_log2\": " << default_plan.tile_log2 << ",\n"
+      << "    \"default_chunk_log2\": " << default_plan.chunk_log2 << ",\n"
+      << "    \"cache_detected\": " << (caches.detected ? "true" : "false")
+      << ",\n"
+      << "    \"l1d_bytes\": " << caches.l1d_bytes << ",\n"
+      << "    \"l2_bytes\": " << caches.l2_bytes << ",\n"
+      << "    \"l3_bytes\": " << caches.l3_bytes << "\n"
+      << "  },\n"
       << "  \"rows\": [\n";
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const Fig2Row& row = rows[r];

@@ -11,13 +11,20 @@
 //   2. the blocked banded kernel <= 3x the classic serial Fmmp (they are the
 //      same algorithm; banded is normally the faster one);
 //   3. one autotune report at nu = 12 measures the default plan first and
-//      returns candidates (plumbing check, not a timing check).
+//      returns candidates (plumbing check, not a timing check);
+//   4. in a QS_ENABLE_TRACING build, the runtime-disabled span sites cost
+//      under 2% of a blocked matvec (per-site probe x measured site count),
+//      and a per-phase span breakdown of one matvec + one panel product is
+//      printed.  In a default build the check is structurally free (the
+//      macros compile to nothing) and only a note is printed.
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/fmmp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "transforms/panel_butterfly.hpp"
 #include "transforms/panel_microkernel.hpp"
@@ -83,6 +90,54 @@ int main() {
     std::cout << "  autotune @ nu=12    : " << report.timings.size()
               << " candidates, best (" << report.best.tile_log2 << ","
               << report.best.chunk_log2 << ")\n";
+  }
+
+  if (qs::obs::compiled_in()) {
+    // Structured breakdown: one instrumented matvec + one panel product,
+    // aggregated per span name from the obs rings.
+    qs::obs::set_enabled(true);
+    qs::obs::reset();
+    op.apply(x, y);
+    op.apply_panel(xp, yp, m);
+    const std::size_t sites_per_matvec = qs::obs::snapshot_spans().size();
+    const auto snap = qs::obs::metrics().snapshot();
+    std::cout << "  span breakdown (1 matvec + 1 panel product):\n";
+    for (const auto& phase : snap.phases) {
+      std::cout << "    " << phase.name << " [" << phase.category
+                << "]: count=" << phase.count << ", wall="
+                << phase.wall_seconds << " s, cpu=" << phase.cpu_seconds
+                << " s\n";
+    }
+
+    // Disabled-site overhead: with tracing compiled in but runtime-disabled
+    // (the state every timing above ran in) a span site is one relaxed
+    // atomic load + branch.  Probe that cost directly with a tight loop of
+    // disabled sites, scale by the site count one matvec actually executes
+    // (counted from the enabled run above — panel sites included, so the
+    // bound is conservative), and require < 2% of the matvec time.
+    qs::obs::set_enabled(false);
+    qs::obs::reset();
+    constexpr std::size_t kProbe = std::size_t{1} << 20;
+    const double t_probe = bench::time_best_of(3, [&] {
+      for (std::size_t i = 0; i < kProbe; ++i) {
+        QS_TRACE_SPAN("perf.disabled_site", kernel);
+      }
+    });
+    const double per_site = t_probe / static_cast<double>(kProbe);
+    const double overhead =
+        static_cast<double>(sites_per_matvec) * per_site / t_single;
+    std::cout << "  disabled span site : " << per_site * 1e9 << " ns ("
+              << sites_per_matvec << " sites/matvec => "
+              << overhead * 100.0 << "% of one blocked matvec)\n";
+    if (overhead > 0.02) {
+      std::cerr << "FAIL: runtime-disabled instrumentation costs "
+                << overhead * 100.0
+                << "% of a blocked matvec (budget: 2%)\n";
+      ++failures;
+    }
+  } else {
+    std::cout << "  tracing compiled out: disabled-site overhead is "
+                 "identically zero (macros expand to nothing)\n";
   }
 
   if (failures == 0) {

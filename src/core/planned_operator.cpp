@@ -1,7 +1,11 @@
 #include "core/planned_operator.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "transforms/panel_microkernel.hpp"
 
 namespace qs::core {
 namespace {
@@ -27,6 +31,22 @@ PlannedOperator::PlannedOperator(MutationModel model, const Landscape& landscape
   op_ = std::make_unique<FmmpOperator>(std::move(model), landscape,
                                        config.formulation, config.engine,
                                        config.order, config.kernel, plan);
+
+  // Provenance for the metrics snapshot: which microkernel tier the runtime
+  // dispatch resolved to and which tiling plan the products will execute
+  // with.  This is what makes BENCH_fig2.json rows comparable across hosts.
+  obs::MetricsRecorder& m = obs::metrics();
+  m.set_info("simd_tier", transforms::panel_kernels().name);
+  m.set_value("plan.tile_log2", plan.tile_log2);
+  m.set_value("plan.chunk_log2", plan.chunk_log2);
+  m.set_value("plan.autotuned", report_.has_value() ? 1.0 : 0.0);
+  if (report_.has_value() && !report_->timings.empty()) {
+    m.set_value("autotune.default_seconds", report_->timings.front().seconds);
+    double best = report_->timings.front().seconds;
+    for (const transforms::PlanTiming& t : report_->timings)
+      best = std::min(best, t.seconds);
+    m.set_value("autotune.best_seconds", best);
+  }
 }
 
 }  // namespace qs::core

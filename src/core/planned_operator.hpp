@@ -22,6 +22,7 @@
 
 #include "core/fmmp.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 #include "transforms/plan_autotune.hpp"
 
 namespace qs::core {
@@ -60,6 +61,7 @@ class PlannedOperator final : public LinearOperator {
 
   seq_t dimension() const override { return op_->dimension(); }
   void apply(std::span<const double> x, std::span<double> y) const override {
+    QS_TRACE_SPAN("fmmp.apply", kernel);
     op_->apply(x, y);
   }
   std::string_view name() const override { return "PlannedFmmp"; }
@@ -68,6 +70,7 @@ class PlannedOperator final : public LinearOperator {
   /// FmmpOperator::apply_panel.
   void apply_panel(std::span<const double> x, std::span<double> y,
                    std::size_t m) const {
+    QS_TRACE_SPAN_ARG("fmmp.apply_panel", kernel, m);
     op_->apply_panel(x, y, m);
   }
 

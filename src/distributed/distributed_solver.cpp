@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 #include "transforms/butterfly.hpp"
 
@@ -53,6 +54,7 @@ void distributed_apply_w(const core::MutationModel& model,
 
   // Superstep 1 (fully local): diagonal fitness scaling, then every
   // butterfly level whose stride stays inside a block.
+  QS_TRACE_SPAN("dist.local_levels", distributed);
   for (unsigned rank = 0; rank < ranks; ++rank) {
     auto mine = v.block(rank);
     const std::size_t begin = layout.block_begin(rank);
@@ -69,6 +71,8 @@ void distributed_apply_w(const core::MutationModel& model,
   for (unsigned k = layout.rank_bits() == 0 ? model.nu() : 0; k < model.nu(); ++k) {
     const std::size_t stride = std::size_t{1} << k;
     if (layout.level_is_local(stride)) continue;
+    QS_TRACE_SPAN_ARG("dist.exchange_level", distributed, k);
+    QS_TRACE_COUNTER("dist.exchange_messages", 2 * (ranks / 2));
     const transforms::Factor2& factor = sites[k];
     for (unsigned lo = 0; lo < ranks; ++lo) {
       const unsigned hi = layout.partner(lo, stride);
@@ -108,6 +112,7 @@ DistributedPowerResult distributed_power_iteration(
 
   // Simulated allreduce: per-rank partials summed across ranks.
   auto allreduce = [&](auto&& per_rank_partial) {
+    QS_TRACE_COUNTER("dist.allreduce", 1);
     double total = 0.0;
     for (unsigned rank = 0; rank < ranks; ++rank) total += per_rank_partial(rank);
     ++out.traffic.allreduce_calls;

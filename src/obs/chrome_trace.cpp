@@ -1,0 +1,126 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace qs::obs {
+namespace {
+
+/// Span names are static C strings under our control, but escape anyway so
+/// a future name with a quote can't produce an unparseable trace.
+void write_escaped(std::ostream& out, const char* text) {
+  out << '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Microseconds with three decimals: the trace spec's `ts`/`dur` unit.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+      << static_cast<char>('0' + (ns / 10) % 10)
+      << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  const std::vector<CounterTotal> counters = snapshot_counters();
+
+  // Normalise timestamps to the first event so Perfetto's timeline starts
+  // at ~0 instead of hours into the machine's steady-clock epoch.
+  std::uint64_t t0 = spans.empty() ? 0 : spans.front().start_ns;
+  for (const SpanRecord& s : spans) t0 = std::min(t0, s.start_ns);
+
+  std::uint32_t max_tid = 0;
+  for (const SpanRecord& s : spans) max_tid = std::max(max_tid, s.tid);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+    out << '\n';
+  };
+
+  // Process/thread naming metadata ("M" events).
+  sep();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"quasispecies\"}}";
+  if (!spans.empty()) {
+    for (std::uint32_t tid = 0; tid <= max_tid; ++tid) {
+      sep();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"" << (tid == 0 ? "main" : "worker-")
+          << (tid == 0 ? "" : std::to_string(tid)) << "\"}}";
+    }
+  }
+
+  for (const SpanRecord& s : spans) {
+    sep();
+    out << "{\"name\":";
+    write_escaped(out, s.name);
+    out << ",\"cat\":\"" << to_string(s.category) << "\",\"ph\":\""
+        << (s.instant ? 'i' : 'X') << "\",\"pid\":1,\"tid\":" << s.tid
+        << ",\"ts\":";
+    write_us(out, s.start_ns - t0);
+    if (s.instant) {
+      out << ",\"s\":\"t\",\"args\":{\"value\":" << s.value;
+    } else {
+      out << ",\"dur\":";
+      write_us(out, s.dur_ns);
+      out << ",\"args\":{\"cpu_us\":";
+      write_us(out, s.cpu_ns);
+    }
+    if (s.arg >= 0) out << ",\"arg\":" << s.arg;
+    out << "}}";
+  }
+
+  // Counter totals as one trailing "C" event each, stamped after the last
+  // span so they read as end-of-run aggregates on the timeline.
+  std::uint64_t t_end = 0;
+  for (const SpanRecord& s : spans)
+    t_end = std::max(t_end, s.start_ns - t0 + s.dur_ns);
+  for (const CounterTotal& c : counters) {
+    sep();
+    out << "{\"name\":";
+    write_escaped(out, c.name);
+    out << ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+    write_us(out, t_end);
+    out << ",\"args\":{\"total\":" << c.value << "}}";
+  }
+
+  out << "\n],\"otherData\":{\"tracing_compiled_in\":"
+      << (compiled_in() ? "true" : "false")
+      << ",\"dropped_spans\":" << dropped_spans()
+      << ",\"span_count\":" << spans.size() << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace qs::obs

@@ -1,0 +1,28 @@
+// Chrome trace-event JSON exporter for the obs span rings.
+//
+// Writes the "JSON object format" of the Trace Event spec — a top-level
+// object with a `traceEvents` array — which loads directly in Perfetto
+// (ui.perfetto.dev, drag-and-drop) and chrome://tracing.  Spans become
+// complete ("X") events with wall microsecond timestamps relative to the
+// first event, thread-CPU microseconds in args; instants become "i"
+// events; counter totals become one trailing "C" event per counter.
+//
+// Always compiled: in a build without QS_ENABLE_TRACING the snapshot is
+// empty and the exporter emits a valid trace with zero events plus a
+// metadata note, so `qs_solve --trace-json` degrades loudly, not
+// confusingly.  See docs/tracing.md for the loading walkthrough.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace qs::obs {
+
+/// Serialises the current span/counter snapshot as Chrome trace JSON.
+void write_chrome_trace(std::ostream& out);
+
+/// Convenience: opens `path`, writes the trace, returns false (with no
+/// throw) when the file could not be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace qs::obs

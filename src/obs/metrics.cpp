@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace qs::obs {
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// JSON has no NaN/Inf literals; emit null so the file stays parseable.
+void write_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << v;
+  out.precision(precision);
+  out.flags(flags);
+}
+
+/// Groups the span snapshot by (name, category) into phase aggregates.
+std::vector<MetricsPhase> aggregate_phases() {
+  std::vector<MetricsPhase> phases;
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  std::uint64_t run_start = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t run_end = 0;
+  for (const SpanRecord& s : spans) {
+    run_start = std::min(run_start, s.start_ns);
+    run_end = std::max(run_end, s.start_ns + s.dur_ns);
+    if (s.instant) continue;
+    const char* category = to_string(s.category);
+    MetricsPhase* phase = nullptr;
+    for (MetricsPhase& p : phases) {
+      if (p.name == s.name && p.category == category) {
+        phase = &p;
+        break;
+      }
+    }
+    if (phase == nullptr) {
+      phases.push_back(MetricsPhase{s.name, category, 0, 0.0, 0.0, 0.0});
+      phase = &phases.back();
+    }
+    ++phase->count;
+    phase->wall_seconds += static_cast<double>(s.dur_ns) * 1e-9;
+    phase->cpu_seconds += static_cast<double>(s.cpu_ns) * 1e-9;
+  }
+  const double elapsed =
+      run_end > run_start ? static_cast<double>(run_end - run_start) * 1e-9 : 0.0;
+  for (MetricsPhase& p : phases) {
+    p.share = elapsed > 0.0 ? p.wall_seconds / elapsed : 0.0;
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const MetricsPhase& a, const MetricsPhase& b) {
+              return a.wall_seconds > b.wall_seconds;
+            });
+  return phases;
+}
+
+}  // namespace
+
+void MetricsRecorder::set_info(const std::string& key, const std::string& value) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : info_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  info_.emplace_back(key, value);
+}
+
+void MetricsRecorder::set_value(const std::string& key, double value) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : values_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  values_.emplace_back(key, value);
+}
+
+void MetricsRecorder::record_residual(double residual) {
+  // Single writer in practice (the iteration driver); the relaxed counter
+  // only orders the ring index.  No locks, no allocation — safe inside the
+  // alloc-guarded solver loop.
+  const std::uint64_t n = residual_count_.fetch_add(1, std::memory_order_relaxed);
+  residual_ring_[n % kResidualTail] = residual;
+}
+
+void MetricsRecorder::reset() {
+  std::lock_guard lock(mutex_);
+  info_.clear();
+  values_.clear();
+  residual_ring_.fill(0.0);
+  residual_count_.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRecorder::snapshot() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard lock(mutex_);
+    out.info = info_;
+    out.values = values_;
+    out.residual_count = residual_count_.load(std::memory_order_relaxed);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(out.residual_count, kResidualTail);
+    out.residual_tail.reserve(kept);
+    // Oldest retained entry first.
+    for (std::uint64_t i = out.residual_count - kept; i < out.residual_count; ++i)
+      out.residual_tail.push_back(residual_ring_[i % kResidualTail]);
+  }
+  out.phases = aggregate_phases();
+  for (const CounterTotal& c : snapshot_counters())
+    out.counters.emplace_back(c.name, c.value);
+  out.tracing_compiled_in = compiled_in();
+  out.dropped_spans = dropped_spans();
+  return out;
+}
+
+MetricsRecorder& metrics() {
+  static MetricsRecorder recorder;
+  return recorder;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\n  \"schema_version\": 1,\n  \"tracing_compiled_in\": "
+      << (snapshot.tracing_compiled_in ? "true" : "false")
+      << ",\n  \"dropped_spans\": " << snapshot.dropped_spans << ",\n";
+
+  out << "  \"info\": {";
+  for (std::size_t i = 0; i < snapshot.info.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    write_escaped(out, snapshot.info[i].first);
+    out << ": ";
+    write_escaped(out, snapshot.info[i].second);
+  }
+  out << (snapshot.info.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"values\": {";
+  for (std::size_t i = 0; i < snapshot.values.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    write_escaped(out, snapshot.values[i].first);
+    out << ": ";
+    write_double(out, snapshot.values[i].second);
+  }
+  out << (snapshot.values.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"residuals\": {\"count\": " << snapshot.residual_count
+      << ", \"tail\": [";
+  for (std::size_t i = 0; i < snapshot.residual_tail.size(); ++i) {
+    if (i != 0) out << ", ";
+    write_double(out, snapshot.residual_tail[i]);
+  }
+  out << "]},\n";
+
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < snapshot.phases.size(); ++i) {
+    const MetricsPhase& p = snapshot.phases[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    write_escaped(out, p.name);
+    out << ", \"category\": ";
+    write_escaped(out, p.category);
+    out << ", \"count\": " << p.count << ", \"wall_seconds\": ";
+    write_double(out, p.wall_seconds);
+    out << ", \"cpu_seconds\": ";
+    write_double(out, p.cpu_seconds);
+    out << ", \"share\": ";
+    write_double(out, p.share);
+    out << "}";
+  }
+  out << (snapshot.phases.empty() ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    write_escaped(out, snapshot.counters[i].first);
+    out << ": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "}" : "\n  }") << "\n}\n";
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot) {
+  const auto precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "kind,name,value\n";
+  out << "meta,tracing_compiled_in," << (snapshot.tracing_compiled_in ? 1 : 0)
+      << "\n";
+  out << "meta,dropped_spans," << snapshot.dropped_spans << "\n";
+  for (const auto& [key, value] : snapshot.info)
+    out << "info," << key << "," << value << "\n";
+  for (const auto& [key, value] : snapshot.values)
+    out << "value," << key << "," << value << "\n";
+  for (const auto& [key, value] : snapshot.counters)
+    out << "counter," << key << "," << value << "\n";
+  out << "kind,name,category,count,wall_seconds,cpu_seconds,share\n";
+  for (const MetricsPhase& p : snapshot.phases)
+    out << "phase," << p.name << "," << p.category << "," << p.count << ","
+        << p.wall_seconds << "," << p.cpu_seconds << "," << p.share << "\n";
+  out << "kind,index,residual\n";
+  const std::uint64_t base =
+      snapshot.residual_count - snapshot.residual_tail.size();
+  for (std::size_t i = 0; i < snapshot.residual_tail.size(); ++i)
+    out << "residual," << base + i << "," << snapshot.residual_tail[i] << "\n";
+  out.precision(precision);
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const MetricsSnapshot snap = metrics().snapshot();
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_metrics_csv(out, snap);
+  } else {
+    write_metrics_json(out, snap);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace qs::obs

@@ -1,0 +1,217 @@
+#include "obs/trace.hpp"
+
+#if QS_TRACING_ON
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "support/timer.hpp"
+
+namespace qs::obs {
+namespace {
+
+/// Ring capacity per thread: 32k events * 64 B = 2 MiB.  A nu = 18 solve
+/// records a few spans per iteration; the ring keeps the most recent ~10k
+/// iterations — the window that matters for a post-mortem or a Perfetto
+/// zoom — and counts what it overwrote.
+constexpr std::size_t kSpanCapacity = std::size_t{1} << 15;
+
+/// Distinct counter names per thread.  Names are static strings; the slot
+/// scan is pointer-compare first-fit over a handful of live entries.
+constexpr std::size_t kCounterSlots = 64;
+
+constexpr std::size_t kMaxThreads = 512;
+
+struct CounterSlot {
+  const char* name = nullptr;
+  std::uint64_t value = 0;
+};
+
+struct ThreadBuffer {
+  SpanRecord spans[kSpanCapacity];
+  std::uint64_t span_count = 0;  ///< total recorded; ring index = count % cap
+  CounterSlot counters[kCounterSlots];
+  std::uint64_t dropped_counters = 0;
+  std::uint32_t tid = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+// Registry of every thread's buffer.  Buffers are heap-allocated once per
+// thread and deliberately never freed: a thread-pool worker's spans must
+// survive the pool's destruction so the CLI can export after the solve.
+std::mutex g_registry_mutex;
+ThreadBuffer* g_buffers[kMaxThreads] = {};
+std::atomic<std::uint32_t> g_thread_count{0};
+
+ThreadBuffer* register_thread() {
+  auto* buf = new ThreadBuffer();
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t index = g_thread_count.load(std::memory_order_relaxed);
+  if (index >= kMaxThreads) {
+    delete buf;
+    return nullptr;  // beyond capacity: this thread records nothing
+  }
+  buf->tid = index;
+  g_buffers[index] = buf;
+  g_thread_count.store(index + 1, std::memory_order_release);
+  return buf;
+}
+
+/// The calling thread's buffer; allocated (once) on first use.
+inline ThreadBuffer* tls_buffer() {
+  thread_local ThreadBuffer* buf = register_thread();
+  return buf;
+}
+
+inline void push_span(ThreadBuffer* buf, const SpanRecord& record) {
+  buf->spans[buf->span_count % kSpanCapacity] = record;
+  ++buf->span_count;
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void counter_add(const char* name, std::uint64_t delta) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = tls_buffer();
+  if (buf == nullptr) return;
+  for (CounterSlot& slot : buf->counters) {
+    if (slot.name == name) {
+      slot.value += delta;
+      return;
+    }
+    if (slot.name == nullptr) {
+      slot.name = name;
+      slot.value = delta;
+      return;
+    }
+  }
+  ++buf->dropped_counters;
+}
+
+void instant(const char* name, Category category, double value,
+             std::int64_t arg) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = tls_buffer();
+  if (buf == nullptr) return;
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = monotonic_ns();
+  record.arg = arg;
+  record.value = value;
+  record.tid = buf->tid;
+  record.category = category;
+  record.instant = true;
+  push_span(buf, record);
+}
+
+void reset() {
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t count = g_thread_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ThreadBuffer* buf = g_buffers[i];
+    buf->span_count = 0;
+    buf->dropped_counters = 0;
+    for (CounterSlot& slot : buf->counters) slot = CounterSlot{};
+  }
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  std::vector<SpanRecord> out;
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t count = g_thread_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ThreadBuffer* buf = g_buffers[i];
+    const std::uint64_t kept = std::min<std::uint64_t>(buf->span_count, kSpanCapacity);
+    for (std::uint64_t e = 0; e < kept; ++e) out.push_back(buf->spans[e]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::vector<CounterTotal> snapshot_counters() {
+  std::vector<CounterTotal> out;
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t count = g_thread_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ThreadBuffer* buf = g_buffers[i];
+    for (const CounterSlot& slot : buf->counters) {
+      if (slot.name == nullptr) break;
+      bool merged = false;
+      // Merge by text, not pointer: the same literal in two translation
+      // units may have two addresses.
+      for (CounterTotal& total : out) {
+        if (std::strcmp(total.name, slot.name) == 0) {
+          total.value += slot.value;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back({slot.name, slot.value});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CounterTotal& a, const CounterTotal& b) {
+    return std::strcmp(a.name, b.name) < 0;
+  });
+  return out;
+}
+
+std::uint64_t dropped_spans() {
+  std::uint64_t dropped = 0;
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t count = g_thread_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ThreadBuffer* buf = g_buffers[i];
+    if (buf->span_count > kSpanCapacity) dropped += buf->span_count - kSpanCapacity;
+  }
+  return dropped;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Category category, std::int64_t arg)
+    : name_(name),
+      start_ns_(0),
+      cpu_start_ns_(0),
+      arg_(arg),
+      category_(category),
+      active_(enabled()) {
+  if (!active_) return;
+  start_ns_ = monotonic_ns();
+  cpu_start_ns_ = thread_cpu_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  ThreadBuffer* buf = tls_buffer();
+  if (buf == nullptr) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.dur_ns = monotonic_ns() - start_ns_;
+  record.cpu_ns = thread_cpu_ns() - cpu_start_ns_;
+  record.arg = arg_;
+  record.tid = buf->tid;
+  record.category = category_;
+  push_span(buf, record);
+}
+
+ScopedCounterNs::ScopedCounterNs(const char* name)
+    : name_(name), start_ns_(0), active_(enabled()) {
+  if (active_) start_ns_ = monotonic_ns();
+}
+
+ScopedCounterNs::~ScopedCounterNs() {
+  if (active_) counter_add(name_, monotonic_ns() - start_ns_);
+}
+
+}  // namespace qs::obs
+
+#endif  // QS_TRACING_ON

@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 #if defined(QS_HAVE_OPENMP)
@@ -47,6 +48,7 @@ unsigned OpenMPBackend::concurrency() const {
 
 void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
   if (n == 0) return;
+  QS_TRACE_COUNTER("engine.dispatch", 1);
   FirstException error;
   // One contiguous chunk per thread; contiguous partitions keep the
   // butterfly kernels' memory access streaming within each lane.
@@ -58,6 +60,7 @@ void OpenMPBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
     const std::size_t begin = std::min(tid * chunk, n);
     const std::size_t end = std::min(begin + chunk, n);
     if (begin < end) {
+      QS_TRACE_SPAN_ARG("engine.worker", engine, tid);
       try {
         kernel(begin, end);
       } catch (...) {
@@ -109,6 +112,7 @@ double OpenMPBackend::reduce_dot(std::span<const double> a,
 
 double OpenMPBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
   if (n == 0) return 0.0;
+  QS_TRACE_COUNTER("engine.reduce_partials", 1);
   double acc = 0.0;
   FirstException error;
   // Same contiguous per-thread chunking as dispatch(), partials combined by

@@ -2,12 +2,15 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::parallel {
 
 void SerialBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
   if (n == 0) return;
+  QS_TRACE_COUNTER("engine.dispatch", 1);
+  QS_TRACE_SPAN_ARG("engine.worker", engine, 0);
   // Single inline chunk: a throwing kernel body propagates directly to the
   // caller, which is exactly the Engine exception-safety contract.
   kernel(0, n);
@@ -40,7 +43,9 @@ double SerialBackend::reduce_dot(std::span<const double> a,
 }
 
 double SerialBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
-  return n == 0 ? 0.0 : kernel(0, n);
+  if (n == 0) return 0.0;
+  QS_TRACE_COUNTER("engine.reduce_partials", 1);
+  return kernel(0, n);
 }
 
 }  // namespace qs::parallel

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <exception>
 
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::parallel {
@@ -63,6 +64,7 @@ void ThreadPoolBackend::run_on_all(const std::function<void(unsigned)>& task) co
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const std::function<void(unsigned)> guarded = [&](unsigned lane) {
+    QS_TRACE_SPAN_ARG("engine.worker", engine, lane);
     try {
       task(lane);
     } catch (...) {
@@ -82,6 +84,7 @@ void ThreadPoolBackend::run_on_all(const std::function<void(unsigned)>& task) co
     }
     wake_.notify_all();
     guarded(worker_count_);  // the calling thread takes the last lane
+    QS_TRACE_COUNTER_SCOPE_NS("engine.barrier_wait_ns");
     std::unique_lock lock(mutex_);
     done_.wait(lock, [&] { return remaining_ == 0; });
     current_task_ = nullptr;
@@ -91,6 +94,7 @@ void ThreadPoolBackend::run_on_all(const std::function<void(unsigned)>& task) co
 
 void ThreadPoolBackend::dispatch(std::size_t n, const RangeKernel& kernel) const {
   if (n == 0) return;
+  QS_TRACE_COUNTER("engine.dispatch", 1);
   const std::size_t lanes = concurrency();
   const std::size_t chunk = (n + lanes - 1) / lanes;
   run_on_all([&](unsigned lane) {
@@ -102,6 +106,7 @@ void ThreadPoolBackend::dispatch(std::size_t n, const RangeKernel& kernel) const
 
 double ThreadPoolBackend::reduce_partials(std::size_t n, const PartialKernel& kernel) const {
   if (n == 0) return 0.0;
+  QS_TRACE_COUNTER("engine.reduce_partials", 1);
   const std::size_t lanes = concurrency();
   std::vector<PaddedPartial> partial(lanes);
   const std::size_t chunk = (n + lanes - 1) / lanes;

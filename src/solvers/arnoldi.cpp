@@ -9,6 +9,7 @@
 #include "linalg/hessenberg_qr.hpp"
 #include "linalg/small_power.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
@@ -44,8 +45,12 @@ ArnoldiResult run_arnoldi_loop(const core::MutationModel& model,
   // Basis pool reused across cycles: cleared counts, not freed buffers.
   std::vector<std::vector<double>> basis(m);
   linalg::DenseMatrix h(m + 1, m);  // Hessenberg projection
+  // Ritz-vector buffer hoisted out of the cycle loop: assign() reuses the
+  // capacity, so steady-state cycles add no allocations for it.
+  std::vector<double> ritz(n, 0.0);
 
   for (unsigned cycle = start_cycle; cycle <= options.max_restarts; ++cycle) {
+    QS_TRACE_SPAN_ARG("arnoldi.cycle", solver, cycle);
     out.restarts = cycle;
     out.iterations = cycle + 1;
     basis[0].assign(q0.begin(), q0.end());
@@ -101,7 +106,7 @@ ArnoldiResult run_arnoldi_loop(const core::MutationModel& model,
     // Ritz vector: eigenvector of H for the dominant value via inverse
     // iteration, lifted through the basis.
     const auto h_pair = linalg::inverse_iteration(h_square, out.eigenvalue);
-    std::vector<double> ritz(n, 0.0);
+    ritz.assign(n, 0.0);
     for (unsigned j = 0; j < built; ++j) {
       linalg::axpy(h_pair.vector[j], basis[j], ritz);
     }
@@ -115,7 +120,7 @@ ArnoldiResult run_arnoldi_loop(const core::MutationModel& model,
     out.residual = std::abs(h(built, built - 1) * s_last) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
     if (!driver.guard({out.residual}, out)) break;
-    q0 = std::move(ritz);
+    q0.assign(ritz.begin(), ritz.end());
     if (driver.observe(cycle + 1, out.residual, out) !=
         IterationDriver::Verdict::proceed) {
       break;

@@ -4,7 +4,10 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
+#include "support/timer.hpp"
 
 namespace qs::solvers {
 namespace {
@@ -26,12 +29,16 @@ IterationDriver::IterationDriver(const IterationOptions& options,
                                  io::SolverKind kind)
     : options_(options),
       kind_(kind),
-      checkpointing_(options.checkpoint_every > 0 &&
+      checkpointing_((options.checkpoint_every > 0 ||
+                      options.checkpoint_every_seconds > 0.0) &&
                      (options.checkpoint_sink || !options.checkpoint_path.empty())),
       best_residual_(std::numeric_limits<double>::infinity()),
-      window_start_best_(std::numeric_limits<double>::infinity()) {
+      window_start_best_(std::numeric_limits<double>::infinity()),
+      last_checkpoint_ns_(monotonic_ns()) {
   require(options.residual_check_every >= 1,
           "iteration driver: residual_check_every must be >= 1");
+  require(options.checkpoint_every_seconds >= 0.0,
+          "iteration driver: checkpoint_every_seconds must be >= 0");
 }
 
 void IterationDriver::restore(const io::SolverCheckpoint& checkpoint) {
@@ -45,6 +52,7 @@ bool IterationDriver::guard(std::initializer_list<double> values,
                             IterationResult& out) const {
   for (double v : values) {
     if (!std::isfinite(v)) {
+      QS_TRACE_INSTANT("solver.health_guard", solver, v);
       out.failure = SolverFailure::non_finite;
       out.converged = false;
       return false;
@@ -57,6 +65,7 @@ bool IterationDriver::guard(std::span<const double> iterate,
                             IterationResult& out) const {
   for (double v : iterate) {
     if (!std::isfinite(v)) {
+      QS_TRACE_INSTANT("solver.health_guard", solver, v);
       out.failure = SolverFailure::non_finite;
       out.converged = false;
       return false;
@@ -69,7 +78,10 @@ IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
                                                   double residual,
                                                   IterationResult& out) {
   if (options_.on_residual) options_.on_residual(iteration, residual);
+  obs::metrics().record_residual(residual);
+  QS_TRACE_INSTANT_ARG("solver.residual", solver, residual, iteration);
   if (residual <= options_.tolerance) {
+    QS_TRACE_INSTANT_ARG("solver.converged", solver, residual, iteration);
     out.converged = true;
     return Verdict::converged;
   }
@@ -81,6 +93,7 @@ IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
   if (options_.stall_window > 0 &&
       ++checks_without_progress_ >= options_.stall_window) {
     if (best_residual_ >= window_start_best_ * 0.95) {
+      QS_TRACE_INSTANT_ARG("solver.stalled", solver, best_residual_, iteration);
       out.stalled = true;
       out.converged = residual <= options_.stall_accept;
       return Verdict::stalled;
@@ -94,13 +107,24 @@ IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
 void IterationDriver::maybe_checkpoint(unsigned iteration, IterationResult& out,
                                        std::span<const double> iterate,
                                        std::uint64_t matvec_count, double aux) {
-  if (!checkpointing_ || iteration % options_.checkpoint_every != 0) return;
-  write_checkpoint(iteration, out, iterate, matvec_count, aux);
+  if (!checkpointing_) return;
+  bool due = options_.checkpoint_every > 0 &&
+             iteration % options_.checkpoint_every == 0;
+  if (!due && options_.checkpoint_every_seconds > 0.0) {
+    // Time cadence: read the clock only when configured, so iteration-only
+    // checkpointing costs no clock call per iteration.
+    const std::uint64_t now = monotonic_ns();
+    due = static_cast<double>(now - last_checkpoint_ns_) * 1e-9 >=
+          options_.checkpoint_every_seconds;
+  }
+  if (due) write_checkpoint(iteration, out, iterate, matvec_count, aux);
 }
 
 void IterationDriver::write_checkpoint(unsigned iteration, IterationResult& out,
                                        std::span<const double> iterate,
                                        std::uint64_t matvec_count, double aux) {
+  QS_TRACE_SPAN_ARG("checkpoint.write", checkpoint, iteration);
+  last_checkpoint_ns_ = monotonic_ns();
   io::SolverCheckpoint ck;
   ck.iteration = iteration;
   ck.eigenvalue = out.eigenvalue;
@@ -119,6 +143,7 @@ void IterationDriver::write_checkpoint(unsigned iteration, IterationResult& out,
       io::save_checkpoint(options_.checkpoint_path, ck);
     }
   } catch (...) {
+    QS_TRACE_INSTANT_ARG("checkpoint.write_failed", checkpoint, 0.0, iteration);
     ++out.checkpoint_failures;
   }
 }

@@ -89,6 +89,15 @@ struct IterationOptions {
   std::filesystem::path checkpoint_path;
   unsigned checkpoint_every = 0;
 
+  /// Wall-clock checkpoint cadence, unioned with the iteration cadence: a
+  /// checkpoint is written when EITHER `checkpoint_every` iterations have
+  /// passed OR this many seconds have elapsed since the last write (the
+  /// clock is read only at residual-guarded checkpoint opportunities, so
+  /// the actual period is quantised to iteration boundaries).  0 disables
+  /// the time cadence.  Use this instead of guessing an iteration count
+  /// when the per-iteration cost varies across hosts or problem sizes.
+  double checkpoint_every_seconds = 0.0;
+
   /// Testing/observability seam: when set, checkpoints go through this sink
   /// instead of binary_io (checkpoint_path is then ignored).  A sink that
   /// throws models checkpoint I/O failure; the solve records the failure in
@@ -194,6 +203,8 @@ class IterationDriver {
   double best_residual_;
   double window_start_best_;
   unsigned checks_without_progress_ = 0;
+  std::uint64_t last_checkpoint_ns_ = 0;  ///< monotonic_ns at construction /
+                                          ///< last write (time cadence).
 };
 
 /// Builds an IterationTrace from a checkpoint, taking the iterate verbatim.

@@ -7,6 +7,7 @@
 #include "core/workspace.hpp"
 #include "linalg/jacobi_eigen.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
@@ -43,8 +44,13 @@ LanczosResult run_lanczos_loop(const core::MutationModel& model,
   // freed buffers.
   std::vector<std::vector<double>> basis(m);
   std::vector<double> alpha(m), beta(m);  // T diagonal / subdiagonal
+  // Ritz-vector buffer hoisted out of the cycle loop: assign() reuses the
+  // capacity, so steady-state cycles add no allocations for it (the
+  // alloc-guard test pins this down).
+  std::vector<double> ritz(n, 0.0);
 
   for (unsigned cycle = start_cycle; cycle <= options.max_restarts; ++cycle) {
+    QS_TRACE_SPAN_ARG("lanczos.cycle", solver, cycle);
     out.restarts = cycle;
     out.iterations = cycle + 1;
     basis[0].assign(q0.begin(), q0.end());
@@ -89,7 +95,7 @@ LanczosResult run_lanczos_loop(const core::MutationModel& model,
     out.eigenvalue = eigen.values[0];
 
     // Ritz vector y = V s, and the classic residual bound |beta_m * s_last|.
-    std::vector<double> ritz(n, 0.0);
+    ritz.assign(n, 0.0);
     for (unsigned j = 0; j < built; ++j) {
       linalg::axpy(eigen.vectors(j, 0), basis[j], ritz);
     }
@@ -97,7 +103,7 @@ LanczosResult run_lanczos_loop(const core::MutationModel& model,
     out.residual = std::abs(beta[built - 1] * eigen.vectors(built - 1, 0)) /
                    std::max(std::abs(out.eigenvalue), 1e-300);
     if (!driver.guard({out.eigenvalue, out.residual}, out)) break;
-    q0 = std::move(ritz);
+    q0.assign(ritz.begin(), ritz.end());
     if (driver.observe(cycle + 1, out.residual, out) !=
         IterationDriver::Verdict::proceed) {
       break;

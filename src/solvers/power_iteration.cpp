@@ -5,6 +5,7 @@
 
 #include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "support/contracts.hpp"
 
 namespace qs::solvers {
@@ -68,6 +69,7 @@ PowerResult run_power_loop(const core::LinearOperator& op, IterationTrace trace,
   const double mu = options.shift;
 
   for (unsigned it = trace.start_iteration + 1; it <= options.max_iterations; ++it) {
+    QS_TRACE_SPAN_ARG("power.iteration", solver, it);
     op.apply(out.eigenvector, y);  // y = W x (unshifted product)
     out.iterations = it;
 

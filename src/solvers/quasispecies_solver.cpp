@@ -10,6 +10,7 @@
 #include "core/smvp.hpp"
 #include "core/spectral.hpp"
 #include "core/xmvp.hpp"
+#include "obs/trace.hpp"
 #include "sparse/sparse_w.hpp"
 #include "solvers/power_iteration.hpp"
 #include "solvers/reduced_solver.hpp"
@@ -107,6 +108,9 @@ QuasispeciesResult solve(const core::MutationModel& model,
         const io::SolverCheckpoint last_good =
             io::load_checkpoint(popts.checkpoint_path);
         ++recovery_attempts;
+        QS_TRACE_INSTANT_ARG("facade.recover.checkpoint_restart", facade,
+                             last_good.residual,
+                             static_cast<std::int64_t>(last_good.iteration));
         r = resume_power_iteration(*op, last_good, popts);
         checkpoint_failures += r.checkpoint_failures;
         resumed = true;
@@ -116,6 +120,8 @@ QuasispeciesResult solve(const core::MutationModel& model,
     }
     if (!resumed && popts.shift != 0.0) {
       ++recovery_attempts;
+      QS_TRACE_INSTANT_ARG("facade.recover.shift_fallback", facade, r.residual,
+                           static_cast<std::int64_t>(r.iterations));
       popts.shift = 0.0;
       r = power_iteration(*op, landscape_start(landscape), popts);
       checkpoint_failures += r.checkpoint_failures;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/contracts.hpp"
 
@@ -72,6 +73,7 @@ void apply_blocked_butterfly_fused(std::span<const double> x, std::span<double> 
   // tile of 2^k1 elements is an independent work item; the pre-scale (and,
   // for a single-band problem, the post-scale) rides in the tile loop.
   {
+    QS_TRACE_SPAN_ARG("fmmp.band", kernel, 0);
     const unsigned k1 = bounds[1];
     const std::size_t tile = std::size_t{1} << k1;
     const std::size_t tiles = n >> k1;
@@ -113,6 +115,7 @@ void apply_blocked_butterfly_fused(std::span<const double> x, std::span<double> 
   // restricted to 2^chunk contiguous low offsets, so every row access is a
   // contiguous burst and the panel stays cache-resident across the band.
   for (std::size_t band = 1; band < bands; ++band) {
+    QS_TRACE_SPAN_ARG("fmmp.band", kernel, band);
     const unsigned k0 = bounds[band];
     const unsigned k1 = bounds[band + 1];
     const unsigned b = k1 - k0;

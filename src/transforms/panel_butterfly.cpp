@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/contracts.hpp"
 #include "transforms/panel_microkernel.hpp"
 
 namespace qs::transforms {
 namespace {
+
+#if QS_TRACING_ON
+/// Tags each panel sweep with the microkernel table that served it.  The
+/// counter name must be a static string, so branch on the tier once.
+void trace_kernel_tag(const PanelKernels* kp) {
+  if (!qs::obs::enabled()) return;
+  if (std::strcmp(kp->name, "avx512") == 0) {
+    QS_TRACE_COUNTER("kernel.dispatch.avx512", 1);
+  } else if (std::strcmp(kp->name, "avx2") == 0) {
+    QS_TRACE_COUNTER("kernel.dispatch.avx2", 1);
+  } else {
+    QS_TRACE_COUNTER("kernel.dispatch.scalar", 1);
+  }
+}
+#define QS_TRACE_KERNEL_TAG(kp) trace_kernel_tag(kp)
+#else
+#define QS_TRACE_KERNEL_TAG(kp) ((void)0)
+#endif
 
 constexpr unsigned ceil_log2(std::size_t m) {
   unsigned l = 0;
@@ -163,12 +182,14 @@ void apply_blocked_panel_butterfly_fused(std::span<const double> x,
   const BlockedPlan eff = panel_plan(plan, m);
   const std::vector<unsigned> bounds = blocked_band_boundaries(nu, eff);
   const std::size_t bands = bounds.size() - 1;
+  QS_TRACE_KERNEL_TAG(kp);
 
   // Band 0: levels [0, k1) stay inside contiguous tiles of 2^k1 panel rows
   // (2^k1 * m doubles); the pre-scale (and, for a single-band problem, the
   // post-scale) rides in the tile loop.  Each butterfly pair of rows is two
   // contiguous bursts of stride*m doubles.
   {
+    QS_TRACE_SPAN_ARG("fmmp.panel_band", kernel, 0);
     const unsigned k1 = bounds[1];
     const std::size_t tile = std::size_t{1} << k1;
     const std::size_t tiles = n >> k1;
@@ -201,6 +222,7 @@ void apply_blocked_panel_butterfly_fused(std::span<const double> x,
   // work item owns one gather panel restricted to 2^chunk contiguous low
   // rows, so every access is a contiguous burst of 2^chunk * m doubles.
   for (std::size_t band = 1; band < bands; ++band) {
+    QS_TRACE_SPAN_ARG("fmmp.panel_band", kernel, band);
     const unsigned k0 = bounds[band];
     const unsigned k1 = bounds[band + 1];
     const unsigned b = k1 - k0;

@@ -1,12 +1,13 @@
 #include "transforms/plan_autotune.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/contracts.hpp"
+#include "support/timer.hpp"
 #include "transforms/butterfly.hpp"
 #include "transforms/panel_butterfly.hpp"
 
@@ -144,18 +145,18 @@ AutotuneReport autotune_blocked_plan(unsigned nu, const parallel::Engine& engine
     panel[i] = 1.0 + 1e-6 * static_cast<double>(i % 97);
   }
 
-  using clock = std::chrono::steady_clock;
+  QS_TRACE_SPAN_ARG("autotune.measure", autotune, static_cast<int>(nu));
   report.timings.reserve(candidates.size());
   for (const BlockedPlan& plan : candidates) {
-    double best = 0.0;
-    for (unsigned r = 0; r <= repeats; ++r) {  // iteration 0 is a warm-up
-      const auto t0 = clock::now();
+    // Warm-up rep first (first-touch, frequency ramp), then best-of-repeats.
+    apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
+    const double best = qs::best_of_seconds(repeats, [&] {
       apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
-      const double s = std::chrono::duration<double>(clock::now() - t0).count();
-      if (r == 0) continue;
-      if (r == 1 || s < best) best = s;
-    }
+    });
     report.timings.push_back({plan, best});
+    // arg encodes the candidate: tile_log2 * 100 + chunk_log2.
+    QS_TRACE_INSTANT_ARG("autotune.candidate", autotune, best,
+                         plan.tile_log2 * 100 + plan.chunk_log2);
   }
 
   // Argmin with a ~1% hysteresis in favour of the default: timing noise must

@@ -18,6 +18,9 @@
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
 #include "core/planned_operator.hpp"
+#include "obs/trace.hpp"
+#include "solvers/arnoldi.hpp"
+#include "solvers/lanczos.hpp"
 #include "solvers/power_iteration.hpp"
 #include "support/alloc_counter.hpp"
 
@@ -61,6 +64,81 @@ TEST(AllocGuardTest, PowerIterationHotPathPerformsZeroHeapAllocations) {
   for (unsigned it = 2; it <= kIterations; ++it) {
     EXPECT_EQ(samples[it], samples[1]) << "allocation during iteration " << it;
   }
+}
+
+// The Krylov cycle bodies DO allocate (the small dense Ritz eigensolve per
+// cycle), but the per-cycle count must be constant in steady state — and,
+// critically for the observability layer, identical whether span tracing is
+// runtime-enabled or not.  Sampling happens in the on_residual hook (called
+// once per cycle), writing into a preallocated buffer.
+constexpr unsigned kKrylovCycles = 8;
+
+std::vector<std::uint64_t> lanczos_cycle_samples(bool tracing_on) {
+  obs::set_enabled(tracing_on && obs::compiled_in());
+  const auto model = core::MutationModel::uniform(8, 0.01);
+  const auto fitness = core::Landscape::random(8, 5.0, 1.0, 11);
+  solvers::LanczosOptions options;
+  options.tolerance = 0.0;  // never converge: run all cycles
+  options.max_restarts = kKrylovCycles - 1;
+  options.basis_size = 6;
+  std::vector<std::uint64_t> samples(kKrylovCycles + 2, 0);
+  options.on_residual = [&samples](unsigned it, double) {
+    if (it < samples.size()) samples[it] = support::allocation_count();
+  };
+  const auto result = solvers::lanczos_dominant_w(model, fitness, {}, options);
+  obs::set_enabled(false);
+  EXPECT_EQ(result.failure, solvers::SolverFailure::none);
+  EXPECT_EQ(result.restarts, kKrylovCycles - 1);
+  return samples;
+}
+
+std::vector<std::uint64_t> arnoldi_cycle_samples(bool tracing_on) {
+  obs::set_enabled(tracing_on && obs::compiled_in());
+  const auto model = core::MutationModel::uniform(8, 0.01);
+  const auto fitness = core::Landscape::random(8, 5.0, 1.0, 13);
+  solvers::ArnoldiOptions options;
+  options.tolerance = 0.0;
+  options.max_restarts = kKrylovCycles - 1;
+  options.basis_size = 6;
+  std::vector<std::uint64_t> samples(kKrylovCycles + 2, 0);
+  options.on_residual = [&samples](unsigned it, double) {
+    if (it < samples.size()) samples[it] = support::allocation_count();
+  };
+  const auto result = solvers::arnoldi_dominant_w(model, fitness, {}, options);
+  obs::set_enabled(false);
+  EXPECT_EQ(result.failure, solvers::SolverFailure::none);
+  EXPECT_EQ(result.restarts, kKrylovCycles - 1);
+  return samples;
+}
+
+/// Steady-state per-cycle allocation delta: cycles 3+ must all cost the
+/// same number of allocations (earlier cycles grow the basis pool and, with
+/// tracing on, the thread's span ring — one-time effects by design).
+std::uint64_t steady_delta(const std::vector<std::uint64_t>& samples) {
+  const std::uint64_t delta = samples[4] - samples[3];
+  for (unsigned it = 4; it < kKrylovCycles; ++it) {
+    EXPECT_EQ(samples[it + 1] - samples[it], delta)
+        << "allocation count changed at cycle " << it;
+  }
+  return delta;
+}
+
+TEST(AllocGuardTest, LanczosCycleBodyIsAllocationFlatWithTracingOnAndOff) {
+  const auto off = lanczos_cycle_samples(false);
+  const auto on = lanczos_cycle_samples(true);
+  const std::uint64_t delta_off = steady_delta(off);
+  const std::uint64_t delta_on = steady_delta(on);
+  EXPECT_EQ(delta_on, delta_off)
+      << "span instrumentation changed the Lanczos cycle's allocation count";
+}
+
+TEST(AllocGuardTest, ArnoldiCycleBodyIsAllocationFlatWithTracingOnAndOff) {
+  const auto off = arnoldi_cycle_samples(false);
+  const auto on = arnoldi_cycle_samples(true);
+  const std::uint64_t delta_off = steady_delta(off);
+  const std::uint64_t delta_on = steady_delta(on);
+  EXPECT_EQ(delta_on, delta_off)
+      << "span instrumentation changed the Arnoldi cycle's allocation count";
 }
 
 TEST(AllocGuardTest, RepeatedSolvesThroughOneWorkspaceStayAllocationFlat) {

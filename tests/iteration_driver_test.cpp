@@ -10,11 +10,13 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/binary_io.hpp"
@@ -157,6 +159,61 @@ TEST(IterationDriverTest, CheckpointCadenceAndPayloadThroughTheSink) {
   EXPECT_EQ(ck.matvec_count, 30u);
   EXPECT_EQ(ck.aux, 1.5);
   EXPECT_EQ(ck.eigenvector, iterate);
+}
+
+TEST(IterationDriverTest, TimeCadenceAloneDrivesCheckpointsAndResetsOnWrite) {
+  IterationOptions options;
+  options.checkpoint_every = 0;  // pure wall-clock cadence
+  options.checkpoint_every_seconds = 0.005;
+  unsigned writes = 0;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint&) { ++writes; };
+  IterationDriver driver(options, io::SolverKind::power);
+  ASSERT_TRUE(driver.checkpointing());
+
+  IterationResult out;
+  const std::vector<double> iterate = {1.0};
+  driver.maybe_checkpoint(1, out, iterate);
+  EXPECT_EQ(writes, 0u);  // interval has not elapsed yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  driver.maybe_checkpoint(2, out, iterate);
+  EXPECT_EQ(writes, 1u);
+  driver.maybe_checkpoint(3, out, iterate);  // the write reset the clock
+  EXPECT_EQ(writes, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  driver.maybe_checkpoint(4, out, iterate);
+  EXPECT_EQ(writes, 2u);
+}
+
+TEST(IterationDriverTest, TimeAndIterationCadencesAreAUnion) {
+  // A far-away time cadence must not suppress the iteration cadence …
+  IterationOptions options;
+  options.checkpoint_every = 3;
+  options.checkpoint_every_seconds = 3600.0;
+  unsigned writes = 0;
+  options.checkpoint_sink = [&](const io::SolverCheckpoint&) { ++writes; };
+  IterationDriver driver(options, io::SolverKind::power);
+  IterationResult out;
+  const std::vector<double> iterate = {1.0};
+  for (unsigned it = 1; it <= 7; ++it) driver.maybe_checkpoint(it, out, iterate);
+  EXPECT_EQ(writes, 2u);  // iterations 3 and 6, exactly as without the clock
+
+  // … and an elapsed time cadence fires between iteration-cadence marks.
+  IterationOptions both;
+  both.checkpoint_every = 1000000;
+  both.checkpoint_every_seconds = 0.005;
+  unsigned timed_writes = 0;
+  both.checkpoint_sink = [&](const io::SolverCheckpoint&) { ++timed_writes; };
+  IterationDriver timed(both, io::SolverKind::power);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timed.maybe_checkpoint(2, out, iterate);  // not a multiple of 1000000
+  EXPECT_EQ(timed_writes, 1u);
+}
+
+TEST(IterationDriverTest, NegativeSecondsCadenceIsRejected) {
+  IterationOptions options;
+  options.checkpoint_every_seconds = -1.0;
+  EXPECT_THROW(IterationDriver(options, io::SolverKind::power),
+               precondition_error);
 }
 
 TEST(IterationDriverTest, NoPathAndNoSinkMeansNoCheckpointing) {

@@ -1,0 +1,268 @@
+// Exporter round-trip tests for the observability layer (src/obs/).
+//
+// These run in BOTH build flavours: with QS_ENABLE_TRACING=OFF (the
+// default) the span layer is compiled out and the tests pin down the
+// degraded-but-valid contract — empty-but-parseable trace, metrics with
+// values/residuals but no phases; with the `trace` preset they additionally
+// verify that recorded spans, instants, and counters survive the trip into
+// the Chrome trace JSON and the metrics snapshot.  Registered under the
+// ctest label `obs` (ctest -L obs) next to being part of qs_tests.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace qs::obs {
+namespace {
+
+/// Minimal structural JSON check: braces/brackets balance outside string
+/// literals and the text is non-trivial.  Not a full parser — enough to
+/// catch the classic exporter bugs (trailing comma never hits this, but a
+/// missing quote, an unclosed array, or raw NaN/Inf all do).
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string && !text.empty();
+}
+
+std::string trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+std::string metrics_json() {
+  std::ostringstream out;
+  write_metrics_json(out, metrics().snapshot());
+  return out.str();
+}
+
+std::filesystem::path temp_file(const std::string& suffix) {
+  return std::filesystem::temp_directory_path() /
+         ("qs_obs_test_" + std::to_string(::getpid()) + suffix);
+}
+
+/// Per-test scrub: the recorder and rings are process-wide singletons, so
+/// every test starts them from zero and leaves tracing disabled.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+    metrics().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+    metrics().reset();
+  }
+};
+
+TEST_F(ObsTest, TraceJsonIsStructurallyValidInEveryBuild) {
+  const std::string json = trace_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // The metadata note is what makes an empty trace self-explaining.
+  const std::string flag = compiled_in() ? "\"tracing_compiled_in\":true"
+                                         : "\"tracing_compiled_in\":false";
+  EXPECT_NE(json.find(flag), std::string::npos) << json;
+}
+
+TEST_F(ObsTest, DisabledRuntimeSwitchRecordsNothing) {
+  // set_enabled(false) is the SetUp state; macro sites must stay silent.
+  { QS_TRACE_SPAN("obs_test.silent", app); }
+  QS_TRACE_INSTANT("obs_test.silent_instant", app, 1.0);
+  QS_TRACE_COUNTER("obs_test.silent_counter", 1);
+  EXPECT_TRUE(snapshot_spans().empty());
+  EXPECT_TRUE(snapshot_counters().empty());
+}
+
+TEST_F(ObsTest, SpansInstantsAndCountersRoundTripIntoTheTrace) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  { QS_TRACE_SPAN_ARG("obs_test.span", kernel, 7); }
+  QS_TRACE_INSTANT_ARG("obs_test.instant", solver, 0.125, 3);
+  QS_TRACE_COUNTER("obs_test.counter", 5);
+  QS_TRACE_COUNTER("obs_test.counter", 2);
+
+  const auto spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 2u);  // one span + one instant, start-sorted
+  const auto counters = snapshot_counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters.front().value, 7u);
+
+  const std::string json = trace_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"obs_test.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetClearsRingsAndCounters) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  { QS_TRACE_SPAN("obs_test.span", app); }
+  QS_TRACE_COUNTER("obs_test.counter", 1);
+  ASSERT_FALSE(snapshot_spans().empty());
+  reset();
+  EXPECT_TRUE(snapshot_spans().empty());
+  EXPECT_TRUE(snapshot_counters().empty());
+  EXPECT_EQ(dropped_spans(), 0u);
+}
+
+TEST_F(ObsTest, MetricsSnapshotCarriesInfoValuesAndResiduals) {
+  auto& m = metrics();
+  m.set_info("solver", "power");
+  m.set_info("solver", "lanczos");  // overwrite, not append
+  m.set_value("nu", 18.0);
+  m.record_residual(0.5);
+  m.record_residual(0.25);
+
+  const MetricsSnapshot snap = m.snapshot();
+  ASSERT_EQ(snap.info.size(), 1u);
+  EXPECT_EQ(snap.info.front().first, "solver");
+  EXPECT_EQ(snap.info.front().second, "lanczos");
+  ASSERT_EQ(snap.values.size(), 1u);
+  EXPECT_EQ(snap.values.front().second, 18.0);
+  EXPECT_EQ(snap.residual_count, 2u);
+  ASSERT_EQ(snap.residual_tail.size(), 2u);
+  EXPECT_EQ(snap.residual_tail[0], 0.5);   // oldest first
+  EXPECT_EQ(snap.residual_tail[1], 0.25);
+  EXPECT_EQ(snap.tracing_compiled_in, compiled_in());
+}
+
+TEST_F(ObsTest, ResidualRingKeepsTheMostRecentTailOldestFirst) {
+  auto& m = metrics();
+  const std::size_t total = MetricsRecorder::kResidualTail + 10;
+  for (std::size_t i = 0; i < total; ++i)
+    m.record_residual(static_cast<double>(i));
+
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.residual_count, total);
+  ASSERT_EQ(snap.residual_tail.size(), MetricsRecorder::kResidualTail);
+  EXPECT_EQ(snap.residual_tail.front(), 10.0);  // entries 0..9 were evicted
+  EXPECT_EQ(snap.residual_tail.back(), static_cast<double>(total - 1));
+}
+
+TEST_F(ObsTest, MetricsJsonHasTheStableSchema) {
+  auto& m = metrics();
+  m.set_info("simd_tier", "scalar");
+  m.set_value("plan.tile_log2", 14.0);
+  m.record_residual(1e-9);
+
+  const std::string json = metrics_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  for (const char* key :
+       {"\"schema_version\": 1", "\"tracing_compiled_in\"", "\"dropped_spans\"",
+        "\"info\"", "\"values\"", "\"residuals\"", "\"phases\"",
+        "\"counters\"", "\"simd_tier\"", "\"plan.tile_log2\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(ObsTest, NonFiniteValuesExportAsNullNotAsBrokenJson) {
+  metrics().set_value("bad", std::numeric_limits<double>::quiet_NaN());
+  const std::string json = metrics_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST_F(ObsTest, MetricsCsvEmitsRaggedKindRows) {
+  auto& m = metrics();
+  m.set_info("tool", "obs_test");
+  m.set_value("nu", 12.0);
+  m.record_residual(0.75);
+
+  std::ostringstream out;
+  write_metrics_csv(out, m.snapshot());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("kind,name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("info,tool,obs_test\n"), std::string::npos);
+  EXPECT_NE(csv.find("value,nu,12\n"), std::string::npos);
+  EXPECT_NE(csv.find("residual,0,0.75\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, FileWritersPickFormatByExtensionAndFailSoftly) {
+  metrics().set_value("nu", 10.0);
+
+  const auto json_path = temp_file(".json");
+  const auto csv_path = temp_file(".csv");
+  ASSERT_TRUE(write_metrics_file(json_path.string()));
+  ASSERT_TRUE(write_metrics_file(csv_path.string()));
+  ASSERT_TRUE(write_chrome_trace_file(temp_file(".trace.json").string()));
+
+  std::stringstream json_text, csv_text;
+  json_text << std::ifstream(json_path).rdbuf();
+  csv_text << std::ifstream(csv_path).rdbuf();
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(temp_file(".trace.json"));
+
+  EXPECT_EQ(json_text.str().front(), '{');
+  EXPECT_NE(csv_text.str().find("kind,name,value"), std::string::npos);
+
+  // Unwritable paths report false instead of throwing (the CLIs warn and
+  // keep the solve's result).
+  EXPECT_FALSE(write_metrics_file("/nonexistent-dir/qs-obs/m.json"));
+  EXPECT_FALSE(write_chrome_trace_file("/nonexistent-dir/qs-obs/t.json"));
+}
+
+TEST_F(ObsTest, PhasesAggregateFromTheSpanRings) {
+  if (!compiled_in()) {
+    // Compiled-out contract: the phase table is empty but present.
+    EXPECT_TRUE(metrics().snapshot().phases.empty());
+    GTEST_SKIP() << "span-backed phases need a QS_ENABLE_TRACING build";
+  }
+  set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    QS_TRACE_SPAN("obs_test.phase", kernel);
+  }
+  const MetricsSnapshot snap = metrics().snapshot();
+  ASSERT_EQ(snap.phases.size(), 1u);
+  EXPECT_EQ(snap.phases.front().name, "obs_test.phase");
+  EXPECT_EQ(snap.phases.front().category, "kernel");
+  EXPECT_EQ(snap.phases.front().count, 3u);
+  EXPECT_GE(snap.phases.front().wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace qs::obs

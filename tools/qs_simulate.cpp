@@ -30,12 +30,41 @@ void print_usage() {
       "  --seed S           RNG seed (default 1)\n"
       "  --start KIND       master (default) or uniform\n"
       "  --trace FILE       per-generation CSV of t, x0, mean fitness\n"
+      "  --trace-json FILE  Chrome trace-event JSON of the run (distinct from\n"
+      "                     --trace; span events need a QS_ENABLE_TRACING build)\n"
+      "  --metrics FILE     aggregate metrics snapshot (JSON, or CSV when\n"
+      "                     FILE ends in .csv)\n"
       "  --help             this text\n";
 }
 
 struct CliError {
   std::string message;
 };
+
+/// Shared --trace-json/--metrics handling (same flags as qs_solve; note the
+/// pre-existing --trace flag is the per-generation CSV, not this).
+void setup_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json") && !args.has("metrics")) return;
+  if (qs::obs::compiled_in()) {
+    qs::obs::set_enabled(true);
+  } else if (args.has("trace-json")) {
+    std::cerr << "warning: this binary was built without QS_ENABLE_TRACING; "
+                 "the trace will contain no span events\n";
+  }
+}
+
+void export_observability(const qs::ArgParser& args) {
+  if (args.has("trace-json") &&
+      !qs::obs::write_chrome_trace_file(args.get("trace-json", ""))) {
+    std::cerr << "warning: could not write trace to "
+              << args.get("trace-json", "") << "\n";
+  }
+  if (args.has("metrics") &&
+      !qs::obs::write_metrics_file(args.get("metrics", ""))) {
+    std::cerr << "warning: could not write metrics to "
+              << args.get("metrics", "") << "\n";
+  }
+}
 
 }  // namespace
 
@@ -55,6 +84,7 @@ int main(int argc, char** argv) {
     const auto generations =
         static_cast<std::uint64_t>(args.get_long("generations", 500, 1, 10000000));
     const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1, 0, 1L << 62));
+    setup_observability(args);
 
     const auto model = qs::core::MutationModel::uniform(nu, p);
     const std::string kind = args.get("landscape", "single-peak");
@@ -135,6 +165,18 @@ int main(int argc, char** argv) {
     std::cout << "\nsimulated mean fitness: "
               << qs::analysis::mean_fitness(landscape, average)
               << "   deterministic lambda_0: " << deterministic.eigenvalue << "\n";
+
+    auto& m = qs::obs::metrics();
+    m.set_info("tool", "qs_simulate");
+    m.set_info("process", process);
+    m.set_value("nu", nu);
+    m.set_value("p", p);
+    m.set_value("pop", static_cast<double>(pop_size));
+    m.set_value("generations", static_cast<double>(generations));
+    m.set_value("sim_seconds", seconds);
+    m.set_value("mean_fitness", qs::analysis::mean_fitness(landscape, average));
+    m.set_value("deterministic_eigenvalue", deterministic.eigenvalue);
+    export_observability(args);
     return 0;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.message << "\n";

@@ -69,6 +69,10 @@ void print_usage() {
       "  --checkpoint-every N  iterations between checkpoints (default 1000;\n"
       "                      restart cycles for lanczos/arnoldi, outer steps\n"
       "                      for rqi, panel products for block)\n"
+      "  --checkpoint-every-seconds S  wall-clock seconds between checkpoints\n"
+      "                      (default 30 when given without a value source;\n"
+      "                      combines with --checkpoint-every as a union —\n"
+      "                      whichever cadence fires first writes)\n"
       "  --resume FILE       resume an interrupted run from a checkpoint\n"
       "                      written by --checkpoint (the model, landscape,\n"
       "                      options, and --solver must match the original\n"
@@ -77,6 +81,15 @@ void print_usage() {
       "  --no-recover        fail immediately instead of restarting once from\n"
       "                      the last good checkpoint / dropping the shift\n"
       "                      when the iterate goes non-finite or stalls\n"
+      "observability:\n"
+      "  --trace-json FILE   write a Chrome trace-event JSON of the run\n"
+      "                      (load in ui.perfetto.dev or chrome://tracing;\n"
+      "                      span events need a build with the 'trace'\n"
+      "                      preset / QS_ENABLE_TRACING=ON)\n"
+      "  --metrics FILE      write an aggregate metrics snapshot (JSON, or\n"
+      "                      CSV when FILE ends in .csv): solver values,\n"
+      "                      residual tail, per-phase time shares, SIMD/plan\n"
+      "                      provenance\n"
       "other:\n"
       "  --top K             print the K most concentrated species (default 5)\n"
       "  --help              this text\n";
@@ -93,6 +106,7 @@ struct CliError {
 struct ResilienceCli {
   std::string checkpoint_path;
   unsigned checkpoint_every = 0;
+  double checkpoint_every_seconds = 0.0;
   std::optional<qs::io::SolverCheckpoint> resume;
 };
 
@@ -100,10 +114,21 @@ ResilienceCli parse_resilience(const qs::ArgParser& args) {
   ResilienceCli cli;
   if (args.has("checkpoint")) {
     cli.checkpoint_path = args.get("checkpoint", "");
-    cli.checkpoint_every = static_cast<unsigned>(
-        args.get_long("checkpoint-every", 1000, 1, 1000000000));
-  } else if (args.has("checkpoint-every")) {
-    throw CliError{"--checkpoint-every needs --checkpoint FILE"};
+    const bool has_seconds = args.has("checkpoint-every-seconds");
+    if (has_seconds) {
+      cli.checkpoint_every_seconds =
+          args.get_double("checkpoint-every-seconds", 30.0, 1e-3, 1e9);
+    }
+    // The iteration cadence stays on by default; giving only the seconds
+    // cadence switches to pure wall-clock checkpointing.
+    if (args.has("checkpoint-every") || !has_seconds) {
+      cli.checkpoint_every = static_cast<unsigned>(
+          args.get_long("checkpoint-every", 1000, 1, 1000000000));
+    }
+  } else if (args.has("checkpoint-every") ||
+             args.has("checkpoint-every-seconds")) {
+    throw CliError{
+        "--checkpoint-every/--checkpoint-every-seconds need --checkpoint FILE"};
   }
   if (args.has("resume")) {
     cli.resume = qs::io::load_checkpoint(args.get("resume", ""));
@@ -118,6 +143,46 @@ void apply_resilience(const ResilienceCli& cli, qs::solvers::IterationOptions& o
   if (!cli.checkpoint_path.empty()) {
     opts.checkpoint_path = cli.checkpoint_path;
     opts.checkpoint_every = cli.checkpoint_every;
+    opts.checkpoint_every_seconds = cli.checkpoint_every_seconds;
+  }
+}
+
+/// Turns the span layer on when an observability export was requested.
+/// Spans only exist in QS_ENABLE_TRACING builds; metrics values and the
+/// residual tail are recorded in every build, so --metrics still produces a
+/// useful file from a default build — but a --trace-json request against a
+/// span-less binary gets a loud warning instead of a silently empty trace.
+void setup_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json") && !args.has("metrics")) return;
+  if (qs::obs::compiled_in()) {
+    qs::obs::set_enabled(true);
+  } else if (args.has("trace-json")) {
+    std::cerr << "warning: this binary was built without QS_ENABLE_TRACING; "
+                 "the trace will contain no span events (configure with "
+                 "--preset trace, or -DQS_ENABLE_TRACING=ON)\n";
+  }
+}
+
+/// Writes the requested trace/metrics files.  Called on the success paths
+/// of run(); a failed solve throws past this, which is fine — partial
+/// telemetry of a failed run is better served by the error message.
+void export_observability(const qs::ArgParser& args) {
+  if (args.has("trace-json")) {
+    const std::string path = args.get("trace-json", "");
+    if (qs::obs::write_chrome_trace_file(path)) {
+      std::cout << "trace written to " << path
+                << " (load in ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "warning: could not write trace to " << path << "\n";
+    }
+  }
+  if (args.has("metrics")) {
+    const std::string path = args.get("metrics", "");
+    if (qs::obs::write_metrics_file(path)) {
+      std::cout << "metrics written to " << path << "\n";
+    } else {
+      std::cerr << "warning: could not write metrics to " << path << "\n";
+    }
   }
 }
 
@@ -194,6 +259,7 @@ int run(const qs::ArgParser& args) {
 
   const double tolerance = args.get_double("tolerance", 1e-13, 1e-16, 1e-2);
   const long top = args.get_long("top", 5, 0, 1000);
+  setup_observability(args);
 
   // Reduced path: error-class landscapes at any nu.
   if (args.has("reduced")) {
@@ -229,6 +295,13 @@ int run(const qs::ArgParser& args) {
     if (args.has("classes-csv")) {
       write_classes_csv(args.get("classes-csv", ""), r.class_concentrations);
     }
+    auto& m = qs::obs::metrics();
+    m.set_info("tool", "qs_solve");
+    m.set_info("solver", "reduced");
+    m.set_value("nu", nu);
+    m.set_value("p", p);
+    m.set_value("eigenvalue", r.eigenvalue);
+    export_observability(args);
     return 0;
   }
 
@@ -433,6 +506,20 @@ int run(const qs::ArgParser& args) {
     state.eigenvector = concentrations;
     qs::io::save_checkpoint(args.get("checkpoint", ""), state);
   }
+
+  // Solve-level telemetry: the SIMD tier and plan provenance were already
+  // recorded by PlannedOperator when it resolved its plan.
+  auto& m = qs::obs::metrics();
+  m.set_info("tool", "qs_solve");
+  m.set_info("solver", solver);
+  m.set_info("engine", engine != nullptr ? "parallel" : "serial");
+  m.set_value("nu", nu);
+  m.set_value("p", p);
+  m.set_value("eigenvalue", eigenvalue);
+  m.set_value("iterations", iterations);
+  m.set_value("residual", residual);
+  m.set_value("solve_seconds", seconds);
+  export_observability(args);
   return 0;
 }
 

@@ -28,12 +28,40 @@ void print_usage() {
       "  --points K           grid points (default 60)\n"
       "  --csv FILE           write the sweep as CSV (default: stdout)\n"
       "  --threshold          also locate p_max by bisection (error-class only)\n"
+      "  --trace-json FILE    write a Chrome trace-event JSON of the sweep\n"
+      "                       (span events need a QS_ENABLE_TRACING build)\n"
+      "  --metrics FILE       write an aggregate metrics snapshot (JSON, or\n"
+      "                       CSV when FILE ends in .csv)\n"
       "  --help               this text\n";
 }
 
 struct CliError {
   std::string message;
 };
+
+/// Shared --trace-json/--metrics handling (same flags as qs_solve).
+void setup_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json") && !args.has("metrics")) return;
+  if (qs::obs::compiled_in()) {
+    qs::obs::set_enabled(true);
+  } else if (args.has("trace-json")) {
+    std::cerr << "warning: this binary was built without QS_ENABLE_TRACING; "
+                 "the trace will contain no span events\n";
+  }
+}
+
+void export_observability(const qs::ArgParser& args) {
+  if (args.has("trace-json") &&
+      !qs::obs::write_chrome_trace_file(args.get("trace-json", ""))) {
+    std::cerr << "warning: could not write trace to "
+              << args.get("trace-json", "") << "\n";
+  }
+  if (args.has("metrics") &&
+      !qs::obs::write_metrics_file(args.get("metrics", ""))) {
+    std::cerr << "warning: could not write metrics to "
+              << args.get("metrics", "") << "\n";
+  }
+}
 
 }  // namespace
 
@@ -52,6 +80,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_long("points", 60, 2, 100000));
     const std::string kind = args.get("landscape", "single-peak");
     const auto grid = qs::analysis::error_rate_grid(from, to, points);
+    setup_observability(args);
 
     qs::analysis::SweepResult sweep;
     std::optional<qs::core::ErrorClassLandscape> ecl;
@@ -102,6 +131,16 @@ int main(int argc, char** argv) {
       std::cout << "transition kink strength = "
                 << qs::analysis::transition_kink(*ecl, from, to) << "\n";
     }
+
+    auto& m = qs::obs::metrics();
+    m.set_info("tool", "qs_sweep");
+    m.set_info("landscape", kind);
+    m.set_value("nu", nu);
+    m.set_value("points", static_cast<double>(grid.size()));
+    m.set_value("p_from", from);
+    m.set_value("p_to", to);
+    m.set_value("sweep_seconds", seconds);
+    export_observability(args);
     return 0;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.message << "\n";

@@ -16,7 +16,11 @@
 //      under 2% of a blocked matvec (per-site probe x measured site count),
 //      and a per-phase span breakdown of one matvec + one panel product is
 //      printed.  In a default build the check is structurally free (the
-//      macros compile to nothing) and only a note is printed.
+//      macros compile to nothing) and only a note is printed;
+//   5. a panel-batched replica-ensemble generation's mutation phase (R = 8)
+//      is no slower than 1.3x the sequential per-replica products — healthy
+//      builds sit near 0.5x (i.e. ~2x faster), so this catches the batching
+//      having silently degenerated to the one-vector path.
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -25,6 +29,7 @@
 #include "core/fmmp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "stochastic/ensemble.hpp"
 #include "support/rng.hpp"
 #include "transforms/panel_butterfly.hpp"
 #include "transforms/panel_microkernel.hpp"
@@ -138,6 +143,31 @@ int main() {
   } else {
     std::cout << "  tracing compiled out: disabled-site overhead is "
                  "identically zero (macros expand to nothing)\n";
+  }
+
+  {
+    // Check 5: the ensemble's panel-batched mutation phase must actually
+    // batch.  Same operator config as the ensemble engine uses internally;
+    // compute_expected is idempotent on the populations, so best-of timing
+    // is sound.
+    stochastic::EnsembleOptions options;
+    options.replicas = 8;
+    options.population_size = 1000;
+    stochastic::ReplicaEnsemble ensemble(model, landscape, options, &engine);
+    ensemble.compute_expected(true);  // warm-up
+    const double t_batched =
+        bench::time_best_of(reps, [&] { ensemble.compute_expected(true); });
+    const double t_sequential =
+        bench::time_best_of(reps, [&] { ensemble.compute_expected(false); });
+    std::cout << "  ensemble expected (R=8): batched " << t_batched
+              << " s, sequential " << t_sequential << " s ("
+              << t_sequential / t_batched << "x)\n";
+    if (t_batched > 1.3 * t_sequential) {
+      std::cerr << "FAIL: panel-batched ensemble mutation phase " << t_batched
+                << " s exceeds 1.3x the sequential per-replica products ("
+                << t_sequential << " s) — replica batching regressed\n";
+      ++failures;
+    }
   }
 
   if (failures == 0) {

@@ -7,7 +7,11 @@ namespace qs::stochastic {
 
 Moran::Moran(core::MutationModel model, const core::Landscape& landscape,
              std::uint64_t seed)
-    : model_(std::move(model)), landscape_(&landscape), rng_(seed) {
+    : Moran(std::move(model), landscape, Xoshiro256(seed)) {}
+
+Moran::Moran(core::MutationModel model, const core::Landscape& landscape,
+             Xoshiro256 stream)
+    : model_(std::move(model)), landscape_(&landscape), rng_(stream) {
   require(model_.dimension() == landscape.dimension(),
           "Moran: model and landscape dimensions differ");
   require(model_.kind() != core::MutationKind::grouped,

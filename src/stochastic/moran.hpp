@@ -24,6 +24,12 @@ class Moran {
   Moran(core::MutationModel model, const core::Landscape& landscape,
         std::uint64_t seed);
 
+  /// Same, from an explicit RNG stream (the ensemble engine hands every
+  /// replica a seed-jumped stream so replicas stay independent and
+  /// reproducible no matter how they are scheduled across threads).
+  Moran(core::MutationModel model, const core::Landscape& landscape,
+        Xoshiro256 stream);
+
   /// One birth-death event in place. Population size is conserved.
   void event(Population& population);
 

@@ -47,23 +47,36 @@ std::uint64_t binomial_sample(Xoshiro256& rng, std::uint64_t n, double prob) {
   return mirrored ? n - k : k;
 }
 
-std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
-                                              std::span<const double> probabilities) {
+void multinomial_sample_into(Xoshiro256& rng, std::uint64_t n,
+                             std::span<const double> probabilities,
+                             std::span<std::uint64_t> counts) {
   require(!probabilities.empty(), "multinomial_sample: empty probability vector");
+  require(counts.size() == probabilities.size(),
+          "multinomial_sample: counts/probabilities size mismatch");
   double total = 0.0;
-  for (double p : probabilities) {
-    require(p >= 0.0, "multinomial_sample: probabilities must be nonnegative");
-    total += p;
+  std::size_t last_positive = probabilities.size();
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    require(probabilities[i] >= 0.0,
+            "multinomial_sample: probabilities must be nonnegative");
+    total += probabilities[i];
+    if (probabilities[i] > 0.0) last_positive = i;
   }
   require(std::abs(total - 1.0) < 1e-6,
           "multinomial_sample: probabilities must sum to 1");
+  // total ~ 1 guarantees at least one strictly positive category.
+  require(last_positive < probabilities.size(),
+          "multinomial_sample: no positive-probability category");
+
+  std::fill(counts.begin(), counts.end(), std::uint64_t{0});
 
   // Conditional-binomial decomposition: category i receives
-  // Bin(remaining, p_i / remaining_mass).
-  std::vector<std::uint64_t> counts(probabilities.size(), 0);
+  // Bin(remaining, p_i / remaining_mass).  The loop stops at the last
+  // positive-probability category, which absorbs whatever floating-point
+  // fall-through (an early remaining_mass underflow, conditionals rounded
+  // below 1) left undistributed — never a zero-probability tail category.
   std::uint64_t remaining = n;
   double remaining_mass = total;
-  for (std::size_t i = 0; i + 1 < probabilities.size() && remaining > 0; ++i) {
+  for (std::size_t i = 0; i < last_positive && remaining > 0; ++i) {
     if (probabilities[i] <= 0.0) continue;
     const double conditional =
         std::clamp(probabilities[i] / remaining_mass, 0.0, 1.0);
@@ -72,24 +85,51 @@ std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
     remaining_mass -= probabilities[i];
     if (remaining_mass <= 0.0) break;
   }
-  counts.back() += remaining;  // last category absorbs the remainder
+  counts[last_positive] += remaining;
+}
+
+std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
+                                              std::span<const double> probabilities) {
+  std::vector<std::uint64_t> counts(probabilities.size(), 0);
+  multinomial_sample_into(rng, n, probabilities, counts);
   return counts;
 }
 
 std::size_t categorical_sample(Xoshiro256& rng, std::span<const double> weights) {
   require(!weights.empty(), "categorical_sample: empty weight vector");
   double total = 0.0;
-  for (double w : weights) {
-    require(w >= 0.0, "categorical_sample: weights must be nonnegative");
-    total += w;
+  std::size_t last_positive = weights.size();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    require(weights[i] >= 0.0, "categorical_sample: weights must be nonnegative");
+    total += weights[i];
+    if (weights[i] > 0.0) last_positive = i;
   }
   require(total > 0.0, "categorical_sample: all weights are zero");
   double u = rng.uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;  // zero-weight indices are never returned
     u -= weights[i];
     if (u <= 0.0) return i;
   }
-  return weights.size() - 1;  // rounding fall-through
+  // Floating-point fall-through (u marginally above the sequentially
+  // subtracted total): land on the last positive-weight index, not on a
+  // possibly zero-weight final entry.
+  return last_positive;
+}
+
+void sanitize_distribution(std::span<double> probabilities) {
+  require(!probabilities.empty(), "sanitize_distribution: empty vector");
+  // Clamp BEFORE summing: the clamped mass then never enters the
+  // normaliser, so the rescaled entries sum to 1 exactly (to rounding).
+  double total = 0.0;
+  for (double& v : probabilities) {
+    if (!(v > 0.0)) v = 0.0;  // negatives, -0.0, and NaN carry no mass
+    total += v;
+  }
+  require(total > 0.0 && std::isfinite(total),
+          "sanitize_distribution: no positive mass");
+  const double inv = 1.0 / total;
+  for (double& v : probabilities) v *= inv;
 }
 
 }  // namespace qs::stochastic

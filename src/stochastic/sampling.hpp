@@ -26,11 +26,33 @@ std::uint64_t binomial_sample(Xoshiro256& rng, std::uint64_t n, double prob);
 /// Multinomial sample: distributes `n` trials over `probabilities` (which
 /// must be nonnegative and sum to ~1) via the conditional-binomial method.
 /// Returns counts aligned with the input; counts sum to exactly n.
+/// Individuals left over by floating-point fall-through are assigned to the
+/// last *positive*-probability category — zero-probability categories never
+/// receive mass.
 std::vector<std::uint64_t> multinomial_sample(Xoshiro256& rng, std::uint64_t n,
                                               std::span<const double> probabilities);
 
+/// In-place multinomial sample into a caller-owned counts buffer (the
+/// ensemble engine draws one multinomial per replica per generation over
+/// 2^nu categories — reusing the buffer keeps that hot loop allocation
+/// free).  Requires counts.size() == probabilities.size().
+void multinomial_sample_into(Xoshiro256& rng, std::uint64_t n,
+                             std::span<const double> probabilities,
+                             std::span<std::uint64_t> counts);
+
 /// Categorical sample: index i with probability weights[i] / sum(weights).
-/// Requires at least one strictly positive weight.
+/// Requires at least one strictly positive weight; never returns a
+/// zero-weight index (floating-point fall-through lands on the last
+/// positive-weight category).
 std::size_t categorical_sample(Xoshiro256& rng, std::span<const double> weights);
+
+/// Turns an almost-probability vector (nonnegative up to rounding dust,
+/// almost 1-norm-1) into an exact sampler input: clamps negative entries to
+/// zero FIRST, then renormalises, so the result is nonnegative and sums to
+/// 1 to machine precision regardless of how much negative dust the fast
+/// mutation product left behind.  The reverse order (normalise, then clamp)
+/// re-introduces a sum error of twice the clamped mass and can trip the
+/// samplers' |sum - 1| < 1e-6 precondition.  Requires positive total mass.
+void sanitize_distribution(std::span<double> probabilities);
 
 }  // namespace qs::stochastic

@@ -1,6 +1,5 @@
 #include "stochastic/wright_fisher.hpp"
 
-#include "linalg/vector_ops.hpp"
 #include "stochastic/sampling.hpp"
 #include "support/contracts.hpp"
 
@@ -8,7 +7,11 @@ namespace qs::stochastic {
 
 WrightFisher::WrightFisher(core::MutationModel model, const core::Landscape& landscape,
                            std::uint64_t seed)
-    : model_(std::move(model)), landscape_(&landscape), rng_(seed) {
+    : WrightFisher(std::move(model), landscape, Xoshiro256(seed)) {}
+
+WrightFisher::WrightFisher(core::MutationModel model, const core::Landscape& landscape,
+                           Xoshiro256 stream)
+    : model_(std::move(model)), landscape_(&landscape), rng_(stream) {
   require(model_.dimension() == landscape.dimension(),
           "WrightFisher: model and landscape dimensions differ");
 }
@@ -25,20 +28,17 @@ std::vector<double> WrightFisher::expected_offspring(const Population& populatio
     pi[i] = f[i] * static_cast<double>(counts[i]);
   }
   model_.apply(pi);
-  linalg::normalize1(pi);
-  // Mutation probabilities are nonnegative; clamp rounding dust so the
-  // multinomial sampler's precondition holds exactly.
-  for (double& v : pi) {
-    if (v < 0.0) v = 0.0;
-  }
+  // Clamp the butterfly's negative rounding dust BEFORE normalising: the
+  // reverse order leaves |sum - 1| at twice the clamped mass, which can
+  // trip the multinomial sampler's precondition.
+  sanitize_distribution(pi);
   return pi;
 }
 
 void WrightFisher::step(Population& population) {
   const auto pi = expected_offspring(population);
-  const auto next = multinomial_sample(rng_, population.size(), pi);
-  auto counts = population.counts();
-  for (std::size_t i = 0; i < next.size(); ++i) counts[i] = next[i];
+  const std::uint64_t n = population.size();
+  multinomial_sample_into(rng_, n, pi, population.counts());
   population.refresh_size();
 }
 

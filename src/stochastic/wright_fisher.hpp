@@ -29,6 +29,11 @@ class WrightFisher {
   WrightFisher(core::MutationModel model, const core::Landscape& landscape,
                std::uint64_t seed);
 
+  /// Same, from an explicit RNG stream (see Xoshiro256::jump — replica
+  /// ensembles hand each process a seed-jumped stream).
+  WrightFisher(core::MutationModel model, const core::Landscape& landscape,
+               Xoshiro256 stream);
+
   const core::MutationModel& model() const { return model_; }
   const core::Landscape& landscape() const { return *landscape_; }
 

@@ -75,6 +75,32 @@ class Xoshiro256 {
     }
   }
 
+  /// Advances the state by 2^128 steps (the canonical xoshiro256** jump
+  /// polynomial) without generating the intermediate outputs.  Starting
+  /// from one seed and jumping r times yields stream r of a family of
+  /// non-overlapping subsequences, each 2^128 draws long — the standard
+  /// way to hand every simulation replica its own statistically
+  /// independent stream that is reproducible no matter how replicas are
+  /// scheduled across threads.
+  constexpr void jump() {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_ = {s0, s1, s2, s3};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
@@ -82,5 +108,15 @@ class Xoshiro256 {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// Stream `index` of the family rooted at `seed`: seed, then jump() applied
+/// `index` times.  Streams are 2^128 draws apart, so replicas using
+/// consecutive indices never overlap.  O(index) jump applications — build
+/// streams incrementally (jump a running generator) when creating many.
+constexpr Xoshiro256 jumped_stream(std::uint64_t seed, std::uint64_t index) {
+  Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < index; ++i) rng.jump();
+  return rng;
+}
 
 }  // namespace qs

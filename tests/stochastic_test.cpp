@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "analysis/error_classes.hpp"
 #include "core/fmmp.hpp"
@@ -84,6 +85,128 @@ TEST(Sampling, MultinomialMeansMatchProbabilities) {
   }
 }
 
+TEST(Sampling, BinomialMirroredBranchesMatchMoments) {
+  // p > 1/2 runs mirrored through both branches: small n*q hits the exact
+  // inverse-CDF walk, large n*q the normal approximation.
+  Xoshiro256 rng(21);
+  struct Case {
+    std::uint64_t n;
+    double p;
+    int reps;
+  };
+  for (const Case c : {Case{40, 0.9, 20000}, Case{100000, 0.7, 5000}}) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int r = 0; r < c.reps; ++r) {
+      const auto k = binomial_sample(rng, c.n, c.p);
+      ASSERT_LE(k, c.n);
+      sum += static_cast<double>(k);
+      sum_sq += static_cast<double>(k) * static_cast<double>(k);
+    }
+    const double mean = sum / c.reps;
+    const double var = sum_sq / c.reps - mean * mean;
+    const double expected_mean = static_cast<double>(c.n) * c.p;
+    const double expected_var = static_cast<double>(c.n) * c.p * (1 - c.p);
+    EXPECT_NEAR(mean, expected_mean, 5.0 * std::sqrt(expected_var / c.reps))
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, expected_var, 0.15 * expected_var)
+        << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(Sampling, BinomialChiSquareAgainstExactPmf) {
+  // Goodness of fit on the exact inverse-CDF branch: Bin(10, 0.3) against
+  // the closed-form PMF.  11 cells, df = 10; chi^2 < 29.6 is the 0.1%
+  // critical value — deterministic for the fixed seed.
+  Xoshiro256 rng(22);
+  const std::uint64_t n = 10;
+  const double p = 0.3;
+  const int reps = 50000;
+  std::vector<double> observed(n + 1, 0.0);
+  for (int r = 0; r < reps; ++r) ++observed[binomial_sample(rng, n, p)];
+
+  std::vector<double> pmf(n + 1);
+  pmf[0] = std::pow(1.0 - p, static_cast<double>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    pmf[k + 1] = pmf[k] * static_cast<double>(n - k) /
+                 static_cast<double>(k + 1) * (p / (1.0 - p));
+  }
+  double chi_sq = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    const double expected = pmf[k] * reps;
+    chi_sq += (observed[k] - expected) * (observed[k] - expected) / expected;
+  }
+  EXPECT_LT(chi_sq, 29.6) << "chi^2 = " << chi_sq;
+}
+
+TEST(Sampling, MultinomialChiSquareAgainstProbabilities) {
+  // One large multinomial draw is itself the chi-square statistic's input:
+  // 4 cells, df = 3; 16.3 is the 0.1% critical value.
+  Xoshiro256 rng(23);
+  std::vector<double> probs{0.5, 0.25, 0.125, 0.125};
+  const std::uint64_t n = 200000;
+  const auto counts = multinomial_sample(rng, n, probs);
+  double chi_sq = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double expected = probs[i] * static_cast<double>(n);
+    const double d = static_cast<double>(counts[i]) - expected;
+    chi_sq += d * d / expected;
+  }
+  EXPECT_LT(chi_sq, 16.3) << "chi^2 = " << chi_sq;
+}
+
+TEST(Sampling, MultinomialZeroProbabilityTailNeverReceivesMass) {
+  // Regression: the conditional-binomial loop used to dump the
+  // floating-point remainder on counts.back() even when the final
+  // categories carry zero probability — mass leaked into species the
+  // expected-offspring distribution said were unreachable.  The remainder
+  // must land on the last *positive*-probability category.
+  Xoshiro256 rng(24);
+  for (int rep = 0; rep < 2000; ++rep) {
+    const std::size_t head = 1 + static_cast<std::size_t>(rng() % 6);
+    const std::size_t tail = 1 + static_cast<std::size_t>(rng() % 3);
+    std::vector<double> probs(head + tail, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < head; ++i) {
+      probs[i] = rng.uniform(1e-6, 1.0);
+      total += probs[i];
+    }
+    for (std::size_t i = 0; i < head; ++i) probs[i] /= total;
+
+    const std::uint64_t n = 1 + rng() % 10000;
+    const auto counts = multinomial_sample(rng, n, probs);
+    std::uint64_t drawn = 0;
+    for (auto c : counts) drawn += c;
+    ASSERT_EQ(drawn, n);
+    for (std::size_t i = head; i < probs.size(); ++i) {
+      ASSERT_EQ(counts[i], 0u) << "rep " << rep << ": zero-probability "
+                               << "category " << i << " received mass";
+    }
+  }
+}
+
+TEST(Sampling, MultinomialSingleAndInteriorPositiveCategory) {
+  Xoshiro256 rng(25);
+  std::vector<double> single{1.0};
+  EXPECT_EQ(multinomial_sample(rng, 42, single), std::vector<std::uint64_t>{42});
+
+  std::vector<double> interior{0.0, 1.0, 0.0};
+  const auto counts = multinomial_sample(rng, 1000, interior);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1000u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Sampling, MultinomialSampleIntoReusesBuffer) {
+  Xoshiro256 rng(26);
+  std::vector<double> probs{0.25, 0.75};
+  std::vector<std::uint64_t> counts{7, 7};  // stale values must be cleared
+  multinomial_sample_into(rng, 100, probs, counts);
+  EXPECT_EQ(counts[0] + counts[1], 100u);
+  std::vector<std::uint64_t> wrong_size(3, 0);
+  EXPECT_THROW(multinomial_sample_into(rng, 100, probs, wrong_size),
+               precondition_error);
+}
+
 TEST(Sampling, MultinomialRejectsBadInput) {
   Xoshiro256 rng(6);
   std::vector<double> not_normalised{0.5, 0.4};
@@ -103,6 +226,73 @@ TEST(Sampling, CategoricalRespectsWeights) {
   EXPECT_NEAR(static_cast<double>(hits[2]) / reps, 0.75, 0.02);
   std::vector<double> zeros{0.0, 0.0};
   EXPECT_THROW(categorical_sample(rng, zeros), precondition_error);
+}
+
+TEST(Sampling, CategoricalNeverReturnsZeroWeightIndex) {
+  // Regression: the linear-scan fall-through used to return the final
+  // index even when its weight is zero.  Every returned index must carry
+  // positive weight, including under zero tails and interior zeros.
+  Xoshiro256 rng(27);
+  std::vector<double> tail{1.0, 0.0};
+  for (int r = 0; r < 20000; ++r) EXPECT_EQ(categorical_sample(rng, tail), 0u);
+
+  std::vector<double> interior{0.0, 2.0, 0.0, 0.0};
+  for (int r = 0; r < 1000; ++r) EXPECT_EQ(categorical_sample(rng, interior), 1u);
+
+  for (int rep = 0; rep < 2000; ++rep) {
+    std::vector<double> weights(6, 0.0);
+    for (double& w : weights) {
+      if (rng.uniform() < 0.5) w = rng.uniform(1e-6, 1.0);
+    }
+    weights[1 + rng() % 4] = rng.uniform(1e-6, 1.0);  // >= 1 positive weight
+    weights.back() = 0.0;
+    const std::size_t idx = categorical_sample(rng, weights);
+    ASSERT_GT(weights[idx], 0.0) << "rep " << rep;
+  }
+}
+
+TEST(Sampling, SanitizeClampsThenNormalizes) {
+  // The fast mutation product leaves O(eps) negative dust on near-zero
+  // entries.  Clamping AFTER normalising re-introduces a sum error of twice
+  // the clamped mass; with enough dust that trips the samplers'
+  // |sum - 1| < 1e-6 precondition.  sanitize_distribution clamps first.
+  Xoshiro256 rng(28);
+  std::vector<double> dusty{0.6, -2e-3, 0.4};
+
+  // The old order: normalise by the 1-norm, then clamp.
+  std::vector<double> old_order = dusty;
+  double norm = 0.0;
+  for (double v : old_order) norm += std::abs(v);
+  for (double& v : old_order) v /= norm;
+  for (double& v : old_order) v = std::max(v, 0.0);
+  EXPECT_THROW(multinomial_sample(rng, 100, old_order), precondition_error);
+
+  // The fixed order: clamp, then renormalise — exactly sampler-ready.
+  std::vector<double> fixed = dusty;
+  sanitize_distribution(fixed);
+  double sum = 0.0;
+  for (double v : fixed) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  const auto counts = multinomial_sample(rng, 100, fixed);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 100u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(Sampling, SanitizeHandlesNonFiniteAndRejectsEmptyMass) {
+  std::vector<double> v{-0.0, 0.5, std::nan(""), 0.5};
+  sanitize_distribution(v);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_NEAR(v[1], 0.5, 1e-15);
+  EXPECT_EQ(v[2], 0.0);
+  EXPECT_NEAR(v[3], 0.5, 1e-15);
+
+  std::vector<double> no_mass{-1.0, 0.0, -0.0};
+  EXPECT_THROW(sanitize_distribution(no_mass), precondition_error);
+  std::vector<double> infinite{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(sanitize_distribution(infinite), precondition_error);
 }
 
 TEST(Population, FactoriesAndInvariants) {
@@ -141,6 +331,34 @@ TEST(WrightFisher, ExpectedOffspringIsTheDeterministicMap) {
   model.apply(manual);
   linalg::normalize1(manual);
   for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(pi[i], manual[i], 1e-12);
+}
+
+TEST(WrightFisher, ExpectedOffspringIsSamplerReady) {
+  // Regression: expected_offspring used to normalise BEFORE clamping the
+  // fast product's negative rounding dust, so the returned vector could
+  // drift past the multinomial sampler's |sum - 1| < 1e-6 precondition.
+  // Clamp-then-renormalise must hand the sampler an exactly valid
+  // distribution for every population it sees.
+  const unsigned nu = 10;
+  const auto model = core::MutationModel::uniform(nu, 0.004);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 7);
+  WrightFisher wf(model, landscape, 16);
+  Xoshiro256 rng(17);
+
+  auto pop = Population::uniform(nu, 4000);
+  for (int g = 0; g < 10; ++g) {
+    const auto pi = wf.expected_offspring(pop);
+    double sum = 0.0;
+    for (double v : pi) {
+      ASSERT_GE(v, 0.0);
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-12);
+    // The actual contract: the sampler accepts it without renormalisation.
+    multinomial_sample_into(rng, pop.size(), pi, pop.counts());
+    pop.refresh_size();
+    ASSERT_EQ(pop.size(), 4000u);
+  }
 }
 
 TEST(WrightFisher, StepConservesPopulationSize) {

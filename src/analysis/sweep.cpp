@@ -168,6 +168,10 @@ FamilyResult sweep_landscape_family(const core::MutationModel& model,
   FamilyResult result;
   std::vector<double> lambda(m, 0.0), sums, resid(m, 0.0);
   while (result.panel_products < options.max_iterations) {
+    if (options.should_stop && options.should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     panel_product();
     ++result.panel_products;
 

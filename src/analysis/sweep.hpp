@@ -9,6 +9,7 @@
 // solution seeds the next grid point).
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -85,6 +86,14 @@ struct FamilyOptions {
 
   /// Tiling plan for the banded panel kernels.
   transforms::BlockedPlan plan;
+
+  /// Cooperative cancellation, polled once per panel product: returning
+  /// true ends the joint solve at the next iteration boundary with
+  /// cancelled = true on the result (converged stays false).  Must be
+  /// cheap and thread-safe (typically an atomic load); the solver service
+  /// uses it to abort batches whose deadlines passed or whose clients all
+  /// disconnected.
+  std::function<bool()> should_stop;
 };
 
 /// Joint solve of a same-Q landscape family.
@@ -96,6 +105,7 @@ struct FamilyResult {
   unsigned panel_products = 0;  ///< Panel matvecs performed (each advances
                                 ///< every landscape one power step).
   bool converged = false;       ///< All landscapes met the tolerance.
+  bool cancelled = false;       ///< should_stop() ended the solve early.
 };
 
 /// Solves the dominant eigenpair of W_j = Q F_j for a whole family of

@@ -1,0 +1,197 @@
+// Bounded request queue with admission control, deadlines, and batch-key
+// coalescing — the front door of the solver service (src/service/) and of
+// anything else that funnels concurrent work into panel-batched execution.
+//
+// Robustness posture: the queue is the component that turns overload into a
+// structured signal instead of an unbounded backlog.  Three rules:
+//
+//   * bounded — push() on a full queue returns rejected_overload
+//     immediately (load shedding); the caller converts that into a
+//     structured REJECTED_OVERLOAD reply, and the clients back off;
+//   * deadline-aware — every entry may carry a monotonic-clock deadline;
+//     entries whose deadline passed while queued are swept out at the next
+//     pop and routed to the on_expired callback, so a stale request never
+//     occupies a worker (and never hangs past its deadline);
+//   * coalescing — pop_batch() returns up to m entries sharing the FIFO
+//     head's batch key (for the solver service: a hash of (nu, p, mutation
+//     model)), scanning past non-matching entries without reordering them.
+//     Batches feed the panel Fmmp path, which advances m solves in one
+//     memory sweep (see analysis/sweep_landscape_family).
+//
+// Thread safety: every public member is safe to call concurrently from any
+// number of producers and consumers (one mutex, two condition variables).
+// close() flips the queue into drain mode: pushes reject, pops return the
+// remaining entries and then empty batches — the graceful-shutdown path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/timer.hpp"
+
+namespace qs::core {
+
+/// What push() decided about a request.
+enum class Admission {
+  accepted,
+  rejected_overload,  ///< Queue full: shed the request, tell the client.
+  rejected_closed,    ///< Queue draining for shutdown.
+};
+
+/// Stable identifier for logs and structured replies.
+constexpr const char* to_string(Admission admission) {
+  switch (admission) {
+    case Admission::accepted: return "accepted";
+    case Admission::rejected_overload: return "rejected-overload";
+    case Admission::rejected_closed: return "rejected-closed";
+  }
+  return "unknown";
+}
+
+/// Monotonic counters for telemetry; snapshot via RequestQueue::stats().
+struct QueueStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_closed = 0;
+  std::uint64_t expired = 0;  ///< Deadline passed while queued.
+  std::uint64_t popped = 0;   ///< Entries handed to consumers.
+  std::uint64_t batches = 0;  ///< pop_batch calls that returned entries.
+};
+
+template <typename T>
+class RequestQueue {
+ public:
+  /// One queued request plus its scheduling envelope.
+  struct Entry {
+    T value;
+    std::uint64_t batch_key = 0;    ///< Coalescing group (equal keys batch).
+    std::uint64_t deadline_ns = 0;  ///< monotonic_ns deadline; 0 = none.
+    std::uint64_t enqueued_ns = 0;  ///< Stamped by push() (queue-wait metric).
+  };
+
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    require(capacity > 0, "RequestQueue: capacity must be positive");
+  }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admission control: accepts the request or sheds it immediately — this
+  /// call never blocks, so a slow consumer can only ever cost a producer a
+  /// mutex, not a stall.
+  Admission push(T value, std::uint64_t batch_key, std::uint64_t deadline_ns = 0) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        ++stats_.rejected_closed;
+        return Admission::rejected_closed;
+      }
+      if (entries_.size() >= capacity_) {
+        ++stats_.rejected_overload;
+        return Admission::rejected_overload;
+      }
+      Entry entry;
+      entry.value = std::move(value);
+      entry.batch_key = batch_key;
+      entry.deadline_ns = deadline_ns;
+      entry.enqueued_ns = monotonic_ns();
+      entries_.push_back(std::move(entry));
+      ++stats_.accepted;
+    }
+    ready_.notify_one();
+    return Admission::accepted;
+  }
+
+  /// Blocks until an entry is available (or `wait_ns` elapsed, or the queue
+  /// was closed and drained), sweeps out entries whose deadline already
+  /// passed (each handed to `on_expired` outside the lock), then returns up
+  /// to `max_batch` entries sharing the FIFO head's batch key.  Entries
+  /// with other keys keep their order for later pops.  An empty result
+  /// means timeout or closed-and-drained — never a spurious wakeup.
+  std::vector<Entry> pop_batch(std::size_t max_batch, std::uint64_t wait_ns,
+                               const std::function<void(Entry&&)>& on_expired = {}) {
+    require(max_batch > 0, "RequestQueue: max_batch must be positive");
+    std::vector<Entry> batch;
+    std::vector<Entry> expired;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait_for(lock, std::chrono::nanoseconds(wait_ns),
+                      [this] { return closed_ || !entries_.empty(); });
+      sweep_expired(expired);
+      if (!entries_.empty()) {
+        const std::uint64_t key = entries_.front().batch_key;
+        for (auto it = entries_.begin();
+             it != entries_.end() && batch.size() < max_batch;) {
+          if (it->batch_key == key) {
+            batch.push_back(std::move(*it));
+            it = entries_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        stats_.popped += batch.size();
+        ++stats_.batches;
+      }
+    }
+    for (Entry& e : expired) {
+      if (on_expired) on_expired(std::move(e));
+    }
+    return batch;
+  }
+
+  /// Drain mode: subsequent pushes reject with rejected_closed; pops keep
+  /// returning the remaining entries, then empty batches.  Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  QueueStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  /// Moves every entry whose deadline passed into `out` (caller invokes the
+  /// expiry callback outside the lock).  Called with mutex_ held.
+  void sweep_expired(std::vector<Entry>& out) {
+    if (entries_.empty()) return;
+    const std::uint64_t now = monotonic_ns();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->deadline_ns != 0 && it->deadline_ns <= now) {
+        out.push_back(std::move(*it));
+        it = entries_.erase(it);
+        ++stats_.expired;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Entry> entries_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace qs::core

@@ -17,6 +17,11 @@ constexpr std::uint32_t kMagic = 0x51535631;  // "QSV1"
 constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 2;
 
+// Hard ceiling on a declared payload (2^37 doubles = 1 TiB): a corrupted
+// length field must fail with a structured error, never drive the reader
+// toward a near-2^64 allocation.
+constexpr std::uint64_t kMaxPayloadDoubles = 1ull << 37;
+
 enum class PayloadKind : std::uint32_t {
   vector = 1,
   landscape = 2,
@@ -121,15 +126,25 @@ LoadedFile read_file(const std::filesystem::path& path, PayloadKind expected) {
   }
   // Validate the declared length against the actual file size *before*
   // allocating or reading: a torn write (or a corrupted count) must produce
-  // a clear diagnostic, not a short read or a huge allocation.
-  const std::uintmax_t expected_size =
-      sizeof(out.header) + out.header.meta0 * sizeof(double);
-  if (file_size != expected_size) {
+  // a clear diagnostic, not a short read or a huge allocation.  The count
+  // is compared against the bytes actually present (never multiplied out —
+  // a corrupted 2^61-ish count would overflow the product and could slip
+  // past a size comparison straight into a massive allocation) and against
+  // an absolute ceiling no legitimate file reaches.
+  const std::uintmax_t payload_bytes = file_size - sizeof(out.header);
+  if (out.header.meta0 > kMaxPayloadDoubles) {
+    throw std::runtime_error(
+        "binary_io: absurd payload length in " + path.string() +
+        ": header declares " + std::to_string(out.header.meta0) +
+        " doubles, above the " + std::to_string(kMaxPayloadDoubles) +
+        " ceiling (corrupted header?)");
+  }
+  if (payload_bytes % sizeof(double) != 0 ||
+      out.header.meta0 != payload_bytes / sizeof(double)) {
     throw std::runtime_error(
         "binary_io: payload length mismatch in " + path.string() + ": header declares " +
-        std::to_string(out.header.meta0) + " doubles (" +
-        std::to_string(expected_size) + " bytes) but the file holds " +
-        std::to_string(file_size) + " bytes (torn write?)");
+        std::to_string(out.header.meta0) + " doubles but the file holds " +
+        std::to_string(payload_bytes) + " payload bytes (torn write?)");
   }
   out.data.resize(out.header.meta0);
   file.read(reinterpret_cast<char*>(out.data.data()),

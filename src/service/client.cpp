@@ -1,0 +1,138 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace qs::service {
+namespace {
+
+int connect_unix(const std::filesystem::path& path, unsigned timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw TransportError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = path.string();
+  if (p.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw TransportError("socket path too long for AF_UNIX: " + p);
+  }
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  // AF_UNIX connect either succeeds immediately or fails immediately (the
+  // backlog is the only wait, and the kernel handles it synchronously), so
+  // no non-blocking connect dance is needed; timeout_ms governs the stream.
+  (void)timeout_ms;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportError("connect " + p + ": " + std::strerror(err));
+  }
+  return fd;
+}
+
+std::uint64_t xorshift64(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::uint64_t& jitter_state,
+                               unsigned attempt) {
+  double delay = static_cast<double>(policy.base_delay_ms);
+  for (unsigned i = 1; i < attempt; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= static_cast<double>(policy.max_delay_ms)) break;
+  }
+  if (delay > static_cast<double>(policy.max_delay_ms)) {
+    delay = static_cast<double>(policy.max_delay_ms);
+  }
+  // Jitter shrinks the delay by up to `jitter`: retries spread out instead
+  // of arriving in the synchronised wave that re-overloads the daemon.
+  const double unit =
+      static_cast<double>(xorshift64(jitter_state) >> 11) / 9007199254740992.0;
+  const double scale = 1.0 - policy.jitter * unit;
+  return static_cast<std::uint64_t>(delay * scale);
+}
+
+Client::Client(std::filesystem::path socket_path, unsigned io_timeout_ms)
+    : socket_path_(std::move(socket_path)), io_timeout_ms_(io_timeout_ms) {}
+
+Stream& Client::ensure_connected() {
+  if (!stream_) {
+    stream_ = std::make_unique<FdStream>(connect_unix(socket_path_, io_timeout_ms_),
+                                         io_timeout_ms_);
+  }
+  return *stream_;
+}
+
+void Client::disconnect() { stream_.reset(); }
+
+SolveReply Client::solve(const SolveRequest& request) {
+  try {
+    Stream& stream = ensure_connected();
+    write_frame(stream, Frame{FrameType::solve_request, encode(request)});
+    const Frame frame = read_frame(stream);
+    if (frame.type != FrameType::solve_reply) {
+      throw ProtocolError("client: expected a solve_reply frame, got type " +
+                          std::to_string(static_cast<std::uint32_t>(frame.type)));
+    }
+    return decode_reply(frame.payload);
+  } catch (...) {
+    // Whatever broke, the connection's framing state is unknown — drop it
+    // so the next attempt starts on a clean socket.
+    disconnect();
+    throw;
+  }
+}
+
+bool Client::ping() {
+  try {
+    Stream& stream = ensure_connected();
+    write_frame(stream, Frame{FrameType::ping, {}});
+    return read_frame(stream).type == FrameType::pong;
+  } catch (const std::exception&) {
+    disconnect();
+    return false;
+  }
+}
+
+ClientOutcome Client::solve_with_retry(const SolveRequest& request,
+                                       const RetryPolicy& policy) {
+  ClientOutcome outcome;
+  std::uint64_t jitter_state = policy.seed | 1;  // xorshift must not start at 0
+  const unsigned attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    outcome.attempts = attempt;
+    bool transport_failed = false;
+    try {
+      outcome.reply = solve(request);
+      outcome.last_error.clear();
+    } catch (const std::exception& e) {
+      transport_failed = true;
+      outcome.last_error = e.what();
+      outcome.reply = SolveReply{};
+      outcome.reply.status = StatusCode::internal_error;
+      outcome.reply.message = std::string("transport: ") + e.what();
+    }
+    const bool retry = transport_failed || retryable(outcome.reply.status);
+    if (!retry || attempt == attempts) {
+      return outcome;
+    }
+    const std::uint64_t delay = backoff_delay_ms(policy, jitter_state, attempt);
+    outcome.backoff_ms += delay;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return outcome;
+}
+
+}  // namespace qs::service

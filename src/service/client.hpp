@@ -1,0 +1,81 @@
+// Client side of the solver service: connect, solve, retry.
+//
+// The retry policy is deliberately narrow: only failures where the daemon
+// provably never started the work are resent — transport errors before a
+// reply arrived, REJECTED_OVERLOAD, SHUTTING_DOWN.  BAD_REQUEST and
+// SOLVER_FAILURE would fail identically on retry; OK/DEADLINE_EXCEEDED/
+// CANCELLED already consumed the request's budget.  Between attempts the
+// client sleeps exponential backoff with decorrelated jitter (a deterministic
+// per-client xorshift stream, seeded explicitly so tests are reproducible):
+// capped doubling keeps a struggling daemon from seeing its own load
+// reflected back in synchronised retry waves.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+
+namespace qs::service {
+
+struct RetryPolicy {
+  unsigned max_attempts = 4;        ///< Total tries (1 = no retry).
+  std::uint64_t base_delay_ms = 25; ///< First backoff step.
+  std::uint64_t max_delay_ms = 1000;
+  double multiplier = 2.0;
+  double jitter = 0.5;              ///< Delay drawn from [d*(1-j), d].
+  std::uint64_t seed = 1;           ///< Jitter stream seed (reproducibility).
+};
+
+/// Result of solve_with_retry: the reply plus how hard it was to get.
+struct ClientOutcome {
+  SolveReply reply;
+  unsigned attempts = 0;          ///< Connections/solve attempts consumed.
+  std::uint64_t backoff_ms = 0;   ///< Total time slept between attempts.
+  std::string last_error;         ///< Transport diagnostic of the final retryable
+                                  ///< failure (empty on clean success).
+};
+
+class Client {
+ public:
+  /// `socket_path` names the daemon's AF_UNIX socket; `io_timeout_ms`
+  /// bounds each read/write chunk on the wire.
+  explicit Client(std::filesystem::path socket_path, unsigned io_timeout_ms = 5000);
+
+  /// One attempt: connect (or reuse the live connection), send, await the
+  /// reply.  Throws TransportError/TimeoutError/ProtocolError on wire
+  /// failure — no retry at this layer.
+  SolveReply solve(const SolveRequest& request);
+
+  /// Round-trip health probe on a fresh or existing connection.
+  bool ping();
+
+  /// Retrying solve per `policy`.  Transport failures and retryable status
+  /// codes consume attempts; the final failure (attempts exhausted) is
+  /// reported as the last reply/error rather than thrown, so callers always
+  /// get a structured outcome.
+  ClientOutcome solve_with_retry(const SolveRequest& request,
+                                 const RetryPolicy& policy = {});
+
+  /// Drops the pooled connection (next call reconnects).
+  void disconnect();
+
+ private:
+  Stream& ensure_connected();
+
+  std::filesystem::path socket_path_;
+  unsigned io_timeout_ms_;
+  std::unique_ptr<FdStream> stream_;
+};
+
+/// Exposed for tests: the deterministic backoff schedule.  `attempt` is
+/// 1-based (delay before attempt 2 is backoff_delay_ms(policy, state, 1)).
+/// `jitter_state` advances each call (xorshift64).
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::uint64_t& jitter_state,
+                               unsigned attempt);
+
+}  // namespace qs::service

@@ -1,0 +1,171 @@
+#include "service/scenario_cache.hpp"
+
+#include <stdexcept>
+
+#include "io/binary_io.hpp"
+#include "support/contracts.hpp"
+
+namespace qs::service {
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[key & 0xf];
+    key >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> pack_cache_entry(const CacheEntry& entry) {
+  std::vector<double> payload;
+  payload.reserve(4 + entry.class_concentrations.size());
+  payload.push_back(entry.eigenvalue);
+  payload.push_back(entry.residual);
+  payload.push_back(static_cast<double>(entry.iterations));
+  payload.push_back(static_cast<double>(entry.class_concentrations.size()));
+  payload.insert(payload.end(), entry.class_concentrations.begin(),
+                 entry.class_concentrations.end());
+  return payload;
+}
+
+CacheEntry unpack_cache_entry(const std::vector<double>& payload) {
+  if (payload.size() < 4) {
+    throw std::runtime_error("scenario cache entry too short");
+  }
+  const auto count = static_cast<std::size_t>(payload[3]);
+  if (payload.size() != 4 + count) {
+    throw std::runtime_error("scenario cache entry length mismatch");
+  }
+  CacheEntry entry;
+  entry.eigenvalue = payload[0];
+  entry.residual = payload[1];
+  entry.iterations = static_cast<std::uint64_t>(payload[2]);
+  entry.class_concentrations.assign(payload.begin() + 4, payload.end());
+  return entry;
+}
+
+FsCacheStorage::FsCacheStorage(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path FsCacheStorage::entry_path(std::uint64_t key) const {
+  return directory_ / (hex_key(key) + ".qsc");
+}
+
+void FsCacheStorage::store(std::uint64_t key, const std::vector<double>& payload) {
+  io::save_vector(entry_path(key), payload);
+}
+
+std::optional<std::vector<double>> FsCacheStorage::load(std::uint64_t key) {
+  const std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return std::nullopt;  // plain miss, not corruption
+  }
+  // Any failure past this point (bad magic, checksum mismatch, truncation,
+  // malformed packing) propagates as an exception: the entry EXISTS but
+  // cannot be trusted, and the caller quarantines it.
+  return io::load_vector(path);
+}
+
+void FsCacheStorage::quarantine(std::uint64_t key) noexcept {
+  const std::filesystem::path path = entry_path(key);
+  std::filesystem::path bad = path;
+  bad += ".bad";
+  std::error_code ec;
+  std::filesystem::rename(path, bad, ec);
+  if (ec) {
+    // rename across the corruption failed too (e.g. the directory vanished);
+    // removing is the fallback that still unblocks the next store.
+    std::filesystem::remove(path, ec);
+  }
+}
+
+ScenarioCache::ScenarioCache(std::size_t max_entries,
+                             std::unique_ptr<CacheStorage> storage)
+    : max_entries_(max_entries), storage_(std::move(storage)) {
+  require(max_entries > 0, "ScenarioCache: max_entries must be positive");
+}
+
+std::optional<CacheEntry> ScenarioCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    touch_locked(key);
+    ++stats_.hits;
+    return it->second.entry;
+  }
+  if (storage_) {
+    try {
+      if (auto payload = storage_->load(key)) {
+        CacheEntry entry = unpack_cache_entry(*payload);
+        insert_locked(key, entry);
+        ++stats_.hits;
+        return entry;
+      }
+    } catch (const std::exception&) {
+      // Present but unreadable: corruption.  Quarantine so the next store
+      // writes a fresh file, then fall through to a miss — the service
+      // recomputes the scenario.
+      storage_->quarantine(key);
+      ++stats_.quarantined;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ScenarioCache::store(std::uint64_t key, const CacheEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(key, entry);
+  ++stats_.stores;
+  if (storage_) {
+    try {
+      storage_->store(key, pack_cache_entry(entry));
+    } catch (const std::exception&) {
+      // Durability is best-effort per store: the computed answer is already
+      // in memory (and in the caller's reply).  The failure is counted so
+      // operators see a sick disk in the metrics, not in lost requests.
+      ++stats_.store_failures;
+    }
+  }
+}
+
+CacheStats ScenarioCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScenarioCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void ScenarioCache::touch_locked(std::uint64_t key) {
+  auto it = map_.find(key);
+  order_.erase(it->second.where);
+  order_.push_front(key);
+  it->second.where = order_.begin();
+}
+
+void ScenarioCache::insert_locked(std::uint64_t key, CacheEntry entry) {
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second.entry = std::move(entry);
+    touch_locked(key);
+    return;
+  }
+  while (map_.size() >= max_entries_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;  // memory tier only; the disk entry survives
+  }
+  order_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), order_.begin()});
+}
+
+}  // namespace qs::service

@@ -1,0 +1,139 @@
+// Crash-safe scenario cache: content-hash-keyed LRU over the checksummed
+// atomic binary_io format.
+//
+// A cache entry is the *answer* to one scenario key (protocol.hpp's
+// scenario_key hash): eigenvalue, residual, iteration count, and the
+// error-class concentrations, packed into one vector<double> and persisted
+// through io::save_vector — which writes to a temporary sibling and
+// rename(2)s it into place, so a crash mid-store leaves either the old
+// entry or the new one, never a torn file.  Loads go through
+// io::load_vector, whose header checks (magic, version, checksum,
+// length-vs-file-size) catch truncation and bit rot; a corrupt entry is
+// QUARANTINED (renamed to <entry>.bad so the evidence survives for
+// inspection), counted, and treated as a miss — the service recomputes and
+// overwrites it.  A cache must never turn one bad sector into a wrong
+// answer or a crashed daemon.
+//
+// Layout: an in-memory LRU (bounded entry count) in front of a CacheStorage
+// backend.  The disk tier is the crash-safe one — LRU eviction only drops
+// the memory copy; a later lookup falls through to disk, so the cache
+// survives both eviction and restart.  The CacheStorage interface exists so
+// tests can interpose fault injection (throwing stores, corrupting sinks)
+// without touching a real filesystem path.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qs::service {
+
+/// The cached answer for one scenario.
+struct CacheEntry {
+  double eigenvalue = 0.0;
+  double residual = 0.0;
+  std::uint64_t iterations = 0;
+  std::vector<double> class_concentrations;
+};
+
+/// Counters for telemetry and the fault-injection assertions.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_failures = 0;  ///< Backend store threw (cache stayed warm
+                                     ///< in memory; answer still served).
+  std::uint64_t quarantined = 0;     ///< Corrupt entries renamed aside.
+  std::uint64_t evictions = 0;       ///< Memory-tier LRU evictions.
+};
+
+/// Durable tier under the LRU.  Implementations must be safe to call from
+/// one thread at a time (ScenarioCache serialises access); they signal
+/// failure by throwing — the cache converts store failures into counters
+/// and load failures into quarantine-and-miss.
+class CacheStorage {
+ public:
+  virtual ~CacheStorage() = default;
+
+  /// Persists `payload` under `key`, replacing any previous entry.
+  virtual void store(std::uint64_t key, const std::vector<double>& payload) = 0;
+
+  /// Returns the payload, or nullopt when no entry exists.  Throws on a
+  /// present-but-unreadable entry (corruption) — the cache then calls
+  /// quarantine() and treats the key as a miss.
+  virtual std::optional<std::vector<double>> load(std::uint64_t key) = 0;
+
+  /// Moves a corrupt entry aside so the next store starts clean.  Must not
+  /// throw (best effort).
+  virtual void quarantine(std::uint64_t key) noexcept = 0;
+};
+
+/// Filesystem backend: one `<hex key>.qsc` file per entry in `directory`,
+/// written via io::save_vector (atomic + checksummed).  Quarantine renames
+/// to `<hex key>.qsc.bad`.
+class FsCacheStorage final : public CacheStorage {
+ public:
+  /// Creates `directory` (and parents) if absent.
+  explicit FsCacheStorage(std::filesystem::path directory);
+
+  void store(std::uint64_t key, const std::vector<double>& payload) override;
+  std::optional<std::vector<double>> load(std::uint64_t key) override;
+  void quarantine(std::uint64_t key) noexcept override;
+
+  std::filesystem::path entry_path(std::uint64_t key) const;
+
+ private:
+  std::filesystem::path directory_;
+};
+
+/// Thread-safe LRU + durable backend.  `nullptr` storage runs memory-only
+/// (tests, --cache-dir unset).
+class ScenarioCache {
+ public:
+  explicit ScenarioCache(std::size_t max_entries,
+                         std::unique_ptr<CacheStorage> storage = nullptr);
+
+  /// Memory LRU first, then the backend (a disk hit is promoted into the
+  /// LRU).  A corrupt backend entry is quarantined and reported as a miss.
+  std::optional<CacheEntry> lookup(std::uint64_t key);
+
+  /// Inserts into the LRU and writes through to the backend.  A backend
+  /// failure is absorbed (counted in store_failures): the answer was
+  /// already computed, so the caller's reply must not fail with it.
+  void store(std::uint64_t key, const CacheEntry& entry);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  void touch_locked(std::uint64_t key);
+  void insert_locked(std::uint64_t key, CacheEntry entry);
+
+  const std::size_t max_entries_;
+  std::unique_ptr<CacheStorage> storage_;
+
+  mutable std::mutex mutex_;
+  std::list<std::uint64_t> order_;  // front = most recent
+  struct Slot {
+    CacheEntry entry;
+    std::list<std::uint64_t>::iterator where;
+  };
+  std::unordered_map<std::uint64_t, Slot> map_;
+  CacheStats stats_;
+};
+
+/// Packing between CacheEntry and the flat payload binary_io stores:
+/// [eigenvalue, residual, iterations, count, Gamma_0..Gamma_count-1].
+std::vector<double> pack_cache_entry(const CacheEntry& entry);
+
+/// Throws std::runtime_error on a structurally invalid payload (too short,
+/// count mismatch) — FsCacheStorage surfaces that as corruption.
+CacheEntry unpack_cache_entry(const std::vector<double>& payload);
+
+}  // namespace qs::service

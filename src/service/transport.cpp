@@ -1,0 +1,157 @@
+#include "service/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qs::service {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x51535256;  // "QSRV"
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t type = 0;
+  std::uint64_t length = 0;
+};
+static_assert(sizeof(FrameHeader) == 16, "wire header layout");
+
+/// Waits until `fd` is ready for `events` or the timeout passes.  EINTR
+/// restarts the wait (signals are handled at the server loop level, not
+/// here) — but a shutdown-minded caller still regains control at the next
+/// chunk boundary because the poll deadline is short.
+void wait_ready(int fd, short events, unsigned timeout_ms, const char* what) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms));
+    if (rc > 0) {
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+        throw TransportError(std::string(what) + ": socket error");
+      }
+      return;  // readable/writable (POLLHUP surfaces as EOF on read)
+    }
+    if (rc == 0) {
+      throw TimeoutError(std::string(what) + ": timed out after " +
+                         std::to_string(timeout_ms) + " ms");
+    }
+    if (errno != EINTR) {
+      throw TransportError(std::string(what) + ": poll failed: " +
+                           std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace
+
+FdStream::FdStream(int fd, unsigned timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {
+  if (fd_ < 0) {
+    throw TransportError("FdStream: invalid file descriptor");
+  }
+}
+
+FdStream::~FdStream() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void FdStream::read_exact(void* data, std::size_t size) {
+  auto* out = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    wait_ready(fd_, POLLIN, timeout_ms_, "read");
+    const ssize_t n = ::read(fd_, out + done, size - done);
+    if (n == 0) {
+      throw TransportError("read: peer closed the connection mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw TransportError(std::string("read: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FdStream::write_all(const void* data, std::size_t size) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    wait_ready(fd_, POLLOUT, timeout_ms_, "write");
+    const ssize_t n = ::write(fd_, in + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw TransportError(std::string("write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+bool FdStream::peer_closed() const {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, 0);
+  if (rc <= 0) return false;  // quiet or transient error: assume alive
+  if ((pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) return true;
+  if ((pfd.revents & POLLIN) != 0) {
+    // Readable with nothing expected: either a pipelined frame (alive) or
+    // EOF.  Peek one byte without consuming to tell them apart.
+    std::uint8_t byte = 0;
+    const ssize_t n = ::recv(fd_, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    return n == 0;
+  }
+  return false;
+}
+
+void write_frame(Stream& stream, const Frame& frame) {
+  FrameHeader header;
+  header.type = static_cast<std::uint32_t>(frame.type);
+  header.length = frame.payload.size();
+  if (header.length > kMaxFramePayload) {
+    throw ProtocolError("write_frame: payload exceeds the 64 MiB frame cap");
+  }
+  // One buffer, one write_all: a frame must never interleave with another
+  // thread's frame at the fd level, and small header-only writes would
+  // defeat Nagle-less local sockets anyway.
+  std::vector<std::uint8_t> wire(sizeof(header) + frame.payload.size());
+  std::memcpy(wire.data(), &header, sizeof(header));
+  if (!frame.payload.empty()) {
+    std::memcpy(wire.data() + sizeof(header), frame.payload.data(),
+                frame.payload.size());
+  }
+  stream.write_all(wire.data(), wire.size());
+}
+
+Frame read_frame(Stream& stream) {
+  FrameHeader header;
+  stream.read_exact(&header, sizeof(header));
+  if (header.magic != kFrameMagic) {
+    throw ProtocolError("read_frame: bad magic (not a solver-service frame)");
+  }
+  if (header.type < static_cast<std::uint32_t>(FrameType::solve_request) ||
+      header.type > static_cast<std::uint32_t>(FrameType::pong)) {
+    throw ProtocolError("read_frame: unknown frame type " +
+                        std::to_string(header.type));
+  }
+  // Validate before allocating: a corrupted length must produce a clear
+  // error, never a multi-gigabyte resize.
+  if (header.length > kMaxFramePayload) {
+    throw ProtocolError("read_frame: declared payload of " +
+                        std::to_string(header.length) +
+                        " bytes exceeds the 64 MiB frame cap (corrupt header?)");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header.type);
+  frame.payload.resize(static_cast<std::size_t>(header.length));
+  if (!frame.payload.empty()) {
+    stream.read_exact(frame.payload.data(), frame.payload.size());
+  }
+  return frame;
+}
+
+}  // namespace qs::service

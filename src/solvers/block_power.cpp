@@ -205,6 +205,17 @@ BlockPowerResult run_block_loop(const core::FmmpOperator& op,
     // per-pair check bit for bit.
     const IterationDriver::Verdict verdict =
         driver.observe(result.iterations, result.residual, result);
+    if (verdict == IterationDriver::Verdict::cancelled &&
+        driver.checkpointing()) {
+      // Cancellation flushes the same orthonormalised next-subspace panel
+      // the periodic checkpoint would persist, so an interrupted run
+      // resumes at this extraction.
+      std::memcpy(x.data(), y.data(), y.size() * sizeof(double));
+      panel_orthonormalize(x.data(), n, m, engine);
+      driver.write_checkpoint(result.iterations, result, x, result.iterations,
+                              static_cast<double>(m));
+      break;
+    }
     if (verdict != IterationDriver::Verdict::proceed) break;
 
     // Next subspace: the images in Ritz order, orthonormalised.  This panel

@@ -85,6 +85,14 @@ IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
     out.converged = true;
     return Verdict::converged;
   }
+  // Cooperative cancellation sits after the tolerance test: a solve that
+  // converged on the same check its deadline expired still reports success.
+  if (options_.should_stop && options_.should_stop()) {
+    QS_TRACE_INSTANT_ARG("solver.cancelled", solver, residual, iteration);
+    out.converged = false;
+    out.failure = SolverFailure::cancelled;
+    return Verdict::cancelled;
+  }
   // Stagnation: the residual has hit its numerical floor or the spectrum is
   // so clustered that progress per window is negligible.  The test is
   // window-based (best-vs-best across a whole window of checks) so that

@@ -109,6 +109,15 @@ struct IterationOptions {
   /// number and the relative residual (used by the resume tests to prove
   /// bitwise-equal trajectories, and handy for progress reporting).
   std::function<void(unsigned iteration, double residual)> on_residual;
+
+  /// Cooperative cancellation: polled at every residual check, AFTER the
+  /// tolerance test (a solve that converged on the same iteration its
+  /// deadline expired still reports success).  Returning true aborts the
+  /// solve at the next iteration boundary with failure = cancelled and a
+  /// final checkpoint flush (when checkpointing is configured) — a deadline
+  /// or client disconnect ends the solve cleanly instead of wedging it.
+  /// The hook must be cheap and thread-safe (typically an atomic load).
+  std::function<bool()> should_stop;
 };
 
 /// Outcome fields shared by every solver's result struct.
@@ -173,6 +182,7 @@ class IterationDriver {
     proceed,    ///< Keep iterating.
     converged,  ///< Residual at or below tolerance; out.converged set.
     stalled,    ///< Stall window fired; out.stalled (and maybe converged) set.
+    cancelled,  ///< should_stop() returned true; out.failure = cancelled.
   };
 
   /// One residual observation: fires the on_residual hook, tests the

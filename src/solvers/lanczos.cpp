@@ -104,8 +104,15 @@ LanczosResult run_lanczos_loop(const core::MutationModel& model,
                    std::max(std::abs(out.eigenvalue), 1e-300);
     if (!driver.guard({out.eigenvalue, out.residual}, out)) break;
     q0.assign(ritz.begin(), ritz.end());
-    if (driver.observe(cycle + 1, out.residual, out) !=
-        IterationDriver::Verdict::proceed) {
+    const IterationDriver::Verdict verdict =
+        driver.observe(cycle + 1, out.residual, out);
+    if (verdict != IterationDriver::Verdict::proceed) {
+      // Cancellation flushes the restart vector (the same state the periodic
+      // checkpoint persists) so an interrupted run resumes at this cycle.
+      if (verdict == IterationDriver::Verdict::cancelled &&
+          driver.checkpointing()) {
+        driver.write_checkpoint(cycle + 1, out, q0, out.matvec_count);
+      }
       break;
     }
     // Periodic checkpoint of the next cycle's restart vector, written only

@@ -100,7 +100,16 @@ PowerResult run_power_loop(const core::LinearOperator& op, IterationTrace trace,
       out.eigenvalue = lambda;
       out.residual =
           std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
-      if (driver.observe(it, out.residual, out) != IterationDriver::Verdict::proceed) {
+      const IterationDriver::Verdict verdict =
+          driver.observe(it, out.residual, out);
+      if (verdict != IterationDriver::Verdict::proceed) {
+        // A cancelled solve (deadline, disconnect, SIGTERM) flushes its
+        // finite pre-update iterate — the result of iteration it-1 — so a
+        // restart resumes exactly this aborted iteration.
+        if (verdict == IterationDriver::Verdict::cancelled &&
+            driver.checkpointing()) {
+          driver.write_checkpoint(it - 1, out, out.eigenvector, it - 1);
+        }
         break;
       }
     }

@@ -196,8 +196,17 @@ WEigenResult run_shifted_outer(const SymmetricWContext& ctx, std::vector<double>
       // converged verdict is deliberately *not* acted on here: the tolerance
       // test at the top of the next step ends the loop, which keeps the
       // historical outer_iterations count bit-compatible.
-      if (driver.observe(it, out.residual, out) ==
-          IterationDriver::Verdict::stalled) {
+      const IterationDriver::Verdict verdict =
+          driver.observe(it, out.residual, out);
+      if (verdict == IterationDriver::Verdict::stalled) {
+        break;
+      }
+      if (verdict == IterationDriver::Verdict::cancelled) {
+        // Cancellation flushes the current iterate and shift (the periodic
+        // checkpoint's state) so an interrupted run resumes at this step.
+        if (driver.checkpointing()) {
+          driver.write_checkpoint(it, out, x, out.inner_iterations_total, mu);
+        }
         break;
       }
       if (out.residual < rayleigh_after_residual) {

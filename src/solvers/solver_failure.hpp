@@ -21,6 +21,11 @@ enum class SolverFailure {
                ///< of iterations with finite numbers).
   non_finite,  ///< NaN/Inf detected in the iterate, eigenvalue estimate, or
                ///< residual; the returned eigenpair is garbage.
+  cancelled,   ///< Cooperative cancellation (IterationOptions::should_stop):
+               ///< a deadline passed, a client disconnected, or the process
+               ///< received a shutdown signal.  The iterate is finite but
+               ///< unconverged; with checkpointing configured the final
+               ///< state was flushed before the solver returned.
 };
 
 /// Stable identifier for logs and CLI output.
@@ -28,6 +33,8 @@ constexpr std::string_view to_string(SolverFailure failure) {
   switch (failure) {
     case SolverFailure::non_finite:
       return "non-finite";
+    case SolverFailure::cancelled:
+      return "cancelled";
     case SolverFailure::none:
       break;
   }

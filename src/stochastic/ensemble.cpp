@@ -216,18 +216,32 @@ void ReplicaEnsemble::step_sequential() {
 }
 
 void ReplicaEnsemble::run(std::uint64_t generations, std::uint64_t average_window,
-                          bool batched) {
+                          bool batched,
+                          const std::function<bool()>& should_stop) {
   require(average_window <= generations,
           "ReplicaEnsemble::run: averaging window exceeds the run length");
   const std::size_t n = model_.dimension();
   const std::size_t R = populations_.size();
   averages_.resize(R);
   for (auto& avg : averages_) avg.assign(n, 0.0);
+  generations_completed_ = 0;
+  cancelled_ = false;
 
   const std::uint64_t averaging_start = generations - average_window;
+  std::uint64_t averaged = 0;
   for (std::uint64_t g = 0; g < generations; ++g) {
+    // Cooperative cancellation at a generation boundary: the averages
+    // gathered so far stay consistent, so a SIGTERM'd run still reports
+    // (partial-window) statistics instead of discarding hours of work.
+    if (should_stop && should_stop()) {
+      generations_completed_ = g;
+      cancelled_ = true;
+      break;
+    }
     batched ? step() : step_sequential();
+    generations_completed_ = g + 1;
     if (g >= averaging_start) {
+      ++averaged;
       engine_->dispatch(R, [this, n](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           const auto counts = populations_[r].counts();
@@ -241,13 +255,13 @@ void ReplicaEnsemble::run(std::uint64_t generations, std::uint64_t average_windo
     }
   }
 
-  if (average_window == 0) {
+  if (averaged == 0) {
     for (std::size_t r = 0; r < R; ++r) {
       const auto freqs = populations_[r].frequencies();
       std::copy(freqs.begin(), freqs.end(), averages_[r].begin());
     }
   } else {
-    const double inv = 1.0 / static_cast<double>(average_window);
+    const double inv = 1.0 / static_cast<double>(averaged);
     for (auto& avg : averages_) {
       for (double& v : avg) v *= inv;
     }

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -131,9 +132,18 @@ class ReplicaEnsemble {
   /// Runs `generations` steps, time-averaging each replica's frequency
   /// vector over the last `average_window` generations (0 = keep only the
   /// final state), then makes the averages available via replica_average()
-  /// / statistics().
+  /// / statistics().  `should_stop` (optional) is polled at every
+  /// generation boundary; returning true ends the run early with
+  /// cancelled() = true — the averages over the generations completed so
+  /// far stay valid, so an interrupted run still reports statistics.
   void run(std::uint64_t generations, std::uint64_t average_window,
-           bool batched = true);
+           bool batched = true, const std::function<bool()>& should_stop = {});
+
+  /// Generations the last run() completed (== requested unless cancelled).
+  std::uint64_t generations_completed() const { return generations_completed_; }
+
+  /// True when the last run() was ended early by its should_stop hook.
+  bool cancelled() const { return cancelled_; }
 
   /// Time-averaged frequencies of replica r from the last run().
   std::span<const double> replica_average(std::size_t r) const;
@@ -163,6 +173,8 @@ class ReplicaEnsemble {
   std::vector<double> block_sums_;             // fixed-block normaliser partials
   std::vector<std::vector<double>> averages_;  // R x N time averages
   bool have_averages_ = false;
+  std::uint64_t generations_completed_ = 0;
+  bool cancelled_ = false;
 };
 
 }  // namespace qs::stochastic

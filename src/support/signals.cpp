@@ -1,0 +1,37 @@
+#include "support/signals.hpp"
+
+#include <csignal>
+
+namespace qs {
+namespace {
+
+// sig_atomic_t is the only type the standard guarantees a handler may
+// write; volatile keeps the polling loop honest without needing atomics
+// in the handler itself.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void handle_shutdown_signal(int signum) {
+  g_signal = signum;
+  // One signal asks nicely; the next one should work even if the drain
+  // wedged.  Re-arming the default disposition makes a repeated Ctrl-C /
+  // kill terminate immediately.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
+
+bool shutdown_requested() { return g_signal != 0; }
+
+int shutdown_signal() { return static_cast<int>(g_signal); }
+
+void clear_shutdown_request() {
+  g_signal = 0;
+  install_shutdown_handlers();
+}
+
+}  // namespace qs

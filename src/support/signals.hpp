@@ -1,0 +1,28 @@
+// Cooperative shutdown on SIGINT/SIGTERM.
+//
+// The handler does the only async-signal-safe thing possible: it sets a
+// flag.  Long-running code polls shutdown_requested() at its natural
+// boundaries (an iteration, a generation, an accept timeout) and winds
+// down on its own terms — flushing a final checkpoint, draining a queue —
+// instead of dying mid-write.  A second signal restores the default
+// disposition first, so a stuck process can still be killed with a second
+// Ctrl-C.
+#pragma once
+
+namespace qs {
+
+/// Installs SIGINT and SIGTERM handlers that set the shutdown flag.
+/// Idempotent; call once near the top of main().
+void install_shutdown_handlers();
+
+/// True once any handled signal arrived.  Safe to poll from any thread.
+bool shutdown_requested();
+
+/// Which signal arrived (SIGINT/SIGTERM), or 0 if none yet.
+int shutdown_signal();
+
+/// Resets the flag — for tests and for tools that handle one interruption
+/// and keep going.
+void clear_shutdown_request();
+
+}  // namespace qs

@@ -15,6 +15,18 @@
 //   * FaultInjectingCheckpointSink — a PowerOptions::checkpoint_sink that
 //     delegates to a real sink (or swallows) but throws at the k-th write.
 //
+// The solver service adds two more failure families, injected at its own
+// seams:
+//
+//   * FaultInjectingStream — wraps a service::Stream and corrupts the wire:
+//     drop (connection dies at the k-th operation), delay (operation stalls
+//     past the peer's timeout), short-read (EOF mid-frame), corrupt (bytes
+//     flip in flight) — the transport-level chaos the daemon must answer
+//     with structured errors, never a wedge;
+//   * FaultInjectingCacheStorage — wraps a service::CacheStorage; stores
+//     throw (sick disk) or silently corrupt the payload (bit rot the
+//     checksummed loader must catch and quarantine).
+//
 // The wrappers live in the library (not the test tree) so tools and benches
 // can stage chaos drills too; they have zero overhead when not engaged.
 #pragma once
@@ -22,11 +34,16 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "core/operators.hpp"
 #include "io/binary_io.hpp"
 #include "parallel/engine.hpp"
+#include "service/scenario_cache.hpp"
+#include "service/transport.hpp"
 
 namespace qs::testing {
 
@@ -114,5 +131,86 @@ class FaultInjectingEngine final : public parallel::Engine {
 std::function<void(const io::SolverCheckpoint&)> fault_injecting_checkpoint_sink(
     std::function<void(const io::SolverCheckpoint&)> delegate,
     std::size_t fail_at_write, bool fail_forever = false);
+
+/// Wraps a service::Stream and injects transport faults at configured
+/// operation indices (1-based, counted separately for reads and writes;
+/// 0 disables a fault).  Owns the inner stream.
+class FaultInjectingStream final : public service::Stream {
+ public:
+  struct Config {
+    std::size_t drop_at_read = 0;    ///< TransportError (peer died) at read k.
+    std::size_t drop_at_write = 0;   ///< TransportError at write k.
+    std::size_t delay_at_read = 0;   ///< TimeoutError (stall) at read k.
+    std::size_t short_read_at = 0;   ///< Deliver only half the bytes of read
+                                     ///< k, then report EOF (torn frame).
+    std::size_t corrupt_at_read = 0; ///< Flip bits in the bytes of read k.
+    std::size_t corrupt_at_write = 0;///< Flip bits in the bytes of write k.
+  };
+
+  FaultInjectingStream(std::unique_ptr<service::Stream> inner, Config config)
+      : inner_(std::move(inner)), config_(config) {}
+
+  void read_exact(void* data, std::size_t size) override;
+  void write_all(const void* data, std::size_t size) override;
+
+  std::size_t read_count() const { return read_count_.load(); }
+  std::size_t write_count() const { return write_count_.load(); }
+
+ private:
+  std::unique_ptr<service::Stream> inner_;
+  Config config_;
+  std::atomic<std::size_t> read_count_{0};
+  std::atomic<std::size_t> write_count_{0};
+};
+
+/// In-memory service::Stream half: what one side writes, the other reads
+/// (two of these, cross-wired via make_stream_pair, emulate a socket pair
+/// without fds — the substrate FaultInjectingStream corrupts in tests).
+class MemoryStream final : public service::Stream {
+ public:
+  void read_exact(void* data, std::size_t size) override;
+  void write_all(const void* data, std::size_t size) override;
+
+  /// Bytes written here become readable from `peer`.
+  void wire_to(MemoryStream* peer) { peer_ = peer; }
+
+ private:
+  MemoryStream* peer_ = nullptr;
+  std::vector<std::uint8_t> inbox_;
+  std::size_t read_at_ = 0;
+};
+
+/// Wraps a service::CacheStorage and injects persistence faults: stores
+/// throw at the k-th call (sick disk), or the k-th stored payload is
+/// corrupted in flight (bit rot the checksummed loader must quarantine).
+/// `inner` may be null (memory-only cache): corrupt faults then have no
+/// target and store faults still throw.
+class FaultInjectingCacheStorage final : public service::CacheStorage {
+ public:
+  struct Config {
+    std::size_t throw_at_store = 0;    ///< InjectedFault at store k (1-based).
+    bool throw_forever = false;        ///< Every store from k on throws.
+    std::size_t corrupt_at_store = 0;  ///< Store k writes flipped bytes.
+    std::size_t throw_at_load = 0;     ///< InjectedFault at load k.
+  };
+
+  FaultInjectingCacheStorage(std::unique_ptr<service::CacheStorage> inner,
+                             Config config)
+      : inner_(std::move(inner)), config_(config) {}
+
+  void store(std::uint64_t key, const std::vector<double>& payload) override;
+  std::optional<std::vector<double>> load(std::uint64_t key) override;
+  void quarantine(std::uint64_t key) noexcept override;
+
+  std::size_t store_count() const { return store_count_.load(); }
+  std::size_t quarantine_count() const { return quarantine_count_.load(); }
+
+ private:
+  std::unique_ptr<service::CacheStorage> inner_;
+  Config config_;
+  std::atomic<std::size_t> store_count_{0};
+  std::atomic<std::size_t> load_count_{0};
+  std::atomic<std::size_t> quarantine_count_{0};
+};
 
 }  // namespace qs::testing

@@ -131,6 +131,28 @@ TEST_F(IoTest, RejectsLengthMismatch) {
   EXPECT_THROW(load_vector(path("w.qs")), std::runtime_error);
 }
 
+TEST_F(IoTest, RejectsAbsurdDeclaredLengthBeforeAllocating) {
+  // A corrupted count field near 2^62 is the dangerous case: multiplying it
+  // by sizeof(double) wraps std::uint64_t, so a size check phrased as
+  // `header + count * 8 == file_size` could pass and drive a huge
+  // allocation.  The reader must reject on the count itself, before any
+  // resize.
+  save_vector(path("a.qs"), std::vector<double>(8, 1.0));
+  std::fstream file(path("a.qs"), std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(16);  // meta0 (element count) lives after magic/version/kind/checksum
+  const std::uint64_t absurd = 1ull << 62;
+  file.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  file.close();
+  try {
+    load_vector(path("a.qs"));
+    FAIL() << "absurd declared length must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absurd payload length"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(IoTest, SaveLeavesNoTemporaryBehind) {
   save_vector(path("v.qs"), std::vector<double>{1.0, 2.0, 3.0});
   EXPECT_TRUE(std::filesystem::exists(path("v.qs")));

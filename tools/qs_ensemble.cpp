@@ -211,6 +211,12 @@ int main(int argc, char** argv) {
 
     qs::TextTable table({"p", "det [G0]", "ens mean [G0]", "ens std [G0]",
                         "mean fitness", "det lambda0", "[s]"});
+    // SIGINT/SIGTERM stop the replica loop at the next generation boundary;
+    // the completed generations still produce statistics and the partial
+    // sweep is flushed to --ensemble-out before exiting nonzero.
+    qs::install_shutdown_handlers();
+    bool interrupted = false;
+    std::uint64_t interrupted_after = 0;
     std::vector<SweepPoint> points;
     for (double p : p_grid) {
       const auto model = qs::core::MutationModel::uniform(nu, p);
@@ -219,7 +225,8 @@ int main(int argc, char** argv) {
       qs::stochastic::ReplicaEnsemble ensemble(model, landscape, options,
                                                engine.get());
       qs::Timer timer;
-      ensemble.run(generations, window, batched);
+      ensemble.run(generations, window, batched,
+                   [] { return qs::shutdown_requested(); });
       SweepPoint pt;
       pt.seconds = timer.seconds();
       pt.p = p;
@@ -232,6 +239,11 @@ int main(int argc, char** argv) {
           {pt.deterministic_master, pt.stats.master_mean, pt.stats.master_std,
            pt.stats.mean_fitness, pt.deterministic_eigenvalue, pt.seconds});
       points.push_back(std::move(pt));
+      if (ensemble.cancelled()) {
+        interrupted = true;
+        interrupted_after = ensemble.generations_completed();
+        break;
+      }
     }
     table.print(std::cout);
     if (p_grid.size() > 1) {
@@ -252,6 +264,12 @@ int main(int argc, char** argv) {
     m.set_value("generations", static_cast<double>(generations));
     m.set_value("sweep_points", static_cast<double>(points.size()));
     export_observability(args);
+    if (interrupted) {
+      std::cerr << "interrupted by signal after " << interrupted_after
+                << " generation(s) at p = " << points.back().p << "; the "
+                << points.size() << " completed point(s) were written\n";
+      return 130;
+    }
     return 0;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.message << "\n";

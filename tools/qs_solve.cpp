@@ -14,6 +14,7 @@
 // table as CSV and saves landscapes / solver checkpoints through the binary
 // io module.
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -99,6 +100,13 @@ struct CliError {
   std::string message;
 };
 
+/// Thrown when SIGINT/SIGTERM stopped the solve at an iteration boundary:
+/// the driver has already flushed a final checkpoint (when --checkpoint is
+/// set), so main() only has to report where the state went and exit 130.
+struct Interrupted {
+  std::string checkpoint_path;
+};
+
 /// The checkpoint/resume command-line block, parsed once and applied to
 /// whichever solver branch runs.  Every full solver supports it through the
 /// shared iteration driver; the reduced path (a direct small eigensolve,
@@ -138,12 +146,25 @@ ResilienceCli parse_resilience(const qs::ArgParser& args) {
   return cli;
 }
 
-/// Copies the shared checkpointing knobs into a solver's option block.
+/// Copies the shared checkpointing knobs into a solver's option block and
+/// arms cooperative cancellation: SIGINT/SIGTERM set a flag (see
+/// support/signals.hpp) that the iteration driver polls each convergence
+/// check, so an interrupted run stops at an iteration boundary — flushing a
+/// final checkpoint when one is configured — instead of dying mid-write.
 void apply_resilience(const ResilienceCli& cli, qs::solvers::IterationOptions& opts) {
   if (!cli.checkpoint_path.empty()) {
     opts.checkpoint_path = cli.checkpoint_path;
     opts.checkpoint_every = cli.checkpoint_every;
     opts.checkpoint_every_seconds = cli.checkpoint_every_seconds;
+  }
+  opts.should_stop = [] { return qs::shutdown_requested(); };
+}
+
+/// Converts a cancelled solver result into the Interrupted exit path.
+void check_interrupted(qs::solvers::SolverFailure failure,
+                       const ResilienceCli& cli) {
+  if (failure == qs::solvers::SolverFailure::cancelled) {
+    throw Interrupted{cli.checkpoint_path};
   }
 }
 
@@ -341,6 +362,7 @@ int run(const qs::ArgParser& args) {
   unsigned iterations = 0;
   double residual = 0.0;
   const ResilienceCli resilience = parse_resilience(args);
+  qs::install_shutdown_handlers();
   qs::Timer timer;
 
   if (args.has("block-size") || solver == "block") {
@@ -355,6 +377,7 @@ int run(const qs::ArgParser& args) {
                              model, landscape, *resilience.resume, bopts)
                        : qs::solvers::top_k_spectrum(model, landscape, bopts);
     warn_checkpoint_failures(r.checkpoint_failures);
+    check_interrupted(r.failure, resilience);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("block solver failed: ") +
                      std::string(qs::solvers::to_string(r.failure))};
@@ -384,6 +407,7 @@ int run(const qs::ArgParser& args) {
     apply_resilience(resilience, opts);
     if (resilience.resume) opts.resume = &*resilience.resume;
     const auto r = qs::solvers::solve(model, landscape, opts);
+    check_interrupted(r.failure, resilience);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("solver failed: ") +
                      std::string(qs::solvers::to_string(r.failure)) +
@@ -406,6 +430,7 @@ int run(const qs::ArgParser& args) {
                              model, landscape, *resilience.resume, opts)
                        : qs::solvers::lanczos_dominant_w(model, landscape, {}, opts);
     warn_checkpoint_failures(r.checkpoint_failures);
+    check_interrupted(r.failure, resilience);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("solver failed: ") +
                      std::string(qs::solvers::to_string(r.failure))};
@@ -425,6 +450,7 @@ int run(const qs::ArgParser& args) {
                              model, landscape, *resilience.resume, opts)
                        : qs::solvers::arnoldi_dominant_w(model, landscape, {}, opts);
     warn_checkpoint_failures(r.checkpoint_failures);
+    check_interrupted(r.failure, resilience);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("solver failed: ") +
                      std::string(qs::solvers::to_string(r.failure))};
@@ -445,6 +471,7 @@ int run(const qs::ArgParser& args) {
                        : qs::solvers::rayleigh_quotient_iteration_w(model, landscape,
                                                                     {}, opts);
     warn_checkpoint_failures(r.checkpoint_failures);
+    check_interrupted(r.failure, resilience);
     if (r.failure != qs::solvers::SolverFailure::none) {
       throw CliError{std::string("solver failed: ") +
                      std::string(qs::solvers::to_string(r.failure))};
@@ -528,6 +555,16 @@ int run(const qs::ArgParser& args) {
 int main(int argc, char** argv) {
   try {
     return run(qs::ArgParser(argc, argv));
+  } catch (const Interrupted& e) {
+    std::cerr << "interrupted by signal "
+              << (qs::shutdown_signal() == SIGTERM ? "SIGTERM" : "SIGINT")
+              << "; the solve stopped at an iteration boundary";
+    if (!e.checkpoint_path.empty()) {
+      std::cerr << " and flushed a final checkpoint to " << e.checkpoint_path
+                << " (restart with --resume " << e.checkpoint_path << ")";
+    }
+    std::cerr << "\n";
+    return 130;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.message << "\n";
     return 2;

@@ -156,21 +156,32 @@ bool retryable(StatusCode code) {
   return code == StatusCode::rejected_overload || code == StatusCode::shutting_down;
 }
 
-std::uint64_t scenario_key(const SolveRequest& request) {
-  std::uint64_t hash = kFnvOffset;
-  hash_value(hash, request.nu);
-  hash_value(hash, static_cast<std::uint32_t>(request.landscape));
-  hash_value(hash, request.param0);
-  hash_value(hash, request.param1);
+std::vector<std::uint8_t> scenario_fingerprint(const SolveRequest& request) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(48);
+  Writer w(bytes);
+  w.put(request.nu);
+  w.put(static_cast<std::uint32_t>(request.landscape));
+  w.put(request.param0);
+  w.put(request.param1);
   // The seed only matters for the random landscape; folding it in always
   // would make single-peak requests with cosmetically different seeds miss
   // the cache for the same computation.
   if (request.landscape == LandscapeKind::random) {
-    hash_value(hash, request.seed);
+    w.put(request.seed);
   }
-  hash_value(hash, request.p);
-  hash_value(hash, request.tolerance);
-  hash_value(hash, request.max_iterations);
+  w.put(request.p);
+  w.put(request.tolerance);
+  w.put(request.max_iterations);
+  return bytes;
+}
+
+std::uint64_t scenario_key(const SolveRequest& request) {
+  // FNV-1a is byte-sequential, so hashing the fingerprint is identical to
+  // hashing the fields one by one — the key IS the hash of the witness.
+  const std::vector<std::uint8_t> bytes = scenario_fingerprint(request);
+  std::uint64_t hash = kFnvOffset;
+  hash_bytes(hash, bytes.data(), bytes.size());
   return hash;
 }
 

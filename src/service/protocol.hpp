@@ -10,8 +10,11 @@
 //
 //   scenario_key — FNV-1a64 over every field that determines the answer
 //                  (nu, landscape kind + params + seed, p, tolerance,
-//                  iteration cap).  Cache key; two requests with equal keys
-//                  are the same computation and dedupe to one solve.
+//                  iteration cap).  Cache/dedupe *index* only: a 64-bit
+//                  hash is not proof of equality, so every consumer pairs
+//                  it with scenario_fingerprint — the canonical bytes the
+//                  key hashes — and verifies byte equality before treating
+//                  two requests as the same computation.
 //   batch_key    — FNV-1a64 over (nu, p) only: requests sharing a mutation
 //                  model Q coalesce into one panel batch and ride
 //                  analysis::sweep_landscape_family (W_j = Q F_j, one
@@ -96,9 +99,17 @@ struct SolveReply {
                                   ///< missed); 0 when no deadline was set.
 };
 
-/// FNV-1a64 content hash of everything that determines the answer.  Equal
-/// keys == identical computation (cache / dedupe key).
+/// FNV-1a64 content hash of everything that determines the answer — the
+/// cache/dedupe index.  Equal keys are only *probably* the same
+/// computation; confirm with scenario_fingerprint before serving one
+/// scenario's answer for another.
 std::uint64_t scenario_key(const SolveRequest& request);
+
+/// Canonical little-endian encoding of exactly the fields scenario_key
+/// hashes.  Byte equality of fingerprints == identical computation; this is
+/// the collision-proof witness stored beside every cache entry and checked
+/// on every hit and in-batch dedupe.
+std::vector<std::uint8_t> scenario_fingerprint(const SolveRequest& request);
 
 /// FNV-1a64 over (nu, p): requests sharing a mutation model coalesce.
 std::uint64_t batch_key(const SolveRequest& request);

@@ -1,5 +1,7 @@
 #include "service/scenario_cache.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "io/binary_io.hpp"
@@ -7,6 +9,19 @@
 
 namespace qs::service {
 namespace {
+
+/// A double read from disk is data, not a trusted size: NaN, negative,
+/// fractional, or out-of-range values must throw (-> quarantine) before any
+/// cast — a static_cast of such a value to an integer is undefined
+/// behavior, and the binary_io checksum does not guard against a
+/// validly-checksummed bad file.
+std::size_t checked_count(double value, double ceiling, const char* what) {
+  if (!(value >= 0.0) || value != std::floor(value) || value > ceiling) {
+    throw std::runtime_error(std::string("scenario cache entry: invalid ") +
+                             what);
+  }
+  return static_cast<std::size_t>(value);
+}
 
 std::string hex_key(std::uint64_t key) {
   static constexpr char digits[] = "0123456789abcdef";
@@ -21,30 +36,55 @@ std::string hex_key(std::uint64_t key) {
 }  // namespace
 
 std::vector<double> pack_cache_entry(const CacheEntry& entry) {
+  const std::size_t fp_doubles = (entry.fingerprint.size() + 7) / 8;
   std::vector<double> payload;
-  payload.reserve(4 + entry.class_concentrations.size());
+  payload.reserve(5 + entry.class_concentrations.size() + fp_doubles);
   payload.push_back(entry.eigenvalue);
   payload.push_back(entry.residual);
   payload.push_back(static_cast<double>(entry.iterations));
   payload.push_back(static_cast<double>(entry.class_concentrations.size()));
   payload.insert(payload.end(), entry.class_concentrations.begin(),
                  entry.class_concentrations.end());
+  payload.push_back(static_cast<double>(entry.fingerprint.size()));
+  const std::size_t at = payload.size();
+  payload.resize(at + fp_doubles, 0.0);
+  if (!entry.fingerprint.empty()) {
+    std::memcpy(payload.data() + at, entry.fingerprint.data(),
+                entry.fingerprint.size());
+  }
   return payload;
 }
 
 CacheEntry unpack_cache_entry(const std::vector<double>& payload) {
-  if (payload.size() < 4) {
+  if (payload.size() < 5) {
     throw std::runtime_error("scenario cache entry too short");
   }
-  const auto count = static_cast<std::size_t>(payload[3]);
-  if (payload.size() != 4 + count) {
+  const std::size_t count = checked_count(
+      payload[3], static_cast<double>(payload.size()), "concentration count");
+  if (payload.size() < 5 + count) {
+    throw std::runtime_error("scenario cache entry length mismatch");
+  }
+  const std::size_t fp_at = 4 + count;
+  const std::size_t fp_bytes = checked_count(
+      payload[fp_at], static_cast<double>(payload.size()) * 8.0,
+      "fingerprint length");
+  const std::size_t fp_doubles = (fp_bytes + 7) / 8;
+  if (payload.size() != fp_at + 1 + fp_doubles) {
     throw std::runtime_error("scenario cache entry length mismatch");
   }
   CacheEntry entry;
   entry.eigenvalue = payload[0];
   entry.residual = payload[1];
-  entry.iterations = static_cast<std::uint64_t>(payload[2]);
-  entry.class_concentrations.assign(payload.begin() + 4, payload.end());
+  // 2^53: above it a double no longer represents every integer exactly, so
+  // an iteration count there is corruption, not a plausible solve.
+  entry.iterations = static_cast<std::uint64_t>(
+      checked_count(payload[2], 9007199254740992.0, "iteration count"));
+  entry.class_concentrations.assign(payload.begin() + 4,
+                                    payload.begin() + 4 + static_cast<std::ptrdiff_t>(count));
+  entry.fingerprint.resize(fp_bytes);
+  if (fp_bytes != 0) {
+    std::memcpy(entry.fingerprint.data(), payload.data() + fp_at + 1, fp_bytes);
+  }
   return entry;
 }
 
@@ -92,9 +132,15 @@ ScenarioCache::ScenarioCache(std::size_t max_entries,
   require(max_entries > 0, "ScenarioCache: max_entries must be positive");
 }
 
-std::optional<CacheEntry> ScenarioCache::lookup(std::uint64_t key) {
+std::optional<CacheEntry> ScenarioCache::lookup(
+    std::uint64_t key, const std::vector<std::uint8_t>& fingerprint) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (auto it = map_.find(key); it != map_.end()) {
+    if (!fingerprint.empty() && it->second.entry.fingerprint != fingerprint) {
+      ++stats_.collisions;
+      ++stats_.misses;
+      return std::nullopt;
+    }
     touch_locked(key);
     ++stats_.hits;
     return it->second.entry;
@@ -103,6 +149,14 @@ std::optional<CacheEntry> ScenarioCache::lookup(std::uint64_t key) {
     try {
       if (auto payload = storage_->load(key)) {
         CacheEntry entry = unpack_cache_entry(*payload);
+        if (!fingerprint.empty() && entry.fingerprint != fingerprint) {
+          // Not corruption: the entry is valid for its own scenario, it just
+          // shares our 64-bit key.  Miss (recompute overwrites it); do not
+          // promote it into the LRU under this key.
+          ++stats_.collisions;
+          ++stats_.misses;
+          return std::nullopt;
+        }
         insert_locked(key, entry);
         ++stats_.hits;
         return entry;

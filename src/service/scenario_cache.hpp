@@ -1,8 +1,11 @@
 // Crash-safe scenario cache: content-hash-keyed LRU over the checksummed
 // atomic binary_io format.
 //
-// A cache entry is the *answer* to one scenario key (protocol.hpp's
-// scenario_key hash): eigenvalue, residual, iteration count, and the
+// A cache entry is the *answer* to one scenario — indexed by protocol.hpp's
+// scenario_key hash, verified by its scenario_fingerprint (the canonical
+// bytes the key hashes, stored with the entry and required to match
+// byte-for-byte on lookup, so a 64-bit key collision is a recompute, never
+// a wrong answer): eigenvalue, residual, iteration count, and the
 // error-class concentrations, packed into one vector<double> and persisted
 // through io::save_vector — which writes to a temporary sibling and
 // rename(2)s it into place, so a crash mid-store leaves either the old
@@ -34,12 +37,17 @@
 
 namespace qs::service {
 
-/// The cached answer for one scenario.
+/// The cached answer for one scenario, plus the canonical scenario
+/// fingerprint it answers (protocol.hpp's scenario_fingerprint).  The
+/// 64-bit key is only an index; the fingerprint is the equality witness —
+/// a lookup that supplies one is served only on byte-exact match, so a
+/// hash collision costs a recompute, never a wrong answer.
 struct CacheEntry {
   double eigenvalue = 0.0;
   double residual = 0.0;
   std::uint64_t iterations = 0;
   std::vector<double> class_concentrations;
+  std::vector<std::uint8_t> fingerprint;
 };
 
 /// Counters for telemetry and the fault-injection assertions.
@@ -51,6 +59,8 @@ struct CacheStats {
                                      ///< in memory; answer still served).
   std::uint64_t quarantined = 0;     ///< Corrupt entries renamed aside.
   std::uint64_t evictions = 0;       ///< Memory-tier LRU evictions.
+  std::uint64_t collisions = 0;      ///< Key hits whose fingerprint differed
+                                     ///< (reported as misses, recomputed).
 };
 
 /// Durable tier under the LRU.  Implementations must be safe to call from
@@ -101,7 +111,13 @@ class ScenarioCache {
 
   /// Memory LRU first, then the backend (a disk hit is promoted into the
   /// LRU).  A corrupt backend entry is quarantined and reported as a miss.
-  std::optional<CacheEntry> lookup(std::uint64_t key);
+  /// A non-empty `fingerprint` must match the stored entry's byte-for-byte,
+  /// else the hit is a key collision: counted and reported as a miss (the
+  /// colliding disk entry is left in place — it is valid for its own
+  /// scenario — and simply overwritten by the recompute's store).  An empty
+  /// fingerprint skips the check (trusted callers / tests).
+  std::optional<CacheEntry> lookup(std::uint64_t key,
+                                   const std::vector<std::uint8_t>& fingerprint = {});
 
   /// Inserts into the LRU and writes through to the backend.  A backend
   /// failure is absorbed (counted in store_failures): the answer was
@@ -129,11 +145,14 @@ class ScenarioCache {
 };
 
 /// Packing between CacheEntry and the flat payload binary_io stores:
-/// [eigenvalue, residual, iterations, count, Gamma_0..Gamma_count-1].
+/// [eigenvalue, residual, iterations, count, Gamma_0..Gamma_count-1,
+///  fingerprint_bytes, fingerprint packed 8 bytes per double (zero-padded)].
 std::vector<double> pack_cache_entry(const CacheEntry& entry);
 
 /// Throws std::runtime_error on a structurally invalid payload (too short,
-/// count mismatch) — FsCacheStorage surfaces that as corruption.
+/// count mismatch, or a length/count field that is not a finite
+/// non-negative in-range integer — doubles read from disk are data, never
+/// trusted sizes) — FsCacheStorage surfaces that as corruption.
 CacheEntry unpack_cache_entry(const std::vector<double>& payload);
 
 }  // namespace qs::service

@@ -8,13 +8,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <unordered_map>
 
 #include "analysis/error_classes.hpp"
 #include "analysis/sweep.hpp"
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
 #include "obs/metrics.hpp"
+#include "support/signals.hpp"
 #include "support/timer.hpp"
 
 namespace qs::service {
@@ -88,6 +88,7 @@ std::future<SolveReply> SolverService::submit(
   Pending pending;
   pending.request = request;
   pending.key = scenario_key(request);
+  pending.fingerprint = scenario_fingerprint(request);
   if (request.deadline_ms != 0) {
     pending.deadline_ns = monotonic_ns() + request.deadline_ms * 1000000ull;
   }
@@ -139,6 +140,7 @@ void SolverService::shutdown() {
     rec.set_value("service.cache.hits", static_cast<double>(cs.hits));
     rec.set_value("service.cache.misses", static_cast<double>(cs.misses));
     rec.set_value("service.cache.quarantined", static_cast<double>(cs.quarantined));
+    rec.set_value("service.cache.collisions", static_cast<double>(cs.collisions));
     rec.set_value("service.completed", static_cast<double>(completed_.load()));
   });
 }
@@ -229,7 +231,7 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
               width);
       continue;
     }
-    if (auto hit = cache_->lookup(p.key)) {
+    if (auto hit = cache_->lookup(p.key, p.fingerprint)) {
       SolveReply reply = make_reply(StatusCode::ok);
       reply.eigenvalue = hit->eigenvalue;
       reply.residual = hit->residual;
@@ -261,14 +263,27 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
     to_solve = std::move(rest);
 
     // Dedupe identical scenarios: one panel column answers them all.
+    // Identity is the canonical fingerprint, not the 64-bit key — a hash
+    // collision may cost a duplicate column, never merge two different
+    // scenarios onto one answer.  Linear scan: the group is at most
+    // max_batch wide.
     std::vector<const SolveRequest*> scenarios;
-    std::unordered_map<std::uint64_t, std::size_t> column_of;
+    std::vector<const std::vector<std::uint8_t>*> column_fingerprints;
     std::vector<std::size_t> entry_column(group.size());
     for (std::size_t i = 0; i < group.size(); ++i) {
       const Pending& pending = group[i]->value;
-      auto [it, inserted] = column_of.try_emplace(pending.key, scenarios.size());
-      if (inserted) scenarios.push_back(&pending.request);
-      entry_column[i] = it->second;
+      std::size_t col = scenarios.size();
+      for (std::size_t j = 0; j < column_fingerprints.size(); ++j) {
+        if (*column_fingerprints[j] == pending.fingerprint) {
+          col = j;
+          break;
+        }
+      }
+      if (col == scenarios.size()) {
+        scenarios.push_back(&pending.request);
+        column_fingerprints.push_back(&pending.fingerprint);
+      }
+      entry_column[i] = col;
     }
 
     std::vector<core::Landscape> family;
@@ -366,6 +381,7 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
       cached.residual = reply.residual;
       cached.iterations = reply.iterations;
       cached.class_concentrations = reply.class_concentrations;
+      cached.fingerprint = pending.fingerprint;
       cache_->store(pending.key, cached);
 
       // A member whose deadline passed during the solve still missed it,
@@ -392,6 +408,12 @@ SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::start() {
   if (running_.load()) return;
+  // A client may close its socket at any point between our liveness checks
+  // and a reply write; the write must surface as EPIPE -> TransportError
+  // (handled per connection), never as a process-killing SIGPIPE.
+  // FdStream::write_all also sends with MSG_NOSIGNAL — this covers every
+  // other fd the daemon might write.
+  ignore_sigpipe();
   service_ = std::make_unique<SolverService>(config_.service);
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);

@@ -10,11 +10,13 @@
 //     mutation model Q, so the batch solves jointly through
 //     analysis::sweep_landscape_family: the m scenarios' landscapes become
 //     the panel columns of W_j = Q F_j and every power step advances all
-//     of them in one memory sweep.  Identical scenario keys within a batch
-//     dedupe to one column.  Before solving, each scenario consults the
+//     of them in one memory sweep.  Identical scenarios within a batch
+//     (byte-verified via scenario_fingerprint, never by hash alone) dedupe
+//     to one column.  Before solving, each scenario consults the
 //     crash-safe ScenarioCache; hits reply without touching a solver, and
 //     a cached reply is bit-identical to a fresh solve of the same
-//     scenario (the cache stores the exact answer fields).
+//     scenario (the cache stores the exact answer fields and serves them
+//     only on a fingerprint match).
 //
 //     Failure is data, not control flow: deadlines cancel the batch
 //     cooperatively through FamilyOptions::should_stop (DEADLINE_EXCEEDED),
@@ -119,7 +121,8 @@ class SolverService {
  private:
   struct Pending {
     SolveRequest request;
-    std::uint64_t key = 0;             // scenario_key(request)
+    std::uint64_t key = 0;             // scenario_key(request): index only
+    std::vector<std::uint8_t> fingerprint;  // equality witness for key
     std::uint64_t deadline_ns = 0;     // absolute monotonic deadline, 0 = none
     std::shared_ptr<std::atomic<bool>> alive;
     std::shared_ptr<std::promise<SolveReply>> promise;

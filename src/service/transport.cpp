@@ -4,8 +4,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace qs::service {
 namespace {
@@ -24,11 +26,15 @@ static_assert(sizeof(FrameHeader) == 16, "wire header layout");
 /// here) — but a shutdown-minded caller still regains control at the next
 /// chunk boundary because the poll deadline is short.
 void wait_ready(int fd, short events, unsigned timeout_ms, const char* what) {
+  // timeout_ms is nonzero by FdStream's constructor contract — there is no
+  // infinite-poll mode, so a stalled peer can never pin a thread forever.
   pollfd pfd{};
   pfd.fd = fd;
   pfd.events = events;
+  const int wait_ms = static_cast<int>(
+      std::min<unsigned>(timeout_ms, std::numeric_limits<int>::max()));
   for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms));
+    const int rc = ::poll(&pfd, 1, wait_ms);
     if (rc > 0) {
       if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
         throw TransportError(std::string(what) + ": socket error");
@@ -51,6 +57,13 @@ void wait_ready(int fd, short events, unsigned timeout_ms, const char* what) {
 FdStream::FdStream(int fd, unsigned timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {
   if (fd_ < 0) {
     throw TransportError("FdStream: invalid file descriptor");
+  }
+  if (timeout_ms_ == 0) {
+    // A zero timeout would mean an unbounded poll: one stalled peer could
+    // pin a connection thread (and hang SocketServer::stop at the join).
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("FdStream: timeout_ms must be nonzero");
   }
 }
 
@@ -82,7 +95,15 @@ void FdStream::write_all(const void* data, std::size_t size) {
   std::size_t done = 0;
   while (done < size) {
     wait_ready(fd_, POLLOUT, timeout_ms_, "write");
-    const ssize_t n = ::write(fd_, in + done, size - done);
+    // MSG_NOSIGNAL: a peer that hung up between our liveness checks and
+    // this write must surface as EPIPE -> TransportError on this one
+    // stream, never as a process-killing SIGPIPE.
+    ssize_t n = ::send(fd_, in + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      // Non-socket fd (pipe): send(2) does not apply; the daemon also
+      // ignores SIGPIPE process-wide, so EPIPE still comes back as an error.
+      n = ::write(fd_, in + done, size - done);
+    }
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN) continue;
       throw TransportError(std::string("write: ") + std::strerror(errno));

@@ -12,7 +12,10 @@
 // draining (or stops sending mid-frame) costs the calling thread at most
 // the timeout, never a wedge.  TimeoutError derives from TransportError so
 // callers can distinguish "slow peer" from "broken peer" when deciding to
-// retry.
+// retry.  Writes use send(2) with MSG_NOSIGNAL: a peer that hung up makes
+// the write fail with EPIPE -> TransportError instead of raising a
+// process-killing SIGPIPE (the daemon additionally ignores SIGPIPE at
+// startup via qs::ignore_sigpipe for non-socket fds).
 //
 // The Stream interface exists so tests can interpose fault injection
 // (testing/fault_injection: drop, delay, short-read, corrupt) between the
@@ -65,8 +68,10 @@ class Stream {
 /// gated by poll(2) with the configured timeout.
 class FdStream final : public Stream {
  public:
-  /// Takes ownership of `fd`.  `timeout_ms` bounds each read/write chunk;
-  /// 0 means wait forever (tests only — services always set a timeout).
+  /// Takes ownership of `fd`.  `timeout_ms` bounds each read/write chunk
+  /// and must be nonzero — there is no wait-forever mode (an unbounded poll
+  /// would let one stalled peer pin a thread and hang server shutdown).
+  /// Throws TransportError (closing `fd`) on a zero timeout.
   explicit FdStream(int fd, unsigned timeout_ms = 5000);
   ~FdStream() override;
 
@@ -78,7 +83,12 @@ class FdStream final : public Stream {
 
   int fd() const { return fd_; }
   unsigned timeout_ms() const { return timeout_ms_; }
-  void set_timeout_ms(unsigned timeout_ms) { timeout_ms_ = timeout_ms; }
+  void set_timeout_ms(unsigned timeout_ms) {
+    if (timeout_ms == 0) {
+      throw TransportError("FdStream: timeout_ms must be nonzero");
+    }
+    timeout_ms_ = timeout_ms;
+  }
 
   /// Non-blocking liveness probe: true once the peer has hung up (POLLHUP /
   /// POLLERR, or a pending EOF).  The server polls this while a request

@@ -25,6 +25,8 @@ void install_shutdown_handlers() {
   std::signal(SIGTERM, handle_shutdown_signal);
 }
 
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
 bool shutdown_requested() { return g_signal != 0; }
 
 int shutdown_signal() { return static_cast<int>(g_signal); }

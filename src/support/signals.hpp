@@ -15,6 +15,12 @@ namespace qs {
 /// Idempotent; call once near the top of main().
 void install_shutdown_handlers();
 
+/// Ignores SIGPIPE process-wide so writing to a peer that already hung up
+/// fails with EPIPE (a catchable error on the one affected connection)
+/// instead of terminating the process.  Idempotent; any long-lived process
+/// that writes to sockets or pipes it does not control should call this.
+void ignore_sigpipe();
+
 /// True once any handled signal arrived.  Safe to poll from any thread.
 bool shutdown_requested();
 

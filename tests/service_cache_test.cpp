@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "testing/fault_injection.hpp"
 
@@ -41,6 +43,7 @@ CacheEntry sample_entry(double eigenvalue = 7.5) {
   entry.residual = 1.5e-12;
   entry.iterations = 321;
   entry.class_concentrations = {0.625, 0.25, 0.125};
+  entry.fingerprint = {0xde, 0xad, 0xbe, 0xef, 0x01};
   return entry;
 }
 
@@ -52,11 +55,17 @@ void expect_bit_identical(const CacheEntry& a, const CacheEntry& b) {
   EXPECT_EQ(std::memcmp(a.class_concentrations.data(), b.class_concentrations.data(),
                         a.class_concentrations.size() * sizeof(double)),
             0);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
 }
 
 TEST(CacheEntryPacking, RoundTripsBitExactly) {
   const CacheEntry entry = sample_entry();
   expect_bit_identical(entry, unpack_cache_entry(pack_cache_entry(entry)));
+
+  CacheEntry no_fingerprint = sample_entry();
+  no_fingerprint.fingerprint.clear();
+  expect_bit_identical(no_fingerprint,
+                       unpack_cache_entry(pack_cache_entry(no_fingerprint)));
 }
 
 TEST(CacheEntryPacking, StructurallyInvalidPayloadsThrow) {
@@ -64,6 +73,62 @@ TEST(CacheEntryPacking, StructurallyInvalidPayloadsThrow) {
   std::vector<double> bad = pack_cache_entry(sample_entry());
   bad[3] = 99.0;  // declared count disagrees with actual length
   EXPECT_THROW(unpack_cache_entry(bad), std::runtime_error);
+}
+
+TEST(CacheEntryPacking, AbsurdCountFieldsThrowInsteadOfUndefinedCasts) {
+  // A validly-checksummed file can still carry garbage doubles in its count
+  // fields; casting NaN / negative / huge values to size_t is UB, so the
+  // unpacker must reject them as corruption first.
+  const std::vector<double> good = pack_cache_entry(sample_entry());
+  for (const double poison :
+       {std::nan(""), -1.0, 0.5, 1e300,
+        std::numeric_limits<double>::infinity()}) {
+    std::vector<double> bad = good;
+    bad[3] = poison;  // concentration count
+    EXPECT_THROW(unpack_cache_entry(bad), std::runtime_error);
+    bad = good;
+    bad[2] = poison;  // iteration count
+    EXPECT_THROW(unpack_cache_entry(bad), std::runtime_error);
+    bad = good;
+    bad[4 + sample_entry().class_concentrations.size()] = poison;  // fp length
+    EXPECT_THROW(unpack_cache_entry(bad), std::runtime_error);
+  }
+}
+
+TEST(ScenarioCacheMemory, FingerprintMismatchIsAMissNotAWrongAnswer) {
+  // Two different scenarios colliding on the same 64-bit key must never
+  // serve each other's answer.
+  ScenarioCache cache(8);
+  cache.store(1, sample_entry(1.0));
+  const std::vector<std::uint8_t> other_scenario = {0x99, 0x99};
+  EXPECT_FALSE(cache.lookup(1, other_scenario).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  // The rightful owner still hits.
+  auto hit = cache.lookup(1, sample_entry().fingerprint);
+  ASSERT_TRUE(hit.has_value());
+  expect_bit_identical(sample_entry(1.0), *hit);
+}
+
+TEST(ScenarioCacheFs, DiskFingerprintMismatchIsAMissAndRecomputeOverwrites) {
+  TempDir dir;
+  {
+    ScenarioCache cache(8, std::make_unique<FsCacheStorage>(dir.path()));
+    cache.store(3, sample_entry(1.0));
+  }
+  // "Restart": a colliding scenario looks up the same key with a different
+  // fingerprint — miss (counted as a collision), then its own store
+  // overwrites the file and the new fingerprint is served thereafter.
+  ScenarioCache cache(8, std::make_unique<FsCacheStorage>(dir.path()));
+  CacheEntry collider = sample_entry(2.0);
+  collider.fingerprint = {0x42};
+  EXPECT_FALSE(cache.lookup(3, collider.fingerprint).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  cache.store(3, collider);
+
+  ScenarioCache reopened(8, std::make_unique<FsCacheStorage>(dir.path()));
+  auto hit = reopened.lookup(3, collider.fingerprint);
+  ASSERT_TRUE(hit.has_value());
+  expect_bit_identical(collider, *hit);
 }
 
 TEST(ScenarioCacheMemory, LruHitsMissesAndEvicts) {

@@ -139,20 +139,33 @@ TEST(SolverService, CoalescesCompatibleRequestsIntoOnePanelBatch) {
   config.max_batch = 8;
   SolverService service(config);
 
-  // Four scenarios sharing (nu, p) but with distinct landscapes: held at
-  // the gate, they coalesce into one panel batch of width 4.
+  // Occupy the single worker with a request from a DIFFERENT (nu, p)
+  // batch: it blocks at the gate holding its own batch, so the four
+  // compatible requests below are all queued before the worker can pop
+  // again — without this the worker could grab the first one as a
+  // width-1 batch before the rest arrive.
+  SolveRequest blocker = quick_request(3.0);
+  blocker.nu = 5;
+  auto occupied = service.submit(blocker);
+  while (service.queue_stats().popped < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Four scenarios sharing (nu, p) but with distinct landscapes: queued
+  // behind the gate, they coalesce into one panel batch of width 4.
   std::vector<std::future<SolveReply>> futures;
   for (int i = 0; i < 4; ++i) {
     futures.push_back(service.submit(quick_request(6.0 + i)));
   }
   gate.release();
+  EXPECT_EQ(occupied.get().status, StatusCode::ok);
   for (auto& future : futures) {
     const SolveReply reply = future.get();
     ASSERT_EQ(reply.status, StatusCode::ok) << reply.message;
     EXPECT_EQ(reply.batch_width, 4u);
     EXPECT_FALSE(reply.cache_hit);
   }
-  EXPECT_EQ(service.queue_stats().batches, 1u);
+  EXPECT_EQ(service.queue_stats().batches, 2u);  // blocker + the coalesced 4
 }
 
 TEST(SolverService, IdenticalScenariosDedupeToOneAnswer) {
@@ -358,6 +371,31 @@ TEST(Cancellation, EnsembleRunStopsAtAGenerationBoundary) {
 }
 
 // ---------------------------------------------------------------------------
+// Transport hardening: dead peers and timeout contracts.
+// ---------------------------------------------------------------------------
+
+TEST(FdStream, WriteToAVanishedPeerThrowsInsteadOfRaisingSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdStream stream(fds[0], 1000);
+  ::close(fds[1]);  // peer hangs up before we reply
+  // Must surface as EPIPE -> TransportError; the default SIGPIPE
+  // disposition would terminate this whole test binary instead.
+  EXPECT_THROW(write_frame(stream, Frame{FrameType::pong, {}}), TransportError);
+}
+
+TEST(FdStream, ZeroTimeoutIsRejectedNotInfinite) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A zero timeout would mean an unbounded poll — one stalled peer could
+  // pin a connection thread forever and hang server shutdown.
+  EXPECT_THROW(FdStream(fds[0], 0), TransportError);  // ctor closed fds[0]
+  FdStream stream(fds[1], 1000);
+  EXPECT_THROW(stream.set_timeout_ms(0), TransportError);
+  EXPECT_EQ(stream.timeout_ms(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
 // The daemon over a real AF_UNIX socket.
 // ---------------------------------------------------------------------------
 
@@ -426,6 +464,39 @@ TEST_F(SocketServerTest, MalformedRequestPayloadGetsBadRequestNotADrop) {
   EXPECT_EQ(reply.status, StatusCode::bad_request);
 
   // Daemon still serving after the garbage.
+  Client client(socket_path_);
+  EXPECT_EQ(client.solve(quick_request()).status, StatusCode::ok);
+  server.stop();
+}
+
+TEST_F(SocketServerTest, RepliesToVanishedClientsNeverKillTheDaemon) {
+  // The hostile pattern the SIGPIPE hardening exists for: clients that send
+  // a request and close without reading the reply.  The pong and
+  // bad-request replies have no liveness check at all, so many of these
+  // writes land on a closed socket — each must fail only its own
+  // connection thread (EPIPE -> TransportError), never the daemon.
+  SocketServer server(config_);
+  server.start();
+  const auto connect_raw = [&] {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+  for (int i = 0; i < 16; ++i) {
+    {
+      FdStream fire_and_forget(connect_raw(), 1000);
+      write_frame(fire_and_forget, Frame{FrameType::ping, {}});
+      // Destructor closes the socket with the pong unread.
+    }
+    {
+      FdStream fire_and_forget(connect_raw(), 1000);
+      write_frame(fire_and_forget,
+                  Frame{FrameType::solve_request, {1, 2, 3}});  // bad request
+    }
+  }
   Client client(socket_path_);
   EXPECT_EQ(client.solve(quick_request()).status, StatusCode::ok);
   server.stop();

@@ -84,6 +84,7 @@ void print_stats(const qs::service::SocketServer& server,
             << " request(s) popped)\n"
             << "  cache:     " << cache.hits << " hit(s), " << cache.misses
             << " miss(es), " << cache.quarantined << " quarantined, "
+            << cache.collisions << " key collision(s), "
             << cache.store_failures << " store failure(s)\n";
 }
 

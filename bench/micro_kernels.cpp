@@ -12,8 +12,10 @@
 #include "core/xmvp.hpp"
 #include "parallel/engine.hpp"
 #include "support/rng.hpp"
+#include "transforms/blocked_butterfly.hpp"
 #include "transforms/butterfly.hpp"
 #include "transforms/fwht.hpp"
+#include "transforms/sv_microkernel.hpp"
 #include "transforms/panel_butterfly.hpp"
 #include "transforms/panel_microkernel.hpp"
 
@@ -176,6 +178,109 @@ void BM_PanelKernelButterflySpan(benchmark::State& state) {
   state.SetLabel(kernels.name);
 }
 BENCHMARK(BM_PanelKernelButterflySpan)->ArgsProduct({{8, 12, 16}, {0, 1}});
+
+// The bare single-vector span microkernels, per tier: arg0 = log2(span
+// length), arg1 = tier (0 scalar, 1 avx2, 2 avx512 — unavailable tiers
+// skip).  Unlike the panel kernels these are non-FMA by contract, so this
+// row also shows what bit-identity costs relative to the FMA panel span
+// kernel above.
+void BM_SvKernelButterflySpan(benchmark::State& state) {
+  const qs::transforms::SvKernels* table = nullptr;
+  switch (state.range(1)) {
+    case 0: table = &qs::transforms::scalar_sv_kernels(); break;
+    case 1: table = qs::transforms::avx2_sv_kernels(); break;
+    case 2: table = qs::transforms::avx512_sv_kernels(); break;
+  }
+  if (table == nullptr) {
+    state.SkipWithError("kernel tier not available on this build/CPU");
+    return;
+  }
+  const std::size_t cnt = std::size_t{1} << state.range(0);
+  auto lo = random_vector(cnt, 14);
+  auto hi = random_vector(cnt, 15);
+  const qs::transforms::Factor2 f = qs::transforms::Factor2::uniform(0.01);
+  for (auto _ : state) {
+    table->butterfly_span(lo.data(), hi.data(), cnt, f);
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(hi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * cnt));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_SvKernelButterflySpan)->ArgsProduct({{8, 12, 16}, {0, 1, 2}});
+
+// The fused-level sv kernels: arg0 = log2(span length), arg1 = tier as
+// above, arg2 = radix (4 = quad, 8 = oct).  Fusing two/three levels per
+// sweep halves/thirds the loads+stores per butterfly, which is where most
+// of the single-vector speedup lives.
+void BM_SvKernelFusedSpan(benchmark::State& state) {
+  const qs::transforms::SvKernels* table = nullptr;
+  switch (state.range(1)) {
+    case 0: table = &qs::transforms::scalar_sv_kernels(); break;
+    case 1: table = qs::transforms::avx2_sv_kernels(); break;
+    case 2: table = qs::transforms::avx512_sv_kernels(); break;
+  }
+  if (table == nullptr) {
+    state.SkipWithError("kernel tier not available on this build/CPU");
+    return;
+  }
+  const std::size_t cnt = std::size_t{1} << state.range(0);
+  const std::size_t radix = static_cast<std::size_t>(state.range(2));
+  auto block = random_vector(radix * cnt, 16);
+  const qs::transforms::Factor2 f0 = qs::transforms::Factor2::uniform(0.01);
+  const qs::transforms::Factor2 f1 = qs::transforms::Factor2::uniform(0.02);
+  const qs::transforms::Factor2 f2 = qs::transforms::Factor2::uniform(0.03);
+  for (auto _ : state) {
+    double* q = block.data();
+    if (radix == 4) {
+      table->butterfly_quad_span(q, q + cnt, q + 2 * cnt, q + 3 * cnt, cnt,
+                                 f0, f1);
+    } else {
+      table->butterfly_oct_span(q, cnt, cnt, f0, f1, f2);
+    }
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(radix * cnt));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_SvKernelFusedSpan)
+    ->ArgsProduct({{8, 12, 16}, {0, 1, 2}, {4, 8}});
+
+// The whole banded apply per sv tier and radix: arg0 = nu, arg1 = tier
+// (0 autovec, 1 avx2, 2 avx512, 3 automatic), arg2 = max fused radix.
+// ns/element here is the fig2 "raw speed" number the tentpole targets.
+void BM_BlockedButterflySvTier(benchmark::State& state) {
+  using qs::transforms::SvKernel;
+  const unsigned nu = static_cast<unsigned>(state.range(0));
+  qs::transforms::BlockedPlan plan;
+  switch (state.range(1)) {
+    case 0: plan.sv_kernel = SvKernel::autovec; break;
+    case 1: plan.sv_kernel = SvKernel::avx2; break;
+    case 2: plan.sv_kernel = SvKernel::avx512; break;
+    default: plan.sv_kernel = SvKernel::automatic; break;
+  }
+  plan.sv_max_radix = static_cast<unsigned>(state.range(2));
+  if (plan.sv_kernel != SvKernel::autovec &&
+      qs::transforms::resolve_sv_kernels(plan.sv_kernel) == nullptr) {
+    state.SkipWithError("kernel tier not available on this build/CPU");
+    return;
+  }
+  const auto model = qs::core::MutationModel::uniform(nu, 0.01);
+  auto v = random_vector(std::size_t{1} << nu, 17);
+  const auto& engine = qs::parallel::serial_engine();
+  for (auto _ : state) {
+    qs::transforms::apply_blocked_butterfly(v, model.site_factors(), engine,
+                                            plan);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(std::size_t{1} << nu));
+  state.SetLabel(qs::transforms::resolved_sv_kernel_name(plan.sv_kernel));
+}
+BENCHMARK(BM_BlockedButterflySvTier)
+    ->ArgsProduct({{16, 22}, {0, 1, 2, 3}, {4, 8}});
 
 void BM_XmvpApply(benchmark::State& state) {
   const unsigned nu = static_cast<unsigned>(state.range(0));

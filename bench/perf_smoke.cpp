@@ -20,7 +20,12 @@
 //   5. a panel-batched replica-ensemble generation's mutation phase (R = 8)
 //      is no slower than 1.3x the sequential per-replica products — healthy
 //      builds sit near 0.5x (i.e. ~2x faster), so this catches the batching
-//      having silently degenerated to the one-vector path.
+//      having silently degenerated to the one-vector path;
+//   6. the single-vector SIMD microkernels beat the forced-autovec banded
+//      apply by >= 1.15x (measured: ~1.7x on an AVX-512 host at nu = 16 and
+//      22) — catches the sv dispatch silently falling back to the plain
+//      loops.  Skipped gracefully on hosts where no SIMD table is available
+//      (best_sv_kernels() == nullptr): there autovec IS the best kernel.
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -31,8 +36,10 @@
 #include "obs/trace.hpp"
 #include "stochastic/ensemble.hpp"
 #include "support/rng.hpp"
+#include "transforms/blocked_butterfly.hpp"
 #include "transforms/panel_butterfly.hpp"
 #include "transforms/panel_microkernel.hpp"
+#include "transforms/sv_microkernel.hpp"
 #include "transforms/plan_autotune.hpp"
 
 int main() {
@@ -166,6 +173,37 @@ int main() {
       std::cerr << "FAIL: panel-batched ensemble mutation phase " << t_batched
                 << " s exceeds 1.3x the sequential per-replica products ("
                 << t_sequential << " s) — replica batching regressed\n";
+      ++failures;
+    }
+  }
+
+  if (transforms::best_sv_kernels() == nullptr) {
+    std::cout << "  sv microkernels     : no SIMD table on this build/CPU — "
+                 "autovec is the best kernel, check 6 skipped\n";
+  } else {
+    // Check 6: the single-vector microkernel path must actually beat the
+    // forced-autovec loops on the bare banded apply.  The threshold is
+    // deliberately tolerant (measured ~1.7x on AVX-512; required 1.15x) so
+    // only a dispatch regression — not machine noise — can trip it.
+    transforms::BlockedPlan autovec_plan;
+    autovec_plan.sv_kernel = transforms::SvKernel::autovec;
+    transforms::BlockedPlan sv_plan;  // automatic: widest available tier
+    const auto factors = model.site_factors();
+    const double t_autovec = bench::time_best_of(
+        reps, [&] { transforms::apply_blocked_butterfly(x, factors, engine,
+                                                        autovec_plan); });
+    const double t_sv = bench::time_best_of(
+        reps, [&] { transforms::apply_blocked_butterfly(x, factors, engine,
+                                                        sv_plan); });
+    const double speedup = t_autovec / t_sv;
+    std::cout << "  sv microkernels     : autovec " << t_autovec << " s, "
+              << transforms::resolved_sv_kernel_name(sv_plan.sv_kernel) << " "
+              << t_sv << " s (" << speedup << "x)\n";
+    if (speedup < 1.15) {
+      std::cerr << "FAIL: single-vector microkernel apply " << t_sv
+                << " s is less than 1.15x faster than the autovec loops ("
+                << t_autovec << " s, " << speedup
+                << "x) — sv dispatch regressed\n";
       ++failures;
     }
   }

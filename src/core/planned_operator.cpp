@@ -28,17 +28,35 @@ transforms::BlockedPlan resolve_plan(
 PlannedOperator::PlannedOperator(MutationModel model, const Landscape& landscape,
                                  const PlannedOperatorConfig& config) {
   const transforms::BlockedPlan plan = resolve_plan(model.nu(), config, report_);
+
+  // Default solves route through the serial engine instead of the classic
+  // serial path: same bit-for-bit results (the banded kernel's per-element
+  // arithmetic is identical to the classic ascending sweep, and the serial
+  // engine dispatches inline on the calling thread), but the product gets
+  // band blocking, fused scalings, and the single-vector SIMD microkernels.
+  // Restricted to the configurations where the engine path actually takes
+  // the banded kernel: per-level / descending / grouped requests keep their
+  // historical classic-path semantics.
+  const parallel::Engine* engine = config.engine;
+  if (engine == nullptr && config.kernel == EngineKernel::blocked &&
+      config.order == transforms::LevelOrder::ascending &&
+      model.kind() != MutationKind::grouped) {
+    engine = &parallel::serial_engine();
+  }
+
   op_ = std::make_unique<FmmpOperator>(std::move(model), landscape,
-                                       config.formulation, config.engine,
+                                       config.formulation, engine,
                                        config.order, config.kernel, plan);
 
-  // Provenance for the metrics snapshot: which microkernel tier the runtime
+  // Provenance for the metrics snapshot: which microkernel tiers the runtime
   // dispatch resolved to and which tiling plan the products will execute
   // with.  This is what makes BENCH_fig2.json rows comparable across hosts.
   obs::MetricsRecorder& m = obs::metrics();
   m.set_info("simd_tier", transforms::panel_kernels().name);
+  m.set_info("sv_kernel", transforms::resolved_sv_kernel_name(plan.sv_kernel));
   m.set_value("plan.tile_log2", plan.tile_log2);
   m.set_value("plan.chunk_log2", plan.chunk_log2);
+  m.set_value("plan.sv_max_radix", plan.sv_max_radix);
   m.set_value("plan.autotuned", report_.has_value() ? 1.0 : 0.0);
   if (report_.has_value() && !report_->timings.empty()) {
     m.set_value("autotune.default_seconds", report_->timings.front().seconds);

@@ -30,7 +30,13 @@ namespace qs::core {
 /// Construction-time configuration for a PlannedOperator.
 struct PlannedOperatorConfig {
   Formulation formulation = Formulation::right;
-  const parallel::Engine* engine = nullptr;  ///< null = serial.
+
+  /// Execution engine; null routes default configurations (blocked kernel,
+  /// ascending order, non-grouped model) through the serial engine so they
+  /// get the banded kernel + single-vector microkernels — bit-identical to
+  /// the classic serial sweep.  Per-level/descending/grouped configurations
+  /// keep the classic serial path when null.
+  const parallel::Engine* engine = nullptr;
   transforms::LevelOrder order = transforms::LevelOrder::ascending;
   EngineKernel kernel = EngineKernel::blocked;
 

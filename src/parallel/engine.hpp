@@ -13,24 +13,60 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
+#include <type_traits>
 
 namespace qs::parallel {
+
+/// Non-owning callable reference: a pointer to the callee plus a trampoline,
+/// so binding a lambda never heap-allocates — unlike std::function, whose
+/// small-buffer optimisation the capture lists of the banded kernels exceed,
+/// which would put an allocation on every dispatch of the solver hot path
+/// (see tests/alloc_guard_test.cpp).  Safe for the Engine interface because
+/// dispatch/reduce_partials have barrier semantics: the kernel is only ever
+/// invoked while the caller's callable is alive; backends must not retain it
+/// past the call.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              static_cast<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, static_cast<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 /// A chunk of a 1-D index space: the kernel body is invoked as
 /// body(begin, end) and must process every index in [begin, end).
 /// Passing ranges instead of single indices keeps dispatch overhead
 /// negligible next to memory-bound kernel bodies.
-using RangeKernel = std::function<void(std::size_t begin, std::size_t end)>;
+using RangeKernel = FunctionRef<void(std::size_t begin, std::size_t end)>;
 
 /// A partial reduction over a chunk of a 1-D index space: the body returns
 /// the partial sum for [begin, end).  Lets callers run arbitrary fused
 /// element-wise reductions (e.g. ||y - lambda x||^2) through the backend
 /// without materialising a scratch vector.
-using PartialKernel = std::function<double(std::size_t begin, std::size_t end)>;
+using PartialKernel = FunctionRef<double(std::size_t begin, std::size_t end)>;
 
 /// Abstract execution backend with kernel-launch semantics.
 class Engine {

@@ -12,11 +12,10 @@ namespace qs::solvers {
 namespace {
 
 // The serial fallbacks are templated on the kernel type so that when no
-// engine is configured the lambda is invoked directly — constructing a
-// parallel::RangeKernel/PartialKernel (std::function) from a lambda whose
-// captures exceed the small-buffer optimisation would heap-allocate on
-// every call, which is exactly the per-iteration allocation the hot path
-// must not perform (see tests/alloc_hooks.cpp).
+// engine is configured the lambda is invoked directly and inlined.  (The
+// engine path is allocation-free too: parallel::RangeKernel/PartialKernel
+// are non-owning FunctionRefs, not std::functions — see
+// tests/alloc_guard_test.cpp for the zero-allocation hot-path guard.)
 
 double reduce_dot(const parallel::Engine* engine, std::span<const double> a,
                   std::span<const double> b) {

@@ -25,11 +25,15 @@
 // passes than scale + butterfly + scale run separately.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "parallel/engine.hpp"
+#include "support/bits.hpp"
 #include "transforms/butterfly.hpp"
+#include "transforms/sv_microkernel.hpp"
 
 namespace qs::transforms {
 
@@ -45,6 +49,18 @@ struct BlockedPlan {
   /// 2^6 = one 512-byte burst), so high bands span at most
   /// tile_log2 - chunk_log2 levels each.
   unsigned chunk_log2 = 6;
+
+  /// Which single-vector microkernel table runs the band sweeps (see
+  /// transforms/sv_microkernel.hpp).  `automatic` picks the widest SIMD
+  /// tier the build and CPU support; `autovec` forces the historical plain
+  /// loops.  Every choice is bit-identical — the SIMD tables avoid FMA.
+  SvKernel sv_kernel = SvKernel::automatic;
+
+  /// Maximum fused radix of the microkernel sweeps: 8 fuses three levels
+  /// per pass (radix-8), 4 fuses two, 2 disables fusion.  Ignored on the
+  /// autovec path.  Bit-identity holds for every setting — fusion only
+  /// reorders independent pairs.
+  unsigned sv_max_radix = 8;
 };
 
 /// Band boundaries [0 = b_0 < b_1 < ... < b_m = nu] the plan induces: band
@@ -52,6 +68,22 @@ struct BlockedPlan {
 /// least ~8 tiles exist (parallelisable even for small nu); later bands are
 /// capped at tile_log2 - chunk_log2 levels so panels stay tile-sized.
 std::vector<unsigned> blocked_band_boundaries(unsigned nu, const BlockedPlan& plan);
+
+/// Fixed-capacity form of the band boundaries (every band spans >= 1 level,
+/// so there are at most nu + 1 <= kMaxChainLength + 1 entries).  The apply
+/// paths use this instead of the std::vector form: computing the bounds must
+/// not heap-allocate, or every matvec of the zero-allocation solver hot path
+/// would (see tests/alloc_guard_test.cpp).
+struct BandBounds {
+  std::array<unsigned, kMaxChainLength + 2> bounds;
+  std::size_t count = 0;  ///< number of valid entries in `bounds`
+
+  std::size_t bands() const { return count - 1; }
+  unsigned operator[](std::size_t i) const { return bounds[i]; }
+};
+
+/// Allocation-free equivalent of blocked_band_boundaries.
+BandBounds blocked_band_bounds(unsigned nu, const BlockedPlan& plan);
 
 /// In-place banded transform v <- (F_{nu-1} (x) ... (x) F_0) v through the
 /// engine, one dispatch per band.  Bit-identical to apply_butterfly with

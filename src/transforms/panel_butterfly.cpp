@@ -35,10 +35,18 @@ constexpr unsigned ceil_log2(std::size_t m) {
   return l;
 }
 
-/// Sub-block size (log2 doubles) for the two-stage level sweep: 2^12
+/// Sub-block size (log2 doubles) for the staged level sweep: 2^12
 /// doubles = 32 KiB, sized to stay resident in a typical 32-48 KiB L1d
 /// while the lowest butterfly levels are swept over it.
 constexpr unsigned kSubTileLog2 = 12;
+
+/// Middle-stage block size (log2 doubles) for oversized tiles: 2^17
+/// doubles = 1 MiB, sized to a typical L2.  A default-plan panel tile is
+/// at most this big already (panel_plan shrinks the tile as m grows), so
+/// the middle stage only activates for custom or autotuned plans whose
+/// tile * m outgrows L2 — there it keeps all but the top tile levels
+/// L2-resident instead of sweeping them repeatedly at L3/DRAM speed.
+constexpr unsigned kMidTileLog2 = 17;
 
 /// Sweeps butterfly levels [l0, l1) of `fs` over a contiguous block of
 /// total_d doubles organised as rows of w doubles each — level l pairs rows
@@ -79,28 +87,44 @@ void sweep_levels(const PanelKernels* kp, const Factor2* fs, std::size_t w,
   }
 }
 
-/// Two-stage sweep of levels [0, levels): the lowest levels run sub-block
-/// by sub-block on an L1-resident span, the remaining levels on the whole
-/// block (which is typically L2-sized).  Butterfly pairs of level l < k_in
-/// never cross a 2^k_in-row sub-block, and every element still sees its
-/// levels in ascending order, so the result is bit-identical to the
-/// single-stage sweep.
+/// Staged sweep of levels [0, levels): the lowest levels run sub-block by
+/// sub-block on an L1-resident span, then (for blocks past ~2x L2 — i.e.
+/// wide panels) a middle stage on L2-sized blocks, and the remaining levels
+/// on the whole block.  Butterfly pairs of level l < k never cross a
+/// 2^k-row stage block, and every element still sees its levels in
+/// ascending order, so the result is bit-identical to the single-stage
+/// sweep regardless of how many stages run.
 void sweep_levels_staged(const PanelKernels* kp, const Factor2* fs,
                          std::size_t w, double* base, std::size_t total_d,
                          unsigned levels) {
   const std::size_t sub_d = std::size_t{1} << kSubTileLog2;
-  if (total_d > 2 * sub_d && levels > 1) {
-    unsigned k_in =
-        kSubTileLog2 > ceil_log2(w) ? kSubTileLog2 - ceil_log2(w) : 1;
-    if (k_in >= levels) k_in = levels - 1;
-    const std::size_t sub = (std::size_t{1} << k_in) * w;
-    for (std::size_t j = 0; j < total_d; j += sub) {
-      sweep_levels(kp, fs, w, base + j, sub, 0, k_in);
-    }
-    sweep_levels(kp, fs, w, base, total_d, k_in, levels);
-  } else {
+  if (total_d <= 2 * sub_d || levels <= 1) {
     sweep_levels(kp, fs, w, base, total_d, 0, levels);
+    return;
   }
+  unsigned k_in = kSubTileLog2 > ceil_log2(w) ? kSubTileLog2 - ceil_log2(w) : 1;
+  if (k_in >= levels) k_in = levels - 1;
+  const std::size_t sub = (std::size_t{1} << k_in) * w;
+  const std::size_t mid_d = std::size_t{1} << kMidTileLog2;
+  if (total_d > mid_d && levels > k_in + 1) {
+    unsigned k_mid =
+        kMidTileLog2 > ceil_log2(w) ? kMidTileLog2 - ceil_log2(w) : k_in + 1;
+    if (k_mid <= k_in) k_mid = k_in + 1;
+    if (k_mid >= levels) k_mid = levels - 1;
+    const std::size_t mid = (std::size_t{1} << k_mid) * w;
+    for (std::size_t j = 0; j < total_d; j += mid) {
+      for (std::size_t jj = 0; jj < mid; jj += sub) {
+        sweep_levels(kp, fs, w, base + j + jj, sub, 0, k_in);
+      }
+      sweep_levels(kp, fs, w, base + j, mid, k_in, k_mid);
+    }
+    sweep_levels(kp, fs, w, base, total_d, k_mid, levels);
+    return;
+  }
+  for (std::size_t j = 0; j < total_d; j += sub) {
+    sweep_levels(kp, fs, w, base + j, sub, 0, k_in);
+  }
+  sweep_levels(kp, fs, w, base, total_d, k_in, levels);
 }
 
 /// How a diagonal scaling span addresses the panel.
@@ -180,8 +204,8 @@ void apply_blocked_panel_butterfly_fused(std::span<const double> x,
   }
 
   const BlockedPlan eff = panel_plan(plan, m);
-  const std::vector<unsigned> bounds = blocked_band_boundaries(nu, eff);
-  const std::size_t bands = bounds.size() - 1;
+  const BandBounds bounds = blocked_band_bounds(nu, eff);
+  const std::size_t bands = bounds.bands();
   QS_TRACE_KERNEL_TAG(kp);
 
   // Band 0: levels [0, k1) stay inside contiguous tiles of 2^k1 panel rows
@@ -337,6 +361,39 @@ void apply_blocked_panel_butterfly(std::span<double> panel, std::size_t m,
                                    const parallel::Engine& engine,
                                    const BlockedPlan& plan) {
   apply_blocked_panel_butterfly_fused(panel, panel, m, factors, {}, {}, engine, plan);
+}
+
+void apply_panel_wide_fused(std::span<const double> x, std::span<double> y,
+                            std::size_t m, std::span<const Factor2> factors,
+                            std::span<const double> pre_scale,
+                            std::span<const double> post_scale,
+                            const parallel::Engine& engine,
+                            const BlockedPlan& plan) {
+  require(m >= 1, "panel butterfly: panel width m must be >= 1");
+  // Wide panels sweep at full width — every span primitive takes an
+  // arbitrary length, and per column the per-element butterfly sequence is
+  // identical to an m <= 8 run, so results are bit-identical per column to
+  // solving each 8-column block directly.  panel_plan's width shrink (keep
+  // tile * m at the m = 8 cache footprint) carries over unchanged: on the
+  // reference host it measured best-or-tied for m = 16 and 32 at every
+  // nu in {18..22} against two alternatives that were built and rejected:
+  //   * explicit column staging (pack 8 columns at a time through a dense
+  //     scratch panel, gather/scatter fused into the first/last band):
+  //     1.6-2.4x slower at nu = 22 — 64-byte strided column windows stream
+  //     far below contiguous DRAM bandwidth;
+  //   * a width-adjusted plan (tile pre-grown so the band bounds match the
+  //     m = 8 plan, chunk shrunk to keep high-band gathers L2-sized):
+  //     within noise of the plain plan at nu >= 20, slower below — the
+  //     extra band the shrunken tile sometimes costs is cheaper than
+  //     sweeping tile levels beyond L2.
+  apply_blocked_panel_butterfly_fused(x, y, m, factors, pre_scale, post_scale,
+                                      engine, plan);
+}
+
+void apply_panel_wide(std::span<double> panel, std::size_t m,
+                      std::span<const Factor2> factors,
+                      const parallel::Engine& engine, const BlockedPlan& plan) {
+  apply_panel_wide_fused(panel, panel, m, factors, {}, {}, engine, plan);
 }
 
 void pack_panel_column(std::span<const double> column, std::span<double> panel,

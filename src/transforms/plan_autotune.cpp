@@ -115,7 +115,10 @@ AutotuneReport autotune_blocked_plan(unsigned nu, const parallel::Engine& engine
   const auto add = [&candidates](BlockedPlan p) {
     if (p.tile_log2 <= p.chunk_log2) p.tile_log2 = p.chunk_log2 + 1;
     for (const BlockedPlan& q : candidates) {
-      if (q.tile_log2 == p.tile_log2 && q.chunk_log2 == p.chunk_log2) return;
+      if (q.tile_log2 == p.tile_log2 && q.chunk_log2 == p.chunk_log2 &&
+          q.sv_kernel == p.sv_kernel && q.sv_max_radix == p.sv_max_radix) {
+        return;
+      }
     }
     candidates.push_back(p);
   };
@@ -145,14 +148,26 @@ AutotuneReport autotune_blocked_plan(unsigned nu, const parallel::Engine& engine
     panel[i] = 1.0 + 1e-6 * static_cast<double>(i % 97);
   }
 
+  // For m == 1 measure the *single-vector* banded kernel — the one default
+  // solves and the Krylov cycles actually run, and the only consumer of the
+  // plan's sv_kernel/sv_max_radix fields; panels keep the panel workload.
+  const auto measure = [&](const BlockedPlan& plan) {
+    // Warm-up rep first (first-touch, frequency ramp), then best-of-repeats.
+    if (m == 1) {
+      apply_blocked_butterfly(panel, factors, engine, plan);
+      return qs::best_of_seconds(
+          repeats, [&] { apply_blocked_butterfly(panel, factors, engine, plan); });
+    }
+    apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
+    return qs::best_of_seconds(repeats, [&] {
+      apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
+    });
+  };
+
   QS_TRACE_SPAN_ARG("autotune.measure", autotune, static_cast<int>(nu));
   report.timings.reserve(candidates.size());
   for (const BlockedPlan& plan : candidates) {
-    // Warm-up rep first (first-touch, frequency ramp), then best-of-repeats.
-    apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
-    const double best = qs::best_of_seconds(repeats, [&] {
-      apply_blocked_panel_butterfly(panel, m, factors, engine, plan);
-    });
+    const double best = measure(plan);
     report.timings.push_back({plan, best});
     // arg encodes the candidate: tile_log2 * 100 + chunk_log2.
     QS_TRACE_INSTANT_ARG("autotune.candidate", autotune, best,
@@ -170,7 +185,50 @@ AutotuneReport autotune_blocked_plan(unsigned nu, const parallel::Engine& engine
       best_seconds = t.seconds;
     }
   }
-  if (best_seconds >= 0.99 * default_seconds) report.best = def;
+  if (best_seconds >= 0.99 * default_seconds) {
+    report.best = def;
+    best_seconds = default_seconds;
+  }
+
+  // Stage 2 (single-vector only): with tile/chunk pinned at the stage-1
+  // winner, measure the microkernel tier x fused-radix matrix the build and
+  // CPU support.  Stage 1 ran (automatic, radix 8); a specific combination
+  // is adopted only when it beats that pick by the same ~1% hysteresis.
+  // Every combination is bit-identical, so this tunes speed only — but the
+  // rows land in the report either way, making tier selection auditable
+  // (including the case where the autovec fallback wins).
+  if (m == 1) {
+    std::vector<BlockedPlan> sv_candidates;
+    BlockedPlan base = report.best;
+    base.sv_kernel = SvKernel::autovec;
+    base.sv_max_radix = 8;
+    sv_candidates.push_back(base);
+    if (avx2_sv_kernels() != nullptr) {
+      base.sv_kernel = SvKernel::avx2;
+      base.sv_max_radix = 4;
+      sv_candidates.push_back(base);
+      base.sv_max_radix = 8;
+      sv_candidates.push_back(base);
+    }
+    if (avx512_sv_kernels() != nullptr) {
+      base.sv_kernel = SvKernel::avx512;
+      base.sv_max_radix = 4;
+      sv_candidates.push_back(base);
+      base.sv_max_radix = 8;
+      sv_candidates.push_back(base);
+    }
+    for (const BlockedPlan& plan : sv_candidates) {
+      const double best = measure(plan);
+      report.timings.push_back({plan, best});
+      QS_TRACE_INSTANT_ARG("autotune.sv_candidate", autotune, best,
+                           static_cast<int>(plan.sv_kernel) * 100 +
+                               static_cast<int>(plan.sv_max_radix));
+      if (best < 0.99 * best_seconds) {
+        report.best = plan;
+        best_seconds = best;
+      }
+    }
+  }
   return report;
 }
 

@@ -62,7 +62,16 @@ struct AutotuneReport {
 /// size 2^nu with panel width m, through `engine`, and returns the fastest.
 /// The default plan is candidate 0 and is kept unless a candidate beats it
 /// by more than ~1% (so noise can not make the tuned plan a regression).
-/// Requires 1 <= nu <= kMaxChainLength and m >= 1.
+///
+/// For m == 1 the workload is the *single-vector* banded kernel (the one
+/// default solves run), and a second stage measures the single-vector
+/// microkernel tier x fused radix — {autovec, sv-avx2, sv-avx512} x
+/// {radix-4, radix-8}, restricted to tiers this build/CPU supports — with
+/// tile/chunk pinned at the stage-1 winner.  A tier/radix choice is adopted
+/// only when it beats the stage-1 pick (automatic tier, radix 8) by more
+/// than ~1%; every measured combination lands in the report's timings, so
+/// tier selection is auditable.  All combinations are bit-identical — this
+/// stage tunes speed only.  Requires 1 <= nu <= kMaxChainLength and m >= 1.
 AutotuneReport autotune_blocked_plan(unsigned nu, const parallel::Engine& engine,
                                      std::size_t m = 1, unsigned repeats = 3);
 

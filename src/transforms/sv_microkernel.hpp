@@ -1,0 +1,105 @@
+// Single-vector SIMD microkernels for the banded butterfly.
+//
+// The panel (multi-vector) path has had hand-written AVX2/AVX-512 kernels
+// since the panel layer landed; the *single-vector* banded kernel — the one
+// every default solve(), Lanczos/Arnoldi cycle, and service request actually
+// runs — leaned on compiler autovectorisation.  This module closes that gap
+// with a second, separate kernel table specialised for contiguous
+// single-vector spans.
+//
+// The contract differs from transforms/panel_microkernel in one crucial way:
+// these kernels are BIT-IDENTICAL to the plain C++ banded loops.  The panel
+// kernels fuse each a*x + b*y into one FMA (one rounding); a solver that
+// switches kernel tier there changes results by a few ULP, which the panel
+// tests document.  The single-vector kernel sits underneath every default
+// solve, so a tier switch must not move a single bit: the SIMD
+// implementations here use separate vmulpd + vaddpd (two roundings, exactly
+// the scalar expression m00*t1 + m01*t2), their translation units are built
+// WITHOUT -mfma and with -ffp-contract=off, and the runtime probes require
+// only avx2 / avx512f (not fma).  scalar == avx2 == avx512 bitwise, and all
+// three equal the historical autovectorised loops.
+//
+//   * scalar: always compiled, the reference table;
+//   * AVX2: compiled only when the build probe passed (QS_ENABLE_SIMD, see
+//     the top-level CMakeLists), selected only when the CPU reports avx2;
+//   * AVX-512F: same contract, preferred over AVX2 when available.
+//
+// The radix-4/radix-8 kernels fuse two/three butterfly levels per sweep —
+// per element the same ascending per-level 2x2 applications, so fusion (and
+// the L1 sub-tile staging built on it in blocked_butterfly.cpp) preserves
+// bit-identity; only the traversal order of *independent* pairs changes.
+#pragma once
+
+#include <cstddef>
+
+#include "transforms/butterfly.hpp"
+
+namespace qs::transforms {
+
+/// Table of contiguous-span kernels the single-vector banded butterfly is
+/// built from.  Same shapes as PanelKernels' butterfly members (the banded
+/// sweep structure is shared); no broadcast-row ops — a single vector's
+/// diagonal scalings are plain element-wise products.
+struct SvKernels {
+  /// Butterfly across two contiguous spans: for i in [0, cnt),
+  /// (lo[i], hi[i]) <- (m00 lo[i] + m01 hi[i], m10 lo[i] + m11 hi[i]).
+  void (*butterfly_span)(double* lo, double* hi, std::size_t cnt, Factor2 f);
+
+  /// Two fused levels (radix-4) on four equally shaped spans: f_lo on the
+  /// pairs (r0,r1) and (r2,r3), then f_hi on (r0,r2) and (r1,r3) — the
+  /// arithmetic of two successive butterfly_span levels with one load and
+  /// one store per element.
+  void (*butterfly_quad_span)(double* r0, double* r1, double* r2, double* r3,
+                              std::size_t cnt, Factor2 f_lo, Factor2 f_hi);
+
+  /// Three fused levels (radix-8) on eight equally spaced spans (span k
+  /// starts at p + k*stride): f0 pairs (0,1)(2,3)(4,5)(6,7), then f1 pairs
+  /// (0,2)(1,3)(4,6)(5,7), then f2 pairs (0,4)(1,5)(2,6)(3,7).
+  void (*butterfly_oct_span)(double* p, std::size_t stride, std::size_t cnt,
+                             Factor2 f0, Factor2 f1, Factor2 f2);
+
+  /// y[i] = s[i] * x[i] for i in [0, cnt). x may alias y exactly.
+  void (*mul_span)(double* y, const double* x, const double* s, std::size_t cnt);
+
+  /// y[i] *= s[i] for i in [0, cnt).
+  void (*mul_span_inplace)(double* y, const double* s, std::size_t cnt);
+
+  /// Implementation name for provenance: "scalar", "avx2", or "avx512".
+  const char* name;
+};
+
+/// Which single-vector kernel a BlockedPlan requests.
+enum class SvKernel : unsigned char {
+  automatic = 0,  ///< widest SIMD table the build + CPU support, else autovec
+  autovec,        ///< the plain C++ banded loops (compiler autovectorised)
+  avx2,           ///< the 4-wide non-FMA table (autovec when unavailable)
+  avx512,         ///< the 8-wide non-FMA table (autovec when unavailable)
+};
+
+/// The requested choice's name: "automatic", "autovec", "avx2", "avx512".
+const char* to_string(SvKernel choice);
+
+/// The portable scalar table (always available; bitwise reference).
+const SvKernels& scalar_sv_kernels();
+
+/// The AVX2 table, or null when not compiled in or the CPU lacks avx2.
+const SvKernels* avx2_sv_kernels();
+
+/// The AVX-512F table, or null when not compiled in or the CPU lacks avx512f.
+const SvKernels* avx512_sv_kernels();
+
+/// The widest SIMD table the build and the running CPU support, or null
+/// when none is available — null means "run the autovec loops".
+const SvKernels* best_sv_kernels();
+
+/// Resolves a plan's requested kernel to a table: null means the autovec
+/// loops (either requested explicitly or because the requested SIMD tier is
+/// unavailable on this build/CPU — plans stay portable across hosts).
+const SvKernels* resolve_sv_kernels(SvKernel choice);
+
+/// The name of what `choice` resolves to on this build/CPU: "autovec",
+/// "avx2", or "avx512".  This is the provenance string recorded in metrics
+/// snapshots and BENCH_fig2.json.
+const char* resolved_sv_kernel_name(SvKernel choice);
+
+}  // namespace qs::transforms

@@ -1,0 +1,210 @@
+// AVX2 instantiation of the single-vector microkernels.
+//
+// This translation unit is the only one compiled with -mavx2 (see
+// src/CMakeLists.txt); it is added to the build only when the QS_ENABLE_SIMD
+// probe passed, and its table is only selected when the running CPU reports
+// avx2 — the rest of the library never executes AVX2 instructions.
+//
+// Unlike the panel kernels, these deliberately do NOT use FMA: every output
+// is a separate vmulpd/vmulpd/vaddpd, i.e. the exact two-rounding expression
+// m00*t1 + m01*t2 of the scalar banded loops.  The TU is built without
+// -mfma and with -ffp-contract=off so the compiler cannot re-fuse them; the
+// runtime probe therefore only needs avx2 (not fma), and the table is
+// bit-identical to the scalar reference and to the autovectorised loops.
+#include "transforms/sv_microkernel.hpp"
+
+#if defined(QS_HAVE_SV_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+namespace qs::transforms {
+namespace {
+
+inline __attribute__((always_inline)) __m256d muladd4(__m256d a, __m256d x,
+                                                      __m256d b, __m256d y) {
+  return _mm256_add_pd(_mm256_mul_pd(a, x), _mm256_mul_pd(b, y));
+}
+
+void sv_butterfly_span_avx2(double* lo, double* hi, std::size_t cnt, Factor2 f) {
+  const __m256d m00 = _mm256_set1_pd(f.m00);
+  const __m256d m01 = _mm256_set1_pd(f.m01);
+  const __m256d m10 = _mm256_set1_pd(f.m10);
+  const __m256d m11 = _mm256_set1_pd(f.m11);
+  std::size_t i = 0;
+  for (; i + 4 <= cnt; i += 4) {
+    const __m256d t1 = _mm256_loadu_pd(lo + i);
+    const __m256d t2 = _mm256_loadu_pd(hi + i);
+    _mm256_storeu_pd(lo + i, muladd4(m00, t1, m01, t2));
+    _mm256_storeu_pd(hi + i, muladd4(m10, t1, m11, t2));
+  }
+  for (; i < cnt; ++i) {
+    const double t1 = lo[i];
+    const double t2 = hi[i];
+    lo[i] = f.m00 * t1 + f.m01 * t2;
+    hi[i] = f.m10 * t1 + f.m11 * t2;
+  }
+}
+
+void sv_butterfly_quad_span_avx2(double* r0, double* r1, double* r2, double* r3,
+                                 std::size_t cnt, Factor2 fl, Factor2 fh) {
+  const __m256d l00 = _mm256_set1_pd(fl.m00);
+  const __m256d l01 = _mm256_set1_pd(fl.m01);
+  const __m256d l10 = _mm256_set1_pd(fl.m10);
+  const __m256d l11 = _mm256_set1_pd(fl.m11);
+  const __m256d h00 = _mm256_set1_pd(fh.m00);
+  const __m256d h01 = _mm256_set1_pd(fh.m01);
+  const __m256d h10 = _mm256_set1_pd(fh.m10);
+  const __m256d h11 = _mm256_set1_pd(fh.m11);
+  std::size_t i = 0;
+  for (; i + 4 <= cnt; i += 4) {
+    const __m256d a = _mm256_loadu_pd(r0 + i);
+    const __m256d b = _mm256_loadu_pd(r1 + i);
+    const __m256d c = _mm256_loadu_pd(r2 + i);
+    const __m256d d = _mm256_loadu_pd(r3 + i);
+    const __m256d ab0 = muladd4(l00, a, l01, b);
+    const __m256d ab1 = muladd4(l10, a, l11, b);
+    const __m256d cd0 = muladd4(l00, c, l01, d);
+    const __m256d cd1 = muladd4(l10, c, l11, d);
+    _mm256_storeu_pd(r0 + i, muladd4(h00, ab0, h01, cd0));
+    _mm256_storeu_pd(r1 + i, muladd4(h00, ab1, h01, cd1));
+    _mm256_storeu_pd(r2 + i, muladd4(h10, ab0, h11, cd0));
+    _mm256_storeu_pd(r3 + i, muladd4(h10, ab1, h11, cd1));
+  }
+  for (; i < cnt; ++i) {
+    const double a = r0[i];
+    const double b = r1[i];
+    const double c = r2[i];
+    const double d = r3[i];
+    const double ab0 = fl.m00 * a + fl.m01 * b;
+    const double ab1 = fl.m10 * a + fl.m11 * b;
+    const double cd0 = fl.m00 * c + fl.m01 * d;
+    const double cd1 = fl.m10 * c + fl.m11 * d;
+    r0[i] = fh.m00 * ab0 + fh.m01 * cd0;
+    r1[i] = fh.m00 * ab1 + fh.m01 * cd1;
+    r2[i] = fh.m10 * ab0 + fh.m11 * cd0;
+    r3[i] = fh.m10 * ab1 + fh.m11 * cd1;
+  }
+}
+
+inline __attribute__((always_inline)) void sv_bf2_avx2(__m256d& a, __m256d& b,
+                                                       __m256d m00, __m256d m01,
+                                                       __m256d m10, __m256d m11) {
+  const __m256d t = a;
+  a = muladd4(m00, t, m01, b);
+  b = muladd4(m10, t, m11, b);
+}
+
+inline void sv_bf2_tail(double& a, double& b, Factor2 f) {
+  const double t = a;
+  a = f.m00 * t + f.m01 * b;
+  b = f.m10 * t + f.m11 * b;
+}
+
+void sv_butterfly_oct_span_avx2(double* p, std::size_t stride, std::size_t cnt,
+                                Factor2 f0, Factor2 f1, Factor2 f2) {
+  const __m256d a00 = _mm256_set1_pd(f0.m00), a01 = _mm256_set1_pd(f0.m01);
+  const __m256d a10 = _mm256_set1_pd(f0.m10), a11 = _mm256_set1_pd(f0.m11);
+  const __m256d b00 = _mm256_set1_pd(f1.m00), b01 = _mm256_set1_pd(f1.m01);
+  const __m256d b10 = _mm256_set1_pd(f1.m10), b11 = _mm256_set1_pd(f1.m11);
+  const __m256d c00 = _mm256_set1_pd(f2.m00), c01 = _mm256_set1_pd(f2.m01);
+  const __m256d c10 = _mm256_set1_pd(f2.m10), c11 = _mm256_set1_pd(f2.m11);
+  double* r0 = p;
+  double* r1 = p + stride;
+  double* r2 = p + 2 * stride;
+  double* r3 = p + 3 * stride;
+  double* r4 = p + 4 * stride;
+  double* r5 = p + 5 * stride;
+  double* r6 = p + 6 * stride;
+  double* r7 = p + 7 * stride;
+  std::size_t i = 0;
+  for (; i + 4 <= cnt; i += 4) {
+    __m256d v0 = _mm256_loadu_pd(r0 + i);
+    __m256d v1 = _mm256_loadu_pd(r1 + i);
+    __m256d v2 = _mm256_loadu_pd(r2 + i);
+    __m256d v3 = _mm256_loadu_pd(r3 + i);
+    __m256d v4 = _mm256_loadu_pd(r4 + i);
+    __m256d v5 = _mm256_loadu_pd(r5 + i);
+    __m256d v6 = _mm256_loadu_pd(r6 + i);
+    __m256d v7 = _mm256_loadu_pd(r7 + i);
+    sv_bf2_avx2(v0, v1, a00, a01, a10, a11);
+    sv_bf2_avx2(v2, v3, a00, a01, a10, a11);
+    sv_bf2_avx2(v4, v5, a00, a01, a10, a11);
+    sv_bf2_avx2(v6, v7, a00, a01, a10, a11);
+    sv_bf2_avx2(v0, v2, b00, b01, b10, b11);
+    sv_bf2_avx2(v1, v3, b00, b01, b10, b11);
+    sv_bf2_avx2(v4, v6, b00, b01, b10, b11);
+    sv_bf2_avx2(v5, v7, b00, b01, b10, b11);
+    sv_bf2_avx2(v0, v4, c00, c01, c10, c11);
+    sv_bf2_avx2(v1, v5, c00, c01, c10, c11);
+    sv_bf2_avx2(v2, v6, c00, c01, c10, c11);
+    sv_bf2_avx2(v3, v7, c00, c01, c10, c11);
+    _mm256_storeu_pd(r0 + i, v0);
+    _mm256_storeu_pd(r1 + i, v1);
+    _mm256_storeu_pd(r2 + i, v2);
+    _mm256_storeu_pd(r3 + i, v3);
+    _mm256_storeu_pd(r4 + i, v4);
+    _mm256_storeu_pd(r5 + i, v5);
+    _mm256_storeu_pd(r6 + i, v6);
+    _mm256_storeu_pd(r7 + i, v7);
+  }
+  for (; i < cnt; ++i) {
+    double v0 = r0[i], v1 = r1[i], v2 = r2[i], v3 = r3[i];
+    double v4 = r4[i], v5 = r5[i], v6 = r6[i], v7 = r7[i];
+    sv_bf2_tail(v0, v1, f0);
+    sv_bf2_tail(v2, v3, f0);
+    sv_bf2_tail(v4, v5, f0);
+    sv_bf2_tail(v6, v7, f0);
+    sv_bf2_tail(v0, v2, f1);
+    sv_bf2_tail(v1, v3, f1);
+    sv_bf2_tail(v4, v6, f1);
+    sv_bf2_tail(v5, v7, f1);
+    sv_bf2_tail(v0, v4, f2);
+    sv_bf2_tail(v1, v5, f2);
+    sv_bf2_tail(v2, v6, f2);
+    sv_bf2_tail(v3, v7, f2);
+    r0[i] = v0;
+    r1[i] = v1;
+    r2[i] = v2;
+    r3[i] = v3;
+    r4[i] = v4;
+    r5[i] = v5;
+    r6[i] = v6;
+    r7[i] = v7;
+  }
+}
+
+void sv_mul_span_avx2(double* y, const double* x, const double* s,
+                      std::size_t cnt) {
+  std::size_t i = 0;
+  for (; i + 4 <= cnt; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_mul_pd(_mm256_loadu_pd(s + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < cnt; ++i) y[i] = s[i] * x[i];
+}
+
+void sv_mul_span_inplace_avx2(double* y, const double* s, std::size_t cnt) {
+  sv_mul_span_avx2(y, y, s, cnt);
+}
+
+constexpr SvKernels kAvx2SvKernels{
+    sv_butterfly_span_avx2, sv_butterfly_quad_span_avx2,
+    sv_butterfly_oct_span_avx2, sv_mul_span_avx2,
+    sv_mul_span_inplace_avx2, "avx2",
+};
+
+}  // namespace
+
+const SvKernels* sv_avx2_table() {
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return &kAvx2SvKernels;
+  return nullptr;
+#else
+  // No runtime probe available: be conservative and stay on autovec.
+  return nullptr;
+#endif
+}
+
+}  // namespace qs::transforms
+
+#endif  // QS_HAVE_SV_AVX2_KERNELS

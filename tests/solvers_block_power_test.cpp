@@ -145,10 +145,14 @@ TEST(PlanAutotune, ReportMeasuresDefaultFirstAndPicksNoSlowerPlan) {
   EXPECT_EQ(report.timings.front().plan.tile_log2, def.tile_log2);
   EXPECT_EQ(report.timings.front().plan.chunk_log2, def.chunk_log2);
   // The chosen plan's measured time is <= the default's measured time.
+  // Match on the full plan identity: the stage-2 microkernel sweep re-lists
+  // the winning tile/chunk with different sv_kernel/sv_max_radix settings.
   double best_seconds = -1.0;
   for (const auto& t : report.timings) {
     if (t.plan.tile_log2 == report.best.tile_log2 &&
-        t.plan.chunk_log2 == report.best.chunk_log2) {
+        t.plan.chunk_log2 == report.best.chunk_log2 &&
+        t.plan.sv_kernel == report.best.sv_kernel &&
+        t.plan.sv_max_radix == report.best.sv_max_radix) {
       best_seconds = t.seconds;
     }
     EXPECT_GT(t.seconds, 0.0);

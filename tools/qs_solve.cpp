@@ -352,9 +352,16 @@ int run(const qs::ArgParser& args) {
         nu, engine != nullptr ? *engine : qs::parallel::serial_engine());
     plan = report.best;
     std::cout << "autotuned plan: tile_log2 = " << plan.tile_log2
-              << ", chunk_log2 = " << plan.chunk_log2 << " ("
+              << ", chunk_log2 = " << plan.chunk_log2 << ", sv kernel = "
+              << qs::transforms::resolved_sv_kernel_name(plan.sv_kernel)
+              << " (max radix " << plan.sv_max_radix << "; "
               << report.timings.size() << " candidates, default "
               << report.timings.front().seconds << " s/matvec)\n";
+    if (plan.sv_kernel == qs::transforms::SvKernel::autovec) {
+      std::cout << "note: the plain autovec loops beat every SIMD "
+                   "single-vector candidate on this host, so the tuned plan "
+                   "keeps the microkernel dispatch off\n";
+    }
   }
 
   double eigenvalue = 0.0;
@@ -534,12 +541,22 @@ int run(const qs::ArgParser& args) {
     qs::io::save_checkpoint(args.get("checkpoint", ""), state);
   }
 
-  // Solve-level telemetry: the SIMD tier and plan provenance were already
-  // recorded by PlannedOperator when it resolved its plan.
+  // Solve-level telemetry.  The facade's PlannedOperator records its own
+  // plan provenance too; this stamps the tier for the solvers that take the
+  // plan directly (block, lanczos, arnoldi, rqi) and surfaces it on stdout
+  // whenever a metrics snapshot was requested.
+  if (args.has("metrics")) {
+    std::cout << "single-vector kernel tier: "
+              << qs::transforms::resolved_sv_kernel_name(plan.sv_kernel)
+              << " (max radix " << plan.sv_max_radix << ")\n";
+  }
   auto& m = qs::obs::metrics();
   m.set_info("tool", "qs_solve");
   m.set_info("solver", solver);
   m.set_info("engine", engine != nullptr ? "parallel" : "serial");
+  m.set_info("sv_kernel",
+             qs::transforms::resolved_sv_kernel_name(plan.sv_kernel));
+  m.set_value("plan.sv_max_radix", plan.sv_max_radix);
   m.set_value("nu", nu);
   m.set_value("p", p);
   m.set_value("eigenvalue", eigenvalue);

@@ -1,0 +1,154 @@
+// Distributed-transport scaling study (supersedes scaling_distributed).
+//
+// Runs the distributed power iteration over a ranks x nu grid on the
+// lockstep transport plus real multi-process rows, with a FIXED iteration
+// count per cell so the timings measure the transport, not the convergence
+// trajectory.  Reports per-cell wall time, bytes exchanged, allreduce count,
+// and the pipeline overlap ratio (combine time hidden behind the wire /
+// total exchange time).
+//
+// The final row is the capacity configuration the decomposition exists for:
+// a multi-process solve at nu >= 24 where each of the >= 4 ranks holds only
+// its own 2^nu/R block (gather_eigenvector = false; no rank ever
+// materialises the full 2^nu vector).  Cap the grid with QS_BENCH_MAX_NU.
+//
+// Results are written as machine-readable JSON to BENCH_dist.json (override
+// the path with QS_BENCH_JSON); timing keys end in _s so tools/bench_diff
+// pins them.  Rows are identified by (backend, R, nu).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/spectral.hpp"
+#include "distributed/distributed_solver.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct DistRow {
+  std::string backend;
+  unsigned ranks = 0;
+  unsigned nu = 0;
+  unsigned iterations = 0;
+  double solve_s = 0.0;
+  double per_iteration_s = 0.0;
+  double lambda = 0.0;
+  qs::distributed::TrafficStats traffic;
+  unsigned local_levels = 0;
+  std::size_t block_doubles = 0;
+};
+
+DistRow run_cell(qs::distributed::ExchangeKind exchange, unsigned ranks,
+                 unsigned nu, unsigned iterations, bool gather) {
+  using namespace qs;
+  const auto model = core::MutationModel::uniform(nu, 0.01);
+  const auto landscape = core::Landscape::random(nu, 5.0, 1.0, 3);
+
+  distributed::DistributedPowerOptions opts;
+  opts.shift = core::conservative_shift(model, landscape);
+  opts.exchange = exchange;
+  opts.gather_eigenvector = gather;
+  opts.tolerance = 0.0;        // never converge early:
+  opts.stall_window = 0;       // every cell runs exactly `iterations`
+  opts.max_iterations = iterations;
+  opts.residual_check_every = 1;
+
+  Timer t;
+  const auto r = distributed::distributed_power_iteration(model, landscape,
+                                                          ranks, opts);
+  DistRow row;
+  row.backend =
+      exchange == distributed::ExchangeKind::lockstep ? "lockstep" : "process";
+  row.ranks = ranks;
+  row.nu = nu;
+  row.iterations = r.iterations;
+  row.solve_s = t.seconds();
+  row.per_iteration_s = row.solve_s / static_cast<double>(r.iterations);
+  row.lambda = r.eigenvalue;
+  row.traffic = r.traffic;
+  row.local_levels = r.local_levels;
+  row.block_doubles = (std::size_t{1} << nu) / ranks;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<DistRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: could not open " << path << " for writing\n";
+    return;
+  }
+  out.precision(9);
+  out << "{\n  \"figure\": \"dist\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DistRow& r = rows[i];
+    out << "    {\"backend\": \"" << r.backend << "\", \"R\": " << r.ranks
+        << ", \"nu\": " << r.nu << ", \"block_doubles\": " << r.block_doubles
+        << ", \"local_levels\": " << r.local_levels
+        << ", \"iterations\": " << r.iterations
+        << ", \"solve_s\": " << r.solve_s
+        << ", \"per_iteration_s\": " << r.per_iteration_s
+        << ", \"messages\": " << r.traffic.messages
+        << ", \"bytes_moved\": " << r.traffic.bytes_moved()
+        << ", \"allreduces\": " << r.traffic.allreduce_calls
+        << ", \"overlap_ratio\": " << r.traffic.overlap_ratio()
+        << ", \"lambda\": " << r.lambda << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs;
+  const unsigned max_nu = bench::env_unsigned("QS_BENCH_MAX_NU", 24);
+  const char* json_env = std::getenv("QS_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_dist.json";
+
+  std::cout << "# Distributed transport scaling (fixed-iteration solves)\n\n";
+  TextTable table({"backend", "ranks", "nu", "block [doubles]", "time [s]",
+                   "s/iteration", "MB moved", "overlap"});
+  std::vector<DistRow> rows;
+  auto add = [&](DistRow row) {
+    table.add_row({row.backend, std::to_string(row.ranks),
+                   std::to_string(row.nu), std::to_string(row.block_doubles),
+                   format_short(row.solve_s), format_short(row.per_iteration_s),
+                   format_short(static_cast<double>(row.traffic.bytes_moved()) /
+                                (1024.0 * 1024.0)),
+                   format_short(row.traffic.overlap_ratio())});
+    rows.push_back(std::move(row));
+  };
+
+  // Lockstep grid: how the communication volume scales with R and nu.
+  for (unsigned nu : {14u, 16u, 18u}) {
+    if (nu > max_nu) continue;
+    for (unsigned ranks : {1u, 2u, 4u, 8u}) {
+      add(run_cell(distributed::ExchangeKind::lockstep, ranks, nu, 12, true));
+    }
+  }
+
+  // Real multi-process rows: the same cell over forked ranks and AF_UNIX
+  // socketpairs, where the overlap ratio means actual hidden wire time.
+  if (16 <= max_nu) {
+    add(run_cell(distributed::ExchangeKind::process, 4, 16, 12, true));
+  }
+
+  // Capacity row: nu >= 24 with >= 4 real processes, no gather — per-rank
+  // resident vector is 2^nu/R doubles and nothing larger ever exists.
+  if (24 <= max_nu) {
+    add(run_cell(distributed::ExchangeKind::process, 4, 24, 2, false));
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: identical lambda estimates at every rank "
+               "count and transport (the decomposition is exact); bytes per "
+               "product = 2 N log2(R) doubles; per-rank memory = N/R; the "
+               "process rows additionally overlap cross-rank combine work "
+               "against the wire (overlap > 0).\n";
+  write_json(json_path, rows);
+  return 0;
+}

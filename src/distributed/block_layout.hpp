@@ -12,14 +12,16 @@
 //     (stride / block) — one pairwise block exchange per level, the exact
 //     communication pattern an MPI implementation performs.
 //
-// The Communicator below *simulates* the message passing in process (ranks
-// run in lockstep within a superstep) and records traffic statistics, so
-// the decomposition, the exchange schedule, and the numerics are all
-// testable without an MPI runtime; the call structure maps 1:1 onto
-// MPI_Sendrecv / MPI_Allreduce.
+// All message passing goes through the Exchange interface of
+// distributed/exchange.hpp, which has two real implementations: an
+// in-process lockstep transport (one thread per rank, deterministic, the
+// TSan target) and a multi-process transport over AF_UNIX socketpairs
+// (forked ranks, each holding only its own block).  The call structure maps
+// 1:1 onto MPI_Sendrecv / MPI_Allreduce; see docs/distributed.md.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "support/bits.hpp"
@@ -62,11 +64,33 @@ class BlockLayout {
   std::size_t block_size_;
 };
 
-/// Traffic statistics of a simulated distributed run.
+/// Traffic statistics of a distributed run.  Each Exchange endpoint counts
+/// its *own* sends, so summing endpoint stats over all ranks gives the same
+/// totals the old pair-site accounting produced (two messages per pairwise
+/// exchange, one per direction).
 struct TrafficStats {
   std::size_t messages = 0;        ///< Pairwise block sends (one per direction).
   std::size_t doubles_moved = 0;   ///< Total doubles transferred.
   std::size_t allreduce_calls = 0; ///< Global reductions performed.
+  std::uint64_t exchange_ns = 0;   ///< Wall time inside pairwise exchanges,
+                                   ///< excluding combine work done while
+                                   ///< segments were still in flight.
+  std::uint64_t overlap_ns = 0;    ///< Combine (compute) time spent while at
+                                   ///< least one exchange segment was still
+                                   ///< in flight — the overlapped fraction.
+
+  /// Payload volume on the wire.
+  std::uint64_t bytes_moved() const {
+    return static_cast<std::uint64_t>(doubles_moved) * sizeof(double);
+  }
+
+  /// Fraction of exchange wall time that was hidden behind combine work
+  /// (0 when nothing was exchanged or the transport cannot overlap).
+  double overlap_ratio() const {
+    const std::uint64_t total = exchange_ns + overlap_ns;
+    return total == 0 ? 0.0
+                      : static_cast<double>(overlap_ns) / static_cast<double>(total);
+  }
 };
 
 }  // namespace qs::distributed

@@ -1,13 +1,126 @@
 #include "distributed/distributed_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
+#include "distributed/reduction.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "support/contracts.hpp"
-#include "transforms/butterfly.hpp"
+#include "parallel/engine.hpp"
+#include "support/timer.hpp"
+#include "transforms/sv_microkernel.hpp"
 
 namespace qs::distributed {
+namespace {
+
+// Collective tags.  The butterfly exchanges use the level index (0..nu-1)
+// so a rank one level ahead of its partner fails with a named tag mismatch;
+// the reduction/gather tags live above any level index.
+constexpr unsigned kTagStartNorm = 100;
+constexpr unsigned kTagXX = 101;
+constexpr unsigned kTagXY = 102;
+constexpr unsigned kTagRes2 = 103;
+constexpr unsigned kTagControl = 104;
+constexpr unsigned kTagNorm = 105;
+constexpr unsigned kTagSign = 106;
+constexpr unsigned kTagFinalNorm = 107;
+constexpr unsigned kTagGather = 108;
+constexpr unsigned kTagStats = 109;
+
+/// Bit 32 of the per-check control word carries rank 0's wall-clock
+/// checkpoint cadence; bits below sum the ranks' cancellation votes.
+constexpr double kControlTimeBit = 4294967296.0;  // 2^32
+
+const char* kind_name(core::MutationKind kind) {
+  switch (kind) {
+    case core::MutationKind::uniform: return "uniform";
+    case core::MutationKind::per_site: return "per_site";
+    case core::MutationKind::grouped: return "grouped";
+  }
+  return "unknown";
+}
+
+/// Cross-rank butterfly combine on one segment: `mine` and `theirs` hold the
+/// same offsets of the two pair blocks; the lower rank's block is the "lo"
+/// operand.  Runs the plan's sv microkernel when one resolved (the kernel
+/// writes both halves — the scratch half is discarded), else the plain
+/// non-FMA expression; both are bit-identical to the serial butterfly.
+void combine_cross_segment(double* mine, double* theirs, bool is_low,
+                           std::size_t count, transforms::Factor2 f,
+                           const transforms::SvKernels* sv) {
+  double* lo = is_low ? mine : theirs;
+  double* hi = is_low ? theirs : mine;
+  if (sv != nullptr) {
+    sv->butterfly_span(lo, hi, count, f);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t1 = lo[i];
+    const double t2 = hi[i];
+    lo[i] = f.m00 * t1 + f.m01 * t2;
+    hi[i] = f.m10 * t1 + f.m11 * t2;
+  }
+}
+
+/// One rank's y = W x: fitness scaling fused into the banded blocked
+/// butterfly for the local levels, then one overlapped pairwise exchange
+/// per cross-rank level.  `recv` is a block-sized scratch buffer.
+void apply_w_rank(Exchange& exchange, const BlockLayout& layout,
+                  std::span<const transforms::Factor2> sites,
+                  std::span<const double> fitness_block,
+                  const transforms::BlockedPlan& plan,
+                  const transforms::SvKernels* sv, std::span<const double> x,
+                  std::span<double> y, std::span<double> recv) {
+  const unsigned rank = exchange.rank();
+  const unsigned local_levels = log2_exact(layout.block_size());
+  {
+    // Bottom nu-k levels: the same cache-blocked banded kernel (and sv
+    // microkernel tier) the serial blocked solver runs, on this rank's
+    // block only.  Rank-local compute is serial by design — the
+    // parallelism of a distributed solve is across ranks.
+    QS_TRACE_SPAN_ARG("dist.local_band", distributed, rank);
+    transforms::apply_blocked_butterfly_fused(x, y, sites.first(local_levels),
+                                              fitness_block, {},
+                                              parallel::serial_engine(), plan);
+  }
+  for (unsigned k = local_levels; k < layout.nu(); ++k) {
+    const std::size_t stride = std::size_t{1} << k;
+    const unsigned partner = layout.partner(rank, stride);
+    const bool is_low = rank < partner;
+    const transforms::Factor2 f = sites[k];
+    QS_TRACE_SPAN_ARG("dist.exchange", distributed, k);
+    QS_TRACE_COUNTER("dist.exchange_messages", 1);
+    double* mine = y.data();
+    double* theirs = recv.data();
+    exchange.sendrecv_overlapped(
+        partner, y, recv, k,
+        [mine, theirs, is_low, f, sv](std::size_t begin, std::size_t end) {
+          combine_cross_segment(mine + begin, theirs + begin, is_low,
+                                end - begin, f, sv);
+        });
+  }
+}
+
+}  // namespace
+
+UnsupportedModelError::UnsupportedModelError(core::MutationKind kind)
+    : precondition_error(
+          std::string("distributed solver: unsupported mutation model kind '") +
+          kind_name(kind) +
+          "' (the distributed kernels require 2x2 site factors; run the "
+          "serial solver for grouped models)"),
+      kind_(kind) {}
+
+const char* to_string(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::lockstep: return "lockstep";
+    case ExchangeKind::process: return "process";
+  }
+  return "unknown";
+}
 
 DistributedVector::DistributedVector(const BlockLayout& layout)
     : layout_(&layout),
@@ -39,146 +152,379 @@ std::vector<double> DistributedVector::gather() const {
 
 void distributed_apply_w(const core::MutationModel& model,
                          const core::Landscape& landscape, DistributedVector& v,
-                         TrafficStats& stats) {
+                         TrafficStats& stats, const transforms::BlockedPlan& plan) {
   const BlockLayout& layout = v.layout();
   require(model.nu() == layout.nu(), "distributed_apply_w: model nu mismatch");
   require(landscape.dimension() == sequence_count(layout.nu()),
           "distributed_apply_w: landscape dimension mismatch");
-  require(model.kind() != core::MutationKind::grouped,
-          "distributed_apply_w: 2x2-factor models only");
+  if (model.kind() == core::MutationKind::grouped) {
+    throw UnsupportedModelError(model.kind());
+  }
 
   const auto& sites = model.site_factors();
   const std::size_t block = layout.block_size();
   const unsigned ranks = layout.rank_count();
+  const unsigned local_levels = log2_exact(block);
   const auto f = landscape.values();
+  const transforms::SvKernels* sv = transforms::resolve_sv_kernels(plan.sv_kernel);
 
-  // Superstep 1 (fully local): diagonal fitness scaling, then every
-  // butterfly level whose stride stays inside a block.
-  QS_TRACE_SPAN("dist.local_levels", distributed);
+  // Superstep 1 (fully local): fitness scaling fused into the banded
+  // blocked butterfly over every level whose stride stays inside a block.
+  QS_TRACE_SPAN("dist.local_band", distributed);
   for (unsigned rank = 0; rank < ranks; ++rank) {
     auto mine = v.block(rank);
-    const std::size_t begin = layout.block_begin(rank);
-    for (std::size_t t = 0; t < block; ++t) mine[t] *= f[begin + t];
-    for (unsigned k = 0; layout.level_is_local(std::size_t{1} << k); ++k) {
-      transforms::apply_butterfly_level(mine, sites[k], k);
-    }
+    transforms::apply_blocked_butterfly_fused(
+        mine, mine, std::span<const transforms::Factor2>(sites).first(local_levels),
+        f.subspan(layout.block_begin(rank), block), {}, parallel::serial_engine(),
+        plan);
   }
 
   // Supersteps 2..: one pairwise block exchange per cross-rank level.  The
-  // lower rank of each pair holds the stride-offset "t1" entries, its
-  // partner the "t2" entries, at identical offsets within their blocks.
-  std::vector<double> partner_copy(block);
-  for (unsigned k = layout.rank_bits() == 0 ? model.nu() : 0; k < model.nu(); ++k) {
+  // lower rank of each pair holds the "lo" entries, its partner the "hi"
+  // entries, at identical offsets within their blocks; both blocks live in
+  // this address space, so the combine kernel writes both halves directly.
+  for (unsigned k = local_levels; k < layout.nu(); ++k) {
     const std::size_t stride = std::size_t{1} << k;
-    if (layout.level_is_local(stride)) continue;
-    QS_TRACE_SPAN_ARG("dist.exchange_level", distributed, k);
+    QS_TRACE_SPAN_ARG("dist.exchange", distributed, k);
     QS_TRACE_COUNTER("dist.exchange_messages", 2 * (ranks / 2));
-    const transforms::Factor2& factor = sites[k];
     for (unsigned lo = 0; lo < ranks; ++lo) {
       const unsigned hi = layout.partner(lo, stride);
       if (hi < lo) continue;  // visit each pair once, from the lower rank
-      auto low_block = v.block(lo);
-      auto high_block = v.block(hi);
       // Simulated MPI_Sendrecv: both ranks ship their block to the partner.
       stats.messages += 2;
       stats.doubles_moved += 2 * block;
-      std::copy(high_block.begin(), high_block.end(), partner_copy.begin());
-      for (std::size_t t = 0; t < block; ++t) {
-        const double t1 = low_block[t];
-        const double t2 = partner_copy[t];
-        low_block[t] = factor.m00 * t1 + factor.m01 * t2;
-        high_block[t] = factor.m10 * t1 + factor.m11 * t2;
-      }
+      combine_cross_segment(v.block(lo).data(), v.block(hi).data(), true, block,
+                            sites[k], sv);
     }
   }
 }
 
-DistributedPowerResult distributed_power_iteration(
-    const core::MutationModel& model, const core::Landscape& landscape,
-    unsigned rank_count, const DistributedPowerOptions& options) {
-  const BlockLayout layout(model.nu(), rank_count);
-  require(landscape.dimension() == model.dimension(),
-          "distributed_power_iteration: dimension mismatch");
+std::vector<double> tree_landscape_start(const core::Landscape& landscape) {
+  std::vector<double> s(landscape.values().begin(), landscape.values().end());
+  const double norm = tree_abs_sum(s);
+  require(norm > 0.0, "tree_landscape_start: landscape has zero 1-norm");
+  linalg::scale(s, 1.0 / norm);
+  return s;
+}
+
+DistributedPowerResult distributed_power_rank(
+    Exchange& exchange, const BlockLayout& layout,
+    std::span<const transforms::Factor2> sites,
+    std::span<const double> fitness_block, const DistributedPowerOptions& options,
+    const io::SolverCheckpoint* resume) {
+  const unsigned rank = exchange.rank();
+  const bool root = rank == 0;
+  const std::size_t block = layout.block_size();
+  require(exchange.rank_count() == layout.rank_count(),
+          "distributed_power_rank: exchange/layout rank count mismatch");
+  require(sites.size() == layout.nu(),
+          "distributed_power_rank: factor count does not match nu");
+  require(fitness_block.size() == block,
+          "distributed_power_rank: fitness block has the wrong size");
+
+  const transforms::SvKernels* sv =
+      transforms::resolve_sv_kernels(options.plan.sv_kernel);
 
   DistributedPowerResult out;
-  const unsigned ranks = layout.rank_count();
-  const std::size_t block = layout.block_size();
+  out.rank_count = layout.rank_count();
+  out.plan_kernel = transforms::resolved_sv_kernel_name(options.plan.sv_kernel);
+  out.local_levels = log2_exact(block);
 
-  // Start: the landscape itself, 1-norm normalised (paper's choice).
-  std::vector<double> start(landscape.values().begin(), landscape.values().end());
-  linalg::normalize1(start);
-  DistributedVector x = DistributedVector::scatter(layout, start);
-  DistributedVector y(layout);
+  // Replicated control plane: every rank runs its own IterationDriver on
+  // identical allreduced values, so every verdict (convergence, stall,
+  // guard, cancellation) is taken identically everywhere.  Non-root ranks
+  // strip the I/O and observability hooks — those fire on rank 0 only —
+  // but keep identical decision state.
+  DistributedPowerOptions local = options;
+  if (!root) {
+    local.checkpoint_path.clear();
+    local.checkpoint_sink = nullptr;
+    local.on_residual = nullptr;
+  }
+  bool agreed_stop = false;
+  const bool vote_stop = static_cast<bool>(options.should_stop);
+  const bool control_word_needed =
+      vote_stop || options.checkpoint_every_seconds > 0.0;
+  if (vote_stop) {
+    // The driver polls the *agreed* verdict, computed by the control-word
+    // allreduce below before each observe; any rank's vote cancels all.
+    local.should_stop = [&agreed_stop] { return agreed_stop; };
+  }
+  // Whether checkpoints are written at all — evaluated on the ORIGINAL
+  // options, which every rank shares, so the gather rendezvous below is a
+  // replicated decision even though only rank 0 writes.
+  const bool checkpoint_configured =
+      (options.checkpoint_every > 0 || options.checkpoint_every_seconds > 0.0) &&
+      (options.checkpoint_sink || !options.checkpoint_path.empty());
 
-  // Simulated allreduce: per-rank partials summed across ranks.
-  auto allreduce = [&](auto&& per_rank_partial) {
-    QS_TRACE_COUNTER("dist.allreduce", 1);
-    double total = 0.0;
-    for (unsigned rank = 0; rank < ranks; ++rank) total += per_rank_partial(rank);
-    ++out.traffic.allreduce_calls;
-    return total;
+  solvers::IterationDriver driver(local, io::SolverKind::power);
+
+  std::vector<double> x(block);
+  std::vector<double> y(block);
+  std::vector<double> recv(block);
+  std::vector<double> full;  // rank 0's gather target (checkpoints, result)
+  if (root && (checkpoint_configured || options.gather_eigenvector)) {
+    full.resize(block * static_cast<std::size_t>(layout.rank_count()));
+  }
+  auto full_span = [&]() {
+    return root ? std::span<double>(full) : std::span<double>{};
   };
 
-  for (unsigned it = 1; it <= options.max_iterations; ++it) {
-    // y = W x.
-    for (unsigned rank = 0; rank < ranks; ++rank) {
-      std::copy(x.block(rank).begin(), x.block(rank).end(), y.block(rank).begin());
-    }
-    distributed_apply_w(model, landscape, y, out.traffic);
+  solvers::IterationTrace trace;
+  if (resume != nullptr) {
+    // Scalars verbatim on every rank; the iterate slice taken locally (the
+    // wrappers validated finiteness and solver kind before spawning ranks).
+    require(resume->eigenvector.size() == block * layout.rank_count(),
+            "distributed_power_rank: checkpoint dimension mismatch");
+    trace.start_iteration = static_cast<unsigned>(resume->iteration);
+    trace.eigenvalue = resume->eigenvalue;
+    trace.residual = resume->residual;
+    driver.restore(*resume);
+    const double* src = resume->eigenvector.data() + layout.block_begin(rank);
+    std::copy(src, src + block, x.begin());
+  } else {
+    // Cold start: the landscape block scaled by the reciprocal of the
+    // global tree-ordered 1-norm — bit-identical to tree_landscape_start.
+    const double norm =
+        exchange.allreduce_sum(tree_abs_sum(fitness_block), kTagStartNorm);
+    require(norm > 0.0, "distributed_power_iteration: landscape has zero 1-norm");
+    const double inv = 1.0 / norm;
+    for (std::size_t t = 0; t < block; ++t) x[t] = fitness_block[t] * inv;
+  }
+  out.eigenvalue = trace.eigenvalue;
+  out.residual = trace.residual;
+  out.iterations = trace.start_iteration;
+
+  const double mu = options.shift;
+  std::uint64_t last_checkpoint_ns = monotonic_ns();  // rank 0 time cadence
+  bool agreed_time_due = false;
+
+  // The loop below mirrors solvers::run_power_loop operation for operation;
+  // every global quantity is formed as (per-block tree partial, tree-ordered
+  // allreduce), which equals the serial tree_engine() reduction bit for bit.
+  for (unsigned it = trace.start_iteration + 1; it <= options.max_iterations;
+       ++it) {
+    QS_TRACE_SPAN_ARG("power.iteration", solver, it);
+    apply_w_rank(exchange, layout, sites, fitness_block, options.plan, sv, x, y,
+                 recv);
     out.iterations = it;
 
-    const double xx = allreduce([&](unsigned rank) {
-      return linalg::dot(x.block(rank), x.block(rank));
-    });
-    const double xy = allreduce([&](unsigned rank) {
-      return linalg::dot(x.block(rank), y.block(rank));
-    });
-    const double lambda = xy / xx;
-    const double res2 = allreduce([&](unsigned rank) {
-      double acc = 0.0;
-      const auto xb = x.block(rank);
-      const auto yb = y.block(rank);
-      for (std::size_t t = 0; t < block; ++t) {
-        const double r = yb[t] - lambda * xb[t];
-        acc += r * r;
+    if (driver.should_check(it, options.max_iterations)) {
+      const double xx = exchange.allreduce_sum(tree_dot(x, x), kTagXX);
+      const double xy = exchange.allreduce_sum(tree_dot(x, y), kTagXY);
+      const double lambda = xy / xx;
+      const double* yp = y.data();
+      const double* xp = x.data();
+      const double res2_local = tree_reduce(
+          std::size_t{0}, block, [yp, xp, lambda](std::size_t i) {
+            const double r = yp[i] - lambda * xp[i];
+            return r * r;
+          });
+      const double res2 = exchange.allreduce_sum(res2_local, kTagRes2);
+      if (!driver.guard({lambda, res2}, out)) break;
+      out.eigenvalue = lambda;
+      out.residual =
+          std::sqrt(res2) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
+
+      agreed_time_due = false;
+      if (control_word_needed) {
+        double word = 0.0;
+        if (vote_stop && options.should_stop()) word += 1.0;
+        if (root && options.checkpoint_every_seconds > 0.0 &&
+            static_cast<double>(monotonic_ns() - last_checkpoint_ns) * 1e-9 >=
+                options.checkpoint_every_seconds) {
+          word += kControlTimeBit;
+        }
+        const double agreed = exchange.allreduce_sum(word, kTagControl);
+        agreed_stop = std::fmod(agreed, kControlTimeBit) != 0.0;
+        agreed_time_due = agreed >= kControlTimeBit;
       }
-      return acc;
-    });
-    out.eigenvalue = lambda;
-    out.residual =
-        std::sqrt(std::max(res2, 0.0)) / std::max(std::abs(lambda) * std::sqrt(xx), 1e-300);
-    if (out.residual <= options.tolerance) {
-      out.converged = true;
-      break;
+
+      const solvers::IterationDriver::Verdict verdict =
+          driver.observe(it, out.residual, out);
+      if (verdict != solvers::IterationDriver::Verdict::proceed) {
+        if (verdict == solvers::IterationDriver::Verdict::cancelled &&
+            checkpoint_configured) {
+          // Flush the finite pre-update iterate (the result of iteration
+          // it-1), gathered to rank 0 — same content the serial loop
+          // writes, so a restart resumes exactly this aborted iteration.
+          exchange.gather_to_root(x, full_span(), kTagGather);
+          if (root) driver.write_checkpoint(it - 1, out, full, it - 1);
+        }
+        break;
+      }
     }
 
-    // x <- (y - mu x) / ||.||_1, with the norm via allreduce.
-    const double mu = options.shift;
-    const double norm1 = allreduce([&](unsigned rank) {
-      double acc = 0.0;
-      const auto xb = x.block(rank);
-      auto yb = y.block(rank);
-      for (std::size_t t = 0; t < block; ++t) {
-        yb[t] -= mu * xb[t];
-        acc += std::abs(yb[t]);
+    if (mu != 0.0) {
+      for (std::size_t t = 0; t < block; ++t) y[t] -= mu * x[t];
+    }
+    const double norm = exchange.allreduce_sum(tree_abs_sum(y), kTagNorm);
+    if (!driver.guard({norm}, out)) break;
+    require(norm > 0.0, "distributed_power_iteration: iterate collapsed to zero");
+    const double inv = 1.0 / norm;
+    for (std::size_t t = 0; t < block; ++t) x[t] = y[t] * inv;
+
+    const bool iter_due = options.checkpoint_every > 0 &&
+                          it % options.checkpoint_every == 0;
+    if (checkpoint_configured && (iter_due || agreed_time_due)) {
+      // All ranks rendezvous for the gather (the decision is replicated:
+      // iteration cadence is deterministic, time cadence was agreed in the
+      // control word); only rank 0 writes.
+      exchange.gather_to_root(x, full_span(), kTagGather);
+      if (root) {
+        driver.write_checkpoint(it, out, full, it);
+        last_checkpoint_ns = monotonic_ns();
       }
-      return acc;
-    });
-    require(norm1 > 0.0, "distributed_power_iteration: iterate collapsed");
-    const double inv = 1.0 / norm1;
-    for (unsigned rank = 0; rank < ranks; ++rank) {
-      auto xb = x.block(rank);
-      const auto yb = y.block(rank);
-      for (std::size_t t = 0; t < block; ++t) xb[t] = yb[t] * inv;
+      agreed_time_due = false;
     }
   }
 
-  out.eigenvector = x.gather();
-  double s = 0.0;
-  for (double v : out.eigenvector) s += v;
-  if (s < 0.0) linalg::scale(out.eigenvector, -1.0);
-  linalg::normalize1(out.eigenvector);
+  if (out.failure == solvers::SolverFailure::none) {
+    // Perron orientation, then the exact final normalisation of the serial
+    // loop: reduce_sum in tree order, and — on the gathered vector — the
+    // serial linalg::normalize1 (left-to-right 1-norm), so rank 0's result
+    // is bit-identical to the facade's.
+    const double s = exchange.allreduce_sum(tree_sum(x), kTagSign);
+    if (s < 0.0) linalg::scale(x, -1.0);
+    if (options.gather_eigenvector) {
+      exchange.gather_to_root(x, full_span(), kTagGather);
+      if (root) {
+        out.eigenvector = std::move(full);
+        linalg::normalize1(out.eigenvector);
+      }
+    } else {
+      // Capacity mode: no rank materialises the full vector; blocks are
+      // normalised by the tree-ordered global 1-norm instead.
+      const double norm1 =
+          exchange.allreduce_sum(tree_abs_sum(x), kTagFinalNorm);
+      linalg::scale(x, 1.0 / norm1);
+      out.eigenvector.assign(x.begin(), x.end());
+    }
+  } else if (options.gather_eigenvector) {
+    // Failed or cancelled: gather the last iterate anyway (post-mortem
+    // parity with the serial loop, which leaves it in place).
+    exchange.gather_to_root(x, full_span(), kTagGather);
+    if (root) out.eigenvector = std::move(full);
+  }
+
+  // Aggregate traffic over all ranks.  The snapshot is taken before the
+  // aggregation allreduce so the aggregation itself is not counted.
+  const TrafficStats mine = exchange.stats();
+  double agg[5] = {static_cast<double>(mine.messages),
+                   static_cast<double>(mine.doubles_moved),
+                   static_cast<double>(mine.allreduce_calls),
+                   static_cast<double>(mine.exchange_ns),
+                   static_cast<double>(mine.overlap_ns)};
+  exchange.allreduce_sum(std::span<double>(agg), kTagStats);
+  out.traffic.messages = static_cast<std::size_t>(agg[0]);
+  out.traffic.doubles_moved = static_cast<std::size_t>(agg[1]);
+  out.traffic.allreduce_calls = static_cast<std::size_t>(agg[2]);
+  out.traffic.exchange_ns = static_cast<std::uint64_t>(agg[3]);
+  out.traffic.overlap_ns = static_cast<std::uint64_t>(agg[4]);
   return out;
+}
+
+namespace {
+
+DistributedPowerResult run_distributed(const core::MutationModel& model,
+                                       unsigned rank_count,
+                                       const DistributedPowerOptions& options,
+                                       const FitnessBlockFn& fitness,
+                                       const io::SolverCheckpoint* resume) {
+  if (model.kind() == core::MutationKind::grouped) {
+    throw UnsupportedModelError(model.kind());
+  }
+  const BlockLayout layout(model.nu(), rank_count);
+  const auto& sites = model.site_factors();
+
+  DistributedPowerResult root_result;
+  auto body = [&](Exchange& exchange) {
+    const std::vector<double> block = fitness(layout, exchange.rank());
+    DistributedPowerResult res =
+        distributed_power_rank(exchange, layout, sites, block, options, resume);
+    if (exchange.rank() == 0) root_result = std::move(res);
+  };
+  if (options.exchange == ExchangeKind::process) {
+    run_multiprocess(rank_count, body, options.exchange_timeout_ms);
+  } else {
+    LockstepGroup group(rank_count);
+    group.run(body);
+  }
+
+  // Provenance: which transport and which rank-local kernel tier ran.
+  auto& recorder = obs::metrics();
+  recorder.set_info("dist.exchange", to_string(options.exchange));
+  recorder.set_info("dist.sv_kernel", root_result.plan_kernel);
+  recorder.set_value("dist.ranks", static_cast<double>(rank_count));
+  recorder.set_value("dist.block_doubles",
+                     static_cast<double>(layout.block_size()));
+  recorder.set_value("dist.local_levels",
+                     static_cast<double>(root_result.local_levels));
+  recorder.set_value("dist.messages",
+                     static_cast<double>(root_result.traffic.messages));
+  recorder.set_value("dist.bytes_moved",
+                     static_cast<double>(root_result.traffic.bytes_moved()));
+  recorder.set_value("dist.overlap_ratio", root_result.traffic.overlap_ratio());
+  return root_result;
+}
+
+}  // namespace
+
+DistributedPowerResult distributed_power_iteration(
+    const core::MutationModel& model, const core::Landscape& landscape,
+    unsigned rank_count, const DistributedPowerOptions& options) {
+  require(landscape.dimension() == model.dimension(),
+          "distributed_power_iteration: dimension mismatch");
+  const auto values = landscape.values();
+  auto fitness = [values](const BlockLayout& layout, unsigned rank) {
+    const auto block = values.subspan(layout.block_begin(rank),
+                                      layout.block_size());
+    return std::vector<double>(block.begin(), block.end());
+  };
+  return run_distributed(model, rank_count, options, fitness, nullptr);
+}
+
+DistributedPowerResult distributed_power_iteration_blocks(
+    const core::MutationModel& model, unsigned rank_count,
+    const FitnessBlockFn& fitness, const DistributedPowerOptions& options) {
+  require(static_cast<bool>(fitness),
+          "distributed_power_iteration_blocks: fitness source must be set");
+  return run_distributed(model, rank_count, options, fitness, nullptr);
+}
+
+DistributedPowerResult resume_distributed_power_iteration(
+    const core::MutationModel& model, const core::Landscape& landscape,
+    unsigned rank_count, const io::SolverCheckpoint& checkpoint,
+    const DistributedPowerOptions& options) {
+  require(landscape.dimension() == model.dimension(),
+          "resume_distributed_power_iteration: dimension mismatch");
+  require(checkpoint.eigenvector.size() == model.dimension(),
+          "resume_distributed_power_iteration: checkpoint dimension does not "
+          "match the model");
+
+  // Validate once, before any rank exists: wrong solver kind throws, a
+  // poisoned iterate returns without iterating (exactly like the serial
+  // resume path).
+  solvers::IterationTrace trace;
+  solvers::IterationResult probe;
+  if (!solvers::restore_trace(checkpoint, io::SolverKind::power, trace, probe)) {
+    DistributedPowerResult out;
+    static_cast<solvers::IterationResult&>(out) = probe;
+    out.eigenvalue = trace.eigenvalue;
+    out.residual = trace.residual;
+    out.iterations = trace.start_iteration;
+    out.eigenvector = std::move(trace.iterate);
+    out.rank_count = rank_count;
+    return out;
+  }
+
+  const auto values = landscape.values();
+  auto fitness = [values](const BlockLayout& layout, unsigned rank) {
+    const auto block = values.subspan(layout.block_begin(rank),
+                                      layout.block_size());
+    return std::vector<double>(block.begin(), block.end());
+  };
+  return run_distributed(model, rank_count, options, fitness, &checkpoint);
 }
 
 }  // namespace qs::distributed

@@ -1,0 +1,672 @@
+#include "distributed/exchange.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "distributed/reduction.hpp"
+#include "service/transport.hpp"
+#include "support/bits.hpp"
+#include "support/contracts.hpp"
+#include "support/signals.hpp"
+#include "support/timer.hpp"
+
+namespace qs::distributed {
+namespace {
+
+/// Segment size of the pipelined exchanges: 4096 doubles = 32 KiB, small
+/// enough that two in-flight segments stay far below the default AF_UNIX
+/// socket buffer (the symmetric write-ahead-by-one schedule is then
+/// deadlock-free), large enough that per-segment overhead is noise.
+constexpr std::size_t kSegmentDoubles = 4096;
+
+std::size_t segment_count(std::size_t n) {
+  return (n + kSegmentDoubles - 1) / kSegmentDoubles;
+}
+
+}  // namespace
+
+void Exchange::sendrecv_overlapped(unsigned partner, std::span<const double> send,
+                                   std::span<double> recv, unsigned tag,
+                                   const SegmentFn& on_segment) {
+  sendrecv(partner, send, recv, tag);
+  if (on_segment && !recv.empty()) on_segment(0, recv.size());
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep (in-process, rank-per-thread) transport.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-rank publication slot.  Cache-line sized so two ranks publishing
+/// simultaneously never share a line; every field is written strictly
+/// before a barrier arrival and read strictly after the matching barrier
+/// completion, so the barrier provides the happens-before edge (no atomics
+/// needed on the payload).
+struct alignas(64) LockstepSlot {
+  const double* data = nullptr;  ///< published block / vector / full image
+  double* full = nullptr;        ///< root's gather target
+  std::size_t count = 0;
+  unsigned tag = 0;
+  double partial = 0.0;
+};
+
+}  // namespace
+
+struct LockstepGroup::Impl {
+  explicit Impl(unsigned ranks)
+      : rank_count(ranks), barrier(static_cast<std::ptrdiff_t>(ranks)),
+        slots(ranks) {}
+
+  unsigned rank_count;
+  std::barrier<> barrier;
+  std::vector<LockstepSlot> slots;
+  std::atomic<int> aborted{-1};  ///< rank that dropped out, or -1
+  std::vector<std::unique_ptr<Exchange>> endpoints;
+};
+
+namespace {
+
+class LockstepEndpoint final : public Exchange {
+ public:
+  LockstepEndpoint(LockstepGroup::Impl& impl, unsigned rank)
+      : impl_(impl), rank_(rank) {}
+
+  unsigned rank() const override { return rank_; }
+  unsigned rank_count() const override { return impl_.rank_count; }
+
+  void sendrecv(unsigned partner, std::span<const double> send,
+                std::span<double> recv, unsigned tag) override {
+    require(partner < impl_.rank_count && partner != rank_,
+            "lockstep sendrecv: bad partner rank");
+    const std::uint64_t t0 = monotonic_ns();
+    auto& mine = impl_.slots[rank_];
+    mine.data = send.data();
+    mine.count = send.size();
+    mine.tag = tag;
+    wait();
+    const auto& theirs = impl_.slots[partner];
+    const bool ok =
+        theirs.count == send.size() && theirs.tag == tag && recv.size() == send.size();
+    if (ok && !recv.empty()) {
+      std::memcpy(recv.data(), theirs.data, recv.size() * sizeof(double));
+    }
+    if (!ok) {
+      fail("lockstep sendrecv: rank " + std::to_string(rank_) + " and rank " +
+           std::to_string(partner) + " desynchronised (tag " + std::to_string(tag) +
+           " vs " + std::to_string(theirs.tag) + ", count " +
+           std::to_string(send.size()) + " vs " + std::to_string(theirs.count) + ")");
+    }
+    wait();
+    stats_.messages += 1;
+    stats_.doubles_moved += send.size();
+    stats_.exchange_ns += monotonic_ns() - t0;
+  }
+
+  double allreduce_sum(double partial, unsigned tag) override {
+    auto& mine = impl_.slots[rank_];
+    mine.partial = partial;
+    mine.tag = tag;
+    wait();
+    check_tags(tag, "allreduce");
+    const auto& slots = impl_.slots;
+    const double total =
+        tree_reduce(std::size_t{0}, std::size_t{impl_.rank_count},
+                    [&slots](std::size_t r) { return slots[r].partial; });
+    wait();
+    ++stats_.allreduce_calls;
+    return total;
+  }
+
+  void allreduce_sum(std::span<double> values, unsigned tag) override {
+    auto& mine = impl_.slots[rank_];
+    mine.data = values.data();
+    mine.count = values.size();
+    mine.tag = tag;
+    wait();
+    check_tags(tag, "allreduce");
+    for (unsigned r = 0; r < impl_.rank_count; ++r) {
+      if (impl_.slots[r].count != values.size()) {
+        fail("lockstep allreduce: rank " + std::to_string(r) +
+             " published a different vector length");
+      }
+    }
+    scratch_.resize(values.size());
+    const auto& slots = impl_.slots;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      scratch_[i] =
+          tree_reduce(std::size_t{0}, std::size_t{impl_.rank_count},
+                      [&slots, i](std::size_t r) { return slots[r].data[i]; });
+    }
+    wait();
+    std::copy(scratch_.begin(), scratch_.end(), values.begin());
+    ++stats_.allreduce_calls;
+  }
+
+  void gather_to_root(std::span<const double> block, std::span<double> full,
+                      unsigned tag) override {
+    auto& mine = impl_.slots[rank_];
+    mine.count = block.size();
+    mine.tag = tag;
+    if (rank_ == 0) {
+      if (full.size() != block.size() * impl_.rank_count) {
+        mine.full = nullptr;
+      } else {
+        mine.full = full.data();
+      }
+    }
+    wait();
+    check_tags(tag, "gather");
+    double* dst = impl_.slots[0].full;
+    if (dst == nullptr) {
+      fail("lockstep gather: root buffer missing or of the wrong size");
+    }
+    std::memcpy(dst + static_cast<std::size_t>(rank_) * block.size(), block.data(),
+                block.size() * sizeof(double));
+    wait();
+    if (rank_ != 0) {
+      stats_.messages += 1;
+      stats_.doubles_moved += block.size();
+    }
+  }
+
+  void scatter_from_root(std::span<double> block, std::span<const double> full,
+                         unsigned tag) override {
+    auto& mine = impl_.slots[rank_];
+    mine.count = block.size();
+    mine.tag = tag;
+    if (rank_ == 0) {
+      mine.data = full.size() == block.size() * impl_.rank_count ? full.data() : nullptr;
+    }
+    wait();
+    check_tags(tag, "scatter");
+    const double* src = impl_.slots[0].data;
+    if (src == nullptr) {
+      fail("lockstep scatter: root image missing or of the wrong size");
+    }
+    std::memcpy(block.data(), src + static_cast<std::size_t>(rank_) * block.size(),
+                block.size() * sizeof(double));
+    wait();
+    if (rank_ == 0) {
+      stats_.messages += impl_.rank_count - 1;
+      stats_.doubles_moved += block.size() * (impl_.rank_count - 1);
+    }
+  }
+
+  /// Called by LockstepGroup::run when fn threw outside an exchange call:
+  /// marks the group aborted and pre-arrives the next phase so surviving
+  /// ranks pass their barrier and see the flag instead of hanging.
+  void abort_from_outside() {
+    impl_.aborted.store(static_cast<int>(rank_), std::memory_order_seq_cst);
+    impl_.barrier.arrive_and_drop();
+  }
+
+ private:
+  void wait() {
+    impl_.barrier.arrive_and_wait();
+    const int aborted = impl_.aborted.load(std::memory_order_seq_cst);
+    if (aborted >= 0 && aborted != static_cast<int>(rank_)) {
+      impl_.barrier.arrive_and_drop();
+      throw ExchangeError("lockstep: rank " + std::to_string(aborted) +
+                          " aborted; rank " + std::to_string(rank_) +
+                          " abandoning the collective");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    impl_.aborted.store(static_cast<int>(rank_), std::memory_order_seq_cst);
+    impl_.barrier.arrive_and_drop();
+    throw ExchangeError(what);
+  }
+
+  void check_tags(unsigned tag, const char* op) {
+    for (unsigned r = 0; r < impl_.rank_count; ++r) {
+      if (impl_.slots[r].tag != tag) {
+        fail(std::string("lockstep ") + op + ": rank " + std::to_string(rank_) +
+             " used tag " + std::to_string(tag) + " but rank " + std::to_string(r) +
+             " used tag " + std::to_string(impl_.slots[r].tag));
+      }
+    }
+  }
+
+  LockstepGroup::Impl& impl_;
+  unsigned rank_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace
+
+LockstepGroup::LockstepGroup(unsigned rank_count) {
+  require(rank_count >= 1 && is_power_of_two(rank_count),
+          "LockstepGroup: rank_count must be a power of two");
+  impl_ = std::make_unique<Impl>(rank_count);
+  impl_->endpoints.reserve(rank_count);
+  for (unsigned r = 0; r < rank_count; ++r) {
+    impl_->endpoints.push_back(std::make_unique<LockstepEndpoint>(*impl_, r));
+  }
+}
+
+LockstepGroup::~LockstepGroup() = default;
+
+unsigned LockstepGroup::rank_count() const { return impl_->rank_count; }
+
+Exchange& LockstepGroup::endpoint(unsigned rank) {
+  require(rank < impl_->rank_count, "LockstepGroup::endpoint: rank out of range");
+  return *impl_->endpoints[rank];
+}
+
+void LockstepGroup::run(const std::function<void(Exchange&)>& fn) {
+  const unsigned ranks = impl_->rank_count;
+  std::vector<std::exception_ptr> errors(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (unsigned r = 0; r < ranks; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      auto& endpoint = static_cast<LockstepEndpoint&>(*impl_->endpoints[r]);
+      try {
+        fn(endpoint);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // An ExchangeError already dropped this rank from the barrier; any
+        // other exception (solver guard, precondition) has not, and the
+        // surviving ranks would wait forever at their next collective.
+        if (impl_->aborted.load(std::memory_order_seq_cst) < 0) {
+          endpoint.abort_from_outside();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned r = 0; r < ranks; ++r) {
+    if (errors[r]) std::rethrow_exception(errors[r]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket (multi-process) transport.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// Per-message wire header: magic catches a desynchronised byte stream,
+/// tag/count catch two ranks running different collectives.
+struct WireHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t count = 0;
+};
+constexpr std::uint32_t kWireMagic = 0x51534458;  // "QSDX"
+
+}  // namespace
+
+class SocketExchangeImpl {
+ public:
+  SocketExchangeImpl(unsigned rank, unsigned rank_count,
+                     std::vector<std::unique_ptr<service::FdStream>> links)
+      : rank_(rank), rank_count_(rank_count),
+        rank_bits_(log2_exact(rank_count)), links_(std::move(links)) {}
+
+  unsigned rank_;
+  unsigned rank_count_;
+  unsigned rank_bits_;
+  std::vector<std::unique_ptr<service::FdStream>> links_;  ///< links_[j] <-> rank ^ (1<<j)
+  std::vector<double> scratch_;
+
+  service::FdStream& link_to(unsigned partner) {
+    const unsigned diff = rank_ ^ partner;
+    require(partner < rank_count_ && is_power_of_two(diff),
+            "SocketExchange: partner is not a hypercube neighbour");
+    return *links_[log2_exact(diff)];
+  }
+
+  [[noreturn]] void transport_failed(unsigned partner, const char* op,
+                                     const std::exception& e) {
+    throw ExchangeError("distributed " + std::string(op) + ": rank " +
+                        std::to_string(rank_) + " lost rank " +
+                        std::to_string(partner) + " (" + e.what() + ")");
+  }
+
+  void write_header(service::FdStream& s, unsigned tag, std::uint64_t count) {
+    WireHeader h{kWireMagic, tag, count};
+    s.write_all(&h, sizeof h);
+  }
+
+  void read_and_check_header(service::FdStream& s, unsigned partner, unsigned tag,
+                             std::uint64_t count) {
+    WireHeader h;
+    s.read_exact(&h, sizeof h);
+    if (h.magic != kWireMagic) {
+      throw ExchangeError("distributed exchange: rank " + std::to_string(rank_) +
+                          " received garbage from rank " + std::to_string(partner) +
+                          " (bad magic — byte stream desynchronised)");
+    }
+    if (h.tag != tag || h.count != count) {
+      throw ExchangeError(
+          "distributed exchange: rank " + std::to_string(rank_) + " and rank " +
+          std::to_string(partner) + " desynchronised (tag " + std::to_string(tag) +
+          " vs " + std::to_string(h.tag) + ", count " + std::to_string(count) +
+          " vs " + std::to_string(h.count) + ")");
+    }
+  }
+
+  /// Symmetric pipelined block swap: both sides write segment s before
+  /// reading segment s-1, so each socket buffer holds at most two
+  /// outstanding segments and the schedule cannot deadlock.  `on_segment`,
+  /// when set, combines segment s-1 while segment s is still in flight;
+  /// the final segment's combine runs after the exchange timer stops (the
+  /// wire is idle by then — that work is plain compute, not overlap).
+  void swap_blocks(unsigned partner, std::span<const double> send,
+                   std::span<double> recv, unsigned tag, const SegmentFn& on_segment,
+                   TrafficStats& stats, bool count_message) {
+    require(send.size() == recv.size(), "SocketExchange: send/recv length mismatch");
+    auto& link = link_to(partner);
+    const std::size_t n = send.size();
+    const std::size_t nseg = segment_count(n);
+    const std::uint64_t t0 = monotonic_ns();
+    std::uint64_t combine_ns = 0;
+    try {
+      write_header(link, tag, n);
+      std::size_t written = 0;
+      auto write_segment = [&](std::size_t s) {
+        const std::size_t begin = s * kSegmentDoubles;
+        const std::size_t end = std::min(n, begin + kSegmentDoubles);
+        link.write_all(send.data() + begin, (end - begin) * sizeof(double));
+      };
+      if (nseg > 0) write_segment(written++);
+      read_and_check_header(link, partner, tag, n);
+      for (std::size_t s = 0; s < nseg; ++s) {
+        if (written < nseg) write_segment(written++);
+        const std::size_t begin = s * kSegmentDoubles;
+        const std::size_t end = std::min(n, begin + kSegmentDoubles);
+        link.read_exact(recv.data() + begin, (end - begin) * sizeof(double));
+        if (on_segment && s + 1 < nseg) {
+          const std::uint64_t c0 = monotonic_ns();
+          on_segment(begin, end);
+          combine_ns += monotonic_ns() - c0;
+        }
+      }
+    } catch (const service::TransportError& e) {
+      transport_failed(partner, "exchange", e);
+    }
+    stats.exchange_ns += (monotonic_ns() - t0) - combine_ns;
+    stats.overlap_ns += combine_ns;
+    if (count_message) {
+      stats.messages += 1;
+      stats.doubles_moved += n;
+    }
+    if (on_segment && nseg > 0) {
+      on_segment((nseg - 1) * kSegmentDoubles, n);
+    }
+  }
+
+  void send_buf(unsigned partner, std::span<const double> buf, unsigned tag,
+                TrafficStats& stats) {
+    auto& link = link_to(partner);
+    try {
+      write_header(link, tag, buf.size());
+      if (!buf.empty()) link.write_all(buf.data(), buf.size() * sizeof(double));
+    } catch (const service::TransportError& e) {
+      transport_failed(partner, "send", e);
+    }
+    stats.messages += 1;
+    stats.doubles_moved += buf.size();
+  }
+
+  void recv_buf(unsigned partner, std::span<double> buf, unsigned tag) {
+    auto& link = link_to(partner);
+    try {
+      read_and_check_header(link, partner, tag, buf.size());
+      if (!buf.empty()) link.read_exact(buf.data(), buf.size() * sizeof(double));
+    } catch (const service::TransportError& e) {
+      transport_failed(partner, "recv", e);
+    }
+  }
+};
+
+}  // namespace detail
+
+SocketExchange::SocketExchange(std::unique_ptr<detail::SocketExchangeImpl> impl)
+    : impl_(std::move(impl)) {}
+
+SocketExchange::~SocketExchange() = default;
+
+unsigned SocketExchange::rank() const { return impl_->rank_; }
+unsigned SocketExchange::rank_count() const { return impl_->rank_count_; }
+
+void SocketExchange::sendrecv(unsigned partner, std::span<const double> send,
+                              std::span<double> recv, unsigned tag) {
+  impl_->swap_blocks(partner, send, recv, tag, nullptr, stats_, true);
+}
+
+void SocketExchange::sendrecv_overlapped(unsigned partner,
+                                         std::span<const double> send,
+                                         std::span<double> recv, unsigned tag,
+                                         const SegmentFn& on_segment) {
+  impl_->swap_blocks(partner, send, recv, tag, on_segment, stats_, true);
+}
+
+double SocketExchange::allreduce_sum(double partial, unsigned tag) {
+  // Recursive doubling in ascending bit order: after round j every rank of
+  // an aligned 2^(j+1) group holds the group's tree sum, with the lower
+  // half's partial always on the left — exactly the binary tree over rank
+  // indices, so the result matches tree_reduce over the published partials
+  // (what LockstepEndpoint computes) bit for bit.
+  double acc = partial;
+  for (unsigned j = 0; j < impl_->rank_bits_; ++j) {
+    const unsigned partner = impl_->rank_ ^ (1u << j);
+    double theirs = 0.0;
+    impl_->swap_blocks(partner, std::span<const double>(&acc, 1),
+                       std::span<double>(&theirs, 1), tag, nullptr, stats_, false);
+    acc = ((impl_->rank_ >> j) & 1u) != 0 ? theirs + acc : acc + theirs;
+  }
+  ++stats_.allreduce_calls;
+  return acc;
+}
+
+void SocketExchange::allreduce_sum(std::span<double> values, unsigned tag) {
+  impl_->scratch_.resize(values.size());
+  for (unsigned j = 0; j < impl_->rank_bits_; ++j) {
+    const unsigned partner = impl_->rank_ ^ (1u << j);
+    impl_->swap_blocks(partner, values, std::span<double>(impl_->scratch_), tag,
+                       nullptr, stats_, false);
+    const bool upper = ((impl_->rank_ >> j) & 1u) != 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = upper ? impl_->scratch_[i] + values[i]
+                        : values[i] + impl_->scratch_[i];
+    }
+  }
+  ++stats_.allreduce_calls;
+}
+
+void SocketExchange::gather_to_root(std::span<const double> block,
+                                    std::span<double> full, unsigned tag) {
+  const std::size_t nb = block.size();
+  const unsigned rank = impl_->rank_;
+  if (rank == 0) {
+    require(full.size() == nb * impl_->rank_count_,
+            "SocketExchange::gather_to_root: root buffer size mismatch");
+    std::memcpy(full.data(), block.data(), nb * sizeof(double));
+    // Step j receives blocks [2^j, 2^(j+1)) from neighbour 2^j, which has
+    // accumulated them over steps 0..j-1 (binomial gather over the
+    // hypercube links, contiguous because blocks are rank-ordered).
+    for (unsigned j = 0; j < impl_->rank_bits_; ++j) {
+      const std::size_t count = nb << j;
+      impl_->recv_buf(1u << j, full.subspan(count, count), tag);
+    }
+    return;
+  }
+  const unsigned send_step = static_cast<unsigned>(std::countr_zero(rank));
+  impl_->scratch_.resize(nb << send_step);
+  std::memcpy(impl_->scratch_.data(), block.data(), nb * sizeof(double));
+  for (unsigned j = 0; j < send_step; ++j) {
+    const std::size_t count = nb << j;
+    impl_->recv_buf(rank + (1u << j),
+                    std::span<double>(impl_->scratch_).subspan(count, count), tag);
+  }
+  impl_->send_buf(rank - (1u << send_step), impl_->scratch_, tag, stats_);
+}
+
+void SocketExchange::scatter_from_root(std::span<double> block,
+                                       std::span<const double> full, unsigned tag) {
+  const std::size_t nb = block.size();
+  const unsigned rank = impl_->rank_;
+  if (rank == 0) {
+    require(full.size() == nb * impl_->rank_count_,
+            "SocketExchange::scatter_from_root: root image size mismatch");
+    for (unsigned j = impl_->rank_bits_; j-- > 0;) {
+      const std::size_t count = nb << j;
+      impl_->send_buf(1u << j, full.subspan(count, count), tag, stats_);
+    }
+    std::memcpy(block.data(), full.data(), nb * sizeof(double));
+    return;
+  }
+  const unsigned recv_step = static_cast<unsigned>(std::countr_zero(rank));
+  impl_->scratch_.resize(nb << recv_step);
+  impl_->recv_buf(rank - (1u << recv_step), impl_->scratch_, tag);
+  for (unsigned j = recv_step; j-- > 0;) {
+    const std::size_t count = nb << j;
+    impl_->send_buf(rank + (1u << j),
+                    std::span<const double>(impl_->scratch_).subspan(count, count),
+                    tag, stats_);
+  }
+  std::memcpy(block.data(), impl_->scratch_.data(), nb * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process launcher.
+// ---------------------------------------------------------------------------
+
+void run_multiprocess(unsigned rank_count, const std::function<void(Exchange&)>& fn,
+                      unsigned link_timeout_ms) {
+  require(rank_count >= 1 && is_power_of_two(rank_count),
+          "run_multiprocess: rank_count must be a power of two");
+  require(link_timeout_ms > 0, "run_multiprocess: link timeout must be nonzero");
+  ignore_sigpipe();
+
+  const unsigned rank_bits = log2_exact(rank_count);
+
+  if (rank_count == 1) {
+    SocketExchange ex(std::make_unique<detail::SocketExchangeImpl>(
+        0, 1, std::vector<std::unique_ptr<service::FdStream>>{}));
+    fn(ex);
+    return;
+  }
+
+  // All hypercube edges are socketpaired before the first fork; fds[q][j]
+  // is rank q's end of its bit-j link.
+  std::vector<std::vector<int>> fds(rank_count, std::vector<int>(rank_bits, -1));
+  auto close_all = [&fds](unsigned except_rank) {
+    for (unsigned q = 0; q < fds.size(); ++q) {
+      if (q == except_rank) continue;
+      for (int& fd : fds[q]) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+    }
+  };
+  for (unsigned j = 0; j < rank_bits; ++j) {
+    for (unsigned q = 0; q < rank_count; ++q) {
+      if ((q >> j) & 1u) continue;
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        close_all(rank_count);  // no rank excepted: close everything
+        throw ExchangeError("run_multiprocess: socketpair failed: " +
+                            std::string(std::strerror(errno)));
+      }
+      fds[q][j] = sv[0];
+      fds[q | (1u << j)][j] = sv[1];
+    }
+  }
+
+  auto make_exchange = [&](unsigned rank) {
+    std::vector<std::unique_ptr<service::FdStream>> links;
+    links.reserve(rank_bits);
+    for (unsigned j = 0; j < rank_bits; ++j) {
+      links.push_back(std::make_unique<service::FdStream>(fds[rank][j],
+                                                          link_timeout_ms));
+      fds[rank][j] = -1;  // ownership transferred
+    }
+    return SocketExchange(std::make_unique<detail::SocketExchangeImpl>(
+        rank, rank_count, std::move(links)));
+  };
+
+  std::vector<pid_t> children;
+  children.reserve(rank_count - 1);
+  for (unsigned rank = 1; rank < rank_count; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child = rank `rank`.  Everything that matters to the parent (gtest
+      // state, stdio buffers, atexit hooks) must be left untouched: run fn,
+      // then _exit.  Exit status 0 = clean SPMD return, 2 = fn threw.
+      for (unsigned q = 0; q < rank_count; ++q) {
+        if (q == rank) continue;
+        for (int fd : fds[q]) {
+          if (fd >= 0) ::close(fd);
+        }
+      }
+      int status = 0;
+      try {
+        SocketExchange ex = make_exchange(rank);
+        fn(ex);
+      } catch (...) {
+        status = 2;
+      }
+      ::_exit(status);
+    }
+    if (pid < 0) {
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      for (pid_t child : children) ::waitpid(child, nullptr, 0);
+      close_all(rank_count);
+      throw ExchangeError("run_multiprocess: fork failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    children.push_back(pid);
+  }
+
+  // Parent = rank 0.  Child ends of the pairs are closed here so a dead
+  // child turns into EOF on our links instead of a silent wedge.
+  close_all(0);
+  std::exception_ptr error;
+  try {
+    SocketExchange ex = make_exchange(0);
+    fn(ex);
+    // ex destructs here, closing rank 0's links: children still blocked in
+    // a read see EOF and wind down on their own.
+  } catch (...) {
+    error = std::current_exception();
+    for (pid_t child : children) ::kill(child, SIGKILL);
+  }
+
+  std::string child_failure;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    ::waitpid(children[i], &status, 0);
+    if (error) continue;  // killed above; their status is ours, not theirs
+    const unsigned rank = static_cast<unsigned>(i + 1);
+    if (WIFSIGNALED(status)) {
+      child_failure = "run_multiprocess: rank " + std::to_string(rank) +
+                      " died on signal " + std::to_string(WTERMSIG(status));
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      child_failure = "run_multiprocess: rank " + std::to_string(rank) +
+                      " exited with status " + std::to_string(WEXITSTATUS(status));
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  if (!child_failure.empty()) throw ExchangeError(child_failure);
+}
+
+}  // namespace qs::distributed

@@ -1,0 +1,196 @@
+// The one transport interface of the distributed layer.
+//
+// Every communication a distributed solve performs goes through Exchange:
+// pairwise block sendrecv along hypercube links (with per-band tags so a
+// desynchronised rank is caught as a structured error, not silent
+// corruption), allreduce in the deterministic tree order of
+// distributed/reduction.hpp, and binomial-tree gather/scatter against the
+// root.  Two implementations:
+//
+//   * LockstepGroup — rank-per-thread endpoints in one process,
+//     barrier-synchronised through shared memory.  Deterministic, cheap,
+//     and the TSan target; this is the direct descendant of the original
+//     "simulated MPI" communicator.
+//   * SocketExchange / run_multiprocess — real multi-process transport:
+//     the caller's process becomes rank 0 and forks the other ranks, with
+//     one AF_UNIX socketpair per hypercube edge wrapped in the solver
+//     service's poll-gated FdStream.  Each rank holds only its own
+//     2^(nu-k) block — the first configuration where the aggregate solver
+//     state exceeds one address space.
+//
+// Overlap: sendrecv_overlapped delivers the incoming block in segments and
+// invokes the caller's combine callback on segment s-1 while segment s is
+// still in flight, so the butterfly's cross-rank combine hides behind the
+// wire time.  TrafficStats::overlap_ns / exchange_ns quantify the effect
+// (the obs `dist.exchange` spans prove it in traces).
+//
+// Determinism contract: all reduction entry points combine in the
+// tree order of distributed/reduction.hpp — rank partial r0..rR-1 become
+// ((r0+r1)+(r2+r3))+..., which is what recursive doubling on a hypercube
+// computes natively.  Results are bit-identical across transports and rank
+// counts (see docs/distributed.md for the full argument).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "distributed/block_layout.hpp"
+
+namespace qs::distributed {
+
+/// Any distributed-transport failure: a peer rank died mid-exchange, a link
+/// timed out, or the ranks desynchronised (mismatched tag or length).  The
+/// message names the ranks involved; callers get a structured error and a
+/// prompt return, never a hang (every socket operation is poll-gated).
+class ExchangeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Segment-delivery callback of sendrecv_overlapped: called once per
+/// received segment [begin, end) (indices in doubles, ascending, exactly
+/// covering the block).
+using SegmentFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// One rank's endpoint of the collective transport.  All ranks of a group
+/// must call the same sequence of collective operations with matching tags
+/// and lengths (MPI-style SPMD discipline); the implementations validate
+/// tags/lengths where the transport allows and raise ExchangeError on
+/// mismatch.
+class Exchange {
+ public:
+  virtual ~Exchange() = default;
+
+  virtual unsigned rank() const = 0;
+  virtual unsigned rank_count() const = 0;
+
+  /// Pairwise block swap: sends `send` to `partner` and fills `recv` with
+  /// the partner's block.  Both sides must pass the same length and tag.
+  virtual void sendrecv(unsigned partner, std::span<const double> send,
+                        std::span<double> recv, unsigned tag) = 0;
+
+  /// Pipelined sendrecv: `recv` is delivered in segments, and `on_segment`
+  /// runs as soon as its segment arrived — on a real transport, while later
+  /// segments are still in flight, so combine work overlaps the wire.  The
+  /// callback may overwrite already-sent prefixes of `send` (the transport
+  /// guarantees segment s is fully written out before on_segment(s) runs).
+  /// The base implementation completes the swap first and then delivers one
+  /// whole-block segment (no overlap).
+  virtual void sendrecv_overlapped(unsigned partner, std::span<const double> send,
+                                   std::span<double> recv, unsigned tag,
+                                   const SegmentFn& on_segment);
+
+  /// Tree-ordered global sum of one scalar; every rank receives the same
+  /// bits, invariant to rank count (see reduction.hpp).
+  virtual double allreduce_sum(double partial, unsigned tag) = 0;
+
+  /// Element-wise tree-ordered global sum of a small vector (stats,
+  /// multi-scalar control words).  Same determinism contract per element.
+  virtual void allreduce_sum(std::span<double> values, unsigned tag) = 0;
+
+  /// Binomial-tree gather of the per-rank blocks into rank 0's `full`
+  /// (size rank_count * block length there; ignored elsewhere — pass {}).
+  virtual void gather_to_root(std::span<const double> block,
+                              std::span<double> full, unsigned tag) = 0;
+
+  /// Inverse of gather_to_root: rank 0's `full` is split into per-rank
+  /// blocks (non-root ranks pass {} for `full`).
+  virtual void scatter_from_root(std::span<double> block,
+                                 std::span<const double> full, unsigned tag) = 0;
+
+  /// This endpoint's traffic counters (sends and reductions it performed).
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+
+ protected:
+  TrafficStats stats_;
+};
+
+/// In-process lockstep transport: one endpoint per rank, shared-memory
+/// block swaps synchronised with a std::barrier.  Run one thread per rank
+/// (run() below does) and have each call the collective operations in the
+/// same order — the barrier protocol makes every data hand-off a
+/// happens-before edge, so the group is race-free under TSan by
+/// construction.
+class LockstepGroup {
+ public:
+  explicit LockstepGroup(unsigned rank_count);
+  ~LockstepGroup();
+
+  LockstepGroup(const LockstepGroup&) = delete;
+  LockstepGroup& operator=(const LockstepGroup&) = delete;
+
+  unsigned rank_count() const;
+
+  /// Endpoint for `rank`; valid for the group's lifetime.  Each endpoint
+  /// must be used by exactly one thread at a time.
+  Exchange& endpoint(unsigned rank);
+
+  /// Convenience SPMD runner: spawns one thread per rank, calls
+  /// fn(endpoint(rank)) on each, joins, and rethrows rank 0's exception
+  /// (or the lowest-ranked one).  A rank that throws drops out of the
+  /// barrier protocol and flags the group, so surviving ranks fail with
+  /// ExchangeError instead of hanging.
+  void run(const std::function<void(Exchange&)>& fn);
+
+  struct Impl;  // implementation detail (public only for the .cpp's endpoints)
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+namespace detail {
+class SocketExchangeImpl;
+}  // namespace detail
+
+/// Multi-process transport over pre-forked AF_UNIX socketpairs, one per
+/// hypercube edge, each wrapped in the solver service's poll-gated
+/// FdStream.  Construction is handled by run_multiprocess; the type is
+/// exposed so tests can probe rank()/stats() through the Exchange
+/// interface.
+class SocketExchange final : public Exchange {
+ public:
+  ~SocketExchange() override;
+
+  unsigned rank() const override;
+  unsigned rank_count() const override;
+  void sendrecv(unsigned partner, std::span<const double> send,
+                std::span<double> recv, unsigned tag) override;
+  void sendrecv_overlapped(unsigned partner, std::span<const double> send,
+                           std::span<double> recv, unsigned tag,
+                           const SegmentFn& on_segment) override;
+  double allreduce_sum(double partial, unsigned tag) override;
+  void allreduce_sum(std::span<double> values, unsigned tag) override;
+  void gather_to_root(std::span<const double> block, std::span<double> full,
+                      unsigned tag) override;
+  void scatter_from_root(std::span<double> block, std::span<const double> full,
+                         unsigned tag) override;
+
+ private:
+  friend void run_multiprocess(unsigned, const std::function<void(Exchange&)>&,
+                               unsigned);
+  explicit SocketExchange(std::unique_ptr<detail::SocketExchangeImpl> impl);
+  std::unique_ptr<detail::SocketExchangeImpl> impl_;
+};
+
+/// Runs `fn` as an SPMD program over `rank_count` real processes: the
+/// calling process becomes rank 0 and the other ranks are forked children
+/// (which _exit when their fn returns, skipping atexit handlers).  All
+/// hypercube socketpairs are created before the first fork; each rank keeps
+/// only the fds of its own edges.  `link_timeout_ms` bounds every poll-gated
+/// socket chunk, so a dead or wedged peer costs at most the timeout.
+///
+/// Throws ExchangeError when rank 0's fn throws, when any child exits
+/// abnormally, or when a link breaks mid-exchange (remaining children are
+/// killed and reaped first — no orphans, no hangs).  rank_count must be a
+/// power of two.  Fork duplicates only the calling thread; call this from a
+/// process whose other threads (if any) hold no locks the children need.
+void run_multiprocess(unsigned rank_count, const std::function<void(Exchange&)>& fn,
+                      unsigned link_timeout_ms = 30000);
+
+}  // namespace qs::distributed

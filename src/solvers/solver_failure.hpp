@@ -26,6 +26,11 @@ enum class SolverFailure {
                ///< received a shutdown signal.  The iterate is finite but
                ///< unconverged; with checkpointing configured the final
                ///< state was flushed before the solver returned.
+  unsupported, ///< The requested backend cannot run this problem class
+               ///< (e.g. the distributed layer was handed a grouped mutation
+               ///< model, which has no 2x2 per-site factorisation to shard).
+               ///< The input is structurally valid but routed to the wrong
+               ///< solver; nothing was computed.
 };
 
 /// Stable identifier for logs and CLI output.
@@ -35,6 +40,8 @@ constexpr std::string_view to_string(SolverFailure failure) {
       return "non-finite";
     case SolverFailure::cancelled:
       return "cancelled";
+    case SolverFailure::unsupported:
+      return "unsupported";
     case SolverFailure::none:
       break;
   }

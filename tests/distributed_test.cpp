@@ -1,6 +1,8 @@
 // Unit tests for the simulated distributed-memory decomposition.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/fmmp.hpp"
 #include "core/site_process.hpp"
 #include "core/spectral.hpp"
@@ -156,7 +158,7 @@ TEST(DistributedPower, RankCountDoesNotChangeTheAnswer) {
   EXPECT_GT(sixteen.traffic.messages, four.traffic.messages);
 }
 
-TEST(DistributedApply, RejectsGroupedModels) {
+TEST(DistributedApply, RejectsGroupedModelsWithStructuredError) {
   const auto grouped =
       core::MutationModel::grouped({core::coupled_single_flip_group(2, 0.2),
                                     core::coupled_single_flip_group(2, 0.2)});
@@ -164,8 +166,34 @@ TEST(DistributedApply, RejectsGroupedModels) {
   const BlockLayout layout(4, 2);
   auto dv = DistributedVector::scatter(layout, std::vector<double>(16, 1.0 / 16));
   TrafficStats stats;
+  // The old contract was a hard `require` abort with a generic message; the
+  // distributed layer now raises a structured error naming the kind and
+  // mapping onto SolverFailure::unsupported — while still deriving from
+  // precondition_error so pre-existing catch sites keep working.
+  try {
+    distributed_apply_w(grouped, landscape, dv, stats);
+    FAIL() << "grouped model must be rejected";
+  } catch (const UnsupportedModelError& e) {
+    EXPECT_EQ(e.kind(), core::MutationKind::grouped);
+    EXPECT_EQ(e.failure(), solvers::SolverFailure::unsupported);
+    EXPECT_NE(std::string(e.what()).find("grouped"), std::string::npos);
+  }
   EXPECT_THROW(distributed_apply_w(grouped, landscape, dv, stats),
-               precondition_error);
+               precondition_error);  // the compat contract
+}
+
+TEST(DistributedPower, RejectsGroupedModelsWithStructuredError) {
+  const auto grouped =
+      core::MutationModel::grouped({core::coupled_single_flip_group(2, 0.2),
+                                    core::coupled_single_flip_group(2, 0.2)});
+  const auto landscape = core::Landscape::flat(4, 1.0);
+  try {
+    distributed_power_iteration(grouped, landscape, 2);
+    FAIL() << "grouped model must be rejected";
+  } catch (const UnsupportedModelError& e) {
+    EXPECT_EQ(e.kind(), core::MutationKind::grouped);
+    EXPECT_EQ(e.failure(), solvers::SolverFailure::unsupported);
+  }
 }
 
 }  // namespace

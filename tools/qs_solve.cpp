@@ -46,6 +46,12 @@ void print_usage() {
       "options:\n"
       "  --reduced           use the exact (nu+1)^2 reduction (error-class\n"
       "                      landscapes only; allows huge --nu)\n"
+      "  --ranks R           distributed power solve over R ranks (power of\n"
+      "                      two; hypercube decomposition, each rank owns a\n"
+      "                      2^nu/R block; bit-identical to the serial solve)\n"
+      "  --exchange KIND     distributed transport: lockstep (threads, the\n"
+      "                      default) or process (forked ranks over AF_UNIX\n"
+      "                      socketpairs — real per-rank address spaces)\n"
       "  --tolerance T       relative residual target (default 1e-13)\n"
       "  --no-shift          disable the convergence-acceleration shift\n"
       "  --parallel          use the OpenMP engine\n"
@@ -372,7 +378,55 @@ int run(const qs::ArgParser& args) {
   qs::install_shutdown_handlers();
   qs::Timer timer;
 
-  if (args.has("block-size") || solver == "block") {
+  if (args.has("ranks")) {
+    if (solver != "power") {
+      throw CliError{"--ranks supports --solver power only"};
+    }
+    const unsigned ranks =
+        static_cast<unsigned>(args.get_long("ranks", 2, 1, 1u << 20));
+    const std::string exchange = args.get("exchange", "lockstep");
+    qs::distributed::DistributedPowerOptions opts;
+    opts.tolerance = tolerance;
+    opts.plan = plan;
+    if (!args.has("no-shift")) {
+      opts.shift = qs::core::conservative_shift(model, landscape);
+    }
+    if (exchange == "lockstep") {
+      opts.exchange = qs::distributed::ExchangeKind::lockstep;
+    } else if (exchange == "process") {
+      opts.exchange = qs::distributed::ExchangeKind::process;
+    } else {
+      throw CliError{"--exchange must be lockstep or process"};
+    }
+    apply_resilience(resilience, opts);
+    const auto r =
+        resilience.resume
+            ? qs::distributed::resume_distributed_power_iteration(
+                  model, landscape, ranks, *resilience.resume, opts)
+            : qs::distributed::distributed_power_iteration(model, landscape,
+                                                           ranks, opts);
+    warn_checkpoint_failures(r.checkpoint_failures);
+    // Traffic totals are aggregated before the group disbands, so even a
+    // cancelled run reports what it shipped up to the stop point.
+    std::cout << "distributed: ranks = " << r.rank_count << " (" << exchange
+              << "), block = " << (qs::sequence_count(nu) / r.rank_count)
+              << " doubles, local levels = " << r.local_levels << "/" << nu
+              << ", sv kernel = " << r.plan_kernel << "\n"
+              << "traffic: " << r.traffic.messages << " messages, "
+              << r.traffic.bytes_moved() << " bytes, "
+              << r.traffic.allreduce_calls << " allreduces, overlap ratio = "
+              << r.traffic.overlap_ratio() << "\n";
+    check_interrupted(r.failure, resilience);
+    if (r.failure != qs::solvers::SolverFailure::none) {
+      throw CliError{std::string("distributed solver failed: ") +
+                     std::string(qs::solvers::to_string(r.failure))};
+    }
+    if (!r.converged) throw CliError{"distributed solver did not converge"};
+    eigenvalue = r.eigenvalue;
+    concentrations = r.eigenvector;
+    iterations = r.iterations;
+    residual = r.residual;
+  } else if (args.has("block-size") || solver == "block") {
     qs::solvers::BlockPowerOptions bopts;
     bopts.k = static_cast<unsigned>(args.get_long("block-size", 2, 1, 64));
     bopts.tolerance = std::max(tolerance, 1e-11);

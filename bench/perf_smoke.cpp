@@ -21,7 +21,10 @@
 //      is no slower than 1.3x the sequential per-replica products — healthy
 //      builds sit near 0.5x (i.e. ~2x faster), so this catches the batching
 //      having silently degenerated to the one-vector path;
-//   6. the single-vector SIMD microkernels beat the forced-autovec banded
+//   6. a histogram record (the always-compiled telemetry the service layer
+//      runs on) costs under 1% of a blocked matvec even at ~8 records per
+//      solve iteration — pins the hot-path budget of the latency plane;
+//   7. the single-vector SIMD microkernels beat the forced-autovec banded
 //      apply by >= 1.15x (measured: ~1.7x on an AVX-512 host at nu = 16 and
 //      22) — catches the sv dispatch silently falling back to the plain
 //      loops.  Skipped gracefully on hosts where no SIMD table is available
@@ -32,6 +35,7 @@
 
 #include "bench_common.hpp"
 #include "core/fmmp.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stochastic/ensemble.hpp"
@@ -177,11 +181,38 @@ int main() {
     }
   }
 
+  {
+    // Check 6: histogram records are always compiled (no tracing gate), so
+    // their cost is a standing tax on every instrumented path.  Budget: a
+    // solve iteration records a handful of durations/ratios (queue wait,
+    // cache lookup, exchange segments, residual decay — call it 8); that
+    // many records must stay under 1% of one blocked matvec.
+    qs::obs::Histogram& probe_hist = qs::obs::histogram("perf.record_probe");
+    constexpr std::size_t kProbe = std::size_t{1} << 20;
+    volatile double sample = 1.25e-3;  // defeat constant-folding the bin index
+    const double t_probe = bench::time_best_of(3, [&] {
+      for (std::size_t i = 0; i < kProbe; ++i) probe_hist.record(sample);
+    });
+    const double per_record = t_probe / static_cast<double>(kProbe);
+    constexpr double kRecordsPerMatvec = 8.0;
+    const double overhead = kRecordsPerMatvec * per_record / t_single;
+    std::cout << "  histogram record    : " << per_record * 1e9 << " ns ("
+              << kRecordsPerMatvec << " records/matvec => "
+              << overhead * 100.0 << "% of one blocked matvec)\n";
+    if (overhead > 0.01) {
+      std::cerr << "FAIL: histogram recording costs " << overhead * 100.0
+                << "% of a blocked matvec at " << kRecordsPerMatvec
+                << " records/matvec (budget: 1%)\n";
+      ++failures;
+    }
+    qs::obs::reset_histograms();
+  }
+
   if (transforms::best_sv_kernels() == nullptr) {
     std::cout << "  sv microkernels     : no SIMD table on this build/CPU — "
-                 "autovec is the best kernel, check 6 skipped\n";
+                 "autovec is the best kernel, check 7 skipped\n";
   } else {
-    // Check 6: the single-vector microkernel path must actually beat the
+    // Check 7: the single-vector microkernel path must actually beat the
     // forced-autovec loops on the bare banded apply.  The threshold is
     // deliberately tolerant (measured ~1.7x on AVX-512; required 1.15x) so
     // only a dispatch regression — not machine noise — can trip it.

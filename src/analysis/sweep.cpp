@@ -9,6 +9,7 @@
 #include "core/spectral.hpp"
 #include "core/workspace.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "solvers/power_iteration.hpp"
 #include "solvers/reduced_solver.hpp"
 #include "support/contracts.hpp"
@@ -172,7 +173,14 @@ FamilyResult sweep_landscape_family(const core::MutationModel& model,
       result.cancelled = true;
       break;
     }
-    panel_product();
+    {
+      // One span per power step: under a service batch TraceScope these
+      // inherit the batch's trace id, so a merged Chrome trace shows the
+      // solver iterations nested inside the request timeline.
+      QS_TRACE_SPAN_ARG("sweep.panel_product", solver,
+                        static_cast<std::int64_t>(result.panel_products));
+      panel_product();
+    }
     ++result.panel_products;
 
     // Nonnegative iterates and column-stochastic-scaled W: with x_j 1-norm
@@ -200,10 +208,14 @@ FamilyResult sweep_landscape_family(const core::MutationModel& model,
         for (std::size_t j = 0; j < m; ++j) num[j] += local[j];
       });
       bool done = true;
+      double worst = 0.0;
       for (std::size_t j = 0; j < m; ++j) {
         resid[j] = lambda[j] > 0.0 ? num[j] / lambda[j] : num[j];
         if (!std::isfinite(resid[j]) || resid[j] > options.tolerance) done = false;
+        worst = std::max(worst, resid[j]);
       }
+      QS_TRACE_INSTANT_ARG("sweep.residual", solver, worst,
+                           static_cast<std::int64_t>(result.panel_products));
       if (done) {
         result.converged = true;
         break;

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/contracts.hpp"
 #include "support/timer.hpp"
 
@@ -137,6 +138,12 @@ class RequestQueue {
         stats_.popped += batch.size();
         ++stats_.batches;
       }
+    }
+    // Queue-wait distribution (push -> pop), recorded outside the lock.
+    if (!batch.empty()) {
+      obs::Histogram& wait_hist = obs::histogram("queue.wait");
+      const std::uint64_t popped_ns = monotonic_ns();
+      for (const Entry& e : batch) wait_hist.record_ns(popped_ns - e.enqueued_ns);
     }
     for (Entry& e : expired) {
       if (on_expired) on_expired(std::move(e));

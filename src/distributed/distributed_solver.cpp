@@ -7,7 +7,9 @@
 
 #include "distributed/reduction.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_wire.hpp"
 #include "obs/trace.hpp"
 #include "parallel/engine.hpp"
 #include "support/timer.hpp"
@@ -29,6 +31,8 @@ constexpr unsigned kTagSign = 106;
 constexpr unsigned kTagFinalNorm = 107;
 constexpr unsigned kTagGather = 108;
 constexpr unsigned kTagStats = 109;
+constexpr unsigned kTagSpanLens = 110;  ///< Packed span-buffer lengths.
+constexpr unsigned kTagSpanShip = 111;  ///< Span buffers gathered to root.
 
 /// Bit 32 of the per-check control word carries rank 0's wall-clock
 /// checkpoint cadence; bits below sum the ranks' cancellation votes.
@@ -95,12 +99,77 @@ void apply_w_rank(Exchange& exchange, const BlockLayout& layout,
     QS_TRACE_COUNTER("dist.exchange_messages", 1);
     double* mine = y.data();
     double* theirs = recv.data();
+    const std::uint64_t exchange_start = monotonic_ns();
     exchange.sendrecv_overlapped(
         partner, y, recv, k,
         [mine, theirs, is_low, f, sv](std::size_t begin, std::size_t end) {
           combine_cross_segment(mine + begin, theirs + begin, is_low,
                                 end - begin, f, sv);
         });
+    static obs::Histogram& exchange_hist = obs::histogram("dist.exchange");
+    exchange_hist.record_ns(monotonic_ns() - exchange_start);
+  }
+}
+
+/// Ships every rank's span buffer to rank 0 and merges them into its
+/// snapshot, so one Chrome trace shows per-rank tracks with the request's
+/// trace id.  Runs only over a transport whose ranks live in separate
+/// address spaces (forked processes): in-process lockstep ranks already
+/// share the span registry.  All ranks must call this together — it is a
+/// collective rendezvous (one allreduce + one gather), and the decision to
+/// run is replicated (compile gate, enabled flag, and transport kind are
+/// identical on every rank).
+void ship_spans_to_root(Exchange& exchange, std::uint64_t rank_start_ns) {
+  if (!obs::compiled_in() || !obs::enabled()) return;
+  if (exchange.shared_address_space()) return;
+  const unsigned rank = exchange.rank();
+  const unsigned ranks = exchange.rank_count();
+  const bool root = rank == 0;
+
+  std::vector<double> packed;
+  if (!root) {
+    // fork() duplicated rank 0's span rings into this child, so the
+    // snapshot holds the parent's pre-fork spans too; ship only what this
+    // rank recorded itself (started at or after its own entry), capped to
+    // the most recent records to bound the gather.
+    std::vector<obs::SpanRecord> spans = obs::snapshot_spans();
+    std::erase_if(spans, [rank_start_ns](const obs::SpanRecord& s) {
+      return s.start_ns < rank_start_ns;
+    });
+    constexpr std::size_t kMaxShippedSpans = 16384;
+    if (spans.size() > kMaxShippedSpans) {
+      spans.erase(spans.begin(),
+                  spans.end() - static_cast<std::ptrdiff_t>(kMaxShippedSpans));
+    }
+    packed = obs::pack_spans(spans);
+  }
+
+  // The binomial gather needs equal block sizes: agree on the longest
+  // packed buffer, pad everyone up to it, and slice exact lengths on root.
+  std::vector<double> lens(ranks, 0.0);
+  lens[rank] = static_cast<double>(packed.size());
+  exchange.allreduce_sum(std::span<double>(lens), kTagSpanLens);
+  std::size_t max_len = 0;
+  for (double l : lens) max_len = std::max(max_len, static_cast<std::size_t>(l));
+  if (max_len == 0) return;  // span-less run everywhere: skip the gather
+  packed.resize(max_len, 0.0);
+
+  std::vector<double> full;
+  if (root) full.resize(max_len * ranks);
+  exchange.gather_to_root(
+      packed, root ? std::span<double>(full) : std::span<double>{}, kTagSpanShip);
+  if (!root) return;
+
+  std::vector<obs::SpanRecord> remote;
+  for (unsigned r = 1; r < ranks; ++r) {
+    remote.clear();
+    const std::span<const double> slice(full.data() + r * max_len,
+                                        static_cast<std::size_t>(lens[r]));
+    if (obs::unpack_spans(slice, remote)) {
+      obs::import_spans(remote, obs::kRankTidBase + r * obs::kRankTidStride);
+    }
+    // A malformed buffer (a rank died mid-pack) is dropped, not fatal:
+    // telemetry must never fail a solve that already finished.
   }
 }
 
@@ -215,6 +284,10 @@ DistributedPowerResult distributed_power_rank(
   const unsigned rank = exchange.rank();
   const bool root = rank == 0;
   const std::size_t block = layout.block_size();
+  // Span-shipping cutoff: a forked rank only ships spans that started at or
+  // after its own entry (everything earlier is the parent's, already in
+  // rank 0's rings).  Taken before any work so no own span is lost.
+  const std::uint64_t rank_start_ns = monotonic_ns();
   require(exchange.rank_count() == layout.rank_count(),
           "distributed_power_rank: exchange/layout rank count mismatch");
   require(sites.size() == layout.nu(),
@@ -421,6 +494,11 @@ DistributedPowerResult distributed_power_rank(
   out.traffic.allreduce_calls = static_cast<std::size_t>(agg[2]);
   out.traffic.exchange_ns = static_cast<std::uint64_t>(agg[3]);
   out.traffic.overlap_ns = static_cast<std::uint64_t>(agg[4]);
+
+  // Final collective: merge every rank's span buffer into rank 0's
+  // timeline (no-op in span-less builds, with tracing disabled, or when
+  // the ranks share this address space).
+  ship_spans_to_root(exchange, rank_start_ns);
   return out;
 }
 

@@ -103,6 +103,12 @@ class Exchange {
   virtual void scatter_from_root(std::span<double> block,
                                  std::span<const double> full, unsigned tag) = 0;
 
+  /// True when every rank of this group can see this process's memory — the
+  /// ranks share one span-buffer registry, so trace spans need no shipping.
+  /// SocketExchange (forked processes) overrides to false, which switches
+  /// on the cross-rank span gather at the end of a distributed solve.
+  virtual bool shared_address_space() const { return true; }
+
   /// This endpoint's traffic counters (sends and reductions it performed).
   TrafficStats& stats() { return stats_; }
   const TrafficStats& stats() const { return stats_; }
@@ -159,6 +165,7 @@ class SocketExchange final : public Exchange {
 
   unsigned rank() const override;
   unsigned rank_count() const override;
+  bool shared_address_space() const override { return false; }
   void sendrecv(unsigned partner, std::span<const double> send,
                 std::span<double> recv, unsigned tag) override;
   void sendrecv_overlapped(unsigned partner, std::span<const double> send,

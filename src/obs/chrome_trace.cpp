@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <string>
 #include <ostream>
 #include <vector>
 
@@ -34,6 +36,15 @@ void write_escaped(std::ostream& out, const char* text) {
   out << '"';
 }
 
+/// Trace ids render as fixed-width hex strings: JSON numbers lose u64
+/// precision past 2^53, and hex is what one pastes into Perfetto's query.
+std::string hex_id(std::uint64_t id) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 /// Microseconds with three decimals: the trace spec's `ts`/`dur` unit.
 void write_us(std::ostream& out, std::uint64_t ns) {
   out << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
@@ -52,8 +63,23 @@ void write_chrome_trace(std::ostream& out) {
   std::uint64_t t0 = spans.empty() ? 0 : spans.front().start_ns;
   for (const SpanRecord& s : spans) t0 = std::min(t0, s.start_ns);
 
-  std::uint32_t max_tid = 0;
-  for (const SpanRecord& s : spans) max_tid = std::max(max_tid, s.tid);
+  // Distinct tids, not 0..max: imported rank spans sit on sparse synthetic
+  // ids at kRankTidBase and above (one track per rank).
+  std::vector<std::uint32_t> tids;
+  for (const SpanRecord& s : spans) tids.push_back(s.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+
+  const auto thread_label = [](std::uint32_t tid) -> std::string {
+    if (tid < kRankTidBase) {
+      return tid == 0 ? std::string("main") : "worker-" + std::to_string(tid);
+    }
+    const std::uint32_t rank = (tid - kRankTidBase) / kRankTidStride;
+    const std::uint32_t remote = (tid - kRankTidBase) % kRankTidStride;
+    std::string label = "rank-" + std::to_string(rank);
+    if (remote != 0) label += "/worker-" + std::to_string(remote);
+    return label;
+  };
 
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -67,13 +93,10 @@ void write_chrome_trace(std::ostream& out) {
   sep();
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"quasispecies\"}}";
-  if (!spans.empty()) {
-    for (std::uint32_t tid = 0; tid <= max_tid; ++tid) {
-      sep();
-      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-          << ",\"args\":{\"name\":\"" << (tid == 0 ? "main" : "worker-")
-          << (tid == 0 ? "" : std::to_string(tid)) << "\"}}";
-    }
+  for (const std::uint32_t tid : tids) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << thread_label(tid) << "\"}}";
   }
 
   for (const SpanRecord& s : spans) {
@@ -93,6 +116,7 @@ void write_chrome_trace(std::ostream& out) {
       write_us(out, s.cpu_ns);
     }
     if (s.arg >= 0) out << ",\"arg\":" << s.arg;
+    if (s.trace_id != 0) out << ",\"trace_id\":\"" << hex_id(s.trace_id) << "\"";
     out << "}}";
   }
 
@@ -113,6 +137,7 @@ void write_chrome_trace(std::ostream& out) {
   out << "\n],\"otherData\":{\"tracing_compiled_in\":"
       << (compiled_in() ? "true" : "false")
       << ",\"dropped_spans\":" << dropped_spans()
+      << ",\"dropped_counters\":" << dropped_counters()
       << ",\"span_count\":" << spans.size() << "}}\n";
 }
 

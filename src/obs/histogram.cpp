@@ -1,0 +1,189 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+namespace qs::obs {
+namespace {
+
+/// Threads are striped over shards round-robin at first record; one TLS
+/// integer shared by every histogram keeps record() to a single indexed
+/// access with no per-histogram thread state.
+std::atomic<unsigned> g_shard_seq{0};
+
+inline unsigned shard_index() {
+  thread_local const unsigned shard =
+      g_shard_seq.fetch_add(1, std::memory_order_relaxed) % Histogram::kShards;
+  return shard;
+}
+
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  Histogram hist;
+};
+
+// Static registry: claimed-once slots, never freed, no heap.  The mutex
+// guards claiming only; lookup is a lock-free scan over published slots.
+Slot g_slots[kMaxHistograms];
+std::atomic<std::size_t> g_slot_count{0};
+std::mutex g_claim_mutex;
+
+// Returned when the registry is full so call sites never branch on null;
+// its samples are exported under a recognizable name.
+Histogram g_overflow_histogram;
+constexpr const char* kOverflowName = "obs.histogram_overflow";
+
+}  // namespace
+
+double HistogramSnapshot::bin_floor(int index) {
+  return std::exp2(kMinExponent +
+                   static_cast<double>(index) / kBinsPerOctave);
+}
+
+int HistogramSnapshot::bin_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero/negative clamp to the bottom bin
+  const double octaves = std::log2(value) - kMinExponent;
+  const int index = static_cast<int>(std::floor(octaves * kBinsPerOctave));
+  return std::clamp(index, 0, kBins - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (int i = 0; i < kBins; ++i) bins[i] += other.bins[i];
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (nearest-rank, 1-based), then walk bins.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBins; ++i) {
+    cumulative += bins[i];
+    if (cumulative >= rank) {
+      // Geometric bin midpoint, capped by the exact recorded max.
+      const double mid = std::exp2(
+          kMinExponent + (static_cast<double>(i) + 0.5) / kBinsPerOctave);
+      return max > 0.0 ? std::min(mid, max) : mid;
+    }
+  }
+  return max;
+}
+
+void Histogram::record(double value) {
+  if (!std::isfinite(value)) return;
+  Shard& shard = shards_[shard_index()];
+  const int bin = HistogramSnapshot::bin_index(value);
+  std::atomic_ref<std::uint64_t>(shard.bins[bin])
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(shard.count)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<double> sum(shard.sum);
+  double expected = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(expected, expected + value,
+                                    std::memory_order_relaxed)) {
+  }
+  std::atomic_ref<double> max(shard.max);
+  double seen = max.load(std::memory_order_relaxed);
+  while (value > seen && !max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const Shard& shard : shards_) {
+    out.count += std::atomic_ref<const std::uint64_t>(shard.count)
+                     .load(std::memory_order_relaxed);
+    out.sum += std::atomic_ref<const double>(shard.sum)
+                   .load(std::memory_order_relaxed);
+    out.max = std::max(out.max, std::atomic_ref<const double>(shard.max)
+                                    .load(std::memory_order_relaxed));
+    for (int i = 0; i < HistogramSnapshot::kBins; ++i) {
+      out.bins[i] += std::atomic_ref<const std::uint64_t>(shard.bins[i])
+                         .load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    std::atomic_ref<std::uint64_t>(shard.count).store(
+        0, std::memory_order_relaxed);
+    std::atomic_ref<double>(shard.sum).store(0.0, std::memory_order_relaxed);
+    std::atomic_ref<double>(shard.max).store(0.0, std::memory_order_relaxed);
+    for (int i = 0; i < HistogramSnapshot::kBins; ++i) {
+      std::atomic_ref<std::uint64_t>(shard.bins[i])
+          .store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram& histogram(const char* name) {
+  const std::size_t published = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < published; ++i) {
+    const char* slot_name = g_slots[i].name.load(std::memory_order_acquire);
+    if (slot_name == name ||
+        (slot_name != nullptr && std::strcmp(slot_name, name) == 0)) {
+      return g_slots[i].hist;
+    }
+  }
+  std::lock_guard lock(g_claim_mutex);
+  const std::size_t n = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* slot_name = g_slots[i].name.load(std::memory_order_acquire);
+    if (slot_name != nullptr && std::strcmp(slot_name, name) == 0) {
+      return g_slots[i].hist;
+    }
+  }
+  if (n >= kMaxHistograms) return g_overflow_histogram;
+  g_slots[n].name.store(name, std::memory_order_release);
+  g_slot_count.store(n + 1, std::memory_order_release);
+  return g_slots[n].hist;
+}
+
+std::vector<NamedHistogram> snapshot_histograms() {
+  std::vector<NamedHistogram> out;
+  const std::size_t published = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < published; ++i) {
+    const char* name = g_slots[i].name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    HistogramSnapshot snap = g_slots[i].hist.snapshot();
+    if (snap.count == 0) continue;
+    out.push_back({name, std::move(snap)});
+  }
+  HistogramSnapshot overflow = g_overflow_histogram.snapshot();
+  if (overflow.count > 0) out.push_back({kOverflowName, std::move(overflow)});
+  std::sort(out.begin(), out.end(),
+            [](const NamedHistogram& a, const NamedHistogram& b) {
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return out;
+}
+
+void reset_histograms() {
+  const std::size_t published = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < published; ++i) g_slots[i].hist.reset();
+  g_overflow_histogram.reset();
+}
+
+HistogramSummary summarize(const char* name, const HistogramSnapshot& snapshot) {
+  HistogramSummary out;
+  out.name = name;
+  out.count = snapshot.count;
+  out.sum = snapshot.sum;
+  out.max = snapshot.max;
+  out.p50 = snapshot.p50();
+  out.p90 = snapshot.p90();
+  out.p99 = snapshot.p99();
+  return out;
+}
+
+}  // namespace qs::obs

@@ -1,0 +1,118 @@
+// Always-compiled latency/ratio histograms with fixed log-spaced bins.
+//
+// Unlike the span layer (obs/trace.hpp), which is compile-gated because it
+// sits inside kernel inner loops, histograms record *per-request* and
+// *per-check* quantities — queue wait, solve duration, cache lookup,
+// exchange segments, residual decay — and are cheap enough to keep on in
+// every build (one relaxed fetch_add on a per-thread shard; perf_smoke
+// pins the record cost below 1% of a mat-vec).
+//
+// Design:
+//   - Fixed registry of kMaxHistograms static slots claimed by name on
+//     first use; no heap allocation on record or lookup (alloc-guard safe).
+//   - Log-spaced bins, kBinsPerOctave = 4 (bin edge ratio 2^0.25 ~ 1.19),
+//     covering 2^-32 .. 2^16 in the recorded unit.  Durations are recorded
+//     in seconds (0.23 ns .. 18 h); residual-decay ratios fit the same
+//     range.  Out-of-range values clamp to the edge bins.
+//   - Lock-free per-thread shards: each thread hashes to one of kShards
+//     bins arrays; record() is a relaxed fetch_add plus a CAS max.
+//   - snapshot() merges shards into a HistogramSnapshot; snapshots merge
+//     across processes/files and answer quantile(q) at bin resolution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qs::obs {
+
+/// Merged, immutable view of one histogram (also the cross-rank/file
+/// merge unit).  Quantiles are geometric bin midpoints: exact to within
+/// one bin width (a factor of 2^(1/kBinsPerOctave)).
+struct HistogramSnapshot {
+  static constexpr int kBinsPerOctave = 4;
+  static constexpr int kMinExponent = -32;  ///< bin 0 floor = 2^-32
+  static constexpr int kBins = 192;         ///< spans 48 octaves
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBins> bins{};
+
+  /// Lower edge of bin `index` in recorded units.
+  static double bin_floor(int index);
+
+  /// Bin index for a value (clamped to [0, kBins)).
+  static int bin_index(double value);
+
+  void merge(const HistogramSnapshot& other);
+
+  /// q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Flat summary used by metrics JSON (schema v2) and the STATS text
+/// exposition; also what read_metrics_json() reconstructs from disk.
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One named histogram.  Thread-safe; record() never allocates.
+class Histogram {
+ public:
+  static constexpr int kShards = 8;
+
+  /// Records one sample.  Non-finite values are dropped; values outside
+  /// the bin range clamp to the edge bins (and still count toward sum/max).
+  void record(double value);
+  void record_ns(std::uint64_t ns) { record(static_cast<double>(ns) * 1e-9); }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::uint64_t bins[HistogramSnapshot::kBins];
+    std::uint64_t count;
+    double sum;
+    double max;
+  };
+  Shard shards_[kShards] = {};
+};
+
+struct NamedHistogram {
+  const char* name = nullptr;
+  HistogramSnapshot snapshot;
+};
+
+/// Looks up (or claims) the registry slot for `name`.  `name` must be a
+/// string with static storage duration (a literal).  At most kMaxHistograms
+/// distinct names; beyond that a shared overflow histogram is returned so
+/// callers never need a null check.
+Histogram& histogram(const char* name);
+
+inline constexpr std::size_t kMaxHistograms = 32;
+
+/// Snapshots of every registered histogram with at least one sample,
+/// sorted by name.
+std::vector<NamedHistogram> snapshot_histograms();
+
+/// Clears every registered histogram's samples (test seam; names and
+/// slots persist).
+void reset_histograms();
+
+/// Summary (count/sum/max/p50/p90/p99) of one snapshot under `name`.
+HistogramSummary summarize(const char* name, const HistogramSnapshot& snapshot);
+
+}  // namespace qs::obs

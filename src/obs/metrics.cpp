@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
 
@@ -117,11 +120,14 @@ void MetricsRecorder::record_residual(double residual) {
 }
 
 void MetricsRecorder::reset() {
-  std::lock_guard lock(mutex_);
-  info_.clear();
-  values_.clear();
-  residual_ring_.fill(0.0);
-  residual_count_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    info_.clear();
+    values_.clear();
+    residual_ring_.fill(0.0);
+    residual_count_.store(0, std::memory_order_relaxed);
+  }
+  reset_histograms();
 }
 
 MetricsSnapshot MetricsRecorder::snapshot() const {
@@ -141,6 +147,8 @@ MetricsSnapshot MetricsRecorder::snapshot() const {
   out.phases = aggregate_phases();
   for (const CounterTotal& c : snapshot_counters())
     out.counters.emplace_back(c.name, c.value);
+  for (const NamedHistogram& h : snapshot_histograms())
+    out.histograms.push_back(summarize(h.name, h.snapshot));
   out.tracing_compiled_in = compiled_in();
   out.dropped_spans = dropped_spans();
   return out;
@@ -152,7 +160,7 @@ MetricsRecorder& metrics() {
 }
 
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
-  out << "{\n  \"schema_version\": 1,\n  \"tracing_compiled_in\": "
+  out << "{\n  \"schema_version\": 2,\n  \"tracing_compiled_in\": "
       << (snapshot.tracing_compiled_in ? "true" : "false")
       << ",\n  \"dropped_spans\": " << snapshot.dropped_spans << ",\n";
 
@@ -181,6 +189,25 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
     write_double(out, snapshot.residual_tail[i]);
   }
   out << "]},\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSummary& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    write_escaped(out, h.name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    write_double(out, h.sum);
+    out << ", \"max\": ";
+    write_double(out, h.max);
+    out << ", \"p50\": ";
+    write_double(out, h.p50);
+    out << ", \"p90\": ";
+    write_double(out, h.p90);
+    out << ", \"p99\": ";
+    write_double(out, h.p99);
+    out << "}";
+  }
+  out << (snapshot.histograms.empty() ? "}" : "\n  }") << ",\n";
 
   out << "  \"phases\": [";
   for (std::size_t i = 0; i < snapshot.phases.size(); ++i) {
@@ -225,12 +252,287 @@ void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot) {
   for (const MetricsPhase& p : snapshot.phases)
     out << "phase," << p.name << "," << p.category << "," << p.count << ","
         << p.wall_seconds << "," << p.cpu_seconds << "," << p.share << "\n";
+  out << "kind,name,count,sum,max,p50,p90,p99\n";
+  for (const HistogramSummary& h : snapshot.histograms)
+    out << "histogram," << h.name << "," << h.count << "," << h.sum << ","
+        << h.max << "," << h.p50 << "," << h.p90 << "," << h.p99 << "\n";
   out << "kind,index,residual\n";
   const std::uint64_t base =
       snapshot.residual_count - snapshot.residual_tail.size();
   for (std::size_t i = 0; i < snapshot.residual_tail.size(); ++i)
     out << "residual," << base + i << "," << snapshot.residual_tail[i] << "\n";
   out.precision(precision);
+}
+
+namespace {
+
+// Minimal JSON reader for files this module wrote: objects, arrays,
+// strings, finite numbers, true/false/null (write_double() emits null for
+// non-finite values, read back as NaN).  Not a general-purpose parser.
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (static_cast<std::size_t>(end - p) < len || std::strncmp(p, word, len) != 0)
+      return false;
+    p += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return false;
+        const char esc = *p++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (end - p < 4) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            c = static_cast<char>(code);  // our writer only emits < 0x20
+            break;
+          }
+          default: return false;
+        }
+      }
+      out.push_back(c);
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '{') {
+      ++p;
+      out.kind = JsonValue::Kind::object;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return false;
+        ++p;
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p == '[') {
+      ++p;
+      out.kind = JsonValue::Kind::array;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!parse_value(item)) return false;
+        out.items.push_back(std::move(item));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*p == '"') {
+      out.kind = JsonValue::Kind::string;
+      return parse_string(out.text);
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::boolean;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::boolean;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = JsonValue::Kind::null;
+      return true;
+    }
+    char* after = nullptr;
+    const double v = std::strtod(p, &after);
+    if (after == p || after > end) return false;
+    out.kind = JsonValue::Kind::number;
+    out.number = v;
+    p = after;
+    return true;
+  }
+};
+
+/// Numbers load as themselves; the writer's null (non-finite) loads as NaN.
+double as_number(const JsonValue& v) {
+  if (v.kind == JsonValue::Kind::number) return v.number;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::uint64_t as_count(const JsonValue* v) {
+  if (v == nullptr || v->kind != JsonValue::Kind::number || !(v->number >= 0))
+    return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+bool read_metrics_json(std::istream& in, MetricsSnapshot& out,
+                       int* schema_version) {
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  JsonParser parser{text.data(), text.data() + text.size()};
+  JsonValue root;
+  if (!parser.parse_value(root)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end || root.kind != JsonValue::Kind::object)
+    return false;
+
+  const JsonValue* version = root.find("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::number)
+    return false;
+  const int schema = static_cast<int>(version->number);
+  if (schema < 1 || schema > 2) return false;
+  if (schema_version != nullptr) *schema_version = schema;
+
+  out = MetricsSnapshot{};
+  if (const JsonValue* v = root.find("tracing_compiled_in");
+      v != nullptr && v->kind == JsonValue::Kind::boolean) {
+    out.tracing_compiled_in = v->boolean;
+  }
+  out.dropped_spans = as_count(root.find("dropped_spans"));
+
+  if (const JsonValue* info = root.find("info");
+      info != nullptr && info->kind == JsonValue::Kind::object) {
+    for (const auto& [key, value] : info->members) {
+      if (value.kind == JsonValue::Kind::string)
+        out.info.emplace_back(key, value.text);
+    }
+  }
+  if (const JsonValue* values = root.find("values");
+      values != nullptr && values->kind == JsonValue::Kind::object) {
+    for (const auto& [key, value] : values->members)
+      out.values.emplace_back(key, as_number(value));
+  }
+  if (const JsonValue* residuals = root.find("residuals");
+      residuals != nullptr && residuals->kind == JsonValue::Kind::object) {
+    out.residual_count = as_count(residuals->find("count"));
+    if (const JsonValue* tail = residuals->find("tail");
+        tail != nullptr && tail->kind == JsonValue::Kind::array) {
+      for (const JsonValue& item : tail->items)
+        out.residual_tail.push_back(as_number(item));
+    }
+  }
+  // v1 files predate the histograms section; leave the field empty there.
+  if (const JsonValue* histograms = root.find("histograms");
+      histograms != nullptr && histograms->kind == JsonValue::Kind::object) {
+    for (const auto& [name, h] : histograms->members) {
+      if (h.kind != JsonValue::Kind::object) continue;
+      HistogramSummary summary;
+      summary.name = name;
+      summary.count = as_count(h.find("count"));
+      if (const JsonValue* v = h.find("sum")) summary.sum = as_number(*v);
+      if (const JsonValue* v = h.find("max")) summary.max = as_number(*v);
+      if (const JsonValue* v = h.find("p50")) summary.p50 = as_number(*v);
+      if (const JsonValue* v = h.find("p90")) summary.p90 = as_number(*v);
+      if (const JsonValue* v = h.find("p99")) summary.p99 = as_number(*v);
+      out.histograms.push_back(std::move(summary));
+    }
+  }
+  if (const JsonValue* phases = root.find("phases");
+      phases != nullptr && phases->kind == JsonValue::Kind::array) {
+    for (const JsonValue& item : phases->items) {
+      if (item.kind != JsonValue::Kind::object) continue;
+      MetricsPhase phase;
+      if (const JsonValue* v = item.find("name");
+          v != nullptr && v->kind == JsonValue::Kind::string) {
+        phase.name = v->text;
+      }
+      if (const JsonValue* v = item.find("category");
+          v != nullptr && v->kind == JsonValue::Kind::string) {
+        phase.category = v->text;
+      }
+      phase.count = as_count(item.find("count"));
+      if (const JsonValue* v = item.find("wall_seconds"))
+        phase.wall_seconds = as_number(*v);
+      if (const JsonValue* v = item.find("cpu_seconds"))
+        phase.cpu_seconds = as_number(*v);
+      if (const JsonValue* v = item.find("share")) phase.share = as_number(*v);
+      out.phases.push_back(std::move(phase));
+    }
+  }
+  if (const JsonValue* counters = root.find("counters");
+      counters != nullptr && counters->kind == JsonValue::Kind::object) {
+    for (const auto& [key, value] : counters->members)
+      out.counters.emplace_back(key, as_count(&value));
+  }
+  return true;
 }
 
 bool write_metrics_file(const std::string& path) {

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace qs::obs {
 
 /// Wall/CPU aggregate of every span sharing a name, across threads.
@@ -45,6 +47,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<double> residual_tail;   ///< most recent residuals, oldest first
   std::uint64_t residual_count = 0;    ///< total recorded (>= tail size)
+  std::vector<HistogramSummary> histograms;  ///< latency/ratio distributions
   bool tracing_compiled_in = false;
   std::uint64_t dropped_spans = 0;
 };
@@ -74,8 +77,16 @@ class MetricsRecorder {
 /// The process-wide recorder all layers feed.
 MetricsRecorder& metrics();
 
-/// Stable-schema JSON export (schema_version bumps on layout change).
+/// Stable-schema JSON export.  schema_version 2: v1 plus a "histograms"
+/// section (count/sum/max/p50/p90/p99 per named histogram).
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Loads a write_metrics_json() file back into a snapshot.  Accepts both
+/// schema v1 (no histograms — the field stays empty) and v2; phases,
+/// counters, info, values, residuals and histogram summaries round-trip.
+/// Returns false on malformed input or an unknown schema_version.
+bool read_metrics_json(std::istream& in, MetricsSnapshot& out,
+                       int* schema_version = nullptr);
 
 /// Ragged CSV export: `kind,name,...` rows (info/value/counter/phase/
 /// residual) for quick grep or spreadsheet import.

@@ -1,0 +1,171 @@
+#include "obs/span_wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qs::obs {
+namespace {
+
+constexpr std::size_t kFieldsPerSpan = 9;
+
+inline double from_u64(std::uint64_t v) { return std::bit_cast<double>(v); }
+inline std::uint64_t to_u64(double v) { return std::bit_cast<std::uint64_t>(v); }
+inline double from_i64(std::int64_t v) { return std::bit_cast<double>(v); }
+inline std::int64_t to_i64(double v) { return std::bit_cast<std::int64_t>(v); }
+
+/// Exact small-integer round trip through a double lane (counts, indices).
+inline bool read_size(double v, std::size_t limit, std::size_t& out) {
+  if (!(v >= 0.0) || v != static_cast<double>(static_cast<std::size_t>(v))) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return out <= limit;
+}
+
+// Interning arena: deque gives stable storage, the map deduplicates.
+std::mutex g_intern_mutex;
+std::deque<std::string>& intern_storage() {
+  static std::deque<std::string> storage;
+  return storage;
+}
+
+}  // namespace
+
+const char* intern_span_name(std::string_view name) {
+  std::lock_guard lock(g_intern_mutex);
+  static std::map<std::string, const char*, std::less<>> index;
+  if (const auto it = index.find(name); it != index.end()) return it->second;
+  intern_storage().emplace_back(name);
+  const char* stable = intern_storage().back().c_str();
+  index.emplace(std::string(name), stable);
+  return stable;
+}
+
+std::vector<double> pack_spans(const std::vector<SpanRecord>& spans) {
+  // Deduplicate names preserving first-use order.
+  std::map<const char*, std::size_t> name_index;
+  std::vector<const char*> names;
+  for (const SpanRecord& span : spans) {
+    const char* name = span.name != nullptr ? span.name : "";
+    if (name_index.emplace(name, names.size()).second) names.push_back(name);
+  }
+  std::vector<double> out;
+  out.reserve(2 + kFieldsPerSpan * spans.size() + 2 * names.size());
+  out.push_back(static_cast<double>(spans.size()));
+  for (const SpanRecord& span : spans) {
+    const char* name = span.name != nullptr ? span.name : "";
+    out.push_back(static_cast<double>(name_index.at(name)));
+    out.push_back(static_cast<double>(static_cast<unsigned>(span.category) * 2 +
+                                      (span.instant ? 1 : 0)));
+    out.push_back(static_cast<double>(span.tid));
+    out.push_back(from_u64(span.start_ns));
+    out.push_back(from_u64(span.dur_ns));
+    out.push_back(from_u64(span.cpu_ns));
+    out.push_back(from_u64(span.trace_id));
+    out.push_back(from_i64(span.arg));
+    out.push_back(span.value);
+  }
+  out.push_back(static_cast<double>(names.size()));
+  for (const char* name : names) {
+    const std::size_t len = std::strlen(name);
+    out.push_back(static_cast<double>(len));
+    const std::size_t words = (len + 7) / 8;
+    for (std::size_t w = 0; w < words; ++w) {
+      char chunk[8] = {};
+      const std::size_t take = std::min<std::size_t>(8, len - w * 8);
+      std::memcpy(chunk, name + w * 8, take);
+      out.push_back(std::bit_cast<double>(chunk));
+    }
+  }
+  return out;
+}
+
+bool unpack_spans(std::span<const double> buffer,
+                  std::vector<SpanRecord>& out) {
+  std::size_t cursor = 0;
+  const auto take = [&](double& v) {
+    if (cursor >= buffer.size()) return false;
+    v = buffer[cursor++];
+    return true;
+  };
+  double header = 0.0;
+  std::size_t span_count = 0;
+  if (!take(header) || !read_size(header, (buffer.size() / kFieldsPerSpan) + 1,
+                                  span_count)) {
+    return false;
+  }
+  if (1 + kFieldsPerSpan * span_count > buffer.size()) return false;
+
+  struct RawSpan {
+    std::size_t name_index;
+    SpanRecord record;
+  };
+  std::vector<RawSpan> raw;
+  raw.reserve(span_count);
+  for (std::size_t s = 0; s < span_count; ++s) {
+    RawSpan r;
+    double name_field = 0.0, flags = 0.0, tid = 0.0;
+    double start = 0.0, dur = 0.0, cpu = 0.0, trace = 0.0, arg = 0.0;
+    if (!take(name_field) || !take(flags) || !take(tid) || !take(start) ||
+        !take(dur) || !take(cpu) || !take(trace) || !take(arg) ||
+        !take(r.record.value)) {
+      return false;
+    }
+    std::size_t flag_bits = 0, tid_value = 0;
+    if (!read_size(name_field, buffer.size(), r.name_index) ||
+        !read_size(flags, 2 * 256, flag_bits) ||
+        !read_size(tid, 1u << 24, tid_value)) {
+      return false;
+    }
+    r.record.category = static_cast<Category>(flag_bits / 2);
+    r.record.instant = (flag_bits % 2) != 0;
+    r.record.tid = static_cast<std::uint32_t>(tid_value);
+    r.record.start_ns = to_u64(start);
+    r.record.dur_ns = to_u64(dur);
+    r.record.cpu_ns = to_u64(cpu);
+    r.record.trace_id = to_u64(trace);
+    r.record.arg = to_i64(arg);
+    raw.push_back(r);
+  }
+
+  double names_field = 0.0;
+  std::size_t name_count = 0;
+  if (!take(names_field) || !read_size(names_field, buffer.size(), name_count)) {
+    return false;
+  }
+  std::vector<const char*> names;
+  names.reserve(name_count);
+  for (std::size_t n = 0; n < name_count; ++n) {
+    double len_field = 0.0;
+    std::size_t len = 0;
+    if (!take(len_field) ||
+        !read_size(len_field, 8 * (buffer.size() - cursor), len)) {
+      return false;
+    }
+    const std::size_t words = (len + 7) / 8;
+    if (cursor + words > buffer.size()) return false;
+    std::string text(len, '\0');
+    for (std::size_t w = 0; w < words; ++w) {
+      const auto chunk = std::bit_cast<std::array<char, 8>>(buffer[cursor + w]);
+      const std::size_t put = std::min<std::size_t>(8, len - w * 8);
+      std::memcpy(text.data() + w * 8, chunk.data(), put);
+    }
+    cursor += words;
+    names.push_back(intern_span_name(text));
+  }
+
+  for (RawSpan& r : raw) {
+    if (r.name_index >= names.size()) return false;
+    r.record.name = names[r.name_index];
+  }
+  for (const RawSpan& r : raw) out.push_back(r.record);
+  return true;
+}
+
+}  // namespace qs::obs

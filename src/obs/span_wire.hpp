@@ -1,0 +1,39 @@
+// Wire format for shipping span buffers between ranks over the Exchange
+// transport (whose collectives move `double` blocks).  A rank packs its
+// SpanRecords — names included, as an inline string table, so the format
+// survives any transport, not just fork()'s shared address space — and
+// rank 0 unpacks them into obs::import_spans() for the merged timeline.
+//
+// Layout (all doubles):
+//   [0]                 span count S
+//   [1 .. 1+9S)         S records x 9 fields (name index, flags, tid,
+//                       start/dur/cpu ns, trace id, arg — u64/i64 fields
+//                       bit-cast into the double lanes — and value)
+//   [1+9S]              name count N
+//   then N names        [byte length L][ceil(L/8) doubles of raw bytes]
+//
+// Always compiled: pack/unpack have no dependency on the recording gate
+// (in span-less builds they simply see empty vectors).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace qs::obs {
+
+/// Packs spans (records + deduplicated name table) into a double buffer.
+std::vector<double> pack_spans(const std::vector<SpanRecord>& spans);
+
+/// Unpacks a pack_spans() buffer, appending to `out`.  Names are interned
+/// into a process-lifetime arena (SpanRecord::name stays a borrowed
+/// pointer).  Returns false — appending nothing — on a malformed buffer.
+bool unpack_spans(std::span<const double> buffer, std::vector<SpanRecord>& out);
+
+/// Copies `name` into a process-lifetime arena and returns a stable
+/// pointer; repeated calls with equal text return the same pointer.
+const char* intern_span_name(std::string_view name);
+
+}  // namespace qs::obs

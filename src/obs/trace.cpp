@@ -39,6 +39,17 @@ struct ThreadBuffer {
 
 std::atomic<bool> g_enabled{false};
 
+// Trace context: per-thread with a process-wide fallback.  The fallback is
+// a plain atomic so it survives fork() into rank children and is visible
+// to engine worker threads that never had a context installed.
+thread_local TraceContext t_trace_context;
+thread_local bool t_trace_context_set = false;
+std::atomic<std::uint64_t> g_process_trace_id{0};
+
+// Spans shipped from other ranks/processes (import_spans).  Guarded by the
+// registry mutex alongside the thread rings; cleared by reset().
+std::vector<SpanRecord> g_imported_spans;
+
 // Registry of every thread's buffer.  Buffers are heap-allocated once per
 // thread and deliberately never freed: a thread-pool worker's spans must
 // survive the pool's destruction so the CLI can export after the solve.
@@ -77,6 +88,51 @@ void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+void set_thread_trace(TraceContext context) {
+  t_trace_context = context;
+  t_trace_context_set = context.trace_id != 0;
+}
+
+TraceContext thread_trace() {
+  return t_trace_context_set ? t_trace_context : TraceContext{};
+}
+
+void set_process_trace(TraceContext context) {
+  g_process_trace_id.store(context.trace_id, std::memory_order_relaxed);
+}
+
+TraceContext current_trace() {
+  if (t_trace_context_set) return t_trace_context;
+  return {g_process_trace_id.load(std::memory_order_relaxed)};
+}
+
+void span_event(const char* name, Category category, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t trace_id,
+                std::int64_t arg) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = tls_buffer();
+  if (buf == nullptr) return;
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  record.trace_id = trace_id;
+  record.arg = arg;
+  record.tid = buf->tid;
+  record.category = category;
+  push_span(buf, record);
+}
+
+void import_spans(const std::vector<SpanRecord>& spans,
+                  std::uint32_t tid_base) {
+  std::lock_guard lock(g_registry_mutex);
+  g_imported_spans.reserve(g_imported_spans.size() + spans.size());
+  for (SpanRecord record : spans) {
+    record.tid += tid_base;
+    g_imported_spans.push_back(record);
+  }
+}
+
 void counter_add(const char* name, std::uint64_t delta) {
   if (!enabled()) return;
   ThreadBuffer* buf = tls_buffer();
@@ -103,6 +159,7 @@ void instant(const char* name, Category category, double value,
   SpanRecord record;
   record.name = name;
   record.start_ns = monotonic_ns();
+  record.trace_id = current_trace().trace_id;
   record.arg = arg;
   record.value = value;
   record.tid = buf->tid;
@@ -120,6 +177,7 @@ void reset() {
     buf->dropped_counters = 0;
     for (CounterSlot& slot : buf->counters) slot = CounterSlot{};
   }
+  g_imported_spans.clear();
 }
 
 std::vector<SpanRecord> snapshot_spans() {
@@ -131,6 +189,7 @@ std::vector<SpanRecord> snapshot_spans() {
     const std::uint64_t kept = std::min<std::uint64_t>(buf->span_count, kSpanCapacity);
     for (std::uint64_t e = 0; e < kept; ++e) out.push_back(buf->spans[e]);
   }
+  out.insert(out.end(), g_imported_spans.begin(), g_imported_spans.end());
   std::sort(out.begin(), out.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
               return a.start_ns < b.start_ns;
@@ -176,16 +235,26 @@ std::uint64_t dropped_spans() {
   return dropped;
 }
 
+std::uint64_t dropped_counters() {
+  std::uint64_t dropped = 0;
+  std::lock_guard lock(g_registry_mutex);
+  const std::uint32_t count = g_thread_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) dropped += g_buffers[i]->dropped_counters;
+  return dropped;
+}
+
 ScopedSpan::ScopedSpan(const char* name, Category category, std::int64_t arg)
     : name_(name),
       start_ns_(0),
       cpu_start_ns_(0),
+      trace_id_(0),
       arg_(arg),
       category_(category),
       active_(enabled()) {
   if (!active_) return;
   start_ns_ = monotonic_ns();
   cpu_start_ns_ = thread_cpu_ns();
+  trace_id_ = current_trace().trace_id;
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -197,6 +266,7 @@ ScopedSpan::~ScopedSpan() {
   record.start_ns = start_ns_;
   record.dur_ns = monotonic_ns() - start_ns_;
   record.cpu_ns = thread_cpu_ns() - cpu_start_ns_;
+  record.trace_id = trace_id_;
   record.arg = arg_;
   record.tid = buf->tid;
   record.category = category_;

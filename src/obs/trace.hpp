@@ -74,12 +74,31 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint64_t cpu_ns = 0;
+  std::uint64_t trace_id = 0;  ///< request-scoped correlation id (0 = none)
   std::int64_t arg = -1;      ///< integer payload (band, lane, iteration…)
   double value = 0.0;         ///< instant payload (residual, seconds…)
   std::uint32_t tid = 0;      ///< dense thread id assigned at registration
   Category category = Category::app;
   bool instant = false;
 };
+
+/// Request-scoped trace context.  A trace id is minted once per request
+/// (qs_client) or per batch (SolverService) and stamped on every span the
+/// request touches, across threads, processes, and ranks; one Chrome trace
+/// filtered by the id shows the request end-to-end.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+};
+
+/// Mints a process-unique, collision-resistant 64-bit trace id.  Always
+/// compiled (the id travels in protocol frames even in span-less builds).
+std::uint64_t mint_trace_id();
+
+/// Spans imported from remote ranks (obs::import_spans) are parked on
+/// synthetic thread ids so the exporter can render one track per rank:
+/// tid = kRankTidBase + rank * kRankTidStride + remote tid.
+inline constexpr std::uint32_t kRankTidBase = 4096;
+inline constexpr std::uint32_t kRankTidStride = 64;
 
 /// Aggregated counter total (summed across threads, merged by name).
 struct CounterTotal {
@@ -115,6 +134,35 @@ std::vector<CounterTotal> snapshot_counters();
 /// Events lost to ring wrap-around since the last reset().
 std::uint64_t dropped_spans();
 
+/// Counter increments lost to per-thread slot-table exhaustion since the
+/// last reset() (more than kCounterSlots distinct names on one thread).
+std::uint64_t dropped_counters();
+
+/// Sets / reads the calling thread's trace context.  Spans and instants
+/// recorded while a context is set carry its trace id.
+void set_thread_trace(TraceContext context);
+TraceContext thread_trace();
+
+/// Process-wide fallback context, used when the calling thread has none.
+/// It survives fork(), so rank children and engine workers inherit the
+/// request id without per-thread plumbing.
+void set_process_trace(TraceContext context);
+
+/// The context new spans record under: the thread's, else the process's.
+TraceContext current_trace();
+
+/// Records a span with explicit timing, for stitching events whose start
+/// was observed elsewhere (e.g. a request span starting at the client's
+/// send timestamp — CLOCK_MONOTONIC is shared across processes on a host).
+void span_event(const char* name, Category category, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t trace_id,
+                std::int64_t arg = -1);
+
+/// Adds spans gathered from another rank/process to this process's
+/// snapshot, offsetting each record's tid by `tid_base` (see kRankTidBase).
+/// Cleared by reset(); included (sorted) in snapshot_spans().
+void import_spans(const std::vector<SpanRecord>& spans, std::uint32_t tid_base);
+
 /// RAII span: times the enclosing scope on the wall and thread-CPU clocks.
 /// Capture-by-value of the construction-time state keeps the destructor a
 /// couple of loads plus two clock reads.
@@ -129,6 +177,7 @@ class ScopedSpan {
   const char* name_;
   std::uint64_t start_ns_;
   std::uint64_t cpu_start_ns_;
+  std::uint64_t trace_id_;
   std::int64_t arg_;
   Category category_;
   bool active_;
@@ -149,6 +198,21 @@ class ScopedCounterNs {
   bool active_;
 };
 
+/// RAII trace context: installs `context` on the calling thread for the
+/// scope, restoring the previous context on exit.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext context) : previous_(thread_trace()) {
+    set_thread_trace(context);
+  }
+  ~TraceScope() { set_thread_trace(previous_); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
 #else  // !QS_TRACING_ON — the whole API collapses to nothing.
 
 inline void set_enabled(bool) {}
@@ -159,6 +223,14 @@ inline void reset() {}
 inline std::vector<SpanRecord> snapshot_spans() { return {}; }
 inline std::vector<CounterTotal> snapshot_counters() { return {}; }
 inline std::uint64_t dropped_spans() { return 0; }
+inline std::uint64_t dropped_counters() { return 0; }
+inline void set_thread_trace(TraceContext) {}
+inline TraceContext thread_trace() { return {}; }
+inline void set_process_trace(TraceContext) {}
+inline TraceContext current_trace() { return {}; }
+inline void span_event(const char*, Category, std::uint64_t, std::uint64_t,
+                       std::uint64_t, std::int64_t = -1) {}
+inline void import_spans(const std::vector<SpanRecord>&, std::uint32_t) {}
 
 class ScopedSpan {
  public:
@@ -168,6 +240,11 @@ class ScopedSpan {
 class ScopedCounterNs {
  public:
   explicit ScopedCounterNs(const char*) {}
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext) {}
 };
 
 #endif  // QS_TRACING_ON

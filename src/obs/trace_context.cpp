@@ -1,0 +1,39 @@
+// Trace-id minting lives outside the QS_TRACING_ON gate: ids travel in
+// protocol frames and correlate client/server logs even in builds where
+// no spans are recorded.
+#include <atomic>
+#include <cstdint>
+
+#include <unistd.h>
+
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
+namespace qs::obs {
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t> g_mint_sequence{0};
+
+}  // namespace
+
+std::uint64_t mint_trace_id() {
+  // Boot-time clock + pid + a process-local sequence: unique within a
+  // process by construction, collision-resistant across the processes of
+  // one host (distinct pids) and across hosts (distinct clocks).
+  const std::uint64_t seq =
+      g_mint_sequence.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id = mix64(monotonic_ns()) ^
+                     mix64(static_cast<std::uint64_t>(::getpid()) << 32 | seq);
+  if (id == 0) id = 1;  // 0 means "no trace" on the wire
+  return id;
+}
+
+}  // namespace qs::obs

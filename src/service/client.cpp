@@ -9,6 +9,9 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
 namespace qs::service {
 namespace {
 
@@ -79,8 +82,16 @@ void Client::disconnect() { stream_.reset(); }
 
 SolveReply Client::solve(const SolveRequest& request) {
   try {
+    // Trace context: every request leaves with a nonzero trace id (caller's
+    // if set, freshly minted otherwise) and the client's send timestamp, so
+    // the daemon's spans and this client's span share one timeline.
+    SolveRequest traced = request;
+    if (traced.trace_id == 0) traced.trace_id = obs::mint_trace_id();
+    const obs::TraceScope scope(obs::TraceContext{traced.trace_id});
+    QS_TRACE_SPAN("client.solve", app);
     Stream& stream = ensure_connected();
-    write_frame(stream, Frame{FrameType::solve_request, encode(request)});
+    traced.client_send_ns = monotonic_ns();
+    write_frame(stream, Frame{FrameType::solve_request, encode(traced)});
     const Frame frame = read_frame(stream);
     if (frame.type != FrameType::solve_reply) {
       throw ProtocolError("client: expected a solve_reply frame, got type " +
@@ -103,6 +114,22 @@ bool Client::ping() {
   } catch (const std::exception&) {
     disconnect();
     return false;
+  }
+}
+
+std::string Client::stats() {
+  try {
+    Stream& stream = ensure_connected();
+    write_frame(stream, Frame{FrameType::stats_request, {}});
+    const Frame frame = read_frame(stream);
+    if (frame.type != FrameType::stats_reply) {
+      throw ProtocolError("client: expected a stats_reply frame, got type " +
+                          std::to_string(static_cast<std::uint32_t>(frame.type)));
+    }
+    return std::string(frame.payload.begin(), frame.payload.end());
+  } catch (...) {
+    disconnect();
+    throw;
   }
 }
 

@@ -49,10 +49,22 @@ class Client {
   /// One attempt: connect (or reuse the live connection), send, await the
   /// reply.  Throws TransportError/TimeoutError/ProtocolError on wire
   /// failure — no retry at this layer.
+  ///
+  /// Trace context: when the request's trace_id is 0 a fresh id is minted
+  /// (obs::mint_trace_id — works in span-less builds too; the id still
+  /// rides the frame and comes back in the reply).  client_send_ns is
+  /// stamped with monotonic_ns() just before the frame goes out, so the
+  /// daemon can start the request span at the client's send time
+  /// (CLOCK_MONOTONIC is shared across processes on one host).
   SolveReply solve(const SolveRequest& request);
 
   /// Round-trip health probe on a fresh or existing connection.
   bool ping();
+
+  /// Fetches the daemon's live stats (the STATS op): returns the text
+  /// exposition verbatim (see service/stats.hpp for the format).  Throws
+  /// on wire failure like solve().
+  std::string stats();
 
   /// Retrying solve per `policy`.  Transport failures and retryable status
   /// codes consume attempts; the final failure (attempts exhausted) is

@@ -85,6 +85,8 @@ class Reader {
     return value;
   }
 
+  bool at_end() const { return at_ == in_.size(); }
+
   void expect_end(const char* what) const {
     if (at_ != in_.size()) {
       throw ProtocolError(std::string("decode: ") + what + " carries " +
@@ -246,6 +248,8 @@ std::vector<std::uint8_t> encode(const SolveRequest& request) {
   w.put(request.tolerance);
   w.put(request.max_iterations);
   w.put(request.deadline_ms);
+  w.put(request.trace_id);
+  w.put(request.client_send_ns);
   return payload;
 }
 
@@ -266,6 +270,11 @@ SolveRequest decode_request(const std::vector<std::uint8_t>& payload) {
   request.tolerance = r.get<double>("tolerance");
   request.max_iterations = r.get<std::uint64_t>("max_iterations");
   request.deadline_ms = r.get<std::uint64_t>("deadline_ms");
+  // Optional trace tail: pre-telemetry encoders end here.
+  if (!r.at_end()) {
+    request.trace_id = r.get<std::uint64_t>("trace_id");
+    request.client_send_ns = r.get<std::uint64_t>("client_send_ns");
+  }
   r.expect_end("SolveRequest");
   return request;
 }
@@ -285,6 +294,7 @@ std::vector<std::uint8_t> encode(const SolveReply& reply) {
   w.put(reply.deadline_slack_ms);
   w.put_string(reply.message);
   w.put_doubles(reply.class_concentrations);
+  w.put(reply.trace_id);
   return payload;
 }
 
@@ -305,6 +315,9 @@ SolveReply decode_reply(const std::vector<std::uint8_t>& payload) {
   reply.deadline_slack_ms = r.get<double>("deadline_slack_ms");
   reply.message = r.get_string("message");
   reply.class_concentrations = r.get_doubles("class_concentrations");
+  if (!r.at_end()) {
+    reply.trace_id = r.get<std::uint64_t>("trace_id");
+  }
   r.expect_end("SolveReply");
   return reply;
 }

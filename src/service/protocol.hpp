@@ -57,6 +57,16 @@ struct SolveRequest {
   double tolerance = 1e-10;
   std::uint64_t max_iterations = 200000;
   std::uint64_t deadline_ms = 0;  ///< Relative to server receipt; 0 = none.
+
+  // Trace context: propagated end-to-end, never part of the scenario —
+  // scenario_key/fingerprint and batch_key exclude both fields so tracing
+  // can never split or poison cache/dedupe/coalescing decisions.  Both
+  // ride an optional frame tail: decoders accept frames without them.
+  std::uint64_t trace_id = 0;        ///< 0 = untraced request.
+  std::uint64_t client_send_ns = 0;  ///< Client CLOCK_MONOTONIC at send; lets
+                                     ///< a same-host server start the request
+                                     ///< span at the true send time (0 = not
+                                     ///< stamped).
 };
 
 /// Outcome classification carried in every reply.  The daemon NEVER answers
@@ -97,6 +107,7 @@ struct SolveReply {
   std::uint32_t batch_width = 0;  ///< Panel columns solved alongside this one.
   double deadline_slack_ms = 0.0; ///< Deadline minus completion (negative =
                                   ///< missed); 0 when no deadline was set.
+  std::uint64_t trace_id = 0;     ///< Echo of the request's trace id.
 };
 
 /// FNV-1a64 content hash of everything that determines the answer — the

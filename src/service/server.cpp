@@ -13,7 +13,9 @@
 #include "analysis/sweep.hpp"
 #include "core/landscape.hpp"
 #include "core/mutation_model.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/signals.hpp"
 #include "support/timer.hpp"
 
@@ -48,6 +50,7 @@ SolveReply make_reply(StatusCode status, std::string message = {}) {
 }  // namespace
 
 SolverService::SolverService(const ServiceConfig& config) : config_(config) {
+  start_ns_ = monotonic_ns();
   std::unique_ptr<CacheStorage> storage;
   if (!config_.cache_dir.empty()) {
     storage = std::make_unique<FsCacheStorage>(config_.cache_dir);
@@ -78,6 +81,12 @@ std::future<SolveReply> SolverService::submit(
     promise->set_value(make_reply(StatusCode::bad_request, std::move(violation)));
     ++completed_;
     return future;
+  }
+  // Request mix counts every well-formed submission, shed or admitted —
+  // the STATS view of offered (not just served) load per landscape kind.
+  const auto kind_index = static_cast<std::size_t>(request.landscape) - 1;
+  if (kind_index < request_mix_.size()) {
+    request_mix_[kind_index].fetch_add(1, std::memory_order_relaxed);
   }
   if (stopping_.load()) {
     promise->set_value(make_reply(StatusCode::shutting_down, "service draining"));
@@ -145,6 +154,23 @@ void SolverService::shutdown() {
   });
 }
 
+ServiceStatsSnapshot SolverService::stats_snapshot() const {
+  ServiceStatsSnapshot out;
+  out.uptime_seconds =
+      static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+  out.queue_depth = queue_->depth();
+  out.queue = queue_->stats();
+  out.cache = cache_->stats();
+  out.completed = completed_.load();
+  for (std::size_t i = 0; i < request_mix_.size(); ++i) {
+    out.request_mix[i] = request_mix_[i].load(std::memory_order_relaxed);
+  }
+  for (const obs::NamedHistogram& h : obs::snapshot_histograms()) {
+    out.histograms.push_back(obs::summarize(h.name, h.snapshot));
+  }
+  return out;
+}
+
 void SolverService::record_request_metrics(const SolveReply& reply) {
   // Last-value export per request; the reply itself carries the same fields
   // back to the client, so the recorder is the operator's view, not the
@@ -163,11 +189,21 @@ void SolverService::deliver(Entry& entry, SolveReply reply, std::uint32_t batch_
   reply.queue_wait_ms =
       static_cast<double>(now - entry.enqueued_ns) / kNsPerMs;
   reply.batch_width = batch_width;
+  reply.trace_id = entry.value.request.trace_id;
   if (entry.value.deadline_ns != 0) {
     reply.deadline_slack_ms =
         (static_cast<double>(entry.value.deadline_ns) - static_cast<double>(now)) /
         kNsPerMs;
   }
+  // End-to-end request span: starts at the client's send timestamp when it
+  // was stamped and is plausible (CLOCK_MONOTONIC is shared across the
+  // processes of one host), else at enqueue.
+  std::uint64_t started = entry.enqueued_ns;
+  const std::uint64_t sent = entry.value.request.client_send_ns;
+  if (sent != 0 && sent <= started) started = sent;
+  obs::span_event("service.request", obs::Category::app, started, now - started,
+                  entry.value.request.trace_id,
+                  static_cast<std::int64_t>(batch_width));
   record_request_metrics(reply);
   entry.value.promise->set_value(std::move(reply));
   entry.value.promise.reset();
@@ -217,6 +253,29 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
   const std::uint64_t now = monotonic_ns();
   const auto width = static_cast<std::uint32_t>(batch.size());
 
+  // One batch span linking N request spans: the batch runs under the first
+  // traced member's id (else a freshly minted one), so every span recorded
+  // below — triage, cache lookups, the joint solve's iterations — carries
+  // the trace id a client can filter the merged timeline by.  Each member
+  // additionally gets a queue-wait span under its own id.
+  obs::TraceContext batch_trace;
+  for (const Entry& entry : batch) {
+    obs::span_event("service.queue_wait", obs::Category::app,
+                    entry.enqueued_ns, now - entry.enqueued_ns,
+                    entry.value.request.trace_id);
+    if (batch_trace.trace_id == 0) {
+      batch_trace.trace_id = entry.value.request.trace_id;
+    }
+  }
+  if (batch_trace.trace_id == 0 && obs::compiled_in() && obs::enabled()) {
+    batch_trace.trace_id = obs::mint_trace_id();
+  }
+  const obs::TraceScope batch_scope(batch_trace);
+  QS_TRACE_SPAN_ARG("service.batch", app, width);
+
+  obs::Histogram& cache_lookup_hist = obs::histogram("service.cache_lookup");
+  obs::Histogram& solve_hist = obs::histogram("service.solve");
+
   // Pre-solve triage: dead clients, missed deadlines, cache hits.
   std::vector<Entry*> to_solve;
   for (Entry& entry : batch) {
@@ -231,7 +290,10 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
               width);
       continue;
     }
-    if (auto hit = cache_->lookup(p.key, p.fingerprint)) {
+    const std::uint64_t lookup_start = monotonic_ns();
+    auto hit = cache_->lookup(p.key, p.fingerprint);
+    cache_lookup_hist.record_ns(monotonic_ns() - lookup_start);
+    if (hit) {
       SolveReply reply = make_reply(StatusCode::ok);
       reply.eigenvalue = hit->eigenvalue;
       reply.residual = hit->residual;
@@ -334,10 +396,14 @@ void SolverService::execute_batch(std::vector<Entry>& batch) {
     };
 
     const core::MutationModel model = core::MutationModel::uniform(nu, p);
-    const analysis::FamilyResult result =
-        analysis::sweep_landscape_family(model, family, options);
+    const std::uint64_t solve_start = monotonic_ns();
+    const analysis::FamilyResult result = [&] {
+      QS_TRACE_SPAN_ARG("service.solve", app, scenarios.size());
+      return analysis::sweep_landscape_family(model, family, options);
+    }();
 
     const std::uint64_t done = monotonic_ns();
+    solve_hist.record_ns(done - solve_start);
     for (std::size_t i = 0; i < group.size(); ++i) {
       Entry& entry = *group[i];
       const Pending& pending = entry.value;
@@ -537,6 +603,17 @@ void SocketServer::serve_connection(int fd) {
       }
       if (frame.type == FrameType::ping) {
         write_frame(stream, Frame{FrameType::pong, {}});
+        continue;
+      }
+      if (frame.type == FrameType::stats_request) {
+        // Answered inline off the service's counters: a STATS probe works
+        // even when every worker is busy and the queue is full.
+        ServiceStatsSnapshot stats = service_->stats_snapshot();
+        stats.connections = connections_.load();
+        const std::string text = render_stats_text(stats);
+        write_frame(stream, Frame{FrameType::stats_reply,
+                                  std::vector<std::uint8_t>(text.begin(),
+                                                            text.end())});
         continue;
       }
       if (frame.type != FrameType::solve_request) {

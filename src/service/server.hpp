@@ -34,6 +34,7 @@
 //     boundary, and every connection thread is joined.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -49,6 +50,7 @@
 #include "core/request_queue.hpp"
 #include "service/protocol.hpp"
 #include "service/scenario_cache.hpp"
+#include "service/stats.hpp"
 #include "service/transport.hpp"
 
 namespace qs::service {
@@ -118,6 +120,12 @@ class SolverService {
   /// Requests fully answered (any status) since construction.
   std::uint64_t completed() const { return completed_.load(); }
 
+  /// Live-introspection snapshot: counter/histogram reads only (the queue
+  /// mutex is held just long enough to copy its stats struct) — it never
+  /// enqueues work, waits on a worker, or touches the solver path.
+  /// `connections` is left 0 for the transport shell to fill.
+  ServiceStatsSnapshot stats_snapshot() const;
+
  private:
   struct Pending {
     SolveRequest request;
@@ -141,6 +149,10 @@ class SolverService {
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> completed_{0};
+  std::uint64_t start_ns_ = 0;  ///< Construction time (uptime baseline).
+  /// Validated submissions per landscape kind (kind - 1), for the STATS
+  /// request-mix section.
+  std::array<std::atomic<std::uint64_t>, 4> request_mix_{};
   std::once_flag shutdown_once_;
 };
 

@@ -1,0 +1,108 @@
+#include "service/stats.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/protocol.hpp"
+
+namespace qs::service {
+namespace {
+
+void append_metric(std::string& out, const std::string& metric, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += metric;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+void append_metric(std::string& out, const std::string& metric,
+                   std::uint64_t value) {
+  out += metric;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_stats_text(const ServiceStatsSnapshot& stats) {
+  std::string out;
+  out.reserve(2048);
+  out += "# qs_serve live stats: one `metric{labels} value` per line\n";
+  append_metric(out, "qs_uptime_seconds", stats.uptime_seconds);
+  append_metric(out, "qs_connections_total", stats.connections);
+  append_metric(out, "qs_completed_total", stats.completed);
+  append_metric(out, "qs_queue_depth",
+                static_cast<std::uint64_t>(stats.queue_depth));
+
+  append_metric(out, "qs_queue_total{event=\"accepted\"}", stats.queue.accepted);
+  append_metric(out, "qs_queue_total{event=\"rejected_overload\"}",
+                stats.queue.rejected_overload);
+  append_metric(out, "qs_queue_total{event=\"rejected_closed\"}",
+                stats.queue.rejected_closed);
+  append_metric(out, "qs_queue_total{event=\"expired\"}", stats.queue.expired);
+  append_metric(out, "qs_queue_total{event=\"popped\"}", stats.queue.popped);
+  append_metric(out, "qs_queue_total{event=\"batches\"}", stats.queue.batches);
+
+  append_metric(out, "qs_cache_total{event=\"hits\"}", stats.cache.hits);
+  append_metric(out, "qs_cache_total{event=\"misses\"}", stats.cache.misses);
+  append_metric(out, "qs_cache_total{event=\"stores\"}", stats.cache.stores);
+  append_metric(out, "qs_cache_total{event=\"store_failures\"}",
+                stats.cache.store_failures);
+  append_metric(out, "qs_cache_total{event=\"quarantined\"}",
+                stats.cache.quarantined);
+  append_metric(out, "qs_cache_total{event=\"evictions\"}",
+                stats.cache.evictions);
+  append_metric(out, "qs_cache_total{event=\"collisions\"}",
+                stats.cache.collisions);
+
+  for (std::size_t i = 0; i < stats.request_mix.size(); ++i) {
+    const auto kind = static_cast<LandscapeKind>(i + 1);
+    append_metric(out,
+                  std::string("qs_requests_total{landscape=\"") +
+                      to_string(kind) + "\"}",
+                  stats.request_mix[i]);
+  }
+
+  for (const obs::HistogramSummary& h : stats.histograms) {
+    // Durations expose as seconds; the residual-decay distribution is a
+    // unitless per-check ratio and gets its own family.
+    const bool ratio = h.name.find("residual_decay") != std::string::npos;
+    const std::string family = ratio ? "qs_ratio" : "qs_latency_seconds";
+    const std::string prefix = family + "{op=\"" + h.name + "\",stat=\"";
+    append_metric(out, prefix + "count\"}", h.count);
+    append_metric(out, prefix + "sum\"}", h.sum);
+    append_metric(out, prefix + "p50\"}", h.p50);
+    append_metric(out, prefix + "p90\"}", h.p90);
+    append_metric(out, prefix + "p99\"}", h.p99);
+    append_metric(out, prefix + "max\"}", h.max);
+  }
+  return out;
+}
+
+std::optional<double> stats_value(const std::string& text,
+                                  const std::string& metric) {
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t eol = text.find('\n', at);
+    if (eol == std::string::npos) eol = text.size();
+    // `metric value` — exact metric spelling (labels included), one space.
+    if (eol - at > metric.size() + 1 &&
+        text.compare(at, metric.size(), metric) == 0 &&
+        text[at + metric.size()] == ' ') {
+      const std::string value = text.substr(at + metric.size() + 1,
+                                            eol - at - metric.size() - 1);
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end != value.c_str()) return parsed;
+      return std::nullopt;
+    }
+    at = eol + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qs::service

@@ -1,0 +1,55 @@
+// Live-introspection snapshot and text exposition for the solver service.
+//
+// The STATS frame (FrameType::stats_request) is answered by qs_serve's
+// connection threads straight off the service's atomic counters and the
+// always-compiled histogram registry — it never enters the admission
+// queue, takes no solver lock, and costs the solver path nothing.
+//
+// The reply payload is a line-oriented text exposition suitable for
+// scraping:
+//
+//   qs_uptime_seconds 42.7
+//   qs_queue_total{event="accepted"} 128
+//   qs_latency_seconds{op="service.solve",stat="p99"} 0.0182
+//
+// One `metric{labels} value` per line, `#` comments, floats in C locale —
+// the same shape Prometheus scrapers and awk both read.  qs_client
+// --stats prints it verbatim; qs_top pretty-prints it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/request_queue.hpp"
+#include "obs/histogram.hpp"
+#include "service/scenario_cache.hpp"
+
+namespace qs::service {
+
+/// Point-in-time view of the daemon's counters and latency distributions.
+struct ServiceStatsSnapshot {
+  double uptime_seconds = 0.0;
+  std::uint64_t connections = 0;  ///< Accepted since start (SocketServer).
+  std::size_t queue_depth = 0;
+  core::QueueStats queue;
+  CacheStats cache;
+  std::uint64_t completed = 0;
+  /// Validated submissions per landscape kind, indexed by kind - 1
+  /// (single_peak, linear, random, flat).
+  std::array<std::uint64_t, 4> request_mix{};
+  std::vector<obs::HistogramSummary> histograms;
+};
+
+/// Renders the snapshot as the scrape-format text exposition.
+std::string render_stats_text(const ServiceStatsSnapshot& stats);
+
+/// Looks up one metric in exposition text by its full spelling including
+/// labels, e.g. `qs_latency_seconds{op="service.solve",stat="p50"}`.
+/// Returns nullopt when the metric is absent or its value is not a number.
+std::optional<double> stats_value(const std::string& text,
+                                  const std::string& metric);
+
+}  // namespace qs::service

@@ -155,7 +155,7 @@ Frame read_frame(Stream& stream) {
     throw ProtocolError("read_frame: bad magic (not a solver-service frame)");
   }
   if (header.type < static_cast<std::uint32_t>(FrameType::solve_request) ||
-      header.type > static_cast<std::uint32_t>(FrameType::pong)) {
+      header.type > static_cast<std::uint32_t>(FrameType::stats_reply)) {
     throw ProtocolError("read_frame: unknown frame type " +
                         std::to_string(header.type));
   }

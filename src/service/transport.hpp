@@ -106,6 +106,8 @@ enum class FrameType : std::uint32_t {
   solve_reply = 2,
   ping = 3,
   pong = 4,
+  stats_request = 5,  ///< Empty payload; answered off the solver path.
+  stats_reply = 6,    ///< Payload is the UTF-8 text exposition (stats.hpp).
 };
 
 /// One decoded frame.

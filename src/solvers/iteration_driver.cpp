@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/contracts.hpp"
@@ -46,6 +47,9 @@ void IterationDriver::restore(const io::SolverCheckpoint& checkpoint) {
   window_start_best_ = checkpoint.window_start_best;
   checks_without_progress_ =
       static_cast<unsigned>(checkpoint.checks_without_progress);
+  // Seed the decay telemetry so a resumed run's first ratio is measured
+  // against the checkpointed residual, not recorded as a cold start.
+  last_residual_ = std::isfinite(checkpoint.residual) ? checkpoint.residual : 0.0;
 }
 
 bool IterationDriver::guard(std::initializer_list<double> values,
@@ -80,6 +84,15 @@ IterationDriver::Verdict IterationDriver::observe(unsigned iteration,
   if (options_.on_residual) options_.on_residual(iteration, residual);
   obs::metrics().record_residual(residual);
   QS_TRACE_INSTANT_ARG("solver.residual", solver, residual, iteration);
+  // Per-check decay ratio r_k / r_{k-1}: the distribution's p50 is the
+  // observed contraction factor, and mass near/above 1.0 flags stagnation
+  // before the stall window fires.  Unitless, so STATS exposes it under
+  // qs_ratio rather than qs_latency_seconds.
+  if (last_residual_ > 0.0 && std::isfinite(residual) && residual > 0.0) {
+    static obs::Histogram& decay_hist = obs::histogram("solver.residual_decay");
+    decay_hist.record(residual / last_residual_);
+  }
+  last_residual_ = std::isfinite(residual) ? residual : 0.0;
   if (residual <= options_.tolerance) {
     QS_TRACE_INSTANT_ARG("solver.converged", solver, residual, iteration);
     out.converged = true;

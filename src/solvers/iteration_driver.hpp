@@ -212,6 +212,7 @@ class IterationDriver {
   bool checkpointing_ = false;
   double best_residual_;
   double window_start_best_;
+  double last_residual_ = 0.0;  ///< Previous observation (decay telemetry).
   unsigned checks_without_progress_ = 0;
   std::uint64_t last_checkpoint_ns_ = 0;  ///< monotonic_ns at construction /
                                           ///< last write (time cadence).

@@ -1,0 +1,231 @@
+// Tests for obs::Histogram (src/obs/histogram.hpp): log-binned quantile
+// accuracy against a sorted-sample oracle, lock-free shard merging under
+// concurrent recording (the TSan target), the registry's overflow fallback,
+// and the schema-version-2 metrics JSON round trip including backward
+// compatibility with schema-1 files.
+//
+// The histogram is always compiled (unlike the span layer), so every test
+// here runs identically in default and trace builds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace qs::obs {
+namespace {
+
+/// Nearest-rank quantile of a sorted sample — the oracle the binned
+/// estimate must land near.
+double oracle_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+/// With kBinsPerOctave sub-bins per power of two, a bin spans a ratio of
+/// 2^(1/kBinsPerOctave); the midpoint estimate is within half that, but
+/// nearest-rank rounding at bin edges can add the other half.
+constexpr double kBinRatio = 1.189207115002721;  // 2^(1/4)
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_histograms(); }
+  void TearDown() override { reset_histograms(); }
+};
+
+TEST_F(HistogramTest, QuantilesTrackASortedSampleOracle) {
+  Histogram& h = histogram("hist_test.quantiles");
+  std::vector<double> sample;
+  // Deterministic log-uniform-ish spread over ~6 decades.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 20000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double unit = static_cast<double>(state >> 11) / 9007199254740992.0;
+    const double v = std::exp2(unit * 20.0 - 14.0);  // 2^-14 .. 2^6
+    sample.push_back(v);
+    h.record(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, sample.size());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double oracle = oracle_quantile(sample, q);
+    const double est = snap.quantile(q);
+    EXPECT_LE(est, oracle * kBinRatio) << "q=" << q;
+    EXPECT_GE(est, oracle / kBinRatio) << "q=" << q;
+  }
+  // max is exact, not binned.
+  EXPECT_EQ(snap.max, *std::max_element(sample.begin(), sample.end()));
+}
+
+TEST_F(HistogramTest, SingleValueDistributionPinsEveryQuantile) {
+  Histogram& h = histogram("hist_test.single");
+  for (int i = 0; i < 100; ++i) h.record(0.25);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.max, 0.25);
+  // The estimate is capped by the exact max and bounded by the bin ratio.
+  EXPECT_LE(snap.quantile(0.5), 0.25);
+  EXPECT_GE(snap.quantile(0.5), 0.25 / kBinRatio);
+  EXPECT_DOUBLE_EQ(snap.sum, 25.0);
+}
+
+TEST_F(HistogramTest, EmptyAndDegenerateInputsAreSafe) {
+  Histogram& h = histogram("hist_test.empty");
+  const HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  h.record(0.0);                     // non-positive: lands in the first bin
+  h.record(-1.0);
+  h.record(std::nan(""));            // non-finite: dropped entirely
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST_F(HistogramTest, RecordNsConvertsToSeconds) {
+  Histogram& h = histogram("hist_test.ns");
+  h.record_ns(1500000);  // 1.5 ms
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0015);
+}
+
+TEST_F(HistogramTest, ConcurrentRecordingMergesEveryShardExactly) {
+  // The TSan target: many threads hammer one histogram through the
+  // relaxed-atomic shards while another takes snapshots mid-flight.
+  Histogram& h = histogram("hist_test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(0.001 * static_cast<double>(1 + ((t + i) % 7)));
+      }
+    });
+  }
+  // Mid-flight snapshots must be internally sane (monotone count, no tear
+  // into nonsense), even though they race with the recorders.
+  for (int probe = 0; probe < 50; ++probe) {
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_LE(snap.count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+  }
+  for (std::thread& w : workers) w.join();
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t binned = 0;
+  for (const std::uint64_t b : snap.bins) binned += b;
+  EXPECT_EQ(binned, snap.count);
+  EXPECT_DOUBLE_EQ(snap.max, 0.007);
+}
+
+TEST_F(HistogramTest, RegistryReturnsTheSameSlotForTheSameName) {
+  Histogram& a = histogram("hist_test.registry");
+  Histogram& b = histogram("hist_test.registry");
+  EXPECT_EQ(&a, &b);
+  a.record(1.0);
+  EXPECT_EQ(b.snapshot().count, 1u);
+
+  const auto named = snapshot_histograms();
+  bool found = false;
+  for (const auto& n : named) {
+    if (std::string(n.name) == "hist_test.registry") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(HistogramTest, MetricsJsonV2RoundTripsHistogramSummaries) {
+  // The recorder is process-global and earlier tests in this binary leave
+  // values behind; reset first (which also clears histogram samples), then
+  // record.
+  auto& m = metrics();
+  m.reset();
+  Histogram& h = histogram("hist_test.roundtrip");
+  for (int i = 1; i <= 1000; ++i) h.record(1e-4 * i);
+
+  m.set_info("tool", "hist_test");
+  m.set_value("nu", 12.0);
+  m.record_residual(0.5);
+
+  std::ostringstream out;
+  write_metrics_json(out, m.snapshot());
+  std::istringstream in(out.str());
+  MetricsSnapshot loaded;
+  int schema = 0;
+  ASSERT_TRUE(read_metrics_json(in, loaded, &schema)) << out.str();
+  EXPECT_EQ(schema, 2);
+
+  const HistogramSummary* found = nullptr;
+  for (const HistogramSummary& s : loaded.histograms) {
+    if (s.name == "hist_test.roundtrip") found = &s;
+  }
+  ASSERT_NE(found, nullptr) << out.str();
+  const HistogramSummary direct = summarize("hist_test.roundtrip",
+                                            h.snapshot());
+  EXPECT_EQ(found->count, direct.count);
+  EXPECT_NEAR(found->sum, direct.sum, 1e-12 * direct.sum);
+  EXPECT_NEAR(found->p50, direct.p50, 1e-12);
+  EXPECT_NEAR(found->p99, direct.p99, 1e-12);
+  EXPECT_NEAR(found->max, direct.max, 1e-12);
+  EXPECT_EQ(loaded.residual_count, 1u);
+  ASSERT_EQ(loaded.values.size(), 1u);
+  EXPECT_EQ(loaded.values.front().second, 12.0);
+}
+
+TEST_F(HistogramTest, SchemaV1FilesStillLoadWithEmptyHistograms) {
+  // A file written by the previous release: no "histograms" object.
+  const std::string v1 = R"({
+  "schema_version": 1,
+  "tracing_compiled_in": false,
+  "dropped_spans": 0,
+  "info": {"solver": "power"},
+  "values": {"nu": 10},
+  "residuals": {"count": 2, "tail": [0.5, 0.25]},
+  "phases": [],
+  "counters": {}
+})";
+  std::istringstream in(v1);
+  MetricsSnapshot loaded;
+  int schema = 0;
+  ASSERT_TRUE(read_metrics_json(in, loaded, &schema));
+  EXPECT_EQ(schema, 1);
+  EXPECT_TRUE(loaded.histograms.empty());
+  ASSERT_EQ(loaded.info.size(), 1u);
+  EXPECT_EQ(loaded.info.front().second, "power");
+  EXPECT_EQ(loaded.residual_count, 2u);
+  ASSERT_EQ(loaded.residual_tail.size(), 2u);
+  EXPECT_EQ(loaded.residual_tail[1], 0.25);
+
+  // Unknown future schemas are refused, not misread.
+  std::istringstream future(R"({"schema_version": 99})");
+  MetricsSnapshot ignored;
+  EXPECT_FALSE(read_metrics_json(future, ignored, nullptr));
+}
+
+TEST_F(HistogramTest, ResetHistogramsClearsCountsButKeepsRegistration) {
+  Histogram& h = histogram("hist_test.reset");
+  h.record(1.0);
+  ASSERT_EQ(h.snapshot().count, 1u);
+  reset_histograms();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  h.record(2.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace qs::obs

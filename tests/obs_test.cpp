@@ -22,7 +22,9 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_wire.hpp"
 #include "obs/trace.hpp"
+#include "support/timer.hpp"
 
 namespace qs::obs {
 namespace {
@@ -191,9 +193,9 @@ TEST_F(ObsTest, MetricsJsonHasTheStableSchema) {
   const std::string json = metrics_json();
   EXPECT_TRUE(json_balanced(json)) << json;
   for (const char* key :
-       {"\"schema_version\": 1", "\"tracing_compiled_in\"", "\"dropped_spans\"",
-        "\"info\"", "\"values\"", "\"residuals\"", "\"phases\"",
-        "\"counters\"", "\"simd_tier\"", "\"plan.tile_log2\""}) {
+       {"\"schema_version\": 2", "\"tracing_compiled_in\"", "\"dropped_spans\"",
+        "\"info\"", "\"values\"", "\"residuals\"", "\"histograms\"",
+        "\"phases\"", "\"counters\"", "\"simd_tier\"", "\"plan.tile_log2\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -244,6 +246,160 @@ TEST_F(ObsTest, FileWritersPickFormatByExtensionAndFailSoftly) {
   // keep the solve's result).
   EXPECT_FALSE(write_metrics_file("/nonexistent-dir/qs-obs/m.json"));
   EXPECT_FALSE(write_chrome_trace_file("/nonexistent-dir/qs-obs/t.json"));
+}
+
+TEST_F(ObsTest, MintedTraceIdsAreNonZeroAndDistinct) {
+  // Always compiled: span-less builds still mint ids for the wire.
+  const std::uint64_t a = mint_trace_id();
+  const std::uint64_t b = mint_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(ObsTest, SpansInheritTheThreadTraceContextAndScopesRestore) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  {
+    const TraceScope outer(TraceContext{0xAAAAu});
+    { QS_TRACE_SPAN("obs_test.outer", app); }
+    {
+      const TraceScope inner(TraceContext{0xBBBBu});
+      { QS_TRACE_SPAN("obs_test.inner", app); }
+    }
+    // inner destroyed: the outer context must be back in force.
+    QS_TRACE_INSTANT("obs_test.restored", app, 1.0);
+  }
+  { QS_TRACE_SPAN("obs_test.no_context", app); }
+
+  const auto spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (const SpanRecord& s : spans) {
+    const std::string name = s.name;
+    if (name == "obs_test.outer" || name == "obs_test.restored") {
+      EXPECT_EQ(s.trace_id, 0xAAAAu) << name;
+    } else if (name == "obs_test.inner") {
+      EXPECT_EQ(s.trace_id, 0xBBBBu);
+    } else {
+      EXPECT_EQ(s.trace_id, 0u) << name;
+    }
+  }
+}
+
+TEST_F(ObsTest, ProcessTraceIsTheFallbackWhenTheThreadHasNone) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  set_process_trace(TraceContext{0xCCCCu});
+  EXPECT_EQ(current_trace().trace_id, 0xCCCCu);
+  {
+    const TraceScope scope(TraceContext{0xDDDDu});
+    EXPECT_EQ(current_trace().trace_id, 0xDDDDu);  // thread wins
+  }
+  EXPECT_EQ(current_trace().trace_id, 0xCCCCu);
+  set_process_trace(TraceContext{});
+}
+
+TEST_F(ObsTest, SpanEventRecordsExplicitTimingAndTraceId) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  const std::uint64_t start = monotonic_ns() - 5000;
+  span_event("obs_test.event", Category::app, start, 5000, 0x5151u, 9);
+  const auto spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans.front().name, "obs_test.event");
+  EXPECT_EQ(spans.front().start_ns, start);
+  EXPECT_EQ(spans.front().dur_ns, 5000u);
+  EXPECT_EQ(spans.front().trace_id, 0x5151u);
+  EXPECT_EQ(spans.front().arg, 9);
+
+  const std::string json = trace_json();
+  EXPECT_NE(json.find("\"trace_id\":\"0x0000000000005151\""), std::string::npos)
+      << json;
+}
+
+TEST_F(ObsTest, ImportedSpansGetRankTidsAndClearOnReset) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  SpanRecord remote{};
+  remote.name = intern_span_name("obs_test.remote");
+  remote.category = Category::distributed;
+  remote.tid = 2;
+  remote.start_ns = 100;
+  remote.dur_ns = 50;
+  remote.trace_id = 0x7777u;
+  import_spans({remote}, kRankTidBase + 3 * kRankTidStride);
+
+  const auto spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans.front().tid, kRankTidBase + 3 * kRankTidStride + 2);
+  // Rank tids render as rank-R tracks in the Chrome export.
+  const std::string json = trace_json();
+  EXPECT_NE(json.find("rank-3"), std::string::npos) << json;
+
+  reset();
+  EXPECT_TRUE(snapshot_spans().empty());
+}
+
+TEST_F(ObsTest, SpanWireRoundTripsRecordsAndNames) {
+  // Always compiled: the packer works on explicit records in every build.
+  SpanRecord a{};
+  a.name = intern_span_name("wire.a");
+  a.category = Category::solver;
+  a.tid = 1;
+  a.start_ns = 1000;
+  a.dur_ns = 250;
+  a.cpu_ns = 200;
+  a.trace_id = 0xABCDEF0123456789ull;
+  a.arg = -1;
+  a.value = 0.5;
+  SpanRecord b = a;
+  b.name = intern_span_name("wire.b");
+  b.instant = true;
+  b.arg = 42;
+
+  const std::vector<double> packed = pack_spans({a, b});
+  std::vector<SpanRecord> out;
+  ASSERT_TRUE(unpack_spans(packed, out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_STREQ(out[0].name, "wire.a");
+  EXPECT_STREQ(out[1].name, "wire.b");
+  EXPECT_EQ(out[0].trace_id, 0xABCDEF0123456789ull);
+  EXPECT_EQ(out[0].start_ns, 1000u);
+  EXPECT_EQ(out[0].dur_ns, 250u);
+  EXPECT_FALSE(out[0].instant);
+  EXPECT_TRUE(out[1].instant);
+  EXPECT_EQ(out[1].arg, 42);
+  EXPECT_EQ(out[1].category, Category::solver);
+
+  // Malformed buffers append nothing and report failure.
+  std::vector<SpanRecord> none;
+  EXPECT_FALSE(unpack_spans(std::vector<double>{99999.0}, none));
+  EXPECT_TRUE(none.empty());
+  std::vector<double> truncated = packed;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(unpack_spans(truncated, none));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(ObsTest, SpanRingOverflowCountsEveryDroppedSpanExactly) {
+  if (!compiled_in()) GTEST_SKIP() << "needs a QS_ENABLE_TRACING build";
+  set_enabled(true);
+  // The per-thread ring holds 1 << 15 spans; everything beyond that on one
+  // thread is overwritten and must be accounted, not silently lost.
+  constexpr std::uint64_t kRing = std::uint64_t{1} << 15;
+  constexpr std::uint64_t kRecorded = 40000;
+  for (std::uint64_t i = 0; i < kRecorded; ++i) {
+    QS_TRACE_INSTANT("obs_test.flood", app, 0.0);
+  }
+  EXPECT_EQ(dropped_spans(), kRecorded - kRing);
+  EXPECT_EQ(snapshot_spans().size(), kRing);
+
+  // The exact count ships in the Chrome trace metadata so a truncated
+  // timeline is self-explaining.
+  const std::string json = trace_json();
+  const std::string expected =
+      "\"dropped_spans\":" + std::to_string(kRecorded - kRing);
+  EXPECT_NE(json.find(expected), std::string::npos);
 }
 
 TEST_F(ObsTest, PhasesAggregateFromTheSpanRings) {

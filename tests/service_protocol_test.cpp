@@ -89,15 +89,64 @@ TEST(Protocol, TrailingBytesAreRejected) {
 TEST(Protocol, ReplyWithAbsurdVectorLengthIsRejectedBeforeAllocating) {
   // Corrupt the class_concentrations count (the u64 right after the
   // message) to a near-2^64 value: the decoder must reject it against the
-  // remaining byte count, not allocate.
+  // remaining byte count, not allocate.  The trace-id u64 tail sits after
+  // the vector, so step over it when locating the count.
   SolveReply reply = sample_reply();
   reply.message.clear();
   std::vector<std::uint8_t> payload = encode(reply);
   const std::size_t count_at =
-      payload.size() - reply.class_concentrations.size() * sizeof(double) - 8;
+      payload.size() - sizeof(std::uint64_t) -
+      reply.class_concentrations.size() * sizeof(double) - 8;
   const std::uint64_t absurd = ~0ull;
   std::memcpy(payload.data() + count_at, &absurd, sizeof(absurd));
   EXPECT_THROW(decode_reply(payload), ProtocolError);
+}
+
+TEST(Protocol, TraceTailRoundTripsOnRequestsAndReplies) {
+  SolveRequest request = sample_request();
+  request.trace_id = 0xABCDEF0123456789ull;
+  request.client_send_ns = 0x1122334455667788ull;
+  const SolveRequest decoded = decode_request(encode(request));
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+  EXPECT_EQ(decoded.client_send_ns, request.client_send_ns);
+
+  SolveReply reply = sample_reply();
+  reply.trace_id = 0xFEDCBA9876543210ull;
+  EXPECT_EQ(decode_reply(encode(reply)).trace_id, reply.trace_id);
+}
+
+TEST(Protocol, TailLessV1PayloadsDecodeWithTraceFieldsZero) {
+  // A frame from a pre-telemetry peer ends where the v1 body ends; the
+  // decoder must treat the absent tail as untraced, not as truncation.
+  SolveRequest request = sample_request();
+  request.trace_id = 7;  // encoded, then stripped below
+  request.client_send_ns = 9;
+  std::vector<std::uint8_t> payload = encode(request);
+  payload.resize(payload.size() - 2 * sizeof(std::uint64_t));
+  const SolveRequest decoded = decode_request(payload);
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.client_send_ns, 0u);
+  EXPECT_EQ(decoded.nu, request.nu);  // v1 body intact
+
+  SolveReply reply = sample_reply();
+  reply.trace_id = 7;
+  std::vector<std::uint8_t> reply_payload = encode(reply);
+  reply_payload.resize(reply_payload.size() - sizeof(std::uint64_t));
+  const SolveReply decoded_reply = decode_reply(reply_payload);
+  EXPECT_EQ(decoded_reply.trace_id, 0u);
+  EXPECT_EQ(decoded_reply.iterations, reply.iterations);
+}
+
+TEST(Protocol, TraceFieldsNeverChangeContentHashes) {
+  // Tracing is an annotation, not content: a traced request must hit the
+  // cache entry its untraced twin stored, and coalesce into its batches.
+  const SolveRequest plain = sample_request();
+  SolveRequest traced = plain;
+  traced.trace_id = 0xDEADBEEFull;
+  traced.client_send_ns = 123456789;
+  EXPECT_EQ(scenario_key(plain), scenario_key(traced));
+  EXPECT_EQ(scenario_fingerprint(plain), scenario_fingerprint(traced));
+  EXPECT_EQ(batch_key(plain), batch_key(traced));
 }
 
 TEST(Protocol, ScenarioKeyIgnoresDeadlineButSeesEveryAnswerField) {
@@ -172,6 +221,24 @@ TEST(Frames, RoundTripOverMemoryStreams) {
   const Frame got = read_frame(b);
   EXPECT_EQ(got.type, FrameType::solve_request);
   EXPECT_EQ(got.payload, frame.payload);
+}
+
+TEST(Frames, StatsFramesCarryOpaqueTextPayloads) {
+  testing::MemoryStream a;
+  testing::MemoryStream b;
+  a.wire_to(&b);
+  b.wire_to(&a);
+
+  write_frame(a, Frame{FrameType::stats_request, {}});
+  EXPECT_EQ(read_frame(b).type, FrameType::stats_request);
+
+  const std::string text = "# stats\nqs_uptime_seconds 1.5\n";
+  Frame reply{FrameType::stats_reply,
+              std::vector<std::uint8_t>(text.begin(), text.end())};
+  write_frame(a, reply);
+  const Frame got = read_frame(b);
+  EXPECT_EQ(got.type, FrameType::stats_reply);
+  EXPECT_EQ(std::string(got.payload.begin(), got.payload.end()), text);
 }
 
 TEST(Frames, BadMagicAndOversizedLengthAreRejected) {

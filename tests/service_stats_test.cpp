@@ -1,0 +1,278 @@
+// The live-introspection plane end to end: a daemon under real load answers
+// STATS with nonzero solve-latency quantiles (the acceptance criterion for
+// the telemetry PR), replies echo the request's trace id through the socket
+// round trip, and the text exposition renders/parses losslessly.  In trace
+// builds, one client solve against the in-process daemon leaves client,
+// queue, and server spans sharing a single trace id in the span rings.
+#include "service/stats.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace qs::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+SolveRequest quick_request(double peak = 8.0) {
+  SolveRequest request;
+  request.nu = 6;
+  request.landscape = LandscapeKind::single_peak;
+  request.param0 = peak;
+  request.param1 = 1.0;
+  request.p = 0.02;
+  request.tolerance = 1e-10;
+  request.max_iterations = 100000;
+  return request;
+}
+
+/// Daemon on a private pid-keyed socket; histograms are reset around each
+/// test so latency assertions see only this test's load.
+class ServiceStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset_histograms();
+    socket_path_ = fs::temp_directory_path() /
+                   ("qs_stats_test_" + std::to_string(::getpid()) + ".sock");
+    config_.socket_path = socket_path_;
+  }
+  void TearDown() override {
+    obs::reset_histograms();
+    std::error_code ec;
+    fs::remove(socket_path_, ec);
+  }
+
+  fs::path socket_path_;
+  SocketServerConfig config_;
+};
+
+/// deliver() fulfills the promise before bumping completed_, so a snapshot
+/// taken right after solve() returns can be one behind — wait it out.
+void wait_for_completed(SolverService& service, std::uint64_t n) {
+  for (int i = 0; i < 2000 && service.completed() < n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+double must(const std::string& text, const std::string& metric) {
+  const std::optional<double> v = stats_value(text, metric);
+  EXPECT_TRUE(v.has_value()) << metric << " missing from:\n" << text;
+  return v.value_or(-1.0);
+}
+
+TEST_F(ServiceStatsTest, DaemonUnderLoadReportsNonzeroSolveLatencies) {
+  SocketServer server(config_);
+  server.start();
+  Client client(socket_path_);
+
+  // Real load: four distinct scenarios (fresh solves) and four repeats
+  // (cache hits), so queue, cache, and solve histograms all populate.
+  for (const double peak : {6.0, 7.0, 8.0, 9.0, 6.0, 7.0, 8.0, 9.0}) {
+    const SolveReply reply = client.solve(quick_request(peak));
+    ASSERT_EQ(reply.status, StatusCode::ok) << reply.message;
+  }
+
+  wait_for_completed(server.service(), 8);
+  const std::string text = client.stats();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.rfind("# qs_serve live stats", 0), 0u) << text;
+
+  EXPECT_GE(must(text, "qs_uptime_seconds"), 0.0);
+  EXPECT_GE(must(text, "qs_connections_total"), 1.0);
+  EXPECT_GE(must(text, "qs_completed_total"), 8.0);
+  EXPECT_GE(must(text, "qs_queue_total{event=\"accepted\"}"), 8.0);
+  EXPECT_GE(must(text, "qs_cache_total{event=\"hits\"}"), 1.0);
+  EXPECT_GE(must(text, "qs_cache_total{event=\"misses\"}"), 4.0);
+  EXPECT_GE(must(text, "qs_requests_total{landscape=\"single-peak\"}"), 8.0);
+
+  // The acceptance bar: nonzero p50/p99 solve latency from a daemon under
+  // load, through the same text a scraper or qs_client --stats would see.
+  EXPECT_GE(must(text, "qs_latency_seconds{op=\"service.solve\",stat=\"count\"}"),
+            4.0);
+  EXPECT_GT(must(text, "qs_latency_seconds{op=\"service.solve\",stat=\"p50\"}"),
+            0.0);
+  EXPECT_GT(must(text, "qs_latency_seconds{op=\"service.solve\",stat=\"p99\"}"),
+            0.0);
+  EXPECT_GT(must(text, "qs_latency_seconds{op=\"queue.wait\",stat=\"count\"}"),
+            0.0);
+  EXPECT_GT(
+      must(text, "qs_latency_seconds{op=\"service.cache_lookup\",stat=\"count\"}"),
+      0.0);
+  server.stop();
+}
+
+TEST_F(ServiceStatsTest, StatsNeverEnterTheAdmissionQueue) {
+  // A daemon whose queue admits nothing still answers STATS: the frame is
+  // served by the connection thread, not a worker.
+  config_.service.queue_capacity = 1;
+  config_.service.workers = 1;
+  SocketServer server(config_);
+  server.start();
+  Client client(socket_path_);
+  const std::string text = client.stats();
+  EXPECT_GE(must(text, "qs_uptime_seconds"), 0.0);
+  EXPECT_EQ(must(text, "qs_completed_total"), 0.0);
+  server.stop();
+}
+
+TEST_F(ServiceStatsTest, ReplyEchoesTheRequestTraceIdThroughTheSocket) {
+  SocketServer server(config_);
+  server.start();
+  Client client(socket_path_);
+
+  // Explicit id survives the wire round trip (works in span-less builds —
+  // the trace fields ride the always-present protocol tail).
+  SolveRequest tagged = quick_request();
+  tagged.trace_id = 424242;
+  const SolveReply reply = client.solve(tagged);
+  ASSERT_EQ(reply.status, StatusCode::ok) << reply.message;
+  EXPECT_EQ(reply.trace_id, 424242u);
+
+  // Untagged requests get a minted id from the client, never zero.
+  const SolveReply minted = client.solve(quick_request(7.5));
+  ASSERT_EQ(minted.status, StatusCode::ok) << minted.message;
+  EXPECT_NE(minted.trace_id, 0u);
+  server.stop();
+}
+
+TEST_F(ServiceStatsTest, OneSolveLeavesOneConnectedTraceInTheRings) {
+  if (!obs::compiled_in()) {
+    GTEST_SKIP() << "span layer compiled out (QS_ENABLE_TRACING=OFF)";
+  }
+  obs::reset();
+  obs::set_enabled(true);
+
+  SocketServer server(config_);
+  server.start();
+  Client client(socket_path_);
+  SolveRequest tagged = quick_request(6.5);
+  tagged.trace_id = 0x7E57ull;
+  const SolveReply reply = client.solve(tagged);
+  server.stop();
+  obs::set_enabled(false);
+  ASSERT_EQ(reply.status, StatusCode::ok) << reply.message;
+
+  // Client and daemon share this process's rings, so the whole journey is
+  // visible: the client request span, the queue-wait and end-to-end
+  // request spans, and the batch span must all carry 0x7E57.
+  bool client_span = false, request_span = false;
+  bool queue_span = false, batch_span = false;
+  for (const obs::SpanRecord& s : obs::snapshot_spans()) {
+    const std::string name(s.name);
+    if (name == "client.solve" && s.trace_id == 0x7E57ull) client_span = true;
+    if (name == "service.request" && s.trace_id == 0x7E57ull) request_span = true;
+    if (name == "service.queue_wait" && s.trace_id == 0x7E57ull) queue_span = true;
+    if (name == "service.batch" && s.trace_id == 0x7E57ull) batch_span = true;
+  }
+  EXPECT_TRUE(client_span);
+  EXPECT_TRUE(request_span);
+  EXPECT_TRUE(queue_span);
+  EXPECT_TRUE(batch_span);
+}
+
+TEST(StatsExposition, RenderAndLookupRoundTrip) {
+  ServiceStatsSnapshot snap;
+  snap.uptime_seconds = 12.5;
+  snap.connections = 3;
+  snap.queue_depth = 2;
+  snap.queue.accepted = 40;
+  snap.queue.rejected_overload = 1;
+  snap.cache.hits = 10;
+  snap.cache.misses = 5;
+  snap.completed = 38;
+  snap.request_mix = {30, 6, 4, 0};
+  obs::HistogramSummary hist;
+  hist.name = "service.solve";
+  hist.count = 15;
+  hist.sum = 0.3;
+  hist.p50 = 0.015;
+  hist.p90 = 0.04;
+  hist.p99 = 0.05;
+  hist.max = 0.06;
+  snap.histograms.push_back(hist);
+  obs::HistogramSummary ratio;
+  ratio.name = "solver.residual_decay";
+  ratio.count = 100;
+  ratio.sum = 91.0;
+  ratio.p50 = 0.91;
+  ratio.p90 = 0.95;
+  ratio.p99 = 0.99;
+  ratio.max = 1.02;
+  snap.histograms.push_back(ratio);
+
+  const std::string text = render_stats_text(snap);
+  EXPECT_EQ(text.rfind("# ", 0), 0u) << "exposition must lead with a comment";
+  EXPECT_EQ(stats_value(text, "qs_uptime_seconds"), 12.5);
+  EXPECT_EQ(stats_value(text, "qs_connections_total"), 3.0);
+  EXPECT_EQ(stats_value(text, "qs_queue_depth"), 2.0);
+  EXPECT_EQ(stats_value(text, "qs_queue_total{event=\"accepted\"}"), 40.0);
+  EXPECT_EQ(stats_value(text, "qs_queue_total{event=\"rejected_overload\"}"), 1.0);
+  EXPECT_EQ(stats_value(text, "qs_cache_total{event=\"hits\"}"), 10.0);
+  EXPECT_EQ(stats_value(text, "qs_requests_total{landscape=\"single-peak\"}"),
+            30.0);
+  EXPECT_EQ(stats_value(text, "qs_requests_total{landscape=\"flat\"}"), 0.0);
+  EXPECT_EQ(
+      stats_value(text, "qs_latency_seconds{op=\"service.solve\",stat=\"p50\"}"),
+      0.015);
+  EXPECT_EQ(
+      stats_value(text, "qs_latency_seconds{op=\"service.solve\",stat=\"count\"}"),
+      15.0);
+  // Ratio-valued histograms render under qs_ratio, not qs_latency_seconds.
+  EXPECT_EQ(
+      stats_value(text, "qs_ratio{op=\"solver.residual_decay\",stat=\"p50\"}"),
+      0.91);
+  EXPECT_FALSE(
+      stats_value(text,
+                  "qs_latency_seconds{op=\"solver.residual_decay\",stat=\"p50\"}")
+          .has_value());
+
+  // Lookups are exact-spelling: absent metrics and garbage return nullopt.
+  EXPECT_FALSE(stats_value(text, "qs_no_such_metric").has_value());
+  EXPECT_FALSE(stats_value("", "qs_uptime_seconds").has_value());
+  EXPECT_FALSE(stats_value("qs_uptime_seconds not-a-number\n",
+                           "qs_uptime_seconds")
+                   .has_value());
+}
+
+TEST(StatsExposition, ServiceSnapshotCarriesLiveCountersAndMix) {
+  obs::reset_histograms();
+  SolverService service;
+  const SolveReply first = service.solve(quick_request());
+  ASSERT_EQ(first.status, StatusCode::ok) << first.message;
+  const SolveReply again = service.solve(quick_request());
+  ASSERT_EQ(again.status, StatusCode::ok) << again.message;
+  EXPECT_TRUE(again.cache_hit);
+  wait_for_completed(service, 2);
+
+  const ServiceStatsSnapshot snap = service.stats_snapshot();
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_GE(snap.queue.accepted, 2u);
+  EXPECT_GE(snap.cache.hits, 1u);
+  EXPECT_EQ(snap.request_mix[0], 2u);  // single_peak
+  EXPECT_EQ(snap.request_mix[1] + snap.request_mix[2] + snap.request_mix[3], 0u);
+  bool solve_hist = false;
+  for (const obs::HistogramSummary& h : snap.histograms) {
+    if (h.name == "service.solve") {
+      solve_hist = true;
+      EXPECT_GE(h.count, 1u);
+      EXPECT_GT(h.p50, 0.0);
+    }
+  }
+  EXPECT_TRUE(solve_hist);
+  service.shutdown();
+  obs::reset_histograms();
+}
+
+}  // namespace
+}  // namespace qs::service

@@ -11,6 +11,7 @@
 // backoff and jitter; every other status is final.  The exit code mirrors
 // the outcome: 0 for OK, 3 for a non-OK reply, 4 when every attempt failed
 // on the wire, 2 for bad arguments.
+#include <cstdio>
 #include <iostream>
 
 #include "quasispecies.hpp"
@@ -25,6 +26,9 @@ void print_usage() {
       "  --socket PATH       daemon socket (default /tmp/qs_serve.sock)\n"
       "  --io-timeout-ms T   per-chunk read/write timeout (default 5000)\n"
       "  --ping              health probe only (exit 0 iff the daemon replies)\n"
+      "  --stats             fetch and print the daemon's live stats (the\n"
+      "                      scrape-format text exposition; see qs_top for a\n"
+      "                      pretty-printed view), then exit\n"
       "scenario:\n"
       "  --nu N              chain length (1..24; required)\n"
       "  --p RATE            per-position error rate (required)\n"
@@ -42,6 +46,10 @@ void print_usage() {
       "  --jitter J          delay drawn from [d*(1-J), d] (default 0.5)\n"
       "  --retry-seed S      jitter stream seed (default 1)\n"
       "other:\n"
+      "  --trace-json FILE   write a Chrome trace-event JSON of this client's\n"
+      "                      side of the request (the request's trace id is\n"
+      "                      printed, and the daemon's --trace-json spans\n"
+      "                      carry the same id)\n"
       "  --quiet             print only the eigenvalue (scripting)\n"
       "  --help              this text\n";
 }
@@ -49,6 +57,29 @@ void print_usage() {
 struct CliError {
   std::string message;
 };
+
+/// Same span-gate warning as the other tools: a --trace-json request
+/// against a span-less binary gets a loud warning, not an empty trace.
+void setup_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json")) return;
+  if (qs::obs::compiled_in()) {
+    qs::obs::set_enabled(true);
+  } else {
+    std::cerr << "warning: this binary was built without QS_ENABLE_TRACING; "
+                 "the trace will contain no span events (configure with "
+                 "--preset trace, or -DQS_ENABLE_TRACING=ON)\n";
+  }
+}
+
+void export_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json")) return;
+  const std::string path = args.get("trace-json", "");
+  if (qs::obs::write_chrome_trace_file(path)) {
+    std::cout << "trace written to " << path << " (load in ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "warning: could not write trace to " << path << "\n";
+  }
+}
 
 qs::service::SolveRequest parse_request(const qs::ArgParser& args) {
   qs::service::SolveRequest request;
@@ -119,8 +150,21 @@ int run(const qs::ArgParser& args) {
     std::cout << (up ? "daemon is up\n" : "no reply\n");
     return up ? 0 : 4;
   }
+  if (args.has("stats")) {
+    try {
+      std::cout << client.stats();
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: stats fetch failed: " << e.what() << "\n";
+      return 4;
+    }
+  }
 
-  const qs::service::SolveRequest request = parse_request(args);
+  setup_observability(args);
+  qs::service::SolveRequest request = parse_request(args);
+  // Mint here (not in Client::solve) so every retry reuses one trace id and
+  // we can print it for matching against the daemon's trace.
+  request.trace_id = qs::obs::mint_trace_id();
   const qs::service::ClientOutcome outcome =
       client.solve_with_retry(request, parse_policy(args));
   const qs::service::SolveReply& reply = outcome.reply;
@@ -142,9 +186,16 @@ int run(const qs::ArgParser& args) {
   if (args.has("quiet")) {
     std::cout.precision(15);
     std::cout << reply.eigenvalue << "\n";
+    export_observability(args);
     return 0;
   }
   std::cout.precision(12);
+  if (args.has("trace-json")) {
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "0x%016llx",
+                  static_cast<unsigned long long>(request.trace_id));
+    std::cout << "trace id " << hex << "\n";
+  }
   std::cout << "lambda_0 = " << reply.eigenvalue
             << "   residual = " << reply.residual
             << "   iterations = " << reply.iterations
@@ -163,6 +214,7 @@ int run(const qs::ArgParser& args) {
     std::cout << "  [Gamma_" << k << "] = " << reply.class_concentrations[k]
               << "\n";
   }
+  export_observability(args);
   return 0;
 }
 

@@ -40,6 +40,10 @@ void print_usage() {
       "                      memory-only cache\n"
       "  --io-timeout-ms T   per-chunk socket read/write timeout (default 5000)\n"
       "  --metrics FILE      write the service metrics snapshot on shutdown\n"
+      "  --trace-json FILE   write a Chrome trace-event JSON on shutdown: every\n"
+      "                      request span (started at the client's send time),\n"
+      "                      queue/batch span, and solver iteration span,\n"
+      "                      sharing the client's trace id\n"
       "  --selfcheck         start on a private socket, run a client round\n"
       "                      trip (solve, cached re-solve, ping), stop, and\n"
       "                      exit 0 on success — a smoke test of the full\n"
@@ -50,6 +54,37 @@ void print_usage() {
 struct CliError {
   std::string message;
 };
+
+/// Same --trace-json/--metrics idiom as qs_solve: spans only exist in
+/// QS_ENABLE_TRACING builds, so a --trace-json request against a span-less
+/// daemon gets a loud warning instead of a silently empty trace.
+void setup_observability(const qs::ArgParser& args) {
+  if (!args.has("trace-json") && !args.has("metrics")) return;
+  if (qs::obs::compiled_in()) {
+    qs::obs::set_enabled(true);
+  } else if (args.has("trace-json")) {
+    std::cerr << "warning: this binary was built without QS_ENABLE_TRACING; "
+                 "the trace will contain no span events (configure with "
+                 "--preset trace, or -DQS_ENABLE_TRACING=ON)\n";
+  }
+}
+
+void export_observability(const qs::ArgParser& args) {
+  if (args.has("trace-json")) {
+    const std::string path = args.get("trace-json", "");
+    if (qs::obs::write_chrome_trace_file(path)) {
+      std::cout << "trace written to " << path
+                << " (load in ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "warning: could not write trace to " << path << "\n";
+    }
+  }
+  if (args.has("metrics") &&
+      !qs::obs::write_metrics_file(args.get("metrics", ""))) {
+    std::cerr << "warning: could not write metrics to "
+              << args.get("metrics", "") << "\n";
+  }
+}
 
 qs::service::SocketServerConfig parse_config(const qs::ArgParser& args) {
   qs::service::SocketServerConfig config;
@@ -89,6 +124,7 @@ void print_stats(const qs::service::SocketServer& server,
 }
 
 int serve(const qs::ArgParser& args) {
+  setup_observability(args);
   qs::service::SocketServer server(parse_config(args));
   server.start();
   std::cout << "qs_serve listening on " << server.socket_path().string()
@@ -107,15 +143,12 @@ int serve(const qs::ArgParser& args) {
   }
   server.stop();
   print_stats(server, server.service());
-  if (args.has("metrics") &&
-      !qs::obs::write_metrics_file(args.get("metrics", ""))) {
-    std::cerr << "warning: could not write metrics to "
-              << args.get("metrics", "") << "\n";
-  }
+  export_observability(args);
   return 0;
 }
 
 int selfcheck(const qs::ArgParser& args) {
+  setup_observability(args);
   // A private socket keyed by pid: the check must not collide with (or
   // disturb) a real daemon on the default path.
   qs::service::SocketServerConfig config = parse_config(args);
@@ -158,7 +191,26 @@ int selfcheck(const qs::ArgParser& args) {
     std::cerr << "selfcheck: cached eigenvalue differs from fresh solve\n";
     ok = false;
   }
+  // Live introspection: the STATS op must reflect the two solves above
+  // without entering the solver path.  With a warm --cache-dir even the
+  // first solve can be a disk hit, so the solve histogram is only owed a
+  // sample when something actually solved; cache lookups always happen.
+  const std::string stats = client.stats();
+  const auto accepted =
+      qs::service::stats_value(stats, "qs_queue_total{event=\"accepted\"}");
+  const auto lookup_count = qs::service::stats_value(
+      stats, "qs_latency_seconds{op=\"service.cache_lookup\",stat=\"count\"}");
+  const auto solve_count = qs::service::stats_value(
+      stats, "qs_latency_seconds{op=\"service.solve\",stat=\"count\"}");
+  const bool solved_fresh = ok && !first.cache_hit;
+  if (!accepted || *accepted < 1.0 || !lookup_count || *lookup_count < 1.0 ||
+      (solved_fresh && (!solve_count || *solve_count < 1.0))) {
+    std::cerr << "selfcheck: STATS reply missing queue/latency data:\n"
+              << stats;
+    ok = false;
+  }
   server.stop();
+  export_observability(args);
   if (ok) {
     std::cout << "selfcheck ok: lambda_0 = " << first.eigenvalue << " in "
               << first.iterations << " iteration(s); cached reply bit-identical\n";
